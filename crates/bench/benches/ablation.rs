@@ -1,0 +1,152 @@
+//! Ablations of GRED's design choices (DESIGN.md Section 5):
+//!
+//! - CVT refinement on/off (load-balance value of C-regulation),
+//! - sampling C-regulation vs exact-centroid Lloyd steps,
+//! - samples-per-iteration sensitivity (paper fixes 1000),
+//! - Chord virtual nodes vs GRED.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gred_geometry::{
+    c_regulation, cvt_energy_exact, lloyd_step, CRegulationConfig, Point2, Polygon,
+};
+use gred_sim::experiments::load::{load_vs_iterations, measure_load};
+use gred_sim::experiments::substrate;
+use gred_sim::{ComparedSystem, SystemUnderTest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
+}
+
+fn bench_cvt_methods(c: &mut Criterion) {
+    let pts = random_points(100, 11);
+    let square = Polygon::unit_square();
+
+    // Report convergence quality once: energy after equal iteration counts.
+    let mut lloyd = pts.clone();
+    for _ in 0..20 {
+        lloyd = lloyd_step(&lloyd, &square);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let sampled = c_regulation(&pts, &CRegulationConfig::with_iterations(20), &mut rng);
+    eprintln!(
+        "ablation: after 20 iters, CVT energy — lloyd(exact)={:.5}, c_regulation(sampled)={:.5}, initial={:.5}",
+        cvt_energy_exact(&lloyd, &square),
+        cvt_energy_exact(&sampled, &square),
+        cvt_energy_exact(&pts, &square),
+    );
+
+    let mut g = c.benchmark_group("cvt_method");
+    g.sample_size(10);
+    g.bench_function("lloyd_exact_20iters_n100", |b| {
+        b.iter(|| {
+            let mut cur = pts.clone();
+            for _ in 0..20 {
+                cur = lloyd_step(&cur, &square);
+            }
+            cur
+        })
+    });
+    for samples in [250usize, 1000, 4000] {
+        g.bench_with_input(
+            BenchmarkId::new("c_regulation_20iters", samples),
+            &samples,
+            |b, &s| {
+                let cfg = CRegulationConfig {
+                    iterations: 20,
+                    samples_per_iteration: s,
+                    energy_threshold: None,
+                };
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    c_regulation(&pts, &cfg, &mut rng)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cvt_value(c: &mut Criterion) {
+    // The load-balance value of the refinement: T = 0 vs 50 (the figure
+    // 11(c) endpoints) measured through the full system.
+    for row in load_vs_iterations(&[0, 50], 30_000, 300, 2019) {
+        eprintln!("ablation fig11c endpoints: T={} {} max/avg={:.3}", row.x, row.system, row.max_avg);
+    }
+    let (topo, pool) = substrate(30, 10, 3, 13);
+    let mut g = c.benchmark_group("cvt_value");
+    g.sample_size(10);
+    for t in [0usize, 50] {
+        g.bench_with_input(BenchmarkId::new("owner_assignment_20k", t), &t, |b, &t| {
+            let sut = SystemUnderTest::build(
+                topo.clone(),
+                pool.clone(),
+                ComparedSystem::Gred { iterations: t },
+                13,
+            );
+            b.iter(|| measure_load(&sut, 20_000, "ablate"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chord_vnodes(c: &mut Criterion) {
+    let (topo, pool) = substrate(30, 10, 3, 17);
+    let mut g = c.benchmark_group("chord_vnodes");
+    g.sample_size(10);
+    for v in [1usize, 4, 16] {
+        let sut = SystemUnderTest::build(
+            topo.clone(),
+            pool.clone(),
+            ComparedSystem::Chord { virtual_nodes: v },
+            17,
+        );
+        eprintln!(
+            "ablation chord vnodes={v}: max/avg={:.3}",
+            measure_load(&sut, 20_000, "vn")
+        );
+        g.bench_with_input(BenchmarkId::new("owner_assignment_20k", v), &v, |b, _| {
+            b.iter(|| measure_load(&sut, 20_000, "vnb"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    use gred_linalg::{power_eigen, symmetric_eigen, Matrix};
+    // The double-centered matrix MDS diagonalizes, at control-plane sizes.
+    let mut g = c.benchmark_group("eigensolver");
+    g.sample_size(10);
+    for n in [50usize, 150] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.gen_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+            a[(i, i)] += n as f64; // dominant spectrum, as in MDS
+        }
+        g.bench_with_input(BenchmarkId::new("jacobi_full", n), &a, |b, a| {
+            b.iter(|| symmetric_eigen(a))
+        });
+        g.bench_with_input(BenchmarkId::new("power_top2", n), &a, |b, a| {
+            b.iter(|| power_eigen(a, 2, 10_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cvt_methods,
+    bench_cvt_value,
+    bench_chord_vnodes,
+    bench_eigensolvers
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7(a)/(b): the P4-testbed experiment — prints the reproduced rows
+//! once, then benchmarks the experiment kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gred_sim::experiments::testbed::testbed_experiment;
+
+fn bench(c: &mut Criterion) {
+    // Print the figure's data series (what the paper plots).
+    for row in testbed_experiment(100, 10_000, 2019) {
+        eprintln!(
+            "fig7  {:<11} stretch={:.3}  max/avg={:.3}",
+            row.system, row.stretch, row.max_avg
+        );
+    }
+    let mut g = c.benchmark_group("fig07_testbed");
+    g.sample_size(10);
+    g.bench_function("stretch_and_load_100req_10k_items", |b| {
+        b.iter(|| testbed_experiment(100, 10_000, 2019))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 8: response delay vs number of retrieval requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gred_net::LatencyModel;
+use gred_sim::experiments::delay::response_delay;
+
+fn bench(c: &mut Criterion) {
+    for row in response_delay(&[100, 200, 400, 600, 800, 1000], LatencyModel::default(), 2019) {
+        eprintln!(
+            "fig8  requests={:<5} {:<11} avg_delay={:.1}us",
+            row.requests, row.system, row.avg_delay_us
+        );
+    }
+    let mut g = c.benchmark_group("fig08_delay");
+    g.sample_size(10);
+    for requests in [100usize, 1000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(requests),
+            &requests,
+            |b, &req| b.iter(|| response_delay(&[req], LatencyModel::default(), 2019)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

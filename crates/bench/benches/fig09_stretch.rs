@@ -1,0 +1,46 @@
+//! Figs. 9(a)–(c): routing-stretch sweeps (network size, minimum degree,
+//! range extension), with Chord as baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gred_sim::experiments::stretch::{
+    stretch_vs_min_degree, stretch_vs_network_size, stretch_with_extension,
+};
+
+fn bench(c: &mut Criterion) {
+    for row in stretch_vs_network_size(&[20, 60, 100], 50, 2019) {
+        eprintln!(
+            "fig9a n={:<4} {:<13} stretch={:.3}±{:.3}",
+            row.x, row.system, row.mean, row.ci90
+        );
+    }
+    for row in stretch_vs_min_degree(&[3, 5, 7, 10], 60, 50, 2019) {
+        eprintln!(
+            "fig9b d={:<3} {:<13} stretch={:.3}±{:.3}",
+            row.x, row.system, row.mean, row.ci90
+        );
+    }
+    for row in stretch_with_extension(&[40], 50, 2019) {
+        eprintln!(
+            "fig9c n={:<4} {:<13} stretch={:.3}±{:.3}",
+            row.x, row.system, row.mean, row.ci90
+        );
+    }
+
+    let mut g = c.benchmark_group("fig09_stretch");
+    g.sample_size(10);
+    for n in [20usize, 60] {
+        g.bench_with_input(BenchmarkId::new("vs_size", n), &n, |b, &n| {
+            b.iter(|| stretch_vs_network_size(&[n], 30, 2019))
+        });
+    }
+    g.bench_function("vs_degree_d5", |b| {
+        b.iter(|| stretch_vs_min_degree(&[5], 40, 30, 2019))
+    });
+    g.bench_function("with_extension_n40", |b| {
+        b.iter(|| stretch_with_extension(&[40], 30, 2019))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

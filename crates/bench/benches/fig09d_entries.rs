@@ -1,0 +1,24 @@
+//! Fig. 9(d): forwarding-table entries per switch vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gred_sim::experiments::table_entries::entries_vs_network_size;
+
+fn bench(c: &mut Criterion) {
+    for row in entries_vs_network_size(&[20, 60, 100, 140, 180], 2019) {
+        eprintln!(
+            "fig9d n={:<4} entries={:.2}±{:.2} (min {}, max {})",
+            row.switches, row.mean, row.ci90, row.min, row.max
+        );
+    }
+    let mut g = c.benchmark_group("fig09d_entries");
+    g.sample_size(10);
+    for n in [40usize, 120] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| entries_vs_network_size(&[n], 2019))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

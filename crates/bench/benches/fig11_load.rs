@@ -1,0 +1,46 @@
+//! Figs. 11(a)–(c): load-balance sweeps (network size, item count,
+//! C-regulation iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gred_sim::experiments::load::{load_vs_items, load_vs_iterations, load_vs_network_size};
+
+fn bench(c: &mut Criterion) {
+    for row in load_vs_network_size(&[200, 600, 1000], 50_000, 2019) {
+        eprintln!(
+            "fig11a servers={:<5} {:<11} max/avg={:.3}",
+            row.x, row.system, row.max_avg
+        );
+    }
+    for row in load_vs_items(&[50_000, 200_000], 500, 2019) {
+        eprintln!(
+            "fig11b items={:<7} {:<11} max/avg={:.3}",
+            row.x, row.system, row.max_avg
+        );
+    }
+    for row in load_vs_iterations(&[0, 20, 50, 80], 50_000, 500, 2019) {
+        eprintln!(
+            "fig11c T={:<3} {:<11} max/avg={:.3}",
+            row.x, row.system, row.max_avg
+        );
+    }
+
+    let mut g = c.benchmark_group("fig11_load");
+    g.sample_size(10);
+    for servers in [200usize, 600] {
+        g.bench_with_input(
+            BenchmarkId::new("vs_size_20k_items", servers),
+            &servers,
+            |b, &s| b.iter(|| load_vs_network_size(&[s], 20_000, 2019)),
+        );
+    }
+    g.bench_function("vs_items_50k", |b| {
+        b.iter(|| load_vs_items(&[50_000], 300, 2019))
+    });
+    g.bench_function("vs_iterations_T50", |b| {
+        b.iter(|| load_vs_iterations(&[50], 20_000, 300, 2019))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

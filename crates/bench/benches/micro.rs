@@ -1,0 +1,158 @@
+//! Micro-benchmarks of GRED's computational kernels: hashing, embedding,
+//! triangulation, CVT refinement, greedy routing, Chord lookup, and full
+//! control-plane builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gred::{GredConfig, GredNetwork};
+use gred_chord::{ChordConfig, ChordNetwork};
+use gred_geometry::{c_regulation, CRegulationConfig, Point2, Triangulation};
+use gred_hash::{sha256, DataId};
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256::digest(d))
+        });
+    }
+    g.bench_function("virtual_position", |b| {
+        let id = DataId::new("bench/key/123456");
+        b.iter(|| gred_hash::virtual_position(&id))
+    });
+    g.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometry");
+    g.sample_size(20);
+    for n in [50usize, 200, 500] {
+        let pts = random_points(n, 7);
+        g.bench_with_input(BenchmarkId::new("delaunay_build", n), &pts, |b, pts| {
+            b.iter(|| Triangulation::new(pts).unwrap())
+        });
+    }
+    let pts = random_points(100, 9);
+    let dt = Triangulation::new(&pts).unwrap();
+    g.bench_function("greedy_route_n100", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let target = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            dt.greedy_route(0, target)
+        })
+    });
+    g.bench_function("c_regulation_T10_n100", |b| {
+        let cfg = CRegulationConfig::with_iterations(10);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            c_regulation(&pts, &cfg, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_plane_build");
+    g.sample_size(10);
+    for n in [50usize, 100] {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(n, 5));
+        let pool = ServerPool::uniform(n, 10, u64::MAX);
+        g.bench_with_input(BenchmarkId::new("gred_T50", n), &n, |b, _| {
+            b.iter(|| {
+                GredNetwork::build(topo.clone(), pool.clone(), GredConfig::default()).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("chord_ring", n), &n, |b, _| {
+            b.iter(|| ChordNetwork::build(&pool, ChordConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_operations(c: &mut Criterion) {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(60, 5));
+    let pool = ServerPool::uniform(60, 10, u64::MAX);
+    let net = GredNetwork::build(topo.clone(), pool.clone(), GredConfig::default()).unwrap();
+    let chord = ChordNetwork::build(&pool, ChordConfig::default());
+
+    let mut g = c.benchmark_group("request");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("gred_route_n60", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let id = DataId::new(format!("op/{i}"));
+            i += 1;
+            let pos = net.position_of_id(&id);
+            gred::plane::forwarding::route(net.dataplanes(), (i % 60) as usize, pos, &id).unwrap()
+        })
+    });
+    g.bench_function("chord_lookup_n600_servers", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let id = DataId::new(format!("op/{i}"));
+            i += 1;
+            chord.lookup_path((i % 60) as usize, &id)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dynamics(c: &mut Criterion) {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(40, 9));
+    let pool = ServerPool::uniform(40, 4, u64::MAX);
+    let mut base = GredNetwork::build(topo, pool, GredConfig::default()).unwrap();
+    for i in 0..500 {
+        base.place(&DataId::new(format!("dyn/{i}")), bytes::Bytes::new(), i % 40)
+            .unwrap();
+    }
+
+    let mut g = c.benchmark_group("dynamics");
+    g.sample_size(10);
+    g.bench_function("join_with_migration_n40_500items", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            net.add_switch(&[0, 20], vec![u64::MAX; 4]).unwrap()
+        })
+    });
+    g.bench_function("leave_with_migration_n40_500items", |b| {
+        b.iter(|| {
+            let mut net = base.clone();
+            let victim = net.members()[7];
+            net.remove_switch(victim).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    use gred_dataplane::{wire, Packet};
+    let packet = Packet::placement(DataId::new("bench/key/0001"), vec![0u8; 256]);
+    let encoded = wire::encode(&packet);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_256B_payload", |b| b.iter(|| wire::encode(&packet)));
+    g.bench_function("parse_256B_payload", |b| b.iter(|| wire::parse(&encoded).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_geometry,
+    bench_builds,
+    bench_operations,
+    bench_dynamics,
+    bench_wire
+);
+criterion_main!(benches);

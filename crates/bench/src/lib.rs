@@ -1,0 +1,1 @@
+//! Criterion benchmark harness for GRED (benches live in `benches/`).

@@ -1,0 +1,139 @@
+//! 64-bit Chord ring identifiers.
+//!
+//! Chord works in an `m`-bit circular identifier space; we use `m = 64`
+//! and derive identifiers from the first eight bytes of SHA-256 digests,
+//! the same hash the rest of the system uses.
+
+use gred_hash::DataId;
+use serde::{Deserialize, Serialize};
+
+/// An identifier on the 2⁶⁴ ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChordId(pub u64);
+
+impl ChordId {
+    /// Identifier of a data key.
+    pub fn of_key(key: &DataId) -> ChordId {
+        ChordId(key.digest().head_u64())
+    }
+
+    /// Identifier of the `vnode`-th virtual node of server
+    /// `(switch, index)`.
+    pub fn of_server(switch: usize, index: usize, vnode: usize) -> ChordId {
+        let name = format!("chord-node/{switch}/{index}/{vnode}");
+        ChordId(DataId::new(name).digest().head_u64())
+    }
+
+    /// Whether `self` lies in the half-open ring interval `(from, to]`,
+    /// with wraparound. The successor-ownership test: key `k` belongs to
+    /// node `n` iff `k ∈ (predecessor(n), n]`.
+    ///
+    /// ```
+    /// use gred_chord::ChordId;
+    /// assert!(ChordId(5).in_open_closed(ChordId(3), ChordId(5)));
+    /// assert!(!ChordId(3).in_open_closed(ChordId(3), ChordId(5)));
+    /// // Wraparound: (u64::MAX - 1, 2] contains 0.
+    /// assert!(ChordId(0).in_open_closed(ChordId(u64::MAX - 1), ChordId(2)));
+    /// ```
+    pub fn in_open_closed(self, from: ChordId, to: ChordId) -> bool {
+        if from.0 < to.0 {
+            from.0 < self.0 && self.0 <= to.0
+        } else if from.0 > to.0 {
+            self.0 > from.0 || self.0 <= to.0
+        } else {
+            // Degenerate full-circle interval: everything except `from`
+            // itself is "after" it; by Chord convention (n, n] is the whole
+            // ring.
+            true
+        }
+    }
+
+    /// Whether `self` lies in the open ring interval `(from, to)`, with
+    /// wraparound. Used by the closest-preceding-finger scan.
+    pub fn in_open_open(self, from: ChordId, to: ChordId) -> bool {
+        if from.0 < to.0 {
+            from.0 < self.0 && self.0 < to.0
+        } else if from.0 > to.0 {
+            self.0 > from.0 || self.0 < to.0
+        } else {
+            self.0 != from.0
+        }
+    }
+
+    /// The ring point `2^k` past this identifier (finger targets).
+    pub fn finger_target(self, k: u32) -> ChordId {
+        debug_assert!(k < 64, "finger index must be below m = 64");
+        ChordId(self.0.wrapping_add(1u64 << k))
+    }
+}
+
+impl std::fmt::Display for ChordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interval_basic() {
+        let (a, b, c) = (ChordId(10), ChordId(20), ChordId(30));
+        assert!(b.in_open_closed(a, c));
+        assert!(c.in_open_closed(a, c));
+        assert!(!a.in_open_closed(a, c));
+        assert!(!ChordId(31).in_open_closed(a, c));
+    }
+
+    #[test]
+    fn interval_wraparound() {
+        let hi = ChordId(u64::MAX - 5);
+        let lo = ChordId(5);
+        assert!(ChordId(0).in_open_closed(hi, lo));
+        assert!(ChordId(u64::MAX).in_open_closed(hi, lo));
+        assert!(ChordId(5).in_open_closed(hi, lo));
+        assert!(!ChordId(6).in_open_closed(hi, lo));
+        assert!(!hi.in_open_closed(hi, lo));
+    }
+
+    #[test]
+    fn full_circle_interval() {
+        let n = ChordId(42);
+        assert!(ChordId(0).in_open_closed(n, n));
+        assert!(ChordId(41).in_open_closed(n, n));
+        assert!(n.in_open_closed(n, n), "(n, n] is the full ring, incl. n");
+        assert!(!n.in_open_open(n, n));
+        assert!(ChordId(43).in_open_open(n, n));
+    }
+
+    #[test]
+    fn finger_targets_wrap() {
+        let n = ChordId(u64::MAX);
+        assert_eq!(n.finger_target(0), ChordId(0));
+        assert_eq!(ChordId(0).finger_target(63), ChordId(1u64 << 63));
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(ChordId::of_server(1, 2, 0), ChordId::of_server(1, 2, 0));
+        assert_ne!(ChordId::of_server(1, 2, 0), ChordId::of_server(1, 2, 1));
+        assert_ne!(ChordId::of_server(1, 2, 0), ChordId::of_server(2, 1, 0));
+        let k = DataId::new("key");
+        assert_eq!(ChordId::of_key(&k), ChordId::of_key(&k));
+    }
+
+    proptest! {
+        /// Exactly one of: x == from, x in (from, to], x in (to, from].
+        #[test]
+        fn prop_intervals_partition_ring(x in any::<u64>(), from in any::<u64>(), to in any::<u64>()) {
+            prop_assume!(from != to);
+            let (x, from, to) = (ChordId(x), ChordId(from), ChordId(to));
+            let in_fwd = x.in_open_closed(from, to);
+            let in_bwd = x.in_open_closed(to, from);
+            let is_from = x == from;
+            prop_assert_eq!(usize::from(in_fwd) + usize::from(in_bwd) + usize::from(is_from), 1);
+        }
+    }
+}

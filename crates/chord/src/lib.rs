@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The Chord DHT baseline (Stoica et al., SIGCOMM 2001) as the paper
+//! compares against it.
+//!
+//! The paper's simulations place the edge *servers* on a Chord ring: data
+//! keys and server identifiers hash into the same circular space, a key is
+//! owned by its successor server, and lookups hop along finger tables in
+//! `O(log n)` overlay steps. Each overlay hop between two servers is then
+//! routed on the physical switch topology's shortest path, which is what
+//! inflates Chord's routing stretch (Fig. 2's 11-hop example, Figs. 9 and
+//! 11's comparisons).
+//!
+//! - [`id`]: 64-bit ring identifiers with wraparound interval tests,
+//! - [`ring`]: the sorted ring, successor ownership, finger tables, and
+//!   iterative lookup with a full path trace,
+//! - [`underlay`]: mapping overlay paths to physical hop counts.
+//!
+//! Virtual nodes (the classic Chord load-balance fix the paper mentions)
+//! are supported via [`ring::ChordConfig::virtual_nodes`].
+
+pub mod id;
+pub mod ring;
+pub mod underlay;
+
+pub use id::ChordId;
+pub use ring::{ChordConfig, ChordNetwork};
+pub use underlay::{overlay_path_physical_hops, underlay_stretch};

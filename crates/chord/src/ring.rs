@@ -1,0 +1,438 @@
+//! The Chord ring: successor ownership, finger tables, iterative lookup.
+
+use crate::id::ChordId;
+use gred_hash::DataId;
+use gred_net::{ServerId, ServerPool};
+
+/// Number of finger-table rows (`m` bits of the identifier space).
+const M: u32 = 64;
+
+/// Chord configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChordConfig {
+    /// Virtual nodes per edge server. Chord's classic load-balance fix;
+    /// the paper notes it "increases the routing table space usage and
+    /// makes the system more complicated". 1 = plain Chord.
+    pub virtual_nodes: usize,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig { virtual_nodes: 1 }
+    }
+}
+
+/// One position on the ring: a virtual node of some edge server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RingEntry {
+    id: ChordId,
+    server: ServerId,
+}
+
+/// A Chord overlay over every edge server in a [`ServerPool`].
+///
+/// ```
+/// use gred_chord::{ChordConfig, ChordNetwork};
+/// use gred_hash::DataId;
+/// use gred_net::ServerPool;
+///
+/// let pool = ServerPool::uniform(4, 2, 100);
+/// let chord = ChordNetwork::build(&pool, ChordConfig::default());
+/// let owner = chord.owner(&DataId::new("k"));
+/// assert!(owner.switch < 4 && owner.index < 2);
+/// // Lookup from any switch reaches the same owner.
+/// let path = chord.lookup_path(0, &DataId::new("k"));
+/// assert_eq!(path.last().unwrap().switch, owner.switch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChordNetwork {
+    /// Ring entries sorted by identifier.
+    entries: Vec<RingEntry>,
+    /// `fingers[i][k]` = index (into `entries`) of `successor(id_i + 2^k)`.
+    fingers: Vec<Vec<usize>>,
+    config: ChordConfig,
+}
+
+impl ChordNetwork {
+    /// Builds the ring and finger tables for every server in `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has no servers or `virtual_nodes == 0`.
+    pub fn build(pool: &ServerPool, config: ChordConfig) -> Self {
+        assert!(config.virtual_nodes > 0, "need at least one virtual node");
+        let mut entries: Vec<RingEntry> = pool
+            .iter_ids()
+            .flat_map(|server| {
+                (0..config.virtual_nodes).map(move |v| RingEntry {
+                    id: ChordId::of_server(server.switch, server.index, v),
+                    server,
+                })
+            })
+            .collect();
+        assert!(!entries.is_empty(), "chord ring needs at least one server");
+        entries.sort_by_key(|e| e.id);
+        entries.dedup_by_key(|e| e.id); // 64-bit collisions are ~impossible
+
+        let n = entries.len();
+        let fingers = (0..n)
+            .map(|i| {
+                (0..M)
+                    .map(|k| successor_index(&entries, entries[i].id.finger_target(k)))
+                    .collect()
+            })
+            .collect();
+        ChordNetwork {
+            entries,
+            fingers,
+            config,
+        }
+    }
+
+    /// Number of ring positions (servers × virtual nodes).
+    pub fn ring_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The configuration the ring was built with.
+    pub fn config(&self) -> ChordConfig {
+        self.config
+    }
+
+    /// The edge server owning `key` (its successor on the ring).
+    pub fn owner(&self, key: &DataId) -> ServerId {
+        let idx = successor_index(&self.entries, ChordId::of_key(key));
+        self.entries[idx].server
+    }
+
+    /// Iterative Chord lookup of `key` starting from a virtual node of any
+    /// server attached to `access_switch`, returning the sequence of
+    /// servers visited (first entry is the access node, last is the
+    /// owner). Each consecutive pair is one overlay hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `access_switch` has no server on the ring.
+    pub fn lookup_path(&self, access_switch: usize, key: &DataId) -> Vec<ServerId> {
+        let start = self
+            .entries
+            .iter()
+            .position(|e| e.server.switch == access_switch)
+            .expect("access switch has at least one server on the ring");
+        let target = ChordId::of_key(key);
+
+        let mut path = vec![self.entries[start].server];
+        let mut cur = start;
+        // Chord lookups take at most M overlay hops; the +2 covers the
+        // final successor step.
+        for _ in 0..(M as usize + 2) {
+            let succ = self.next_on_ring(cur);
+            if target.in_open_closed(self.entries[cur].id, self.entries[succ].id) {
+                // The successor owns the key.
+                if self.entries[succ].server != *path.last().expect("nonempty") {
+                    path.push(self.entries[succ].server);
+                } else if succ != cur {
+                    // Same server via a different virtual node: the overlay
+                    // hop is free (local), no path entry.
+                }
+                return path;
+            }
+            let next = self.closest_preceding(cur, target);
+            let next = if next == cur { succ } else { next };
+            if self.entries[next].server != *path.last().expect("nonempty") {
+                path.push(self.entries[next].server);
+            }
+            cur = next;
+        }
+        unreachable!("chord lookup exceeded the m-hop bound");
+    }
+
+    /// Overlay hop count of a lookup (path length minus one).
+    pub fn lookup_overlay_hops(&self, access_switch: usize, key: &DataId) -> usize {
+        self.lookup_path(access_switch, key).len() - 1
+    }
+
+    fn next_on_ring(&self, i: usize) -> usize {
+        (i + 1) % self.entries.len()
+    }
+
+    /// The finger of `entries[i]` whose id is the closest predecessor of
+    /// `target` — the standard `closest_preceding_finger`.
+    fn closest_preceding(&self, i: usize, target: ChordId) -> usize {
+        let own = self.entries[i].id;
+        for k in (0..M as usize).rev() {
+            let f = self.fingers[i][k];
+            if self.entries[f].id.in_open_open(own, target) {
+                return f;
+            }
+        }
+        i
+    }
+}
+
+/// Index of the first entry with `id >= target` (wrapping to 0).
+fn successor_index(entries: &[RingEntry], target: ChordId) -> usize {
+    match entries.binary_search_by_key(&target, |e| e.id) {
+        Ok(i) => i,
+        Err(i) => i % entries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn pool(switches: usize, per_switch: usize) -> ServerPool {
+        ServerPool::uniform(switches, per_switch, u64::MAX)
+    }
+
+    #[test]
+    fn ring_size_counts_virtual_nodes() {
+        let p = pool(5, 2);
+        let plain = ChordNetwork::build(&p, ChordConfig::default());
+        assert_eq!(plain.ring_size(), 10);
+        let v4 = ChordNetwork::build(&p, ChordConfig { virtual_nodes: 4 });
+        assert_eq!(v4.ring_size(), 40);
+        assert_eq!(v4.config().virtual_nodes, 4);
+    }
+
+    #[test]
+    fn owner_is_successor() {
+        let p = pool(8, 2);
+        let chord = ChordNetwork::build(&p, ChordConfig::default());
+        for i in 0..64 {
+            let key = DataId::new(format!("key-{i}"));
+            let owner = chord.owner(&key);
+            // Verify by brute force: the owner must be the entry with the
+            // smallest clockwise distance from the key id.
+            let kid = ChordId::of_key(&key);
+            let best = chord
+                .entries
+                .iter()
+                .min_by_key(|e| e.id.0.wrapping_sub(kid.0))
+                .unwrap();
+            assert_eq!(owner, best.server, "key {i}");
+        }
+    }
+
+    #[test]
+    fn lookup_reaches_owner_from_every_switch() {
+        let p = pool(10, 3);
+        let chord = ChordNetwork::build(&p, ChordConfig::default());
+        for i in 0..20 {
+            let key = DataId::new(format!("k{i}"));
+            let owner = chord.owner(&key);
+            for s in 0..10 {
+                let path = chord.lookup_path(s, &key);
+                assert_eq!(*path.last().unwrap(), owner, "key {i} from switch {s}");
+                assert_eq!(path.first().unwrap().switch, s);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_logarithmic() {
+        let p = pool(50, 10); // 500 servers
+        let chord = ChordNetwork::build(&p, ChordConfig::default());
+        let mut max_hops = 0;
+        for i in 0..100 {
+            let key = DataId::new(format!("loghop-{i}"));
+            let hops = chord.lookup_overlay_hops(i % 50, &key);
+            max_hops = max_hops.max(hops);
+        }
+        // log2(500) ≈ 9; allow slack but far below ring size.
+        assert!(max_hops <= 16, "max overlay hops {max_hops}");
+        assert!(max_hops >= 2, "lookups should take multiple hops at n=500");
+    }
+
+    #[test]
+    fn lookup_from_owner_switch_terminates_at_owner() {
+        // A key owned by the access node itself is the worst case: Chord
+        // must travel (nearly) around the ring. The lookup still terminates
+        // at the owner within the ring-size bound.
+        let p = pool(4, 1);
+        let chord = ChordNetwork::build(&p, ChordConfig::default());
+        let key = DataId::new("x");
+        let owner = chord.owner(&key);
+        let path = chord.lookup_path(owner.switch, &key);
+        assert_eq!(*path.last().unwrap(), owner);
+        assert!(path.len() <= chord.ring_size() + 1);
+    }
+
+    #[test]
+    fn keys_partition_across_servers() {
+        let p = pool(10, 2);
+        let chord = ChordNetwork::build(&p, ChordConfig::default());
+        let mut loads: HashMap<ServerId, usize> = HashMap::new();
+        for i in 0..2000 {
+            *loads.entry(chord.owner(&DataId::new(format!("d{i}")))).or_default() += 1;
+        }
+        let total: usize = loads.values().sum();
+        assert_eq!(total, 2000);
+        // Plain Chord is imbalanced but every key has exactly one owner.
+        assert!(loads.len() > 1, "more than one server should own keys");
+    }
+
+    #[test]
+    fn virtual_nodes_improve_balance() {
+        let p = pool(20, 2); // 40 servers
+        let items = 20_000;
+        let max_avg = |vnodes: usize| {
+            let chord = ChordNetwork::build(&p, ChordConfig { virtual_nodes: vnodes });
+            let mut loads: HashMap<ServerId, usize> = HashMap::new();
+            for i in 0..items {
+                *loads.entry(chord.owner(&DataId::new(format!("vn{i}")))).or_default() += 1;
+            }
+            let max = *loads.values().max().unwrap() as f64;
+            max / (items as f64 / 40.0)
+        };
+        let plain = max_avg(1);
+        let v16 = max_avg(16);
+        assert!(
+            v16 < plain,
+            "16 virtual nodes should balance better: plain={plain:.2}, v16={v16:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual node")]
+    fn zero_virtual_nodes_panics() {
+        let _ = ChordNetwork::build(&pool(2, 1), ChordConfig { virtual_nodes: 0 });
+    }
+
+    #[test]
+    fn deterministic_ring() {
+        let p = pool(6, 2);
+        let a = ChordNetwork::build(&p, ChordConfig::default());
+        let b = ChordNetwork::build(&p, ChordConfig::default());
+        let key = DataId::new("same");
+        assert_eq!(a.owner(&key), b.owner(&key));
+        assert_eq!(a.lookup_path(3, &key), b.lookup_path(3, &key));
+    }
+}
+
+impl ChordNetwork {
+    /// The ring after server `server`'s virtual nodes join (Chord node
+    /// join, fully stabilized). Keys in the new nodes' arcs change owner;
+    /// everything else is untouched — the consistent-hashing guarantee
+    /// the churn experiments compare GRED against.
+    pub fn with_server_added(&self, server: ServerId) -> ChordNetwork {
+        let mut entries = self.entries.clone();
+        for v in 0..self.config.virtual_nodes {
+            entries.push(RingEntry {
+                id: ChordId::of_server(server.switch, server.index, v),
+                server,
+            });
+        }
+        ChordNetwork::from_entries(entries, self.config)
+    }
+
+    /// The ring after `server` leaves: its keys fall to their successors.
+    pub fn with_server_removed(&self, server: ServerId) -> ChordNetwork {
+        let entries: Vec<RingEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| e.server != server)
+            .collect();
+        ChordNetwork::from_entries(entries, self.config)
+    }
+
+    /// Rebuilds ring order and finger tables from an entry list.
+    fn from_entries(mut entries: Vec<RingEntry>, config: ChordConfig) -> ChordNetwork {
+        assert!(!entries.is_empty(), "chord ring needs at least one server");
+        entries.sort_by_key(|e| e.id);
+        entries.dedup_by_key(|e| e.id);
+        let n = entries.len();
+        let fingers = (0..n)
+            .map(|i| {
+                (0..M)
+                    .map(|k| successor_index(&entries, entries[i].id.finger_target(k)))
+                    .collect()
+            })
+            .collect();
+        ChordNetwork {
+            entries,
+            fingers,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod dynamics_tests {
+    use super::*;
+
+    fn pool(switches: usize, per_switch: usize) -> ServerPool {
+        ServerPool::uniform(switches, per_switch, u64::MAX)
+    }
+
+    #[test]
+    fn join_moves_only_the_arc() {
+        let base = ChordNetwork::build(&pool(10, 2), ChordConfig::default());
+        let newcomer = ServerId { switch: 10, index: 0 };
+        let grown = base.with_server_added(newcomer);
+        assert_eq!(grown.ring_size(), base.ring_size() + 1);
+
+        let keys = 4000;
+        let mut moved = 0;
+        for i in 0..keys {
+            let id = DataId::new(format!("arc/{i}"));
+            let before = base.owner(&id);
+            let after = grown.owner(&id);
+            if before != after {
+                assert_eq!(after, newcomer, "keys may only move to the newcomer");
+                moved += 1;
+            }
+        }
+        // One vnode among 21 entries: expected ~1/21 of keys.
+        assert!(moved > 0);
+        assert!(
+            (moved as f64) < keys as f64 * 0.25,
+            "join moved {moved} of {keys} keys"
+        );
+    }
+
+    #[test]
+    fn leave_hands_keys_to_successors() {
+        let base = ChordNetwork::build(&pool(8, 2), ChordConfig::default());
+        let victim = ServerId { switch: 3, index: 1 };
+        let shrunk = base.with_server_removed(victim);
+        assert_eq!(shrunk.ring_size(), base.ring_size() - 1);
+        for i in 0..2000 {
+            let id = DataId::new(format!("leave/{i}"));
+            let before = base.owner(&id);
+            let after = shrunk.owner(&id);
+            if before != victim {
+                assert_eq!(before, after, "only the victim's keys move");
+            } else {
+                assert_ne!(after, victim);
+            }
+        }
+        // Lookups still work from every switch.
+        let id = DataId::new("post-leave");
+        for s in 0..8 {
+            let path = shrunk.lookup_path(s, &id);
+            assert_eq!(*path.last().unwrap(), shrunk.owner(&id));
+        }
+    }
+
+    #[test]
+    fn join_then_leave_restores_ownership() {
+        let base = ChordNetwork::build(&pool(6, 2), ChordConfig::default());
+        let s = ServerId { switch: 6, index: 0 };
+        let round_trip = base.with_server_added(s).with_server_removed(s);
+        for i in 0..500 {
+            let id = DataId::new(format!("rt/{i}"));
+            assert_eq!(base.owner(&id), round_trip.owner(&id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn removing_the_last_server_panics() {
+        let base = ChordNetwork::build(&pool(1, 1), ChordConfig::default());
+        let _ = base.with_server_removed(ServerId { switch: 0, index: 0 });
+    }
+}

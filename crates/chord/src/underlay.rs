@@ -1,0 +1,105 @@
+//! Mapping Chord overlay paths onto the physical switch topology.
+//!
+//! Each overlay hop between two edge servers traverses the shortest
+//! physical path between their switches. The paper's Fig. 2 example: a
+//! lookup that is 2 overlay hops away can cost 11 physical hops while the
+//! direct shortest path is only 5 — a routing stretch of 2.2.
+
+use gred_net::{ServerId, Topology};
+
+/// Total physical hop count of an overlay path (a sequence of servers),
+/// routing each consecutive pair over the shortest switch-level path.
+///
+/// Returns `None` if any pair is physically unreachable.
+///
+/// ```
+/// use gred_chord::overlay_path_physical_hops;
+/// use gred_net::{ServerId, Topology};
+/// let topo = Topology::from_links(3, &[(0, 1), (1, 2)]).unwrap();
+/// let path = [
+///     ServerId { switch: 0, index: 0 },
+///     ServerId { switch: 2, index: 0 },
+/// ];
+/// assert_eq!(overlay_path_physical_hops(&topo, &path), Some(2));
+/// ```
+pub fn overlay_path_physical_hops(topo: &Topology, overlay_path: &[ServerId]) -> Option<u32> {
+    let mut total = 0u32;
+    for w in overlay_path.windows(2) {
+        let hops = topo.shortest_path(w[0].switch, w[1].switch)?.len() as u32 - 1;
+        total += hops;
+    }
+    Some(total)
+}
+
+/// Routing stretch of an overlay lookup: physical hops along the overlay
+/// path divided by the direct shortest-path hops from the access switch to
+/// the owner's switch. A same-switch lookup (direct distance 0) has
+/// stretch 1 by convention.
+///
+/// Returns `None` on unreachable pairs.
+pub fn underlay_stretch(topo: &Topology, overlay_path: &[ServerId]) -> Option<f64> {
+    let first = overlay_path.first()?;
+    let last = overlay_path.last()?;
+    let direct = topo.shortest_path(first.switch, last.switch)?.len() as u32 - 1;
+    let actual = overlay_path_physical_hops(topo, overlay_path)?;
+    if direct == 0 {
+        return Some(1.0);
+    }
+    Some(f64::from(actual) / f64::from(direct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_links(n, &links).unwrap()
+    }
+
+    fn sid(switch: usize) -> ServerId {
+        ServerId { switch, index: 0 }
+    }
+
+    #[test]
+    fn single_node_path_is_zero_hops() {
+        let t = line(3);
+        assert_eq!(overlay_path_physical_hops(&t, &[sid(1)]), Some(0));
+        assert_eq!(underlay_stretch(&t, &[sid(1)]), Some(1.0));
+    }
+
+    #[test]
+    fn detour_inflates_stretch() {
+        let t = line(5);
+        // Direct 0 -> 4 is 4 hops; via 2 overlay hops 0 -> 3 -> 4 it is
+        // 3 + 1 = 4 (no detour). Via 0 -> 4 -> 2 -> 4 it would backtrack.
+        let direct = [sid(0), sid(4)];
+        assert_eq!(overlay_path_physical_hops(&t, &direct), Some(4));
+        assert_eq!(underlay_stretch(&t, &direct), Some(1.0));
+
+        let backtrack = [sid(0), sid(3), sid(1), sid(4)];
+        // 3 + 2 + 3 = 8 physical hops over a 4-hop direct distance.
+        assert_eq!(overlay_path_physical_hops(&t, &backtrack), Some(8));
+        assert_eq!(underlay_stretch(&t, &backtrack), Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let t = Topology::new(3); // no links
+        assert_eq!(overlay_path_physical_hops(&t, &[sid(0), sid(2)]), None);
+        assert_eq!(underlay_stretch(&t, &[sid(0), sid(2)]), None);
+    }
+
+    #[test]
+    fn same_switch_lookup_has_unit_stretch() {
+        let t = line(4);
+        let path = [sid(2), sid(3), sid(2)];
+        assert_eq!(underlay_stretch(&t, &path), Some(1.0));
+    }
+
+    #[test]
+    fn empty_path_is_none() {
+        let t = line(2);
+        assert_eq!(underlay_stretch(&t, &[]), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! The controller's multi-hop DT over storage switches.
+//!
+//! Wraps the geometric [`Triangulation`] with the switch-id bookkeeping
+//! the rest of the system needs: members are arbitrary switch ids, DT
+//! vertices are member indices, and positions may differ from the raw
+//! embedding after C-regulation.
+
+use crate::error::GredError;
+use gred_geometry::{Point2, Triangulation};
+
+/// The DT of the storage switches in the virtual space.
+#[derive(Debug, Clone)]
+pub struct DtGraph {
+    members: Vec<usize>,
+    triangulation: Triangulation,
+}
+
+impl DtGraph {
+    /// Triangulates `positions` (parallel to `members`, which must be
+    /// sorted ascending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates triangulation failures (duplicate or invalid points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` and `positions` lengths differ or `members` is
+    /// not sorted.
+    pub fn build(members: Vec<usize>, positions: &[Point2]) -> Result<Self, GredError> {
+        assert_eq!(members.len(), positions.len(), "members/positions mismatch");
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted");
+        let triangulation = Triangulation::new(positions)?;
+        Ok(DtGraph {
+            members,
+            triangulation,
+        })
+    }
+
+    /// The member switch ids, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the graph has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `switch` is a DT member.
+    pub fn is_member(&self, switch: usize) -> bool {
+        self.members.binary_search(&switch).is_ok()
+    }
+
+    /// The member index of `switch`.
+    pub fn index_of(&self, switch: usize) -> Option<usize> {
+        self.members.binary_search(&switch).ok()
+    }
+
+    /// The (lattice-snapped) virtual position of `switch`.
+    pub fn position_of(&self, switch: usize) -> Option<Point2> {
+        self.index_of(switch)
+            .map(|i| self.triangulation.points()[i])
+    }
+
+    /// DT neighbors of `switch`, as switch ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is not a member.
+    pub fn neighbors_of(&self, switch: usize) -> Vec<usize> {
+        let i = self.index_of(switch).expect("switch is a DT member");
+        self.triangulation
+            .neighbors(i)
+            .map(|j| self.members[j])
+            .collect()
+    }
+
+    /// The member switch whose position is nearest `p` (ties broken by
+    /// coordinate rank — the paper's Voronoi-edge tie-break).
+    pub fn nearest_switch(&self, p: Point2) -> usize {
+        self.members[self.triangulation.nearest(p)]
+    }
+
+    /// Greedy route from member `from` toward `p`, as switch ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a member.
+    pub fn greedy_route(&self, from: usize, p: Point2) -> Vec<usize> {
+        let i = self.index_of(from).expect("switch is a DT member");
+        self.triangulation
+            .greedy_route(i, p)
+            .into_iter()
+            .map(|j| self.members[j])
+            .collect()
+    }
+
+    /// All DT edges as `(smaller switch id, larger switch id)`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.triangulation
+            .edges()
+            .into_iter()
+            .map(|(i, j)| {
+                let (a, b) = (self.members[i], self.members[j]);
+                (a.min(b), a.max(b))
+            })
+            .collect()
+    }
+
+    /// Access to the underlying triangulation (for diagnostics/tests).
+    pub fn triangulation(&self) -> &Triangulation {
+        &self.triangulation
+    }
+
+    /// Incremental join (paper Section VI): inserts `switch` at
+    /// `position` without moving any existing site. When the new switch
+    /// id is larger than every current member (always true for
+    /// freshly-added switches) the triangulation is updated in place via
+    /// [`Triangulation::with_inserted`]; otherwise the graph is rebuilt —
+    /// the resulting DT is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`GredError::InvalidDynamics`] when `switch` is already a member;
+    /// triangulation errors otherwise.
+    pub fn with_joined(&self, switch: usize, position: Point2) -> Result<DtGraph, GredError> {
+        if self.is_member(switch) {
+            return Err(GredError::InvalidDynamics {
+                reason: "switch is already a DT member",
+            });
+        }
+        if self.members.last().is_some_and(|&m| switch > m) {
+            let triangulation = self.triangulation.with_inserted(position)?;
+            let mut members = self.members.clone();
+            members.push(switch);
+            return Ok(DtGraph {
+                members,
+                triangulation,
+            });
+        }
+        let change = crate::control::dynamics::join_membership(self, switch, position)?;
+        DtGraph::build(change.members, &change.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_dt() -> DtGraph {
+        // Members 2, 5, 7, 9 at the unit-square corners.
+        DtGraph::build(
+            vec![2, 5, 7, 9],
+            &[
+                Point2::new(0.1, 0.1),
+                Point2::new(0.9, 0.1),
+                Point2::new(0.1, 0.9),
+                Point2::new(0.9, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn membership_and_positions() {
+        let dt = square_dt();
+        assert_eq!(dt.len(), 4);
+        assert!(!dt.is_empty());
+        assert!(dt.is_member(5));
+        assert!(!dt.is_member(3));
+        assert_eq!(dt.index_of(7), Some(2));
+        let p = dt.position_of(9).unwrap();
+        assert!((p.x - 0.9).abs() < 1e-6 && (p.y - 0.9).abs() < 1e-6);
+        assert_eq!(dt.position_of(4), None);
+    }
+
+    #[test]
+    fn neighbors_map_to_switch_ids() {
+        let dt = square_dt();
+        let ns = dt.neighbors_of(2);
+        // Corner is adjacent to at least the two adjacent corners.
+        assert!(ns.contains(&5) && ns.contains(&7));
+        for n in ns {
+            assert!(dt.is_member(n));
+        }
+    }
+
+    #[test]
+    fn nearest_and_greedy_use_switch_ids() {
+        let dt = square_dt();
+        assert_eq!(dt.nearest_switch(Point2::new(0.85, 0.88)), 9);
+        let route = dt.greedy_route(2, Point2::new(0.9, 0.9));
+        assert_eq!(*route.first().unwrap(), 2);
+        assert_eq!(*route.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn edges_are_switch_id_pairs() {
+        let dt = square_dt();
+        for (a, b) in dt.edges() {
+            assert!(a < b);
+            assert!(dt.is_member(a) && dt.is_member(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_members_panic() {
+        let _ = DtGraph::build(
+            vec![3, 1],
+            &[Point2::new(0.1, 0.1), Point2::new(0.9, 0.9)],
+        );
+    }
+}
+
+#[cfg(test)]
+mod join_tests {
+    use super::*;
+
+    #[test]
+    fn incremental_join_adds_member_without_moving_others() {
+        let dt = DtGraph::build(
+            vec![1, 4, 6],
+            &[
+                Point2::new(0.2, 0.2),
+                Point2::new(0.8, 0.2),
+                Point2::new(0.5, 0.8),
+            ],
+        )
+        .unwrap();
+        let joined = dt.with_joined(9, Point2::new(0.5, 0.4)).unwrap();
+        assert_eq!(joined.members(), &[1, 4, 6, 9]);
+        for &m in dt.members() {
+            assert_eq!(joined.position_of(m), dt.position_of(m), "member {m} moved");
+        }
+        assert!(joined.triangulation().delaunay_violation().is_none());
+        // The newcomer is interior to the triangle: it neighbors everyone.
+        assert_eq!(joined.neighbors_of(9).len(), 3);
+    }
+
+    #[test]
+    fn join_with_smaller_id_rebuilds() {
+        let dt = DtGraph::build(
+            vec![4, 6, 8],
+            &[
+                Point2::new(0.2, 0.2),
+                Point2::new(0.8, 0.2),
+                Point2::new(0.5, 0.8),
+            ],
+        )
+        .unwrap();
+        let joined = dt.with_joined(2, Point2::new(0.5, 0.4)).unwrap();
+        assert_eq!(joined.members(), &[2, 4, 6, 8]);
+        assert!(joined.is_member(2));
+    }
+
+    #[test]
+    fn join_existing_member_rejected() {
+        let dt = DtGraph::build(
+            vec![1, 4],
+            &[Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+        )
+        .unwrap();
+        assert!(matches!(
+            dt.with_joined(4, Point2::new(0.5, 0.6)),
+            Err(GredError::InvalidDynamics { .. })
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! The M-position algorithm (paper Section IV-A): greedy network
+//! embedding of the switch topology into the virtual 2D space.
+//!
+//! The controller computes the all-pairs shortest-path (hop) matrix `L`
+//! over the storage switches, double-centers its square
+//! (`B = -1/2 J L⁽²⁾ J`), takes the top-2 eigenpairs and reads coordinates
+//! off `Q = E₂ Λ₂^{1/2}` — classical MDS. The embedded Euclidean distance
+//! between two switches is then (approximately) proportional to their
+//! network distance, which is what keeps greedy routing's stretch low.
+//!
+//! The raw MDS coordinates are centered at the origin with hop-scale
+//! units; we map them into the unit square with one uniform scale factor
+//! (preserving distance ratios) and record that factor so later joins can
+//! be embedded consistently.
+
+use crate::error::GredError;
+use gred_geometry::Point2;
+use gred_linalg::{classical_mds, Matrix};
+use gred_net::Topology;
+
+/// Margin kept between embedded points and the unit-square border, so CVT
+/// refinement has room to move sites outward.
+const BORDER_MARGIN: f64 = 0.05;
+
+/// Minimum separation enforced between embedded switch positions.
+/// Symmetric topologies (e.g. two leaves on one hub) produce identical
+/// distance rows, hence identical MDS coordinates; the DT requires
+/// distinct points.
+const MIN_SEPARATION: f64 = 1e-4;
+
+/// The result of the M-position algorithm.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Switch ids that participate (storage switches), ascending.
+    pub members: Vec<usize>,
+    /// Virtual position of each member (parallel to `members`), inside
+    /// the unit square.
+    pub positions: Vec<Point2>,
+    /// Virtual-space distance corresponding to one physical hop (the
+    /// uniform normalization factor). Used to embed late joiners.
+    pub scale: f64,
+}
+
+impl Embedding {
+    /// Position of a switch, if it is a member.
+    pub fn position_of(&self, switch: usize) -> Option<Point2> {
+        self.members
+            .binary_search(&switch)
+            .ok()
+            .map(|i| self.positions[i])
+    }
+}
+
+/// Runs M-position for the storage switches `members` of `topo`.
+///
+/// # Errors
+///
+/// - [`GredError::NoStorageSwitches`] when `members` is empty,
+/// - [`GredError::Disconnected`] when some member cannot reach another,
+/// - [`GredError::Embedding`] when MDS fails.
+pub fn m_position(topo: &Topology, members: &[usize]) -> Result<Embedding, GredError> {
+    if members.is_empty() {
+        return Err(GredError::NoStorageSwitches);
+    }
+    let n = members.len();
+
+    // Trivial configurations that MDS cannot (or need not) handle.
+    if n == 1 {
+        return Ok(Embedding {
+            members: members.to_vec(),
+            positions: vec![Point2::new(0.5, 0.5)],
+            scale: 1.0,
+        });
+    }
+
+    // Hop distances between members, routed over the full topology
+    // (transit switches shorten paths but are not embedded).
+    let mut l = Matrix::zeros(n, n);
+    for (i, &a) in members.iter().enumerate() {
+        let hops = topo.bfs_hops(a);
+        for (j, &b) in members.iter().enumerate() {
+            let h = hops[b];
+            if h == u32::MAX {
+                return Err(GredError::Disconnected);
+            }
+            l[(i, j)] = f64::from(h);
+        }
+    }
+
+    if n == 2 {
+        // A two-member network embeds on a horizontal segment.
+        return Ok(Embedding {
+            members: members.to_vec(),
+            positions: vec![Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+            scale: 0.5 / l[(0, 1)].max(1.0),
+        });
+    }
+
+    let coords = classical_mds(&l, 2)?;
+
+    // Uniform normalization into the unit square (preserves ratios).
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for c in &coords {
+        min_x = min_x.min(c[0]);
+        max_x = max_x.max(c[0]);
+        min_y = min_y.min(c[1]);
+        max_y = max_y.max(c[1]);
+    }
+    let extent = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let scale = (1.0 - 2.0 * BORDER_MARGIN) / extent;
+    let offset_x = BORDER_MARGIN + (1.0 - 2.0 * BORDER_MARGIN - (max_x - min_x) * scale) / 2.0;
+    let offset_y = BORDER_MARGIN + (1.0 - 2.0 * BORDER_MARGIN - (max_y - min_y) * scale) / 2.0;
+
+    let mut positions: Vec<Point2> = coords
+        .iter()
+        .map(|c| {
+            Point2::new(
+                (c[0] - min_x) * scale + offset_x,
+                (c[1] - min_y) * scale + offset_y,
+            )
+        })
+        .collect();
+    separate_duplicates(&mut positions);
+
+    Ok(Embedding {
+        members: members.to_vec(),
+        positions,
+        scale,
+    })
+}
+
+/// Spreads coincident (or near-coincident) points apart deterministically
+/// on tiny circles so the Delaunay construction sees distinct sites.
+pub(crate) fn separate_duplicates(positions: &mut [Point2]) {
+    const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+    for round in 0..16 {
+        let mut any = false;
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].distance(positions[j]) < MIN_SEPARATION {
+                    let angle = GOLDEN_ANGLE * (j as f64 + 1.0) + round as f64;
+                    let r = MIN_SEPARATION * (1.0 + round as f64);
+                    positions[j] = Point2::new(
+                        (positions[j].x + r * angle.cos()).clamp(0.001, 0.999),
+                        (positions[j].y + r * angle.sin()).clamp(0.001, 0.999),
+                    );
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return;
+        }
+    }
+}
+
+/// Embeds a late-joining switch against an existing embedding: starts at
+/// the centroid of its already-embedded physical neighbors and runs a few
+/// gradient steps minimizing `Σ_j (‖p − q_j‖ − scale · h_j)²` over all
+/// members, where `h_j` is the hop distance. This is the local equivalent
+/// of re-running M-position without moving anyone else (paper Section VI:
+/// "the new edge node has no effect on the other edge nodes").
+pub fn embed_new_switch(
+    topo: &Topology,
+    embedding: &Embedding,
+    new_switch: usize,
+) -> Result<Point2, GredError> {
+    let hops = topo.bfs_hops(new_switch);
+    let mut known: Vec<(Point2, f64)> = Vec::new();
+    for (i, &m) in embedding.members.iter().enumerate() {
+        let h = hops[m];
+        if h == u32::MAX {
+            return Err(GredError::Disconnected);
+        }
+        known.push((embedding.positions[i], f64::from(h) * embedding.scale));
+    }
+    if known.is_empty() {
+        return Ok(Point2::new(0.5, 0.5));
+    }
+
+    // Initialize at the centroid of the nearest members (by hops).
+    let min_h = known
+        .iter()
+        .map(|&(_, d)| d)
+        .fold(f64::INFINITY, f64::min);
+    let near: Vec<Point2> = known
+        .iter()
+        .filter(|&&(_, d)| d <= min_h + embedding.scale)
+        .map(|&(p, _)| p)
+        .collect();
+    let mut p = near
+        .iter()
+        .fold(Point2::ORIGIN, |acc, &q| acc + q)
+        * (1.0 / near.len() as f64);
+
+    // Gradient descent on the stress function.
+    let mut step = 0.2;
+    for _ in 0..200 {
+        let mut grad = Point2::ORIGIN;
+        for &(q, want) in &known {
+            let d = p.distance(q).max(1e-9);
+            let coeff = 2.0 * (d - want) / d;
+            grad = grad + (p - q) * coeff;
+        }
+        let next = Point2::new(
+            (p.x - step * grad.x / known.len() as f64).clamp(0.001, 0.999),
+            (p.y - step * grad.y / known.len() as f64).clamp(0.001, 0.999),
+        );
+        if p.distance(next) < 1e-9 {
+            break;
+        }
+        p = next;
+        step *= 0.98;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_net::{waxman_topology, WaxmanConfig};
+
+    fn line(n: usize) -> Topology {
+        Topology::from_links(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn empty_members_error() {
+        let t = line(3);
+        assert_eq!(m_position(&t, &[]).unwrap_err(), GredError::NoStorageSwitches);
+    }
+
+    #[test]
+    fn single_member_center() {
+        let t = line(3);
+        let e = m_position(&t, &[1]).unwrap();
+        assert_eq!(e.positions, vec![Point2::new(0.5, 0.5)]);
+        assert_eq!(e.position_of(1), Some(Point2::new(0.5, 0.5)));
+        assert_eq!(e.position_of(0), None);
+    }
+
+    #[test]
+    fn two_members_horizontal() {
+        let t = line(4);
+        let e = m_position(&t, &[0, 3]).unwrap();
+        assert_eq!(e.positions.len(), 2);
+        let d = e.positions[0].distance(e.positions[1]);
+        assert!((d - 0.5).abs() < 1e-9);
+        assert!((e.scale - 0.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_errors() {
+        let t = Topology::new(3);
+        assert_eq!(m_position(&t, &[0, 1, 2]).unwrap_err(), GredError::Disconnected);
+    }
+
+    #[test]
+    fn line_graph_embeds_on_a_line() {
+        let t = line(6);
+        let members: Vec<usize> = (0..6).collect();
+        let e = m_position(&t, &members).unwrap();
+        // Hop distance ratios should be preserved: d(0,5) = 5 * d(i,i+1).
+        let unit = e.positions[0].distance(e.positions[1]);
+        let total = e.positions[0].distance(e.positions[5]);
+        assert!(
+            (total - 5.0 * unit).abs() < 0.05 * total,
+            "unit={unit}, total={total}"
+        );
+        // All inside the unit square.
+        for p in &e.positions {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn embedding_distance_correlates_with_hops() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(40, 5));
+        let members: Vec<usize> = (0..40).collect();
+        let e = m_position(&t, &members).unwrap();
+        let m = t.shortest_path_matrix();
+        // Pearson correlation between hop distance and embedded distance
+        // should be strongly positive.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                xs.push(f64::from(m[i][j]));
+                ys.push(e.positions[i].distance(e.positions[j]));
+            }
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r > 0.65, "correlation too weak: {r}");
+    }
+
+    #[test]
+    fn symmetric_leaves_get_separated() {
+        // Star: hub 0, leaves 1..=4 all have identical distance rows.
+        let t = Topology::from_links(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let e = m_position(&t, &[0, 1, 2, 3, 4]).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert!(
+                    e.positions[i].distance(e.positions[j]) >= 1e-5,
+                    "positions {i} and {j} coincide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transit_switches_are_skipped_but_route() {
+        // Members 0 and 2 connected only through transit switch 1.
+        let t = line(3);
+        let e = m_position(&t, &[0, 2]).unwrap();
+        assert_eq!(e.members, vec![0, 2]);
+        // Distance covers 2 physical hops.
+        assert!((e.positions[0].distance(e.positions[1]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_switch_embeds_near_its_neighbors() {
+        let t = line(6);
+        let members: Vec<usize> = (0..5).collect(); // 5 not yet a member
+        let e = m_position(&t, &members).unwrap();
+        let p = embed_new_switch(&t, &e, 5).unwrap();
+        // Switch 5 hangs off switch 4, so its position should be closest
+        // to switch 4's.
+        let d4 = p.distance(e.positions[4]);
+        for i in 0..4 {
+            assert!(
+                d4 <= p.distance(e.positions[i]) + 1e-9,
+                "new switch should sit nearest member 4"
+            );
+        }
+    }
+
+    #[test]
+    fn separate_duplicates_is_idempotent_on_distinct_points() {
+        let mut pts = vec![Point2::new(0.2, 0.2), Point2::new(0.8, 0.8)];
+        let before = pts.clone();
+        separate_duplicates(&mut pts);
+        assert_eq!(pts, before);
+    }
+}
+
+/// Normalized stress of an embedding: how faithfully the virtual
+/// distances reproduce the (scaled) hop distances,
+/// `sqrt( Σ (d_ij − s·h_ij)² / Σ (s·h_ij)² )` over member pairs, with
+/// `s` the embedding's hop-to-virtual scale. 0 is a perfect embedding;
+/// values around 0.2–0.4 are typical for 2-D MDS of hop metrics.
+///
+/// # Panics
+///
+/// Panics if some member pair is unreachable (callers validate
+/// connectivity at build time).
+pub fn embedding_stress(topo: &Topology, embedding: &Embedding) -> f64 {
+    let n = embedding.members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &a) in embedding.members.iter().enumerate() {
+        let hops = topo.bfs_hops(a);
+        for (j, &b) in embedding.members.iter().enumerate().skip(i + 1) {
+            let h = hops[b];
+            assert!(h != u32::MAX, "members must be mutually reachable");
+            let want = f64::from(h) * embedding.scale;
+            let got = embedding.positions[i].distance(embedding.positions[j]);
+            num += (got - want) * (got - want);
+            den += want * want;
+        }
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use gred_net::{waxman_topology, WaxmanConfig};
+
+    #[test]
+    fn perfect_line_has_low_stress() {
+        let t = Topology::from_links(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let members: Vec<usize> = (0..5).collect();
+        let e = m_position(&t, &members).unwrap();
+        let s = embedding_stress(&t, &e);
+        assert!(s < 0.05, "a path graph embeds almost exactly: stress {s:.3}");
+    }
+
+    #[test]
+    fn waxman_stress_is_moderate() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(50, 8));
+        let members: Vec<usize> = (0..50).collect();
+        let e = m_position(&t, &members).unwrap();
+        let s = embedding_stress(&t, &e);
+        assert!(s > 0.0 && s < 0.6, "stress out of expected band: {s:.3}");
+    }
+
+    #[test]
+    fn single_member_zero_stress() {
+        let t = Topology::new(1);
+        let e = m_position(&t, &[0]).unwrap();
+        assert_eq!(embedding_stress(&t, &e), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The crate's error type.
+
+use gred_geometry::DelaunayError;
+use gred_linalg::MdsError;
+use gred_net::{ServerId, TopologyError};
+
+/// Errors returned by GRED operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GredError {
+    /// The topology and server pool disagree on the number of switches.
+    SwitchCountMismatch {
+        /// Switches in the topology.
+        topology: usize,
+        /// Switches covered by the server pool.
+        pool: usize,
+    },
+    /// No switch has any edge server, so no DT can be formed.
+    NoStorageSwitches,
+    /// The physical topology is disconnected; greedy forwarding cannot
+    /// reach every switch.
+    Disconnected,
+    /// The network embedding failed.
+    Embedding(MdsError),
+    /// Triangulating the switch positions failed.
+    Delaunay(DelaunayError),
+    /// A topology manipulation failed.
+    Topology(TopologyError),
+    /// The access switch does not exist.
+    UnknownSwitch {
+        /// The offending switch index.
+        switch: usize,
+    },
+    /// The requested data item is not stored anywhere reachable.
+    NotFound,
+    /// A server referenced by the caller does not exist.
+    UnknownServer {
+        /// The offending server.
+        server: ServerId,
+    },
+    /// Range extension was requested but no physical-neighbor switch has a
+    /// server to take the load.
+    NoExtensionCandidate {
+        /// The overloaded server.
+        server: ServerId,
+    },
+    /// The server already has an active range extension.
+    AlreadyExtended {
+        /// The extended server.
+        server: ServerId,
+    },
+    /// A join targeted a switch index that already participates, or a
+    /// leave targeted one that does not.
+    InvalidDynamics {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The chosen server (and its extension, if any) is at capacity.
+    CapacityExceeded {
+        /// The full server.
+        server: ServerId,
+    },
+    /// A packet traversing a virtual link found no relay entry — the
+    /// controller's installed state is inconsistent (should not happen).
+    RelayEntryMissing {
+        /// The relay switch missing the entry.
+        at: usize,
+        /// The virtual link's destination switch.
+        dest: usize,
+    },
+}
+
+impl std::fmt::Display for GredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GredError::SwitchCountMismatch { topology, pool } => write!(
+                f,
+                "topology has {topology} switches but the server pool covers {pool}"
+            ),
+            GredError::NoStorageSwitches => {
+                write!(f, "no switch has an edge server; nothing can store data")
+            }
+            GredError::Disconnected => write!(f, "the physical topology is disconnected"),
+            GredError::Embedding(e) => write!(f, "network embedding failed: {e}"),
+            GredError::Delaunay(e) => write!(f, "triangulation failed: {e}"),
+            GredError::Topology(e) => write!(f, "topology error: {e}"),
+            GredError::UnknownSwitch { switch } => write!(f, "switch {switch} does not exist"),
+            GredError::NotFound => write!(f, "data item not found"),
+            GredError::UnknownServer { server } => write!(f, "server {server} does not exist"),
+            GredError::NoExtensionCandidate { server } => {
+                write!(f, "no neighbor switch can take over load from {server}")
+            }
+            GredError::AlreadyExtended { server } => {
+                write!(f, "server {server} already has an active range extension")
+            }
+            GredError::InvalidDynamics { reason } => write!(f, "invalid join/leave: {reason}"),
+            GredError::CapacityExceeded { server } => {
+                write!(f, "server {server} (and any extension) is at capacity")
+            }
+            GredError::RelayEntryMissing { at, dest } => {
+                write!(f, "switch {at} has no relay entry toward {dest}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GredError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GredError::Embedding(e) => Some(e),
+            GredError::Delaunay(e) => Some(e),
+            GredError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MdsError> for GredError {
+    fn from(e: MdsError) -> Self {
+        GredError::Embedding(e)
+    }
+}
+
+impl From<DelaunayError> for GredError {
+    fn from(e: DelaunayError) -> Self {
+        GredError::Delaunay(e)
+    }
+}
+
+impl From<TopologyError> for GredError {
+    fn from(e: TopologyError) -> Self {
+        GredError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GredError::SwitchCountMismatch { topology: 5, pool: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        assert!(GredError::NotFound.to_string().contains("not found"));
+        let s = ServerId { switch: 1, index: 2 };
+        assert!(GredError::NoExtensionCandidate { server: s }.to_string().contains("s1/h2"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: GredError = MdsError::ZeroDimensions.into();
+        assert!(e.source().is_some());
+        let e: GredError = DelaunayError::Empty.into();
+        assert!(matches!(e, GredError::Delaunay(DelaunayError::Empty)));
+        let e: GredError = TopologyError::SelfLoop { switch: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(GredError::NotFound.source().is_none());
+    }
+}

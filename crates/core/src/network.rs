@@ -1,0 +1,696 @@
+//! [`GredNetwork`]: the assembled system — topology, controller state,
+//! per-switch data planes, and the edge servers' stores.
+
+use crate::config::GredConfig;
+use crate::control::dynamics::leave_membership;
+use crate::control::embedding::{embed_new_switch, m_position};
+use crate::control::installer::install_dataplanes;
+use crate::control::regulation::refine_positions;
+use crate::control::DtGraph;
+use crate::error::GredError;
+use crate::store::DataStore;
+use gred_dataplane::{SwitchDataplane, TableStats};
+use gred_geometry::Point2;
+use gred_hash::DataId;
+use gred_net::{ServerId, ServerPool, Topology};
+use std::collections::HashMap;
+
+/// A complete GRED deployment over one edge network.
+///
+/// Constructed by [`GredNetwork::build`], which runs the paper's whole
+/// control-plane pipeline: M-position embedding → C-regulation refinement
+/// → multi-hop DT → forwarding-entry installation. Thereafter the
+/// placement/retrieval methods (in [`crate::plane`]) execute purely
+/// against the installed data-plane state, exactly as the switches would.
+#[derive(Debug, Clone)]
+pub struct GredNetwork {
+    topology: Topology,
+    pool: ServerPool,
+    config: GredConfig,
+    dt: DtGraph,
+    dataplanes: Vec<SwitchDataplane>,
+    store: DataStore,
+    /// Active range extensions (controller's mirror of the switch
+    /// entries): original server → takeover server.
+    extensions: HashMap<ServerId, ServerId>,
+    /// Virtual-distance-per-hop factor recorded by the embedding.
+    scale: f64,
+}
+
+impl GredNetwork {
+    /// Runs the full control-plane pipeline and returns a ready network.
+    ///
+    /// Switches with servers become DT members; switches without servers
+    /// participate only as relays.
+    ///
+    /// # Errors
+    ///
+    /// - [`GredError::SwitchCountMismatch`] when `topology` and `pool`
+    ///   disagree,
+    /// - [`GredError::NoStorageSwitches`] when no switch has a server,
+    /// - [`GredError::Disconnected`] when members cannot all reach each
+    ///   other,
+    /// - embedding/triangulation failures.
+    pub fn build(
+        topology: Topology,
+        pool: ServerPool,
+        config: GredConfig,
+    ) -> Result<Self, GredError> {
+        if topology.switch_count() != pool.switch_count() {
+            return Err(GredError::SwitchCountMismatch {
+                topology: topology.switch_count(),
+                pool: pool.switch_count(),
+            });
+        }
+        let members: Vec<usize> = (0..topology.switch_count())
+            .filter(|&s| pool.servers_at(s) > 0)
+            .collect();
+        let embedding = m_position(&topology, &members)?;
+        let refined = refine_positions(&embedding.positions, &config.regulation, config.seed);
+        let dt = DtGraph::build(members, &refined)?;
+        let dataplanes = install_dataplanes(&topology, &pool, &dt)?;
+        Ok(GredNetwork {
+            topology,
+            pool,
+            config,
+            dt,
+            dataplanes,
+            store: DataStore::new(),
+            extensions: HashMap::new(),
+            scale: embedding.scale,
+        })
+    }
+
+    /// Builds a network from caller-supplied virtual positions instead of
+    /// running M-position — an ablation hook for studying embedding
+    /// quality (e.g. feeding in the topology generator's true plane
+    /// coordinates as an oracle). C-regulation still runs per `config`.
+    ///
+    /// `positions[i]` is the position of the `i`-th *storage* switch in
+    /// ascending switch order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GredNetwork::build`], plus
+    /// [`GredError::SwitchCountMismatch`] when the position count differs
+    /// from the number of storage switches.
+    pub fn build_with_positions(
+        topology: Topology,
+        pool: ServerPool,
+        positions: &[Point2],
+        config: GredConfig,
+    ) -> Result<Self, GredError> {
+        if topology.switch_count() != pool.switch_count() {
+            return Err(GredError::SwitchCountMismatch {
+                topology: topology.switch_count(),
+                pool: pool.switch_count(),
+            });
+        }
+        let members: Vec<usize> = (0..topology.switch_count())
+            .filter(|&s| pool.servers_at(s) > 0)
+            .collect();
+        if members.is_empty() {
+            return Err(GredError::NoStorageSwitches);
+        }
+        if members.len() != positions.len() {
+            return Err(GredError::SwitchCountMismatch {
+                topology: members.len(),
+                pool: positions.len(),
+            });
+        }
+        let mut given = positions.to_vec();
+        crate::control::embedding::separate_duplicates(&mut given);
+        let refined = refine_positions(&given, &config.regulation, config.seed);
+        let dt = DtGraph::build(members, &refined)?;
+        let dataplanes = install_dataplanes(&topology, &pool, &dt)?;
+        Ok(GredNetwork {
+            topology,
+            pool,
+            config,
+            dt,
+            dataplanes,
+            store: DataStore::new(),
+            extensions: HashMap::new(),
+            scale: 1.0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The physical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The edge-server pool.
+    pub fn pool(&self) -> &ServerPool {
+        &self.pool
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GredConfig {
+        &self.config
+    }
+
+    /// The controller's DT over storage switches.
+    pub fn dt(&self) -> &DtGraph {
+        &self.dt
+    }
+
+    /// Per-switch data planes (index = switch id).
+    pub fn dataplanes(&self) -> &[SwitchDataplane] {
+        &self.dataplanes
+    }
+
+    pub(crate) fn dataplanes_mut(&mut self) -> &mut [SwitchDataplane] {
+        &mut self.dataplanes
+    }
+
+    /// The stored data across all edge servers.
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut DataStore {
+        &mut self.store
+    }
+
+    /// DT member switch ids (storage switches), ascending.
+    pub fn members(&self) -> &[usize] {
+        self.dt.members()
+    }
+
+    /// Whether `switch` is a storage (DT member) switch.
+    pub fn is_member(&self, switch: usize) -> bool {
+        self.dt.is_member(switch)
+    }
+
+    /// The virtual position of a member switch.
+    pub fn position_of_switch(&self, switch: usize) -> Option<Point2> {
+        self.dt.position_of(switch)
+    }
+
+    /// The virtual position a data identifier hashes to.
+    pub fn position_of_id(&self, id: &DataId) -> Point2 {
+        let (x, y) = gred_hash::virtual_position(id);
+        Point2::new(x, y)
+    }
+
+    /// The server responsible for `id` with *no* routing: nearest member
+    /// switch in the virtual space, then `H(d) mod s`. Greedy forwarding
+    /// from any access switch provably reaches this same server.
+    pub fn responsible_server(&self, id: &DataId) -> ServerId {
+        let switch = self.dt.nearest_switch(self.position_of_id(id));
+        let index = gred_hash::select_server(id, self.pool.servers_at(switch));
+        ServerId { switch, index }
+    }
+
+    /// Whether `server` exists in the pool.
+    pub fn server_exists(&self, server: ServerId) -> bool {
+        server.switch < self.pool.switch_count()
+            && server.index < self.pool.servers_at(server.switch)
+    }
+
+    /// Items currently stored on `server`.
+    pub fn server_load(&self, server: ServerId) -> u64 {
+        self.store.load(server)
+    }
+
+    /// Storage capacity of `server`.
+    pub fn server_capacity(&self, server: ServerId) -> u64 {
+        self.pool.capacity(server)
+    }
+
+    /// Load of every server in the pool, including empty ones — the
+    /// denominator population of the paper's `max/avg` metric.
+    pub fn server_loads(&self) -> Vec<(ServerId, u64)> {
+        self.pool
+            .iter_ids()
+            .map(|id| (id, self.store.load(id)))
+            .collect()
+    }
+
+    /// Expires (deletes) the item stored under `id` on `server`, modeling
+    /// the paper's "some data could be invalid or migrated to the Cloud".
+    /// Returns the payload if it was present.
+    pub fn expire(&mut self, server: ServerId, id: &DataId) -> Option<bytes::Bytes> {
+        self.store.remove(server, id)
+    }
+
+    /// The takeover server currently extending `original`, if any.
+    pub fn extension_of(&self, original: ServerId) -> Option<ServerId> {
+        self.extensions.get(&original).copied()
+    }
+
+    pub(crate) fn record_extension(&mut self, original: ServerId, takeover: ServerId) {
+        self.extensions.insert(original, takeover);
+    }
+
+    pub(crate) fn clear_extension(&mut self, original: ServerId) {
+        self.extensions.remove(&original);
+    }
+
+    /// Forwarding-table statistics across all switches (Fig. 9(d)).
+    pub fn table_stats(&self) -> TableStats {
+        TableStats::collect(self.dataplanes.iter())
+    }
+
+    // ------------------------------------------------------------------
+    // Network dynamics (paper Section VI).
+    // ------------------------------------------------------------------
+
+    /// Adds a new edge node: a switch linked to `links`, carrying servers
+    /// with the given `capacities`. Existing switch positions are kept
+    /// fixed; the new switch is embedded locally, the DT updated, entries
+    /// reinstalled, and data whose owner changed migrates to the new
+    /// switch. Returns the new switch id.
+    ///
+    /// # Errors
+    ///
+    /// - [`GredError::Topology`] for invalid links,
+    /// - [`GredError::InvalidDynamics`] when `capacities` is empty (use a
+    ///   plain topology edit for transit switches) or `links` is empty.
+    pub fn add_switch(
+        &mut self,
+        links: &[usize],
+        capacities: Vec<u64>,
+    ) -> Result<usize, GredError> {
+        if capacities.is_empty() {
+            return Err(GredError::InvalidDynamics {
+                reason: "a joining edge node needs at least one server",
+            });
+        }
+        if links.is_empty() {
+            return Err(GredError::InvalidDynamics {
+                reason: "a joining switch needs at least one link",
+            });
+        }
+        // Extend the physical plane.
+        let new_switch = self.topology.switch_count();
+        let mut topo = self.topology.clone();
+        // Grow the adjacency by rebuilding with one more switch.
+        let mut grown = Topology::new(new_switch + 1);
+        for (a, b) in topo.links() {
+            grown.add_link(a, b)?;
+        }
+        for &l in links {
+            grown.add_link(new_switch, l)?;
+        }
+        topo = grown;
+
+        // Embed the newcomer against the fixed existing positions.
+        let embedding_view = crate::control::Embedding {
+            members: self.dt.members().to_vec(),
+            positions: self
+                .dt
+                .members()
+                .iter()
+                .map(|&m| self.dt.position_of(m).expect("member has position"))
+                .collect(),
+            scale: self.scale,
+        };
+        let mut position = embed_new_switch(&topo, &embedding_view, new_switch)?;
+        // Nudge until distinct from every existing position.
+        let mut all = embedding_view.positions.clone();
+        all.push(position);
+        crate::control::embedding::separate_duplicates(&mut all);
+        position = *all.last().expect("nonempty");
+
+        let dt = self.dt.with_joined(new_switch, position)?;
+
+        self.pool.push_switch(capacities);
+        let dataplanes = install_dataplanes(&topo, &self.pool, &dt)?;
+
+        self.topology = topo;
+        self.dt = dt;
+        self.dataplanes = dataplanes;
+        self.reinstall_extensions();
+        self.migrate_all();
+        Ok(new_switch)
+    }
+
+    /// Removes an edge node: switch `switch` loses its servers and links;
+    /// its data migrates to the remaining nearest switches.
+    ///
+    /// # Errors
+    ///
+    /// - [`GredError::InvalidDynamics`] when the switch is not a member or
+    ///   is the last one,
+    /// - [`GredError::Disconnected`] when removing it would disconnect the
+    ///   remaining members.
+    pub fn remove_switch(&mut self, switch: usize) -> Result<(), GredError> {
+        let change = leave_membership(&self.dt, switch)?;
+
+        // Check the remaining members stay mutually reachable without it.
+        let mut topo = self.topology.clone();
+        topo.isolate(switch);
+        let probe = change.members[0];
+        let hops = topo.bfs_hops(probe);
+        if change.members.iter().any(|&m| hops[m] == u32::MAX) {
+            return Err(GredError::Disconnected);
+        }
+
+        // Retract extensions touching the leaving switch.
+        let touching: Vec<ServerId> = self
+            .extensions
+            .iter()
+            .filter(|(o, t)| o.switch == switch || t.switch == switch)
+            .map(|(&o, _)| o)
+            .collect();
+        for original in touching {
+            // Items come home (or to wherever they belong) before the
+            // switch disappears.
+            let _ = self.retract_range(original);
+        }
+
+        // Take the leaving switch's data with us.
+        let orphans = self.store.drain_switch(switch);
+
+        let dt = DtGraph::build(change.members, &change.positions)?;
+        let mut pool = self.pool.clone();
+        pool.clear_switch(switch);
+        let dataplanes = install_dataplanes(&topo, &pool, &dt)?;
+
+        self.topology = topo;
+        self.pool = pool;
+        self.dt = dt;
+        self.dataplanes = dataplanes;
+        self.reinstall_extensions();
+
+        for (id, payload) in orphans {
+            let owner = self.responsible_server(&id);
+            let target = self.extension_of(owner).unwrap_or(owner);
+            self.store.insert(target, id, payload);
+        }
+        self.migrate_all();
+        Ok(())
+    }
+
+    /// An edge node *crashes*: unlike the graceful [`Self::remove_switch`],
+    /// every item stored on the switch's servers is lost before the
+    /// controller reacts. Used by fault-tolerance experiments to show what
+    /// replication (Section VI) buys.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::remove_switch`].
+    pub fn crash_switch(&mut self, switch: usize) -> Result<(), GredError> {
+        if !self.is_member(switch) {
+            return Err(GredError::InvalidDynamics {
+                reason: "switch is not a DT member",
+            });
+        }
+        // Data dies with the node.
+        let _ = self.store.drain_switch(switch);
+        self.remove_switch(switch)
+    }
+
+    /// Moves every stored item to its current responsible server (used
+    /// after membership changes; only items whose owner changed move).
+    fn migrate_all(&mut self) {
+        let locations = self.store.all_locations();
+        for (server, id) in locations {
+            let owner = self.responsible_server(&id);
+            let target = self.extension_of(owner).unwrap_or(owner);
+            if server != target && server != owner {
+                if let Some(payload) = self.store.remove(server, &id) {
+                    self.store.insert(target, id, payload);
+                }
+            } else if server == owner && target != owner {
+                // Owner's range is extended: primary copies placed before
+                // the extension may stay (retrieval queries both).
+            }
+        }
+    }
+
+    /// Test support: stores an item directly on a server, bypassing
+    /// routing. Exists so integration tests can plant inconsistencies for
+    /// [`Self::verify_invariants`] to find.
+    #[doc(hidden)]
+    pub fn store_debug_insert(&mut self, server: ServerId, id: DataId) {
+        self.store.insert(server, id, bytes::Bytes::new());
+    }
+
+    /// Verifies the deployment's internal invariants, returning every
+    /// violation found (empty = healthy). Intended for tests and for
+    /// operators after dynamics:
+    ///
+    /// 1. every DT member has a data plane with its position and server
+    ///    count; non-members are transit planes,
+    /// 2. every virtual-link (non-physical) neighbor entry has a complete
+    ///    relay chain installed,
+    /// 3. the controller's extension map mirrors the switch entries,
+    /// 4. every stored item sits on its responsible server or on that
+    ///    server's recorded takeover.
+    pub fn verify_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+
+        // 1. Plane/DT agreement.
+        for s in 0..self.topology.switch_count() {
+            let plane = &self.dataplanes[s];
+            match self.dt.position_of(s) {
+                Some(pos) if self.pool.servers_at(s) > 0 => {
+                    if plane.position() != pos {
+                        problems.push(format!("switch {s}: plane position differs from DT"));
+                    }
+                    if plane.server_count() != self.pool.servers_at(s) {
+                        problems.push(format!("switch {s}: plane server count differs from pool"));
+                    }
+                }
+                _ => {
+                    if plane.server_count() != 0 {
+                        problems.push(format!("switch {s}: non-member plane has servers"));
+                    }
+                }
+            }
+        }
+
+        // 2. Relay chains complete for every virtual-link entry.
+        for &u in self.dt.members() {
+            for entry in self.dataplanes[u].neighbor_entries() {
+                if entry.physical {
+                    continue;
+                }
+                let mut at = entry.via;
+                let mut guard = self.topology.switch_count();
+                while at != entry.neighbor {
+                    match self.dataplanes[at].relay_next(entry.neighbor, u) {
+                        Some(next) => at = next,
+                        None => {
+                            problems.push(format!(
+                                "virtual link {u}->{}: relay chain broken at {at}",
+                                entry.neighbor
+                            ));
+                            break;
+                        }
+                    }
+                    guard -= 1;
+                    if guard == 0 {
+                        problems.push(format!(
+                            "virtual link {u}->{}: relay chain loops",
+                            entry.neighbor
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Extension mirror agreement.
+        for (&original, &takeover) in &self.extensions {
+            if self.dataplanes[original.switch].extension_of(original) != Some(takeover) {
+                problems.push(format!(
+                    "extension {original}->{takeover} missing from the switch table"
+                ));
+            }
+        }
+
+        // 4. Stored items sit where routing will look for them.
+        for (server, id) in self.store.all_locations() {
+            let owner = self.responsible_server(&id);
+            let takeover = self.extension_of(owner);
+            if server != owner && Some(server) != takeover {
+                problems.push(format!(
+                    "item {id} stored on {server}, but owner is {owner} (takeover {takeover:?})"
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Re-installs extension rewrite entries into the freshly rebuilt
+    /// data planes.
+    fn reinstall_extensions(&mut self) {
+        let entries: Vec<(ServerId, ServerId)> =
+            self.extensions.iter().map(|(&o, &t)| (o, t)).collect();
+        for (original, takeover) in entries {
+            if original.switch < self.dataplanes.len()
+                && self.dataplanes[original.switch].server_count() > original.index
+            {
+                self.dataplanes[original.switch].install_extension(
+                    gred_dataplane::ExtensionEntry { original, takeover },
+                );
+            } else {
+                self.extensions.remove(&original);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gred_net::{waxman_topology, WaxmanConfig};
+
+    fn build_net(switches: usize, seed: u64) -> GredNetwork {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+        let pool = ServerPool::uniform(switches, 2, 100_000);
+        GredNetwork::build(topo, pool, GredConfig::with_iterations(10).seeded(seed)).unwrap()
+    }
+
+    #[test]
+    fn build_rejects_mismatched_pool() {
+        let topo = Topology::from_links(3, &[(0, 1), (1, 2)]).unwrap();
+        let pool = ServerPool::uniform(2, 1, 10);
+        assert!(matches!(
+            GredNetwork::build(topo, pool, GredConfig::default()),
+            Err(GredError::SwitchCountMismatch { topology: 3, pool: 2 })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_all_transit() {
+        let topo = Topology::from_links(2, &[(0, 1)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![], vec![]]);
+        assert_eq!(
+            GredNetwork::build(topo, pool, GredConfig::default()).unwrap_err(),
+            GredError::NoStorageSwitches
+        );
+    }
+
+    #[test]
+    fn members_are_storage_switches_only() {
+        let topo = Topology::from_links(3, &[(0, 1), (1, 2)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![10], vec![], vec![10]]);
+        let net = GredNetwork::build(topo, pool, GredConfig::with_iterations(0)).unwrap();
+        assert_eq!(net.members(), &[0, 2]);
+        assert!(net.is_member(0) && !net.is_member(1));
+        assert!(net.position_of_switch(1).is_none());
+    }
+
+    #[test]
+    fn responsible_server_matches_routing() {
+        let mut net = build_net(15, 9);
+        for i in 0..60 {
+            let id = DataId::new(format!("agree{i}"));
+            let predicted = net.responsible_server(&id);
+            let receipt = net.place(&id, Bytes::new(), i % 15).unwrap();
+            assert_eq!(receipt.primary, predicted, "key {i}");
+        }
+    }
+
+    #[test]
+    fn table_stats_cover_all_switches() {
+        let net = build_net(12, 2);
+        let stats = net.table_stats();
+        assert_eq!(stats.switches, 12);
+        assert!(stats.mean > 0.0);
+    }
+
+    #[test]
+    fn server_loads_include_empty_servers() {
+        let net = build_net(6, 3);
+        let loads = net.server_loads();
+        assert_eq!(loads.len(), 12); // 6 switches × 2 servers
+        assert!(loads.iter().all(|&(_, l)| l == 0));
+    }
+
+    #[test]
+    fn add_switch_migrates_only_affected_items() {
+        let mut net = build_net(10, 4);
+        let mut receipts = Vec::new();
+        for i in 0..80 {
+            let id = DataId::new(format!("dyn{i}"));
+            let r = net.place(&id, Bytes::new(), i % 10).unwrap();
+            receipts.push((id, r.server));
+        }
+        let new_switch = net.add_switch(&[0, 3], vec![100_000, 100_000]).unwrap();
+        assert_eq!(new_switch, 10);
+        assert!(net.is_member(new_switch));
+
+        // Every item is still retrievable; some may have moved to the new
+        // switch, everything else stayed put.
+        let mut moved = 0;
+        for (id, old_server) in &receipts {
+            let got = net.retrieve(id, 0).unwrap();
+            if got.server != *old_server {
+                moved += 1;
+                assert_eq!(
+                    got.server.switch, new_switch,
+                    "items may only move to the newcomer"
+                );
+            }
+        }
+        assert!(moved < receipts.len(), "most items must not move");
+        assert_eq!(net.store().total_items(), receipts.len() as u64);
+    }
+
+    #[test]
+    fn remove_switch_rehomes_its_data() {
+        let mut net = build_net(10, 5);
+        for i in 0..60 {
+            net.place(&DataId::new(format!("rem{i}")), Bytes::new(), i % 10)
+                .unwrap();
+        }
+        let victim = net.members()[3];
+        net.remove_switch(victim).unwrap();
+        assert!(!net.is_member(victim));
+        assert_eq!(net.store().total_items(), 60);
+        for i in 0..60 {
+            let id = DataId::new(format!("rem{i}"));
+            let access = net.members()[0];
+            let got = net.retrieve(&id, access).unwrap();
+            assert_ne!(got.server.switch, victim);
+        }
+    }
+
+    #[test]
+    fn remove_last_member_rejected() {
+        let topo = Topology::from_links(2, &[(0, 1)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![10], vec![]]);
+        let mut net = GredNetwork::build(topo, pool, GredConfig::with_iterations(0)).unwrap();
+        assert!(matches!(
+            net.remove_switch(0),
+            Err(GredError::InvalidDynamics { .. })
+        ));
+    }
+
+    #[test]
+    fn add_switch_validations() {
+        let mut net = build_net(5, 6);
+        assert!(matches!(
+            net.add_switch(&[], vec![10]),
+            Err(GredError::InvalidDynamics { .. })
+        ));
+        assert!(matches!(
+            net.add_switch(&[0], vec![]),
+            Err(GredError::InvalidDynamics { .. })
+        ));
+        assert!(matches!(
+            net.add_switch(&[99], vec![10]),
+            Err(GredError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = build_net(6, 7);
+        let b = a.clone();
+        a.place(&DataId::new("only-in-a"), Bytes::new(), 0).unwrap();
+        assert_eq!(a.store().total_items(), 1);
+        assert_eq!(b.store().total_items(), 0);
+    }
+}

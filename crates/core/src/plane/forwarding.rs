@@ -1,0 +1,323 @@
+//! Network-wide greedy forwarding (Algorithm 2 executed hop by hop).
+//!
+//! A request enters at an access switch and is forwarded by each switch's
+//! pre-installed data plane: compare every physical and DT neighbor's
+//! distance to the data position, move to the strict minimum, stop when
+//! the local switch is closest. Virtual links are walked through their
+//! relay switches, each consuming one physical hop — the quantity the
+//! routing-stretch metric counts.
+
+use crate::error::GredError;
+use gred_dataplane::{ForwardDecision, SwitchDataplane};
+use gred_geometry::Point2;
+use gred_hash::DataId;
+use gred_net::ServerId;
+
+/// The full trajectory of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Every switch the packet touched, access switch first, owner switch
+    /// last — including virtual-link relay switches.
+    pub switches: Vec<usize>,
+    /// The greedy (overlay) switch sequence: DT members only.
+    pub overlay: Vec<usize>,
+    /// The owner switch (closest to the data position).
+    pub dest: usize,
+    /// The server `H(d) mod s` names at the owner switch.
+    pub server: ServerId,
+    /// The takeover server, when the named server's range is extended.
+    pub extended_to: Option<ServerId>,
+}
+
+impl Route {
+    /// Physical links traversed.
+    pub fn physical_hops(&self) -> u32 {
+        (self.switches.len() - 1) as u32
+    }
+
+    /// Greedy (overlay) hops taken on the DT.
+    pub fn overlay_hops(&self) -> u32 {
+        (self.overlay.len() - 1) as u32
+    }
+}
+
+/// Walks a request for `id` (hashing to `position`) from `from` until the
+/// owner switch is found.
+///
+/// # Errors
+///
+/// - [`GredError::UnknownSwitch`] if `from` is out of range,
+/// - [`GredError::InvalidDynamics`] if `from` is a transit switch (no
+///   servers — the paper's access points attach to storage switches),
+/// - [`GredError::RelayEntryMissing`] if installed relay state is
+///   inconsistent (a controller bug, surfaced rather than looped on).
+pub fn route(
+    planes: &[SwitchDataplane],
+    from: usize,
+    position: Point2,
+    id: &DataId,
+) -> Result<Route, GredError> {
+    if from >= planes.len() {
+        return Err(GredError::UnknownSwitch { switch: from });
+    }
+    if planes[from].server_count() == 0 {
+        return Err(GredError::InvalidDynamics {
+            reason: "access switch is transit-only (no DT position)",
+        });
+    }
+
+    let mut switches = vec![from];
+    let mut overlay = vec![from];
+    let mut cur = from;
+    // Greedy distance strictly decreases per overlay hop, so the walk
+    // takes at most `planes.len()` overlay steps.
+    for _ in 0..planes.len() {
+        match planes[cur].decide(position, id) {
+            ForwardDecision::DeliverLocal { server, extended_to } => {
+                return Ok(Route {
+                    switches,
+                    overlay,
+                    dest: cur,
+                    server,
+                    extended_to,
+                });
+            }
+            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+                if !virtual_link {
+                    switches.push(neighbor);
+                } else {
+                    // Walk the virtual link through its relays.
+                    let mut relay = next_hop;
+                    switches.push(relay);
+                    let mut guard = planes.len();
+                    while relay != neighbor {
+                        let succ = planes[relay]
+                            .relay_next(neighbor, cur)
+                            .ok_or(GredError::RelayEntryMissing { at: relay, dest: neighbor })?;
+                        switches.push(succ);
+                        relay = succ;
+                        guard -= 1;
+                        if guard == 0 {
+                            return Err(GredError::RelayEntryMissing {
+                                at: relay,
+                                dest: neighbor,
+                            });
+                        }
+                    }
+                }
+                overlay.push(neighbor);
+                cur = neighbor;
+            }
+        }
+    }
+    unreachable!("greedy forwarding exceeded the switch-count bound");
+}
+
+/// Packet-level forwarding: drives an actual [`gred_dataplane::Packet`]
+/// through the switches, manipulating its virtual-link relay header
+/// exactly as the paper's Section V-A prescribes:
+///
+/// - entering a virtual link from `u` toward DT neighbor `v` sets
+///   `d = <dest: v, sour: u, relay: first-hop>`,
+/// - a relay switch `w = d.relay` looks up its tuple for `d.dest`, sets
+///   `d.relay = t.succ`, and forwards,
+/// - the endpoint `u = d.dest` pops the header and resumes greedy
+///   forwarding.
+///
+/// Returns the delivered packet (relay header cleared) and the same
+/// [`Route`] that [`route`] computes — the two implementations
+/// cross-check each other in tests.
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn forward_packet(
+    planes: &[SwitchDataplane],
+    mut packet: gred_dataplane::Packet,
+    from: usize,
+) -> Result<(gred_dataplane::Packet, Route), GredError> {
+    if from >= planes.len() {
+        return Err(GredError::UnknownSwitch { switch: from });
+    }
+    if planes[from].server_count() == 0 {
+        return Err(GredError::InvalidDynamics {
+            reason: "access switch is transit-only (no DT position)",
+        });
+    }
+
+    let mut switches = vec![from];
+    let mut overlay = vec![from];
+    let mut cur = from;
+    for _ in 0..planes.len() {
+        debug_assert!(!packet.in_virtual_link(), "greedy step starts outside links");
+        match planes[cur].decide(packet.position, &packet.id) {
+            ForwardDecision::DeliverLocal { server, extended_to } => {
+                return Ok((
+                    packet,
+                    Route { switches, overlay, dest: cur, server, extended_to },
+                ));
+            }
+            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+                if virtual_link {
+                    packet = packet.with_relay(cur, next_hop, neighbor);
+                    let mut guard = planes.len();
+                    while let Some(header) = packet.relay {
+                        let at = header.relay;
+                        switches.push(at);
+                        if at == header.dest {
+                            packet = packet.without_relay();
+                            break;
+                        }
+                        let succ = planes[at]
+                            .relay_next(header.dest, header.sour)
+                            .ok_or(GredError::RelayEntryMissing { at, dest: header.dest })?;
+                        packet = packet.with_relay(header.sour, succ, header.dest);
+                        guard -= 1;
+                        if guard == 0 {
+                            return Err(GredError::RelayEntryMissing { at, dest: header.dest });
+                        }
+                    }
+                } else {
+                    switches.push(neighbor);
+                }
+                overlay.push(neighbor);
+                cur = neighbor;
+            }
+        }
+    }
+    unreachable!("greedy forwarding exceeded the switch-count bound");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{install_dataplanes, DtGraph};
+    use gred_net::{ServerPool, Topology};
+
+    /// Line 0-1-2-3 where 0 and 3 store data; 1, 2 are transit relays.
+    fn setup_line() -> Vec<SwitchDataplane> {
+        let topo = Topology::from_links(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![10, 10], vec![], vec![], vec![10]]);
+        let dt = DtGraph::build(
+            vec![0, 3],
+            &[Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+        )
+        .unwrap();
+        install_dataplanes(&topo, &pool, &dt).unwrap()
+    }
+
+    #[test]
+    fn local_delivery_when_access_is_owner() {
+        let planes = setup_line();
+        let id = DataId::new("k");
+        // Position right on top of switch 0.
+        let r = route(&planes, 0, Point2::new(0.2, 0.5), &id).unwrap();
+        assert_eq!(r.dest, 0);
+        assert_eq!(r.switches, vec![0]);
+        assert_eq!(r.physical_hops(), 0);
+        assert_eq!(r.overlay_hops(), 0);
+        assert_eq!(r.server.switch, 0);
+        assert!(r.server.index < 2);
+    }
+
+    #[test]
+    fn virtual_link_walk_counts_relays() {
+        let planes = setup_line();
+        let id = DataId::new("k");
+        // Position near switch 3: from 0 the packet crosses the virtual
+        // link through transit switches 1 and 2.
+        let r = route(&planes, 0, Point2::new(0.8, 0.5), &id).unwrap();
+        assert_eq!(r.dest, 3);
+        assert_eq!(r.switches, vec![0, 1, 2, 3]);
+        assert_eq!(r.physical_hops(), 3);
+        assert_eq!(r.overlay, vec![0, 3]);
+        assert_eq!(r.overlay_hops(), 1);
+    }
+
+    #[test]
+    fn transit_access_switch_rejected() {
+        let planes = setup_line();
+        let err = route(&planes, 1, Point2::new(0.5, 0.5), &DataId::new("k")).unwrap_err();
+        assert!(matches!(err, GredError::InvalidDynamics { .. }));
+    }
+
+    #[test]
+    fn unknown_switch_rejected() {
+        let planes = setup_line();
+        let err = route(&planes, 9, Point2::new(0.5, 0.5), &DataId::new("k")).unwrap_err();
+        assert_eq!(err, GredError::UnknownSwitch { switch: 9 });
+    }
+
+    #[test]
+    fn missing_relay_entry_is_an_error_not_a_loop() {
+        let mut planes = setup_line();
+        planes[2].clear_relays();
+        let err = route(&planes, 0, Point2::new(0.8, 0.5), &DataId::new("k")).unwrap_err();
+        assert!(matches!(err, GredError::RelayEntryMissing { at: 2, dest: 3 }));
+    }
+}
+
+#[cfg(test)]
+mod packet_level_tests {
+    use super::*;
+    use crate::config::GredConfig;
+    use crate::control::{install_dataplanes, DtGraph};
+    use crate::network::GredNetwork;
+    use gred_dataplane::Packet;
+    use gred_net::{waxman_topology, ServerPool, Topology, WaxmanConfig};
+
+    #[test]
+    fn packet_walk_agrees_with_route_everywhere() {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(25, 31));
+        let pool = ServerPool::uniform(25, 3, u64::MAX);
+        let net =
+            GredNetwork::build(topo, pool, GredConfig::with_iterations(10).seeded(31)).unwrap();
+        for i in 0..60 {
+            let id = DataId::new(format!("pkt/{i}"));
+            let access = i % 25;
+            let packet = Packet::retrieval(id.clone());
+            let pos = packet.position;
+            let (delivered, pkt_route) =
+                forward_packet(net.dataplanes(), packet, access).unwrap();
+            let plain_route = route(net.dataplanes(), access, pos, &id).unwrap();
+            assert_eq!(pkt_route, plain_route, "key {i} from {access}");
+            assert!(!delivered.in_virtual_link(), "relay header must be popped");
+        }
+    }
+
+    #[test]
+    fn packet_walk_through_virtual_link_pops_header() {
+        // Line 0-1-2-3 with transit middle: forces a virtual link.
+        let topo = Topology::from_links(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![10], vec![], vec![], vec![10]]);
+        let dt = DtGraph::build(
+            vec![0, 3],
+            &[Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+        )
+        .unwrap();
+        let planes = install_dataplanes(&topo, &pool, &dt).unwrap();
+
+        let mut packet = Packet::placement(DataId::new("k"), b"v".as_ref());
+        packet.position = Point2::new(0.8, 0.5); // near switch 3
+        let (delivered, r) = forward_packet(&planes, packet, 0).unwrap();
+        assert_eq!(r.switches, vec![0, 1, 2, 3]);
+        assert_eq!(r.dest, 3);
+        assert!(!delivered.in_virtual_link());
+        assert_eq!(delivered.payload.as_ref(), b"v");
+    }
+
+    #[test]
+    fn wire_parse_then_forward() {
+        // Full data-plane path: encode -> parse (the programmable parser)
+        // -> forward.
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(10, 33));
+        let pool = ServerPool::uniform(10, 2, u64::MAX);
+        let net = GredNetwork::build(topo, pool, GredConfig::no_cvt().seeded(33)).unwrap();
+
+        let original = Packet::placement(DataId::new("wire/key"), b"bytes".as_ref());
+        let wire = gred_dataplane::wire::encode(&original);
+        let parsed = gred_dataplane::wire::parse(&wire).unwrap();
+        let (_, r) = forward_packet(net.dataplanes(), parsed, 4).unwrap();
+        assert_eq!(r.server, net.responsible_server(&DataId::new("wire/key")));
+    }
+}

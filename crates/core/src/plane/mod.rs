@@ -1,0 +1,12 @@
+//! The switch plane in motion: network-wide forwarding walks and the
+//! placement / retrieval / extension / replication services built on them.
+
+pub mod extension;
+pub mod forwarding;
+pub mod placement;
+pub mod replication;
+pub mod retrieval;
+
+pub use forwarding::Route;
+pub use placement::PlacementReceipt;
+pub use retrieval::RetrievalResult;

@@ -1,0 +1,91 @@
+//! The concrete forwarding-entry types GRED installs into switches.
+
+use gred_geometry::Point2;
+use gred_net::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// A physical- or DT-neighbor entry: where the neighbor sits in the
+/// virtual space and how to reach it.
+///
+/// For a physical neighbor, `via` is the neighbor itself (one link). For a
+/// multi-hop DT neighbor, `via` is the first relay switch on the installed
+/// virtual-link path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// The neighbor switch this entry points at.
+    pub neighbor: usize,
+    /// The neighbor's coordinates in the virtual space.
+    pub position: Point2,
+    /// First-hop switch used to reach the neighbor.
+    pub via: usize,
+    /// Whether the neighbor is reachable over one physical link.
+    pub physical: bool,
+}
+
+/// A virtual-link relay tuple `<sour, pred, succ, dest>` (paper
+/// Section IV-C): one entry per virtual-link path through this switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DtTuple {
+    /// Source switch of the virtual-link path.
+    pub sour: usize,
+    /// This switch's predecessor on the path.
+    pub pred: usize,
+    /// This switch's successor on the path.
+    pub succ: usize,
+    /// Destination switch of the path.
+    pub dest: usize,
+}
+
+/// A range-extension rewrite entry (paper Tables I/II): traffic destined
+/// to the overloaded server is readdressed to the takeover server and sent
+/// out of the port toward its switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExtensionEntry {
+    /// The overloaded server whose range was extended.
+    pub original: ServerId,
+    /// The server that takes over the load.
+    pub takeover: ServerId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dt_tuple_ordering_is_total() {
+        let a = DtTuple { sour: 0, pred: 1, succ: 2, dest: 3 };
+        let b = DtTuple { sour: 0, pred: 1, succ: 2, dest: 4 };
+        assert!(a < b);
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn extension_entry_equality() {
+        let e = ExtensionEntry {
+            original: ServerId { switch: 1, index: 0 },
+            takeover: ServerId { switch: 2, index: 1 },
+        };
+        let same = e;
+        assert_eq!(e, same);
+        assert_ne!(
+            e,
+            ExtensionEntry {
+                original: ServerId { switch: 1, index: 0 },
+                takeover: ServerId { switch: 2, index: 0 },
+            }
+        );
+    }
+
+    #[test]
+    fn neighbor_entry_physical_flag() {
+        let phys = NeighborEntry {
+            neighbor: 2,
+            position: Point2::new(0.5, 0.5),
+            via: 2,
+            physical: true,
+        };
+        assert_eq!(phys.via, phys.neighbor, "physical neighbors are reached directly");
+        let multi = NeighborEntry { neighbor: 7, via: 3, physical: false, ..phys };
+        assert_ne!(multi.via, multi.neighbor);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! A P4-style programmable data plane, simulated.
+//!
+//! The paper implements GRED's switch logic in P4: a programmable parser
+//! for the GRED packet headers, a series of match-action stages that find
+//! the neighbor closest to a data item's virtual position, and exact-match
+//! tables holding physical-neighbor ports, multi-hop DT relay tuples
+//! `<sour, pred, succ, dest>`, and range-extension rewrites (paper
+//! Tables I/II). We reproduce that machinery in software:
+//!
+//! - [`packet`]: GRED packet headers (placement/retrieval/response tags,
+//!   data id and virtual position, virtual-link relay header, payload),
+//! - [`table`]: a generic exact-match match-action table with entry
+//!   accounting (forwarding-table size is one of the paper's metrics),
+//! - [`entries`]: the concrete entry types GRED installs,
+//! - [`switch`]: the per-switch data plane — tables plus the greedy
+//!   next-hop selection pipeline (Algorithm 2's data-plane half),
+//! - [`stats`]: per-switch and network-wide table-occupancy statistics
+//!   (Fig. 9(d)).
+//!
+//! All figure-level behaviour (who wins, table growth, load placement)
+//! depends on this forwarding logic, not on ASIC timing, so a faithful
+//! software pipeline reproduces the paper's data-plane results.
+
+pub mod entries;
+pub mod packet;
+pub mod pipeline;
+pub mod stats;
+pub mod switch;
+pub mod table;
+pub mod wire;
+
+pub use entries::{DtTuple, ExtensionEntry, NeighborEntry};
+pub use packet::{Packet, PacketKind, RelayHeader};
+pub use pipeline::Pipeline;
+pub use stats::TableStats;
+pub use switch::{ForwardDecision, SwitchDataplane};
+pub use table::MatchActionTable;
+pub use wire::{parse, encode, ParseError};

@@ -1,0 +1,174 @@
+//! GRED packet headers.
+//!
+//! The P4 prototype defines a custom header carrying the request tag
+//! (placement vs retrieval — "a tag is used in the packet header to
+//! indicate a placement/retrieval request", Section V-C), the data
+//! identifier's virtual position, and, while a packet traverses a virtual
+//! link, the relay fields `<dest, sour, relay>` of Section V-A.
+
+use bytes::Bytes;
+use gred_geometry::Point2;
+use gred_hash::DataId;
+
+/// What a GRED packet asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Store the payload at the responsible edge server.
+    Placement,
+    /// Fetch the data; the storing server responds.
+    Retrieval,
+    /// A server's answer to a retrieval.
+    RetrievalResponse,
+}
+
+impl std::fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PacketKind::Placement => "placement",
+            PacketKind::Retrieval => "retrieval",
+            PacketKind::RetrievalResponse => "retrieval-response",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Virtual-link relay header: present while the packet is being tunnelled
+/// between two multi-hop DT neighbors. Field names follow the paper's
+/// `d = <d.dest, d.sour, d.relay, d.data>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelayHeader {
+    /// End switch of the virtual link.
+    pub dest: usize,
+    /// Source switch of the virtual link.
+    pub sour: usize,
+    /// Next relay switch the packet is currently addressed to.
+    pub relay: usize,
+}
+
+/// A GRED data-plane packet.
+///
+/// ```
+/// use gred_dataplane::{Packet, PacketKind};
+/// use gred_hash::DataId;
+/// let p = Packet::placement(DataId::new("k"), b"value".as_ref());
+/// assert_eq!(p.kind, PacketKind::Placement);
+/// assert!(p.relay.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Request tag.
+    pub kind: PacketKind,
+    /// The data identifier the request concerns.
+    pub id: DataId,
+    /// The identifier's position in the virtual space (`H(d)` reduced to
+    /// the unit square). Stored in the header so every switch on the path
+    /// can compare neighbor distances without re-hashing.
+    pub position: Point2,
+    /// Virtual-link relay header, when traversing a virtual link.
+    pub relay: Option<RelayHeader>,
+    /// Payload (data contents for placements, empty for retrievals).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// A placement request for `id` carrying `payload`.
+    pub fn placement(id: DataId, payload: impl Into<Bytes>) -> Self {
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::Placement,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            payload: payload.into(),
+        }
+    }
+
+    /// A retrieval request for `id`.
+    pub fn retrieval(id: DataId) -> Self {
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::Retrieval,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A response to a retrieval, carrying the stored payload.
+    pub fn response(id: DataId, payload: impl Into<Bytes>) -> Self {
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::RetrievalResponse,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            payload: payload.into(),
+        }
+    }
+
+    /// Whether the packet is currently traversing a virtual link
+    /// (`d.relay != null` in the paper's notation).
+    pub fn in_virtual_link(&self) -> bool {
+        self.relay.is_some()
+    }
+
+    /// Enters a virtual link from `sour` to `dest`, initially addressed to
+    /// `relay`.
+    pub fn with_relay(mut self, sour: usize, relay: usize, dest: usize) -> Self {
+        self.relay = Some(RelayHeader { dest, sour, relay });
+        self
+    }
+
+    /// Leaves the virtual link (the header is popped at the link end).
+    pub fn without_relay(mut self) -> Self {
+        self.relay = None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_position() {
+        let id = DataId::new("abc");
+        let place = Packet::placement(id.clone(), b"v".as_ref());
+        let get = Packet::retrieval(id.clone());
+        let resp = Packet::response(id.clone(), b"v".as_ref());
+        assert_eq!(place.kind, PacketKind::Placement);
+        assert_eq!(get.kind, PacketKind::Retrieval);
+        assert_eq!(resp.kind, PacketKind::RetrievalResponse);
+        // All three carry the same hashed position.
+        assert_eq!(place.position, get.position);
+        assert_eq!(get.position, resp.position);
+        let (x, y) = gred_hash::virtual_position(&id);
+        assert_eq!(place.position, Point2::new(x, y));
+    }
+
+    #[test]
+    fn relay_header_lifecycle() {
+        let p = Packet::retrieval(DataId::new("k"));
+        assert!(!p.in_virtual_link());
+        let p = p.with_relay(1, 2, 5);
+        assert!(p.in_virtual_link());
+        assert_eq!(p.relay, Some(RelayHeader { dest: 5, sour: 1, relay: 2 }));
+        let p = p.without_relay();
+        assert!(!p.in_virtual_link());
+    }
+
+    #[test]
+    fn payloads() {
+        let place = Packet::placement(DataId::new("k"), b"hello".as_ref());
+        assert_eq!(&place.payload[..], b"hello");
+        assert!(Packet::retrieval(DataId::new("k")).payload.is_empty());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PacketKind::Placement.to_string(), "placement");
+        assert_eq!(PacketKind::Retrieval.to_string(), "retrieval");
+        assert_eq!(PacketKind::RetrievalResponse.to_string(), "retrieval-response");
+    }
+}

@@ -1,0 +1,241 @@
+//! The P4 match-action stage pipeline.
+//!
+//! The prototype "designs multiple match-action stages in series to
+//! achieve the neighboring switch whose position is closest to the
+//! position of the data. The P4 switch calculates the distance from a
+//! neighbor to the data in the virtual space in a match-action stage."
+//! This module models that execution style explicitly: a [`Pipeline`] is
+//! a series of [`Stage`]s; each stage compares one neighbor entry's
+//! distance against the running minimum carried in per-packet metadata,
+//! exactly as a P4 program would thread a register through stages. The
+//! final stage applies the greedy decision.
+//!
+//! [`SwitchDataplane::decide`](crate::SwitchDataplane::decide) computes
+//! the same result directly; the pipeline exists to model (and count) the
+//! hardware realization, and the two are cross-checked in tests.
+
+use crate::entries::NeighborEntry;
+use crate::switch::{ForwardDecision, SwitchDataplane};
+use gred_geometry::Point2;
+use gred_hash::DataId;
+
+/// Per-packet metadata threaded between stages (P4 `metadata` struct).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketMetadata {
+    /// The data item's position (set by the parser).
+    pub data_position: Point2,
+    /// Squared distance of the best candidate so far.
+    pub best_distance_sq: f64,
+    /// Best candidate so far (`None` = the local switch).
+    pub best: Option<BestCandidate>,
+}
+
+/// The running-minimum register contents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestCandidate {
+    /// Neighbor switch id.
+    pub neighbor: usize,
+    /// Its position (needed for the paper's lexicographic tie-break).
+    pub position: Point2,
+    /// First hop toward it.
+    pub via: usize,
+    /// Physical (single-link) neighbor?
+    pub physical: bool,
+}
+
+/// One match-action stage: compares a single neighbor entry against the
+/// running minimum.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage {
+    entry: NeighborEntry,
+}
+
+impl Stage {
+    /// A stage evaluating `entry`.
+    pub fn new(entry: NeighborEntry) -> Self {
+        Stage { entry }
+    }
+
+    /// Executes the stage: updates the metadata's running minimum if this
+    /// stage's neighbor is strictly closer (ties broken by coordinate
+    /// rank, as the paper prescribes for Voronoi-edge positions).
+    pub fn execute(&self, meta: &mut PacketMetadata) {
+        let d = self.entry.position.distance_squared(meta.data_position);
+        let better = match meta.best {
+            None => d < meta.best_distance_sq,
+            Some(cur) => {
+                d < meta.best_distance_sq
+                    || (d == meta.best_distance_sq
+                        && self.entry.position.lex_cmp(cur.position) == std::cmp::Ordering::Less)
+            }
+        };
+        if better {
+            meta.best_distance_sq = d;
+            meta.best = Some(BestCandidate {
+                neighbor: self.entry.neighbor,
+                position: self.entry.position,
+                via: self.entry.via,
+                physical: self.entry.physical,
+            });
+        }
+    }
+}
+
+/// A switch's full pipeline: parser → one stage per neighbor entry →
+/// deparser/decision.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    switch: usize,
+    position: Point2,
+    server_count: usize,
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline currently programmed into `switch` (one stage
+    /// per installed neighbor entry, in table order).
+    ///
+    /// # Panics
+    ///
+    /// Panics for transit switches, which run no greedy pipeline.
+    pub fn compile(switch: &SwitchDataplane) -> Pipeline {
+        assert!(
+            switch.server_count() > 0,
+            "transit switches have no greedy pipeline"
+        );
+        Pipeline {
+            switch: switch.id(),
+            position: switch.position(),
+            server_count: switch.server_count(),
+            stages: switch.neighbor_entries().map(|&e| Stage::new(e)).collect(),
+        }
+    }
+
+    /// Number of match-action stages (neighbor comparisons).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs the pipeline for a packet: parser sets the metadata, the
+    /// stages fold the running minimum, the final block emits the greedy
+    /// decision. The extension table is *not* consulted here — that
+    /// rewrite happens in the egress table ([`SwitchDataplane::decide`]
+    /// models both); the pipeline returns the raw greedy outcome.
+    pub fn run(&self, data_position: Point2, id: &DataId) -> ForwardDecision {
+        let mut meta = PacketMetadata {
+            data_position,
+            best_distance_sq: self.position.distance_squared(data_position),
+            best: None,
+        };
+        for stage in &self.stages {
+            stage.execute(&mut meta);
+        }
+        match meta.best {
+            Some(best) => ForwardDecision::Forward {
+                neighbor: best.neighbor,
+                next_hop: best.via,
+                virtual_link: !best.physical,
+            },
+            None => {
+                let index = gred_hash::select_server(id, self.server_count);
+                ForwardDecision::DeliverLocal {
+                    server: gred_net::ServerId { switch: self.switch, index },
+                    extended_to: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn entry(neighbor: usize, x: f64, y: f64) -> NeighborEntry {
+        NeighborEntry {
+            neighbor,
+            position: Point2::new(x, y),
+            via: neighbor,
+            physical: true,
+        }
+    }
+
+    fn switch_with(entries: &[NeighborEntry]) -> SwitchDataplane {
+        let mut sw = SwitchDataplane::new(0, Point2::new(0.5, 0.5), 2);
+        for &e in entries {
+            sw.install_neighbor(e);
+        }
+        sw
+    }
+
+    #[test]
+    fn empty_pipeline_delivers_locally() {
+        let sw = switch_with(&[]);
+        let p = Pipeline::compile(&sw);
+        assert_eq!(p.stage_count(), 0);
+        match p.run(Point2::new(0.9, 0.9), &DataId::new("k")) {
+            ForwardDecision::DeliverLocal { server, .. } => assert_eq!(server.switch, 0),
+            other => panic!("expected local delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stages_fold_the_minimum() {
+        let sw = switch_with(&[entry(1, 0.1, 0.1), entry(2, 0.9, 0.9), entry(3, 0.7, 0.7)]);
+        let p = Pipeline::compile(&sw);
+        assert_eq!(p.stage_count(), 3);
+        match p.run(Point2::new(0.95, 0.95), &DataId::new("k")) {
+            ForwardDecision::Forward { neighbor, .. } => assert_eq!(neighbor, 2),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_agrees_with_decide() {
+        // Randomized cross-check: the serial pipeline computes exactly the
+        // same decision as the direct implementation (extension-free
+        // switches).
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..50 {
+            let entries: Vec<NeighborEntry> = (0..rng.gen_range(0..8))
+                .map(|i| {
+                    entry(
+                        i + 1,
+                        rng.gen_range(0.0..1.0),
+                        rng.gen_range(0.0..1.0),
+                    )
+                })
+                .collect();
+            let sw = switch_with(&entries);
+            let p = Pipeline::compile(&sw);
+            for probe in 0..20 {
+                let pos = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                let id = DataId::new(format!("x/{trial}/{probe}"));
+                assert_eq!(p.run(pos, &id), sw.decide(pos, &id), "trial {trial} probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_matches_paper_rule() {
+        // Switch far from the target so both equidistant neighbors beat it.
+        let mut sw = SwitchDataplane::new(0, Point2::new(0.0, 0.0), 2);
+        sw.install_neighbor(entry(1, 0.4, 0.6));
+        sw.install_neighbor(entry(2, 0.6, 0.4));
+        let p = Pipeline::compile(&sw);
+        match p.run(Point2::new(0.5, 0.5), &DataId::new("k")) {
+            ForwardDecision::Forward { neighbor, .. } => {
+                assert_eq!(neighbor, 1, "(0.4, 0.6) is lexicographically smaller");
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transit")]
+    fn transit_pipeline_panics() {
+        let sw = SwitchDataplane::transit(3);
+        let _ = Pipeline::compile(&sw);
+    }
+}

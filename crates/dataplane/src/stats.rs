@@ -1,0 +1,112 @@
+//! Forwarding-table occupancy statistics (Fig. 9(d)).
+
+use crate::switch::SwitchDataplane;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate table statistics over a set of switches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of switches sampled.
+    pub switches: usize,
+    /// Mean entries per switch.
+    pub mean: f64,
+    /// Minimum entries on any switch.
+    pub min: usize,
+    /// Maximum entries on any switch.
+    pub max: usize,
+    /// Half-width of the 90% confidence interval of the mean (the paper's
+    /// error bars), computed with the normal approximation.
+    pub ci90_half_width: f64,
+}
+
+impl TableStats {
+    /// Computes statistics over `switches`.
+    ///
+    /// Returns a zeroed struct when the slice is empty.
+    pub fn collect<'a>(switches: impl IntoIterator<Item = &'a SwitchDataplane>) -> TableStats {
+        let counts: Vec<usize> = switches.into_iter().map(SwitchDataplane::entry_count).collect();
+        TableStats::from_counts(&counts)
+    }
+
+    /// Statistics from raw per-switch entry counts.
+    pub fn from_counts(counts: &[usize]) -> TableStats {
+        if counts.is_empty() {
+            return TableStats {
+                switches: 0,
+                mean: 0.0,
+                min: 0,
+                max: 0,
+                ci90_half_width: 0.0,
+            };
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / n;
+        let var = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n.max(1.0);
+        // z_{0.95} = 1.645 for a two-sided 90% interval.
+        let ci90_half_width = if counts.len() > 1 {
+            1.645 * (var / n).sqrt()
+        } else {
+            0.0
+        };
+        TableStats {
+            switches: counts.len(),
+            mean,
+            min: *counts.iter().min().expect("nonempty"),
+            max: *counts.iter().max().expect("nonempty"),
+            ci90_half_width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_geometry::Point2;
+
+    #[test]
+    fn empty_stats() {
+        let s = TableStats::from_counts(&[]);
+        assert_eq!(s.switches, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_switch_has_no_ci() {
+        let s = TableStats::from_counts(&[5]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci90_half_width, 0.0);
+        assert_eq!((s.min, s.max), (5, 5));
+    }
+
+    #[test]
+    fn from_counts_known_values() {
+        let s = TableStats::from_counts(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert!(s.ci90_half_width > 0.0);
+    }
+
+    #[test]
+    fn collect_from_switches() {
+        use crate::entries::NeighborEntry;
+        let mut a = SwitchDataplane::new(0, Point2::ORIGIN, 1);
+        a.install_neighbor(NeighborEntry {
+            neighbor: 1,
+            position: Point2::new(0.5, 0.5),
+            via: 1,
+            physical: true,
+        });
+        let b = SwitchDataplane::new(1, Point2::new(0.5, 0.5), 1);
+        let s = TableStats::collect([&a, &b]);
+        assert_eq!(s.switches, 2);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+    }
+}

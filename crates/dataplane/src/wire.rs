@@ -1,0 +1,300 @@
+//! The GRED packet wire format and its programmable parser.
+//!
+//! The paper's P4 switch "supports a programmable parser to allow new
+//! headers to be defined". This module defines the custom GRED header the
+//! prototype parses and reproduces that parser: a byte-level encoding of
+//! [`Packet`] with a fixed header, an optional virtual-link relay header
+//! (present iff the RELAY flag is set), and the payload.
+//!
+//! ```text
+//!  0       1       2       3       4
+//!  +-------+-------+-------+-------+
+//!  | magic "GR"    | ver=1 | flags |     flags: bit0 = relay present
+//!  +-------+-------+-------+-------+     kind: 0 place, 1 retrieve,
+//!  | kind  |      id_len (u16)     |           2 response
+//!  +-------+-------+-------+-------+
+//!  |        pos_x  (f64 be)        |
+//!  |        pos_y  (f64 be)        |
+//!  +---------------+---------------+
+//!  | [relay: dest, sour, relay as u32 be each — iff flag bit0]
+//!  +-------------------------------+
+//!  | id bytes (id_len)             |
+//!  | payload (rest of the packet)  |
+//!  +-------------------------------+
+//! ```
+
+use crate::packet::{Packet, PacketKind, RelayHeader};
+use bytes::Bytes;
+use gred_geometry::Point2;
+use gred_hash::DataId;
+
+/// Wire magic: ASCII "GR".
+const MAGIC: [u8; 2] = *b"GR";
+/// Current header version.
+const VERSION: u8 = 1;
+/// Flag bit: a relay header follows the fixed header.
+const FLAG_RELAY: u8 = 0b0000_0001;
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated {
+        /// Bytes needed to continue parsing.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first two bytes are not the GRED magic.
+    BadMagic,
+    /// Unsupported header version.
+    BadVersion(u8),
+    /// Unknown packet kind discriminant.
+    BadKind(u8),
+    /// Flags contain bits this parser does not understand.
+    UnknownFlags(u8),
+    /// A position coordinate is not finite.
+    BadPosition,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { needed, have } => {
+                write!(f, "packet truncated: need {needed} bytes, have {have}")
+            }
+            ParseError::BadMagic => write!(f, "missing GRED magic bytes"),
+            ParseError::BadVersion(v) => write!(f, "unsupported header version {v}"),
+            ParseError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+            ParseError::UnknownFlags(b) => write!(f, "unknown flag bits {b:#010b}"),
+            ParseError::BadPosition => write!(f, "non-finite virtual position"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn kind_to_wire(kind: PacketKind) -> u8 {
+    match kind {
+        PacketKind::Placement => 0,
+        PacketKind::Retrieval => 1,
+        PacketKind::RetrievalResponse => 2,
+    }
+}
+
+fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
+    match b {
+        0 => Ok(PacketKind::Placement),
+        1 => Ok(PacketKind::Retrieval),
+        2 => Ok(PacketKind::RetrievalResponse),
+        other => Err(ParseError::BadKind(other)),
+    }
+}
+
+/// Serializes a packet to its wire representation.
+///
+/// # Panics
+///
+/// Panics if the data identifier exceeds 65535 bytes (the header's u16
+/// length field); GRED identifiers are short names.
+pub fn encode(packet: &Packet) -> Vec<u8> {
+    let id_bytes = packet.id.as_bytes();
+    assert!(id_bytes.len() <= u16::MAX as usize, "identifier too long for wire format");
+    let relay_len = if packet.relay.is_some() { 12 } else { 0 };
+    let mut out = Vec::with_capacity(24 + relay_len + id_bytes.len() + packet.payload.len());
+
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(if packet.relay.is_some() { FLAG_RELAY } else { 0 });
+    out.push(kind_to_wire(packet.kind));
+    out.extend_from_slice(&(id_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(&packet.position.x.to_be_bytes());
+    out.extend_from_slice(&packet.position.y.to_be_bytes());
+    if let Some(relay) = packet.relay {
+        out.extend_from_slice(&(relay.dest as u32).to_be_bytes());
+        out.extend_from_slice(&(relay.sour as u32).to_be_bytes());
+        out.extend_from_slice(&(relay.relay as u32).to_be_bytes());
+    }
+    out.extend_from_slice(id_bytes);
+    out.extend_from_slice(&packet.payload);
+    out
+}
+
+/// Parses a wire packet — the software equivalent of the P4 programmable
+/// parser.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for truncated, malformed, or unsupported
+/// packets.
+pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+    const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8; // through pos_y
+    if bytes.len() < FIXED {
+        return Err(ParseError::Truncated { needed: FIXED, have: bytes.len() });
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(ParseError::BadMagic);
+    }
+    if bytes[2] != VERSION {
+        return Err(ParseError::BadVersion(bytes[2]));
+    }
+    let flags = bytes[3];
+    if flags & !FLAG_RELAY != 0 {
+        return Err(ParseError::UnknownFlags(flags));
+    }
+    let kind = kind_from_wire(bytes[4])?;
+    let id_len = u16::from_be_bytes([bytes[5], bytes[6]]) as usize;
+    let x = f64::from_be_bytes(bytes[7..15].try_into().expect("8 bytes"));
+    let y = f64::from_be_bytes(bytes[15..23].try_into().expect("8 bytes"));
+    if !x.is_finite() || !y.is_finite() {
+        return Err(ParseError::BadPosition);
+    }
+
+    let mut offset = FIXED;
+    let relay = if flags & FLAG_RELAY != 0 {
+        if bytes.len() < offset + 12 {
+            return Err(ParseError::Truncated { needed: offset + 12, have: bytes.len() });
+        }
+        let dest = u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4")) as usize;
+        let sour =
+            u32::from_be_bytes(bytes[offset + 4..offset + 8].try_into().expect("4")) as usize;
+        let relay_sw =
+            u32::from_be_bytes(bytes[offset + 8..offset + 12].try_into().expect("4")) as usize;
+        offset += 12;
+        Some(RelayHeader { dest, sour, relay: relay_sw })
+    } else {
+        None
+    };
+
+    if bytes.len() < offset + id_len {
+        return Err(ParseError::Truncated { needed: offset + id_len, have: bytes.len() });
+    }
+    let id = DataId::from_bytes(bytes[offset..offset + id_len].to_vec());
+    let payload = Bytes::copy_from_slice(&bytes[offset + id_len..]);
+
+    Ok(Packet {
+        kind,
+        id,
+        position: Point2::new(x, y),
+        relay,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Packet {
+        Packet::placement(DataId::new("cam/1/frame"), b"payload".as_ref())
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let p = sample();
+        let parsed = parse(&encode(&p)).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn round_trip_with_relay() {
+        let p = Packet::retrieval(DataId::new("k")).with_relay(3, 7, 12);
+        let parsed = parse(&encode(&p)).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.relay, Some(RelayHeader { dest: 12, sour: 3, relay: 7 }));
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        for p in [
+            Packet::placement(DataId::new("a"), b"x".as_ref()),
+            Packet::retrieval(DataId::new("b")),
+            Packet::response(DataId::new("c"), b"yz".as_ref()),
+        ] {
+            assert_eq!(parse(&encode(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn empty_payload_and_id() {
+        let p = Packet::placement(DataId::from_bytes(vec![]), Bytes::new());
+        let parsed = parse(&encode(&p)).unwrap();
+        assert!(parsed.payload.is_empty());
+        assert!(parsed.id.as_bytes().is_empty());
+    }
+
+    #[test]
+    fn truncation_detected_at_every_prefix() {
+        let full = encode(&Packet::retrieval(DataId::new("key")).with_relay(1, 2, 3));
+        for len in 0..full.len() {
+            let r = parse(&full[..len]);
+            assert!(
+                matches!(r, Err(ParseError::Truncated { .. })) || r.is_err(),
+                "prefix of {len} bytes must not parse"
+            );
+        }
+        assert!(parse(&full).is_ok());
+    }
+
+    #[test]
+    fn bad_magic_version_kind_flags() {
+        let mut b = encode(&sample());
+        b[0] = b'X';
+        assert_eq!(parse(&b), Err(ParseError::BadMagic));
+
+        let mut b = encode(&sample());
+        b[2] = 9;
+        assert_eq!(parse(&b), Err(ParseError::BadVersion(9)));
+
+        let mut b = encode(&sample());
+        b[4] = 7;
+        assert_eq!(parse(&b), Err(ParseError::BadKind(7)));
+
+        let mut b = encode(&sample());
+        b[3] = 0b1000_0000;
+        assert_eq!(parse(&b), Err(ParseError::UnknownFlags(0b1000_0000)));
+    }
+
+    #[test]
+    fn non_finite_position_rejected() {
+        let mut b = encode(&sample());
+        b[7..15].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(parse(&b), Err(ParseError::BadPosition));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseError::BadMagic.to_string().contains("magic"));
+        assert!(ParseError::Truncated { needed: 5, have: 2 }.to_string().contains('5'));
+    }
+
+    proptest! {
+        /// Any packet survives an encode/parse round trip.
+        #[test]
+        fn prop_round_trip(
+            id in proptest::collection::vec(any::<u8>(), 0..64),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            kind in 0u8..3,
+            relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
+        ) {
+            let id = DataId::from_bytes(id);
+            let mut p = match kind {
+                0 => Packet::placement(id, payload.clone()),
+                1 => Packet::retrieval(id),
+                _ => Packet::response(id, payload.clone()),
+            };
+            if let Some((s, r, d)) = relay {
+                p = p.with_relay(s, r, d);
+            }
+            let parsed = parse(&encode(&p)).unwrap();
+            prop_assert_eq!(parsed, p);
+        }
+
+        /// The parser never panics on arbitrary bytes.
+        #[test]
+        fn prop_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Centroidal Voronoi tessellation: Lloyd iteration and the paper's
+//! sampling-based C-regulation method (Algorithm 1, Section IV-B).
+//!
+//! The M-position embedding fixes switch positions by network distance only;
+//! their Voronoi cells then have unequal areas, so uniformly-hashed data
+//! load is unbalanced. A centroidal Voronoi tessellation (every site at the
+//! centroid of its own cell) is the minimizer of the CVT energy
+//! `F = Σ_i ∫_{R_i} ρ(r) |r - q_i|² dr`, and its cells are far more uniform.
+//!
+//! The paper refines positions with a *sampling* estimate: each iteration
+//! draws `samples` uniform points, assigns each to its nearest site, and
+//! moves every site toward the centroid of its assigned samples. We provide
+//! that method ([`c_regulation`]) plus the deterministic exact-centroid
+//! Lloyd step ([`lloyd_step`]) as an ablation baseline, and both sampled and
+//! exact CVT energies.
+
+use crate::point::nearest_index;
+use crate::voronoi::voronoi_cells;
+use crate::{Point2, Polygon};
+use rand::Rng;
+
+/// Configuration of the C-regulation refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CRegulationConfig {
+    /// Number of refinement iterations `T` (the paper sweeps 0–100; its
+    /// default GRED configuration uses 50).
+    pub iterations: usize,
+    /// Uniform sample points drawn per iteration (paper: 1000).
+    pub samples_per_iteration: usize,
+    /// Optional early-exit threshold on the sampled CVT energy.
+    pub energy_threshold: Option<f64>,
+}
+
+impl Default for CRegulationConfig {
+    /// The paper's defaults: `T = 50`, 1000 samples, no energy threshold.
+    fn default() -> Self {
+        CRegulationConfig {
+            iterations: 50,
+            samples_per_iteration: 1000,
+            energy_threshold: None,
+        }
+    }
+}
+
+impl CRegulationConfig {
+    /// A configuration running exactly `iterations` iterations with the
+    /// paper's sample count.
+    pub fn with_iterations(iterations: usize) -> Self {
+        CRegulationConfig {
+            iterations,
+            ..CRegulationConfig::default()
+        }
+    }
+}
+
+/// One exact Lloyd step: move every site to the centroid of its Voronoi
+/// cell within `bounds`. Sites with empty cells stay put.
+///
+/// ```
+/// use gred_geometry::{lloyd_step, Point2, Polygon};
+/// let sites = vec![Point2::new(0.1, 0.1), Point2::new(0.2, 0.9)];
+/// let next = lloyd_step(&sites, &Polygon::unit_square());
+/// assert_eq!(next.len(), 2);
+/// ```
+pub fn lloyd_step(sites: &[Point2], bounds: &Polygon) -> Vec<Point2> {
+    let cells = voronoi_cells(sites, bounds);
+    sites
+        .iter()
+        .zip(&cells)
+        .map(|(&site, cell)| cell.centroid().filter(|c| c.is_finite()).unwrap_or(site))
+        .collect()
+}
+
+/// The exact CVT energy `Σ_i ∫_{R_i} |r - q_i|² dr` of `sites` in `bounds`
+/// under uniform density.
+pub fn cvt_energy_exact(sites: &[Point2], bounds: &Polygon) -> f64 {
+    voronoi_cells(sites, bounds)
+        .iter()
+        .zip(sites)
+        .map(|(cell, &site)| cell.second_moment_about(site))
+        .sum()
+}
+
+/// Monte-Carlo estimate of the CVT energy using `samples` uniform points in
+/// the unit square.
+pub fn cvt_energy_sampled(sites: &[Point2], samples: usize, rng: &mut impl Rng) -> f64 {
+    if sites.is_empty() || samples == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let p = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+        let k = nearest_index(sites, p).expect("sites nonempty");
+        total += sites[k].distance_squared(p);
+    }
+    total / samples as f64
+}
+
+/// The paper's C-regulation refinement (Algorithm 1).
+///
+/// Runs up to `config.iterations` iterations; each draws
+/// `config.samples_per_iteration` uniform sample points in the unit square,
+/// assigns every sample to its nearest site, and moves each site to the
+/// centroid of its assigned samples. Iteration stops early when the sampled
+/// CVT energy drops below `config.energy_threshold`, if one is set.
+///
+/// Returns the refined sites (always the same count as the input, in the
+/// same order). With `config.iterations == 0` the input is returned
+/// unchanged — that is exactly the paper's GRED-NoCVT variant.
+///
+/// ```
+/// use gred_geometry::{c_regulation, CRegulationConfig, Point2};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sites = vec![
+///     Point2::new(0.01, 0.01),
+///     Point2::new(0.02, 0.01),
+///     Point2::new(0.01, 0.02),
+/// ];
+/// let refined = c_regulation(&sites, &CRegulationConfig::with_iterations(30), &mut rng);
+/// // Clustered sites spread out toward a balanced tessellation.
+/// let spread = refined[0].distance(refined[1]);
+/// assert!(spread > 0.1);
+/// ```
+pub fn c_regulation(
+    sites: &[Point2],
+    config: &CRegulationConfig,
+    rng: &mut impl Rng,
+) -> Vec<Point2> {
+    let mut current: Vec<Point2> = sites.to_vec();
+    if current.is_empty() {
+        return current;
+    }
+    for _ in 0..config.iterations {
+        let mut sums = vec![Point2::ORIGIN; current.len()];
+        let mut counts = vec![0usize; current.len()];
+        let mut energy = 0.0;
+        for _ in 0..config.samples_per_iteration {
+            let p = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let k = nearest_index(&current, p).expect("sites nonempty");
+            sums[k] = sums[k] + p;
+            counts[k] += 1;
+            energy += current[k].distance_squared(p);
+        }
+        for k in 0..current.len() {
+            if counts[k] > 0 {
+                current[k] = sums[k] * (1.0 / counts[k] as f64);
+            }
+        }
+        if let Some(threshold) = config.energy_threshold {
+            let energy = energy / config.samples_per_iteration.max(1) as f64;
+            if energy < threshold {
+                break;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_sites(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    fn cell_area_imbalance(sites: &[Point2]) -> f64 {
+        let cells = voronoi_cells(sites, &Polygon::unit_square());
+        let areas: Vec<f64> = cells.iter().map(Polygon::area).collect();
+        let avg = areas.iter().sum::<f64>() / areas.len() as f64;
+        areas.iter().cloned().fold(0.0, f64::max) / avg
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let sites = random_sites(10, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = c_regulation(&sites, &CRegulationConfig::with_iterations(0), &mut rng);
+        assert_eq!(out, sites);
+    }
+
+    #[test]
+    fn empty_sites_ok() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(c_regulation(&[], &CRegulationConfig::default(), &mut rng).is_empty());
+        assert_eq!(cvt_energy_sampled(&[], 100, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn regulation_improves_balance() {
+        let sites = random_sites(20, 7);
+        let before = cell_area_imbalance(&sites);
+        let mut rng = StdRng::seed_from_u64(3);
+        let refined = c_regulation(&sites, &CRegulationConfig::with_iterations(50), &mut rng);
+        let after = cell_area_imbalance(&refined);
+        assert!(
+            after < before,
+            "imbalance should drop: before={before}, after={after}"
+        );
+        assert!(after < 2.0, "after 50 iterations max/avg area should be < 2, got {after}");
+    }
+
+    #[test]
+    fn regulation_reduces_exact_energy() {
+        let sites = random_sites(16, 11);
+        let square = Polygon::unit_square();
+        let before = cvt_energy_exact(&sites, &square);
+        let mut rng = StdRng::seed_from_u64(5);
+        let refined = c_regulation(&sites, &CRegulationConfig::with_iterations(40), &mut rng);
+        let after = cvt_energy_exact(&refined, &square);
+        assert!(after < before, "energy: before={before}, after={after}");
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let sites = random_sites(15, 13);
+        let mut rng10 = StdRng::seed_from_u64(6);
+        let mut rng50 = StdRng::seed_from_u64(6);
+        let square = Polygon::unit_square();
+        let t10 = c_regulation(&sites, &CRegulationConfig::with_iterations(10), &mut rng10);
+        let t50 = c_regulation(&sites, &CRegulationConfig::with_iterations(50), &mut rng50);
+        // Sampled refinement fluctuates; allow slack but expect the trend.
+        assert!(cvt_energy_exact(&t50, &square) < cvt_energy_exact(&t10, &square) * 1.15);
+    }
+
+    #[test]
+    fn lloyd_fixed_point_is_stable() {
+        // A perfectly symmetric 2x2 configuration is already centroidal.
+        let sites = vec![
+            Point2::new(0.25, 0.25),
+            Point2::new(0.75, 0.25),
+            Point2::new(0.25, 0.75),
+            Point2::new(0.75, 0.75),
+        ];
+        let next = lloyd_step(&sites, &Polygon::unit_square());
+        for (a, b) in sites.iter().zip(&next) {
+            assert!(a.distance(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lloyd_monotone_energy() {
+        let square = Polygon::unit_square();
+        let mut sites = random_sites(12, 17);
+        let mut prev = cvt_energy_exact(&sites, &square);
+        for step in 0..20 {
+            sites = lloyd_step(&sites, &square);
+            let e = cvt_energy_exact(&sites, &square);
+            assert!(
+                e <= prev + 1e-12,
+                "Lloyd energy increased at step {step}: {prev} -> {e}"
+            );
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn sampled_energy_matches_exact() {
+        let sites = random_sites(9, 23);
+        let mut rng = StdRng::seed_from_u64(8);
+        let sampled = cvt_energy_sampled(&sites, 40_000, &mut rng);
+        let exact = cvt_energy_exact(&sites, &Polygon::unit_square());
+        assert!(
+            (sampled - exact).abs() < 0.15 * exact.max(1e-6),
+            "sampled={sampled}, exact={exact}"
+        );
+    }
+
+    #[test]
+    fn energy_threshold_short_circuits() {
+        let sites = random_sites(8, 29);
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = CRegulationConfig {
+            iterations: 1000,
+            samples_per_iteration: 200,
+            energy_threshold: Some(f64::INFINITY),
+        };
+        // Threshold met after the first iteration — must not run all 1000.
+        let out = c_regulation(&sites, &config, &mut rng);
+        assert_eq!(out.len(), sites.len());
+    }
+
+    #[test]
+    fn sites_stay_in_unit_square() {
+        let sites = random_sites(25, 31);
+        let mut rng = StdRng::seed_from_u64(10);
+        let refined = c_regulation(&sites, &CRegulationConfig::default(), &mut rng);
+        for p in &refined {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+}

@@ -1,0 +1,1144 @@
+//! Delaunay triangulation with greedy routing.
+//!
+//! GRED's guaranteed-delivery property (paper Section II-B) rests on a
+//! classical theorem: greedy forwarding on a Delaunay triangulation always
+//! reaches the node closest to the destination position. The control plane
+//! therefore triangulates the refined switch positions and installs the DT
+//! edges as (possibly multi-hop) forwarding adjacencies.
+//!
+//! # Exact arithmetic on a quantized lattice
+//!
+//! Floating-point orientation/in-circle predicates give inconsistent answers
+//! on near-degenerate input and can corrupt an incremental triangulation
+//! (overlaps, holes, flip cycles). Instead of adaptive-precision floats, we
+//! snap every input coordinate to a lattice of spacing 2⁻³⁰ and evaluate all
+//! predicates in exact `i128` integer arithmetic: with 30-bit coordinates
+//! the degree-4 in-circle determinant is bounded by ~2¹²⁴, comfortably
+//! inside `i128`. The paper itself quantizes virtual-space positions to
+//! 4-byte fixed point, so a 2⁻³⁰ grid loses nothing. Every predicate is
+//! exact, so the flip algorithm provably terminates at the true Delaunay
+//! triangulation of the snapped points.
+//!
+//! Construction is flip-based: fan-triangulate the convex hull, insert
+//! interior points by triangle/edge splitting, and restore the empty
+//! circumcircle property with Lawson edge flips. Degenerate inputs (all
+//! points collinear) fall back to the 1D Delaunay graph — the path along
+//! the sorted points — on which greedy routing still delivers.
+
+use crate::Point2;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Lattice resolution: input coordinates are snapped to multiples of
+/// `1 / QUANT_SCALE` (2⁻³⁰ ≈ 9.3e-10).
+const QUANT_SCALE: f64 = (1u64 << 30) as f64;
+
+/// Maximum admissible coordinate magnitude before quantization. Keeps
+/// quantized values within 30 bits of integer range plus sign.
+const MAX_COORD: f64 = 4096.0;
+
+/// Integer lattice point.
+type IPoint = (i64, i64);
+
+fn quantize(p: Point2) -> IPoint {
+    (
+        (p.x * QUANT_SCALE).round() as i64,
+        (p.y * QUANT_SCALE).round() as i64,
+    )
+}
+
+fn unquantize(p: IPoint) -> Point2 {
+    Point2::new(p.0 as f64 / QUANT_SCALE, p.1 as f64 / QUANT_SCALE)
+}
+
+/// Exact orientation: > 0 when `c` is left of directed line `a -> b`
+/// (counter-clockwise triangle), < 0 right, == 0 collinear.
+fn iorient(a: IPoint, b: IPoint, c: IPoint) -> i128 {
+    let (abx, aby) = ((b.0 - a.0) as i128, (b.1 - a.1) as i128);
+    let (acx, acy) = ((c.0 - a.0) as i128, (c.1 - a.1) as i128);
+    abx * acy - aby * acx
+}
+
+/// Exact squared distance.
+fn idist2(a: IPoint, b: IPoint) -> i128 {
+    let dx = (a.0 - b.0) as i128;
+    let dy = (a.1 - b.1) as i128;
+    dx * dx + dy * dy
+}
+
+/// Exact in-circumcircle determinant for a counter-clockwise triangle
+/// `(a, b, c)`: > 0 iff `d` lies strictly inside the circumcircle.
+fn i_incircle(a: IPoint, b: IPoint, c: IPoint, d: IPoint) -> i128 {
+    let adx = (a.0 - d.0) as i128;
+    let ady = (a.1 - d.1) as i128;
+    let bdx = (b.0 - d.0) as i128;
+    let bdy = (b.1 - d.1) as i128;
+    let cdx = (c.0 - d.0) as i128;
+    let cdy = (c.1 - d.1) as i128;
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) + ad2 * (bdx * cdy - bdy * cdx)
+}
+
+/// Error constructing a [`Triangulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelaunayError {
+    /// No input points.
+    Empty,
+    /// Two input points coincide after lattice quantization (closer than
+    /// ~1e-9 apart).
+    DuplicatePoint {
+        /// Index of the first point of the coinciding pair.
+        first: usize,
+        /// Index of the second point of the coinciding pair.
+        second: usize,
+    },
+    /// An input coordinate was NaN, infinite, or larger in magnitude than
+    /// the supported range (±4096).
+    InvalidCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DelaunayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelaunayError::Empty => write!(f, "cannot triangulate an empty point set"),
+            DelaunayError::DuplicatePoint { first, second } => {
+                write!(f, "points {first} and {second} coincide after quantization")
+            }
+            DelaunayError::InvalidCoordinate { index } => {
+                write!(f, "point {index} has a non-finite or out-of-range coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DelaunayError {}
+
+/// A Delaunay triangulation of a fixed point set, with the adjacency and
+/// greedy-routing queries GRED needs.
+///
+/// Coordinates are snapped to a 2⁻³⁰ lattice on construction (see the
+/// module docs); [`Triangulation::points`] returns the snapped positions.
+///
+/// ```
+/// use gred_geometry::{Point2, Triangulation};
+/// # fn main() -> Result<(), gred_geometry::DelaunayError> {
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(0.0, 1.0),
+///     Point2::new(1.0, 1.0),
+/// ];
+/// let dt = Triangulation::new(&pts)?;
+/// // Greedy routing from any node reaches the node nearest the target.
+/// let path = dt.greedy_route(0, Point2::new(0.95, 0.95));
+/// assert_eq!(*path.last().unwrap(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    ipoints: Vec<IPoint>,
+    points: Vec<Point2>,
+    /// Live triangles, each CCW. Indices into `points`.
+    triangles: Vec<[usize; 3]>,
+    /// DT adjacency per point.
+    neighbors: Vec<BTreeSet<usize>>,
+    /// True when the input was collinear and the graph is the sorted path.
+    collinear: bool,
+}
+
+fn edge_key(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Internal mutable builder state.
+struct Builder {
+    pts: Vec<IPoint>,
+    tris: Vec<Option<[usize; 3]>>,
+    /// Sorted vertex pair -> ids of live triangles sharing the edge.
+    edge_tris: HashMap<(usize, usize), Vec<usize>>,
+}
+
+/// Where a point landed during location.
+enum Location {
+    Inside(usize),
+    OnEdge(usize, usize),
+}
+
+impl Builder {
+    fn ccw(&self, t: [usize; 3]) -> [usize; 3] {
+        if iorient(self.pts[t[0]], self.pts[t[1]], self.pts[t[2]]) < 0 {
+            [t[0], t[2], t[1]]
+        } else {
+            t
+        }
+    }
+
+    fn add_tri(&mut self, t: [usize; 3]) -> usize {
+        let t = self.ccw(t);
+        debug_assert!(
+            iorient(self.pts[t[0]], self.pts[t[1]], self.pts[t[2]]) > 0,
+            "degenerate triangle {t:?}"
+        );
+        let id = self.tris.len();
+        self.tris.push(Some(t));
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            self.edge_tris.entry(edge_key(a, b)).or_default().push(id);
+        }
+        id
+    }
+
+    fn remove_tri(&mut self, id: usize) {
+        let t = self.tris[id].take().expect("removing a live triangle");
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            let key = edge_key(a, b);
+            let v = self.edge_tris.get_mut(&key).expect("edge index exists");
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.edge_tris.remove(&key);
+            }
+        }
+    }
+
+    /// Finds the live triangle containing `p` (exact). Interior points of
+    /// the current triangulation always land somewhere.
+    fn locate(&self, p: IPoint) -> Option<Location> {
+        for (id, t) in self.tris.iter().enumerate() {
+            let Some(t) = t else { continue };
+            let [a, b, c] = *t;
+            let o_ab = iorient(self.pts[a], self.pts[b], p);
+            let o_bc = iorient(self.pts[b], self.pts[c], p);
+            let o_ca = iorient(self.pts[c], self.pts[a], p);
+            if o_ab >= 0 && o_bc >= 0 && o_ca >= 0 {
+                if o_ab == 0 {
+                    return Some(Location::OnEdge(a, b));
+                }
+                if o_bc == 0 {
+                    return Some(Location::OnEdge(b, c));
+                }
+                if o_ca == 0 {
+                    return Some(Location::OnEdge(c, a));
+                }
+                return Some(Location::Inside(id));
+            }
+        }
+        None
+    }
+
+    /// Splits triangle `id` by strictly-interior point `p_idx`.
+    fn split_triangle(&mut self, id: usize, p_idx: usize) -> Vec<(usize, usize)> {
+        let [a, b, c] = self.tris[id].expect("splitting a live triangle");
+        self.remove_tri(id);
+        self.add_tri([a, b, p_idx]);
+        self.add_tri([b, c, p_idx]);
+        self.add_tri([c, a, p_idx]);
+        vec![edge_key(a, b), edge_key(b, c), edge_key(c, a)]
+    }
+
+    /// Splits edge `(a, b)` by a point lying exactly on it, dividing each
+    /// adjacent triangle in two.
+    fn split_edge(&mut self, a: usize, b: usize, p_idx: usize) -> Vec<(usize, usize)> {
+        let ids: Vec<usize> = self
+            .edge_tris
+            .get(&edge_key(a, b))
+            .cloned()
+            .unwrap_or_default();
+        let mut affected = Vec::new();
+        for id in ids {
+            let t = self.tris[id].expect("edge index refers to live triangle");
+            let opp = *t
+                .iter()
+                .find(|&&v| v != a && v != b)
+                .expect("triangle has an opposite vertex");
+            self.remove_tri(id);
+            self.add_tri([a, opp, p_idx]);
+            self.add_tri([opp, b, p_idx]);
+            affected.push(edge_key(a, opp));
+            affected.push(edge_key(opp, b));
+        }
+        affected
+    }
+
+    /// Lawson flip propagation from the seed edges. With exact predicates
+    /// this terminates at a locally (hence globally) Delaunay state.
+    /// Returns the number of flips performed.
+    fn legalize(&mut self, seeds: Vec<(usize, usize)>) -> usize {
+        let mut flips = 0;
+        let mut queue: VecDeque<(usize, usize)> = seeds.into();
+        while let Some(key) = queue.pop_front() {
+            let Some(ids) = self.edge_tris.get(&key) else {
+                continue;
+            };
+            if ids.len() != 2 {
+                continue; // hull edge or stale
+            }
+            let (id1, id2) = (ids[0], ids[1]);
+            let t1 = self.tris[id1].expect("live");
+            let t2 = self.tris[id2].expect("live");
+            let (a, b) = key;
+            let c = *t1
+                .iter()
+                .find(|&&v| v != a && v != b)
+                .expect("opposite vertex in t1");
+            let d = *t2
+                .iter()
+                .find(|&&v| v != a && v != b)
+                .expect("opposite vertex in t2");
+
+            let t1c = self.ccw([a, b, c]);
+            if i_incircle(self.pts[t1c[0]], self.pts[t1c[1]], self.pts[t1c[2]], self.pts[d]) <= 0 {
+                continue;
+            }
+            // In a valid triangulation an in-circle violation implies the
+            // quad is strictly convex, so the flip is always legal.
+            debug_assert!({
+                let oa = iorient(self.pts[c], self.pts[d], self.pts[a]);
+                let ob = iorient(self.pts[c], self.pts[d], self.pts[b]);
+                oa != 0 && ob != 0 && (oa > 0) != (ob > 0)
+            });
+            self.remove_tri(id1);
+            self.remove_tri(id2);
+            self.add_tri([c, d, a]);
+            self.add_tri([c, d, b]);
+            flips += 1;
+            for e in [
+                edge_key(a, c),
+                edge_key(a, d),
+                edge_key(b, c),
+                edge_key(b, d),
+            ] {
+                queue.push_back(e);
+            }
+        }
+        flips
+    }
+
+    /// Re-runs legalization over every edge until no flip fires — a cheap
+    /// belt-and-braces pass that certifies the local Delaunay property.
+    fn legalize_to_fixed_point(&mut self) {
+        loop {
+            let all: Vec<(usize, usize)> = self.edge_tris.keys().copied().collect();
+            if self.legalize(all) == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Convex hull (monotone chain) on the integer lattice, CCW, strict.
+fn int_convex_hull(pts: &[IPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pts.len()).collect();
+    idx.sort_by_key(|&i| pts[i]);
+    idx.dedup_by_key(|&mut i| pts[i]);
+    if idx.len() < 3 {
+        return idx;
+    }
+    let mut lower: Vec<usize> = Vec::new();
+    for &i in &idx {
+        while lower.len() >= 2
+            && iorient(pts[lower[lower.len() - 2]], pts[lower[lower.len() - 1]], pts[i]) <= 0
+        {
+            lower.pop();
+        }
+        lower.push(i);
+    }
+    let mut upper: Vec<usize> = Vec::new();
+    for &i in idx.iter().rev() {
+        while upper.len() >= 2
+            && iorient(pts[upper[upper.len() - 2]], pts[upper[upper.len() - 1]], pts[i]) <= 0
+        {
+            upper.pop();
+        }
+        upper.push(i);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        let mut ends = vec![*idx.first().expect("nonempty"), *idx.last().expect("nonempty")];
+        ends.dedup();
+        return ends;
+    }
+    lower
+}
+
+impl Triangulation {
+    /// Triangulates `points` (snapped to the 2⁻³⁰ lattice).
+    ///
+    /// # Errors
+    ///
+    /// - [`DelaunayError::Empty`] for an empty slice,
+    /// - [`DelaunayError::InvalidCoordinate`] for NaN/infinite/out-of-range
+    ///   coordinates,
+    /// - [`DelaunayError::DuplicatePoint`] when two points coincide after
+    ///   quantization.
+    pub fn new(points: &[Point2]) -> Result<Self, DelaunayError> {
+        if points.is_empty() {
+            return Err(DelaunayError::Empty);
+        }
+        for (i, p) in points.iter().enumerate() {
+            if !p.is_finite() || p.x.abs() > MAX_COORD || p.y.abs() > MAX_COORD {
+                return Err(DelaunayError::InvalidCoordinate { index: i });
+            }
+        }
+        let ipoints: Vec<IPoint> = points.iter().map(|&p| quantize(p)).collect();
+        let snapped: Vec<Point2> = ipoints.iter().map(|&p| unquantize(p)).collect();
+
+        // Duplicate detection on the sorted order.
+        let mut order: Vec<usize> = (0..ipoints.len()).collect();
+        order.sort_by_key(|&i| ipoints[i]);
+        for w in order.windows(2) {
+            if ipoints[w[0]] == ipoints[w[1]] {
+                return Err(DelaunayError::DuplicatePoint {
+                    first: w[0].min(w[1]),
+                    second: w[0].max(w[1]),
+                });
+            }
+        }
+
+        let hull = int_convex_hull(&ipoints);
+        if hull.len() < 3 {
+            // Collinear (or < 3 points): Delaunay graph is the sorted path.
+            let mut neighbors = vec![BTreeSet::new(); ipoints.len()];
+            for w in order.windows(2) {
+                neighbors[w[0]].insert(w[1]);
+                neighbors[w[1]].insert(w[0]);
+            }
+            return Ok(Triangulation {
+                ipoints,
+                points: snapped,
+                triangles: Vec::new(),
+                neighbors,
+                collinear: true,
+            });
+        }
+
+        let mut b = Builder {
+            pts: ipoints.clone(),
+            tris: Vec::new(),
+            edge_tris: HashMap::new(),
+        };
+
+        // Fan triangulation of the hull, then legalize it.
+        for i in 1..hull.len() - 1 {
+            b.add_tri([hull[0], hull[i], hull[i + 1]]);
+        }
+        let on_hull: BTreeSet<usize> = hull.iter().copied().collect();
+        let seeds: Vec<(usize, usize)> = b.edge_tris.keys().copied().collect();
+        b.legalize(seeds);
+
+        // Insert the remaining points (in sorted order for determinism).
+        // Non-hull points are interior to the hull, or on its boundary
+        // (collinear with a hull edge) — `locate` finds both exactly.
+        for &i in &order {
+            if on_hull.contains(&i) {
+                continue;
+            }
+            let loc = b
+                .locate(ipoints[i])
+                .expect("non-hull point lies inside or on the hull triangulation");
+            let mut seeds = match loc {
+                Location::Inside(id) => b.split_triangle(id, i),
+                Location::OnEdge(a, bb) => b.split_edge(a, bb, i),
+            };
+            seeds.extend(
+                b.edge_tris
+                    .keys()
+                    .filter(|&&(x, y)| x == i || y == i)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            );
+            b.legalize(seeds);
+        }
+        b.legalize_to_fixed_point();
+
+        let triangles: Vec<[usize; 3]> = b.tris.iter().flatten().copied().collect();
+        let mut neighbors = vec![BTreeSet::new(); ipoints.len()];
+        for t in &triangles {
+            for (x, y) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                neighbors[x].insert(y);
+                neighbors[y].insert(x);
+            }
+        }
+        Ok(Triangulation {
+            ipoints,
+            points: snapped,
+            triangles,
+            neighbors,
+            collinear: false,
+        })
+    }
+
+    /// The triangulated points (lattice-snapped), in input order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// The triangles (CCW vertex index triples). Empty for collinear input.
+    pub fn triangles(&self) -> &[[usize; 3]] {
+        &self.triangles
+    }
+
+    /// Whether the input was collinear (graph degraded to a path).
+    pub fn is_collinear(&self) -> bool {
+        self.collinear
+    }
+
+    /// The DT neighbors of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.neighbors[i].iter().copied()
+    }
+
+    /// Degree of point `i` in the DT graph.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// All DT edges as `(smaller, larger)` index pairs, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, ns) in self.neighbors.iter().enumerate() {
+            for &j in ns {
+                if i < j {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the point nearest `target` (exact comparison on the
+    /// lattice; ties broken lexicographically by coordinates).
+    pub fn nearest(&self, target: Point2) -> usize {
+        let t = quantize(target);
+        let mut best = 0usize;
+        let mut best_d = idist2(self.ipoints[0], t);
+        for i in 1..self.ipoints.len() {
+            let d = idist2(self.ipoints[i], t);
+            if d < best_d || (d == best_d && self.ipoints[i] < self.ipoints[best]) {
+                best = i;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// Greedy route from point `from` toward position `target`: repeatedly
+    /// step to the neighbor strictly closer to `target`, stopping at a local
+    /// minimum. On a Delaunay triangulation the stopping point is the global
+    /// nearest point (guaranteed delivery).
+    ///
+    /// Returns the visited point indices, starting with `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn greedy_route(&self, from: usize, target: Point2) -> Vec<usize> {
+        assert!(from < self.points.len(), "start index out of range");
+        let t = quantize(target);
+        let mut path = vec![from];
+        let mut cur = from;
+        // Distance strictly decreases, so the walk visits ≤ n points.
+        for _ in 0..self.points.len() {
+            let cur_d = idist2(self.ipoints[cur], t);
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for n in self.neighbors(cur) {
+                let d = idist2(self.ipoints[n], t);
+                if d < best_d
+                    || (d == best_d && best != cur && self.ipoints[n] < self.ipoints[best])
+                {
+                    best = n;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                break;
+            }
+            path.push(best);
+            cur = best;
+        }
+        path
+    }
+
+    /// Verifies the empty-circumcircle property for every triangle with
+    /// exact arithmetic (used by tests; O(n·t)). Returns the first
+    /// violation as `(triangle_index, offending_point)`.
+    pub fn delaunay_violation(&self) -> Option<(usize, usize)> {
+        for (ti, t) in self.triangles.iter().enumerate() {
+            let (a, b, c) = (self.ipoints[t[0]], self.ipoints[t[1]], self.ipoints[t[2]]);
+            for pi in 0..self.ipoints.len() {
+                if t.contains(&pi) {
+                    continue;
+                }
+                if i_incircle(a, b, c, self.ipoints[pi]) > 0 {
+                    return Some((ti, pi));
+                }
+            }
+        }
+        None
+    }
+
+    /// Incremental insertion (the paper's Section VI join): returns a new
+    /// triangulation containing `p` as the last point, updating only the
+    /// region around `p` when `p` falls inside the current hull; existing
+    /// points keep their indices.
+    ///
+    /// Points outside the current convex hull (or collinear inputs)
+    /// degrade gracefully to a full rebuild — the result is identical
+    /// either way because a point set has a unique DT (up to co-circular
+    /// ties).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Triangulation::new`].
+    pub fn with_inserted(&self, p: Point2) -> Result<Triangulation, DelaunayError> {
+        if !p.is_finite() || p.x.abs() > MAX_COORD || p.y.abs() > MAX_COORD {
+            return Err(DelaunayError::InvalidCoordinate { index: self.points.len() });
+        }
+        let ip = quantize(p);
+        if let Some(first) = self.ipoints.iter().position(|&q| q == ip) {
+            return Err(DelaunayError::DuplicatePoint {
+                first,
+                second: self.points.len(),
+            });
+        }
+        // Collinear history or exterior point: rebuild from scratch.
+        let rebuild = || {
+            let mut pts = self.points.clone();
+            pts.push(p);
+            Triangulation::new(&pts)
+        };
+        if self.collinear {
+            return rebuild();
+        }
+
+        let mut b = Builder {
+            pts: self.ipoints.clone(),
+            tris: self.triangles.iter().map(|&t| Some(t)).collect(),
+            edge_tris: HashMap::new(),
+        };
+        for (id, t) in self.triangles.iter().enumerate() {
+            for (x, y) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                b.edge_tris.entry(edge_key(x, y)).or_default().push(id);
+            }
+        }
+        b.pts.push(ip);
+        let new_idx = b.pts.len() - 1;
+        let Some(loc) = b.locate(ip) else {
+            return rebuild(); // outside the hull
+        };
+        let mut seeds = match loc {
+            Location::Inside(id) => b.split_triangle(id, new_idx),
+            Location::OnEdge(x, y) => {
+                // Hull-boundary points also change the hull; a split only
+                // covers interior edges (two adjacent triangles).
+                if b.edge_tris.get(&edge_key(x, y)).map_or(0, Vec::len) < 2 {
+                    return rebuild();
+                }
+                b.split_edge(x, y, new_idx)
+            }
+        };
+        seeds.extend(
+            b.edge_tris
+                .keys()
+                .filter(|&&(x, y)| x == new_idx || y == new_idx)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        b.legalize(seeds);
+
+        let triangles: Vec<[usize; 3]> = b.tris.iter().flatten().copied().collect();
+        let mut neighbors = vec![BTreeSet::new(); b.pts.len()];
+        for t in &triangles {
+            for (x, y) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                neighbors[x].insert(y);
+                neighbors[y].insert(x);
+            }
+        }
+        let mut points = self.points.clone();
+        points.push(unquantize(ip));
+        Ok(Triangulation {
+            ipoints: b.pts,
+            points,
+            triangles,
+            neighbors,
+            collinear: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::nearest_index;
+    use crate::predicates::orient2d;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Triangulation::new(&[]).unwrap_err(), DelaunayError::Empty);
+        let dup = vec![Point2::ORIGIN, Point2::new(1.0, 0.0), Point2::ORIGIN];
+        assert_eq!(
+            Triangulation::new(&dup).unwrap_err(),
+            DelaunayError::DuplicatePoint { first: 0, second: 2 }
+        );
+        let nan = vec![Point2::new(f64::NAN, 0.0)];
+        assert_eq!(
+            Triangulation::new(&nan).unwrap_err(),
+            DelaunayError::InvalidCoordinate { index: 0 }
+        );
+        let big = vec![Point2::new(1e9, 0.0)];
+        assert_eq!(
+            Triangulation::new(&big).unwrap_err(),
+            DelaunayError::InvalidCoordinate { index: 0 }
+        );
+    }
+
+    #[test]
+    fn near_duplicates_quantize_to_duplicates() {
+        let pts = vec![Point2::new(0.5, 0.5), Point2::new(0.5 + 1e-12, 0.5)];
+        assert!(matches!(
+            Triangulation::new(&pts).unwrap_err(),
+            DelaunayError::DuplicatePoint { .. }
+        ));
+    }
+
+    #[test]
+    fn single_point() {
+        let dt = Triangulation::new(&[Point2::new(0.5, 0.5)]).unwrap();
+        assert!(dt.is_collinear());
+        assert_eq!(dt.degree(0), 0);
+        assert_eq!(dt.greedy_route(0, Point2::ORIGIN), vec![0]);
+    }
+
+    #[test]
+    fn collinear_points_form_path() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 0.0),
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.is_collinear());
+        assert_eq!(dt.edges(), vec![(0, 2), (1, 2)]);
+        // Greedy from left end to right end walks the path.
+        assert_eq!(dt.greedy_route(0, Point2::new(2.0, 0.0)), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn two_triangles_flip_to_delaunay() {
+        // Four points where the initial fan would pick the wrong diagonal.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, -0.1),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 2.0),
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert_eq!(dt.triangles().len(), 2);
+        assert!(dt.delaunay_violation().is_none());
+    }
+
+    #[test]
+    fn interior_point_splits() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.4, 0.6),
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.delaunay_violation().is_none());
+        // Euler: triangles = 2n - h - 2 = 2*5 - 4 - 2 = 4.
+        assert_eq!(dt.triangles().len(), 4);
+        assert_eq!(dt.degree(4), 4);
+    }
+
+    #[test]
+    fn point_on_edge_is_handled() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(1.0, 1.0), // exactly on the fan diagonal
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.delaunay_violation().is_none());
+        let total_area: f64 = dt
+            .triangles()
+            .iter()
+            .map(|t| orient2d(pts[t[0]], pts[t[1]], pts[t[2]]).abs() / 2.0)
+            .sum();
+        assert!((total_area - 4.0).abs() < 1e-9, "area {total_area}");
+    }
+
+    #[test]
+    fn point_on_hull_edge_is_handled() {
+        // Fifth point exactly on the bottom hull edge.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(1.0, 0.0),
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.delaunay_violation().is_none());
+        assert!(dt.degree(4) >= 2);
+        let total_area: f64 = dt
+            .triangles()
+            .iter()
+            .map(|t| orient2d(pts[t[0]], pts[t[1]], pts[t[2]]).abs() / 2.0)
+            .sum();
+        assert!((total_area - 4.0).abs() < 1e-9, "area {total_area}");
+    }
+
+    #[test]
+    fn random_sets_are_delaunay() {
+        for seed in 0..5 {
+            let pts = random_points(60, seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            assert_eq!(
+                dt.delaunay_violation(),
+                None,
+                "seed {seed}: triangulation violates empty circumcircle"
+            );
+        }
+    }
+
+    #[test]
+    fn triangulation_covers_hull_area() {
+        for seed in 10..14 {
+            let pts = random_points(40, seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            let snapped = dt.points().to_vec();
+            let hull = crate::convex_hull(&snapped);
+            let hull_area: f64 = {
+                let n = hull.len();
+                (0..n)
+                    .map(|i| {
+                        let a = snapped[hull[i]];
+                        let b = snapped[hull[(i + 1) % n]];
+                        a.x * b.y - b.x * a.y
+                    })
+                    .sum::<f64>()
+                    / 2.0
+            };
+            let tri_area: f64 = dt
+                .triangles()
+                .iter()
+                .map(|t| orient2d(snapped[t[0]], snapped[t[1]], snapped[t[2]]) / 2.0)
+                .sum();
+            assert!(
+                (hull_area - tri_area).abs() < 1e-9 * hull_area.max(1.0),
+                "seed {seed}: hull {hull_area} vs triangles {tri_area}"
+            );
+        }
+    }
+
+    #[test]
+    fn euler_triangle_count() {
+        // t = 2n - h - 2 for a triangulation of n points with h on the hull
+        // (counting points on hull edges as hull vertices). Random points in
+        // general position have no such collinearities, so the strict hull
+        // count applies.
+        for seed in 20..24 {
+            let pts = random_points(50, seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            let h = crate::convex_hull(dt.points()).len();
+            assert_eq!(dt.triangles().len(), 2 * pts.len() - h - 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_always_reaches_nearest() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..8 {
+            let pts = random_points(80, 100 + seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            for _ in 0..50 {
+                let target = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                let from = rng.gen_range(0..pts.len());
+                let path = dt.greedy_route(from, target);
+                let reached = *path.last().unwrap();
+                let nearest = nearest_index(dt.points(), target).unwrap();
+                assert_eq!(
+                    dt.points()[reached].distance_squared(target),
+                    dt.points()[nearest].distance_squared(target),
+                    "seed {seed}: greedy stopped at {reached}, nearest is {nearest}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_path_distances_strictly_decrease() {
+        let pts = random_points(60, 7);
+        let dt = Triangulation::new(&pts).unwrap();
+        let target = Point2::new(0.21, 0.83);
+        let path = dt.greedy_route(3, target);
+        for w in path.windows(2) {
+            assert!(
+                dt.points()[w[1]].distance_squared(target)
+                    < dt.points()[w[0]].distance_squared(target),
+                "greedy step did not decrease distance"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let pts = random_points(70, 55);
+        let dt = Triangulation::new(&pts).unwrap();
+        for i in 0..pts.len() {
+            for j in dt.neighbors(i) {
+                assert!(dt.neighbors(j).any(|k| k == i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_is_bounded_and_graph_connected() {
+        // Planar graph: average degree < 6.
+        let pts = random_points(200, 321);
+        let dt = Triangulation::new(&pts).unwrap();
+        let total: usize = (0..pts.len()).map(|i| dt.degree(i)).sum();
+        assert!(total < 6 * pts.len());
+        let mut seen = vec![false; pts.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for v in dt.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "DT graph must be connected");
+    }
+
+    #[test]
+    fn grid_with_jitter_is_delaunay() {
+        // Near-degenerate (almost co-circular and almost-collinear-hull)
+        // grid configurations — the classic killer of float predicates.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                pts.push(Point2::new(
+                    i as f64 / 5.0 + rng.gen_range(-1e-6..1e-6),
+                    j as f64 / 5.0 + rng.gen_range(-1e-6..1e-6),
+                ));
+            }
+        }
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.delaunay_violation().is_none());
+    }
+
+    #[test]
+    fn exact_grid_is_delaunay() {
+        // Perfectly co-circular quadruples everywhere: any triangulation is
+        // Delaunay; the checker must accept whichever diagonal was chosen.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push(Point2::new(i as f64 / 4.0, j as f64 / 4.0));
+            }
+        }
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.delaunay_violation().is_none());
+        // Full cover: 2n - h - 2 with h = 16 boundary points counted as
+        // hull-edge points; area check is the robust invariant.
+        let total_area: f64 = dt
+            .triangles()
+            .iter()
+            .map(|t| orient2d(pts[t[0]], pts[t[1]], pts[t[2]]).abs() / 2.0)
+            .sum();
+        assert!((total_area - 1.0).abs() < 1e-9, "area {total_area}");
+    }
+
+    #[test]
+    fn greedy_on_near_degenerate_grid() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                pts.push(Point2::new(
+                    i as f64 / 7.0 + rng.gen_range(-1e-7..1e-7),
+                    j as f64 / 7.0 + rng.gen_range(-1e-7..1e-7),
+                ));
+            }
+        }
+        let dt = Triangulation::new(&pts).unwrap();
+        for _ in 0..200 {
+            let target = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let from = rng.gen_range(0..pts.len());
+            let reached = *dt.greedy_route(from, target).last().unwrap();
+            let nearest = nearest_index(dt.points(), target).unwrap();
+            assert_eq!(
+                dt.points()[reached].distance_squared(target),
+                dt.points()[nearest].distance_squared(target)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::point::nearest_index;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any admissible point set triangulates to an exactly-Delaunay
+        /// structure with symmetric adjacency.
+        #[test]
+        fn prop_triangulation_is_delaunay(
+            pts in proptest::collection::hash_set((0u32..1000, 0u32..1000), 3..60)
+        ) {
+            let pts: Vec<Point2> = pts
+                .into_iter()
+                .map(|(x, y)| Point2::new(f64::from(x) / 1000.0, f64::from(y) / 1000.0))
+                .collect();
+            let dt = Triangulation::new(&pts).unwrap();
+            prop_assert_eq!(dt.delaunay_violation(), None);
+            for i in 0..pts.len() {
+                for j in dt.neighbors(i) {
+                    prop_assert!(dt.neighbors(j).any(|k| k == i));
+                }
+            }
+        }
+
+        /// Greedy routing delivers to the nearest site from any start, for
+        /// any target.
+        #[test]
+        fn prop_greedy_delivers(
+            pts in proptest::collection::hash_set((0u32..1000, 0u32..1000), 3..40),
+            tx in 0u32..1000, ty in 0u32..1000,
+            start_pick in any::<prop::sample::Index>(),
+        ) {
+            let pts: Vec<Point2> = pts
+                .into_iter()
+                .map(|(x, y)| Point2::new(f64::from(x) / 1000.0, f64::from(y) / 1000.0))
+                .collect();
+            let dt = Triangulation::new(&pts).unwrap();
+            let target = Point2::new(f64::from(tx) / 1000.0, f64::from(ty) / 1000.0);
+            let start = start_pick.index(pts.len());
+            let reached = *dt.greedy_route(start, target).last().unwrap();
+            let nearest = nearest_index(dt.points(), target).unwrap();
+            prop_assert_eq!(
+                dt.points()[reached].distance_squared(target),
+                dt.points()[nearest].distance_squared(target)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)))
+            .collect()
+    }
+
+    fn edge_set(dt: &Triangulation) -> BTreeSet<(usize, usize)> {
+        dt.edges().into_iter().collect()
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_interior() {
+        for seed in 0..6 {
+            let pts = random_points(30, seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            // Interior point (well inside the hull of random points).
+            let p = Point2::new(rng.gen_range(0.4..0.6), rng.gen_range(0.4..0.6));
+            let incremental = dt.with_inserted(p).unwrap();
+            let mut all = pts.clone();
+            all.push(p);
+            let scratch = Triangulation::new(&all).unwrap();
+            assert_eq!(incremental.delaunay_violation(), None, "seed {seed}");
+            assert_eq!(edge_set(&incremental), edge_set(&scratch), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exterior_point_falls_back_to_rebuild() {
+        let pts = random_points(20, 9);
+        let dt = Triangulation::new(&pts).unwrap();
+        let outside = Point2::new(0.999, 0.999);
+        let inc = dt.with_inserted(outside).unwrap();
+        assert_eq!(inc.points().len(), 21);
+        assert_eq!(inc.delaunay_violation(), None);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let pts = random_points(10, 11);
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(matches!(
+            dt.with_inserted(pts[3]),
+            Err(DelaunayError::DuplicatePoint { first: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn insert_into_collinear_set_rebuilds() {
+        let pts = vec![
+            Point2::new(0.1, 0.5),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.9, 0.5),
+        ];
+        let dt = Triangulation::new(&pts).unwrap();
+        assert!(dt.is_collinear());
+        let grown = dt.with_inserted(Point2::new(0.5, 0.9)).unwrap();
+        assert!(!grown.is_collinear());
+        assert_eq!(grown.triangles().len(), 2);
+    }
+
+    #[test]
+    fn repeated_insertion_grows_consistently() {
+        let mut dt = Triangulation::new(&random_points(10, 13)).unwrap();
+        let extra = random_points(15, 14);
+        for p in extra {
+            dt = match dt.with_inserted(p) {
+                Ok(next) => next,
+                Err(DelaunayError::DuplicatePoint { .. }) => continue,
+                Err(e) => panic!("unexpected: {e}"),
+            };
+            assert_eq!(dt.delaunay_violation(), None);
+        }
+        assert!(dt.points().len() >= 20);
+    }
+}

@@ -1,0 +1,180 @@
+//! Convex hull by Andrew's monotone chain.
+
+use crate::predicates::orient2d;
+use crate::Point2;
+
+/// Computes the convex hull of `points`, returned in counter-clockwise order
+/// starting from the lexicographically smallest point. Collinear points on
+/// the hull boundary are excluded (strict hull).
+///
+/// Returns fewer than three indices when the input is degenerate (fewer than
+/// three distinct points, or all points collinear): the two extreme points,
+/// one point, or nothing.
+///
+/// ```
+/// use gred_geometry::{convex_hull, Point2};
+/// let pts = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.0),
+///     Point2::new(0.5, 0.5), // interior
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 3);
+/// assert!(!hull.contains(&3));
+/// ```
+pub fn convex_hull(points: &[Point2]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&i, &j| points[i].lex_cmp(points[j]));
+    idx.dedup_by(|&mut i, &mut j| points[i] == points[j]);
+
+    if idx.len() < 3 {
+        return idx;
+    }
+
+    let mut lower: Vec<usize> = Vec::new();
+    for &i in &idx {
+        while lower.len() >= 2
+            && orient2d(
+                points[lower[lower.len() - 2]],
+                points[lower[lower.len() - 1]],
+                points[i],
+            ) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(i);
+    }
+
+    let mut upper: Vec<usize> = Vec::new();
+    for &i in idx.iter().rev() {
+        while upper.len() >= 2
+            && orient2d(
+                points[upper[upper.len() - 2]],
+                points[upper[upper.len() - 1]],
+                points[i],
+            ) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(i);
+    }
+
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // All points collinear: report just the two extremes.
+        let mut ends = vec![*idx.first().expect("nonempty"), *idx.last().expect("nonempty")];
+        ends.dedup();
+        return ends;
+    }
+    lower
+}
+
+/// Whether point `p` lies inside or on the boundary of the convex polygon
+/// `poly` (vertices in CCW order).
+pub fn point_in_convex_polygon(poly: &[Point2], p: Point2) -> bool {
+    if poly.len() < 3 {
+        return false;
+    }
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        if orient2d(a, b, p) < -crate::predicates::EPS {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&4));
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h, vec![0, 2]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::ORIGIN]), vec![0]);
+        let two = vec![Point2::ORIGIN, Point2::new(1.0, 0.0)];
+        assert_eq!(convex_hull(&two), vec![0, 1]);
+        // Duplicates collapse.
+        let dup = vec![Point2::ORIGIN, Point2::ORIGIN];
+        assert_eq!(convex_hull(&dup), vec![0]);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        let area: f64 = (0..h.len())
+            .map(|i| {
+                let a = pts[h[i]];
+                let b = pts[h[(i + 1) % h.len()]];
+                a.x * b.y - b.x * a.y
+            })
+            .sum();
+        assert!(area > 0.0, "hull must be counter-clockwise");
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let square = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        assert!(point_in_convex_polygon(&square, Point2::new(0.5, 0.5)));
+        assert!(point_in_convex_polygon(&square, Point2::new(0.0, 0.0)));
+        assert!(!point_in_convex_polygon(&square, Point2::new(1.5, 0.5)));
+        assert!(!point_in_convex_polygon(&[], Point2::ORIGIN));
+    }
+
+    proptest! {
+        /// Every input point lies inside or on the hull.
+        #[test]
+        fn prop_hull_contains_all(
+            pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..40)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(Point2::from).collect();
+            let h = convex_hull(&pts);
+            prop_assume!(h.len() >= 3);
+            let poly: Vec<Point2> = h.iter().map(|&i| pts[i]).collect();
+            for &p in &pts {
+                prop_assert!(point_in_convex_polygon(&poly, p), "{p} outside hull");
+            }
+        }
+    }
+}

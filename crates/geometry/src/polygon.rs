@@ -1,0 +1,323 @@
+//! Convex polygons: area, centroid, half-plane clipping, second moments.
+//!
+//! Voronoi cells in GRED are convex polygons (intersections of half-planes
+//! with the unit square). Load balance analysis needs their areas; the
+//! C-regulation refinement needs their centroids; CVT energy needs the
+//! integral of squared distance over the cell.
+
+use crate::predicates::EPS;
+use crate::Point2;
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon with vertices in counter-clockwise order.
+///
+/// The type does not verify convexity on construction — it is produced by
+/// operations (axis-aligned boxes, half-plane clips) that preserve it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// A polygon from CCW vertices.
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// The axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 <= x0` or `y1 <= y0`.
+    pub fn rectangle(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "rectangle must have positive extent");
+        Polygon::new(vec![
+            Point2::new(x0, y0),
+            Point2::new(x1, y0),
+            Point2::new(x1, y1),
+            Point2::new(x0, y1),
+        ])
+    }
+
+    /// The unit square `[0, 1]²` — GRED's virtual space.
+    pub fn unit_square() -> Self {
+        Polygon::rectangle(0.0, 0.0, 1.0, 1.0)
+    }
+
+    /// The vertices in CCW order.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Whether the polygon has no area (fewer than 3 vertices).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Signed area via the shoelace formula (positive for CCW).
+    pub fn signed_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| {
+                let a = self.vertices[i];
+                let b = self.vertices[(i + 1) % n];
+                a.x * b.y - b.x * a.y
+            })
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid.
+    ///
+    /// Falls back to the vertex average for degenerate (zero-area) polygons,
+    /// and returns `None` for an empty polygon.
+    pub fn centroid(&self) -> Option<Point2> {
+        if self.vertices.is_empty() {
+            return None;
+        }
+        let a = self.signed_area();
+        if a.abs() < EPS {
+            let n = self.vertices.len() as f64;
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point2::ORIGIN, |acc, &p| acc + p);
+            return Some(sum * (1.0 / n));
+        }
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Some(Point2::new(cx / (6.0 * a), cy / (6.0 * a)))
+    }
+
+    /// Clips the polygon by the half-plane of points at least as close to
+    /// `site` as to `other` (the dominance region used to build Voronoi
+    /// cells). Returns the clipped polygon.
+    pub fn clip_dominance(&self, site: Point2, other: Point2) -> Polygon {
+        // Half-plane: (p - m)·(other - site) <= 0, m = midpoint.
+        let m = site.midpoint(other);
+        let n = other - site;
+        self.clip_half_plane(m, n)
+    }
+
+    /// Clips by the half-plane `{p : (p - origin)·normal <= 0}` using
+    /// Sutherland–Hodgman.
+    pub fn clip_half_plane(&self, origin: Point2, normal: Point2) -> Polygon {
+        if self.vertices.is_empty() {
+            return Polygon::default();
+        }
+        let inside = |p: Point2| (p - origin).dot(normal) <= EPS;
+        let mut out: Vec<Point2> = Vec::with_capacity(self.vertices.len() + 2);
+        let n = self.vertices.len();
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let cur_in = inside(cur);
+            let next_in = inside(next);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != next_in {
+                // Intersection of segment (cur, next) with the boundary line.
+                let denom = (next - cur).dot(normal);
+                if denom.abs() > EPS * normal.norm_squared().max(1.0) {
+                    let t = (origin - cur).dot(normal) / denom;
+                    let t = t.clamp(0.0, 1.0);
+                    out.push(cur + (next - cur) * t);
+                }
+            }
+        }
+        if out.len() < 3 {
+            return Polygon::default();
+        }
+        Polygon::new(out)
+    }
+
+    /// Whether `p` lies inside or on the boundary (CCW convex polygon).
+    pub fn contains(&self, p: Point2) -> bool {
+        crate::hull::point_in_convex_polygon(&self.vertices, p)
+    }
+
+    /// The boundary length.
+    pub fn perimeter(&self) -> f64 {
+        if self.vertices.len() < 2 {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| self.vertices[i].distance(self.vertices[(i + 1) % n]))
+            .sum()
+    }
+
+    /// Integral of `|r - q|²` over the polygon — the CVT energy contribution
+    /// of a cell with site `q` under uniform density.
+    ///
+    /// Computed exactly by fanning the polygon into triangles and applying
+    /// the second-moment formula
+    /// `∫_T |r-q|² dA = (Area/12)(|a|² + |b|² + |c|² + |a+b+c|²)` with
+    /// vertices translated so `q` is the origin.
+    pub fn second_moment_about(&self, q: Point2) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let v0 = self.vertices[0] - q;
+        let mut total = 0.0;
+        for i in 1..self.vertices.len() - 1 {
+            let v1 = self.vertices[i] - q;
+            let v2 = self.vertices[i + 1] - q;
+            let area = ((v1 - v0).x * (v2 - v0).y - (v1 - v0).y * (v2 - v0).x) / 2.0;
+            let s = v0 + v1 + v2;
+            total += area / 12.0
+                * (v0.norm_squared() + v1.norm_squared() + v2.norm_squared() + s.norm_squared());
+        }
+        total.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_square_properties() {
+        let sq = Polygon::unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.centroid().unwrap(), Point2::new(0.5, 0.5));
+        assert!(!sq.is_empty());
+    }
+
+    #[test]
+    fn empty_polygon() {
+        let p = Polygon::default();
+        assert!(p.is_empty());
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.centroid(), None);
+        assert_eq!(p.second_moment_about(Point2::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn triangle_centroid() {
+        let t = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(0.0, 3.0),
+        ]);
+        assert!((t.area() - 4.5).abs() < 1e-12);
+        let c = t.centroid().unwrap();
+        assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_half_keeps_left() {
+        // Clip unit square to x <= 0.5.
+        let half = Polygon::unit_square()
+            .clip_half_plane(Point2::new(0.5, 0.0), Point2::new(1.0, 0.0));
+        assert!((half.area() - 0.5).abs() < 1e-9, "area={}", half.area());
+        for v in half.vertices() {
+            assert!(v.x <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clip_away_everything() {
+        let gone = Polygon::unit_square()
+            .clip_half_plane(Point2::new(-1.0, 0.0), Point2::new(1.0, 0.0));
+        assert!(gone.is_empty());
+    }
+
+    #[test]
+    fn clip_no_op_when_fully_inside() {
+        let same = Polygon::unit_square()
+            .clip_half_plane(Point2::new(5.0, 0.0), Point2::new(1.0, 0.0));
+        assert!((same.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_clip_bisects_square() {
+        // Sites at (0.25, 0.5) and (0.75, 0.5): the dominance region of the
+        // first is the left half of the square.
+        let cell = Polygon::unit_square()
+            .clip_dominance(Point2::new(0.25, 0.5), Point2::new(0.75, 0.5));
+        assert!((cell.area() - 0.5).abs() < 1e-9);
+        for v in cell.vertices() {
+            assert!(v.x <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn second_moment_unit_square_about_center() {
+        // ∫ over [0,1]² of |r - (.5,.5)|² = 2 * 1/12 = 1/6.
+        let m = Polygon::unit_square().second_moment_about(Point2::new(0.5, 0.5));
+        assert!((m - 1.0 / 6.0).abs() < 1e-12, "m={m}");
+    }
+
+    #[test]
+    fn second_moment_unit_square_about_corner() {
+        // ∫ (x²+y²) over [0,1]² = 2/3.
+        let m = Polygon::unit_square().second_moment_about(Point2::ORIGIN);
+        assert!((m - 2.0 / 3.0).abs() < 1e-12, "m={m}");
+    }
+
+    #[test]
+    fn contains_and_perimeter() {
+        let sq = Polygon::unit_square();
+        assert!(sq.contains(Point2::new(0.5, 0.5)));
+        assert!(sq.contains(Point2::new(0.0, 0.0)));
+        assert!(!sq.contains(Point2::new(1.5, 0.5)));
+        assert_eq!(sq.perimeter(), 4.0);
+        assert_eq!(Polygon::default().perimeter(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn bad_rectangle_panics() {
+        let _ = Polygon::rectangle(1.0, 0.0, 0.0, 1.0);
+    }
+
+    proptest! {
+        /// Clipping never increases area; the two complementary clips
+        /// partition the polygon.
+        #[test]
+        fn prop_clip_partitions_area(
+            ox in 0.1f64..0.9, oy in 0.1f64..0.9,
+            nx in -1.0f64..1.0, ny in -1.0f64..1.0,
+        ) {
+            prop_assume!(nx.abs() + ny.abs() > 0.1);
+            let sq = Polygon::unit_square();
+            let o = Point2::new(ox, oy);
+            let n = Point2::new(nx, ny);
+            let a = sq.clip_half_plane(o, n);
+            let b = sq.clip_half_plane(o, n * -1.0);
+            prop_assert!(a.area() <= 1.0 + 1e-9);
+            prop_assert!((a.area() + b.area() - 1.0).abs() < 1e-6);
+        }
+
+        /// Second moment is minimized at the centroid.
+        #[test]
+        fn prop_second_moment_min_at_centroid(
+            qx in -1.0f64..2.0, qy in -1.0f64..2.0,
+        ) {
+            let sq = Polygon::unit_square();
+            let c = sq.centroid().unwrap();
+            let at_c = sq.second_moment_about(c);
+            let at_q = sq.second_moment_about(Point2::new(qx, qy));
+            prop_assert!(at_c <= at_q + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal hex encoding/decoding helpers.
+
+/// Encodes bytes as lowercase hex.
+///
+/// ```
+/// assert_eq!(gred_hash::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hex string into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hex character.
+///
+/// ```
+/// assert_eq!(gred_hash::hex::decode("dead").unwrap(), vec![0xde, 0xad]);
+/// assert!(gred_hash::hex::decode("xyz").is_err());
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char)
+                .to_digit(16)
+                .ok_or(DecodeHexError::InvalidChar(pair[0] as char))?;
+            let lo = (pair[1] as char)
+                .to_digit(16)
+                .ok_or(DecodeHexError::InvalidChar(pair[1] as char))?;
+            Ok(((hi << 4) | lo) as u8)
+        })
+        .collect()
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input string has an odd number of characters.
+    OddLength,
+    /// The input contains a character outside `[0-9a-fA-F]`.
+    InvalidChar(char),
+}
+
+impl std::fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        assert_eq!(decode(&encode(&[1, 2, 255])).unwrap(), vec![1, 2, 255]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("a"), Err(DecodeHexError::OddLength));
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidChar('z')));
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("DEAD").unwrap(), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+        }
+    }
+}

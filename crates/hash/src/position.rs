@@ -1,0 +1,130 @@
+//! Mapping data identifiers to positions in the virtual 2D unit square.
+//!
+//! Section III of the paper: the SHA-256 digest `H(d)` of a data identifier
+//! `d` is reduced to the 2D virtual space by taking the last 8 bytes of the
+//! digest, splitting them into two 4-byte big-endian integers `x` and `y`,
+//! and normalizing each by `2^32 - 1` so the coordinates range over `[0, 1]`.
+
+use crate::{DataId, Digest};
+
+/// A position in the virtual unit square, `(x, y)` with both in `[0, 1]`.
+pub type VirtualPoint = (f64, f64);
+
+/// Normalizer: the largest value of a 4-byte unsigned integer.
+const NORM: f64 = u32::MAX as f64;
+
+/// Reduces a digest to its virtual-space position.
+///
+/// ```
+/// use gred_hash::{sha256, position::digest_position};
+/// let p = digest_position(&sha256::digest(b"abc"));
+/// assert!((0.0..=1.0).contains(&p.0) && (0.0..=1.0).contains(&p.1));
+/// ```
+pub fn digest_position(digest: &Digest) -> VirtualPoint {
+    let (x, y) = digest.tail_u32_pair();
+    (f64::from(x) / NORM, f64::from(y) / NORM)
+}
+
+/// The virtual-space position of a data identifier: `digest_position(H(d))`.
+///
+/// ```
+/// use gred_hash::{DataId, position::virtual_position};
+/// let p = virtual_position(&DataId::new("k"));
+/// let q = virtual_position(&DataId::new("k"));
+/// assert_eq!(p, q); // deterministic
+/// ```
+pub fn virtual_position(id: &DataId) -> VirtualPoint {
+    digest_position(&id.digest())
+}
+
+/// Positions of the primary and the first `copies - 1` replicas of `id`.
+///
+/// Replica `i` hashes `id # i` (Section VI), so replica positions are
+/// independent uniform points in the unit square.
+///
+/// ```
+/// use gred_hash::{DataId, position::replica_positions};
+/// let ps = replica_positions(&DataId::new("k"), 3);
+/// assert_eq!(ps.len(), 3);
+/// ```
+pub fn replica_positions(id: &DataId, copies: u32) -> Vec<VirtualPoint> {
+    (0..copies)
+        .map(|serial| virtual_position(&id.replica(serial)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn position_in_unit_square() {
+        for i in 0..1000 {
+            let (x, y) = virtual_position(&DataId::new(format!("key-{i}")));
+            assert!((0.0..=1.0).contains(&x), "x={x}");
+            assert!((0.0..=1.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn position_matches_manual_reduction() {
+        let id = DataId::new("abc");
+        let d = id.digest();
+        let bytes = d.as_bytes();
+        let x = u32::from_be_bytes(bytes[24..28].try_into().unwrap());
+        let y = u32::from_be_bytes(bytes[28..32].try_into().unwrap());
+        let p = virtual_position(&id);
+        assert_eq!(p.0, f64::from(x) / f64::from(u32::MAX));
+        assert_eq!(p.1, f64::from(y) / f64::from(u32::MAX));
+    }
+
+    /// The mapping should spread keys roughly uniformly: with 4000 keys and a
+    /// 4x4 grid each cell expects 250; chi-square with 15 dof at p=0.001 is
+    /// 37.7. Use a generous bound to keep the test deterministic and robust.
+    #[test]
+    fn positions_are_roughly_uniform() {
+        let n = 4000;
+        let mut cells = [0u32; 16];
+        for i in 0..n {
+            let (x, y) = virtual_position(&DataId::new(format!("uniform-{i}")));
+            let cx = ((x * 4.0) as usize).min(3);
+            let cy = ((y * 4.0) as usize).min(3);
+            cells[cy * 4 + cx] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        let chi2: f64 = cells
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 60.0, "chi2={chi2}, cells={cells:?}");
+    }
+
+    #[test]
+    fn replica_positions_distinct() {
+        let ps = replica_positions(&DataId::new("k"), 4);
+        for i in 0..ps.len() {
+            for j in (i + 1)..ps.len() {
+                assert_ne!(ps[i], ps[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_primary_matches_plain_position() {
+        let id = DataId::new("k");
+        assert_eq!(replica_positions(&id, 2)[0], virtual_position(&id));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_in_unit_square(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let (x, y) = virtual_position(&DataId::from_bytes(bytes));
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+}

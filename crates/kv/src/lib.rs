@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! A versioned key-value store over GRED.
+//!
+//! [`EdgeKv`] is the application-layer API a downstream service would
+//! build on the paper's placement/retrieval primitive: string keys in
+//! namespaces, last-writer-wins versioning, optional replication for hot
+//! or critical keys, deletes via tombstones, and per-client access
+//! switches (every client talks to its nearest edge switch, exactly like
+//! the paper's APs).
+//!
+//! # Example
+//!
+//! ```
+//! use gred::GredConfig;
+//! use gred_kv::EdgeKv;
+//! use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+//!
+//! # fn main() -> Result<(), gred_kv::KvError> {
+//! let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(12, 3));
+//! let pool = ServerPool::uniform(12, 2, u64::MAX);
+//! let mut kv = EdgeKv::build(topo, pool, GredConfig::default())?;
+//!
+//! let mut client = kv.client("sensors", 0);
+//! client.put(&mut kv, "cam-1/latest", b"frame-data".to_vec())?;
+//! let v = client.get(&kv, "cam-1/latest")?;
+//! assert_eq!(v.value.as_ref(), b"frame-data");
+//! assert_eq!(v.version, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod record;
+pub mod store;
+
+pub use record::{Record, RecordMeta};
+pub use store::{EdgeKv, KvClient, KvError, KvValue};

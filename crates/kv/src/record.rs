@@ -1,0 +1,114 @@
+//! On-wire record framing for KV values.
+//!
+//! Every KV write stores a self-describing record: a version counter
+//! (last-writer-wins), a tombstone flag for deletes, and the value bytes.
+//! The framing is deliberately tiny — GRED already moves opaque payloads;
+//! the KV layer only needs enough structure for versions and deletes.
+
+use bytes::Bytes;
+
+/// Record header magic.
+const MAGIC: u8 = 0xE7;
+/// Tombstone flag bit.
+const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+
+/// Metadata of a stored record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Monotonic per-key version (1 = first write).
+    pub version: u64,
+    /// Whether the record is a delete marker.
+    pub tombstone: bool,
+}
+
+/// A decoded record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The record's metadata.
+    pub meta: RecordMeta,
+    /// The value (empty for tombstones).
+    pub value: Bytes,
+}
+
+impl Record {
+    /// A live record with `version` and `value`.
+    pub fn live(version: u64, value: impl Into<Bytes>) -> Self {
+        Record {
+            meta: RecordMeta { version, tombstone: false },
+            value: value.into(),
+        }
+    }
+
+    /// A tombstone at `version`.
+    pub fn tombstone(version: u64) -> Self {
+        Record {
+            meta: RecordMeta { version, tombstone: true },
+            value: Bytes::new(),
+        }
+    }
+
+    /// Serializes the record: `magic, flags, version (u64 be), value`.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(10 + self.value.len());
+        out.push(MAGIC);
+        out.push(if self.meta.tombstone { FLAG_TOMBSTONE } else { 0 });
+        out.extend_from_slice(&self.meta.version.to_be_bytes());
+        out.extend_from_slice(&self.value);
+        Bytes::from(out)
+    }
+
+    /// Decodes a record, or `None` when the bytes are not a KV record
+    /// (wrong magic / truncated).
+    pub fn decode(bytes: &[u8]) -> Option<Record> {
+        if bytes.len() < 10 || bytes[0] != MAGIC {
+            return None;
+        }
+        let flags = bytes[1];
+        let version = u64::from_be_bytes(bytes[2..10].try_into().ok()?);
+        Some(Record {
+            meta: RecordMeta {
+                version,
+                tombstone: flags & FLAG_TOMBSTONE != 0,
+            },
+            value: Bytes::copy_from_slice(&bytes[10..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_live() {
+        let r = Record::live(42, b"hello".as_ref());
+        let decoded = Record::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert!(!decoded.meta.tombstone);
+    }
+
+    #[test]
+    fn round_trip_tombstone() {
+        let r = Record::tombstone(7);
+        let decoded = Record::decode(&r.encode()).unwrap();
+        assert!(decoded.meta.tombstone);
+        assert_eq!(decoded.meta.version, 7);
+        assert!(decoded.value.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Record::decode(b"").is_none());
+        assert!(Record::decode(b"short").is_none());
+        assert!(Record::decode(&[0x00; 16]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(version in any::<u64>(), value in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let r = Record::live(version, value);
+            prop_assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+        }
+    }
+}

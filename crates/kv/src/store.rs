@@ -1,0 +1,374 @@
+//! The [`EdgeKv`] store and per-client handles.
+
+use crate::record::Record;
+use bytes::Bytes;
+use gred::{GredConfig, GredError, GredNetwork};
+use gred_hash::DataId;
+use gred_net::{ServerPool, Topology};
+use std::collections::HashMap;
+
+/// Errors returned by the KV layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvError {
+    /// The key has never been written (or was deleted).
+    KeyNotFound,
+    /// The underlying GRED operation failed.
+    Gred(GredError),
+    /// A stored payload was not a valid KV record (the key is used by a
+    /// non-KV client of the same network).
+    CorruptRecord,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::KeyNotFound => write!(f, "key not found"),
+            KvError::Gred(e) => write!(f, "edge placement error: {e}"),
+            KvError::CorruptRecord => write!(f, "stored payload is not a KV record"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Gred(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GredError> for KvError {
+    fn from(e: GredError) -> Self {
+        match e {
+            GredError::NotFound => KvError::KeyNotFound,
+            other => KvError::Gred(other),
+        }
+    }
+}
+
+/// A read result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvValue {
+    /// The stored bytes.
+    pub value: Bytes,
+    /// The record's version (1 = first write).
+    pub version: u64,
+    /// Physical hops the read cost (request + response).
+    pub hops: u32,
+}
+
+/// A versioned KV store over a GRED network.
+///
+/// Writes go through normal GRED placement; versions are tracked by the
+/// store (the controller side of a real deployment would persist them).
+#[derive(Debug, Clone)]
+pub struct EdgeKv {
+    net: GredNetwork,
+    /// Last written version per fully-qualified key.
+    versions: HashMap<DataId, u64>,
+    /// Replication factor per fully-qualified key (1 = unreplicated).
+    replication: HashMap<DataId, u32>,
+}
+
+impl EdgeKv {
+    /// Builds the underlying GRED network and an empty store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GredNetwork::build`] failures.
+    pub fn build(
+        topology: Topology,
+        pool: ServerPool,
+        config: GredConfig,
+    ) -> Result<Self, KvError> {
+        Ok(EdgeKv {
+            net: GredNetwork::build(topology, pool, config).map_err(KvError::Gred)?,
+            versions: HashMap::new(),
+            replication: HashMap::new(),
+        })
+    }
+
+    /// A client handle bound to `namespace`, entering the network at
+    /// `access_switch`.
+    pub fn client(&self, namespace: impl Into<String>, access_switch: usize) -> KvClient {
+        KvClient {
+            namespace: namespace.into(),
+            access_switch,
+        }
+    }
+
+    /// The underlying GRED network (for inspection).
+    pub fn network(&self) -> &GredNetwork {
+        &self.net
+    }
+
+    /// The last written version of a fully-qualified key (None = never
+    /// written). Tombstone writes count as versions.
+    pub fn version_of(&self, namespace: &str, key: &str) -> Option<u64> {
+        self.versions.get(&EdgeKv::qualified(namespace, key)).copied()
+    }
+
+    /// Keys ever written in `namespace` (including deleted ones), sorted.
+    /// A production deployment would shard this index; here it serves
+    /// inspection and tests.
+    pub fn keys_in(&self, namespace: &str) -> Vec<String> {
+        let prefix = format!("kv/{namespace}/");
+        let mut keys: Vec<String> = self
+            .versions
+            .keys()
+            .filter_map(|id| {
+                std::str::from_utf8(id.as_bytes())
+                    .ok()
+                    .and_then(|s| s.strip_prefix(&prefix))
+                    .map(str::to_string)
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    fn qualified(namespace: &str, key: &str) -> DataId {
+        DataId::new(format!("kv/{namespace}/{key}"))
+    }
+
+    fn next_version(&mut self, id: &DataId) -> u64 {
+        let v = self.versions.entry(id.clone()).or_insert(0);
+        *v += 1;
+        *v
+    }
+}
+
+/// A client handle: a namespace plus the client's access switch.
+///
+/// Handles are plain data — many clients can address the same [`EdgeKv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvClient {
+    namespace: String,
+    access_switch: usize,
+}
+
+impl KvClient {
+    /// Writes `value` under `key`, bumping the version. Returns the new
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    pub fn put(&self, kv: &mut EdgeKv, key: &str, value: impl Into<Bytes>) -> Result<u64, KvError> {
+        let id = EdgeKv::qualified(&self.namespace, key);
+        let version = kv.next_version(&id);
+        let record = Record::live(version, value);
+        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        if copies > 1 {
+            kv.net
+                .place_replicated(&id, record.encode(), copies, self.access_switch)?;
+        } else {
+            kv.net.place(&id, record.encode(), self.access_switch)?;
+        }
+        Ok(version)
+    }
+
+    /// Writes `value` with `copies` replicas; subsequent puts of the same
+    /// key keep that replication factor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn put_replicated(
+        &self,
+        kv: &mut EdgeKv,
+        key: &str,
+        value: impl Into<Bytes>,
+        copies: u32,
+    ) -> Result<u64, KvError> {
+        assert!(copies > 0, "at least one copy required");
+        let id = EdgeKv::qualified(&self.namespace, key);
+        kv.replication.insert(id, copies);
+        self.put(kv, key, value)
+    }
+
+    /// Reads the latest value of `key` (nearest copy when replicated).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::KeyNotFound`] for missing or deleted keys,
+    /// [`KvError::CorruptRecord`] when the payload is not a KV record.
+    pub fn get(&self, kv: &EdgeKv, key: &str) -> Result<KvValue, KvError> {
+        let id = EdgeKv::qualified(&self.namespace, key);
+        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        let result = if copies > 1 {
+            kv.net.retrieve_nearest(&id, copies, self.access_switch)?
+        } else {
+            kv.net.retrieve(&id, self.access_switch)?
+        };
+        let record = Record::decode(&result.payload).ok_or(KvError::CorruptRecord)?;
+        if record.meta.tombstone {
+            return Err(KvError::KeyNotFound);
+        }
+        Ok(KvValue {
+            value: record.value,
+            version: record.meta.version,
+            hops: result.total_hops(),
+        })
+    }
+
+    /// Deletes `key` by writing a tombstone. Deleting a missing key is
+    /// not an error (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    pub fn delete(&self, kv: &mut EdgeKv, key: &str) -> Result<(), KvError> {
+        let id = EdgeKv::qualified(&self.namespace, key);
+        let version = kv.next_version(&id);
+        let record = Record::tombstone(version);
+        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        if copies > 1 {
+            kv.net
+                .place_replicated(&id, record.encode(), copies, self.access_switch)?;
+        } else {
+            kv.net.place(&id, record.encode(), self.access_switch)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_net::{waxman_topology, WaxmanConfig};
+
+    fn kv(switches: usize, seed: u64) -> EdgeKv {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+        let pool = ServerPool::uniform(switches, 2, u64::MAX);
+        EdgeKv::build(topo, pool, GredConfig::default().seeded(seed)).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut kv = kv(10, 1);
+        let c = kv.client("ns", 0);
+        let v1 = c.put(&mut kv, "a", b"one".as_ref()).unwrap();
+        assert_eq!(v1, 1);
+        let got = c.get(&kv, "a").unwrap();
+        assert_eq!(got.value.as_ref(), b"one");
+        assert_eq!(got.version, 1);
+    }
+
+    #[test]
+    fn versions_increment_and_last_write_wins() {
+        let mut kv = kv(10, 2);
+        let c = kv.client("ns", 0);
+        c.put(&mut kv, "a", b"one".as_ref()).unwrap();
+        let v2 = c.put(&mut kv, "a", b"two".as_ref()).unwrap();
+        assert_eq!(v2, 2);
+        let got = c.get(&kv, "a").unwrap();
+        assert_eq!(got.value.as_ref(), b"two");
+        assert_eq!(got.version, 2);
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let mut kv = kv(10, 3);
+        let a = kv.client("alpha", 0);
+        let b = kv.client("beta", 1);
+        a.put(&mut kv, "k", b"A".as_ref()).unwrap();
+        b.put(&mut kv, "k", b"B".as_ref()).unwrap();
+        assert_eq!(a.get(&kv, "k").unwrap().value.as_ref(), b"A");
+        assert_eq!(b.get(&kv, "k").unwrap().value.as_ref(), b"B");
+    }
+
+    #[test]
+    fn clients_at_different_switches_see_the_same_data() {
+        let mut kv = kv(15, 4);
+        let writer = kv.client("ns", 0);
+        writer.put(&mut kv, "shared", b"v".as_ref()).unwrap();
+        for access in 0..15 {
+            let reader = kv.client("ns", access);
+            assert_eq!(reader.get(&kv, "shared").unwrap().value.as_ref(), b"v");
+        }
+    }
+
+    #[test]
+    fn delete_hides_the_key() {
+        let mut kv = kv(10, 5);
+        let c = kv.client("ns", 0);
+        c.put(&mut kv, "gone", b"x".as_ref()).unwrap();
+        c.delete(&mut kv, "gone").unwrap();
+        assert_eq!(c.get(&kv, "gone").unwrap_err(), KvError::KeyNotFound);
+        // Re-put after delete resurrects at a higher version.
+        let v = c.put(&mut kv, "gone", b"back".as_ref()).unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(c.get(&kv, "gone").unwrap().value.as_ref(), b"back");
+    }
+
+    #[test]
+    fn delete_of_missing_key_is_idempotent() {
+        let mut kv = kv(10, 6);
+        let c = kv.client("ns", 0);
+        assert!(c.delete(&mut kv, "never").is_ok());
+        assert_eq!(c.get(&kv, "never").unwrap_err(), KvError::KeyNotFound);
+    }
+
+    #[test]
+    fn missing_key_not_found() {
+        let kv = kv(10, 7);
+        let c = kv.client("ns", 0);
+        assert_eq!(c.get(&kv, "nope").unwrap_err(), KvError::KeyNotFound);
+    }
+
+    #[test]
+    fn replicated_puts_serve_from_anywhere() {
+        let mut kv = kv(20, 8);
+        let c = kv.client("ns", 0);
+        c.put_replicated(&mut kv, "hot", b"video".as_ref(), 3).unwrap();
+        // Updates keep the replication factor and bump the version on all
+        // copies.
+        c.put(&mut kv, "hot", b"video-2".as_ref()).unwrap();
+        for access in (0..20).step_by(4) {
+            let got = kv.client("ns", access).get(&kv, "hot").unwrap();
+            assert_eq!(got.value.as_ref(), b"video-2");
+            assert_eq!(got.version, 2);
+        }
+    }
+
+    #[test]
+    fn corrupt_record_detected() {
+        let mut kv = kv(10, 9);
+        // A non-KV client writes a raw payload under the same id scheme.
+        let id = DataId::new("kv/ns/raw");
+        kv.net.place(&id, b"not a record".as_ref(), 0).unwrap();
+        let c = kv.client("ns", 0);
+        assert_eq!(c.get(&kv, "raw").unwrap_err(), KvError::CorruptRecord);
+    }
+
+    #[test]
+    fn version_and_key_listing() {
+        let mut kv = kv(10, 10);
+        let c = kv.client("ns", 0);
+        assert_eq!(kv.version_of("ns", "a"), None);
+        c.put(&mut kv, "a", b"1".as_ref()).unwrap();
+        c.put(&mut kv, "a", b"2".as_ref()).unwrap();
+        c.put(&mut kv, "b", b"1".as_ref()).unwrap();
+        c.delete(&mut kv, "b").unwrap();
+        assert_eq!(kv.version_of("ns", "a"), Some(2));
+        assert_eq!(kv.version_of("ns", "b"), Some(2), "tombstones bump versions");
+        assert_eq!(kv.keys_in("ns"), vec!["a".to_string(), "b".to_string()]);
+        assert!(kv.keys_in("other").is_empty());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        assert!(KvError::KeyNotFound.to_string().contains("not found"));
+        let e: KvError = GredError::Disconnected.into();
+        assert!(e.source().is_some());
+        let nf: KvError = GredError::NotFound.into();
+        assert_eq!(nf, KvError::KeyNotFound);
+    }
+}

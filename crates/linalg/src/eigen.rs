@@ -1,0 +1,240 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Jacobi iteration repeatedly applies Givens rotations that zero one
+//! off-diagonal pair at a time; for symmetric matrices it converges
+//! quadratically and is numerically robust — ideal for the `n × n`
+//! double-centered matrices (n = number of switches, at most a few hundred)
+//! that GRED's M-position algorithm diagonalizes.
+
+use crate::Matrix;
+
+/// Result of [`symmetric_eigen`]: eigenvalues in descending order with their
+/// eigenvectors as matching columns of an orthogonal matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// `n × n` matrix whose column `k` is the eigenvector of `values[k]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// The `k`-th eigenvector (column `k` of [`Self::vectors`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.values.len()`.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.values.len(), "eigenpair {k} out of range");
+        (0..self.vectors.rows()).map(|i| self.vectors[(i, k)]).collect()
+    }
+}
+
+/// Decomposes a symmetric matrix into eigenvalues and eigenvectors.
+///
+/// Runs cyclic Jacobi sweeps until the largest off-diagonal entry falls below
+/// `1e-12 · max(1, ‖A‖_∞)` or 100 sweeps have run (each sweep rotates every
+/// off-diagonal pair once; convergence is typically < 15 sweeps).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not symmetric to within `1e-9`.
+///
+/// ```
+/// use gred_linalg::{Matrix, symmetric_eigen};
+/// let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+/// let e = symmetric_eigen(&a);
+/// assert!((e.values[0] - 3.0).abs() < 1e-9);
+/// assert!((e.values[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
+    assert!(a.is_square(), "eigendecomposition requires a square matrix");
+    assert!(a.is_symmetric(1e-9), "matrix must be symmetric");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let scale: f64 = (0..n)
+        .map(|i| (0..n).map(|j| m[(i, j)].abs()).sum::<f64>())
+        .fold(1.0f64, f64::max);
+    let tol = 1e-12 * scale;
+
+    for _sweep in 0..100 {
+        if m.max_off_diagonal() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle choice per Golub & Van Loan §8.5.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation: A <- G^T A G on rows/cols p, q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V G.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("eigenvalues are finite"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, k| v[(i, order[k])]);
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        let n = e.values.len();
+        let lambda = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        e.vectors.matmul(&lambda).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        let v0 = e.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9, "first eigenvector is (1,1)-direction");
+    }
+
+    #[test]
+    fn reconstruction_random_symmetric() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20, 50] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let x = rng.gen_range(-5.0..5.0);
+                    a[(i, j)] = x;
+                    a[(j, i)] = x;
+                }
+            }
+            let e = symmetric_eigen(&a);
+            let r = reconstruct(&e);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (r[(i, j)] - a[(i, j)]).abs() < 1e-8,
+                        "n={n} entry ({i},{j}): {} vs {}",
+                        r[(i, j)],
+                        a[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.gen_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-9, "({i},{j})={}", vtv[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 15;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.gen_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0]);
+        let e = symmetric_eigen(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_panics() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = symmetric_eigen(&a);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_vec(1, 1, vec![42.0]);
+        let e = symmetric_eigen(&a);
+        assert_eq!(e.values, vec![42.0]);
+        assert_eq!(e.vector(0), vec![1.0]);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra supporting GRED's M-position algorithm.
+//!
+//! The M-position algorithm (paper Section IV-A) embeds the switch-level
+//! shortest-path matrix into a low-dimensional Euclidean space by classical
+//! multidimensional scaling (MDS):
+//!
+//! 1. square the distance matrix `L`,
+//! 2. double-center it: `B = -1/2 · J L⁽²⁾ J` with `J = I - (1/n) A`,
+//! 3. take the `m` largest eigenvalues/eigenvectors of `B`,
+//! 4. coordinates `Q = E_m Λ_m^{1/2}`.
+//!
+//! This crate provides exactly the pieces that pipeline needs and nothing
+//! more: a small dense [`Matrix`] type ([`matrix`]), a cyclic Jacobi
+//! eigensolver for symmetric matrices ([`eigen`]), and classical MDS built on
+//! both ([`mds`]). Everything is implemented from scratch — the matrices
+//! involved are `n × n` for `n` ≤ a few hundred switches, well within
+//! Jacobi's comfort zone.
+
+pub mod eigen;
+pub mod matrix;
+pub mod mds;
+pub mod power;
+
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use matrix::Matrix;
+pub use mds::{classical_mds, double_center, MdsError};
+pub use power::power_eigen;

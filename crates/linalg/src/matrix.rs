@@ -1,0 +1,290 @@
+//! A small dense row-major matrix of `f64`.
+
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix.
+///
+/// ```
+/// use gred_linalg::Matrix;
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 0)] = 1.0;
+/// m[(1, 1)] = 2.0;
+/// assert_eq!(m.trace(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether this matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions disagree: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entry-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Maximum absolute off-diagonal entry (0.0 for 1×1 matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn max_off_diagonal(&self) -> f64 {
+        assert!(self.is_square(), "off-diagonal scan requires square matrix");
+        let mut max = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    max = max.max(self[(i, j)].abs());
+                }
+            }
+        }
+        max
+    }
+
+    /// Whether `self` is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn trace_and_off_diagonal() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -5.0, 2.0, 3.0]);
+        assert_eq!(a.trace(), 4.0);
+        assert_eq!(a.max_off_diagonal(), 5.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(s.is_symmetric(0.0));
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.5, 1.0]);
+        assert!(!a.is_symmetric(0.1));
+        assert!(a.is_symmetric(1.0));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        assert_eq!(a.map(|x| x * x), Matrix::from_vec(1, 3, vec![1.0, 4.0, 9.0]));
+    }
+
+    #[test]
+    fn row_slice() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    proptest! {
+        /// (AB)^T = B^T A^T
+        #[test]
+        fn prop_transpose_of_product(
+            a in proptest::collection::vec(-10.0f64..10.0, 6),
+            b in proptest::collection::vec(-10.0f64..10.0, 6),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for i in 0..2 {
+                for j in 0..2 {
+                    prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Per-hop latency model for response-delay experiments.
+//!
+//! The paper's Fig. 8 measures average response delay of retrieval requests
+//! on the P4 testbed. We model delay as a deterministic per-link latency
+//! plus a server service time, which captures what the figure shows: delay
+//! tracks path length (hence routing stretch) and is flat in the number of
+//! requests as long as servers are uncongested.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic latency model: `delay = hops · per_hop + service`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One-way per-link traversal latency in microseconds.
+    pub per_hop_us: f64,
+    /// Server lookup/response service time in microseconds.
+    pub service_us: f64,
+}
+
+impl Default for LatencyModel {
+    /// Values in the ballpark of a LAN-scale P4 testbed: 50 µs per hop,
+    /// 200 µs service.
+    fn default() -> Self {
+        LatencyModel {
+            per_hop_us: 50.0,
+            service_us: 200.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// One-way delay of a packet crossing `hops` links.
+    pub fn one_way_us(&self, hops: u32) -> f64 {
+        f64::from(hops) * self.per_hop_us
+    }
+
+    /// Full request/response delay: request over `request_hops` links,
+    /// service at the server, response over `response_hops` links.
+    ///
+    /// ```
+    /// use gred_net::LatencyModel;
+    /// let m = LatencyModel { per_hop_us: 10.0, service_us: 100.0 };
+    /// assert_eq!(m.round_trip_us(3, 3), 160.0);
+    /// ```
+    pub fn round_trip_us(&self, request_hops: u32, response_hops: u32) -> f64 {
+        self.one_way_us(request_hops) + self.service_us + self.one_way_us(response_hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hops_is_service_only() {
+        let m = LatencyModel::default();
+        assert_eq!(m.round_trip_us(0, 0), m.service_us);
+        assert_eq!(m.one_way_us(0), 0.0);
+    }
+
+    #[test]
+    fn delay_scales_with_hops() {
+        let m = LatencyModel { per_hop_us: 10.0, service_us: 0.0 };
+        assert_eq!(m.one_way_us(5), 50.0);
+        assert!(m.round_trip_us(4, 4) > m.round_trip_us(2, 2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Edge servers attached to switches.
+//!
+//! Each switch in the edge plane connects a handful of edge servers
+//! (paper Fig. 3); the paper's simulations attach 10 servers per switch and
+//! also consider heterogeneous counts and capacities (Section V-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one edge server: the switch it hangs off and its serial
+/// number among that switch's servers (the paper numbers servers `0..s-1`
+/// per switch for the `H(d) mod s` rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId {
+    /// The switch the server is attached to.
+    pub switch: usize,
+    /// Serial number among that switch's servers.
+    pub index: usize,
+}
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}/h{}", self.switch, self.index)
+    }
+}
+
+/// The set of edge servers behind every switch, with storage capacities.
+///
+/// ```
+/// use gred_net::ServerPool;
+/// let pool = ServerPool::uniform(4, 10, 1_000);
+/// assert_eq!(pool.total_servers(), 40);
+/// assert_eq!(pool.servers_at(2), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerPool {
+    /// `capacities[switch][index]` = storage capacity (in data items).
+    capacities: Vec<Vec<u64>>,
+}
+
+impl ServerPool {
+    /// `per_switch` servers behind each of `switches` switches, all with
+    /// the same `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_switch == 0` — GRED requires every participating
+    /// switch to have at least one server.
+    pub fn uniform(switches: usize, per_switch: usize, capacity: u64) -> Self {
+        assert!(per_switch > 0, "every switch needs at least one server");
+        ServerPool {
+            capacities: vec![vec![capacity; per_switch]; switches],
+        }
+    }
+
+    /// Builds a pool from explicit per-switch capacity lists.
+    ///
+    /// A switch with an empty list is a *transit* switch: it forwards
+    /// traffic but stores no data and does not join GRED's DT (paper
+    /// Section IV-C).
+    pub fn from_capacities(capacities: Vec<Vec<u64>>) -> Self {
+        ServerPool { capacities }
+    }
+
+    /// Number of switches covered by the pool.
+    pub fn switch_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of servers behind switch `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn servers_at(&self, s: usize) -> usize {
+        self.capacities[s].len()
+    }
+
+    /// Total number of servers across all switches.
+    pub fn total_servers(&self) -> usize {
+        self.capacities.iter().map(Vec::len).sum()
+    }
+
+    /// Capacity of a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn capacity(&self, id: ServerId) -> u64 {
+        self.capacities[id.switch][id.index]
+    }
+
+    /// Iterates over every server id.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.capacities.iter().enumerate().flat_map(|(switch, v)| {
+            (0..v.len()).map(move |index| ServerId { switch, index })
+        })
+    }
+
+    /// Appends a new switch with the given server capacities, returning
+    /// its switch index. An empty list adds a transit switch.
+    pub fn push_switch(&mut self, capacities: Vec<u64>) -> usize {
+        self.capacities.push(capacities);
+        self.capacities.len() - 1
+    }
+
+    /// Removes every server from switch `s`, turning it into a transit
+    /// switch (models an edge node leaving the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn clear_switch(&mut self, s: usize) {
+        self.capacities[s].clear();
+    }
+
+    /// The server with the most remaining capacity among `candidates`,
+    /// given current `loads` (items stored per server). Ties break toward
+    /// the smaller id. Returns `None` when `candidates` is empty.
+    ///
+    /// This is the control plane's pick when a switch requests a range
+    /// extension (paper Section V-B): "the edge server with the most
+    /// remaining capacity from the physical neighbor switches".
+    pub fn most_remaining(
+        &self,
+        candidates: impl Iterator<Item = ServerId>,
+        loads: &impl Fn(ServerId) -> u64,
+    ) -> Option<ServerId> {
+        candidates
+            .map(|id| {
+                let remaining = self.capacity(id).saturating_sub(loads(id));
+                (std::cmp::Reverse(remaining), id)
+            })
+            .min()
+            .map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_pool() {
+        let p = ServerPool::uniform(3, 2, 50);
+        assert_eq!(p.switch_count(), 3);
+        assert_eq!(p.total_servers(), 6);
+        assert_eq!(p.capacity(ServerId { switch: 1, index: 1 }), 50);
+        assert_eq!(p.iter_ids().count(), 6);
+    }
+
+    #[test]
+    fn heterogeneous_pool() {
+        let p = ServerPool::from_capacities(vec![vec![10], vec![20, 30, 40]]);
+        assert_eq!(p.servers_at(0), 1);
+        assert_eq!(p.servers_at(1), 3);
+        assert_eq!(p.capacity(ServerId { switch: 1, index: 2 }), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = ServerPool::uniform(2, 0, 10);
+    }
+
+    #[test]
+    fn empty_switch_is_transit() {
+        let p = ServerPool::from_capacities(vec![vec![10], vec![]]);
+        assert_eq!(p.servers_at(0), 1);
+        assert_eq!(p.servers_at(1), 0);
+        assert_eq!(p.total_servers(), 1);
+    }
+
+    #[test]
+    fn most_remaining_picks_emptiest() {
+        let p = ServerPool::from_capacities(vec![vec![100, 100], vec![100]]);
+        let loads = |id: ServerId| match (id.switch, id.index) {
+            (0, 0) => 90,
+            (0, 1) => 10,
+            (1, 0) => 50,
+            _ => 0,
+        };
+        let best = p.most_remaining(p.iter_ids(), &loads).unwrap();
+        assert_eq!(best, ServerId { switch: 0, index: 1 });
+    }
+
+    #[test]
+    fn most_remaining_tie_breaks_to_smaller_id() {
+        let p = ServerPool::uniform(2, 1, 100);
+        let loads = |_: ServerId| 0u64;
+        let best = p.most_remaining(p.iter_ids(), &loads).unwrap();
+        assert_eq!(best, ServerId { switch: 0, index: 0 });
+    }
+
+    #[test]
+    fn most_remaining_empty_candidates() {
+        let p = ServerPool::uniform(1, 1, 1);
+        let loads = |_: ServerId| 0u64;
+        assert_eq!(p.most_remaining(std::iter::empty(), &loads), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ServerId { switch: 3, index: 1 }.to_string(), "s3/h1");
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's P4 prototype topology (Fig. 6).
+//!
+//! The prototype consists of one controller and six P4 switches, each
+//! connecting two edge servers. The figure shows a small mesh; the exact
+//! adjacency is not enumerated in the text, so we use a six-switch ring
+//! with two cross links — a diameter-2 mesh consistent with the drawn
+//! layout — and note this substitution in `DESIGN.md`. All testbed
+//! experiments (Figs. 7–8) measure stretch, load balance, and delay, which
+//! depend only on having a small multi-path topology of this shape.
+
+use crate::server::ServerPool;
+use crate::topology::Topology;
+
+/// Number of switches in the prototype.
+pub const TESTBED_SWITCHES: usize = 6;
+
+/// Edge servers per switch in the prototype.
+pub const TESTBED_SERVERS_PER_SWITCH: usize = 2;
+
+/// Builds the 6-switch testbed topology and its 12-server pool.
+///
+/// ```
+/// use gred_net::testbed_topology;
+/// let (topo, pool) = testbed_topology();
+/// assert_eq!(topo.switch_count(), 6);
+/// assert_eq!(pool.total_servers(), 12);
+/// assert!(topo.is_connected());
+/// ```
+pub fn testbed_topology() -> (Topology, ServerPool) {
+    let links = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 0),
+        (0, 3),
+        (1, 4),
+        (2, 5),
+    ];
+    let topo = Topology::from_links(TESTBED_SWITCHES, &links).expect("static links are valid");
+    let pool = ServerPool::uniform(TESTBED_SWITCHES, TESTBED_SERVERS_PER_SWITCH, u64::MAX);
+    (topo, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let (topo, pool) = testbed_topology();
+        assert_eq!(topo.switch_count(), 6);
+        assert_eq!(topo.link_count(), 9);
+        assert_eq!(pool.total_servers(), 12);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn testbed_diameter_is_two() {
+        let (topo, _) = testbed_topology();
+        let m = topo.shortest_path_matrix();
+        let diameter = m.iter().flatten().max().copied().unwrap();
+        assert_eq!(diameter, 2);
+    }
+
+    #[test]
+    fn every_switch_has_two_servers() {
+        let (_, pool) = testbed_topology();
+        for s in 0..TESTBED_SWITCHES {
+            assert_eq!(pool.servers_at(s), 2);
+        }
+    }
+}

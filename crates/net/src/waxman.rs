@@ -1,0 +1,285 @@
+//! BRITE-style Waxman random topology generation.
+//!
+//! The paper's large-scale simulations use BRITE with the Waxman model to
+//! generate switch-level topologies, sweeping the number of switches and
+//! the minimum interconnection degree (Section VII-B). The Waxman model
+//! places nodes uniformly in a plane and links each pair with probability
+//! `α · exp(−d / (β · L))`, where `d` is the pair's Euclidean distance and
+//! `L` the maximum possible distance. BRITE additionally enforces a minimum
+//! node degree; we reproduce that by connecting under-provisioned nodes to
+//! their nearest non-neighbors, then splicing any remaining components
+//! together by their closest cross pairs.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Waxman generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaxmanConfig {
+    /// Number of switches.
+    pub switches: usize,
+    /// Waxman `α`: overall link density (0, 1].
+    pub alpha: f64,
+    /// Waxman `β`: distance sensitivity (0, 1]. Larger values favour long
+    /// links.
+    pub beta: f64,
+    /// Minimum degree enforced per switch (BRITE's `m` parameter). The
+    /// paper sweeps 3–10.
+    pub min_degree: usize,
+    /// RNG seed, for reproducible topologies.
+    pub seed: u64,
+}
+
+impl Default for WaxmanConfig {
+    /// BRITE-like defaults: `α = 0.15`, `β = 0.2`, minimum degree 3.
+    fn default() -> Self {
+        WaxmanConfig {
+            switches: 100,
+            alpha: 0.15,
+            beta: 0.2,
+            min_degree: 3,
+            seed: 1,
+        }
+    }
+}
+
+impl WaxmanConfig {
+    /// Convenience constructor for an `n`-switch topology with the default
+    /// Waxman parameters and the given seed.
+    pub fn with_switches(switches: usize, seed: u64) -> Self {
+        WaxmanConfig {
+            switches,
+            seed,
+            ..WaxmanConfig::default()
+        }
+    }
+}
+
+/// Generates a connected Waxman topology, returning the graph and the
+/// plane coordinates the generator placed each switch at (useful only for
+/// visualization — GRED derives its own virtual coordinates from the hop
+/// metric, not from these).
+///
+/// # Panics
+///
+/// Panics if `config.switches == 0` or the Waxman parameters are outside
+/// `(0, 1]`.
+///
+/// ```
+/// use gred_net::{waxman_topology, WaxmanConfig};
+/// let (topo, coords) = waxman_topology(&WaxmanConfig::with_switches(50, 7));
+/// assert_eq!(topo.switch_count(), 50);
+/// assert_eq!(coords.len(), 50);
+/// assert!(topo.is_connected());
+/// assert!((0..50).all(|s| topo.degree(s) >= 3));
+/// ```
+pub fn waxman_topology(config: &WaxmanConfig) -> (Topology, Vec<(f64, f64)>) {
+    assert!(config.switches > 0, "topology needs at least one switch");
+    assert!(
+        config.alpha > 0.0 && config.alpha <= 1.0,
+        "alpha must be in (0, 1]"
+    );
+    assert!(
+        config.beta > 0.0 && config.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+
+    let n = config.switches;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let dist =
+        |i: usize, j: usize| -> f64 {
+            let dx = coords[i].0 - coords[j].0;
+            let dy = coords[i].1 - coords[j].1;
+            (dx * dx + dy * dy).sqrt()
+        };
+    let l_max = std::f64::consts::SQRT_2;
+
+    let mut topo = Topology::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = config.alpha * (-dist(i, j) / (config.beta * l_max)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                topo.add_link(i, j).expect("valid indices");
+            }
+        }
+    }
+
+    // Enforce the minimum degree by linking to nearest non-neighbors.
+    let min_degree = config.min_degree.min(n.saturating_sub(1));
+    for i in 0..n {
+        while topo.degree(i) < min_degree {
+            let candidate = (0..n)
+                .filter(|&j| j != i && !topo.has_link(i, j))
+                .min_by(|&a, &b| {
+                    dist(i, a)
+                        .partial_cmp(&dist(i, b))
+                        .expect("distances are finite")
+                });
+            match candidate {
+                Some(j) => topo.add_link(i, j).expect("valid indices"),
+                None => break,
+            }
+        }
+    }
+
+    // Splice components together through their closest cross pair.
+    loop {
+        let comp = components(&topo);
+        if comp.iter().max().copied().unwrap_or(0) == 0 {
+            break;
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if comp[i] != comp[j] {
+                    let d = dist(i, j);
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+        }
+        let (i, j, _) = best.expect("disconnected graph has a cross pair");
+        topo.add_link(i, j).expect("valid indices");
+    }
+
+    (topo, coords)
+}
+
+/// Component label per switch (0-based, label 0 contains switch 0).
+fn components(topo: &Topology) -> Vec<usize> {
+    let n = topo.switch_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = next;
+        while let Some(u) = stack.pop() {
+            for v in topo.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_connected_min_degree_topology() {
+        for &n in &[5usize, 20, 100] {
+            for seed in 0..3 {
+                let cfg = WaxmanConfig {
+                    switches: n,
+                    min_degree: 3,
+                    seed,
+                    ..WaxmanConfig::default()
+                };
+                let (t, coords) = waxman_topology(&cfg);
+                assert_eq!(t.switch_count(), n);
+                assert_eq!(coords.len(), n);
+                assert!(t.is_connected(), "n={n} seed={seed} disconnected");
+                let want = 3.min(n - 1);
+                for s in 0..n {
+                    assert!(
+                        t.degree(s) >= want,
+                        "n={n} seed={seed}: switch {s} degree {}",
+                        t.degree(s)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = WaxmanConfig::with_switches(40, 99);
+        let (a, _) = waxman_topology(&cfg);
+        let (b, _) = waxman_topology(&cfg);
+        assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = waxman_topology(&WaxmanConfig::with_switches(40, 1));
+        let (b, _) = waxman_topology(&WaxmanConfig::with_switches(40, 2));
+        assert_ne!(a.links(), b.links());
+    }
+
+    #[test]
+    fn min_degree_sweep() {
+        for md in [3usize, 5, 8, 10] {
+            let cfg = WaxmanConfig {
+                switches: 60,
+                min_degree: md,
+                seed: 4,
+                ..WaxmanConfig::default()
+            };
+            let (t, _) = waxman_topology(&cfg);
+            assert!((0..60).all(|s| t.degree(s) >= md), "min_degree={md}");
+        }
+    }
+
+    #[test]
+    fn higher_min_degree_means_more_links() {
+        let low = waxman_topology(&WaxmanConfig {
+            switches: 80,
+            min_degree: 3,
+            seed: 11,
+            ..WaxmanConfig::default()
+        })
+        .0;
+        let high = waxman_topology(&WaxmanConfig {
+            switches: 80,
+            min_degree: 9,
+            seed: 11,
+            ..WaxmanConfig::default()
+        })
+        .0;
+        assert!(high.link_count() > low.link_count());
+    }
+
+    #[test]
+    fn single_switch() {
+        let (t, _) = waxman_topology(&WaxmanConfig {
+            switches: 1,
+            min_degree: 3,
+            seed: 0,
+            ..WaxmanConfig::default()
+        });
+        assert_eq!(t.switch_count(), 1);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one switch")]
+    fn zero_switches_panics() {
+        let _ = waxman_topology(&WaxmanConfig {
+            switches: 0,
+            ..WaxmanConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = waxman_topology(&WaxmanConfig {
+            alpha: 1.5,
+            ..WaxmanConfig::default()
+        });
+    }
+}

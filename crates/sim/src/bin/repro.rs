@@ -1,0 +1,489 @@
+//! `repro` — regenerate every figure of the GRED paper, plus the
+//! repository's extension experiments.
+//!
+//! ```text
+//! repro <experiment> [--paper] [--csv <dir>]
+//!
+//! experiments: fig7a fig7b fig8 fig9a fig9b fig9c fig9d
+//!              fig11a fig11b fig11c tables churn churn-owners
+//!              embedding qdelay availability hotspot contention fload
+//!              cdf overhead hetero all
+//!
+//! --paper      run at the paper's full scale (minutes) instead of the
+//!              quick preset (seconds)
+//! --csv <dir>  also write each experiment's rows to <dir>/<name>.csv
+//! ```
+
+use gred_net::LatencyModel;
+use gred_sim::experiments::{availability, churn, contention, control_overhead, delay, embedding, forwarding_load, heterogeneity, hotspot, load, stretch, table_entries, testbed};
+use gred_sim::report::{f3, render_csv, render_table};
+use std::path::PathBuf;
+
+const SEED: u64 = 2019;
+
+struct Scale {
+    stretch_sizes: Vec<usize>,
+    stretch_items: usize,
+    degree_switches: usize,
+    degrees: Vec<usize>,
+    entry_sizes: Vec<usize>,
+    load_servers: Vec<usize>,
+    load_items: usize,
+    item_sweep: Vec<usize>,
+    sweep_servers: usize,
+    iteration_sweep: Vec<usize>,
+    testbed_requests: usize,
+    testbed_items: usize,
+    delay_requests: Vec<usize>,
+    churn_sizes: Vec<usize>,
+    churn_items: usize,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            stretch_sizes: vec![20, 40, 60],
+            stretch_items: 50,
+            degree_switches: 40,
+            degrees: vec![3, 5, 7, 10],
+            entry_sizes: vec![20, 40, 60, 80],
+            load_servers: vec![200, 400, 600],
+            load_items: 20_000,
+            item_sweep: vec![20_000, 50_000, 100_000],
+            sweep_servers: 300,
+            iteration_sweep: vec![0, 10, 20, 50],
+            testbed_requests: 100,
+            testbed_items: 5_000,
+            delay_requests: vec![100, 400, 1000],
+            churn_sizes: vec![20, 40],
+            churn_items: 500,
+        }
+    }
+
+    /// The paper's parameters (Section VII-B).
+    fn paper() -> Self {
+        Scale {
+            stretch_sizes: vec![20, 60, 100, 140, 180],
+            stretch_items: 100,
+            degree_switches: 100,
+            degrees: vec![3, 4, 5, 6, 7, 8, 9, 10],
+            entry_sizes: vec![20, 60, 100, 140, 180],
+            load_servers: vec![200, 400, 600, 800, 1000],
+            load_items: 100_000,
+            item_sweep: vec![100_000, 250_000, 500_000, 750_000, 1_000_000],
+            sweep_servers: 1000,
+            iteration_sweep: vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            testbed_requests: 100,
+            testbed_items: 10_000,
+            delay_requests: vec![100, 200, 400, 600, 800, 1000],
+            churn_sizes: vec![20, 60, 100],
+            churn_items: 2_000,
+        }
+    }
+}
+
+/// Table sink: always prints; optionally writes CSV next to it.
+struct Output {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Output {
+    fn emit(&self, name: &str, title: &str, headers: &[&str], rows: Vec<Vec<String>>) {
+        println!("\n== {title} ==");
+        println!("{}", render_table(headers, &rows));
+        if let Some(dir) = &self.csv_dir {
+            std::fs::create_dir_all(dir).expect("csv dir is creatable");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, render_csv(headers, &rows)).expect("csv is writable");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn stretch_rows(rows: &[stretch::StretchRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| vec![r.x.to_string(), r.system.clone(), f3(r.mean), f3(r.ci90)])
+        .collect()
+}
+
+fn load_rows(rows: &[load::LoadRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| vec![r.x.to_string(), r.system.clone(), f3(r.max_avg)])
+        .collect()
+}
+
+fn run(experiment: &str, scale: &Scale, out: &Output) {
+    match experiment {
+        "fig7a" | "fig7b" => {
+            let rows =
+                testbed::testbed_experiment(scale.testbed_requests, scale.testbed_items, SEED);
+            out.emit(
+                "fig7",
+                "Fig. 7(a)/(b): P4 testbed — stretch and load balance",
+                &["system", "mean stretch", "max/avg"],
+                rows.iter()
+                    .map(|r| vec![r.system.clone(), f3(r.stretch), f3(r.max_avg)])
+                    .collect(),
+            );
+        }
+        "fig8" => {
+            let rows = delay::response_delay(&scale.delay_requests, LatencyModel::default(), SEED);
+            out.emit(
+                "fig8",
+                "Fig. 8: average response delay vs retrieval requests",
+                &["requests", "system", "avg delay (us)"],
+                rows.iter()
+                    .map(|r| vec![r.requests.to_string(), r.system.clone(), f3(r.avg_delay_us)])
+                    .collect(),
+            );
+        }
+        "fig9a" => {
+            let rows =
+                stretch::stretch_vs_network_size(&scale.stretch_sizes, scale.stretch_items, SEED);
+            out.emit(
+                "fig9a",
+                "Fig. 9(a): routing stretch vs network size",
+                &["switches", "system", "mean stretch", "ci90"],
+                stretch_rows(&rows),
+            );
+        }
+        "fig9b" => {
+            let rows = stretch::stretch_vs_min_degree(
+                &scale.degrees,
+                scale.degree_switches,
+                scale.stretch_items,
+                SEED,
+            );
+            out.emit(
+                "fig9b",
+                "Fig. 9(b): routing stretch vs min degree",
+                &["min degree", "system", "mean stretch", "ci90"],
+                stretch_rows(&rows),
+            );
+        }
+        "fig9c" => {
+            let rows =
+                stretch::stretch_with_extension(&scale.stretch_sizes, scale.stretch_items, SEED);
+            out.emit(
+                "fig9c",
+                "Fig. 9(c): stretch with range extension",
+                &["switches", "system", "mean stretch", "ci90"],
+                stretch_rows(&rows),
+            );
+        }
+        "fig9d" => {
+            let rows = table_entries::entries_vs_network_size(&scale.entry_sizes, SEED);
+            out.emit(
+                "fig9d",
+                "Fig. 9(d): forwarding entries per switch vs network size",
+                &["switches", "mean entries", "ci90", "min", "max"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            r.switches.to_string(),
+                            f3(r.mean),
+                            f3(r.ci90),
+                            r.min.to_string(),
+                            r.max.to_string(),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "fig11a" => {
+            let rows = load::load_vs_network_size(&scale.load_servers, scale.load_items, SEED);
+            out.emit(
+                "fig11a",
+                "Fig. 11(a): load balance vs number of servers",
+                &["servers", "system", "max/avg"],
+                load_rows(&rows),
+            );
+        }
+        "fig11b" => {
+            let rows = load::load_vs_items(&scale.item_sweep, scale.sweep_servers, SEED);
+            out.emit(
+                "fig11b",
+                "Fig. 11(b): load balance vs number of items",
+                &["items", "system", "max/avg"],
+                load_rows(&rows),
+            );
+        }
+        "fig11c" => {
+            let rows = load::load_vs_iterations(
+                &scale.iteration_sweep,
+                scale.load_items,
+                scale.sweep_servers,
+                SEED,
+            );
+            out.emit(
+                "fig11c",
+                "Fig. 11(c): load balance vs iterations T",
+                &["T", "system", "max/avg"],
+                load_rows(&rows),
+            );
+        }
+        "tables" => print_extension_tables(),
+        "qdelay" => {
+            let rows = delay::response_delay_with_queueing(
+                &scale.delay_requests,
+                LatencyModel::default(),
+                50_000.0, // 50 ms arrival window: visible queueing at 1000 requests
+                SEED,
+            );
+            out.emit(
+                "qdelay",
+                "Extension: response delay with FIFO server queueing",
+                &["requests", "system", "avg delay (us)"],
+                rows.iter()
+                    .map(|r| vec![r.requests.to_string(), r.system.clone(), f3(r.avg_delay_us)])
+                    .collect(),
+            );
+        }
+        "hetero" => {
+            let rows = heterogeneity::heterogeneous_load(25, scale.load_items.min(30_000), SEED);
+            out.emit(
+                "hetero",
+                "Extension: heterogeneous server counts — why range extension exists",
+                &["system", "per-server max/avg"],
+                rows.iter()
+                    .map(|r| vec![r.system.clone(), f3(r.max_avg)])
+                    .collect(),
+            );
+        }
+        "overhead" => {
+            let rows = control_overhead::join_overhead(&scale.churn_sizes, SEED);
+            out.emit(
+                "overhead",
+                "Extension: control-plane update footprint of a join",
+                &["switches", "switches touched", "entry delta", "newcomer entries"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            r.switches.to_string(),
+                            r.switches_touched.to_string(),
+                            r.entry_delta.to_string(),
+                            r.newcomer_entries.to_string(),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "cdf" => {
+            use gred_sim::trace::TraceCollector;
+            use gred_sim::workload::{AccessPicker, ItemGenerator};
+            let (topo, pool) = gred_sim::experiments::substrate(60, 10, 3, SEED);
+            let net = gred::GredNetwork::build(
+                topo,
+                pool,
+                gred::GredConfig::default().seeded(SEED),
+            )
+            .expect("builds");
+            let mut traces = TraceCollector::new();
+            let mut gen = ItemGenerator::new("cdf");
+            let mut picker = AccessPicker::new(net.members(), SEED);
+            for _ in 0..scale.load_items.min(2_000) {
+                traces.trace_request(&net, &gen.next_id(), picker.pick());
+            }
+            out.emit(
+                "cdf",
+                "Extension: GRED per-request stretch distribution",
+                &["quantile", "stretch"],
+                [0.5, 0.9, 0.95, 0.99, 1.0]
+                    .iter()
+                    .map(|&q| vec![format!("p{:.0}", q * 100.0), f3(traces.stretch_quantile(q))])
+                    .collect(),
+            );
+        }
+        "fload" => {
+            let rows = forwarding_load::forwarding_load(30, 2_000, SEED);
+            out.emit(
+                "fload",
+                "Extension: per-switch forwarding-load concentration",
+                &["system", "max/avg", "total switch visits"],
+                rows.iter()
+                    .map(|r| {
+                        vec![r.system.clone(), f3(r.max_avg), r.total_visits.to_string()]
+                    })
+                    .collect(),
+            );
+        }
+        "contention" => {
+            let rows = contention::contention_completion(
+                &scale.delay_requests,
+                1_000.0,
+                gred_net::LinkParams::default(),
+                SEED,
+            );
+            out.emit(
+                "contention",
+                "Extension: completion time under link contention — GRED vs Chord",
+                &["requests", "system", "mean completion (us)"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            r.requests.to_string(),
+                            r.system.clone(),
+                            f3(r.mean_completion_us),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "hotspot" => {
+            let rows = hotspot::hotspot_request_load(
+                &[0.0, 0.8, 1.2],
+                &[1, 4],
+                500,
+                10,
+                scale.load_items.min(10_000),
+                SEED,
+            );
+            out.emit(
+                "hotspot",
+                "Extension: request load under Zipf popularity, with hot-item replication",
+                &["zipf s", "hot replicas", "request max/avg"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            format!("{:.1}", r.zipf_s),
+                            r.hot_replicas.to_string(),
+                            f3(r.request_max_avg),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "churn-owners" => {
+            let rows = churn::owner_churn_comparison(&scale.churn_sizes, 5_000, SEED);
+            out.emit(
+                "churn_owners",
+                "Extension: ownership churn on join — GRED vs Chord",
+                &["switches", "system", "moved fraction", "fair share"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            r.switches.to_string(),
+                            r.system.clone(),
+                            f3(r.moved_fraction),
+                            f3(r.fair_share),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "availability" => {
+            let rows = availability::availability_under_crashes(
+                &[1, 2, 3],
+                scale.churn_sizes[0] / 5,
+                scale.churn_sizes[0],
+                scale.churn_items.min(500),
+                SEED,
+            );
+            out.emit(
+                "availability",
+                "Extension: availability under edge-node crashes",
+                &["replicas", "failures", "availability"],
+                rows.iter()
+                    .map(|r| {
+                        vec![r.replicas.to_string(), r.failures.to_string(), f3(r.availability)]
+                    })
+                    .collect(),
+            );
+        }
+        "churn" => {
+            let rows = churn::churn_migration(&scale.churn_sizes, scale.churn_items, SEED);
+            out.emit(
+                "churn",
+                "Extension: migration volume on join/leave (Section VI claim)",
+                &["switches", "event", "moved fraction", "fair share"],
+                rows.iter()
+                    .map(|r| {
+                        vec![
+                            r.switches.to_string(),
+                            r.event.clone(),
+                            f3(r.moved_fraction),
+                            f3(r.fair_share),
+                        ]
+                    })
+                    .collect(),
+            );
+        }
+        "embedding" => {
+            let rows =
+                embedding::embedding_ablation(&scale.stretch_sizes, scale.stretch_items, SEED);
+            out.emit(
+                "embedding",
+                "Ablation: M-position vs oracle vs random coordinates",
+                &["switches", "source", "mean stretch", "ci90"],
+                rows.iter()
+                    .map(|r| {
+                        vec![r.switches.to_string(), r.source.clone(), f3(r.mean), f3(r.ci90)]
+                    })
+                    .collect(),
+            );
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!(
+                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Paper Tables I/II: the forwarding-rule rewrite a range extension
+/// installs, demonstrated live on a 2-switch network.
+fn print_extension_tables() {
+    use gred::{GredConfig, GredNetwork};
+    use gred_net::{ServerId, ServerPool, Topology};
+
+    let topo = Topology::from_links(2, &[(0, 1)]).expect("valid");
+    let pool = ServerPool::uniform(2, 3, 1000);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::with_iterations(0)).expect("builds");
+
+    println!("\n== Tables I/II: range-extension forwarding entries ==");
+    let overloaded = ServerId { switch: 0, index: 0 };
+    println!("before extension: traffic for {overloaded} delivered locally");
+    let takeover = net.extend_range(overloaded).expect("neighbor has servers");
+    println!("after extension:  traffic for {overloaded} rewritten to {takeover}");
+    let (neighbors, relays, extensions) = net.dataplanes()[0].entry_breakdown();
+    println!(
+        "switch 0 tables: {neighbors} neighbor entries, {relays} relay entries, {extensions} extension entry"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    let out = Output { csv_dir };
+    let experiment = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            let is_flag = a.starts_with("--");
+            let is_csv_value = i > 0 && args[i - 1] == "--csv";
+            !is_flag && !is_csv_value
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+        .unwrap_or("all");
+
+    let all = [
+        "fig7a", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig11a", "fig11b", "fig11c",
+        "tables", "churn", "churn-owners", "embedding", "qdelay", "availability", "hotspot", "contention", "fload", "cdf", "overhead", "hetero",
+    ];
+    if experiment == "all" {
+        for e in all {
+            run(e, &scale, &out);
+        }
+    } else {
+        run(experiment, &scale, &out);
+    }
+}

@@ -1,0 +1,114 @@
+//! Request-load experiment under Zipf popularity (extension).
+//!
+//! GRED's storage load is balanced by hashing regardless of which items
+//! are *requested*, but a skewed popularity distribution concentrates
+//! request traffic on whichever servers happen to own the hot items. The
+//! paper's replication mechanism (Section VI) is the remedy: replicating
+//! the hot head of the catalog and fetching the nearest copy spreads
+//! request load across the replicas. This experiment quantifies both
+//! effects.
+
+use crate::metrics::max_avg;
+use crate::workload::{AccessPicker, ZipfPicker};
+use bytes::Bytes;
+use gred::{GredConfig, GredNetwork};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One row of the hotspot experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotspotRow {
+    /// Zipf exponent of the request popularity.
+    pub zipf_s: f64,
+    /// Copies of each of the hottest items (1 = no replication).
+    pub hot_replicas: u32,
+    /// `max/avg` of *requests served* per server.
+    pub request_max_avg: f64,
+}
+
+/// Serves `requests` Zipf-distributed retrievals over a `catalog_size`
+/// catalog on a fixed network; the top `hot_items` of the catalog are
+/// stored with `hot_replicas` copies and fetched nearest-copy.
+pub fn hotspot_request_load(
+    zipf_exponents: &[f64],
+    hot_replicas: &[u32],
+    catalog_size: usize,
+    hot_items: usize,
+    requests: usize,
+    seed: u64,
+) -> Vec<HotspotRow> {
+    let switches = 25;
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 4, u64::MAX);
+
+    let mut rows = Vec::new();
+    for &replicas in hot_replicas {
+        // One network per replication factor: catalog stored up front.
+        let mut net = GredNetwork::build(
+            topo.clone(),
+            pool.clone(),
+            GredConfig::default().seeded(seed),
+        )
+        .expect("builds");
+        let ids: Vec<DataId> = (0..catalog_size)
+            .map(|k| DataId::new(format!("hot/{k:05}")))
+            .collect();
+        for (k, id) in ids.iter().enumerate() {
+            let copies = if k < hot_items { replicas } else { 1 };
+            net.place_replicated(id, Bytes::from_static(b"v"), copies, k % switches)
+                .expect("places");
+        }
+
+        for &s in zipf_exponents {
+            let mut zipf = ZipfPicker::new(catalog_size, s, seed ^ 17);
+            let mut picker = AccessPicker::new(net.members(), seed ^ 23);
+            let mut served: HashMap<gred_net::ServerId, u64> = HashMap::new();
+            for _ in 0..requests {
+                let rank = zipf.pick();
+                let access = picker.pick();
+                let copies = if rank < hot_items { replicas } else { 1 };
+                let got = net
+                    .retrieve_nearest(&ids[rank], copies, access)
+                    .expect("stored items retrieve");
+                *served.entry(got.server).or_default() += 1;
+            }
+            let mut loads: Vec<u64> = served.into_values().collect();
+            loads.resize(net.pool().total_servers().max(loads.len()), 0);
+            rows.push(HotspotRow {
+                zipf_s: s,
+                hot_replicas: replicas,
+                request_max_avg: max_avg(&loads),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_concentrates_requests() {
+        let rows = hotspot_request_load(&[0.0, 1.2], &[1], 200, 10, 3_000, 5);
+        let uniform = rows.iter().find(|r| r.zipf_s == 0.0).unwrap().request_max_avg;
+        let skewed = rows.iter().find(|r| r.zipf_s == 1.2).unwrap().request_max_avg;
+        assert!(
+            skewed > uniform,
+            "zipf skew must concentrate request load: uniform {uniform:.2}, skewed {skewed:.2}"
+        );
+    }
+
+    #[test]
+    fn replicating_the_head_spreads_request_load() {
+        let rows = hotspot_request_load(&[1.2], &[1, 4], 200, 10, 3_000, 6);
+        let single = rows.iter().find(|r| r.hot_replicas == 1).unwrap().request_max_avg;
+        let quad = rows.iter().find(|r| r.hot_replicas == 4).unwrap().request_max_avg;
+        assert!(
+            quad < single,
+            "4 copies of hot items should cut request max/avg: {quad:.2} vs {single:.2}"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Evaluation metrics (paper Section VII-B).
+//!
+//! - **Routing stretch**: hop count of the selected route divided by the
+//!   hop count of the shortest route between the same endpoints.
+//! - **Load balance** (`max/avg`): items on the most loaded edge server
+//!   divided by the average items per server; 1 is perfect.
+
+/// A sample series with mean and the paper's 90% confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    samples: Vec<f64>,
+}
+
+impl MetricSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        MetricSeries { samples: Vec::new() }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is not finite.
+    pub fn push(&mut self, sample: f64) {
+        assert!(sample.is_finite(), "metric samples must be finite");
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Half-width of the 90% confidence interval of the mean.
+    pub fn ci90(&self) -> f64 {
+        ci90_half_width(&self.samples)
+    }
+
+    /// Maximum sample (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Default for MetricSeries {
+    fn default() -> Self {
+        MetricSeries::new()
+    }
+}
+
+impl FromIterator<f64> for MetricSeries {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = MetricSeries::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for MetricSeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Half-width of a two-sided 90% confidence interval of the mean, using
+/// the normal approximation (`z = 1.645`) the paper's error bars imply.
+pub fn ci90_half_width(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    1.645 * (var / n).sqrt()
+}
+
+/// The `max/avg` load-balance metric over per-server item counts. All
+/// servers (including empty ones) belong in `loads`. Returns 0 when no
+/// items are stored or `loads` is empty.
+///
+/// ```
+/// assert_eq!(gred_sim::max_avg(&[2, 2, 2, 2]), 1.0);
+/// assert_eq!(gred_sim::max_avg(&[8, 0, 0, 0]), 4.0);
+/// ```
+pub fn max_avg(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *loads.iter().max().expect("nonempty") as f64;
+    let avg = total as f64 / loads.len() as f64;
+    max / avg
+}
+
+/// Routing stretch of one request: `actual_hops / shortest_hops`, with the
+/// convention that a request answered at the access switch itself
+/// (shortest = 0) has stretch 1.
+pub fn stretch(actual_hops: u32, shortest_hops: u32) -> f64 {
+    if shortest_hops == 0 {
+        return 1.0;
+    }
+    f64::from(actual_hops) / f64::from(shortest_hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_statistics() {
+        let s: MetricSeries = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.max(), 3.0);
+        assert!(s.ci90() > 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = MetricSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.ci90(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = MetricSeries::new();
+        s.extend([1.0, 1.0]);
+        assert_eq!(s.samples(), &[1.0, 1.0]);
+        assert_eq!(s.ci90(), 0.0, "identical samples have zero CI");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_sample_panics() {
+        MetricSeries::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn max_avg_cases() {
+        assert_eq!(max_avg(&[]), 0.0);
+        assert_eq!(max_avg(&[0, 0]), 0.0);
+        assert_eq!(max_avg(&[5]), 1.0);
+        assert_eq!(max_avg(&[3, 1]), 1.5);
+        assert_eq!(max_avg(&[10, 0, 0, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn stretch_cases() {
+        assert_eq!(stretch(5, 5), 1.0);
+        assert_eq!(stretch(10, 5), 2.0);
+        assert_eq!(stretch(0, 0), 1.0);
+        assert_eq!(stretch(3, 0), 1.0, "local answers have unit stretch");
+    }
+
+    #[test]
+    fn ci90_known_value() {
+        // Samples 1..=5: mean 3, sample variance 2.5, se = sqrt(0.5).
+        let hw = ci90_half_width(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((hw - 1.645 * (2.5f64 / 5.0).sqrt()).abs() < 1e-12);
+        assert_eq!(ci90_half_width(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-server FIFO queueing for response-delay experiments.
+//!
+//! The paper's Fig. 8 delay is flat because its testbed servers are far
+//! from saturation. To probe the regime where request volume *does*
+//! matter, this module runs a small discrete-event simulation: requests
+//! arrive at given times, each is serviced FIFO by its target server for
+//! a fixed service time, and the response delay adds any queueing wait.
+
+use std::collections::HashMap;
+
+/// One retrieval request to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest<K> {
+    /// Arrival time at the server, in microseconds.
+    pub arrival_us: f64,
+    /// The server the request is delivered to.
+    pub server: K,
+    /// Network time already spent (request + response propagation).
+    pub network_us: f64,
+}
+
+/// Simulates FIFO service at every server and returns each request's
+/// total response delay (network + waiting + service), in input order.
+///
+/// # Panics
+///
+/// Panics if `service_us` is negative or any arrival time is not finite.
+pub fn fifo_delays<K: std::hash::Hash + Eq + Copy>(
+    requests: &[QueuedRequest<K>],
+    service_us: f64,
+) -> Vec<f64> {
+    assert!(service_us >= 0.0, "service time must be non-negative");
+    // Sort by arrival to process in time order, remembering input slots.
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .arrival_us
+            .partial_cmp(&requests[b].arrival_us)
+            .expect("arrival times are finite")
+    });
+
+    let mut server_free_at: HashMap<K, f64> = HashMap::new();
+    let mut delays = vec![0.0; requests.len()];
+    for idx in order {
+        let r = &requests[idx];
+        assert!(r.arrival_us.is_finite(), "arrival time must be finite");
+        let free = server_free_at.entry(r.server).or_insert(0.0);
+        let start = r.arrival_us.max(*free);
+        let finish = start + service_us;
+        *free = finish;
+        delays[idx] = r.network_us + (finish - r.arrival_us);
+    }
+    delays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, server: u32) -> QueuedRequest<u32> {
+        QueuedRequest { arrival_us: arrival, server, network_us: 100.0 }
+    }
+
+    #[test]
+    fn idle_server_has_no_wait() {
+        let delays = fifo_delays(&[req(0.0, 1)], 50.0);
+        assert_eq!(delays, vec![150.0]); // 100 network + 50 service
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        // Two requests hit the same server at t=0; the second waits.
+        let delays = fifo_delays(&[req(0.0, 1), req(0.0, 1)], 50.0);
+        assert_eq!(delays[0], 150.0);
+        assert_eq!(delays[1], 200.0);
+    }
+
+    #[test]
+    fn different_servers_do_not_interfere() {
+        let delays = fifo_delays(&[req(0.0, 1), req(0.0, 2)], 50.0);
+        assert_eq!(delays, vec![150.0, 150.0]);
+    }
+
+    #[test]
+    fn spaced_arrivals_never_wait() {
+        let delays = fifo_delays(&[req(0.0, 1), req(100.0, 1), req(200.0, 1)], 50.0);
+        assert!(delays.iter().all(|&d| (d - 150.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn out_of_order_input_is_handled() {
+        // Input order differs from arrival order; delays map back to the
+        // input slots.
+        let delays = fifo_delays(&[req(10.0, 1), req(0.0, 1)], 50.0);
+        // The t=0 request is served first (delay 150); the t=10 one waits
+        // until t=50 then finishes at 100 => delay 100-10+100 = 190.
+        assert_eq!(delays[1], 150.0);
+        assert_eq!(delays[0], 190.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fifo_delays::<u32>(&[], 10.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_service_panics() {
+        let _ = fifo_delays(&[req(0.0, 1)], -1.0);
+    }
+
+    #[test]
+    fn saturation_grows_delay_linearly() {
+        // 100 simultaneous requests at one server: the last waits 99
+        // service times.
+        let reqs: Vec<_> = (0..100).map(|_| req(0.0, 7)).collect();
+        let delays = fifo_delays(&reqs, 10.0);
+        let max = delays.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(max, 100.0 + 100.0 * 10.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! SVG rendering of GRED's virtual space.
+//!
+//! Produces a self-contained SVG showing the unit square, the switches'
+//! Voronoi cells (each cell's area = that switch's share of the hashed
+//! load), the Delaunay edges greedy forwarding follows, the switch
+//! positions, and optionally a set of data positions — the picture the
+//! paper's Figs. 4–5 sketch.
+
+use gred::GredNetwork;
+use gred_geometry::{voronoi_cells, Point2, Polygon};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct VizOptions {
+    /// Output square side in pixels.
+    pub size: f64,
+    /// Draw Voronoi cell boundaries.
+    pub voronoi: bool,
+    /// Draw DT edges.
+    pub dt_edges: bool,
+    /// Extra data positions to scatter (e.g. hashed item positions).
+    pub data_points: Vec<Point2>,
+}
+
+impl Default for VizOptions {
+    fn default() -> Self {
+        VizOptions {
+            size: 640.0,
+            voronoi: true,
+            dt_edges: true,
+            data_points: Vec::new(),
+        }
+    }
+}
+
+fn px(options: &VizOptions, p: Point2) -> (f64, f64) {
+    // SVG y grows downward; flip so the square reads like the math.
+    (p.x * options.size, (1.0 - p.y) * options.size)
+}
+
+/// Renders `net`'s virtual space as an SVG document.
+///
+/// ```
+/// use gred::{GredConfig, GredNetwork};
+/// use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+/// use gred_sim::viz::{render_svg, VizOptions};
+///
+/// # fn main() -> Result<(), gred::GredError> {
+/// let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(10, 1));
+/// let pool = ServerPool::uniform(10, 2, u64::MAX);
+/// let net = GredNetwork::build(topo, pool, GredConfig::default())?;
+/// let svg = render_svg(&net, &VizOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_svg(net: &GredNetwork, options: &VizOptions) -> String {
+    let s = options.size;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">"##
+    );
+    let _ = write!(
+        out,
+        r##"<rect x="0" y="0" width="{s}" height="{s}" fill="#fdfdfd" stroke="#444" stroke-width="1"/>"##
+    );
+
+    let positions: Vec<Point2> = net
+        .members()
+        .iter()
+        .map(|&m| net.position_of_switch(m).expect("member has a position"))
+        .collect();
+
+    if options.voronoi && !positions.is_empty() {
+        for cell in voronoi_cells(&positions, &Polygon::unit_square()) {
+            if cell.is_empty() {
+                continue;
+            }
+            let pts: Vec<String> = cell
+                .vertices()
+                .iter()
+                .map(|&v| {
+                    let (x, y) = px(options, v);
+                    format!("{x:.1},{y:.1}")
+                })
+                .collect();
+            let _ = write!(
+                out,
+                r##"<polygon points="{}" fill="none" stroke="#9ecae1" stroke-width="1"/>"##,
+                pts.join(" ")
+            );
+        }
+    }
+
+    if options.dt_edges {
+        for (a, b) in net.dt().edges() {
+            let pa = net.position_of_switch(a).expect("member");
+            let pb = net.position_of_switch(b).expect("member");
+            let (x1, y1) = px(options, pa);
+            let (x2, y2) = px(options, pb);
+            // Physical DT edges solid, virtual links dashed.
+            let dash = if net.topology().has_link(a, b) {
+                ""
+            } else {
+                r#" stroke-dasharray="4 3""#
+            };
+            let _ = write!(
+                out,
+                r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#bbbbbb" stroke-width="1"{dash}/>"##
+            );
+        }
+    }
+
+    for &p in &options.data_points {
+        let (x, y) = px(options, p);
+        let _ = write!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.5" fill="#74c476"/>"##);
+    }
+
+    for (&m, &p) in net.members().iter().zip(&positions) {
+        let (x, y) = px(options, p);
+        let _ = write!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="#d62728"/>"##);
+        let _ = write!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace" fill="#333">{m}</text>"##,
+            x + 6.0,
+            y - 4.0
+        );
+    }
+
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred::GredConfig;
+    use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+    fn net() -> GredNetwork {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(12, 3));
+        let pool = ServerPool::uniform(12, 2, u64::MAX);
+        GredNetwork::build(topo, pool, GredConfig::with_iterations(10)).unwrap()
+    }
+
+    #[test]
+    fn svg_has_all_layers() {
+        let svg = render_svg(&net(), &VizOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<polygon"), "voronoi cells rendered");
+        assert!(svg.contains("<line"), "dt edges rendered");
+        assert_eq!(svg.matches(r##"fill="#d62728""##).count(), 12, "one dot per switch");
+    }
+
+    #[test]
+    fn layers_can_be_disabled() {
+        let opts = VizOptions {
+            voronoi: false,
+            dt_edges: false,
+            ..VizOptions::default()
+        };
+        let svg = render_svg(&net(), &opts);
+        assert!(!svg.contains("<polygon"));
+        assert!(!svg.contains("<line"));
+    }
+
+    #[test]
+    fn data_points_rendered() {
+        let opts = VizOptions {
+            data_points: vec![Point2::new(0.5, 0.5), Point2::new(0.1, 0.9)],
+            ..VizOptions::default()
+        };
+        let svg = render_svg(&net(), &opts);
+        assert_eq!(svg.matches(r##"fill="#74c476""##).count(), 2);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        // A data point at y=1 (top of the math square) renders at
+        // SVG y ≈ 0 (top of the image).
+        let opts = VizOptions {
+            size: 100.0,
+            data_points: vec![Point2::new(0.0, 1.0)],
+            voronoi: false,
+            dt_edges: false,
+        };
+        let svg = render_svg(&net(), &opts);
+        assert!(svg.contains(r#"<circle cx="0.0" cy="0.0" r="1.5""#), "{svg}");
+    }
+}

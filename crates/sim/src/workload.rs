@@ -1,0 +1,204 @@
+//! Workload generation: data items and access points.
+//!
+//! The paper's simulations "randomly generate 100 data items … and
+//! randomly select an access point for each data" for stretch experiments,
+//! and place 100k–1M items for load experiments. Generators are seeded and
+//! deterministic.
+
+use gred_hash::DataId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream of unique data identifiers, deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct ItemGenerator {
+    prefix: String,
+    next: u64,
+}
+
+impl ItemGenerator {
+    /// A generator whose ids carry `prefix` (distinct prefixes give
+    /// disjoint key sets).
+    pub fn new(prefix: impl Into<String>) -> Self {
+        ItemGenerator {
+            prefix: prefix.into(),
+            next: 0,
+        }
+    }
+
+    /// The next identifier.
+    pub fn next_id(&mut self) -> DataId {
+        let id = DataId::new(format!("{}/{}", self.prefix, self.next));
+        self.next += 1;
+        id
+    }
+
+    /// The next `n` identifiers.
+    pub fn take_ids(&mut self, n: usize) -> Vec<DataId> {
+        (0..n).map(|_| self.next_id()).collect()
+    }
+}
+
+/// Uniformly random access-point (switch) picker over a member list.
+#[derive(Debug, Clone)]
+pub struct AccessPicker {
+    members: Vec<usize>,
+    rng: StdRng,
+}
+
+impl AccessPicker {
+    /// Picks uniformly among `members`, deterministically per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: &[usize], seed: u64) -> Self {
+        assert!(!members.is_empty(), "need at least one access switch");
+        AccessPicker {
+            members: members.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next access switch.
+    pub fn pick(&mut self) -> usize {
+        self.members[self.rng.gen_range(0..self.members.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_deterministic() {
+        let mut a = ItemGenerator::new("w");
+        let mut b = ItemGenerator::new("w");
+        let ia = a.take_ids(100);
+        let ib = b.take_ids(100);
+        assert_eq!(ia, ib);
+        let set: std::collections::HashSet<_> = ia.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn prefixes_are_disjoint() {
+        let mut a = ItemGenerator::new("a");
+        let mut b = ItemGenerator::new("b");
+        assert_ne!(a.next_id(), b.next_id());
+    }
+
+    #[test]
+    fn picker_is_uniformish_and_deterministic() {
+        let members = [3usize, 7, 9];
+        let mut p = AccessPicker::new(&members, 5);
+        let mut q = AccessPicker::new(&members, 5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let x = p.pick();
+            assert_eq!(x, q.pick());
+            counts[members.iter().position(|&m| m == x).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((800..=1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access switch")]
+    fn empty_members_panics() {
+        let _ = AccessPicker::new(&[], 0);
+    }
+}
+
+/// Zipf-distributed popularity over a fixed catalog of items: item `k`
+/// (0-based rank) is requested with probability ∝ `1 / (k+1)^s`.
+///
+/// Storage load in GRED depends only on hashing and stays balanced under
+/// any popularity skew; *request* load does not — replication of hot
+/// items (paper Section VI) is the lever, and this generator drives those
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct ZipfPicker {
+    /// Cumulative probability per rank.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfPicker {
+    /// A picker over `catalog_size` ranks with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is classic web-like skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog_size == 0` or `s < 0`.
+    pub fn new(catalog_size: usize, s: f64, seed: u64) -> Self {
+        assert!(catalog_size > 0, "catalog must not be empty");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let weights: Vec<f64> = (0..catalog_size)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfPicker {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next rank (0 = most popular).
+    pub fn pick(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let mut p = ZipfPicker::new(10, 0.0, 1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[p.pick()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let mut p = ZipfPicker::new(100, 1.0, 2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[p.pick()] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 should dominate rank 50");
+        assert!(counts[0] > counts[9], "monotone-ish head");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfPicker::new(50, 0.9, 7);
+        let mut b = ZipfPicker::new(50, 0.9, 7);
+        for _ in 0..100 {
+            assert_eq!(a.pick(), b.pick());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog")]
+    fn empty_catalog_panics() {
+        let _ = ZipfPicker::new(0, 1.0, 0);
+    }
+}

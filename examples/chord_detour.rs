@@ -1,0 +1,72 @@
+//! The paper's motivating example (Figs. 1–2): a Chord lookup whose
+//! overlay hops zig-zag across the physical network, against GRED's
+//! single greedy walk on the same topology.
+//!
+//! ```text
+//! cargo run --release --example chord_detour -p gred-sim
+//! ```
+
+use gred::{GredConfig, GredNetwork};
+use gred_chord::{overlay_path_physical_hops, ChordConfig, ChordNetwork};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let switches = 30;
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, 2));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let gred = GredNetwork::build(topo.clone(), pool.clone(), GredConfig::default())?;
+    let chord = ChordNetwork::build(&pool, ChordConfig::default());
+
+    // Find the worst Chord detour among a batch of lookups — the paper's
+    // Fig. 2 moment.
+    let mut worst: Option<(DataId, usize, f64)> = None;
+    for i in 0..200 {
+        let id = DataId::new(format!("detour/{i}"));
+        let access = (i * 7) % switches;
+        let path = chord.lookup_path(access, &id);
+        let actual = overlay_path_physical_hops(&topo, &path).unwrap();
+        let owner = path.last().unwrap();
+        let direct = topo.shortest_path(access, owner.switch).unwrap().len() as u32 - 1;
+        if direct > 0 {
+            let stretch = f64::from(actual) / f64::from(direct);
+            if worst.as_ref().is_none_or(|&(_, _, w)| stretch > w) {
+                worst = Some((id, access, stretch));
+            }
+        }
+    }
+    let (id, access, _) = worst.expect("some lookup has positive distance");
+
+    // Chord's walk.
+    let overlay = chord.lookup_path(access, &id);
+    let chord_hops = overlay_path_physical_hops(&topo, &overlay).unwrap();
+    let owner = *overlay.last().unwrap();
+    let direct = topo.shortest_path(access, owner.switch).unwrap().len() as u32 - 1;
+    println!("key {id} from access switch {access}:");
+    println!(
+        "  Chord overlay visits servers {:?}",
+        overlay.iter().map(|s| s.switch).collect::<Vec<_>>()
+    );
+    println!(
+        "  -> {chord_hops} physical hops for a {direct}-hop shortest path (stretch {:.1})",
+        f64::from(chord_hops) / f64::from(direct)
+    );
+
+    // GRED's walk for the same key from the same access switch.
+    let pos = gred.position_of_id(&id);
+    let route = gred::plane::forwarding::route(gred.dataplanes(), access, pos, &id)?;
+    let g_direct = topo.shortest_path(access, route.dest).unwrap().len() as u32 - 1;
+    let g_stretch = if g_direct == 0 {
+        1.0 // answered locally: unit stretch by convention
+    } else {
+        f64::from(route.physical_hops()) / f64::from(g_direct)
+    };
+    println!(
+        "  GRED greedy walk {:?} -> {} hops (its owner sits {} hops away; stretch {:.2})",
+        route.switches,
+        route.physical_hops(),
+        g_direct,
+        g_stretch,
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! A small edge key-value service built on `gred-kv` — what a downstream
+//! team would deploy on top of GRED: namespaced clients at different
+//! access points, versioned writes, replicated hot keys, deletes.
+//!
+//! ```text
+//! cargo run --release --example edge_kv_service -p gred-kv
+//! ```
+
+use gred::GredConfig;
+use gred_kv::EdgeKv;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(20, 42));
+    let pool = ServerPool::uniform(20, 3, u64::MAX);
+    let mut kv = EdgeKv::build(topo, pool, GredConfig::default())?;
+
+    // A fleet of camera gateways writes into the "cams" namespace, each
+    // from its own access switch.
+    for cam in 0..8usize {
+        let client = kv.client("cams", cam);
+        let version =
+            client.put(&mut kv, &format!("cam-{cam}/latest"), format!("frame-{cam}-0"))?;
+        assert_eq!(version, 1);
+    }
+    println!("8 camera gateways wrote their latest frames");
+
+    // The trained detection model is hot: replicate it 3x so every site
+    // fetches a nearby copy.
+    let ops = kv.client("models", 0);
+    ops.put_replicated(&mut kv, "detector/v7", b"weights...".as_ref(), 3)?;
+
+    let mut total_hops = 0;
+    for site in 0..20 {
+        let got = kv.client("models", site).get(&kv, "detector/v7")?;
+        assert_eq!(got.value.as_ref(), b"weights...");
+        total_hops += got.hops;
+    }
+    println!("all 20 sites fetched detector/v7 (total {total_hops} hops for 20 reads)");
+
+    // A camera updates its frame; readers anywhere see the new version.
+    let cam3 = kv.client("cams", 3);
+    cam3.put(&mut kv, "cam-3/latest", b"frame-3-1".as_ref())?;
+    let read_back = kv.client("cams", 17).get(&kv, "cam-3/latest")?;
+    println!(
+        "cam-3/latest now at version {} ({} bytes) read from switch 17",
+        read_back.version,
+        read_back.value.len()
+    );
+
+    // Decommissioned camera: delete is a tombstone write.
+    cam3.delete(&mut kv, "cam-3/latest")?;
+    assert!(kv.client("cams", 5).get(&kv, "cam-3/latest").is_err());
+    println!("cam-3/latest deleted; reads now miss everywhere");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Inspect a GRED deployment: topology statistics, embedding quality,
+//! and forwarding-table occupancy — the controller-side observability a
+//! production deployment would expose.
+//!
+//! ```text
+//! cargo run --release --example network_inspect -p gred
+//! ```
+
+use gred::control::embedding::{embedding_stress, m_position};
+use gred::{GredConfig, GredNetwork};
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for switches in [25usize, 50, 100] {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, 13));
+        let pool = ServerPool::uniform(switches, 10, u64::MAX);
+
+        let stats = topo.stats();
+        println!("== {switches} switches ==");
+        println!(
+            "  topology: {} links, degree {}..{} (mean {:.1}), diameter {}, mean path {:.2}",
+            stats.links,
+            stats.min_degree,
+            stats.max_degree,
+            stats.mean_degree,
+            stats.diameter.map_or("n/a".into(), |d| d.to_string()),
+            stats.mean_path_length,
+        );
+
+        let members: Vec<usize> = (0..switches).collect();
+        let embedding = m_position(&topo, &members)?;
+        println!(
+            "  embedding: stress {:.3} (0 = perfect reproduction of hop distances)",
+            embedding_stress(&topo, &embedding),
+        );
+
+        let net = GredNetwork::build(topo, pool, GredConfig::default())?;
+        let tables = net.table_stats();
+        println!(
+            "  forwarding tables: mean {:.1} entries/switch (min {}, max {}), DT edges {}",
+            tables.mean,
+            tables.min,
+            tables.max,
+            net.dt().edges().len(),
+        );
+    }
+    Ok(())
+}

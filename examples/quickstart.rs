@@ -1,0 +1,55 @@
+//! Quickstart: build a GRED edge network, place data, retrieve it from
+//! anywhere.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gred::{GredConfig, GredNetwork};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An edge network: 30 switches (Waxman/BRITE-style), 4 edge
+    //    servers behind each, effectively unlimited capacity.
+    let (topology, _) = waxman_topology(&WaxmanConfig::with_switches(30, 7));
+    let pool = ServerPool::uniform(30, 4, u64::MAX);
+
+    // 2. Run the control plane: M-position embedding, C-regulation (the
+    //    paper's T = 50 default), multi-hop DT, entry installation.
+    let mut net = GredNetwork::build(topology, pool, GredConfig::default())?;
+    println!(
+        "network up: {} switches, {} servers, avg {:.1} forwarding entries/switch",
+        net.topology().switch_count(),
+        net.pool().total_servers(),
+        net.table_stats().mean,
+    );
+
+    // 3. Place a data item from access switch 0.
+    let id = DataId::new("camera-17/segment/000042");
+    let receipt = net.place(&id, b"jpeg bytes...".as_ref(), 0)?;
+    println!(
+        "placed {id} on {} via {} physical hops ({} greedy hops)",
+        receipt.server,
+        receipt.route.physical_hops(),
+        receipt.route.overlay_hops(),
+    );
+
+    // 4. Retrieve it from a completely different part of the network.
+    let result = net.retrieve(&id, 23)?;
+    println!(
+        "retrieved from {} in {} request hops + {} response hops",
+        result.server,
+        result.route.physical_hops(),
+        result.response_hops,
+    );
+    assert_eq!(&result.payload[..], b"jpeg bytes...");
+
+    // 5. Every access point resolves to the same server — one overlay hop,
+    //    no full index anywhere.
+    for access in [1usize, 8, 15, 29] {
+        assert_eq!(net.retrieve(&id, access)?.server, receipt.server);
+    }
+    println!("every access switch resolves {id} to {}", receipt.server);
+    Ok(())
+}

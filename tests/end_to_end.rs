@@ -1,0 +1,263 @@
+//! End-to-end integration: the full GRED lifecycle over generated
+//! topologies, spanning every crate.
+
+use bytes::Bytes;
+use gred::{GredConfig, GredError, GredNetwork};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+fn build(switches: usize, servers: usize, seed: u64) -> GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, servers, u64::MAX);
+    GredNetwork::build(topo, pool, GredConfig::default().seeded(seed)).expect("builds")
+}
+
+#[test]
+fn lifecycle_place_retrieve_everywhere() {
+    let mut net = build(25, 4, 1);
+    let items = 300;
+    for i in 0..items {
+        let id = DataId::new(format!("e2e/{i}"));
+        net.place(&id, format!("v{i}").into_bytes(), i % 25).unwrap();
+    }
+    assert_eq!(net.store().total_items(), items as u64);
+
+    // Every item retrievable from every 5th switch, contents intact.
+    for i in 0..items {
+        let id = DataId::new(format!("e2e/{i}"));
+        for access in (0..25).step_by(5) {
+            let got = net.retrieve(&id, access).unwrap();
+            assert_eq!(got.payload.as_ref(), format!("v{i}").as_bytes());
+        }
+    }
+}
+
+#[test]
+fn load_is_conserved_through_dynamics() {
+    let mut net = build(15, 3, 2);
+    for i in 0..200 {
+        net.place(&DataId::new(format!("dyn/{i}")), Bytes::new(), i % 15)
+            .unwrap();
+    }
+    let total_before: u64 = net.server_loads().iter().map(|&(_, l)| l).sum();
+    assert_eq!(total_before, 200);
+
+    let added = net.add_switch(&[0, 7], vec![u64::MAX, u64::MAX]).unwrap();
+    let total_after_add: u64 = net.server_loads().iter().map(|&(_, l)| l).sum();
+    assert_eq!(total_after_add, 200, "no item lost or duplicated on join");
+
+    net.remove_switch(added).unwrap();
+    let total_after_remove: u64 = net.server_loads().iter().map(|&(_, l)| l).sum();
+    assert_eq!(total_after_remove, 200, "no item lost or duplicated on leave");
+
+    // Everything still retrievable.
+    for i in 0..200 {
+        net.retrieve(&DataId::new(format!("dyn/{i}")), 3).unwrap();
+    }
+}
+
+#[test]
+fn several_joins_and_leaves_in_sequence() {
+    let mut net = build(12, 2, 3);
+    for i in 0..100 {
+        net.place(&DataId::new(format!("seq/{i}")), Bytes::new(), i % 12)
+            .unwrap();
+    }
+    let mut added = Vec::new();
+    for round in 0..3 {
+        let s = net
+            .add_switch(&[round, (round + 5) % 12], vec![u64::MAX])
+            .unwrap();
+        added.push(s);
+    }
+    // Remove an original member and one of the newcomers.
+    let victim = net.members()[2];
+    net.remove_switch(victim).unwrap();
+    net.remove_switch(added[0]).unwrap();
+
+    assert_eq!(net.store().total_items(), 100);
+    let access = net.members()[0];
+    for i in 0..100 {
+        let got = net.retrieve(&DataId::new(format!("seq/{i}")), access).unwrap();
+        assert_ne!(got.server.switch, victim);
+        assert_ne!(got.server.switch, added[0]);
+    }
+}
+
+#[test]
+fn no_cvt_variant_full_lifecycle() {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(20, 4));
+    let pool = ServerPool::uniform(20, 3, u64::MAX);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::no_cvt()).unwrap();
+    for i in 0..100 {
+        let id = DataId::new(format!("nocvt/{i}"));
+        net.place(&id, Bytes::new(), i % 20).unwrap();
+        assert!(net.retrieve(&id, (i + 7) % 20).is_ok());
+    }
+}
+
+#[test]
+fn heterogeneous_pool_with_transit_switches() {
+    // 10 switches, only 6 with servers; the rest pure transit.
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(10, 5));
+    let caps: Vec<Vec<u64>> = (0..10)
+        .map(|s| if s % 2 == 0 { vec![u64::MAX; 2] } else { vec![] })
+        .collect();
+    let pool = ServerPool::from_capacities(caps);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::default()).unwrap();
+    assert_eq!(net.members(), &[0, 2, 4, 6, 8]);
+
+    for i in 0..80 {
+        let id = DataId::new(format!("transit/{i}"));
+        let access = net.members()[i % 5];
+        let receipt = net.place(&id, Bytes::new(), access).unwrap();
+        assert!(receipt.server.switch.is_multiple_of(2), "data only on storage switches");
+        let got = net.retrieve(&id, net.members()[(i + 2) % 5]).unwrap();
+        assert_eq!(got.server, receipt.server);
+    }
+    // Transit switches reject access (no DT position)...
+    assert!(matches!(
+        net.retrieve(&DataId::new("transit/0"), 1),
+        Err(GredError::InvalidDynamics { .. }) | Err(GredError::NotFound)
+    ));
+}
+
+#[test]
+fn replication_survives_membership_churn() {
+    let mut net = build(20, 3, 6);
+    let id = DataId::new("churn/profile");
+    net.place_replicated(&id, b"v1".as_ref(), 3, 0).unwrap();
+
+    // Drop two different switches hosting copies (when possible).
+    for _ in 0..2 {
+        let holder = net
+            .store()
+            .all_locations()
+            .into_iter()
+            .find(|(_, stored)| stored.as_bytes().starts_with(id.as_bytes()))
+            .map(|(s, _)| s.switch);
+        if let Some(switch) = holder {
+            if net.members().len() > 3 && net.is_member(switch) {
+                net.remove_switch(switch).unwrap();
+            }
+        }
+    }
+    let access = net.members()[0];
+    let got = net.retrieve_nearest(&id, 3, access).unwrap();
+    assert_eq!(got.payload.as_ref(), b"v1");
+}
+
+#[test]
+fn extension_workflow_across_crates() {
+    // Tiny capacities to force extension traffic through the dataplane
+    // rewrite entries (paper Tables I/II).
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(8, 7));
+    let pool = ServerPool::uniform(8, 2, 6);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::default()).unwrap();
+
+    let mut placed = Vec::new();
+    for i in 0..60 {
+        let id = DataId::new(format!("ext/{i}"));
+        match net.place(&id, Bytes::new(), i % 8) {
+            Ok(_) => placed.push(id),
+            Err(GredError::CapacityExceeded { .. })
+            | Err(GredError::NoExtensionCandidate { .. })
+            | Err(GredError::AlreadyExtended { .. }) => {}
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    // Everything that was accepted is retrievable.
+    for id in &placed {
+        net.retrieve(id, 0).unwrap();
+    }
+    // Per-server load never exceeds capacity.
+    for (server, load) in net.server_loads() {
+        assert!(
+            load <= net.server_capacity(server),
+            "{server} over capacity: {load}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_retrievals_from_many_threads() {
+    // `retrieve` takes &self — a populated network serves concurrent
+    // readers. This also pins down that GredNetwork is Sync.
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<GredNetwork>();
+
+    let mut net = build(15, 3, 11);
+    let mut ids = Vec::new();
+    for i in 0..120 {
+        let id = DataId::new(format!("conc/{i}"));
+        net.place(&id, format!("v{i}").into_bytes(), i % 15).unwrap();
+        ids.push(id);
+    }
+    let net = &net;
+    let ids = &ids;
+    crossbeam::scope(|scope| {
+        for t in 0..8 {
+            scope.spawn(move |_| {
+                for (i, id) in ids.iter().enumerate() {
+                    let access = (i + t) % 15;
+                    let got = net.retrieve(id, access).unwrap();
+                    assert_eq!(got.payload.as_ref(), format!("v{i}").as_bytes());
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn expire_then_retrieve_is_not_found() {
+    let mut net = build(10, 2, 13);
+    let id = DataId::new("ephemeral");
+    let receipt = net.place(&id, b"x".as_ref(), 0).unwrap();
+    assert_eq!(net.expire(receipt.server, &id).unwrap().as_ref(), b"x");
+    assert_eq!(net.retrieve(&id, 0).unwrap_err(), GredError::NotFound);
+    // Expiring twice is a no-op.
+    assert!(net.expire(receipt.server, &id).is_none());
+}
+
+#[test]
+fn invariants_hold_through_full_lifecycle() {
+    let mut net = build(18, 3, 21);
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "fresh build");
+
+    for i in 0..150 {
+        net.place(&DataId::new(format!("inv/{i}")), Bytes::new(), i % 18)
+            .unwrap();
+    }
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after placements");
+
+    let victim = net.responsible_server(&DataId::new("inv/0"));
+    net.extend_range(victim).unwrap();
+    net.place(&DataId::new("inv/0"), Bytes::new(), 3).unwrap();
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "with extension");
+
+    let added = net.add_switch(&[0, 9], vec![u64::MAX; 3]).unwrap();
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after join");
+
+    net.remove_switch(added).unwrap();
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after leave");
+
+    net.retract_range(victim).unwrap();
+    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after retraction");
+}
+
+#[test]
+fn invariant_checker_detects_planted_corruption() {
+    let mut net = build(10, 2, 23);
+    let id = DataId::new("planted");
+    // Store an item on a server that cannot be its owner.
+    let owner = net.responsible_server(&id);
+    let wrong = gred_net::ServerId {
+        switch: net.members().iter().copied().find(|&m| m != owner.switch).unwrap(),
+        index: 0,
+    };
+    net.store_debug_insert(wrong, id);
+    let problems = net.verify_invariants();
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].contains("stored on"));
+}

@@ -1,0 +1,173 @@
+//! Property-based integration tests of GRED's core guarantees:
+//! guaranteed delivery, access-point independence, and placement /
+//! retrieval round trips, over randomized topologies and key sets.
+
+use bytes::Bytes;
+use gred::{GredConfig, GredNetwork};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use proptest::prelude::*;
+
+fn arb_network() -> impl Strategy<Value = (usize, u64, usize)> {
+    // (switches, topology seed, c-regulation iterations)
+    (5usize..30, 0u64..1000, prop_oneof![Just(0usize), Just(10), Just(30)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Greedy forwarding from every access switch terminates at the switch
+    /// whose position is nearest the key — the guaranteed-delivery theorem
+    /// lifted to the full network, including virtual links.
+    #[test]
+    fn delivery_is_guaranteed_and_access_independent(
+        (switches, seed, iters) in arb_network(),
+        keys in proptest::collection::vec("[a-z0-9/]{4,20}", 5..15),
+    ) {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+        let pool = ServerPool::uniform(switches, 3, u64::MAX);
+        let net = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig::with_iterations(iters).seeded(seed),
+        ).expect("builds");
+
+        for key in &keys {
+            let id = DataId::new(key);
+            let expected = net.responsible_server(&id);
+            for access in 0..switches {
+                let pos = net.position_of_id(&id);
+                let route = gred::plane::forwarding::route(net.dataplanes(), access, pos, &id)
+                    .expect("routes");
+                prop_assert_eq!(route.server, expected,
+                    "key {} from access {}: reached {:?}, expected {:?}",
+                    key, access, route.server, expected);
+                // Greedy trajectory strictly approaches the key position.
+                let p = net.position_of_id(&id);
+                for w in route.overlay.windows(2) {
+                    let d0 = net.position_of_switch(w[0]).unwrap().distance(p);
+                    let d1 = net.position_of_switch(w[1]).unwrap().distance(p);
+                    prop_assert!(d1 < d0, "greedy step must make progress");
+                }
+            }
+        }
+    }
+
+    /// place → retrieve round-trips payloads exactly, from any access pair.
+    #[test]
+    fn round_trip_integrity(
+        (switches, seed, iters) in arb_network(),
+        entries in proptest::collection::vec(("[a-z]{3,12}", proptest::collection::vec(any::<u8>(), 0..64)), 3..10),
+    ) {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+        let pool = ServerPool::uniform(switches, 2, u64::MAX);
+        let mut net = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig::with_iterations(iters).seeded(seed),
+        ).expect("builds");
+
+        for (i, (key, payload)) in entries.iter().enumerate() {
+            let id = DataId::new(format!("{key}/{i}"));
+            net.place(&id, payload.clone(), i % switches).expect("places");
+            let got = net.retrieve(&id, (i * 3 + 1) % switches).expect("retrieves");
+            prop_assert_eq!(got.payload.as_ref(), payload.as_slice());
+        }
+    }
+
+    /// The route's physical hop count is at least the shortest-path
+    /// distance and at most the full switch population (sanity bounds for
+    /// the stretch metric).
+    #[test]
+    fn route_length_bounds(
+        (switches, seed, iters) in arb_network(),
+        key in "[a-z0-9]{6,16}",
+    ) {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+        let pool = ServerPool::uniform(switches, 2, u64::MAX);
+        let net = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig::with_iterations(iters).seeded(seed),
+        ).expect("builds");
+        let id = DataId::new(key);
+        let pos = net.position_of_id(&id);
+        for access in 0..switches {
+            let route = gred::plane::forwarding::route(net.dataplanes(), access, pos, &id)
+                .expect("routes");
+            let shortest = net.topology().shortest_path(access, route.dest)
+                .expect("connected").len() as u32 - 1;
+            prop_assert!(route.physical_hops() >= shortest);
+            // Generous upper bound: each greedy step costs at most the
+            // network diameter in relays.
+            prop_assert!(route.physical_hops() <= (switches * switches) as u32);
+        }
+    }
+}
+
+#[test]
+fn loads_sum_to_total_items_across_seeds() {
+    for seed in 0..5 {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(12, seed));
+        let pool = ServerPool::uniform(12, 3, u64::MAX);
+        let mut net =
+            GredNetwork::build(topo, pool, GredConfig::default().seeded(seed)).unwrap();
+        for i in 0..150 {
+            net.place(&DataId::new(format!("sum/{seed}/{i}")), Bytes::new(), i % 12)
+                .unwrap();
+        }
+        let total: u64 = net.server_loads().iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 150, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary interleavings of placements, extensions, and retractions
+    /// keep every stored item retrievable and the system invariants green.
+    #[test]
+    fn extension_sequences_preserve_retrievability(
+        seed in 0u64..500,
+        ops in proptest::collection::vec(0u8..4, 10..30),
+    ) {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(10, seed));
+        let pool = ServerPool::uniform(10, 2, u64::MAX);
+        let mut net = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig::with_iterations(5).seeded(seed),
+        ).expect("builds");
+
+        let mut placed: Vec<DataId> = Vec::new();
+        let mut extended: Vec<gred_net::ServerId> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    let id = DataId::new(format!("seq/{seed}/{step}"));
+                    net.place(&id, Bytes::new(), step % 10).expect("places");
+                    placed.push(id);
+                }
+                2 => {
+                    let server = gred_net::ServerId {
+                        switch: step % 10,
+                        index: step % 2,
+                    };
+                    if net.extend_range(server).is_ok() {
+                        extended.push(server);
+                    }
+                }
+                _ => {
+                    if let Some(server) = extended.pop() {
+                        net.retract_range(server).expect("retracts");
+                    }
+                }
+            }
+            // Every placed item stays retrievable after every operation.
+            for id in &placed {
+                prop_assert!(net.retrieve(id, 0).is_ok(), "step {step}: {id} lost");
+            }
+        }
+        prop_assert_eq!(net.verify_invariants(), Vec::<String>::new());
+    }
+}
