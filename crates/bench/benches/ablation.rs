@@ -75,7 +75,10 @@ fn bench_cvt_value(c: &mut Criterion) {
     // The load-balance value of the refinement: T = 0 vs 50 (the figure
     // 11(c) endpoints) measured through the full system.
     for row in load_vs_iterations(&[0, 50], 30_000, 300, 2019) {
-        eprintln!("ablation fig11c endpoints: T={} {} max/avg={:.3}", row.x, row.system, row.max_avg);
+        eprintln!(
+            "ablation fig11c endpoints: T={} {} max/avg={:.3}",
+            row.x, row.system, row.max_avg
+        );
     }
     let (topo, pool) = substrate(30, 10, 3, 13);
     let mut g = c.benchmark_group("cvt_value");

@@ -1,0 +1,37 @@
+//! Control-plane build scaling: wall time of the full controller rebuild
+//! (embedding → regulation → triangulation → installation) on a 200-switch
+//! Waxman topology as a function of worker-thread count.
+//!
+//! Convert the results into `BENCH_controller_build.json` with
+//! `scripts/bench_to_json.py` after a run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gred::{GredConfig, GredNetwork};
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+const SWITCHES: usize = 200;
+const SEED: u64 = 2019;
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SWITCHES as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{SWITCHES}sw_{threads}t")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(SWITCHES, SEED));
+                    let pool = ServerPool::uniform(SWITCHES, 4, u64::MAX);
+                    let config = GredConfig::default().threads(threads);
+                    GredNetwork::build(topo, pool, config).expect("build succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_scaling);
+criterion_main!(benches);

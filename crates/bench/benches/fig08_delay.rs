@@ -5,7 +5,11 @@ use gred_net::LatencyModel;
 use gred_sim::experiments::delay::response_delay;
 
 fn bench(c: &mut Criterion) {
-    for row in response_delay(&[100, 200, 400, 600, 800, 1000], LatencyModel::default(), 2019) {
+    for row in response_delay(
+        &[100, 200, 400, 600, 800, 1000],
+        LatencyModel::default(),
+        2019,
+    ) {
         eprintln!(
             "fig8  requests={:<5} {:<11} avg_delay={:.1}us",
             row.requests, row.system, row.avg_delay_us

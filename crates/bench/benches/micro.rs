@@ -113,8 +113,12 @@ fn bench_dynamics(c: &mut Criterion) {
     let pool = ServerPool::uniform(40, 4, u64::MAX);
     let mut base = GredNetwork::build(topo, pool, GredConfig::default()).unwrap();
     for i in 0..500 {
-        base.place(&DataId::new(format!("dyn/{i}")), bytes::Bytes::new(), i % 40)
-            .unwrap();
+        base.place(
+            &DataId::new(format!("dyn/{i}")),
+            bytes::Bytes::new(),
+            i % 40,
+        )
+        .unwrap();
     }
 
     let mut g = c.benchmark_group("dynamics");
@@ -142,7 +146,9 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("encode_256B_payload", |b| b.iter(|| wire::encode(&packet)));
-    g.bench_function("parse_256B_payload", |b| b.iter(|| wire::parse(&encoded).unwrap()));
+    g.bench_function("parse_256B_payload", |b| {
+        b.iter(|| wire::parse(&encoded).unwrap())
+    });
     g.finish();
 }
 

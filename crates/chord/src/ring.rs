@@ -266,7 +266,9 @@ mod tests {
         let chord = ChordNetwork::build(&p, ChordConfig::default());
         let mut loads: HashMap<ServerId, usize> = HashMap::new();
         for i in 0..2000 {
-            *loads.entry(chord.owner(&DataId::new(format!("d{i}")))).or_default() += 1;
+            *loads
+                .entry(chord.owner(&DataId::new(format!("d{i}"))))
+                .or_default() += 1;
         }
         let total: usize = loads.values().sum();
         assert_eq!(total, 2000);
@@ -279,10 +281,17 @@ mod tests {
         let p = pool(20, 2); // 40 servers
         let items = 20_000;
         let max_avg = |vnodes: usize| {
-            let chord = ChordNetwork::build(&p, ChordConfig { virtual_nodes: vnodes });
+            let chord = ChordNetwork::build(
+                &p,
+                ChordConfig {
+                    virtual_nodes: vnodes,
+                },
+            );
             let mut loads: HashMap<ServerId, usize> = HashMap::new();
             for i in 0..items {
-                *loads.entry(chord.owner(&DataId::new(format!("vn{i}")))).or_default() += 1;
+                *loads
+                    .entry(chord.owner(&DataId::new(format!("vn{i}"))))
+                    .or_default() += 1;
             }
             let max = *loads.values().max().unwrap() as f64;
             max / (items as f64 / 40.0)
@@ -371,7 +380,10 @@ mod dynamics_tests {
     #[test]
     fn join_moves_only_the_arc() {
         let base = ChordNetwork::build(&pool(10, 2), ChordConfig::default());
-        let newcomer = ServerId { switch: 10, index: 0 };
+        let newcomer = ServerId {
+            switch: 10,
+            index: 0,
+        };
         let grown = base.with_server_added(newcomer);
         assert_eq!(grown.ring_size(), base.ring_size() + 1);
 
@@ -397,7 +409,10 @@ mod dynamics_tests {
     #[test]
     fn leave_hands_keys_to_successors() {
         let base = ChordNetwork::build(&pool(8, 2), ChordConfig::default());
-        let victim = ServerId { switch: 3, index: 1 };
+        let victim = ServerId {
+            switch: 3,
+            index: 1,
+        };
         let shrunk = base.with_server_removed(victim);
         assert_eq!(shrunk.ring_size(), base.ring_size() - 1);
         for i in 0..2000 {
@@ -421,7 +436,10 @@ mod dynamics_tests {
     #[test]
     fn join_then_leave_restores_ownership() {
         let base = ChordNetwork::build(&pool(6, 2), ChordConfig::default());
-        let s = ServerId { switch: 6, index: 0 };
+        let s = ServerId {
+            switch: 6,
+            index: 0,
+        };
         let round_trip = base.with_server_added(s).with_server_removed(s);
         for i in 0..500 {
             let id = DataId::new(format!("rt/{i}"));
@@ -433,6 +451,9 @@ mod dynamics_tests {
     #[should_panic(expected = "at least one server")]
     fn removing_the_last_server_panics() {
         let base = ChordNetwork::build(&pool(1, 1), ChordConfig::default());
-        let _ = base.with_server_removed(ServerId { switch: 0, index: 0 });
+        let _ = base.with_server_removed(ServerId {
+            switch: 0,
+            index: 0,
+        });
     }
 }

@@ -19,6 +19,11 @@ pub struct GredConfig {
     /// triggers a range extension to a neighbor switch's server
     /// (Section V-B). When false the caller manages extensions explicitly.
     pub auto_extend: bool,
+    /// Worker threads for the control-plane build pipeline (BFS rows,
+    /// C-regulation sample assignment, virtual-link path search). The
+    /// built network is bit-identical for every value; `0` is treated as
+    /// `1`. Use [`gred_runtime::default_threads`] to match the machine.
+    pub threads: usize,
 }
 
 impl Default for GredConfig {
@@ -27,6 +32,7 @@ impl Default for GredConfig {
             regulation: CRegulationConfig::default(),
             seed: 0xC0FFEE,
             auto_extend: true,
+            threads: 1,
         }
     }
 }
@@ -55,6 +61,17 @@ impl GredConfig {
         self.seed = seed;
         self
     }
+
+    /// Same configuration built on `threads` worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count (`threads`, floored at 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +84,13 @@ mod tests {
         assert_eq!(c.regulation.iterations, 50);
         assert_eq!(c.regulation.samples_per_iteration, 1000);
         assert!(c.auto_extend);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn zero_threads_normalizes_to_one() {
+        assert_eq!(GredConfig::default().threads(0).effective_threads(), 1);
+        assert_eq!(GredConfig::default().threads(4).effective_threads(), 4);
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl DtGraph {
     /// not sorted.
     pub fn build(members: Vec<usize>, positions: &[Point2]) -> Result<Self, GredError> {
         assert_eq!(members.len(), positions.len(), "members/positions mismatch");
-        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted"
+        );
         let triangulation = Triangulation::new(positions)?;
         Ok(DtGraph {
             members,
@@ -212,10 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_members_panic() {
-        let _ = DtGraph::build(
-            vec![3, 1],
-            &[Point2::new(0.1, 0.1), Point2::new(0.9, 0.9)],
-        );
+        let _ = DtGraph::build(vec![3, 1], &[Point2::new(0.1, 0.1), Point2::new(0.9, 0.9)]);
     }
 }
 

@@ -59,6 +59,21 @@ impl Embedding {
 /// - [`GredError::Disconnected`] when some member cannot reach another,
 /// - [`GredError::Embedding`] when MDS fails.
 pub fn m_position(topo: &Topology, members: &[usize]) -> Result<Embedding, GredError> {
+    m_position_with(topo, members, 1)
+}
+
+/// [`m_position`] with its per-member BFS rows computed on `threads`
+/// worker threads. Each row is an independent traversal, so the embedding
+/// is identical for any thread count.
+///
+/// # Errors
+///
+/// Same as [`m_position`].
+pub fn m_position_with(
+    topo: &Topology,
+    members: &[usize],
+    threads: usize,
+) -> Result<Embedding, GredError> {
     if members.is_empty() {
         return Err(GredError::NoStorageSwitches);
     }
@@ -74,10 +89,12 @@ pub fn m_position(topo: &Topology, members: &[usize]) -> Result<Embedding, GredE
     }
 
     // Hop distances between members, routed over the full topology
-    // (transit switches shorten paths but are not embedded).
+    // (transit switches shorten paths but are not embedded). Each
+    // member's row is one independent BFS — the build pipeline's first
+    // parallel phase.
+    let rows = gred_runtime::parallel_map(members.to_vec(), threads, |a| topo.bfs_hops(a));
     let mut l = Matrix::zeros(n, n);
-    for (i, &a) in members.iter().enumerate() {
-        let hops = topo.bfs_hops(a);
+    for (i, hops) in rows.iter().enumerate() {
         for (j, &b) in members.iter().enumerate() {
             let h = hops[b];
             if h == u32::MAX {
@@ -180,19 +197,13 @@ pub fn embed_new_switch(
     }
 
     // Initialize at the centroid of the nearest members (by hops).
-    let min_h = known
-        .iter()
-        .map(|&(_, d)| d)
-        .fold(f64::INFINITY, f64::min);
+    let min_h = known.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
     let near: Vec<Point2> = known
         .iter()
         .filter(|&&(_, d)| d <= min_h + embedding.scale)
         .map(|&(p, _)| p)
         .collect();
-    let mut p = near
-        .iter()
-        .fold(Point2::ORIGIN, |acc, &q| acc + q)
-        * (1.0 / near.len() as f64);
+    let mut p = near.iter().fold(Point2::ORIGIN, |acc, &q| acc + q) * (1.0 / near.len() as f64);
 
     // Gradient descent on the stress function.
     let mut step = 0.2;
@@ -228,7 +239,10 @@ mod tests {
     #[test]
     fn empty_members_error() {
         let t = line(3);
-        assert_eq!(m_position(&t, &[]).unwrap_err(), GredError::NoStorageSwitches);
+        assert_eq!(
+            m_position(&t, &[]).unwrap_err(),
+            GredError::NoStorageSwitches
+        );
     }
 
     #[test]
@@ -253,7 +267,10 @@ mod tests {
     #[test]
     fn disconnected_errors() {
         let t = Topology::new(3);
-        assert_eq!(m_position(&t, &[0, 1, 2]).unwrap_err(), GredError::Disconnected);
+        assert_eq!(
+            m_position(&t, &[0, 1, 2]).unwrap_err(),
+            GredError::Disconnected
+        );
     }
 
     #[test]
@@ -394,7 +411,10 @@ mod stress_tests {
         let members: Vec<usize> = (0..5).collect();
         let e = m_position(&t, &members).unwrap();
         let s = embedding_stress(&t, &e);
-        assert!(s < 0.05, "a path graph embeds almost exactly: stress {s:.3}");
+        assert!(
+            s < 0.05,
+            "a path graph embeds almost exactly: stress {s:.3}"
+        );
     }
 
     #[test]

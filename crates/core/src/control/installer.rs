@@ -29,17 +29,46 @@ pub fn install_dataplanes(
     pool: &ServerPool,
     dt: &DtGraph,
 ) -> Result<Vec<SwitchDataplane>, GredError> {
+    install_dataplanes_with(topo, pool, dt, 1)
+}
+
+/// [`install_dataplanes`] with the per-member virtual-link shortest paths
+/// computed on `threads` worker threads.
+///
+/// Only the path *search* runs concurrently; entries are applied to the
+/// data planes serially, in member order, so the installed tables are
+/// identical for any thread count (path search itself is deterministic —
+/// BFS breaking ties toward smaller switch indices).
+///
+/// # Errors
+///
+/// Same as [`install_dataplanes`].
+pub fn install_dataplanes_with(
+    topo: &Topology,
+    pool: &ServerPool,
+    dt: &DtGraph,
+    threads: usize,
+) -> Result<Vec<SwitchDataplane>, GredError> {
     let n = topo.switch_count();
     let mut planes: Vec<SwitchDataplane> = (0..n)
         .map(|s| match dt.position_of(s) {
-            Some(pos) if pool.servers_at(s) > 0 => {
-                SwitchDataplane::new(s, pos, pool.servers_at(s))
-            }
+            Some(pos) if pool.servers_at(s) > 0 => SwitchDataplane::new(s, pos, pool.servers_at(s)),
             _ => SwitchDataplane::transit(s),
         })
         .collect();
 
-    for &u in dt.members() {
+    // Phase 1 (parallel): per member, the shortest physical path to each
+    // multi-hop DT neighbor — the dominant cost of installation.
+    let paths_per_member = gred_runtime::parallel_map(dt.members().to_vec(), threads, |u| {
+        dt.neighbors_of(u)
+            .into_iter()
+            .filter(|&v| !topo.has_link(u, v))
+            .map(|v| topo.shortest_path(u, v).map(|p| (v, p)))
+            .collect::<Option<Vec<(usize, Vec<usize>)>>>()
+    });
+
+    // Phase 2 (serial, member order): apply entries to the data planes.
+    for (&u, member_paths) in dt.members().iter().zip(paths_per_member) {
         // Physical neighbors that are members: direct greedy candidates
         // (Algorithm 2 considers physical neighbors alongside DT ones).
         for v in topo.neighbors(u) {
@@ -52,13 +81,9 @@ pub fn install_dataplanes(
                 });
             }
         }
-        // DT neighbors: direct if physically adjacent, otherwise a
-        // virtual link along the shortest physical path.
-        for v in dt.neighbors_of(u) {
-            if topo.has_link(u, v) {
-                continue; // already installed as a physical neighbor
-            }
-            let path = topo.shortest_path(u, v).ok_or(GredError::Disconnected)?;
+        // DT neighbors: direct links were installed above; multi-hop ones
+        // become virtual links along their precomputed shortest path.
+        for (v, path) in member_paths.ok_or(GredError::Disconnected)? {
             let via = path[1];
             planes[u].install_neighbor(NeighborEntry {
                 neighbor: v,

@@ -14,6 +14,6 @@ pub mod installer;
 pub mod regulation;
 
 pub use dt::DtGraph;
-pub use embedding::{m_position, Embedding};
-pub use installer::install_dataplanes;
-pub use regulation::refine_positions;
+pub use embedding::{m_position, m_position_with, Embedding};
+pub use installer::{install_dataplanes, install_dataplanes_with};
+pub use regulation::{refine_positions, refine_positions_with};

@@ -8,7 +8,7 @@
 //! not move).
 
 use crate::control::embedding::separate_duplicates;
-use gred_geometry::{c_regulation, CRegulationConfig, Point2};
+use gred_geometry::{c_regulation_with, CRegulationConfig, Point2};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,11 +20,23 @@ pub fn refine_positions(
     config: &CRegulationConfig,
     seed: u64,
 ) -> Vec<Point2> {
+    refine_positions_with(positions, config, seed, 1)
+}
+
+/// [`refine_positions`] with the sample assignment fanned out over
+/// `threads` worker threads. Positions are bit-identical for any thread
+/// count (see [`c_regulation_with`]).
+pub fn refine_positions_with(
+    positions: &[Point2],
+    config: &CRegulationConfig,
+    seed: u64,
+    threads: usize,
+) -> Vec<Point2> {
     if config.iterations == 0 || positions.len() < 2 {
         return positions.to_vec();
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut refined = c_regulation(positions, config, &mut rng);
+    let mut refined = c_regulation_with(positions, config, &mut rng, threads);
     for p in &mut refined {
         *p = p.clamp_to(0.001, 0.999);
     }
@@ -56,8 +68,14 @@ mod tests {
     fn deterministic_for_seed() {
         let pts = random_positions(12, 2);
         let cfg = CRegulationConfig::with_iterations(20);
-        assert_eq!(refine_positions(&pts, &cfg, 7), refine_positions(&pts, &cfg, 7));
-        assert_ne!(refine_positions(&pts, &cfg, 7), refine_positions(&pts, &cfg, 8));
+        assert_eq!(
+            refine_positions(&pts, &cfg, 7),
+            refine_positions(&pts, &cfg, 7)
+        );
+        assert_ne!(
+            refine_positions(&pts, &cfg, 7),
+            refine_positions(&pts, &cfg, 8)
+        );
     }
 
     #[test]

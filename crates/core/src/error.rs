@@ -138,11 +138,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GredError::SwitchCountMismatch { topology: 5, pool: 3 };
+        let e = GredError::SwitchCountMismatch {
+            topology: 5,
+            pool: 3,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('3'));
         assert!(GredError::NotFound.to_string().contains("not found"));
-        let s = ServerId { switch: 1, index: 2 };
-        assert!(GredError::NoExtensionCandidate { server: s }.to_string().contains("s1/h2"));
+        let s = ServerId {
+            switch: 1,
+            index: 2,
+        };
+        assert!(GredError::NoExtensionCandidate { server: s }
+            .to_string()
+            .contains("s1/h2"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod store;
 
 pub use config::GredConfig;
 pub use error::GredError;
+pub use gred_runtime::{BuildReport, PhaseReport};
 pub use network::GredNetwork;
 pub use plane::forwarding::Route;
 pub use plane::placement::PlacementReceipt;

@@ -3,9 +3,9 @@
 
 use crate::config::GredConfig;
 use crate::control::dynamics::leave_membership;
-use crate::control::embedding::{embed_new_switch, m_position};
-use crate::control::installer::install_dataplanes;
-use crate::control::regulation::refine_positions;
+use crate::control::embedding::{embed_new_switch, m_position_with};
+use crate::control::installer::install_dataplanes_with;
+use crate::control::regulation::refine_positions_with;
 use crate::control::DtGraph;
 use crate::error::GredError;
 use crate::store::DataStore;
@@ -13,6 +13,7 @@ use gred_dataplane::{SwitchDataplane, TableStats};
 use gred_geometry::Point2;
 use gred_hash::DataId;
 use gred_net::{ServerId, ServerPool, Topology};
+use gred_runtime::BuildReport;
 use std::collections::HashMap;
 
 /// A complete GRED deployment over one edge network.
@@ -56,29 +57,66 @@ impl GredNetwork {
         pool: ServerPool,
         config: GredConfig,
     ) -> Result<Self, GredError> {
+        Self::build_reported(topology, pool, config).map(|(net, _)| net)
+    }
+
+    /// [`GredNetwork::build`] returning the per-phase [`BuildReport`]
+    /// alongside the network: wall time and work counters for the
+    /// embedding, regulation, triangulation, and installation phases,
+    /// each run on `config.threads` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GredNetwork::build`].
+    pub fn build_reported(
+        topology: Topology,
+        pool: ServerPool,
+        config: GredConfig,
+    ) -> Result<(Self, BuildReport), GredError> {
         if topology.switch_count() != pool.switch_count() {
             return Err(GredError::SwitchCountMismatch {
                 topology: topology.switch_count(),
                 pool: pool.switch_count(),
             });
         }
+        let threads = config.effective_threads();
+        let mut report = BuildReport::new(threads);
         let members: Vec<usize> = (0..topology.switch_count())
             .filter(|&s| pool.servers_at(s) > 0)
             .collect();
-        let embedding = m_position(&topology, &members)?;
-        let refined = refine_positions(&embedding.positions, &config.regulation, config.seed);
-        let dt = DtGraph::build(members, &refined)?;
-        let dataplanes = install_dataplanes(&topology, &pool, &dt)?;
-        Ok(GredNetwork {
-            topology,
-            pool,
-            config,
-            dt,
-            dataplanes,
-            store: DataStore::new(),
-            extensions: HashMap::new(),
-            scale: embedding.scale,
-        })
+        let member_count = members.len();
+        let embedding = report.phase("embedding", member_count, || {
+            m_position_with(&topology, &members, threads)
+        })?;
+        let samples = config.regulation.iterations * config.regulation.samples_per_iteration;
+        let refined = report.phase("regulation", samples, || {
+            refine_positions_with(
+                &embedding.positions,
+                &config.regulation,
+                config.seed,
+                threads,
+            )
+        });
+        let dt = report.phase("triangulation", member_count, || {
+            DtGraph::build(members, &refined)
+        })?;
+        let dataplanes = report.phase("installation", member_count, || {
+            install_dataplanes_with(&topology, &pool, &dt, threads)
+        })?;
+        report.finish();
+        Ok((
+            GredNetwork {
+                topology,
+                pool,
+                config,
+                dt,
+                dataplanes,
+                store: DataStore::new(),
+                extensions: HashMap::new(),
+                scale: embedding.scale,
+            },
+            report,
+        ))
     }
 
     /// Builds a network from caller-supplied virtual positions instead of
@@ -120,9 +158,10 @@ impl GredNetwork {
         }
         let mut given = positions.to_vec();
         crate::control::embedding::separate_duplicates(&mut given);
-        let refined = refine_positions(&given, &config.regulation, config.seed);
+        let threads = config.effective_threads();
+        let refined = refine_positions_with(&given, &config.regulation, config.seed, threads);
         let dt = DtGraph::build(members, &refined)?;
-        let dataplanes = install_dataplanes(&topology, &pool, &dt)?;
+        let dataplanes = install_dataplanes_with(&topology, &pool, &dt, threads)?;
         Ok(GredNetwork {
             topology,
             pool,
@@ -321,7 +360,8 @@ impl GredNetwork {
         let dt = self.dt.with_joined(new_switch, position)?;
 
         self.pool.push_switch(capacities);
-        let dataplanes = install_dataplanes(&topo, &self.pool, &dt)?;
+        let dataplanes =
+            install_dataplanes_with(&topo, &self.pool, &dt, self.config.effective_threads())?;
 
         self.topology = topo;
         self.dt = dt;
@@ -371,7 +411,8 @@ impl GredNetwork {
         let dt = DtGraph::build(change.members, &change.positions)?;
         let mut pool = self.pool.clone();
         pool.clear_switch(switch);
-        let dataplanes = install_dataplanes(&topo, &pool, &dt)?;
+        let dataplanes =
+            install_dataplanes_with(&topo, &pool, &dt, self.config.effective_threads())?;
 
         self.topology = topo;
         self.pool = pool;
@@ -529,9 +570,8 @@ impl GredNetwork {
             if original.switch < self.dataplanes.len()
                 && self.dataplanes[original.switch].server_count() > original.index
             {
-                self.dataplanes[original.switch].install_extension(
-                    gred_dataplane::ExtensionEntry { original, takeover },
-                );
+                self.dataplanes[original.switch]
+                    .install_extension(gred_dataplane::ExtensionEntry { original, takeover });
             } else {
                 self.extensions.remove(&original);
             }
@@ -557,7 +597,10 @@ mod tests {
         let pool = ServerPool::uniform(2, 1, 10);
         assert!(matches!(
             GredNetwork::build(topo, pool, GredConfig::default()),
-            Err(GredError::SwitchCountMismatch { topology: 3, pool: 2 })
+            Err(GredError::SwitchCountMismatch {
+                topology: 3,
+                pool: 2
+            })
         ));
     }
 
@@ -569,6 +612,76 @@ mod tests {
             GredNetwork::build(topo, pool, GredConfig::default()).unwrap_err(),
             GredError::NoStorageSwitches
         );
+    }
+
+    #[test]
+    fn build_reported_records_every_phase() {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(16, 5));
+        let pool = ServerPool::uniform(16, 2, 100_000);
+        let (net, report) =
+            GredNetwork::build_reported(topo, pool, GredConfig::with_iterations(5)).unwrap();
+        assert_eq!(report.threads, 1);
+        for phase in ["embedding", "regulation", "triangulation", "installation"] {
+            let p = report
+                .phase_named(phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert!(p.items > 0, "phase {phase} counted no work");
+        }
+        assert!(report.total_wall() >= report.phases.iter().map(|p| p.wall).sum());
+        assert!(!net.members().is_empty());
+    }
+
+    type Fingerprint = (
+        Vec<(usize, Point2)>,
+        Vec<(usize, usize)>,
+        Vec<(
+            Vec<gred_dataplane::NeighborEntry>,
+            Vec<gred_dataplane::DtTuple>,
+        )>,
+    );
+
+    /// Every observable artifact of the build: virtual positions, DT
+    /// adjacency, and per-switch installed forwarding state.
+    fn network_fingerprint(net: &GredNetwork) -> Fingerprint {
+        let positions = net
+            .members()
+            .iter()
+            .map(|&m| (m, net.position_of_switch(m).unwrap()))
+            .collect();
+        let edges = net.dt().edges();
+        let tables = net
+            .dataplanes()
+            .iter()
+            .map(|dp| {
+                (
+                    dp.neighbor_entries().copied().collect::<Vec<_>>(),
+                    dp.relay_entries().copied().collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        (positions, edges, tables)
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        for threads in [2, 3, 8] {
+            let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(24, 7));
+            let pool = ServerPool::uniform(24, 2, 100_000);
+            let serial = GredNetwork::build(
+                topo.clone(),
+                pool.clone(),
+                GredConfig::with_iterations(12).threads(1),
+            )
+            .unwrap();
+            let parallel =
+                GredNetwork::build(topo, pool, GredConfig::with_iterations(12).threads(threads))
+                    .unwrap();
+            assert_eq!(
+                network_fingerprint(&serial),
+                network_fingerprint(&parallel),
+                "threads={threads} diverged from serial build"
+            );
+        }
     }
 
     #[test]

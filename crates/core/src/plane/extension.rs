@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn extension_targets_a_physical_neighbor() {
         let mut n = net();
-        let server = ServerId { switch: 0, index: 0 };
+        let server = ServerId {
+            switch: 0,
+            index: 0,
+        };
         let takeover = n.extend_range(server).unwrap();
         assert!(n.topology().has_link(0, takeover.switch));
         assert_eq!(n.extension_of(server), Some(takeover));
@@ -115,7 +118,10 @@ mod tests {
     #[test]
     fn double_extension_rejected() {
         let mut n = net();
-        let server = ServerId { switch: 0, index: 0 };
+        let server = ServerId {
+            switch: 0,
+            index: 0,
+        };
         n.extend_range(server).unwrap();
         assert_eq!(
             n.extend_range(server).unwrap_err(),
@@ -126,7 +132,10 @@ mod tests {
     #[test]
     fn unknown_server_rejected() {
         let mut n = net();
-        let bogus = ServerId { switch: 0, index: 99 };
+        let bogus = ServerId {
+            switch: 0,
+            index: 99,
+        };
         assert_eq!(
             n.extend_range(bogus).unwrap_err(),
             GredError::UnknownServer { server: bogus }
@@ -141,10 +150,29 @@ mod tests {
         // (switches 1 and 3 are switch 0's physical neighbors).
         for i in 0..20 {
             let id = DataId::new(format!("preload{i}"));
-            n.store_mut().insert(ServerId { switch: 1, index: 0 }, id.clone(), Bytes::new());
-            n.store_mut().insert(ServerId { switch: 1, index: 1 }, id, Bytes::new());
+            n.store_mut().insert(
+                ServerId {
+                    switch: 1,
+                    index: 0,
+                },
+                id.clone(),
+                Bytes::new(),
+            );
+            n.store_mut().insert(
+                ServerId {
+                    switch: 1,
+                    index: 1,
+                },
+                id,
+                Bytes::new(),
+            );
         }
-        let takeover = n.extend_range(ServerId { switch: 0, index: 0 }).unwrap();
+        let takeover = n
+            .extend_range(ServerId {
+                switch: 0,
+                index: 0,
+            })
+            .unwrap();
         assert_eq!(takeover.switch, 3);
     }
 
@@ -206,7 +234,13 @@ mod tests {
     #[test]
     fn retract_without_extension_errors() {
         let mut n = net();
-        let s = ServerId { switch: 0, index: 0 };
-        assert_eq!(n.retract_range(s).unwrap_err(), GredError::UnknownServer { server: s });
+        let s = ServerId {
+            switch: 0,
+            index: 0,
+        };
+        assert_eq!(
+            n.retract_range(s).unwrap_err(),
+            GredError::UnknownServer { server: s }
+        );
     }
 }

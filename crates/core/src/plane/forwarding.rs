@@ -73,7 +73,10 @@ pub fn route(
     // takes at most `planes.len()` overlay steps.
     for _ in 0..planes.len() {
         match planes[cur].decide(position, id) {
-            ForwardDecision::DeliverLocal { server, extended_to } => {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => {
                 return Ok(Route {
                     switches,
                     overlay,
@@ -82,7 +85,11 @@ pub fn route(
                     extended_to,
                 });
             }
-            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
                 if !virtual_link {
                     switches.push(neighbor);
                 } else {
@@ -91,9 +98,12 @@ pub fn route(
                     switches.push(relay);
                     let mut guard = planes.len();
                     while relay != neighbor {
-                        let succ = planes[relay]
-                            .relay_next(neighbor, cur)
-                            .ok_or(GredError::RelayEntryMissing { at: relay, dest: neighbor })?;
+                        let succ = planes[relay].relay_next(neighbor, cur).ok_or(
+                            GredError::RelayEntryMissing {
+                                at: relay,
+                                dest: neighbor,
+                            },
+                        )?;
                         switches.push(succ);
                         relay = succ;
                         guard -= 1;
@@ -149,15 +159,31 @@ pub fn forward_packet(
     let mut overlay = vec![from];
     let mut cur = from;
     for _ in 0..planes.len() {
-        debug_assert!(!packet.in_virtual_link(), "greedy step starts outside links");
+        debug_assert!(
+            !packet.in_virtual_link(),
+            "greedy step starts outside links"
+        );
         match planes[cur].decide(packet.position, &packet.id) {
-            ForwardDecision::DeliverLocal { server, extended_to } => {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => {
                 return Ok((
                     packet,
-                    Route { switches, overlay, dest: cur, server, extended_to },
+                    Route {
+                        switches,
+                        overlay,
+                        dest: cur,
+                        server,
+                        extended_to,
+                    },
                 ));
             }
-            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
                 if virtual_link {
                     packet = packet.with_relay(cur, next_hop, neighbor);
                     let mut guard = planes.len();
@@ -168,13 +194,19 @@ pub fn forward_packet(
                             packet = packet.without_relay();
                             break;
                         }
-                        let succ = planes[at]
-                            .relay_next(header.dest, header.sour)
-                            .ok_or(GredError::RelayEntryMissing { at, dest: header.dest })?;
+                        let succ = planes[at].relay_next(header.dest, header.sour).ok_or(
+                            GredError::RelayEntryMissing {
+                                at,
+                                dest: header.dest,
+                            },
+                        )?;
                         packet = packet.with_relay(header.sour, succ, header.dest);
                         guard -= 1;
                         if guard == 0 {
-                            return Err(GredError::RelayEntryMissing { at, dest: header.dest });
+                            return Err(GredError::RelayEntryMissing {
+                                at,
+                                dest: header.dest,
+                            });
                         }
                     }
                 } else {
@@ -253,7 +285,10 @@ mod tests {
         let mut planes = setup_line();
         planes[2].clear_relays();
         let err = route(&planes, 0, Point2::new(0.8, 0.5), &DataId::new("k")).unwrap_err();
-        assert!(matches!(err, GredError::RelayEntryMissing { at: 2, dest: 3 }));
+        assert!(matches!(
+            err,
+            GredError::RelayEntryMissing { at: 2, dest: 3 }
+        ));
     }
 }
 
@@ -277,8 +312,7 @@ mod packet_level_tests {
             let access = i % 25;
             let packet = Packet::retrieval(id.clone());
             let pos = packet.position;
-            let (delivered, pkt_route) =
-                forward_packet(net.dataplanes(), packet, access).unwrap();
+            let (delivered, pkt_route) = forward_packet(net.dataplanes(), packet, access).unwrap();
             let plain_route = route(net.dataplanes(), access, pos, &id).unwrap();
             assert_eq!(pkt_route, plain_route, "key {i} from {access}");
             assert!(!delivered.in_virtual_link(), "relay header must be popped");

@@ -109,7 +109,10 @@ mod tests {
             let id = DataId::new(format!("k{i}"));
             let ra = a.place(&id, Bytes::new(), 0).unwrap();
             let rb = b.place(&id, Bytes::new(), i % 4).unwrap();
-            assert_eq!(ra.server, rb.server, "key {i}: owner must not depend on access point");
+            assert_eq!(
+                ra.server, rb.server,
+                "key {i}: owner must not depend on access point"
+            );
         }
     }
 

@@ -61,9 +61,11 @@ impl GredNetwork {
         access_switch: usize,
     ) -> Result<RetrievalResult, GredError> {
         assert!(copies > 0, "at least one copy is required");
-        let access_pos = self
-            .position_of_switch(access_switch)
-            .ok_or(GredError::UnknownSwitch { switch: access_switch })?;
+        let access_pos =
+            self.position_of_switch(access_switch)
+                .ok_or(GredError::UnknownSwitch {
+                    switch: access_switch,
+                })?;
 
         // Order replicas by virtual distance from the access switch.
         let mut serials: Vec<(f64, u32)> = (0..copies)
@@ -107,7 +109,10 @@ mod tests {
         assert_eq!(receipts.len(), 4);
         let switches: std::collections::BTreeSet<usize> =
             receipts.iter().map(|r| r.server.switch).collect();
-        assert!(switches.len() >= 2, "4 copies should spread beyond one switch");
+        assert!(
+            switches.len() >= 2,
+            "4 copies should spread beyond one switch"
+        );
     }
 
     #[test]

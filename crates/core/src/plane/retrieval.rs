@@ -100,7 +100,9 @@ mod tests {
         let mut n = net();
         for i in 0..40 {
             let id = DataId::new(format!("rt{i}"));
-            let put = n.place(&id, format!("payload-{i}").into_bytes(), i % 5).unwrap();
+            let put = n
+                .place(&id, format!("payload-{i}").into_bytes(), i % 5)
+                .unwrap();
             for access in 0..5 {
                 let got = n.retrieve(&id, access).unwrap();
                 assert_eq!(got.payload.as_ref(), format!("payload-{i}").as_bytes());

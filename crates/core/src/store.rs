@@ -48,7 +48,9 @@ impl DataStore {
 
     /// Iterates `(server, load)` over servers with at least one item.
     pub fn loads(&self) -> impl Iterator<Item = (ServerId, u64)> + '_ {
-        self.shelves.iter().map(|(&s, shelf)| (s, shelf.len() as u64))
+        self.shelves
+            .iter()
+            .map(|(&s, shelf)| (s, shelf.len() as u64))
     }
 
     /// Total stored items.
@@ -103,7 +105,9 @@ mod tests {
     fn insert_get_remove_round_trip() {
         let mut st = DataStore::new();
         let id = DataId::new("k");
-        assert!(st.insert(sid(0, 0), id.clone(), Bytes::from_static(b"v")).is_none());
+        assert!(st
+            .insert(sid(0, 0), id.clone(), Bytes::from_static(b"v"))
+            .is_none());
         assert_eq!(st.get(sid(0, 0), &id).unwrap().as_ref(), b"v");
         assert!(st.get(sid(0, 1), &id).is_none());
         assert_eq!(st.remove(sid(0, 0), &id).unwrap().as_ref(), b"v");

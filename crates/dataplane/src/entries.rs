@@ -53,8 +53,18 @@ mod tests {
 
     #[test]
     fn dt_tuple_ordering_is_total() {
-        let a = DtTuple { sour: 0, pred: 1, succ: 2, dest: 3 };
-        let b = DtTuple { sour: 0, pred: 1, succ: 2, dest: 4 };
+        let a = DtTuple {
+            sour: 0,
+            pred: 1,
+            succ: 2,
+            dest: 3,
+        };
+        let b = DtTuple {
+            sour: 0,
+            pred: 1,
+            succ: 2,
+            dest: 4,
+        };
         assert!(a < b);
         assert_eq!(a, a);
     }
@@ -62,16 +72,28 @@ mod tests {
     #[test]
     fn extension_entry_equality() {
         let e = ExtensionEntry {
-            original: ServerId { switch: 1, index: 0 },
-            takeover: ServerId { switch: 2, index: 1 },
+            original: ServerId {
+                switch: 1,
+                index: 0,
+            },
+            takeover: ServerId {
+                switch: 2,
+                index: 1,
+            },
         };
         let same = e;
         assert_eq!(e, same);
         assert_ne!(
             e,
             ExtensionEntry {
-                original: ServerId { switch: 1, index: 0 },
-                takeover: ServerId { switch: 2, index: 0 },
+                original: ServerId {
+                    switch: 1,
+                    index: 0
+                },
+                takeover: ServerId {
+                    switch: 2,
+                    index: 0
+                },
             }
         );
     }
@@ -84,8 +106,16 @@ mod tests {
             via: 2,
             physical: true,
         };
-        assert_eq!(phys.via, phys.neighbor, "physical neighbors are reached directly");
-        let multi = NeighborEntry { neighbor: 7, via: 3, physical: false, ..phys };
+        assert_eq!(
+            phys.via, phys.neighbor,
+            "physical neighbors are reached directly"
+        );
+        let multi = NeighborEntry {
+            neighbor: 7,
+            via: 3,
+            physical: false,
+            ..phys
+        };
         assert_ne!(multi.via, multi.neighbor);
     }
 }

@@ -37,4 +37,4 @@ pub use pipeline::Pipeline;
 pub use stats::TableStats;
 pub use switch::{ForwardDecision, SwitchDataplane};
 pub use table::MatchActionTable;
-pub use wire::{parse, encode, ParseError};
+pub use wire::{encode, parse, ParseError};

@@ -153,7 +153,14 @@ mod tests {
         assert!(!p.in_virtual_link());
         let p = p.with_relay(1, 2, 5);
         assert!(p.in_virtual_link());
-        assert_eq!(p.relay, Some(RelayHeader { dest: 5, sour: 1, relay: 2 }));
+        assert_eq!(
+            p.relay,
+            Some(RelayHeader {
+                dest: 5,
+                sour: 1,
+                relay: 2
+            })
+        );
         let p = p.without_relay();
         assert!(!p.in_virtual_link());
     }
@@ -169,6 +176,9 @@ mod tests {
     fn kind_display() {
         assert_eq!(PacketKind::Placement.to_string(), "placement");
         assert_eq!(PacketKind::Retrieval.to_string(), "retrieval");
-        assert_eq!(PacketKind::RetrievalResponse.to_string(), "retrieval-response");
+        assert_eq!(
+            PacketKind::RetrievalResponse.to_string(),
+            "retrieval-response"
+        );
     }
 }

@@ -139,7 +139,10 @@ impl Pipeline {
             None => {
                 let index = gred_hash::select_server(id, self.server_count);
                 ForwardDecision::DeliverLocal {
-                    server: gred_net::ServerId { switch: self.switch, index },
+                    server: gred_net::ServerId {
+                        switch: self.switch,
+                        index,
+                    },
                     extended_to: None,
                 }
             }
@@ -199,20 +202,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for trial in 0..50 {
             let entries: Vec<NeighborEntry> = (0..rng.gen_range(0..8))
-                .map(|i| {
-                    entry(
-                        i + 1,
-                        rng.gen_range(0.0..1.0),
-                        rng.gen_range(0.0..1.0),
-                    )
-                })
+                .map(|i| entry(i + 1, rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
                 .collect();
             let sw = switch_with(&entries);
             let p = Pipeline::compile(&sw);
             for probe in 0..20 {
                 let pos = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
                 let id = DataId::new(format!("x/{trial}/{probe}"));
-                assert_eq!(p.run(pos, &id), sw.decide(pos, &id), "trial {trial} probe {probe}");
+                assert_eq!(
+                    p.run(pos, &id),
+                    sw.decide(pos, &id),
+                    "trial {trial} probe {probe}"
+                );
             }
         }
     }

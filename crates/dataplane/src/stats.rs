@@ -24,7 +24,10 @@ impl TableStats {
     ///
     /// Returns a zeroed struct when the slice is empty.
     pub fn collect<'a>(switches: impl IntoIterator<Item = &'a SwitchDataplane>) -> TableStats {
-        let counts: Vec<usize> = switches.into_iter().map(SwitchDataplane::entry_count).collect();
+        let counts: Vec<usize> = switches
+            .into_iter()
+            .map(SwitchDataplane::entry_count)
+            .collect();
         TableStats::from_counts(&counts)
     }
 

@@ -104,7 +104,10 @@ impl SwitchDataplane {
     /// never call `decide`, but still need a well-formed data plane — pass
     /// their real attached count or use [`SwitchDataplane::transit`]).
     pub fn new(id: usize, position: Point2, server_count: usize) -> Self {
-        assert!(server_count > 0, "placement switch needs at least one server");
+        assert!(
+            server_count > 0,
+            "placement switch needs at least one server"
+        );
         SwitchDataplane {
             id,
             position,
@@ -183,6 +186,11 @@ impl SwitchDataplane {
         self.relays.clear();
     }
 
+    /// Iterates over installed relay tuples in `(dest, sour)` key order.
+    pub fn relay_entries(&self) -> impl Iterator<Item = &DtTuple> {
+        self.relays.iter().map(|(_, t)| t)
+    }
+
     /// The successor to forward to when relaying a virtual-link packet
     /// addressed to `(dest, sour)` — the paper's "find tuple t with
     /// t.dest = d.dest, set d.relay = t.succ". Falls back to matching on
@@ -242,7 +250,11 @@ impl SwitchDataplane {
 
     /// Per-table entry counts `(neighbors, relays, extensions)`.
     pub fn entry_breakdown(&self) -> (usize, usize, usize) {
-        (self.neighbors.len(), self.relays.len(), self.extensions.len())
+        (
+            self.neighbors.len(),
+            self.relays.len(),
+            self.extensions.len(),
+        )
     }
 
     /// The greedy pipeline (Algorithm 2): compare every neighbor's
@@ -288,7 +300,10 @@ impl SwitchDataplane {
             },
             _ => {
                 let index = gred_hash::select_server(id, self.server_count);
-                let server = ServerId { switch: self.id, index };
+                let server = ServerId {
+                    switch: self.id,
+                    index,
+                };
                 ForwardDecision::DeliverLocal {
                     server,
                     extended_to: self.extension_of(server),
@@ -318,7 +333,10 @@ mod tests {
         sw.install_neighbor(entry(2, 1.0, 1.0));
         let id = DataId::new("k");
         match sw.decide(Point2::new(0.5, 0.52), &id) {
-            ForwardDecision::DeliverLocal { server, extended_to } => {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => {
                 assert_eq!(server.switch, 3);
                 assert_eq!(server.index, gred_hash::select_server(&id, 4));
                 assert_eq!(extended_to, None);
@@ -333,7 +351,11 @@ mod tests {
         sw.install_neighbor(entry(1, 0.5, 0.5));
         sw.install_neighbor(entry(2, 1.0, 1.0));
         match sw.decide(Point2::new(0.9, 0.9), &DataId::new("k")) {
-            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
                 assert_eq!(neighbor, 2);
                 assert_eq!(next_hop, 2);
                 assert!(!virtual_link);
@@ -352,7 +374,11 @@ mod tests {
             physical: false,
         });
         match sw.decide(Point2::new(0.8, 0.8), &DataId::new("k")) {
-            ForwardDecision::Forward { neighbor, next_hop, virtual_link } => {
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
                 assert_eq!(neighbor, 5);
                 assert_eq!(next_hop, 2);
                 assert!(virtual_link);
@@ -378,11 +404,20 @@ mod tests {
     #[test]
     fn extension_rewrite_applies_on_delivery() {
         let mut sw = SwitchDataplane::new(1, Point2::new(0.5, 0.5), 1);
-        let original = ServerId { switch: 1, index: 0 };
-        let takeover = ServerId { switch: 2, index: 1 };
+        let original = ServerId {
+            switch: 1,
+            index: 0,
+        };
+        let takeover = ServerId {
+            switch: 2,
+            index: 1,
+        };
         sw.install_extension(ExtensionEntry { original, takeover });
         match sw.decide(Point2::new(0.5, 0.5), &DataId::new("k")) {
-            ForwardDecision::DeliverLocal { server, extended_to } => {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => {
                 assert_eq!(server, original);
                 assert_eq!(extended_to, Some(takeover));
             }
@@ -398,15 +433,26 @@ mod tests {
     fn extension_for_foreign_switch_panics() {
         let mut sw = SwitchDataplane::new(1, Point2::ORIGIN, 1);
         sw.install_extension(ExtensionEntry {
-            original: ServerId { switch: 9, index: 0 },
-            takeover: ServerId { switch: 2, index: 0 },
+            original: ServerId {
+                switch: 9,
+                index: 0,
+            },
+            takeover: ServerId {
+                switch: 2,
+                index: 0,
+            },
         });
     }
 
     #[test]
     fn relay_lookup_exact_and_fallback() {
         let mut sw = SwitchDataplane::new(4, Point2::ORIGIN, 1);
-        sw.install_relay(DtTuple { sour: 1, pred: 1, succ: 7, dest: 9 });
+        sw.install_relay(DtTuple {
+            sour: 1,
+            pred: 1,
+            succ: 7,
+            dest: 9,
+        });
         assert_eq!(sw.relay_next(9, 1), Some(7));
         // Fallback on dest alone when the exact (dest, sour) is missing.
         assert_eq!(sw.relay_next(9, 2), Some(7));
@@ -420,10 +466,21 @@ mod tests {
         let mut sw = SwitchDataplane::new(0, Point2::ORIGIN, 2);
         sw.install_neighbor(entry(1, 0.1, 0.1));
         sw.install_neighbor(entry(2, 0.2, 0.2));
-        sw.install_relay(DtTuple { sour: 0, pred: 0, succ: 1, dest: 5 });
+        sw.install_relay(DtTuple {
+            sour: 0,
+            pred: 0,
+            succ: 1,
+            dest: 5,
+        });
         sw.install_extension(ExtensionEntry {
-            original: ServerId { switch: 0, index: 1 },
-            takeover: ServerId { switch: 1, index: 0 },
+            original: ServerId {
+                switch: 0,
+                index: 1,
+            },
+            takeover: ServerId {
+                switch: 1,
+                index: 0,
+            },
         });
         assert_eq!(sw.entry_count(), 4);
         assert_eq!(sw.entry_breakdown(), (2, 1, 1));
@@ -444,7 +501,12 @@ mod tests {
     #[test]
     fn transit_switch_relays() {
         let mut sw = SwitchDataplane::transit(7);
-        sw.install_relay(DtTuple { sour: 0, pred: 2, succ: 3, dest: 9 });
+        sw.install_relay(DtTuple {
+            sour: 0,
+            pred: 2,
+            succ: 3,
+            dest: 9,
+        });
         assert_eq!(sw.relay_next(9, 0), Some(3));
         assert_eq!(sw.server_count(), 0);
     }

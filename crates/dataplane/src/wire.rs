@@ -99,13 +99,20 @@ fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
 /// length field); GRED identifiers are short names.
 pub fn encode(packet: &Packet) -> Vec<u8> {
     let id_bytes = packet.id.as_bytes();
-    assert!(id_bytes.len() <= u16::MAX as usize, "identifier too long for wire format");
+    assert!(
+        id_bytes.len() <= u16::MAX as usize,
+        "identifier too long for wire format"
+    );
     let relay_len = if packet.relay.is_some() { 12 } else { 0 };
     let mut out = Vec::with_capacity(24 + relay_len + id_bytes.len() + packet.payload.len());
 
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(if packet.relay.is_some() { FLAG_RELAY } else { 0 });
+    out.push(if packet.relay.is_some() {
+        FLAG_RELAY
+    } else {
+        0
+    });
     out.push(kind_to_wire(packet.kind));
     out.extend_from_slice(&(id_bytes.len() as u16).to_be_bytes());
     out.extend_from_slice(&packet.position.x.to_be_bytes());
@@ -130,7 +137,10 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
 pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
     const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8; // through pos_y
     if bytes.len() < FIXED {
-        return Err(ParseError::Truncated { needed: FIXED, have: bytes.len() });
+        return Err(ParseError::Truncated {
+            needed: FIXED,
+            have: bytes.len(),
+        });
     }
     if bytes[0..2] != MAGIC {
         return Err(ParseError::BadMagic);
@@ -153,7 +163,10 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
     let mut offset = FIXED;
     let relay = if flags & FLAG_RELAY != 0 {
         if bytes.len() < offset + 12 {
-            return Err(ParseError::Truncated { needed: offset + 12, have: bytes.len() });
+            return Err(ParseError::Truncated {
+                needed: offset + 12,
+                have: bytes.len(),
+            });
         }
         let dest = u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4")) as usize;
         let sour =
@@ -161,13 +174,20 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
         let relay_sw =
             u32::from_be_bytes(bytes[offset + 8..offset + 12].try_into().expect("4")) as usize;
         offset += 12;
-        Some(RelayHeader { dest, sour, relay: relay_sw })
+        Some(RelayHeader {
+            dest,
+            sour,
+            relay: relay_sw,
+        })
     } else {
         None
     };
 
     if bytes.len() < offset + id_len {
-        return Err(ParseError::Truncated { needed: offset + id_len, have: bytes.len() });
+        return Err(ParseError::Truncated {
+            needed: offset + id_len,
+            have: bytes.len(),
+        });
     }
     let id = DataId::from_bytes(bytes[offset..offset + id_len].to_vec());
     let payload = Bytes::copy_from_slice(&bytes[offset + id_len..]);
@@ -202,7 +222,14 @@ mod tests {
         let p = Packet::retrieval(DataId::new("k")).with_relay(3, 7, 12);
         let parsed = parse(&encode(&p)).unwrap();
         assert_eq!(parsed, p);
-        assert_eq!(parsed.relay, Some(RelayHeader { dest: 12, sour: 3, relay: 7 }));
+        assert_eq!(
+            parsed.relay,
+            Some(RelayHeader {
+                dest: 12,
+                sour: 3,
+                relay: 7
+            })
+        );
     }
 
     #[test]
@@ -266,7 +293,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParseError::BadMagic.to_string().contains("magic"));
-        assert!(ParseError::Truncated { needed: 5, have: 2 }.to_string().contains('5'));
+        assert!(ParseError::Truncated { needed: 5, have: 2 }
+            .to_string()
+            .contains('5'));
     }
 
     proptest! {

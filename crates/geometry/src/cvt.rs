@@ -127,21 +127,69 @@ pub fn c_regulation(
     config: &CRegulationConfig,
     rng: &mut impl Rng,
 ) -> Vec<Point2> {
+    c_regulation_with(sites, config, rng, 1)
+}
+
+/// Fixed sample-batch size for the parallel assignment fan-out.
+///
+/// Samples are accumulated per batch and the partial sums merged in batch
+/// order, so the floating-point association — and therefore the refined
+/// positions, bit for bit — depends only on this constant, never on the
+/// thread count.
+const SAMPLE_BATCH: usize = 256;
+
+/// [`c_regulation`] with the nearest-site assignment of each iteration
+/// fanned out over `threads` worker threads.
+///
+/// Determinism: all of an iteration's samples are drawn from `rng`
+/// *before* the fan-out (the consumed stream is independent of the thread
+/// count), and the per-batch partial sums are merged in batch order, so
+/// `threads = 1` and `threads = N` produce bit-identical positions for
+/// the same seed.
+pub fn c_regulation_with(
+    sites: &[Point2],
+    config: &CRegulationConfig,
+    rng: &mut impl Rng,
+    threads: usize,
+) -> Vec<Point2> {
     let mut current: Vec<Point2> = sites.to_vec();
     if current.is_empty() {
         return current;
     }
     for _ in 0..config.iterations {
+        let samples: Vec<Point2> = (0..config.samples_per_iteration)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+
+        let sites_now = &current;
+        let partials = gred_runtime::parallel_map(
+            samples.chunks(SAMPLE_BATCH).collect::<Vec<_>>(),
+            threads,
+            |batch: &[Point2]| {
+                let mut sums = vec![Point2::ORIGIN; sites_now.len()];
+                let mut counts = vec![0usize; sites_now.len()];
+                let mut energy = 0.0;
+                for &p in batch {
+                    let k = nearest_index(sites_now, p).expect("sites nonempty");
+                    sums[k] = sums[k] + p;
+                    counts[k] += 1;
+                    energy += sites_now[k].distance_squared(p);
+                }
+                (sums, counts, energy)
+            },
+        );
+
         let mut sums = vec![Point2::ORIGIN; current.len()];
         let mut counts = vec![0usize; current.len()];
         let mut energy = 0.0;
-        for _ in 0..config.samples_per_iteration {
-            let p = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
-            let k = nearest_index(&current, p).expect("sites nonempty");
-            sums[k] = sums[k] + p;
-            counts[k] += 1;
-            energy += current[k].distance_squared(p);
+        for (batch_sums, batch_counts, batch_energy) in partials {
+            for k in 0..current.len() {
+                sums[k] = sums[k] + batch_sums[k];
+                counts[k] += batch_counts[k];
+            }
+            energy += batch_energy;
         }
+
         for k in 0..current.len() {
             if counts[k] > 0 {
                 current[k] = sums[k] * (1.0 / counts[k] as f64);
@@ -202,7 +250,10 @@ mod tests {
             after < before,
             "imbalance should drop: before={before}, after={after}"
         );
-        assert!(after < 2.0, "after 50 iterations max/avg area should be < 2, got {after}");
+        assert!(
+            after < 2.0,
+            "after 50 iterations max/avg area should be < 2, got {after}"
+        );
     }
 
     #[test]
@@ -283,6 +334,19 @@ mod tests {
         // Threshold met after the first iteration — must not run all 1000.
         let out = c_regulation(&sites, &config, &mut rng);
         assert_eq!(out.len(), sites.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sites = random_sites(18, 41);
+        let cfg = CRegulationConfig::with_iterations(15);
+        let mut rng = StdRng::seed_from_u64(12);
+        let serial = c_regulation_with(&sites, &cfg, &mut rng, 1);
+        for threads in [2usize, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(12);
+            let parallel = c_regulation_with(&sites, &cfg, &mut rng, threads);
+            assert_eq!(serial, parallel, "threads={threads} diverged bit-wise");
+        }
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl std::fmt::Display for DelaunayError {
                 write!(f, "points {first} and {second} coincide after quantization")
             }
             DelaunayError::InvalidCoordinate { index } => {
-                write!(f, "point {index} has a non-finite or out-of-range coordinate")
+                write!(
+                    f,
+                    "point {index} has a non-finite or out-of-range coordinate"
+                )
             }
         }
     }
@@ -294,7 +297,13 @@ impl Builder {
                 .expect("opposite vertex in t2");
 
             let t1c = self.ccw([a, b, c]);
-            if i_incircle(self.pts[t1c[0]], self.pts[t1c[1]], self.pts[t1c[2]], self.pts[d]) <= 0 {
+            if i_incircle(
+                self.pts[t1c[0]],
+                self.pts[t1c[1]],
+                self.pts[t1c[2]],
+                self.pts[d],
+            ) <= 0
+            {
                 continue;
             }
             // In a valid triangulation an in-circle violation implies the
@@ -344,7 +353,11 @@ fn int_convex_hull(pts: &[IPoint]) -> Vec<usize> {
     let mut lower: Vec<usize> = Vec::new();
     for &i in &idx {
         while lower.len() >= 2
-            && iorient(pts[lower[lower.len() - 2]], pts[lower[lower.len() - 1]], pts[i]) <= 0
+            && iorient(
+                pts[lower[lower.len() - 2]],
+                pts[lower[lower.len() - 1]],
+                pts[i],
+            ) <= 0
         {
             lower.pop();
         }
@@ -353,7 +366,11 @@ fn int_convex_hull(pts: &[IPoint]) -> Vec<usize> {
     let mut upper: Vec<usize> = Vec::new();
     for &i in idx.iter().rev() {
         while upper.len() >= 2
-            && iorient(pts[upper[upper.len() - 2]], pts[upper[upper.len() - 1]], pts[i]) <= 0
+            && iorient(
+                pts[upper[upper.len() - 2]],
+                pts[upper[upper.len() - 1]],
+                pts[i],
+            ) <= 0
         {
             upper.pop();
         }
@@ -363,7 +380,10 @@ fn int_convex_hull(pts: &[IPoint]) -> Vec<usize> {
     upper.pop();
     lower.extend(upper);
     if lower.len() < 3 {
-        let mut ends = vec![*idx.first().expect("nonempty"), *idx.last().expect("nonempty")];
+        let mut ends = vec![
+            *idx.first().expect("nonempty"),
+            *idx.last().expect("nonempty"),
+        ];
         ends.dedup();
         return ends;
     }
@@ -606,7 +626,9 @@ impl Triangulation {
     /// Same conditions as [`Triangulation::new`].
     pub fn with_inserted(&self, p: Point2) -> Result<Triangulation, DelaunayError> {
         if !p.is_finite() || p.x.abs() > MAX_COORD || p.y.abs() > MAX_COORD {
-            return Err(DelaunayError::InvalidCoordinate { index: self.points.len() });
+            return Err(DelaunayError::InvalidCoordinate {
+                index: self.points.len(),
+            });
         }
         let ip = quantize(p);
         if let Some(first) = self.ipoints.iter().position(|&q| q == ip) {
@@ -700,7 +722,10 @@ mod tests {
         let dup = vec![Point2::ORIGIN, Point2::new(1.0, 0.0), Point2::ORIGIN];
         assert_eq!(
             Triangulation::new(&dup).unwrap_err(),
-            DelaunayError::DuplicatePoint { first: 0, second: 2 }
+            DelaunayError::DuplicatePoint {
+                first: 0,
+                second: 2
+            }
         );
         let nan = vec![Point2::new(f64::NAN, 0.0)];
         assert_eq!(

@@ -65,7 +65,10 @@ pub fn convex_hull(points: &[Point2]) -> Vec<usize> {
     lower.extend(upper);
     if lower.len() < 3 {
         // All points collinear: report just the two extremes.
-        let mut ends = vec![*idx.first().expect("nonempty"), *idx.last().expect("nonempty")];
+        let mut ends = vec![
+            *idx.first().expect("nonempty"),
+            *idx.last().expect("nonempty"),
+        ];
         ends.dedup();
         return ends;
     }

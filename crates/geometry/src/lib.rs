@@ -25,7 +25,10 @@ pub mod polygon;
 pub mod predicates;
 pub mod voronoi;
 
-pub use cvt::{c_regulation, cvt_energy_exact, cvt_energy_sampled, lloyd_step, CRegulationConfig};
+pub use cvt::{
+    c_regulation, c_regulation_with, cvt_energy_exact, cvt_energy_sampled, lloyd_step,
+    CRegulationConfig,
+};
 pub use delaunay::{DelaunayError, Triangulation};
 pub use hull::convex_hull;
 pub use point::Point2;

@@ -86,10 +86,7 @@ impl Polygon {
         let a = self.signed_area();
         if a.abs() < EPS {
             let n = self.vertices.len() as f64;
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point2::ORIGIN, |acc, &p| acc + p);
+            let sum = self.vertices.iter().fold(Point2::ORIGIN, |acc, &p| acc + p);
             return Some(sum * (1.0 / n));
         }
         let n = self.vertices.len();
@@ -226,8 +223,8 @@ mod tests {
     #[test]
     fn clip_half_keeps_left() {
         // Clip unit square to x <= 0.5.
-        let half = Polygon::unit_square()
-            .clip_half_plane(Point2::new(0.5, 0.0), Point2::new(1.0, 0.0));
+        let half =
+            Polygon::unit_square().clip_half_plane(Point2::new(0.5, 0.0), Point2::new(1.0, 0.0));
         assert!((half.area() - 0.5).abs() < 1e-9, "area={}", half.area());
         for v in half.vertices() {
             assert!(v.x <= 0.5 + 1e-9);
@@ -236,15 +233,15 @@ mod tests {
 
     #[test]
     fn clip_away_everything() {
-        let gone = Polygon::unit_square()
-            .clip_half_plane(Point2::new(-1.0, 0.0), Point2::new(1.0, 0.0));
+        let gone =
+            Polygon::unit_square().clip_half_plane(Point2::new(-1.0, 0.0), Point2::new(1.0, 0.0));
         assert!(gone.is_empty());
     }
 
     #[test]
     fn clip_no_op_when_fully_inside() {
-        let same = Polygon::unit_square()
-            .clip_half_plane(Point2::new(5.0, 0.0), Point2::new(1.0, 0.0));
+        let same =
+            Polygon::unit_square().clip_half_plane(Point2::new(5.0, 0.0), Point2::new(1.0, 0.0));
         assert!((same.area() - 1.0).abs() < 1e-12);
     }
 
@@ -252,8 +249,8 @@ mod tests {
     fn dominance_clip_bisects_square() {
         // Sites at (0.25, 0.5) and (0.75, 0.5): the dominance region of the
         // first is the left half of the square.
-        let cell = Polygon::unit_square()
-            .clip_dominance(Point2::new(0.25, 0.5), Point2::new(0.75, 0.5));
+        let cell =
+            Polygon::unit_square().clip_dominance(Point2::new(0.25, 0.5), Point2::new(0.75, 0.5));
         assert!((cell.area() - 0.5).abs() < 1e-9);
         for v in cell.vertices() {
             assert!(v.x <= 0.5 + 1e-9);

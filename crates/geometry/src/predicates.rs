@@ -53,8 +53,7 @@ pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
     let bd2 = bdx * bdx + bdy * bdy;
     let cd2 = cdx * cdx + cdy * cdy;
 
-    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx)
-        + ad2 * (bdx * cdy - bdy * cdx)
+    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) + ad2 * (bdx * cdy - bdy * cdx)
 }
 
 /// Whether `d` is strictly inside the circumcircle of CCW triangle

@@ -99,7 +99,10 @@ mod tests {
         let sites: Vec<Point2> = (0..15)
             .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
             .collect();
-        for (k, cell) in voronoi_cells(&sites, &Polygon::unit_square()).iter().enumerate() {
+        for (k, cell) in voronoi_cells(&sites, &Polygon::unit_square())
+            .iter()
+            .enumerate()
+        {
             assert!(
                 crate::hull::point_in_convex_polygon(cell.vertices(), sites[k]),
                 "cell {k} does not contain its site"

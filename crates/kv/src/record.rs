@@ -34,7 +34,10 @@ impl Record {
     /// A live record with `version` and `value`.
     pub fn live(version: u64, value: impl Into<Bytes>) -> Self {
         Record {
-            meta: RecordMeta { version, tombstone: false },
+            meta: RecordMeta {
+                version,
+                tombstone: false,
+            },
             value: value.into(),
         }
     }
@@ -42,7 +45,10 @@ impl Record {
     /// A tombstone at `version`.
     pub fn tombstone(version: u64) -> Self {
         Record {
-            meta: RecordMeta { version, tombstone: true },
+            meta: RecordMeta {
+                version,
+                tombstone: true,
+            },
             value: Bytes::new(),
         }
     }
@@ -51,7 +57,11 @@ impl Record {
     pub fn encode(&self) -> Bytes {
         let mut out = Vec::with_capacity(10 + self.value.len());
         out.push(MAGIC);
-        out.push(if self.meta.tombstone { FLAG_TOMBSTONE } else { 0 });
+        out.push(if self.meta.tombstone {
+            FLAG_TOMBSTONE
+        } else {
+            0
+        });
         out.extend_from_slice(&self.meta.version.to_be_bytes());
         out.extend_from_slice(&self.value);
         Bytes::from(out)

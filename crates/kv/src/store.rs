@@ -106,7 +106,9 @@ impl EdgeKv {
     /// The last written version of a fully-qualified key (None = never
     /// written). Tombstone writes count as versions.
     pub fn version_of(&self, namespace: &str, key: &str) -> Option<u64> {
-        self.versions.get(&EdgeKv::qualified(namespace, key)).copied()
+        self.versions
+            .get(&EdgeKv::qualified(namespace, key))
+            .copied()
     }
 
     /// Keys ever written in `namespace` (including deleted ones), sorted.
@@ -326,7 +328,8 @@ mod tests {
     fn replicated_puts_serve_from_anywhere() {
         let mut kv = kv(20, 8);
         let c = kv.client("ns", 0);
-        c.put_replicated(&mut kv, "hot", b"video".as_ref(), 3).unwrap();
+        c.put_replicated(&mut kv, "hot", b"video".as_ref(), 3)
+            .unwrap();
         // Updates keep the replication factor and bump the version on all
         // copies.
         c.put(&mut kv, "hot", b"video-2".as_ref()).unwrap();
@@ -357,7 +360,11 @@ mod tests {
         c.put(&mut kv, "b", b"1".as_ref()).unwrap();
         c.delete(&mut kv, "b").unwrap();
         assert_eq!(kv.version_of("ns", "a"), Some(2));
-        assert_eq!(kv.version_of("ns", "b"), Some(2), "tombstones bump versions");
+        assert_eq!(
+            kv.version_of("ns", "b"),
+            Some(2),
+            "tombstones bump versions"
+        );
         assert_eq!(kv.keys_in("ns"), vec!["a".to_string(), "b".to_string()]);
         assert!(kv.keys_in("other").is_empty());
     }

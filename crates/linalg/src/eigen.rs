@@ -26,7 +26,9 @@ impl EigenDecomposition {
     /// Panics if `k >= self.values.len()`.
     pub fn vector(&self, k: usize) -> Vec<f64> {
         assert!(k < self.values.len(), "eigenpair {k} out of range");
-        (0..self.vectors.rows()).map(|i| self.vectors[(i, k)]).collect()
+        (0..self.vectors.rows())
+            .map(|i| self.vectors[(i, k)])
+            .collect()
     }
 }
 
@@ -108,7 +110,11 @@ pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
     // Extract and sort eigenpairs descending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("eigenvalues are finite"));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .expect("eigenvalues are finite")
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, k| v[(i, order[k])]);
@@ -145,7 +151,10 @@ mod tests {
         assert!((e.values[1] - 1.0).abs() < 1e-12);
         let v0 = e.vector(0);
         assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
-        assert!((v0[0] - v0[1]).abs() < 1e-9, "first eigenvector is (1,1)-direction");
+        assert!(
+            (v0[0] - v0[1]).abs() < 1e-9,
+            "first eigenvector is (1,1)-direction"
+        );
     }
 
     #[test]
@@ -192,7 +201,11 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((vtv[(i, j)] - expect).abs() < 1e-9, "({i},{j})={}", vtv[(i, j)]);
+                assert!(
+                    (vtv[(i, j)] - expect).abs() < 1e-9,
+                    "({i},{j})={}",
+                    vtv[(i, j)]
+                );
             }
         }
     }

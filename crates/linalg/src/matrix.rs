@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn map_applies_function() {
         let a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
-        assert_eq!(a.map(|x| x * x), Matrix::from_vec(1, 3, vec![1.0, 4.0, 9.0]));
+        assert_eq!(
+            a.map(|x| x * x),
+            Matrix::from_vec(1, 3, vec![1.0, 4.0, 9.0])
+        );
     }
 
     #[test]

@@ -170,11 +170,7 @@ mod tests {
 
     #[test]
     fn double_center_zero_row_sums() {
-        let l = Matrix::from_vec(
-            3,
-            3,
-            vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.5, 2.0, 1.5, 0.0],
-        );
+        let l = Matrix::from_vec(3, 3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.5, 2.0, 1.5, 0.0]);
         let b = double_center(&l);
         for i in 0..3 {
             let row_sum: f64 = (0..3).map(|j| b[(i, j)]).sum();
@@ -290,8 +286,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..5 {
             let n = rng.gen_range(3..20);
-            let pts: Vec<[f64; 2]> =
-                (0..n).map(|_| [rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]).collect();
+            let pts: Vec<[f64; 2]> = (0..n)
+                .map(|_| [rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                .collect();
             let l = Matrix::from_fn(n, n, |i, j| dist(&pts[i], &pts[j]));
             let out = classical_mds(&l, 2).unwrap();
             for i in 0..n {

@@ -126,7 +126,9 @@ mod tests {
                     exact.values[k]
                 );
                 // Eigenvector agreement up to sign.
-                let dot: f64 = (0..n).map(|i| vectors[(i, k)] * exact.vectors[(i, k)]).sum();
+                let dot: f64 = (0..n)
+                    .map(|i| vectors[(i, k)] * exact.vectors[(i, k)])
+                    .sum();
                 assert!(dot.abs() > 0.999, "n={n} pair {k}: |dot| = {}", dot.abs());
             }
         }

@@ -161,8 +161,7 @@ mod tests {
 
     #[test]
     fn staggered_arrivals_no_wait() {
-        let specs: Vec<JourneySpec> =
-            (0..5).map(|i| journey(i as f64 * 100.0, &[0, 1])).collect();
+        let specs: Vec<JourneySpec> = (0..5).map(|i| journey(i as f64 * 100.0, &[0, 1])).collect();
         let done = simulate_journeys(&specs, P);
         for (i, d) in done.iter().enumerate() {
             assert_eq!(*d, i as f64 * 100.0 + 60.0);

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn delay_scales_with_hops() {
-        let m = LatencyModel { per_hop_us: 10.0, service_us: 0.0 };
+        let m = LatencyModel {
+            per_hop_us: 10.0,
+            service_us: 0.0,
+        };
         assert_eq!(m.one_way_us(5), 50.0);
         assert!(m.round_trip_us(4, 4) > m.round_trip_us(2, 2));
     }

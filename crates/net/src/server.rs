@@ -91,9 +91,10 @@ impl ServerPool {
 
     /// Iterates over every server id.
     pub fn iter_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
-        self.capacities.iter().enumerate().flat_map(|(switch, v)| {
-            (0..v.len()).map(move |index| ServerId { switch, index })
-        })
+        self.capacities
+            .iter()
+            .enumerate()
+            .flat_map(|(switch, v)| (0..v.len()).map(move |index| ServerId { switch, index }))
     }
 
     /// Appends a new switch with the given server capacities, returning
@@ -144,7 +145,13 @@ mod tests {
         let p = ServerPool::uniform(3, 2, 50);
         assert_eq!(p.switch_count(), 3);
         assert_eq!(p.total_servers(), 6);
-        assert_eq!(p.capacity(ServerId { switch: 1, index: 1 }), 50);
+        assert_eq!(
+            p.capacity(ServerId {
+                switch: 1,
+                index: 1
+            }),
+            50
+        );
         assert_eq!(p.iter_ids().count(), 6);
     }
 
@@ -153,7 +160,13 @@ mod tests {
         let p = ServerPool::from_capacities(vec![vec![10], vec![20, 30, 40]]);
         assert_eq!(p.servers_at(0), 1);
         assert_eq!(p.servers_at(1), 3);
-        assert_eq!(p.capacity(ServerId { switch: 1, index: 2 }), 40);
+        assert_eq!(
+            p.capacity(ServerId {
+                switch: 1,
+                index: 2
+            }),
+            40
+        );
     }
 
     #[test]
@@ -180,7 +193,13 @@ mod tests {
             _ => 0,
         };
         let best = p.most_remaining(p.iter_ids(), &loads).unwrap();
-        assert_eq!(best, ServerId { switch: 0, index: 1 });
+        assert_eq!(
+            best,
+            ServerId {
+                switch: 0,
+                index: 1
+            }
+        );
     }
 
     #[test]
@@ -188,7 +207,13 @@ mod tests {
         let p = ServerPool::uniform(2, 1, 100);
         let loads = |_: ServerId| 0u64;
         let best = p.most_remaining(p.iter_ids(), &loads).unwrap();
-        assert_eq!(best, ServerId { switch: 0, index: 0 });
+        assert_eq!(
+            best,
+            ServerId {
+                switch: 0,
+                index: 0
+            }
+        );
     }
 
     #[test]
@@ -200,6 +225,13 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(ServerId { switch: 3, index: 1 }.to_string(), "s3/h1");
+        assert_eq!(
+            ServerId {
+                switch: 3,
+                index: 1
+            }
+            .to_string(),
+            "s3/h1"
+        );
     }
 }

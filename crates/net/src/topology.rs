@@ -165,7 +165,14 @@ impl Topology {
     /// The full all-pairs shortest-path (hop) matrix — the matrix `L` the
     /// M-position algorithm embeds.
     pub fn shortest_path_matrix(&self) -> Vec<Vec<u32>> {
-        (0..self.adj.len()).map(|s| self.bfs_hops(s)).collect()
+        self.shortest_path_matrix_with(1)
+    }
+
+    /// [`Topology::shortest_path_matrix`] computed on `threads` worker
+    /// threads. Every source row is an independent BFS, so the result is
+    /// identical for any thread count.
+    pub fn shortest_path_matrix_with(&self, threads: usize) -> Vec<Vec<u32>> {
+        gred_runtime::parallel_map((0..self.adj.len()).collect(), threads, |s| self.bfs_hops(s))
     }
 
     /// One shortest path from `a` to `b` (inclusive of both endpoints),
@@ -175,7 +182,10 @@ impl Topology {
     ///
     /// Panics if `a` or `b` is out of range.
     pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
-        assert!(a < self.adj.len() && b < self.adj.len(), "endpoint out of range");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "endpoint out of range"
+        );
         if a == b {
             return Some(vec![a]);
         }
@@ -258,7 +268,10 @@ mod tests {
         let mut t = Topology::new(2);
         assert_eq!(
             t.add_link(0, 5),
-            Err(TopologyError::SwitchOutOfRange { switch: 5, count: 2 })
+            Err(TopologyError::SwitchOutOfRange {
+                switch: 5,
+                count: 2
+            })
         );
         assert_eq!(t.add_link(1, 1), Err(TopologyError::SelfLoop { switch: 1 }));
     }
@@ -405,7 +418,11 @@ impl Topology {
             } else {
                 degrees.iter().sum::<usize>() as f64 / n as f64
             },
-            diameter: if connected && n > 1 { Some(diameter) } else { None },
+            diameter: if connected && n > 1 {
+                Some(diameter)
+            } else {
+                None
+            },
             mean_path_length: if pairs == 0 {
                 0.0
             } else {

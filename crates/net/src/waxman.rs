@@ -91,12 +91,11 @@ pub fn waxman_topology(config: &WaxmanConfig) -> (Topology, Vec<(f64, f64)>) {
     let coords: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
         .collect();
-    let dist =
-        |i: usize, j: usize| -> f64 {
-            let dx = coords[i].0 - coords[j].0;
-            let dy = coords[i].1 - coords[j].1;
-            (dx * dx + dy * dy).sqrt()
-        };
+    let dist = |i: usize, j: usize| -> f64 {
+        let dx = coords[i].0 - coords[j].0;
+        let dy = coords[i].1 - coords[j].1;
+        (dx * dx + dy * dy).sqrt()
+    };
     let l_max = std::f64::consts::SQRT_2;
 
     let mut topo = Topology::new(n);

@@ -44,9 +44,9 @@ impl Console {
             "build" => {
                 let switches: usize = parse(args.first(), "switches")?;
                 let servers: usize = parse(args.get(1), "servers-per-switch")?;
-                let seed: u64 = args.get(2).map_or(Ok(1), |s| {
-                    s.parse().map_err(|_| format!("bad seed {s:?}"))
-                })?;
+                let seed: u64 = args
+                    .get(2)
+                    .map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed {s:?}")))?;
                 let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
                 let pool = ServerPool::uniform(switches, servers, u64::MAX);
                 let net = GredNetwork::build(topo, pool, GredConfig::default().seeded(seed))
@@ -72,7 +72,11 @@ impl Console {
                     "stored on {} via {} hops{}",
                     receipt.server,
                     receipt.route.physical_hops(),
-                    if receipt.extended { " (range-extended)" } else { "" }
+                    if receipt.extended {
+                        " (range-extended)"
+                    } else {
+                        ""
+                    }
                 ))
             }
             "get" => {
@@ -95,9 +99,13 @@ impl Console {
                 let access: usize = parse(args.get(1), "access switch")?;
                 let net = self.net()?;
                 let pos = net.position_of_id(&DataId::new(key));
-                let route =
-                    gred::plane::forwarding::route(net.dataplanes(), access, pos, &DataId::new(key))
-                        .map_err(|e| e.to_string())?;
+                let route = gred::plane::forwarding::route(
+                    net.dataplanes(),
+                    access,
+                    pos,
+                    &DataId::new(key),
+                )
+                .map_err(|e| e.to_string())?;
                 Ok(format!(
                     "switches {:?} ({} hops, {} greedy steps) -> {}",
                     route.switches,
@@ -132,7 +140,9 @@ impl Console {
             }
             "leave" => {
                 let switch: usize = parse(args.first(), "switch")?;
-                self.net()?.remove_switch(switch).map_err(|e| e.to_string())?;
+                self.net()?
+                    .remove_switch(switch)
+                    .map_err(|e| e.to_string())?;
                 Ok(format!("switch {switch} left; its data migrated"))
             }
             "stats" => {
@@ -248,11 +258,7 @@ mod tests {
 
     #[test]
     fn build_place_get_round_trip() {
-        let out = run_script(&[
-            "build 10 2 5",
-            "place demo/key hello 0",
-            "get demo/key 7",
-        ]);
+        let out = run_script(&["build 10 2 5", "place demo/key hello 0", "get demo/key 7"]);
         assert!(out[0].as_ref().unwrap().contains("network up: 10 switches"));
         assert!(out[1].as_ref().unwrap().contains("stored on s"));
         assert!(out[2].as_ref().unwrap().contains("hello"));

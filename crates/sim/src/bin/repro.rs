@@ -2,20 +2,25 @@
 //! repository's extension experiments.
 //!
 //! ```text
-//! repro <experiment> [--paper] [--csv <dir>]
+//! repro <experiment> [--paper] [--csv <dir>] [--threads <n>]
 //!
 //! experiments: fig7a fig7b fig8 fig9a fig9b fig9c fig9d
 //!              fig11a fig11b fig11c tables churn churn-owners
 //!              embedding qdelay availability hotspot contention fload
-//!              cdf overhead hetero all
+//!              cdf overhead hetero build-report all
 //!
-//! --paper      run at the paper's full scale (minutes) instead of the
-//!              quick preset (seconds)
-//! --csv <dir>  also write each experiment's rows to <dir>/<name>.csv
+//! --paper       run at the paper's full scale (minutes) instead of the
+//!               quick preset (seconds)
+//! --csv <dir>   also write each experiment's rows to <dir>/<name>.csv
+//! --threads <n> worker threads for build-report (default: the machine's
+//!               available parallelism, capped at 8)
 //! ```
 
 use gred_net::LatencyModel;
-use gred_sim::experiments::{availability, churn, contention, control_overhead, delay, embedding, forwarding_load, heterogeneity, hotspot, load, stretch, table_entries, testbed};
+use gred_sim::experiments::{
+    availability, churn, contention, control_overhead, delay, embedding, forwarding_load,
+    heterogeneity, hotspot, load, stretch, table_entries, testbed,
+};
 use gred_sim::report::{f3, render_csv, render_table};
 use std::path::PathBuf;
 
@@ -37,6 +42,7 @@ struct Scale {
     delay_requests: Vec<usize>,
     churn_sizes: Vec<usize>,
     churn_items: usize,
+    build_switches: usize,
 }
 
 impl Scale {
@@ -57,6 +63,7 @@ impl Scale {
             delay_requests: vec![100, 400, 1000],
             churn_sizes: vec![20, 40],
             churn_items: 500,
+            build_switches: 60,
         }
     }
 
@@ -78,6 +85,7 @@ impl Scale {
             delay_requests: vec![100, 200, 400, 600, 800, 1000],
             churn_sizes: vec![20, 60, 100],
             churn_items: 2_000,
+            build_switches: 200,
         }
     }
 }
@@ -112,7 +120,7 @@ fn load_rows(rows: &[load::LoadRow]) -> Vec<Vec<String>> {
         .collect()
 }
 
-fn run(experiment: &str, scale: &Scale, out: &Output) {
+fn run(experiment: &str, scale: &Scale, out: &Output, threads: usize) {
     match experiment {
         "fig7a" | "fig7b" => {
             let rows =
@@ -255,7 +263,12 @@ fn run(experiment: &str, scale: &Scale, out: &Output) {
             out.emit(
                 "overhead",
                 "Extension: control-plane update footprint of a join",
-                &["switches", "switches touched", "entry delta", "newcomer entries"],
+                &[
+                    "switches",
+                    "switches touched",
+                    "entry delta",
+                    "newcomer entries",
+                ],
                 rows.iter()
                     .map(|r| {
                         vec![
@@ -272,12 +285,9 @@ fn run(experiment: &str, scale: &Scale, out: &Output) {
             use gred_sim::trace::TraceCollector;
             use gred_sim::workload::{AccessPicker, ItemGenerator};
             let (topo, pool) = gred_sim::experiments::substrate(60, 10, 3, SEED);
-            let net = gred::GredNetwork::build(
-                topo,
-                pool,
-                gred::GredConfig::default().seeded(SEED),
-            )
-            .expect("builds");
+            let net =
+                gred::GredNetwork::build(topo, pool, gred::GredConfig::default().seeded(SEED))
+                    .expect("builds");
             let mut traces = TraceCollector::new();
             let mut gen = ItemGenerator::new("cdf");
             let mut picker = AccessPicker::new(net.members(), SEED);
@@ -301,9 +311,7 @@ fn run(experiment: &str, scale: &Scale, out: &Output) {
                 "Extension: per-switch forwarding-load concentration",
                 &["system", "max/avg", "total switch visits"],
                 rows.iter()
-                    .map(|r| {
-                        vec![r.system.clone(), f3(r.max_avg), r.total_visits.to_string()]
-                    })
+                    .map(|r| vec![r.system.clone(), f3(r.max_avg), r.total_visits.to_string()])
                     .collect(),
             );
         }
@@ -385,7 +393,11 @@ fn run(experiment: &str, scale: &Scale, out: &Output) {
                 &["replicas", "failures", "availability"],
                 rows.iter()
                     .map(|r| {
-                        vec![r.replicas.to_string(), r.failures.to_string(), f3(r.availability)]
+                        vec![
+                            r.replicas.to_string(),
+                            r.failures.to_string(),
+                            f3(r.availability),
+                        ]
                     })
                     .collect(),
             );
@@ -417,15 +429,29 @@ fn run(experiment: &str, scale: &Scale, out: &Output) {
                 &["switches", "source", "mean stretch", "ci90"],
                 rows.iter()
                     .map(|r| {
-                        vec![r.switches.to_string(), r.source.clone(), f3(r.mean), f3(r.ci90)]
+                        vec![
+                            r.switches.to_string(),
+                            r.source.clone(),
+                            f3(r.mean),
+                            f3(r.ci90),
+                        ]
                     })
                     .collect(),
+            );
+        }
+        "build-report" => {
+            let rows = build_report_rows(scale.build_switches, threads);
+            out.emit(
+                "build-report",
+                "Instrumentation: control-plane build phases, serial vs threaded",
+                &["threads", "phase", "items", "wall (ms)"],
+                rows,
             );
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero all"
+                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero build-report all"
             );
             std::process::exit(2);
         }
@@ -443,7 +469,10 @@ fn print_extension_tables() {
     let mut net = GredNetwork::build(topo, pool, GredConfig::with_iterations(0)).expect("builds");
 
     println!("\n== Tables I/II: range-extension forwarding entries ==");
-    let overloaded = ServerId { switch: 0, index: 0 };
+    let overloaded = ServerId {
+        switch: 0,
+        index: 0,
+    };
     println!("before extension: traffic for {overloaded} delivered locally");
     let takeover = net.extend_range(overloaded).expect("neighbor has servers");
     println!("after extension:  traffic for {overloaded} rewritten to {takeover}");
@@ -451,6 +480,44 @@ fn print_extension_tables() {
     println!(
         "switch 0 tables: {neighbors} neighbor entries, {relays} relay entries, {extensions} extension entry"
     );
+}
+
+/// Builds a Waxman network once serially and once with `threads` workers,
+/// printing each [`gred::BuildReport`] (human summary + JSON line) and
+/// returning per-phase table rows.
+fn build_report_rows(switches: usize, threads: usize) -> Vec<Vec<String>> {
+    use gred::{GredConfig, GredNetwork};
+    use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+    let mut rows = Vec::new();
+    let mut thread_counts = vec![1];
+    if threads > 1 {
+        thread_counts.push(threads);
+    }
+    for t in thread_counts {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
+        let pool = ServerPool::uniform(switches, 4, 10_000);
+        let config = GredConfig::default().threads(t);
+        let (_, report) = GredNetwork::build_reported(topo, pool, config)
+            .expect("Waxman build succeeds at report scale");
+        println!("{}", report.summary());
+        println!("{}", report.to_json());
+        for phase in &report.phases {
+            rows.push(vec![
+                t.to_string(),
+                phase.name.to_string(),
+                phase.items.to_string(),
+                f3(phase.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        rows.push(vec![
+            t.to_string(),
+            "total".to_string(),
+            switches.to_string(),
+            f3(report.total_wall().as_secs_f64() * 1e3),
+        ]);
+    }
+    rows
 }
 
 fn main() {
@@ -461,29 +528,60 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(gred_runtime::default_threads)
+        .max(1);
+    let scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
     let out = Output { csv_dir };
     let experiment = args
         .iter()
         .enumerate()
         .filter(|&(i, a)| {
             let is_flag = a.starts_with("--");
-            let is_csv_value = i > 0 && args[i - 1] == "--csv";
-            !is_flag && !is_csv_value
+            let is_flag_value = i > 0 && (args[i - 1] == "--csv" || args[i - 1] == "--threads");
+            !is_flag && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
 
     let all = [
-        "fig7a", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig11a", "fig11b", "fig11c",
-        "tables", "churn", "churn-owners", "embedding", "qdelay", "availability", "hotspot", "contention", "fload", "cdf", "overhead", "hetero",
+        "fig7a",
+        "fig8",
+        "fig9a",
+        "fig9b",
+        "fig9c",
+        "fig9d",
+        "fig11a",
+        "fig11b",
+        "fig11c",
+        "tables",
+        "churn",
+        "churn-owners",
+        "embedding",
+        "qdelay",
+        "availability",
+        "hotspot",
+        "contention",
+        "fload",
+        "cdf",
+        "overhead",
+        "hetero",
+        "build-report",
     ];
     if experiment == "all" {
         for e in all {
-            run(e, &scale, &out);
+            run(e, &scale, &out, threads);
         }
     } else {
-        run(experiment, &scale, &out);
+        run(experiment, &scale, &out, threads);
     }
 }

@@ -43,8 +43,9 @@ pub fn availability_under_crashes(
             let mut net =
                 GredNetwork::build(topo, pool, GredConfig::default().seeded(seed)).expect("builds");
 
-            let ids: Vec<DataId> =
-                (0..items).map(|i| DataId::new(format!("avail/{replicas}/{i}"))).collect();
+            let ids: Vec<DataId> = (0..items)
+                .map(|i| DataId::new(format!("avail/{replicas}/{i}")))
+                .collect();
             for (i, id) in ids.iter().enumerate() {
                 net.place_replicated(id, Bytes::from_static(b"v"), replicas, i % switches)
                     .expect("places");

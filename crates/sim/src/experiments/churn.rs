@@ -96,10 +96,12 @@ mod tests {
         let join = rows.iter().find(|r| r.event == "join").unwrap();
         // The newcomer's cell should attract a bounded multiple of its
         // fair share — far from a rehash-everything event.
-        assert!(join.moved_fraction < 6.0 * join.fair_share,
+        assert!(
+            join.moved_fraction < 6.0 * join.fair_share,
             "join moved {:.1}% (fair share {:.1}%)",
             100.0 * join.moved_fraction,
-            100.0 * join.fair_share);
+            100.0 * join.fair_share
+        );
     }
 
     #[test]
@@ -150,8 +152,9 @@ pub fn owner_churn_comparison(sizes: &[usize], keys: usize, seed: u64) -> Vec<Ow
     let mut rows = Vec::new();
     for &n in sizes {
         let servers_per_switch = 4;
-        let ids: Vec<DataId> =
-            (0..keys).map(|i| DataId::new(format!("ochurn/{n}/{i}"))).collect();
+        let ids: Vec<DataId> = (0..keys)
+            .map(|i| DataId::new(format!("ochurn/{n}/{i}")))
+            .collect();
         let fair_share = 1.0 / (n + 1) as f64;
 
         // GRED: add one switch, existing positions fixed.
@@ -219,8 +222,16 @@ mod owner_churn_tests {
     #[test]
     fn gred_churn_is_competitive_with_chord() {
         let rows = owner_churn_comparison(&[20], 4_000, 9);
-        let gred = rows.iter().find(|r| r.system == "GRED").unwrap().moved_fraction;
-        let chord = rows.iter().find(|r| r.system == "Chord").unwrap().moved_fraction;
+        let gred = rows
+            .iter()
+            .find(|r| r.system == "GRED")
+            .unwrap()
+            .moved_fraction;
+        let chord = rows
+            .iter()
+            .find(|r| r.system == "Chord")
+            .unwrap()
+            .moved_fraction;
         // GRED should not move an order of magnitude more than Chord.
         assert!(gred < chord * 8.0, "GRED {gred:.3} vs Chord {chord:.3}");
     }

@@ -11,8 +11,8 @@
 
 use crate::systems::{ComparedSystem, SystemUnderTest};
 use crate::workload::{AccessPicker, ItemGenerator};
-use gred_chord::ChordNetwork;
 use gred_chord::ChordConfig;
+use gred_chord::ChordNetwork;
 use gred_net::{simulate_journeys, JourneySpec, LinkParams};
 use serde::Serialize;
 
@@ -130,8 +130,7 @@ mod tests {
 
     #[test]
     fn gred_completes_faster_under_load() {
-        let rows =
-            contention_completion(&[400], 1_000.0, LinkParams::default(), 11);
+        let rows = contention_completion(&[400], 1_000.0, LinkParams::default(), 11);
         let gred = rows.iter().find(|r| r.system == "GRED").unwrap();
         let chord = rows.iter().find(|r| r.system == "Chord").unwrap();
         assert!(

@@ -47,7 +47,9 @@ pub fn join_overhead(sizes: &[usize], seed: u64) -> Vec<ControlOverheadRow> {
                 net.dataplanes().iter().map(snapshot).collect();
             let before_total: usize = net.dataplanes().iter().map(|p| p.entry_count()).sum();
 
-            let new_switch = net.add_switch(&[0, n / 2], vec![u64::MAX; 4]).expect("joins");
+            let new_switch = net
+                .add_switch(&[0, n / 2], vec![u64::MAX; 4])
+                .expect("joins");
 
             let mut touched = 0;
             for (s, old) in before.iter().enumerate() {
@@ -80,7 +82,10 @@ mod tests {
                 row.switches_touched,
                 row.switches
             );
-            assert!(row.newcomer_entries > 0, "newcomer needs forwarding entries");
+            assert!(
+                row.newcomer_entries > 0,
+                "newcomer needs forwarding entries"
+            );
         }
     }
 

@@ -24,11 +24,7 @@ pub struct DelayRow {
 
 /// Issues each batch size in `request_counts` against a pre-loaded
 /// testbed and reports mean round-trip delay under `latency`.
-pub fn response_delay(
-    request_counts: &[usize],
-    latency: LatencyModel,
-    seed: u64,
-) -> Vec<DelayRow> {
+pub fn response_delay(request_counts: &[usize], latency: LatencyModel, seed: u64) -> Vec<DelayRow> {
     let (topo, pool) = testbed_topology();
     let mut rows = Vec::new();
     for (system, name) in [
@@ -89,13 +85,22 @@ mod tests {
             .find(|r| r.system == "GRED-NoCVT" && r.requests == 400)
             .unwrap()
             .avg_delay_us;
-        assert!((g / n - 1.0).abs() < 0.4, "variants differ too much: {g} vs {n}");
+        assert!(
+            (g / n - 1.0).abs() < 0.4,
+            "variants differ too much: {g} vs {n}"
+        );
     }
 
     #[test]
     fn delay_scales_with_latency_model() {
-        let slow = LatencyModel { per_hop_us: 500.0, service_us: 200.0 };
-        let fast = LatencyModel { per_hop_us: 5.0, service_us: 200.0 };
+        let slow = LatencyModel {
+            per_hop_us: 500.0,
+            service_us: 200.0,
+        };
+        let fast = LatencyModel {
+            per_hop_us: 5.0,
+            service_us: 200.0,
+        };
         let s = response_delay(&[200], slow, 1);
         let f = response_delay(&[200], fast, 1);
         assert!(s[0].avg_delay_us > f[0].avg_delay_us);
@@ -181,8 +186,7 @@ mod queueing_tests {
     #[test]
     fn saturation_inflates_delay() {
         // Squeeze the same requests into a tiny window: queues build.
-        let flat =
-            response_delay_with_queueing(&[500], LatencyModel::default(), 10_000_000.0, 6);
+        let flat = response_delay_with_queueing(&[500], LatencyModel::default(), 10_000_000.0, 6);
         let packed = response_delay_with_queueing(&[500], LatencyModel::default(), 1_000.0, 6);
         assert!(
             packed[0].avg_delay_us > 2.0 * flat[0].avg_delay_us,

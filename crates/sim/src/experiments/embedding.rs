@@ -45,8 +45,8 @@ fn measure(net: &GredNetwork, items: usize, seed: u64) -> MetricSeries {
             let id = gen.next_id();
             let access = picker.pick();
             let pos = net.position_of_id(&id);
-            let route = gred::plane::forwarding::route(net.dataplanes(), access, pos, &id)
-                .expect("routes");
+            let route =
+                gred::plane::forwarding::route(net.dataplanes(), access, pos, &id).expect("routes");
             let shortest = net
                 .topology()
                 .shortest_path(access, route.dest)
@@ -86,9 +86,8 @@ pub fn embedding_ablation(sizes: &[usize], items: usize, seed: u64) -> Vec<Embed
         let random_positions: Vec<Point2> = (0..n)
             .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
             .collect();
-        let random =
-            GredNetwork::build_with_positions(topo, pool, &random_positions, config)
-                .expect("builds");
+        let random = GredNetwork::build_with_positions(topo, pool, &random_positions, config)
+            .expect("builds");
 
         for (net, source) in [
             (&m_position, "m-position"),

@@ -114,23 +114,18 @@ mod tests {
         // i.e. the switch-visit count of all routes.
         use crate::systems::SystemUnderTest;
         let (topo, pool) = crate::experiments::substrate(15, 4, 3, 9);
-        let sut = SystemUnderTest::build(
-            topo,
-            pool,
-            ComparedSystem::Gred { iterations: 10 },
-            9,
-        );
+        let sut = SystemUnderTest::build(topo, pool, ComparedSystem::Gred { iterations: 10 }, 9);
         let net = sut.as_gred().unwrap();
         let mut expected = 0u64;
         for i in 0..50 {
             let id = gred_hash::DataId::new(format!("cnt/{i}"));
             let pos = net.position_of_id(&id);
-            let route =
-                gred::plane::forwarding::route(net.dataplanes(), i % 15, pos, &id).unwrap();
+            let route = gred::plane::forwarding::route(net.dataplanes(), i % 15, pos, &id).unwrap();
             // decide() runs at every overlay switch; relay_next at every
             // relay switch. Relay count = physical hops - overlay hops.
             expected += u64::from(route.overlay_hops()) + 1; // decisions
-            expected += u64::from(route.physical_hops() - route.overlay_hops()); // relays
+            expected += u64::from(route.physical_hops() - route.overlay_hops());
+            // relays
         }
         let total: u64 = net.dataplanes().iter().map(|p| p.packets_processed()).sum();
         assert_eq!(total, expected);

@@ -31,12 +31,7 @@ pub struct HeterogeneityRow {
 
 /// Builds a pool with per-switch server counts uniform in
 /// `1..=max_servers` and per-server capacity `capacity`.
-fn heterogeneous_pool(
-    switches: usize,
-    max_servers: usize,
-    capacity: u64,
-    seed: u64,
-) -> ServerPool {
+fn heterogeneous_pool(switches: usize, max_servers: usize, capacity: u64, seed: u64) -> ServerPool {
     let mut rng = StdRng::seed_from_u64(seed);
     ServerPool::from_capacities(
         (0..switches)
@@ -65,9 +60,14 @@ pub fn heterogeneous_load(switches: usize, items: usize, seed: u64) -> Vec<Heter
         let mut gen = ItemGenerator::new("het-gred");
         let mut counts: HashMap<ServerId, u64> = HashMap::new();
         for _ in 0..items {
-            *counts.entry(net.responsible_server(&gen.next_id())).or_default() += 1;
+            *counts
+                .entry(net.responsible_server(&gen.next_id()))
+                .or_default() += 1;
         }
-        let mut loads: Vec<u64> = pool.iter_ids().map(|s| counts.get(&s).copied().unwrap_or(0)).collect();
+        let mut loads: Vec<u64> = pool
+            .iter_ids()
+            .map(|s| counts.get(&s).copied().unwrap_or(0))
+            .collect();
         loads.sort_unstable();
         rows.push(HeterogeneityRow {
             system: "GRED (no extension)".into(),
@@ -115,8 +115,10 @@ pub fn heterogeneous_load(switches: usize, items: usize, seed: u64) -> Vec<Heter
         for _ in 0..items {
             *counts.entry(chord.owner(&gen.next_id())).or_default() += 1;
         }
-        let loads: Vec<u64> =
-            pool.iter_ids().map(|s| counts.get(&s).copied().unwrap_or(0)).collect();
+        let loads: Vec<u64> = pool
+            .iter_ids()
+            .map(|s| counts.get(&s).copied().unwrap_or(0))
+            .collect();
         rows.push(HeterogeneityRow {
             system: "Chord".into(),
             max_avg: max_avg(&loads),

@@ -93,8 +93,16 @@ mod tests {
     #[test]
     fn skew_concentrates_requests() {
         let rows = hotspot_request_load(&[0.0, 1.2], &[1], 200, 10, 3_000, 5);
-        let uniform = rows.iter().find(|r| r.zipf_s == 0.0).unwrap().request_max_avg;
-        let skewed = rows.iter().find(|r| r.zipf_s == 1.2).unwrap().request_max_avg;
+        let uniform = rows
+            .iter()
+            .find(|r| r.zipf_s == 0.0)
+            .unwrap()
+            .request_max_avg;
+        let skewed = rows
+            .iter()
+            .find(|r| r.zipf_s == 1.2)
+            .unwrap()
+            .request_max_avg;
         assert!(
             skewed > uniform,
             "zipf skew must concentrate request load: uniform {uniform:.2}, skewed {skewed:.2}"
@@ -104,8 +112,16 @@ mod tests {
     #[test]
     fn replicating_the_head_spreads_request_load() {
         let rows = hotspot_request_load(&[1.2], &[1, 4], 200, 10, 3_000, 6);
-        let single = rows.iter().find(|r| r.hot_replicas == 1).unwrap().request_max_avg;
-        let quad = rows.iter().find(|r| r.hot_replicas == 4).unwrap().request_max_avg;
+        let single = rows
+            .iter()
+            .find(|r| r.hot_replicas == 1)
+            .unwrap()
+            .request_max_avg;
+        let quad = rows
+            .iter()
+            .find(|r| r.hot_replicas == 4)
+            .unwrap()
+            .request_max_avg;
         assert!(
             quad < single,
             "4 copies of hot items should cut request max/avg: {quad:.2} vs {single:.2}"

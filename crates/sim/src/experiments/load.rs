@@ -82,7 +82,12 @@ pub fn load_vs_items(item_counts: &[usize], servers: usize, seed: u64) -> Vec<Lo
     ];
     let suts: Vec<(ComparedSystem, SystemUnderTest)> = systems
         .into_iter()
-        .map(|s| (s, SystemUnderTest::build(topo.clone(), pool.clone(), s, seed)))
+        .map(|s| {
+            (
+                s,
+                SystemUnderTest::build(topo.clone(), pool.clone(), s, seed),
+            )
+        })
         .collect();
     let mut rows = Vec::new();
     for &items in item_counts {
@@ -177,7 +182,12 @@ mod tests {
         let rows = load_vs_items(&[10_000], 100, 9);
         for r in &rows {
             assert!(r.max_avg >= 1.0, "{}: max/avg {} < 1", r.system, r.max_avg);
-            assert!(r.max_avg < 20.0, "{}: max/avg {} absurd", r.system, r.max_avg);
+            assert!(
+                r.max_avg < 20.0,
+                "{}: max/avg {} absurd",
+                r.system,
+                r.max_avg
+            );
         }
     }
 }

@@ -207,18 +207,17 @@ mod tests {
     #[test]
     fn fig9c_extension_costs_little() {
         let rows = stretch_with_extension(&[25], 30, 13);
-        let gred = rows
-            .iter()
-            .find(|r| r.system == "GRED(T=50)")
-            .unwrap()
-            .mean;
+        let gred = rows.iter().find(|r| r.system == "GRED(T=50)").unwrap().mean;
         let ext = rows
             .iter()
             .find(|r| r.system == "extended-GRED")
             .unwrap()
             .mean;
         let chord = rows.iter().find(|r| r.system == "Chord").unwrap().mean;
-        assert!(ext >= gred * 0.8, "extension should not reduce stretch much");
+        assert!(
+            ext >= gred * 0.8,
+            "extension should not reduce stretch much"
+        );
         assert!(ext < chord, "extended-GRED must still beat Chord");
     }
 }

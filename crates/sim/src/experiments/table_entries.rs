@@ -31,12 +31,8 @@ pub fn entries_vs_network_size(sizes: &[usize], seed: u64) -> Vec<TableEntriesRo
         .iter()
         .map(|&n| {
             let (topo, pool) = substrate(n, 10, 3, seed ^ n as u64);
-            let sut = SystemUnderTest::build(
-                topo,
-                pool,
-                ComparedSystem::Gred { iterations: 50 },
-                seed,
-            );
+            let sut =
+                SystemUnderTest::build(topo, pool, ComparedSystem::Gred { iterations: 50 }, seed);
             let stats = sut.as_gred().expect("gred").table_stats();
             TableEntriesRow {
                 switches: n,

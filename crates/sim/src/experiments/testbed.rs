@@ -86,7 +86,11 @@ mod tests {
     fn fig7b_cvt_improves_balance() {
         let rows = testbed_experiment(10, 5_000, 2);
         let gred = rows.iter().find(|r| r.system == "GRED").unwrap().max_avg;
-        let nocvt = rows.iter().find(|r| r.system == "GRED-NoCVT").unwrap().max_avg;
+        let nocvt = rows
+            .iter()
+            .find(|r| r.system == "GRED-NoCVT")
+            .unwrap()
+            .max_avg;
         assert!(
             gred <= nocvt,
             "CVT should improve testbed balance: GRED {gred:.2} vs NoCVT {nocvt:.2}"

@@ -14,7 +14,9 @@ pub struct MetricSeries {
 impl MetricSeries {
     /// An empty series.
     pub fn new() -> Self {
-        MetricSeries { samples: Vec::new() }
+        MetricSeries {
+            samples: Vec::new(),
+        }
     }
 
     /// Adds one sample.

@@ -58,7 +58,11 @@ mod tests {
     use super::*;
 
     fn req(arrival: f64, server: u32) -> QueuedRequest<u32> {
-        QueuedRequest { arrival_us: arrival, server, network_us: 100.0 }
+        QueuedRequest {
+            arrival_us: arrival,
+            server,
+            network_us: 100.0,
+        }
     }
 
     #[test]

@@ -1,113 +1,13 @@
 //! Parallel experiment execution.
 //!
 //! Figure sweeps are embarrassingly parallel over their x-axis points
-//! (each point builds its own topology and systems). [`parallel_map`]
-//! fans work out over scoped threads and returns results in input order;
-//! experiments stay deterministic because each work item carries its own
-//! seed.
+//! (each point builds its own topology and systems). The ordered
+//! fork/join map lives in [`gred_runtime`] so the control plane can use
+//! the same machinery; it is re-exported here for existing callers.
+//!
+//! ```
+//! let squares = gred_sim::runner::parallel_map(vec![1, 2, 3, 4], 2, |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
 
-use parking_lot::Mutex;
-
-/// Applies `f` to every item on a pool of `threads` scoped worker
-/// threads, returning outputs in input order.
-///
-/// With `threads == 1` (or one item) the work runs inline on the caller's
-/// thread. Panics in `f` propagate to the caller.
-///
-/// ```
-/// let squares = gred_sim::runner::parallel_map(vec![1, 2, 3, 4], 2, |x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9, 16]);
-/// ```
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let Some((idx, item)) = work.lock().pop() else {
-                    return;
-                };
-                let out = f(item);
-                results.lock()[idx] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index was produced"))
-        .collect()
-}
-
-/// A reasonable default worker count: the available parallelism, capped
-/// at 8 (experiment points are coarse-grained).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect(), 4, |x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_thread_inline() {
-        let out = parallel_map(vec![5, 6], 1, |x| x + 1);
-        assert_eq!(out, vec![6, 7]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn all_items_processed_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let out = parallel_map((0..50).collect(), 8, |x| {
-            counter.fetch_add(1, Ordering::SeqCst);
-            x
-        });
-        assert_eq!(out.len(), 50);
-        assert_eq!(counter.load(Ordering::SeqCst), 50);
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
-        let _ = parallel_map(vec![1, 2, 3], 2, |x| {
-            if x == 2 {
-                panic!("boom");
-            }
-            x
-        });
-    }
-
-    #[test]
-    fn default_threads_positive() {
-        assert!(default_threads() >= 1);
-    }
-}
+pub use gred_runtime::{default_threads, parallel_map};

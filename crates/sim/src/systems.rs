@@ -59,12 +59,7 @@ impl SystemUnderTest {
     ///
     /// Panics when the underlying build fails (the experiment substrates
     /// are always valid: connected topologies, every switch with servers).
-    pub fn build(
-        topology: Topology,
-        pool: ServerPool,
-        system: ComparedSystem,
-        seed: u64,
-    ) -> Self {
+    pub fn build(topology: Topology, pool: ServerPool, system: ComparedSystem, seed: u64) -> Self {
         let inner = match system {
             ComparedSystem::Gred { iterations } => {
                 let config = GredConfig::with_iterations(iterations).seeded(seed);
@@ -101,7 +96,10 @@ impl SystemUnderTest {
                     .last()
                     .expect("route is nonempty");
                 let index = gred_hash::select_server(id, net.pool().servers_at(owner));
-                ServerId { switch: owner, index }
+                ServerId {
+                    switch: owner,
+                    index,
+                }
             }
             Inner::Chord(chord) => chord.owner(id),
         }
@@ -114,8 +112,9 @@ impl SystemUnderTest {
         match &self.inner {
             Inner::Gred(net) => {
                 let pos = net.position_of_id(id);
-                let route = gred::plane::forwarding::route(net.dataplanes(), access_switch, pos, id)
-                    .expect("routing over installed state succeeds");
+                let route =
+                    gred::plane::forwarding::route(net.dataplanes(), access_switch, pos, id)
+                        .expect("routing over installed state succeeds");
                 let shortest = self
                     .topology
                     .shortest_path(access_switch, route.dest)
@@ -126,8 +125,8 @@ impl SystemUnderTest {
             }
             Inner::Chord(chord) => {
                 let path = chord.lookup_path(access_switch, id);
-                let actual = overlay_path_physical_hops(&self.topology, &path)
-                    .expect("connected topology");
+                let actual =
+                    overlay_path_physical_hops(&self.topology, &path).expect("connected topology");
                 let owner = path.last().expect("path is nonempty");
                 let shortest = self
                     .topology
@@ -171,7 +170,10 @@ mod tests {
         assert_eq!(ComparedSystem::Gred { iterations: 0 }.name(), "GRED-NoCVT");
         assert_eq!(ComparedSystem::Gred { iterations: 50 }.name(), "GRED(T=50)");
         assert_eq!(ComparedSystem::Chord { virtual_nodes: 1 }.name(), "Chord");
-        assert_eq!(ComparedSystem::Chord { virtual_nodes: 4 }.name(), "Chord(v=4)");
+        assert_eq!(
+            ComparedSystem::Chord { virtual_nodes: 4 }.name(),
+            "Chord(v=4)"
+        );
     }
 
     #[test]

@@ -122,7 +122,15 @@ impl TraceCollector {
             })
             .collect();
         crate::report::render_csv(
-            &["key", "access", "owner", "hops", "overlay_hops", "shortest", "stretch"],
+            &[
+                "key",
+                "access",
+                "owner",
+                "hops",
+                "overlay_hops",
+                "shortest",
+                "stretch",
+            ],
             &rows,
         )
     }

@@ -116,12 +116,18 @@ pub fn render_svg(net: &GredNetwork, options: &VizOptions) -> String {
 
     for &p in &options.data_points {
         let (x, y) = px(options, p);
-        let _ = write!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.5" fill="#74c476"/>"##);
+        let _ = write!(
+            out,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.5" fill="#74c476"/>"##
+        );
     }
 
     for (&m, &p) in net.members().iter().zip(&positions) {
         let (x, y) = px(options, p);
-        let _ = write!(out, r##"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="#d62728"/>"##);
+        let _ = write!(
+            out,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="#d62728"/>"##
+        );
         let _ = write!(
             out,
             r##"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace" fill="#333">{m}</text>"##,
@@ -153,7 +159,11 @@ mod tests {
         assert!(svg.ends_with("</svg>"));
         assert!(svg.contains("<polygon"), "voronoi cells rendered");
         assert!(svg.contains("<line"), "dt edges rendered");
-        assert_eq!(svg.matches(r##"fill="#d62728""##).count(), 12, "one dot per switch");
+        assert_eq!(
+            svg.matches(r##"fill="#d62728""##).count(),
+            12,
+            "one dot per switch"
+        );
     }
 
     #[test]
@@ -189,6 +199,9 @@ mod tests {
             dt_edges: false,
         };
         let svg = render_svg(&net(), &opts);
-        assert!(svg.contains(r#"<circle cx="0.0" cy="0.0" r="1.5""#), "{svg}");
+        assert!(
+            svg.contains(r#"<circle cx="0.0" cy="0.0" r="1.5""#),
+            "{svg}"
+        );
     }
 }

@@ -19,8 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // from its own access switch.
     for cam in 0..8usize {
         let client = kv.client("cams", cam);
-        let version =
-            client.put(&mut kv, &format!("cam-{cam}/latest"), format!("frame-{cam}-0"))?;
+        let version = client.put(
+            &mut kv,
+            &format!("cam-{cam}/latest"),
+            format!("frame-{cam}-0"),
+        )?;
         assert_eq!(version, 1);
     }
     println!("8 camera gateways wrote their latest frames");

@@ -20,10 +20,8 @@ use gred_net::{ServerPool, Topology};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small metro ring: 6 switches. Switch capacities are heterogeneous;
     // switch 1's single server can hold only 5 items.
-    let topology = Topology::from_links(
-        6,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
-    )?;
+    let topology =
+        Topology::from_links(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])?;
     let pool = ServerPool::from_capacities(vec![
         vec![1_000, 1_000],
         vec![5], // the constrained site
@@ -44,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             redirected.push((id, receipt.server));
         }
     }
-    let constrained = gred_net::ServerId { switch: 1, index: 0 };
+    let constrained = gred_net::ServerId {
+        switch: 1,
+        index: 0,
+    };
     let takeover = net.extension_of(constrained);
     println!(
         "constrained server {constrained}: load {}/{}",

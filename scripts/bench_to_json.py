@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Convert criterion-shim bench output into a committed JSON summary.
+
+The in-tree criterion shim appends one JSON line per benchmark to
+``target/criterion-shim/results.jsonl``. This script folds the
+``controller_build`` group into ``BENCH_controller_build.json``: one entry
+per thread count with the measured mean wall time and its speedup over the
+serial (threads=1) build, plus enough hardware context to interpret the
+numbers.
+
+Usage:
+    cargo bench -p gred-bench --bench controller_build_scaling
+    python3 scripts/bench_to_json.py [results.jsonl] [out.json]
+"""
+
+import json
+import os
+import re
+import sys
+from datetime import date
+
+
+def cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def find_results(root):
+    # `cargo bench` runs benchmarks with the package directory as cwd, so
+    # the shim's default relative path may land under crates/<pkg>/target.
+    candidates = [os.path.join(root, "target", "criterion-shim", "results.jsonl")]
+    crates = os.path.join(root, "crates")
+    if os.path.isdir(crates):
+        for pkg in sorted(os.listdir(crates)):
+            candidates.append(
+                os.path.join(crates, pkg, "target", "criterion-shim", "results.jsonl")
+            )
+    found = [c for c in candidates if os.path.exists(c)]
+    if not found:
+        sys.exit(f"no results.jsonl found under {root}; run the bench first")
+    return max(found, key=os.path.getmtime)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = sys.argv[1] if len(sys.argv) > 1 else find_results(root)
+    if not os.path.exists(src):
+        sys.exit(f"{src}: not found; run the controller_build_scaling bench first")
+    dst = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        root, "BENCH_controller_build.json"
+    )
+
+    # Keep only the latest record per benchmark id (reruns append).
+    latest = {}
+    with open(src, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("group") == "controller_build":
+                latest[rec["bench"]] = rec
+
+    if not latest:
+        sys.exit(f"no controller_build records in {src}")
+
+    results = []
+    for bench, rec in sorted(latest.items()):
+        m = re.fullmatch(r"(\d+)sw_(\d+)t", bench)
+        if not m:
+            sys.exit(f"unexpected bench id {bench!r}")
+        results.append(
+            {
+                "switches": int(m.group(1)),
+                "threads": int(m.group(2)),
+                "mean_ms": round(rec["mean_ns"] / 1e6, 3),
+            }
+        )
+    results.sort(key=lambda r: (r["switches"], r["threads"]))
+
+    serial = {r["switches"]: r["mean_ms"] for r in results if r["threads"] == 1}
+    for r in results:
+        base = serial.get(r["switches"])
+        r["speedup_vs_serial"] = round(base / r["mean_ms"], 2) if base else None
+
+    summary = {
+        "benchmark": "controller_build_scaling",
+        "description": (
+            "Full GRED control-plane rebuild (M-position embedding, "
+            "C-regulation, Delaunay triangulation, forwarding-entry "
+            "installation) on a Waxman topology, by worker-thread count."
+        ),
+        "date": date.today().isoformat(),
+        "hardware": {"cpus_available": cpu_count(), "cpu_model": cpu_model()},
+        "results": results,
+    }
+    with open(dst, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    print(f"wrote {dst} ({len(results)} results)")
+
+
+if __name__ == "__main__":
+    main()

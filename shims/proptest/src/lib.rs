@@ -1,0 +1,649 @@
+//! Offline shim for `proptest`: a minimal property-testing harness
+//! covering the API surface this workspace uses.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - no shrinking — a failing case panics with the generated inputs via
+//!   the normal assertion message;
+//! - `prop_assume!` skips forward rather than resampling;
+//! - regex string strategies support the `[class]{m,n}` subset the
+//!   repository's tests use;
+//! - each test's generator is seeded from the test's module path, so
+//!   runs are deterministic.
+
+use std::marker::PhantomData;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from a test's fully-qualified name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy: empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "strategy: empty range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, broadly ranged values; tests needing edge cases build
+        // them explicitly.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(32 + (rng.next_u64() % 95) as u32).expect("printable ASCII")
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice between boxed alternatives — built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: 'static> OneOf<V> {
+    /// A single-arm choice; extend it with [`OneOf::or`].
+    pub fn new<S: Strategy<Value = V> + 'static>(strategy: S) -> Self {
+        OneOf {
+            arms: vec![Box::new(strategy)],
+        }
+    }
+
+    /// Adds an equally-weighted alternative.
+    pub fn or<S: Strategy<Value = V> + 'static>(mut self, strategy: S) -> Self {
+        self.arms.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let k = rng.below(self.arms.len() as u64) as usize;
+        self.arms[k].generate(rng)
+    }
+}
+
+/// String strategies from a regex subset: concatenations of literal
+/// characters and `[class]` atoms, each optionally quantified by `{m}`
+/// or `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().expect("pattern: unterminated [class]");
+            match c {
+                ']' => break,
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let hi = chars.next().expect("pattern: dangling range");
+                    let lo = prev.take().expect("range start");
+                    for v in (lo as u32 + 1)..=(hi as u32) {
+                        set.push(char::from_u32(v).expect("pattern: bad range"));
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().expect("pattern: dangling escape");
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+                _ => {
+                    set.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "pattern: empty [class]");
+        set
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            body.push(c);
+        }
+        match body.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("pattern: bad {m,n}"),
+                n.trim().parse().expect("pattern: bad {m,n}"),
+            ),
+            None => {
+                let m = body.trim().parse().expect("pattern: bad {m}");
+                (m, m)
+            }
+        }
+    }
+
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Literal(chars.next().expect("pattern: dangling escape")),
+                _ => Atom::Literal(c),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars);
+            let count = if hi > lo {
+                lo + rng.below((hi - lo + 1) as u64) as usize
+            } else {
+                lo
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(l) => out.push(*l),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection-size specifications accepted by [`collection`] strategies.
+pub trait SizeRange {
+    /// Draws a size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "size range empty");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        *self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+pub mod collection {
+    //! Vec and HashSet strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.sample_size(rng);
+            let mut out = HashSet::with_capacity(n);
+            // Bounded retries: duplicate draws don't grow the set.
+            for _ in 0..(16 * n + 64) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A `HashSet` of distinct values from `element`, sized by `size`
+    /// (best effort when the element domain is small).
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! Option strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    pub struct OfStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` of `element` about half the time, `None` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OfStrategy<S> {
+        OfStrategy(element)
+    }
+}
+
+pub mod sample {
+    //! Index sampling.
+
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index into a collection whose length is only known at
+    /// use time — `any::<Index>()` then `idx.index(len)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the abstract index against a collection of `len`
+        /// elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Mirror of the real crate's `prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` block needs in scope.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::OneOf::new($first)$(.or($rest))*
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("shim::ranges");
+        for _ in 0..1000 {
+            let v = (0usize..10, -5.0f64..5.0, 1u8..=3).generate(&mut rng);
+            assert!(v.0 < 10);
+            assert!((-5.0..5.0).contains(&v.1));
+            assert!((1..=3).contains(&v.2));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::for_test("shim::pattern");
+        for _ in 0..500 {
+            let s = "[a-z0-9/]{4,20}".generate(&mut rng);
+            assert!((4..=20).contains(&s.len()), "{s}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+        }
+        let lit = "ab[01]{2}z".generate(&mut rng);
+        assert_eq!(lit.len(), 5);
+        assert!(lit.starts_with("ab") && lit.ends_with('z'));
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_test("shim::collections");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..255, 3..7).generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            let exact = crate::collection::vec(-1.0f64..1.0, 6usize).generate(&mut rng);
+            assert_eq!(exact.len(), 6);
+            let s = crate::collection::hash_set((0u32..1000, 0u32..1000), 3..40).generate(&mut rng);
+            assert!(s.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_option() {
+        let mut rng = TestRng::for_test("shim::oneof");
+        let s = prop_oneof![Just(0usize), Just(10), Just(30)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen, [0usize, 10, 30].into_iter().collect());
+        let o = crate::option::of(0u8..10);
+        let somes = (0..1000).filter(|_| o.generate(&mut rng).is_some()).count();
+        assert!((300..700).contains(&somes));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, assume, and assertions all wire up.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0u64..100, 0u64..100),
+            v in crate::collection::vec(any::<u8>(), 0..8),
+        ) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based check that the threaded control-plane build is a pure
+//! optimization: for any topology, seed, and thread count, the network it
+//! produces is bit-identical to the serial build — same virtual positions,
+//! same Delaunay adjacency, same installed forwarding entries on every
+//! switch.
+
+use gred::{GredConfig, GredNetwork};
+use gred_dataplane::{DtTuple, NeighborEntry};
+use gred_geometry::Point2;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use proptest::prelude::*;
+
+type Fingerprint = (
+    Vec<(usize, Point2)>,
+    Vec<(usize, usize)>,
+    Vec<(Vec<NeighborEntry>, Vec<DtTuple>)>,
+);
+
+/// Every artifact the build pipeline produces, in a directly comparable
+/// form. Relay tables are BTreeMap-backed, so iteration order is already
+/// canonical.
+fn fingerprint(net: &GredNetwork) -> Fingerprint {
+    let positions = net
+        .members()
+        .iter()
+        .map(|&m| (m, net.position_of_switch(m).expect("member has a position")))
+        .collect();
+    let edges = net.dt().edges();
+    let tables = net
+        .dataplanes()
+        .iter()
+        .map(|dp| {
+            (
+                dp.neighbor_entries().copied().collect::<Vec<_>>(),
+                dp.relay_entries().copied().collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    (positions, edges, tables)
+}
+
+fn build(switches: usize, seed: u64, iters: usize, threads: usize) -> GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let config = GredConfig::with_iterations(iters)
+        .seeded(seed)
+        .threads(threads);
+    GredNetwork::build(topo, pool, config).expect("Waxman topologies are connected")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// threads=N must reproduce threads=1 exactly, across random network
+    /// shapes, RNG seeds, and regulation depths.
+    #[test]
+    fn threaded_build_matches_serial_build(
+        switches in 5usize..28,
+        seed in 0u64..1000,
+        iters in prop_oneof![Just(0usize), Just(5), Just(15)],
+        threads in 2usize..9,
+    ) {
+        let serial = fingerprint(&build(switches, seed, iters, 1));
+        let threaded = fingerprint(&build(switches, seed, iters, threads));
+        prop_assert_eq!(serial, threaded);
+    }
+}

@@ -18,7 +18,8 @@ fn lifecycle_place_retrieve_everywhere() {
     let items = 300;
     for i in 0..items {
         let id = DataId::new(format!("e2e/{i}"));
-        net.place(&id, format!("v{i}").into_bytes(), i % 25).unwrap();
+        net.place(&id, format!("v{i}").into_bytes(), i % 25)
+            .unwrap();
     }
     assert_eq!(net.store().total_items(), items as u64);
 
@@ -48,7 +49,10 @@ fn load_is_conserved_through_dynamics() {
 
     net.remove_switch(added).unwrap();
     let total_after_remove: u64 = net.server_loads().iter().map(|&(_, l)| l).sum();
-    assert_eq!(total_after_remove, 200, "no item lost or duplicated on leave");
+    assert_eq!(
+        total_after_remove, 200,
+        "no item lost or duplicated on leave"
+    );
 
     // Everything still retrievable.
     for i in 0..200 {
@@ -78,7 +82,9 @@ fn several_joins_and_leaves_in_sequence() {
     assert_eq!(net.store().total_items(), 100);
     let access = net.members()[0];
     for i in 0..100 {
-        let got = net.retrieve(&DataId::new(format!("seq/{i}")), access).unwrap();
+        let got = net
+            .retrieve(&DataId::new(format!("seq/{i}")), access)
+            .unwrap();
         assert_ne!(got.server.switch, victim);
         assert_ne!(got.server.switch, added[0]);
     }
@@ -101,7 +107,13 @@ fn heterogeneous_pool_with_transit_switches() {
     // 10 switches, only 6 with servers; the rest pure transit.
     let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(10, 5));
     let caps: Vec<Vec<u64>> = (0..10)
-        .map(|s| if s % 2 == 0 { vec![u64::MAX; 2] } else { vec![] })
+        .map(|s| {
+            if s % 2 == 0 {
+                vec![u64::MAX; 2]
+            } else {
+                vec![]
+            }
+        })
         .collect();
     let pool = ServerPool::from_capacities(caps);
     let mut net = GredNetwork::build(topo, pool, GredConfig::default()).unwrap();
@@ -111,7 +123,10 @@ fn heterogeneous_pool_with_transit_switches() {
         let id = DataId::new(format!("transit/{i}"));
         let access = net.members()[i % 5];
         let receipt = net.place(&id, Bytes::new(), access).unwrap();
-        assert!(receipt.server.switch.is_multiple_of(2), "data only on storage switches");
+        assert!(
+            receipt.server.switch.is_multiple_of(2),
+            "data only on storage switches"
+        );
         let got = net.retrieve(&id, net.members()[(i + 2) % 5]).unwrap();
         assert_eq!(got.server, receipt.server);
     }
@@ -190,14 +205,15 @@ fn concurrent_retrievals_from_many_threads() {
     let mut ids = Vec::new();
     for i in 0..120 {
         let id = DataId::new(format!("conc/{i}"));
-        net.place(&id, format!("v{i}").into_bytes(), i % 15).unwrap();
+        net.place(&id, format!("v{i}").into_bytes(), i % 15)
+            .unwrap();
         ids.push(id);
     }
     let net = &net;
     let ids = &ids;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..8 {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, id) in ids.iter().enumerate() {
                     let access = (i + t) % 15;
                     let got = net.retrieve(id, access).unwrap();
@@ -205,8 +221,7 @@ fn concurrent_retrievals_from_many_threads() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -229,12 +244,20 @@ fn invariants_hold_through_full_lifecycle() {
         net.place(&DataId::new(format!("inv/{i}")), Bytes::new(), i % 18)
             .unwrap();
     }
-    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after placements");
+    assert_eq!(
+        net.verify_invariants(),
+        Vec::<String>::new(),
+        "after placements"
+    );
 
     let victim = net.responsible_server(&DataId::new("inv/0"));
     net.extend_range(victim).unwrap();
     net.place(&DataId::new("inv/0"), Bytes::new(), 3).unwrap();
-    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "with extension");
+    assert_eq!(
+        net.verify_invariants(),
+        Vec::<String>::new(),
+        "with extension"
+    );
 
     let added = net.add_switch(&[0, 9], vec![u64::MAX; 3]).unwrap();
     assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after join");
@@ -243,7 +266,11 @@ fn invariants_hold_through_full_lifecycle() {
     assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after leave");
 
     net.retract_range(victim).unwrap();
-    assert_eq!(net.verify_invariants(), Vec::<String>::new(), "after retraction");
+    assert_eq!(
+        net.verify_invariants(),
+        Vec::<String>::new(),
+        "after retraction"
+    );
 }
 
 #[test]
@@ -253,7 +280,12 @@ fn invariant_checker_detects_planted_corruption() {
     // Store an item on a server that cannot be its owner.
     let owner = net.responsible_server(&id);
     let wrong = gred_net::ServerId {
-        switch: net.members().iter().copied().find(|&m| m != owner.switch).unwrap(),
+        switch: net
+            .members()
+            .iter()
+            .copied()
+            .find(|&m| m != owner.switch)
+            .unwrap(),
         index: 0,
     };
     net.store_debug_insert(wrong, id);
