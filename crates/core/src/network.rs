@@ -283,6 +283,16 @@ impl GredNetwork {
         self.extensions.get(&original).copied()
     }
 
+    /// Every active range extension as `(original, takeover)` pairs,
+    /// sorted by the original server — the controller's view, for
+    /// external checkers comparing it against the switch tables.
+    pub fn active_extensions(&self) -> Vec<(ServerId, ServerId)> {
+        let mut out: Vec<(ServerId, ServerId)> =
+            self.extensions.iter().map(|(&o, &t)| (o, t)).collect();
+        out.sort();
+        out
+    }
+
     pub(crate) fn record_extension(&mut self, original: ServerId, takeover: ServerId) {
         self.extensions.insert(original, takeover);
     }
@@ -472,6 +482,18 @@ impl GredNetwork {
     #[doc(hidden)]
     pub fn store_debug_insert(&mut self, server: ServerId, id: DataId) {
         self.store.insert(server, id, bytes::Bytes::new());
+    }
+
+    /// Test support: mutable access to one switch's data plane, so
+    /// fault-injection harnesses can corrupt installed entries and verify
+    /// the damage is detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is out of range.
+    #[doc(hidden)]
+    pub fn dataplane_debug_mut(&mut self, switch: usize) -> &mut SwitchDataplane {
+        &mut self.dataplanes[switch]
     }
 
     /// Verifies the deployment's internal invariants, returning every

@@ -232,6 +232,50 @@ mod tests {
     }
 
     #[test]
+    fn no_candidate_when_all_neighbor_servers_full() {
+        // Triangle topology; switch 0 has one roomy server, switches 1 and
+        // 2 carry only capacity-0 servers, so an extension of switch 0's
+        // server finds every candidate already at capacity.
+        let topo = Topology::from_links(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let pool = ServerPool::from_capacities(vec![vec![10], vec![0], vec![0]]);
+        let mut n = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig {
+                auto_extend: false,
+                ..GredConfig::with_iterations(5)
+            },
+        )
+        .unwrap();
+        let server = ServerId {
+            switch: 0,
+            index: 0,
+        };
+        assert_eq!(
+            n.extend_range(server).unwrap_err(),
+            GredError::NoExtensionCandidate { server }
+        );
+    }
+
+    #[test]
+    fn extend_again_after_retraction() {
+        let mut n = net();
+        let server = ServerId {
+            switch: 0,
+            index: 0,
+        };
+        let first = n.extend_range(server).unwrap();
+        n.retract_range(server).unwrap();
+        // The slate is clean: a fresh extension succeeds (same candidate
+        // set, so the same takeover wins again) and is tracked.
+        let second = n.extend_range(server).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(n.extension_of(server), Some(second));
+        n.retract_range(server).unwrap();
+        assert_eq!(n.extension_of(server), None);
+    }
+
+    #[test]
     fn retract_without_extension_errors() {
         let mut n = net();
         let s = ServerId {

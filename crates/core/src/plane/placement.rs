@@ -61,6 +61,12 @@ impl GredNetwork {
             }
         }
 
+        // A redirected write supersedes any copy the primary stored before
+        // its range was extended; drop it so a duplicated retrieval (which
+        // asks the primary first) cannot answer with the stale payload.
+        if target != primary {
+            self.store_mut().remove(primary, id);
+        }
         self.store_mut().insert(target, id.clone(), payload.into());
         Ok(PlacementReceipt {
             server: target,
@@ -149,6 +155,24 @@ mod tests {
             }
         }
         assert!(saw_full, "without auto_extend a full server must reject");
+    }
+
+    #[test]
+    fn replace_under_extension_removes_stale_primary_copy() {
+        let mut net = small_net(1000, false);
+        let id = DataId::new("rewritten");
+        let first = net.place(&id, b"old".as_ref(), 0).unwrap();
+        assert_eq!(first.server, first.primary);
+
+        // Extend the owner's range, then overwrite the item: the write is
+        // redirected to the takeover and the old primary copy must go,
+        // otherwise the duplicated retrieval would answer with "old".
+        let takeover = net.extend_range(first.primary).unwrap();
+        let second = net.place(&id, b"new".as_ref(), 0).unwrap();
+        assert_eq!(second.server, takeover);
+        assert!(net.store().get(first.primary, &id).is_none());
+        assert_eq!(net.retrieve(&id, 0).unwrap().payload.as_ref(), b"new");
+        assert_eq!(net.store().total_items(), 1);
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl GredNetwork {
     ///
     /// # Errors
     ///
-    /// Propagates the first placement failure; earlier copies stay stored.
+    /// Propagates the first placement failure. Copies placed before the
+    /// failure are rolled back, so on `Err` the store holds no replica of
+    /// `id` from this call (range extensions created by `auto_extend`
+    /// along the way are control-plane state and stay in place).
     ///
     /// # Panics
     ///
@@ -35,12 +38,20 @@ impl GredNetwork {
     ) -> Result<Vec<PlacementReceipt>, GredError> {
         assert!(copies > 0, "at least one copy is required");
         let payload: Bytes = payload.into();
-        let mut receipts = Vec::with_capacity(copies as usize);
+        let mut receipts: Vec<(DataId, PlacementReceipt)> = Vec::with_capacity(copies as usize);
         for serial in 0..copies {
             let replica_id = id.replica(serial);
-            receipts.push(self.place(&replica_id, payload.clone(), access_switch)?);
+            match self.place(&replica_id, payload.clone(), access_switch) {
+                Ok(r) => receipts.push((replica_id, r)),
+                Err(e) => {
+                    for (rid, r) in receipts {
+                        self.store_mut().remove(r.server, &rid);
+                    }
+                    return Err(e);
+                }
+            }
         }
-        Ok(receipts)
+        Ok(receipts.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Retrieves the copy of `id` nearest (in the virtual space) to the
@@ -161,6 +172,43 @@ mod tests {
             let got = n.retrieve_nearest(&id, 2, access).unwrap();
             assert_eq!(got.payload.as_ref(), b"v");
         }
+    }
+
+    #[test]
+    fn failed_replication_rolls_back_earlier_copies() {
+        use gred_net::Topology;
+
+        // Tiny network, one capacity-1 server per switch, no auto-extend:
+        // a second replica landing on a full server must fail cleanly.
+        let topo = Topology::from_links(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let pool = ServerPool::uniform(4, 2, 1);
+        let config = GredConfig {
+            auto_extend: false,
+            ..GredConfig::with_iterations(5)
+        };
+        let mut n = GredNetwork::build(topo, pool, config).unwrap();
+
+        // Find an id whose two replicas land on different owners, then
+        // fill replica 1's owner so the second placement fails.
+        let mut chosen = None;
+        for i in 0..64 {
+            let id = DataId::new(format!("atomic{i}"));
+            let o0 = n.responsible_server(&id.replica(0));
+            let o1 = n.responsible_server(&id.replica(1));
+            if o0 != o1 {
+                chosen = Some((id, o0, o1));
+                break;
+            }
+        }
+        let (id, o0, o1) = chosen.expect("some id spreads replicas over two owners");
+        n.store_debug_insert(o1, DataId::new("blocker"));
+
+        let before = n.store().total_items();
+        let err = n.place_replicated(&id, b"v".as_ref(), 2, 0).unwrap_err();
+        assert_eq!(err, GredError::CapacityExceeded { server: o1 });
+        // Copy 0 was stored mid-call and must have been rolled back.
+        assert!(n.store().get(o0, &id.replica(0)).is_none());
+        assert_eq!(n.store().total_items(), before);
     }
 
     #[test]

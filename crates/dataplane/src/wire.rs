@@ -55,6 +55,12 @@ pub enum ParseError {
     UnknownFlags(u8),
     /// A position coordinate is not finite.
     BadPosition,
+    /// Bytes remain after a packet whose kind carries no payload
+    /// (retrieval requests): the buffer is corrupt or concatenated.
+    TrailingGarbage {
+        /// Number of unexpected trailing bytes.
+        extra: usize,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -68,6 +74,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadKind(k) => write!(f, "unknown packet kind {k}"),
             ParseError::UnknownFlags(b) => write!(f, "unknown flag bits {b:#010b}"),
             ParseError::BadPosition => write!(f, "non-finite virtual position"),
+            ParseError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes after a payload-less packet")
+            }
         }
     }
 }
@@ -192,6 +201,14 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
     let id = DataId::from_bytes(bytes[offset..offset + id_len].to_vec());
     let payload = Bytes::copy_from_slice(&bytes[offset + id_len..]);
 
+    // Retrieval requests carry no payload, so anything past the id is not
+    // part of the packet — reject it instead of silently absorbing it.
+    if kind == PacketKind::Retrieval && !payload.is_empty() {
+        return Err(ParseError::TrailingGarbage {
+            extra: payload.len(),
+        });
+    }
+
     Ok(Packet {
         kind,
         id,
@@ -291,11 +308,40 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_on_retrieval_rejected() {
+        let mut b = encode(&Packet::retrieval(DataId::new("key")));
+        b.extend_from_slice(b"junk");
+        assert_eq!(parse(&b), Err(ParseError::TrailingGarbage { extra: 4 }));
+        // The relayed form hits the same check past the relay header.
+        let mut b = encode(&Packet::retrieval(DataId::new("key")).with_relay(1, 2, 3));
+        b.push(0xFF);
+        assert_eq!(parse(&b), Err(ParseError::TrailingGarbage { extra: 1 }));
+    }
+
+    #[test]
+    fn appended_bytes_join_payload_for_payload_kinds() {
+        // Placement/response payloads are length-delimited by the buffer
+        // itself, so appended bytes extend the payload rather than erroring.
+        for p in [
+            Packet::placement(DataId::new("a"), b"x".as_ref()),
+            Packet::response(DataId::new("c"), b"yz".as_ref()),
+        ] {
+            let mut b = encode(&p);
+            b.push(b'!');
+            let parsed = parse(&b).unwrap();
+            assert_eq!(parsed.payload.len(), p.payload.len() + 1);
+        }
+    }
+
+    #[test]
     fn error_display() {
         assert!(ParseError::BadMagic.to_string().contains("magic"));
         assert!(ParseError::Truncated { needed: 5, have: 2 }
             .to_string()
             .contains('5'));
+        assert!(ParseError::TrailingGarbage { extra: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     proptest! {
@@ -324,6 +370,26 @@ mod tests {
         #[test]
         fn prop_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
             let _ = parse(&bytes);
+        }
+
+        /// Garbage appended to a retrieval request is always rejected as
+        /// `TrailingGarbage`, never absorbed and never a panic.
+        #[test]
+        fn prop_retrieval_trailing_garbage_rejected(
+            id in proptest::collection::vec(any::<u8>(), 0..32),
+            garbage in proptest::collection::vec(any::<u8>(), 1..64),
+            relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
+        ) {
+            let mut p = Packet::retrieval(DataId::from_bytes(id));
+            if let Some((s, r, d)) = relay {
+                p = p.with_relay(s, r, d);
+            }
+            let mut b = encode(&p);
+            b.extend_from_slice(&garbage);
+            prop_assert_eq!(
+                parse(&b),
+                Err(ParseError::TrailingGarbage { extra: garbage.len() })
+            );
         }
     }
 }

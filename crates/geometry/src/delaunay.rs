@@ -702,6 +702,45 @@ impl Triangulation {
     }
 }
 
+/// Checks the empty-circumcircle property of an arbitrary triangle list
+/// over `points`, independent of any [`Triangulation`] instance — external
+/// checkers (e.g. the model-based harness) can validate a triangulation
+/// reported by another component without trusting its bookkeeping.
+///
+/// Coordinates are snapped to the same 2⁻³⁰ lattice the triangulation uses
+/// and every test runs in exact integer arithmetic. Triangles may be given
+/// in either winding; zero-area (degenerate) triangles count as violations.
+///
+/// Returns the first violation as `(triangle_index, offending_point_index)`
+/// — for a degenerate triangle the offending point is one of its own
+/// vertices — or `None` when every circumcircle is empty.
+pub fn empty_circumcircle_violation(
+    points: &[Point2],
+    triangles: &[[usize; 3]],
+) -> Option<(usize, usize)> {
+    let ipts: Vec<IPoint> = points.iter().map(|&p| quantize(p)).collect();
+    for (ti, t) in triangles.iter().enumerate() {
+        let mut t = *t;
+        let orient = iorient(ipts[t[0]], ipts[t[1]], ipts[t[2]]);
+        if orient == 0 {
+            return Some((ti, t[2]));
+        }
+        if orient < 0 {
+            t.swap(1, 2);
+        }
+        let (a, b, c) = (ipts[t[0]], ipts[t[1]], ipts[t[2]]);
+        for (pi, &p) in ipts.iter().enumerate() {
+            if t.contains(&pi) {
+                continue;
+            }
+            if i_incircle(a, b, c, p) > 0 {
+                return Some((ti, pi));
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1081,6 +1120,94 @@ mod proptests {
                 dt.points()[nearest].distance_squared(target)
             );
         }
+
+        /// The standalone circumcircle checker agrees with the
+        /// triangulation's own validity check on every generated set.
+        #[test]
+        fn prop_external_checker_agrees(
+            pts in proptest::collection::hash_set((0u32..1000, 0u32..1000), 3..50)
+        ) {
+            let pts: Vec<Point2> = pts
+                .into_iter()
+                .map(|(x, y)| Point2::new(f64::from(x) / 1000.0, f64::from(y) / 1000.0))
+                .collect();
+            let dt = Triangulation::new(&pts).unwrap();
+            prop_assert_eq!(
+                empty_circumcircle_violation(dt.points(), dt.triangles()).is_none(),
+                dt.delaunay_violation().is_none()
+            );
+        }
+
+        /// Collinear sets degrade to the sorted path: no triangles, every
+        /// interior point has degree 2, the ends degree 1.
+        #[test]
+        fn prop_collinear_sets_form_path(
+            xs in proptest::collection::hash_set(0u32..1000, 2..30),
+            slope in 0u32..5, intercept in 0u32..100,
+        ) {
+            // Power-of-two denominators quantize exactly onto the 2⁻³⁰
+            // lattice, so collinearity survives coordinate snapping.
+            let pts: Vec<Point2> = xs
+                .into_iter()
+                .map(|x| {
+                    let fx = f64::from(x) / 1024.0;
+                    Point2::new(fx, fx * f64::from(slope) + f64::from(intercept) / 1024.0)
+                })
+                .collect();
+            let dt = Triangulation::new(&pts).unwrap();
+            prop_assert!(dt.is_collinear());
+            prop_assert!(dt.triangles().is_empty());
+            let mut by_degree = [0usize; 3];
+            for i in 0..pts.len() {
+                prop_assert!(dt.degree(i) <= 2);
+                by_degree[dt.degree(i)] += 1;
+            }
+            // A path: exactly two endpoints, everything else interior.
+            prop_assert_eq!(by_degree[1], 2);
+            prop_assert_eq!(by_degree[2], pts.len() - 2);
+        }
+
+        /// Duplicated points are rejected with `DuplicatePoint`, never a
+        /// panic, regardless of where the duplicate sits.
+        #[test]
+        fn prop_duplicates_rejected(
+            pts in proptest::collection::hash_set((0u32..1000, 0u32..1000), 3..20),
+            dup_pick in any::<prop::sample::Index>(),
+        ) {
+            let mut pts: Vec<Point2> = pts
+                .into_iter()
+                .map(|(x, y)| Point2::new(f64::from(x) / 1000.0, f64::from(y) / 1000.0))
+                .collect();
+            let dup = pts[dup_pick.index(pts.len())];
+            pts.push(dup);
+            prop_assert!(matches!(
+                Triangulation::new(&pts),
+                Err(DelaunayError::DuplicatePoint { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn checker_flags_planted_violations() {
+        // A non-Delaunay diagonal of a convex quad: point 3 sits inside the
+        // circumcircle of (0, 1, 2).
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, -0.1),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 2.0),
+        ];
+        let bad = vec![[0, 1, 2], [0, 2, 3]];
+        assert!(empty_circumcircle_violation(&pts, &bad).is_some());
+        // The flip of that diagonal is the true DT; winding order must not
+        // matter to the checker.
+        let good = vec![[0, 1, 3], [3, 1, 2]];
+        let good_cw = vec![[0, 3, 1], [3, 2, 1]];
+        assert_eq!(empty_circumcircle_violation(&pts, &good), None);
+        assert_eq!(empty_circumcircle_violation(&pts, &good_cw), None);
+        // Zero-area triangles are violations, not panics.
+        let degen = vec![[0, 1, 1]];
+        assert_eq!(empty_circumcircle_violation(&pts, &degen), Some((0, 1)));
     }
 }
 

@@ -29,7 +29,7 @@ pub use cvt::{
     c_regulation, c_regulation_with, cvt_energy_exact, cvt_energy_sampled, lloyd_step,
     CRegulationConfig,
 };
-pub use delaunay::{DelaunayError, Triangulation};
+pub use delaunay::{empty_circumcircle_violation, DelaunayError, Triangulation};
 pub use hull::convex_hull;
 pub use point::Point2;
 pub use polygon::Polygon;

@@ -192,5 +192,72 @@ mod tests {
             prop_assume!(o.is_finite());
             prop_assert!(incircle(a, b, c, o) > 0.0);
         }
+
+        /// orient2d flips sign under a transposition and is invariant under
+        /// cyclic rotation of its arguments.
+        #[test]
+        fn prop_orient2d_permutation_consistency(
+            ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+            bx in -5.0f64..5.0, by in -5.0f64..5.0,
+            cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(cx, cy);
+            let base = orient2d(a, b, c);
+            let tol = 1e-9 * base.abs().max(1.0);
+            // Cyclic rotations preserve the signed area.
+            prop_assert!((orient2d(b, c, a) - base).abs() <= tol);
+            prop_assert!((orient2d(c, a, b) - base).abs() <= tol);
+            // Transpositions negate it.
+            prop_assert!((orient2d(a, c, b) + base).abs() <= tol);
+            prop_assert!((orient2d(b, a, c) + base).abs() <= tol);
+        }
+
+        /// incircle is invariant under cyclic permutation of the triangle.
+        #[test]
+        fn prop_incircle_cyclic_invariance(
+            ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+            bx in -5.0f64..5.0, by in -5.0f64..5.0,
+            cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+            dx in -5.0f64..5.0, dy in -5.0f64..5.0,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(cx, cy);
+            let d = Point2::new(dx, dy);
+            let base = incircle(a, b, c, d);
+            let tol = 1e-7 * base.abs().max(1.0);
+            prop_assert!((incircle(b, c, a, d) - base).abs() <= tol);
+            prop_assert!((incircle(c, a, b, d) - base).abs() <= tol);
+        }
+
+        /// collinear gives the same verdict for every ordering of a triple.
+        #[test]
+        fn prop_collinear_permutation_invariant(
+            ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+            bx in -5.0f64..5.0, by in -5.0f64..5.0,
+            cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+            exactly in any::<bool>(),
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            // Half the cases force an exactly collinear triple, so both
+            // verdicts are exercised.
+            let c = if exactly {
+                Point2::new(ax + 2.0 * (bx - ax), ay + 2.0 * (by - ay))
+            } else {
+                Point2::new(cx, cy)
+            };
+            // Near the tolerance threshold different orderings may scale
+            // differently; stay clear of the boundary.
+            let det = orient2d(a, b, c).abs();
+            let scale = (b - a).norm_squared().max((c - a).norm_squared()).max(1.0);
+            prop_assume!(det <= 0.1 * EPS * scale || det >= 10.0 * EPS * scale);
+            let verdict = collinear(a, b, c);
+            for (x, y, z) in [(a, c, b), (b, a, c), (b, c, a), (c, a, b), (c, b, a)] {
+                prop_assert_eq!(collinear(x, y, z), verdict);
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro <experiment> [--paper] [--csv <dir>] [--threads <n>]
+//! repro soak [--seed <n>] [--ops <n>] [--switches <n>]
 //!
 //! experiments: fig7a fig7b fig8 fig9a fig9b fig9c fig9d
 //!              fig11a fig11b fig11c tables churn churn-owners
@@ -14,6 +15,12 @@
 //! --csv <dir>   also write each experiment's rows to <dir>/<name>.csv
 //! --threads <n> worker threads for build-report (default: the machine's
 //!               available parallelism, capped at 8)
+//!
+//! `soak` drives the gred-testkit model-based harness through one long
+//! seeded schedule (default seed 2019, 2000 ops, 12 switches), checking
+//! every invariant after every operation. On failure it prints the
+//! failing step, the violations, a one-line reproduction command, and a
+//! greedily shrunk (drop-one minimal) schedule, then exits nonzero.
 //! ```
 
 use gred_net::LatencyModel;
@@ -520,6 +527,43 @@ fn build_report_rows(switches: usize, threads: usize) -> Vec<Vec<String>> {
     rows
 }
 
+/// One long model-based run under `gred_testkit`; on failure, prints the
+/// violations, the one-line repro command, and a drop-one-minimal
+/// schedule, then exits 1.
+fn run_soak(seed: u64, ops: usize, switches: usize) {
+    use gred_testkit::{generate, Harness, HarnessConfig};
+
+    let harness = Harness::new(HarnessConfig {
+        switches,
+        max_switches: switches + 6,
+        ..HarnessConfig::default()
+    });
+    println!("soak: seed {seed}, {ops} ops, {switches} initial switches");
+    let outcome = harness.run_seeded(seed, ops, None);
+    let s = outcome.stats;
+    println!(
+        "placed {} retrieved {} extended {} retracted {} joined {} left {} crashed {} skipped {}",
+        s.placed, s.retrieved, s.extended, s.retracted, s.joined, s.left, s.crashed, s.skipped
+    );
+    match outcome.failure {
+        None => println!("soak passed: all invariants held after every op"),
+        Some(ref failure) => {
+            println!("soak FAILED at step {} ({:?}):", failure.step, failure.op);
+            for violation in &failure.violations {
+                println!("  - {violation}");
+            }
+            println!("reproduce with: {}", outcome.repro_line());
+            let schedule = generate(seed, ops);
+            let shrunk = harness.shrink(seed, &schedule[..=failure.step], None);
+            println!("minimal failing schedule ({} ops):", shrunk.len());
+            for op in &shrunk {
+                println!("  {op:?}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
@@ -546,12 +590,31 @@ fn main() {
         .enumerate()
         .filter(|&(i, a)| {
             let is_flag = a.starts_with("--");
-            let is_flag_value = i > 0 && (args[i - 1] == "--csv" || args[i - 1] == "--threads");
+            let is_flag_value = i > 0
+                && (args[i - 1] == "--csv"
+                    || args[i - 1] == "--threads"
+                    || args[i - 1] == "--seed"
+                    || args[i - 1] == "--ops"
+                    || args[i - 1] == "--switches");
             !is_flag && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
+
+    if experiment == "soak" {
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let seed = flag("--seed").unwrap_or(SEED);
+        let ops = flag("--ops").unwrap_or(2000) as usize;
+        let switches = (flag("--switches").unwrap_or(12) as usize).max(4);
+        run_soak(seed, ops, switches);
+        return;
+    }
 
     let all = [
         "fig7a",

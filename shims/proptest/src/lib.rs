@@ -482,6 +482,40 @@ pub mod sample {
     }
 }
 
+pub mod shrink {
+    //! Greedy counterexample minimization.
+    //!
+    //! The real crate shrinks through strategy-specific simplification
+    //! trees; this shim exposes the one primitive the workspace's
+    //! model-based harness needs — drop-one-element minimization of a
+    //! failing sequence.
+
+    /// Greedily minimizes `seq` while `still_fails` holds: repeatedly try
+    /// removing one element and keep the removal whenever the shorter
+    /// sequence still fails. The result is 1-minimal — removing any single
+    /// remaining element makes the failure disappear.
+    ///
+    /// `still_fails` must be deterministic; it is called O(n²) times in
+    /// the worst case.
+    pub fn minimize_sequence<T: Clone>(
+        seq: &[T],
+        mut still_fails: impl FnMut(&[T]) -> bool,
+    ) -> Vec<T> {
+        let mut cur = seq.to_vec();
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = cur.clone();
+            candidate.remove(i);
+            if still_fails(&candidate) {
+                cur = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        cur
+    }
+}
+
 /// Mirror of the real crate's `prop` facade module.
 pub mod prop {
     pub use crate::collection;
@@ -629,6 +663,20 @@ mod tests {
         let o = crate::option::of(0u8..10);
         let somes = (0..1000).filter(|_| o.generate(&mut rng).is_some()).count();
         assert!((300..700).contains(&somes));
+    }
+
+    #[test]
+    fn minimize_sequence_drops_irrelevant_elements() {
+        let seq: Vec<u32> = (0..20).collect();
+        // The "bug" needs both 3 and 7 present to reproduce.
+        let shrunk = crate::shrink::minimize_sequence(&seq, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(shrunk, vec![3, 7]);
+        // A predicate nothing satisfies shrinks to empty.
+        let gone = crate::shrink::minimize_sequence(&seq, |_| true);
+        assert!(gone.is_empty());
+        // A predicate needing everything keeps everything.
+        let all = crate::shrink::minimize_sequence(&seq, |s| s.len() == 20);
+        assert_eq!(all, seq);
     }
 
     proptest! {
