@@ -1,0 +1,98 @@
+//! Cluster request throughput: retrieval req/s over loopback TCP against
+//! a pre-booted 16-node cluster, by concurrent client-thread count.
+//!
+//! Each iteration fires a fixed batch of retrievals split evenly across
+//! K client threads (each with its own persistent connection to a
+//! different member node), so `throughput_elements / mean_seconds` is
+//! the end-to-end request rate including framing, socket hops, and the
+//! full greedy multi-hop forwarding path between nodes.
+//!
+//! Convert the results into `BENCH_cluster_throughput.json` with
+//! `scripts/bench_to_json.py --group cluster_throughput` after a run.
+//! Interpret the client-thread scaling honestly: on a single-CPU runner
+//! the node workers and the client threads all share one core, so added
+//! client concurrency mostly measures pipelining across blocking socket
+//! waits, not parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gred::{GredConfig, GredNetwork};
+use gred_cluster::{Client, Cluster, ClusterConfig};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+const SWITCHES: usize = 16;
+const SEED: u64 = 2019;
+/// Ids pre-placed before timing starts.
+const IDS: usize = 120;
+/// Retrievals per timed iteration (divisible by every thread count).
+const REQS: usize = 120;
+
+fn boot() -> (GredNetwork, Cluster) {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(SWITCHES, SEED));
+    let pool = ServerPool::uniform(SWITCHES, 2, u64::MAX);
+    let cfg = GredConfig {
+        auto_extend: false,
+        ..GredConfig::with_iterations(8).seeded(SEED)
+    };
+    let net = GredNetwork::build(topo, pool, cfg).expect("seeded network builds");
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    (net, cluster)
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let (net, cluster) = boot();
+    let members = net.members().to_vec();
+
+    // Seed the stores once; the timed section is retrieval-only.
+    let mut seeder = cluster.client(members[0]).expect("seeder connects");
+    for i in 0..IDS {
+        let id = DataId::new(format!("bench/{i}"));
+        seeder
+            .place(&id, format!("payload/{i}").into_bytes())
+            .expect("seed placement succeeds");
+    }
+    drop(seeder);
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQS as u64));
+    for clients in [1usize, 2, 4] {
+        // Persistent connections, one per thread, spread over the
+        // member switches so access points differ.
+        let mut conns: Vec<Client> = (0..clients)
+            .map(|k| {
+                cluster
+                    .client(members[k % members.len()])
+                    .expect("bench client connects")
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{SWITCHES}sw_{clients}c")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let per_thread = REQS / clients;
+                    std::thread::scope(|scope| {
+                        for (k, conn) in conns.iter_mut().enumerate() {
+                            scope.spawn(move || {
+                                for j in 0..per_thread {
+                                    let id = DataId::new(format!(
+                                        "bench/{}",
+                                        (k * per_thread + j) % IDS
+                                    ));
+                                    let reply = conn.retrieve(&id).expect("retrieval succeeds");
+                                    assert!(reply.is_hit(), "bench id must be stored");
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_cluster_throughput);
+criterion_main!(benches);

@@ -1,0 +1,364 @@
+//! Client side of the cluster protocol.
+//!
+//! A [`Client`] talks to one node (any node — GRED routes from wherever
+//! the request enters) over a persistent framed TCP connection. Requests
+//! are synchronous: write one frame, read one frame. Failures are typed
+//! ([`ClientError`]) and transient ones (connect/read errors, timeouts,
+//! framing damage) are retried a bounded number of times with doubling
+//! backoff, reconnecting each time so a late response from a previous
+//! attempt can never be mistaken for the current one.
+
+use crate::frame::{encode_frame, FrameDecoder, FrameError};
+use crate::proto;
+use bytes::Bytes;
+use gred_dataplane::{wire, Packet, PacketKind, ResponseStatus};
+use gred_hash::DataId;
+use gred_net::ServerId;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Timeouts and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// End-to-end deadline for one request attempt.
+    pub request_timeout: Duration,
+    /// Stream read timeout — the polling granularity inside an attempt.
+    pub read_timeout: Duration,
+    /// Retries after the first failed attempt.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_millis(20),
+            retries: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// A socket operation failed.
+    Io {
+        /// What the client was doing.
+        context: &'static str,
+        /// The OS error class.
+        kind: io::ErrorKind,
+    },
+    /// No response arrived within the request timeout.
+    Timeout {
+        /// The deadline that expired.
+        after: Duration,
+    },
+    /// The response stream violated the framing protocol.
+    Frame(FrameError),
+    /// The response frame was not a parseable GRED packet.
+    Protocol(wire::ParseError),
+    /// The node answered with a packet kind that is not a response.
+    UnexpectedKind(PacketKind),
+    /// The node answered with [`ResponseStatus::Error`]: the request
+    /// could not be served (misrouted, transit access, broken relay
+    /// chain, or an unreachable peer).
+    ServerError {
+        /// The id the failed request concerned.
+        id: DataId,
+    },
+    /// Every attempt failed; `last` is the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io { context, kind } => write!(f, "i/o failure while {context}: {kind}"),
+            ClientError::Timeout { after } => {
+                write!(f, "no response within {:?}", after)
+            }
+            ClientError::Frame(e) => write!(f, "framing violation in response: {e}"),
+            ClientError::Protocol(e) => write!(f, "malformed response packet: {e}"),
+            ClientError::UnexpectedKind(kind) => {
+                write!(f, "node answered with a {kind} packet")
+            }
+            ClientError::ServerError { id } => {
+                write!(f, "node could not serve the request for {id}")
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether a fresh connection and another attempt could help.
+    fn transient(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io { .. } | ClientError::Timeout { .. } | ClientError::Frame(_)
+        )
+    }
+}
+
+/// A successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Hit, miss, or (never here — surfaced as an error) failure.
+    pub status: ResponseStatus,
+    /// Response payload: the stored bytes for a retrieval hit, the
+    /// storing server's identity for a placement ack, empty for a miss.
+    pub payload: Bytes,
+    /// Physical hops the request traveled to the switch that answered —
+    /// the routing cost GRED's evaluation measures, reported in-band.
+    pub hops: u16,
+}
+
+impl Reply {
+    /// For placement acks: the server that physically stored the item.
+    pub fn ack_server(&self) -> Option<ServerId> {
+        proto::parse_ack(&self.payload)
+    }
+
+    /// Whether the reply is a retrieval hit (or a placement ack).
+    pub fn is_hit(&self) -> bool {
+        self.status == ResponseStatus::Ok
+    }
+}
+
+/// A connection to one cluster node.
+///
+/// Holds at most one in-flight request; reconnects lazily after errors.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl Client {
+    /// Connects to the node at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the node is unreachable.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Result<Client, ClientError> {
+        let mut client = Client {
+            addr,
+            cfg,
+            conn: None,
+        };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// The node address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Places `payload` under `id`, entering the network at this
+    /// client's node.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; on success the reply's
+    /// [`ack_server`](Reply::ack_server) names the storing server.
+    pub fn place(&mut self, id: &DataId, payload: impl Into<Bytes>) -> Result<Reply, ClientError> {
+        let packet = Packet::placement(id.clone(), payload.into());
+        self.request(&packet)
+    }
+
+    /// Retrieves the item stored under `id`. A miss is a *successful*
+    /// reply with [`ResponseStatus::NotFound`], not an error — the
+    /// network answered; the answer is "nothing there".
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn retrieve(&mut self, id: &DataId) -> Result<Reply, ClientError> {
+        self.request(&Packet::retrieval(id.clone()))
+    }
+
+    /// Sends an arbitrary request packet and returns the typed reply,
+    /// applying the configured retry policy to transient failures.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] wrapping the last transient
+    /// failure, or the first definitive error.
+    pub fn request(&mut self, packet: &Packet) -> Result<Reply, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let err = match self.attempt(packet) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            // A failed attempt poisons the connection: drop it so a late
+            // response cannot desynchronize the next attempt.
+            self.conn = None;
+            if !err.transient() || attempts > self.cfg.retries {
+                return Err(if attempts > 1 {
+                    ClientError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(err),
+                    }
+                } else {
+                    err
+                });
+            }
+            std::thread::sleep(self.cfg.backoff * 2u32.saturating_pow(attempts - 1));
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Conn, ClientError> {
+        if self.conn.is_none() {
+            let stream =
+                TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout).map_err(|e| {
+                    ClientError::Io {
+                        context: "connecting to the node",
+                        kind: e.kind(),
+                    }
+                })?;
+            stream
+                .set_nodelay(true)
+                .and_then(|_| stream.set_read_timeout(Some(self.cfg.read_timeout)))
+                .map_err(|e| ClientError::Io {
+                    context: "configuring the connection",
+                    kind: e.kind(),
+                })?;
+            self.conn = Some(Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+            });
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    /// One request attempt: write the frame, read one response frame.
+    fn attempt(&mut self, packet: &Packet) -> Result<Reply, ClientError> {
+        let request_timeout = self.cfg.request_timeout;
+        let conn = self.ensure_conn()?;
+        conn.stream
+            .write_all(&encode_frame(&wire::encode(packet)))
+            .map_err(|e| ClientError::Io {
+                context: "sending the request",
+                kind: e.kind(),
+            })?;
+        let deadline = Instant::now() + request_timeout;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(body) = conn.decoder.next_frame().map_err(ClientError::Frame)? {
+                let response = wire::parse(&body).map_err(ClientError::Protocol)?;
+                if response.kind != PacketKind::RetrievalResponse {
+                    return Err(ClientError::UnexpectedKind(response.kind));
+                }
+                if response.status == ResponseStatus::Error {
+                    return Err(ClientError::ServerError { id: response.id });
+                }
+                return Ok(Reply {
+                    status: response.status,
+                    payload: response.payload,
+                    hops: response.hops,
+                });
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout {
+                    after: request_timeout,
+                });
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io {
+                        context: "reading the response",
+                        kind: io::ErrorKind::UnexpectedEof,
+                    })
+                }
+                Ok(n) => conn.decoder.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => {
+                    return Err(ClientError::Io {
+                        context: "reading the response",
+                        kind: e.kind(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_nothing_is_a_typed_io_error() {
+        // A port from the ephemeral range with nothing bound: either
+        // refused immediately or timed out, both surfaced as Io.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let err = Client::connect(
+            addr,
+            ClientConfig {
+                connect_timeout: Duration::from_millis(200),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Io { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ClientError::Timeout {
+            after: Duration::from_secs(1)
+        }
+        .transient());
+        assert!(ClientError::Io {
+            context: "x",
+            kind: io::ErrorKind::ConnectionReset
+        }
+        .transient());
+        assert!(!ClientError::ServerError {
+            id: DataId::new("k")
+        }
+        .transient());
+        assert!(!ClientError::UnexpectedKind(PacketKind::Placement).transient());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ClientError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ClientError::Timeout {
+                after: Duration::from_secs(5),
+            }),
+        };
+        let text = e.to_string();
+        assert!(text.contains("3 attempts"), "got {text}");
+        assert!(text.contains("no response"), "got {text}");
+    }
+}

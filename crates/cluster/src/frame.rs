@@ -1,0 +1,347 @@
+//! Length-prefixed framing for GRED wire packets on a byte stream.
+//!
+//! TCP delivers a byte stream, not packets, so every wire-encoded GRED
+//! packet travels inside a frame:
+//!
+//! ```text
+//!  +-------------------+----------------------------+
+//!  | length (u32 be)   | body (wire::encode bytes)  |
+//!  +-------------------+----------------------------+
+//! ```
+//!
+//! [`FrameDecoder`] reassembles frames incrementally: it accepts input in
+//! arbitrary chunks (short reads, split frames, several frames glued
+//! together) and yields each complete body exactly once. A length prefix
+//! larger than [`MAX_FRAME_LEN`] is a protocol violation reported as a
+//! typed [`FrameError`] — never a panic, and never an attempt to buffer
+//! gigabytes because of four corrupt bytes.
+
+/// Upper bound on a frame body. GRED identifiers and payloads are small;
+/// anything past this is a corrupt or hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of the length prefix.
+const PREFIX: usize = 4;
+
+/// Framing-layer protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The advertised body length.
+        len: usize,
+        /// The maximum this decoder accepts.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps a wire-encoded packet into a length-prefixed frame.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`] — callers frame packets they
+/// encoded themselves, which are orders of magnitude smaller.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    assert!(
+        body.len() <= MAX_FRAME_LEN,
+        "frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(PREFIX + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental frame reassembler tolerating short reads and split frames.
+///
+/// ```
+/// use gred_cluster::frame::{encode_frame, FrameDecoder};
+/// let mut dec = FrameDecoder::new();
+/// let frame = encode_frame(b"hello");
+/// dec.feed(&frame[..3]); // a short read mid-prefix
+/// assert_eq!(dec.next_frame().unwrap(), None);
+/// dec.feed(&frame[3..]);
+/// assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it grows past the data.
+    start: usize,
+    /// A detected violation is sticky: the stream is unrecoverable because
+    /// frame boundaries are lost.
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes received from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame body, `Ok(None)` when more input
+    /// is needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the pending length prefix is corrupt;
+    /// the error repeats on every subsequent call (the stream cannot be
+    /// resynchronized).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        let pending = &self.buf[self.start..];
+        if pending.len() < PREFIX {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(pending[..PREFIX].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            let err = FrameError::TooLarge {
+                len,
+                max: MAX_FRAME_LEN,
+            };
+            self.poisoned = Some(err);
+            return Err(err);
+        }
+        if pending.len() < PREFIX + len {
+            self.compact();
+            return Ok(None);
+        }
+        let body = pending[PREFIX..PREFIX + len].to_vec();
+        self.start += PREFIX + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Drops consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Decodes every frame in `bytes` at once — the reference the incremental
+/// decoder is property-tested against.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] on a corrupt length prefix. Trailing bytes
+/// that do not form a complete frame are returned as the second element.
+pub fn decode_all(bytes: &[u8]) -> Result<(Vec<Vec<u8>>, usize), FrameError> {
+    let mut frames = Vec::new();
+    let mut at = 0;
+    while bytes.len() - at >= PREFIX {
+        let len = u32::from_be_bytes(bytes[at..at + PREFIX].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        if bytes.len() - at - PREFIX < len {
+            break;
+        }
+        frames.push(bytes[at + PREFIX..at + PREFIX + len].to_vec());
+        at += PREFIX + len;
+    }
+    Ok((frames, bytes.len() - at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stream_of(bodies: &[&[u8]]) -> Vec<u8> {
+        bodies.iter().flat_map(|b| encode_frame(b)).collect()
+    }
+
+    fn drain(dec: &mut FrameDecoder) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().expect("well-formed stream") {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn single_frame_round_trip() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_frame(b"payload"));
+        assert_eq!(drain(&mut dec), vec![b"payload".to_vec()]);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_body_is_a_valid_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_frame(b""));
+        assert_eq!(drain(&mut dec), vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn byte_by_byte_feeding_recovers_every_frame() {
+        // The satellite requirement: every frame-boundary split, down to
+        // single bytes, yields the same frames as whole-buffer decoding.
+        let stream = stream_of(&[b"a", b"", b"longer-body-here", b"x"]);
+        let (expected, rest) = decode_all(&stream).unwrap();
+        assert_eq!(rest, 0);
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.feed(&[b]);
+            got.extend(drain(&mut dec));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn every_two_way_split_agrees_with_whole_buffer() {
+        let stream = stream_of(&[b"first", b"second", b"third"]);
+        let (expected, _) = decode_all(&stream).unwrap();
+        for cut in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            dec.feed(&stream[..cut]);
+            got.extend(drain(&mut dec));
+            dec.feed(&stream[cut..]);
+            got.extend(drain(&mut dec));
+            assert_eq!(got, expected, "split at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_typed_sticky_error() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_be_bytes());
+        dec.feed(b"whatever");
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TooLarge {
+                len: u32::MAX as usize,
+                max: MAX_FRAME_LEN
+            }
+        );
+        // Poisoned: the error repeats instead of resynchronizing wrongly.
+        assert_eq!(dec.next_frame().unwrap_err(), err);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn encode_frame_rejects_oversized_bodies() {
+        let _ = encode_frame(&vec![0u8; MAX_FRAME_LEN + 1]);
+    }
+
+    proptest! {
+        /// Any chunking of any frame stream decodes to exactly the frames
+        /// whole-buffer decoding finds — no loss, duplication, reordering.
+        #[test]
+        fn prop_chunked_equals_whole_buffer(
+            bodies in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..128), 0..8),
+            cuts in proptest::collection::vec(any::<u16>(), 0..16),
+        ) {
+            let stream: Vec<u8> =
+                bodies.iter().flat_map(|b| encode_frame(b)).collect();
+            let (expected, rest) = decode_all(&stream).unwrap();
+            prop_assert_eq!(rest, 0);
+            prop_assert_eq!(&expected, &bodies);
+
+            // Random chunk boundaries derived from `cuts`.
+            let mut points: Vec<usize> = cuts
+                .iter()
+                .map(|&c| if stream.is_empty() { 0 } else { c as usize % stream.len() })
+                .collect();
+            points.sort_unstable();
+            points.dedup();
+
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut prev = 0;
+            for &p in &points {
+                dec.feed(&stream[prev..p]);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    got.push(f);
+                }
+                prev = p;
+            }
+            dec.feed(&stream[prev..]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+
+        /// A wire packet survives encode → frame → chunked decode → parse,
+        /// whatever the split points.
+        #[test]
+        fn prop_wire_packet_survives_framing(
+            id in proptest::collection::vec(any::<u8>(), 0..32),
+            payload in proptest::collection::vec(any::<u8>(), 0..96),
+            hops in any::<u16>(),
+            cut in any::<u16>(),
+        ) {
+            let mut packet = gred_dataplane::Packet::placement(
+                gred_hash::DataId::from_bytes(id), payload);
+            packet.hops = hops;
+            let frame = encode_frame(&gred_dataplane::encode(&packet));
+            let cut = cut as usize % frame.len();
+
+            let mut dec = FrameDecoder::new();
+            dec.feed(&frame[..cut]);
+            prop_assert_eq!(dec.next_frame().unwrap(), None);
+            dec.feed(&frame[cut..]);
+            let body = dec.next_frame().unwrap().expect("one whole frame fed");
+            let parsed = gred_dataplane::parse(&body).unwrap();
+            prop_assert_eq!(parsed, packet);
+        }
+
+        /// The decoder never panics and never hangs on arbitrary input:
+        /// it either yields frames, asks for more, or errors.
+        #[test]
+        fn prop_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            // Bounded loop: each Ok(Some) consumes ≥ PREFIX bytes.
+            for _ in 0..=bytes.len() {
+                match dec.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

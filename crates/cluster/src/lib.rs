@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! gred-cluster: every GRED switch as a real TCP endpoint.
+//!
+//! The rest of the workspace exercises GRED's data plane in-process: the
+//! simulator calls [`SwitchDataplane::decide`] in a loop and moves packets
+//! between switches with function calls. This crate replaces those
+//! function calls with sockets. Each switch becomes a [`node::Node`] — a
+//! small multi-threaded daemon that listens on a TCP address, parses
+//! length-prefixed GRED wire packets ([`frame`]), runs the *same* greedy
+//! pipeline the in-process plane runs, and forwards packets to peer nodes
+//! over persistent loopback connections. A [`client::Client`] places and
+//! retrieves data by talking to any node, and a [`cluster::Cluster`]
+//! boots one node per switch of a built
+//! [`GredNetwork`](gred::GredNetwork), wires the peer addresses, and
+//! shuts the whole thing down gracefully.
+//!
+//! The point is fidelity, not novelty: the wire format is the paper's
+//! packet header ([`gred_dataplane::wire`]), the forwarding state is a
+//! clone of the controller-installed tables, and the hop counts a remote
+//! client observes are asserted (in `tests/cluster_loopback.rs`) to match
+//! the in-process [`Route`](gred::Route) exactly. Everything runs on
+//! `std::net` — no async runtime, no new dependencies.
+//!
+//! [`SwitchDataplane::decide`]: gred_dataplane::SwitchDataplane::decide
+
+pub mod client;
+pub mod cluster;
+pub mod frame;
+pub mod node;
+pub mod proto;
+pub mod transport;
+
+pub use client::{Client, ClientConfig, ClientError, Reply};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use node::{Node, NodeConfig, NodeReport};
+pub use transport::SocketTransport;

@@ -1,0 +1,805 @@
+//! The per-switch node runtime.
+//!
+//! A [`Node`] is one GRED switch promoted to a real network endpoint:
+//!
+//! - an **accept loop** (one thread) takes connections on the node's TCP
+//!   listener; it polls a non-blocking listener so a shutdown flag can
+//!   stop it deterministically,
+//! - a **worker thread per connection** reassembles frames with
+//!   [`FrameDecoder`], parses each body as a GRED wire packet, hands it
+//!   to the dispatcher, and writes the response frame back on the same
+//!   connection,
+//! - the **dispatcher** runs the identical greedy pipeline the in-process
+//!   plane runs ([`SwitchDataplane::decide`] /
+//!   [`SwitchDataplane::relay_next`]) and, when the decision is to
+//!   forward, relays the packet to the peer node over a persistent
+//!   inter-node connection and returns the peer's response.
+//!
+//! # Forwarding = synchronous RPC chaining
+//!
+//! A forwarded packet travels as a nested remote call: the worker at the
+//! access node sends the packet one hop and blocks for the response,
+//! which the next node produces by (possibly) forwarding another hop,
+//! and so on until the owner switch answers. Responses therefore travel
+//! back along the exact request path, with no correlation IDs or routing
+//! of response packets. Each per-peer link is a mutex-guarded
+//! `write one frame, read one frame` critical section.
+//!
+//! Crucially, a node never *blocks* on a busy link: it `try_lock`s the
+//! persistent connection and, when another in-flight request holds it,
+//! falls back to a one-shot connection for this exchange. The busy
+//! holder can be an earlier hop of the *same* request — greedy overlay
+//! hops never repeat a switch, but the physical walk can cross the same
+//! directed link twice (a virtual link's relay path may pass through a
+//! switch the packet later leaves again), so waiting on the mutex would
+//! deadlock the chain against itself. With the fallback, the wait-for
+//! graph contains no lock edges at all and every chain terminates.
+//!
+//! # Hops
+//!
+//! Every **physical send** increments the packet's in-band `hops`
+//! counter, and the owner switch copies the request's count into the
+//! response — so a remote client observes exactly
+//! [`Route::physical_hops`](gred::Route::physical_hops) for the same
+//! request in the in-process model (asserted in the loopback test).
+//!
+//! # Shutdown
+//!
+//! [`Node::shutdown`] flips an atomic flag, joins the accept thread
+//! (closing the listener), drops the inter-node links, and joins every
+//! worker. Workers poll the flag between read timeouts, so in-flight
+//! requests drain — a worker finishes the frame it is serving before it
+//! exits — and no thread outlives the node.
+
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::proto;
+use bytes::Bytes;
+use gred_dataplane::{wire, ForwardDecision, Packet, PacketKind, SwitchDataplane};
+use gred_hash::DataId;
+use gred_net::ServerId;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming a directory for per-node log files
+/// (`node-<id>.log`). CI sets it so a failing cluster test can upload
+/// what every node saw.
+pub const LOG_DIR_ENV: &str = "GRED_CLUSTER_LOG_DIR";
+
+/// Tuning knobs for a [`Node`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Accept-loop sleep between polls of the non-blocking listener.
+    pub poll_interval: Duration,
+    /// Read timeout on every stream — the granularity at which blocked
+    /// readers notice the shutdown flag.
+    pub read_timeout: Duration,
+    /// Connect timeout for inter-node links.
+    pub peer_connect_timeout: Duration,
+    /// How long a forwarding node waits for a peer's response before
+    /// giving up on the request.
+    pub peer_reply_timeout: Duration,
+    /// Directory for this node's log file; `None` disables logging.
+    pub log_dir: Option<PathBuf>,
+}
+
+impl Default for NodeConfig {
+    /// Loopback-friendly defaults; `log_dir` comes from [`LOG_DIR_ENV`]
+    /// when set.
+    fn default() -> Self {
+        NodeConfig {
+            poll_interval: Duration::from_millis(2),
+            read_timeout: Duration::from_millis(20),
+            peer_connect_timeout: Duration::from_secs(1),
+            peer_reply_timeout: Duration::from_secs(5),
+            log_dir: std::env::var_os(LOG_DIR_ENV).map(PathBuf::from),
+        }
+    }
+}
+
+/// Final accounting returned by [`Node::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// The switch id this node served.
+    pub id: usize,
+    /// Requests dispatched (greedy, relay, and server-addressed).
+    pub requests: u64,
+    /// Packets forwarded one greedy hop to a peer.
+    pub forwarded: u64,
+    /// Packets relayed along a virtual link.
+    pub relayed: u64,
+    /// Requests answered from the local store (placements stored plus
+    /// retrievals served, including misses).
+    pub delivered: u64,
+    /// Requests that ended in an error response at this node.
+    pub errors: u64,
+    /// Connection workers joined during shutdown.
+    pub workers_joined: usize,
+    /// Items in the local store at shutdown.
+    pub stored_items: usize,
+}
+
+/// One stored item: which local server holds it, and its payload. The
+/// index matters because a range extension can store an item under a
+/// takeover server while `H(d) mod s` still names the primary — a
+/// retrieval must not answer for the wrong server.
+#[derive(Debug, Clone)]
+struct StoredItem {
+    index: usize,
+    payload: Bytes,
+}
+
+/// A persistent inter-node connection plus its response reassembler.
+struct PeerLink {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    relayed: AtomicU64,
+    delivered: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Inner {
+    id: usize,
+    plane: SwitchDataplane,
+    peer_addrs: Vec<SocketAddr>,
+    /// One slot per peer switch; the mutex serializes one in-flight
+    /// request per link.
+    links: Vec<Mutex<Option<PeerLink>>>,
+    store: Mutex<HashMap<DataId, StoredItem>>,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    counters: Counters,
+    cfg: NodeConfig,
+    log: Option<Mutex<std::fs::File>>,
+    booted: Instant,
+}
+
+/// A running GRED switch daemon. See the module docs for the threading
+/// model.
+pub struct Node {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Node {
+    /// Starts serving `plane` (switch `id`) on `listener`. `peer_addrs`
+    /// maps every switch id in the network to its node's address; the
+    /// node connects lazily when it first forwards to a peer.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors configuring the listener, opening the log file, or
+    /// spawning the accept thread.
+    pub fn spawn(
+        id: usize,
+        plane: SwitchDataplane,
+        peer_addrs: Vec<SocketAddr>,
+        listener: TcpListener,
+        cfg: NodeConfig,
+    ) -> io::Result<Node> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let log = match &cfg.log_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(format!("node-{id}.log")))?;
+                Some(Mutex::new(file))
+            }
+            None => None,
+        };
+        let peers = peer_addrs.len();
+        let inner = Arc::new(Inner {
+            id,
+            plane,
+            peer_addrs,
+            links: (0..peers).map(|_| Mutex::new(None)).collect(),
+            store: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+            cfg,
+            log,
+            booted: Instant::now(),
+        });
+        inner.log(&format!("listening on {addr}"));
+        let accept_inner = Arc::clone(&inner);
+        let accept = thread::Builder::new()
+            .name(format!("gred-node-{id}-accept"))
+            .spawn(move || accept_loop(accept_inner, listener))?;
+        Ok(Node {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The switch id this node serves.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// The address the node listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Packets the underlying data plane processed (greedy decisions plus
+    /// virtual-link relays) — directly comparable to the same counter on
+    /// the in-process plane.
+    pub fn packets_processed(&self) -> u64 {
+        self.inner.plane.packets_processed()
+    }
+
+    /// Requests this node has dispatched so far.
+    pub fn requests_served(&self) -> u64 {
+        self.inner.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// Items currently in the local store.
+    pub fn stored_items(&self) -> usize {
+        self.inner.store.lock().expect("store lock").len()
+    }
+
+    /// Seeds the local store with an item held by local server `index` —
+    /// used when booting a cluster from a network that already placed
+    /// data in-process.
+    pub fn preload(&self, id: DataId, index: usize, payload: Bytes) {
+        self.inner
+            .store
+            .lock()
+            .expect("store lock")
+            .insert(id, StoredItem { index, payload });
+    }
+
+    /// Signals shutdown without waiting. [`Cluster`](crate::Cluster)
+    /// flips every node's flag before joining any of them so peers stop
+    /// accepting new work together.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops the node: signals shutdown, joins the accept thread (which
+    /// closes the listener), drops inter-node links, and joins every
+    /// connection worker. In-flight requests drain first. Idempotent.
+    pub fn shutdown(&mut self) -> NodeReport {
+        self.request_shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for link in &self.inner.links {
+            *link.lock().expect("link lock") = None;
+        }
+        let workers: Vec<_> = std::mem::take(&mut *self.inner.workers.lock().expect("workers"));
+        let joined = workers.len();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.inner.log(&format!("stopped; joined {joined} workers"));
+        let c = &self.inner.counters;
+        NodeReport {
+            id: self.inner.id,
+            requests: c.requests.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            relayed: c.relayed.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            workers_joined: joined,
+            stored_items: self.stored_items(),
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.inner.id)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                inner.log(&format!("accepted {peer}"));
+                let worker_inner = Arc::clone(&inner);
+                let spawned = thread::Builder::new()
+                    .name(format!("gred-node-{}-conn", inner.id))
+                    .spawn(move || serve_connection(&worker_inner, stream, peer));
+                match spawned {
+                    Ok(handle) => inner.workers.lock().expect("workers").push(handle),
+                    Err(e) => inner.log(&format!("failed to spawn worker: {e}")),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(inner.cfg.poll_interval);
+            }
+            Err(e) => {
+                inner.log(&format!("accept error: {e}"));
+                thread::sleep(inner.cfg.poll_interval);
+            }
+        }
+    }
+    // Dropping the listener here closes it: new connections are refused
+    // while existing workers drain.
+    drop(listener);
+}
+
+/// One connection's serve loop: reassemble frames, dispatch, respond.
+fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'conn: loop {
+        // Serve every complete frame already buffered.
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => {
+                    let reply = match wire::parse(&body) {
+                        Ok(packet) => inner.handle(packet),
+                        Err(e) => {
+                            // The framing is intact but the body is not a
+                            // GRED packet: drop the peer rather than
+                            // guess at what it wanted.
+                            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            inner.log(&format!("unparseable packet from {peer}: {e}"));
+                            break 'conn;
+                        }
+                    };
+                    let frame = encode_frame(&wire::encode(&reply));
+                    if stream.write_all(&frame).is_err() {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    inner.log(&format!("framing violation from {peer}: {e}"));
+                    break 'conn;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+impl Inner {
+    fn log(&self, msg: &str) {
+        if let Some(file) = &self.log {
+            let mut file = file.lock().expect("log lock");
+            let t = self.booted.elapsed();
+            let _ = writeln!(file, "[node {} +{:>9.3}s] {msg}", self.id, t.as_secs_f64());
+        }
+    }
+
+    /// Dispatches one request packet and produces its response.
+    fn handle(&self, packet: Packet) -> Packet {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if packet.kind == PacketKind::RetrievalResponse {
+            // Responses travel back up the RPC chain, never as requests.
+            return self.refuse(&packet, "response packet arrived as a request");
+        }
+        if let Some(server) = proto::server_addressed(&packet) {
+            if server.switch != self.id {
+                return self.refuse(&packet, "server-addressed packet at the wrong switch");
+            }
+            return self.deliver_direct(packet.without_relay(), server);
+        }
+        if let Some(header) = packet.relay {
+            if header.relay != self.id {
+                return self.refuse(&packet, "relayed packet at the wrong switch");
+            }
+            if header.dest == self.id {
+                // Virtual-link endpoint: pop the header, resume greedy.
+                return self.greedy(packet.without_relay());
+            }
+            // Intermediate relay: rewrite d.relay to the tuple's succ.
+            return match self.plane.relay_next(header.dest, header.sour) {
+                Some(succ) => {
+                    self.counters.relayed.fetch_add(1, Ordering::Relaxed);
+                    let mut fwd = packet.clone().with_relay(header.sour, succ, header.dest);
+                    fwd.hops = fwd.hops.saturating_add(1);
+                    self.rpc(succ, fwd)
+                }
+                None => self.refuse(&packet, "no relay tuple for the virtual link"),
+            };
+        }
+        self.greedy(packet)
+    }
+
+    /// Greedy pipeline step at this switch (packet not in a virtual
+    /// link).
+    fn greedy(&self, packet: Packet) -> Packet {
+        if self.plane.server_count() == 0 {
+            // Transit switches only relay; they are never access points
+            // and never DT members (mirrors `route`'s InvalidDynamics).
+            return self.refuse(&packet, "transit switch cannot run the greedy pipeline");
+        }
+        match self.plane.decide(packet.position, &packet.id) {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => self.deliver(packet, server, extended_to),
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
+                self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                let mut fwd = if virtual_link {
+                    packet.with_relay(self.id, next_hop, neighbor)
+                } else {
+                    packet
+                };
+                fwd.hops = fwd.hops.saturating_add(1);
+                self.rpc(next_hop, fwd)
+            }
+        }
+    }
+
+    /// Owner-switch delivery: this switch is closest to `H(d)`.
+    fn deliver(&self, packet: Packet, server: ServerId, extended_to: Option<ServerId>) -> Packet {
+        match packet.kind {
+            PacketKind::Placement => {
+                let target = extended_to.unwrap_or(server);
+                if target.switch == self.id {
+                    self.store_local(&packet, target)
+                } else {
+                    // The extension redirected the write to a server
+                    // behind another switch. The redirected copy
+                    // supersedes any stale primary copy (mirrors
+                    // `GredNetwork::place`).
+                    self.store.lock().expect("store lock").remove(&packet.id);
+                    let mut fwd = proto::address_to_server(packet, target);
+                    fwd.hops = fwd.hops.saturating_add(1);
+                    self.rpc(target.switch, fwd)
+                }
+            }
+            PacketKind::Retrieval => {
+                // Ask the primary, then the takeover. The paper duplicates
+                // the request to both "at the same time"; querying in
+                // order is observably equivalent and keeps one in-flight
+                // request per link.
+                if let Some(found) = self.lookup_local(&packet, server) {
+                    return found;
+                }
+                match extended_to {
+                    Some(takeover) if takeover.switch == self.id => self
+                        .lookup_local(&packet, takeover)
+                        .unwrap_or_else(|| self.respond_miss(&packet)),
+                    Some(takeover) => {
+                        let mut fwd = proto::address_to_server(packet, takeover);
+                        fwd.hops = fwd.hops.saturating_add(1);
+                        self.rpc(takeover.switch, fwd)
+                    }
+                    None => self.respond_miss(&packet),
+                }
+            }
+            PacketKind::RetrievalResponse => unreachable!("rejected in handle()"),
+        }
+    }
+
+    /// Serves a packet addressed at one specific local server.
+    fn deliver_direct(&self, packet: Packet, server: ServerId) -> Packet {
+        match packet.kind {
+            PacketKind::Placement => self.store_local(&packet, server),
+            PacketKind::Retrieval => self
+                .lookup_local(&packet, server)
+                .unwrap_or_else(|| self.respond_miss(&packet)),
+            PacketKind::RetrievalResponse => unreachable!("rejected in handle()"),
+        }
+    }
+
+    /// Stores the placement payload under local server `target` and acks
+    /// with the storing server's identity.
+    fn store_local(&self, packet: &Packet, target: ServerId) -> Packet {
+        debug_assert_eq!(target.switch, self.id);
+        self.store.lock().expect("store lock").insert(
+            packet.id.clone(),
+            StoredItem {
+                index: target.index,
+                payload: packet.payload.clone(),
+            },
+        );
+        self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        let mut ack = Packet::response(packet.id.clone(), proto::ack_payload(target));
+        ack.hops = packet.hops;
+        ack
+    }
+
+    /// A hit response if local server `server` stores the packet's id.
+    fn lookup_local(&self, packet: &Packet, server: ServerId) -> Option<Packet> {
+        debug_assert_eq!(server.switch, self.id);
+        let store = self.store.lock().expect("store lock");
+        let item = store
+            .get(&packet.id)
+            .filter(|item| item.index == server.index)?;
+        self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        let mut resp = Packet::response(packet.id.clone(), item.payload.clone());
+        resp.hops = packet.hops;
+        Some(resp)
+    }
+
+    fn respond_miss(&self, packet: &Packet) -> Packet {
+        self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        let mut resp = Packet::not_found(packet.id.clone());
+        resp.hops = packet.hops;
+        resp
+    }
+
+    fn refuse(&self, packet: &Packet, why: &str) -> Packet {
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        self.log(&format!("refused {} for {}: {why}", packet.kind, packet.id));
+        let mut resp = Packet::error_response(packet.id.clone());
+        resp.hops = packet.hops;
+        resp
+    }
+
+    /// Sends `packet` to peer switch `to` and waits for the response,
+    /// reconnecting once if the pooled link is stale. A definitive
+    /// failure becomes an error response so the request chain always
+    /// terminates.
+    fn rpc(&self, to: usize, packet: Packet) -> Packet {
+        match self.try_rpc(to, &packet) {
+            Ok(resp) => resp,
+            Err(first) => {
+                self.log(&format!("rpc to node {to} failed ({first}); retrying once"));
+                match self.try_rpc(to, &packet) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        self.log(&format!("rpc to node {to} failed twice: {e}"));
+                        self.refuse(&packet, "peer unreachable")
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
+        let slot = self
+            .links
+            .get(to)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer switch"))?;
+        let mut guard = match slot.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // The pooled link carries another in-flight exchange —
+                // possibly an earlier hop of THIS very request: a greedy
+                // route's physical walk can cross the same directed link
+                // twice (e.g. relaying one virtual link through a switch
+                // the packet later leaves again), so blocking here would
+                // deadlock the chain against itself. A one-shot
+                // connection keeps the exchange lock-free.
+                let mut link = self.connect_peer(to)?;
+                return exchange(&mut link, packet, self.cfg.peer_reply_timeout);
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        if guard.is_none() {
+            *guard = Some(self.connect_peer(to)?);
+        }
+        let link = guard.as_mut().expect("link just ensured");
+        let result = exchange(link, packet, self.cfg.peer_reply_timeout);
+        if result.is_err() {
+            // A broken or timed-out link is dropped whole: a late
+            // response must die with its socket, not desynchronize the
+            // next request on a reused stream.
+            *guard = None;
+        }
+        result
+    }
+
+    fn connect_peer(&self, to: usize) -> io::Result<PeerLink> {
+        let addr = self.peer_addrs[to];
+        let stream = TcpStream::connect_timeout(&addr, self.cfg.peer_connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        Ok(PeerLink {
+            stream,
+            decoder: FrameDecoder::new(),
+        })
+    }
+}
+
+/// Writes one request frame on `link` and reads exactly one response
+/// frame, with `deadline` bounding the wait.
+fn exchange(link: &mut PeerLink, packet: &Packet, reply_timeout: Duration) -> io::Result<Packet> {
+    link.stream
+        .write_all(&encode_frame(&wire::encode(packet)))?;
+    let deadline = Instant::now() + reply_timeout;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if let Some(body) = link
+            .decoder
+            .next_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            return wire::parse(&body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "peer did not respond in time",
+            ));
+        }
+        match link.stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the link",
+                ))
+            }
+            Ok(n) => link.decoder.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_geometry::Point2;
+
+    fn spawn_single(server_count: usize) -> Node {
+        let plane = SwitchDataplane::new(0, Point2::new(0.5, 0.5), server_count);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        Node::spawn(
+            0,
+            plane,
+            vec![addr],
+            listener,
+            NodeConfig {
+                log_dir: None,
+                ..NodeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(addr: SocketAddr, packet: &Packet) -> Packet {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(&encode_frame(&wire::encode(packet)))
+            .unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(body) = decoder.next_frame().unwrap() {
+                return wire::parse(&body).unwrap();
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert_ne!(n, 0, "node closed the connection without responding");
+            decoder.feed(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn single_node_place_then_retrieve() {
+        let mut node = spawn_single(2);
+        let id = DataId::new("solo");
+        // With no neighbors the node is always closest: local delivery.
+        let ack = roundtrip(node.addr(), &Packet::placement(id.clone(), b"v".as_ref()));
+        assert_eq!(ack.kind, PacketKind::RetrievalResponse);
+        assert_eq!(ack.status, gred_dataplane::ResponseStatus::Ok);
+        let server = proto::parse_ack(&ack.payload).expect("ack names the server");
+        assert_eq!(server.switch, 0);
+        assert_eq!(server.index, gred_hash::select_server(&id, 2));
+
+        let got = roundtrip(node.addr(), &Packet::retrieval(id.clone()));
+        assert_eq!(got.payload.as_ref(), b"v");
+        assert_eq!(got.hops, 0, "no physical hop on local delivery");
+
+        let miss = roundtrip(node.addr(), &Packet::retrieval(DataId::new("absent")));
+        assert_eq!(miss.status, gred_dataplane::ResponseStatus::NotFound);
+
+        let report = node.shutdown();
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.stored_items, 1);
+        assert_eq!(report.workers_joined, 3);
+    }
+
+    #[test]
+    fn transit_node_refuses_greedy_requests() {
+        let plane = SwitchDataplane::transit(0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut node = Node::spawn(
+            0,
+            plane,
+            vec![addr],
+            listener,
+            NodeConfig {
+                log_dir: None,
+                ..NodeConfig::default()
+            },
+        )
+        .unwrap();
+        let resp = roundtrip(node.addr(), &Packet::retrieval(DataId::new("k")));
+        assert_eq!(resp.status, gred_dataplane::ResponseStatus::Error);
+        let report = node.shutdown();
+        assert_eq!(report.errors, 1);
+    }
+
+    #[test]
+    fn misaddressed_packets_get_error_responses_not_hangs() {
+        let mut node = spawn_single(1);
+        // Server-addressed to a different switch.
+        let wrong = proto::address_to_server(
+            Packet::retrieval(DataId::new("k")),
+            ServerId {
+                switch: 9,
+                index: 0,
+            },
+        );
+        assert_eq!(
+            roundtrip(node.addr(), &wrong).status,
+            gred_dataplane::ResponseStatus::Error
+        );
+        // A response packet arriving as a request.
+        let bogus = Packet::response(DataId::new("k"), b"x".as_ref());
+        assert_eq!(
+            roundtrip(node.addr(), &bogus).status,
+            gred_dataplane::ResponseStatus::Error
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drains_workers() {
+        let mut node = spawn_single(1);
+        let addr = node.addr();
+        let _ = roundtrip(addr, &Packet::retrieval(DataId::new("k")));
+        let first = node.shutdown();
+        assert_eq!(first.workers_joined, 1);
+        let second = node.shutdown();
+        assert_eq!(second.workers_joined, 0, "workers join exactly once");
+        // The listener is closed: new connections are refused.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Small conventions the cluster layers on top of the wire format.
+//!
+//! Two pieces of protocol glue live here so [`crate::node`] and
+//! [`crate::client`] agree on them:
+//!
+//! 1. **Placement acks** carry `"{switch}/{index}"` in the response
+//!    payload, naming the server that physically stored the item, so a
+//!    remote client can verify *where* its data landed (the in-process
+//!    [`PlacementReceipt::server`](gred::PlacementReceipt) equivalent).
+//!
+//! 2. **Server-addressed delivery** reuses the virtual-link relay header
+//!    to point a packet at one specific server instead of at a link. A
+//!    range extension can redirect a write (or duplicate a retrieval) to
+//!    a takeover server behind a *different* switch; greedy forwarding
+//!    would just route such a packet back to the owner, so the node sends
+//!    it straight to the takeover's switch with
+//!    `<dest: switch, sour: switch, relay: index>`. Ordinary virtual
+//!    links always connect two *distinct* DT members (`sour != dest`),
+//!    so `sour == dest` unambiguously tags the server-addressed form,
+//!    freeing the `relay` field to carry the server index.
+
+use gred_dataplane::Packet;
+use gred_net::ServerId;
+
+/// Formats the placement-ack payload naming the storing server.
+pub fn ack_payload(server: ServerId) -> Vec<u8> {
+    format!("{}/{}", server.switch, server.index).into_bytes()
+}
+
+/// Parses a placement-ack payload back into the storing server.
+pub fn parse_ack(payload: &[u8]) -> Option<ServerId> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let (switch, index) = text.split_once('/')?;
+    Some(ServerId {
+        switch: switch.parse().ok()?,
+        index: index.parse().ok()?,
+    })
+}
+
+/// Addresses `packet` directly at `server`, bypassing greedy forwarding.
+pub fn address_to_server(packet: Packet, server: ServerId) -> Packet {
+    packet.with_relay(server.switch, server.index, server.switch)
+}
+
+/// The server a packet is directly addressed to, if it carries the
+/// server-addressed header form (`sour == dest`).
+pub fn server_addressed(packet: &Packet) -> Option<ServerId> {
+    match packet.relay {
+        Some(h) if h.sour == h.dest => Some(ServerId {
+            switch: h.dest,
+            index: h.relay,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_hash::DataId;
+
+    #[test]
+    fn ack_round_trip() {
+        let server = ServerId {
+            switch: 7,
+            index: 2,
+        };
+        assert_eq!(parse_ack(&ack_payload(server)), Some(server));
+    }
+
+    #[test]
+    fn malformed_acks_are_none() {
+        assert_eq!(parse_ack(b""), None);
+        assert_eq!(parse_ack(b"7"), None);
+        assert_eq!(parse_ack(b"7/x"), None);
+        assert_eq!(parse_ack(&[0xff, b'/', b'1']), None);
+    }
+
+    #[test]
+    fn server_addressing_round_trips_and_is_disjoint_from_relays() {
+        let server = ServerId {
+            switch: 3,
+            index: 1,
+        };
+        let p = address_to_server(Packet::retrieval(DataId::new("k")), server);
+        assert_eq!(server_addressed(&p), Some(server));
+
+        // An ordinary virtual-link header (sour != dest) is not
+        // server-addressed.
+        let relayed = Packet::retrieval(DataId::new("k")).with_relay(0, 1, 5);
+        assert_eq!(server_addressed(&relayed), None);
+        assert_eq!(server_addressed(&Packet::retrieval(DataId::new("k"))), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! Socket-backed implementation of the testkit's transport hook.
+//!
+//! [`SocketTransport`] lets the model-based harness
+//! ([`gred_testkit::Harness::replay_probed`]) drive a *real* loopback
+//! cluster alongside the in-process network: every placement and
+//! retrieval the schedule performs in-process is replayed over TCP, and
+//! any divergence (wrong server, wrong payload, a hit where the model
+//! misses) is reported in the harness's violation currency.
+//!
+//! Dynamics and range-extension changes arrive as
+//! [`resync`](gred_testkit::TransportProbe::resync): forwarding tables
+//! changed under the controller's feet, so the transport tears the
+//! cluster down (gracefully — shutdown bugs get exercised for free) and
+//! boots a fresh one from the network's current tables and store.
+
+use crate::client::Client;
+use crate::cluster::{Cluster, ClusterConfig};
+use gred::GredNetwork;
+use gred_hash::DataId;
+use gred_net::ServerId;
+use gred_testkit::TransportProbe;
+use std::collections::HashMap;
+
+/// A lazily booted loopback cluster that mirrors harness operations.
+#[derive(Debug, Default)]
+pub struct SocketTransport {
+    cfg: ClusterConfig,
+    cluster: Option<Cluster>,
+    clients: HashMap<usize, Client>,
+    /// Clusters booted over the transport's lifetime (≥ 1 after any op;
+    /// +1 per resync).
+    boots: usize,
+}
+
+impl SocketTransport {
+    /// A transport that boots nodes with `cfg` on first use.
+    pub fn new(cfg: ClusterConfig) -> SocketTransport {
+        SocketTransport {
+            cfg,
+            cluster: None,
+            clients: HashMap::new(),
+            boots: 0,
+        }
+    }
+
+    /// How many times a cluster was (re)booted.
+    pub fn boots(&self) -> usize {
+        self.boots
+    }
+
+    /// Shuts the current cluster down, if any.
+    pub fn stop(&mut self) {
+        self.clients.clear();
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown();
+        }
+    }
+
+    fn ensure(&mut self, net: &GredNetwork) -> Result<(), String> {
+        if self.cluster.is_none() {
+            let cluster = Cluster::boot(net, self.cfg.clone())
+                .map_err(|e| format!("transport: cluster boot failed: {e}"))?;
+            self.cluster = Some(cluster);
+            self.boots += 1;
+        }
+        Ok(())
+    }
+
+    fn with_client<T>(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        op: impl FnOnce(&mut Client) -> Result<T, String>,
+    ) -> Result<T, String> {
+        self.ensure(net)?;
+        let cluster = self.cluster.as_ref().expect("cluster just ensured");
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.clients.entry(access) {
+            let client = cluster
+                .client(access)
+                .map_err(|e| format!("transport: connecting to node {access} failed: {e}"))?;
+            slot.insert(client);
+        }
+        op(self.clients.get_mut(&access).expect("client just ensured"))
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl TransportProbe for SocketTransport {
+    fn place(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        id: &DataId,
+        payload: &[u8],
+        expected: ServerId,
+    ) -> Vec<String> {
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .place(id, payload.to_vec())
+                .map_err(|e| format!("transport: place {id:?} via node {access}: {e}"))
+        });
+        match outcome {
+            Ok(reply) => match reply.ack_server() {
+                Some(server) if server == expected => Vec::new(),
+                Some(server) => vec![format!(
+                    "transport: place {id:?} acked by {server} but the \
+                     in-process model stored on {expected}"
+                )],
+                None => vec![format!(
+                    "transport: place {id:?} ack payload is not a server identity"
+                )],
+            },
+            Err(e) => vec![e],
+        }
+    }
+
+    fn retrieve(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        id: &DataId,
+        expected_payload: &[u8],
+    ) -> Vec<String> {
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .retrieve(id)
+                .map_err(|e| format!("transport: retrieve {id:?} via node {access}: {e}"))
+        });
+        match outcome {
+            Ok(reply) if !reply.is_hit() => vec![format!(
+                "transport: retrieve {id:?} missed over TCP but hits in-process"
+            )],
+            Ok(reply) if reply.payload.as_ref() != expected_payload => vec![format!(
+                "transport: retrieve {id:?} returned {} bytes that differ \
+                 from the in-process payload",
+                reply.payload.len()
+            )],
+            Ok(_) => Vec::new(),
+            Err(e) => vec![e],
+        }
+    }
+
+    fn retrieve_missing(&mut self, net: &GredNetwork, access: usize, id: &DataId) -> Vec<String> {
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .retrieve(id)
+                .map_err(|e| format!("transport: retrieve missing {id:?}: {e}"))
+        });
+        match outcome {
+            Ok(reply) if reply.is_hit() => vec![format!(
+                "transport: never-placed {id:?} returned data over TCP"
+            )],
+            Ok(_) => Vec::new(),
+            Err(e) => vec![e],
+        }
+    }
+
+    fn resync(&mut self, net: &GredNetwork) -> Vec<String> {
+        self.stop();
+        // Reboot eagerly so boot failures surface on the step that
+        // changed the state, not on the next data op.
+        match self.ensure(net) {
+            Ok(()) => Vec::new(),
+            Err(e) => vec![e],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_testkit::{generate, Harness, HarnessConfig};
+
+    #[test]
+    fn probed_replay_matches_the_socket_cluster() {
+        // A short schedule with the default op mix: places, retrievals,
+        // extensions, and dynamics all cross the TCP path.
+        let harness = Harness::new(HarnessConfig {
+            switches: 8,
+            max_switches: 10,
+            ..HarnessConfig::default()
+        });
+        let seed = 47;
+        let ops = generate(seed, 24);
+        let mut transport = SocketTransport::default();
+        let outcome = harness.replay_probed(seed, &ops, &mut transport);
+        assert!(
+            outcome.failure.is_none(),
+            "probed run diverged: {:?}",
+            outcome.failure
+        );
+        assert!(
+            transport.boots() >= 1,
+            "at least one cluster must have booted"
+        );
+    }
+}

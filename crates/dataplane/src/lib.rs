@@ -32,7 +32,7 @@ pub mod table;
 pub mod wire;
 
 pub use entries::{DtTuple, ExtensionEntry, NeighborEntry};
-pub use packet::{Packet, PacketKind, RelayHeader};
+pub use packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 pub use pipeline::Pipeline;
 pub use stats::TableStats;
 pub use switch::{ForwardDecision, SwitchDataplane};

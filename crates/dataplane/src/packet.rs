@@ -32,6 +32,33 @@ impl std::fmt::Display for PacketKind {
     }
 }
 
+/// Outcome carried by a response packet. Requests always carry
+/// [`ResponseStatus::Ok`]; a response distinguishes a hit from a miss
+/// (`NotFound`) and from a server-side failure (`Error`) so a *remote*
+/// client can tell them apart over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResponseStatus {
+    /// The request succeeded (or this is a request packet).
+    #[default]
+    Ok,
+    /// The responsible server does not store the item.
+    NotFound,
+    /// The request could not be served (misrouted, transit access, or a
+    /// broken relay chain).
+    Error,
+}
+
+impl std::fmt::Display for ResponseStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ResponseStatus::Ok => "ok",
+            ResponseStatus::NotFound => "not-found",
+            ResponseStatus::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Virtual-link relay header: present while the packet is being tunnelled
 /// between two multi-hop DT neighbors. Field names follow the paper's
 /// `d = <d.dest, d.sour, d.relay, d.data>`.
@@ -66,6 +93,12 @@ pub struct Packet {
     pub position: Point2,
     /// Virtual-link relay header, when traversing a virtual link.
     pub relay: Option<RelayHeader>,
+    /// Response outcome (always [`ResponseStatus::Ok`] on requests).
+    pub status: ResponseStatus,
+    /// Physical hops this packet has traversed — an in-band telemetry
+    /// counter incremented by every switch that forwards the packet, so a
+    /// response can report the request's routing cost to the client.
+    pub hops: u16,
     /// Payload (data contents for placements, empty for retrievals).
     pub payload: Bytes,
 }
@@ -79,6 +112,8 @@ impl Packet {
             position: Point2::new(position.0, position.1),
             id,
             relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
             payload: payload.into(),
         }
     }
@@ -91,6 +126,8 @@ impl Packet {
             position: Point2::new(position.0, position.1),
             id,
             relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
             payload: Bytes::new(),
         }
     }
@@ -103,8 +140,24 @@ impl Packet {
             position: Point2::new(position.0, position.1),
             id,
             relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
             payload: payload.into(),
         }
+    }
+
+    /// A miss response: the responsible server stores nothing under `id`.
+    pub fn not_found(id: DataId) -> Self {
+        let mut p = Packet::response(id, Bytes::new());
+        p.status = ResponseStatus::NotFound;
+        p
+    }
+
+    /// A failure response: the request could not be served.
+    pub fn error_response(id: DataId) -> Self {
+        let mut p = Packet::response(id, Bytes::new());
+        p.status = ResponseStatus::Error;
+        p
     }
 
     /// Whether the packet is currently traversing a virtual link
@@ -170,6 +223,35 @@ mod tests {
         let place = Packet::placement(DataId::new("k"), b"hello".as_ref());
         assert_eq!(&place.payload[..], b"hello");
         assert!(Packet::retrieval(DataId::new("k")).payload.is_empty());
+    }
+
+    #[test]
+    fn status_constructors() {
+        let id = DataId::new("k");
+        assert_eq!(
+            Packet::placement(id.clone(), Bytes::new()).status,
+            ResponseStatus::Ok
+        );
+        let miss = Packet::not_found(id.clone());
+        assert_eq!(miss.kind, PacketKind::RetrievalResponse);
+        assert_eq!(miss.status, ResponseStatus::NotFound);
+        assert!(miss.payload.is_empty());
+        let err = Packet::error_response(id);
+        assert_eq!(err.kind, PacketKind::RetrievalResponse);
+        assert_eq!(err.status, ResponseStatus::Error);
+    }
+
+    #[test]
+    fn hops_start_at_zero() {
+        assert_eq!(Packet::retrieval(DataId::new("k")).hops, 0);
+        assert_eq!(Packet::response(DataId::new("k"), Bytes::new()).hops, 0);
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(ResponseStatus::Ok.to_string(), "ok");
+        assert_eq!(ResponseStatus::NotFound.to_string(), "not-found");
+        assert_eq!(ResponseStatus::Error.to_string(), "error");
     }
 
     #[test]

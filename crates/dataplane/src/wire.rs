@@ -10,20 +10,27 @@
 //!  0       1       2       3       4
 //!  +-------+-------+-------+-------+
 //!  | magic "GR"    | ver=1 | flags |     flags: bit0 = relay present
+//!  +-------+-------+-------+-------+            bit1 = status not-found
+//!  | kind  |      id_len (u16)     |            bit2 = status error
 //!  +-------+-------+-------+-------+     kind: 0 place, 1 retrieve,
-//!  | kind  |      id_len (u16)     |           2 response
-//!  +-------+-------+-------+-------+
-//!  |        pos_x  (f64 be)        |
+//!  |        pos_x  (f64 be)        |           2 response
 //!  |        pos_y  (f64 be)        |
 //!  +---------------+---------------+
+//!  | hops (u16 be) |                     in-band telemetry: physical
+//!  +---------------+                     hops traversed so far
 //!  | [relay: dest, sour, relay as u32 be each — iff flag bit0]
 //!  +-------------------------------+
 //!  | id bytes (id_len)             |
 //!  | payload (rest of the packet)  |
 //!  +-------------------------------+
 //! ```
+//!
+//! The status bits (1 and 2) are mutually exclusive and only valid on
+//! response packets — they let a remote client distinguish a hit from a
+//! miss (`NotFound`) and from a server-side failure (`Error`); requests
+//! always travel with both bits clear.
 
-use crate::packet::{Packet, PacketKind, RelayHeader};
+use crate::packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 use bytes::Bytes;
 use gred_geometry::Point2;
 use gred_hash::DataId;
@@ -34,6 +41,12 @@ const MAGIC: [u8; 2] = *b"GR";
 const VERSION: u8 = 1;
 /// Flag bit: a relay header follows the fixed header.
 const FLAG_RELAY: u8 = 0b0000_0001;
+/// Flag bit: response status `NotFound`.
+const FLAG_NOT_FOUND: u8 = 0b0000_0010;
+/// Flag bit: response status `Error`.
+const FLAG_ERROR: u8 = 0b0000_0100;
+/// Every flag bit this parser understands.
+const KNOWN_FLAGS: u8 = FLAG_RELAY | FLAG_NOT_FOUND | FLAG_ERROR;
 
 /// Error produced by [`parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +66,14 @@ pub enum ParseError {
     BadKind(u8),
     /// Flags contain bits this parser does not understand.
     UnknownFlags(u8),
+    /// Status flag bits are contradictory (both set) or set on a request
+    /// packet — only responses carry a status.
+    BadStatus {
+        /// The offending flag byte.
+        flags: u8,
+        /// The wire kind discriminant the status appeared on.
+        kind: u8,
+    },
     /// A position coordinate is not finite.
     BadPosition,
     /// Bytes remain after a packet whose kind carries no payload
@@ -73,6 +94,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadVersion(v) => write!(f, "unsupported header version {v}"),
             ParseError::BadKind(k) => write!(f, "unknown packet kind {k}"),
             ParseError::UnknownFlags(b) => write!(f, "unknown flag bits {b:#010b}"),
+            ParseError::BadStatus { flags, kind } => {
+                write!(f, "invalid status flags {flags:#010b} on kind {kind}")
+            }
             ParseError::BadPosition => write!(f, "non-finite virtual position"),
             ParseError::TrailingGarbage { extra } => {
                 write!(f, "{extra} trailing bytes after a payload-less packet")
@@ -113,19 +137,26 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
         "identifier too long for wire format"
     );
     let relay_len = if packet.relay.is_some() { 12 } else { 0 };
-    let mut out = Vec::with_capacity(24 + relay_len + id_bytes.len() + packet.payload.len());
+    let mut out = Vec::with_capacity(27 + relay_len + id_bytes.len() + packet.payload.len());
+
+    let mut flags = 0u8;
+    if packet.relay.is_some() {
+        flags |= FLAG_RELAY;
+    }
+    match packet.status {
+        ResponseStatus::Ok => {}
+        ResponseStatus::NotFound => flags |= FLAG_NOT_FOUND,
+        ResponseStatus::Error => flags |= FLAG_ERROR,
+    }
 
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(if packet.relay.is_some() {
-        FLAG_RELAY
-    } else {
-        0
-    });
+    out.push(flags);
     out.push(kind_to_wire(packet.kind));
     out.extend_from_slice(&(id_bytes.len() as u16).to_be_bytes());
     out.extend_from_slice(&packet.position.x.to_be_bytes());
     out.extend_from_slice(&packet.position.y.to_be_bytes());
+    out.extend_from_slice(&packet.hops.to_be_bytes());
     if let Some(relay) = packet.relay {
         out.extend_from_slice(&(relay.dest as u32).to_be_bytes());
         out.extend_from_slice(&(relay.sour as u32).to_be_bytes());
@@ -144,7 +175,7 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
 /// Returns a [`ParseError`] for truncated, malformed, or unsupported
 /// packets.
 pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
-    const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8; // through pos_y
+    const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8 + 2; // through hops
     if bytes.len() < FIXED {
         return Err(ParseError::Truncated {
             needed: FIXED,
@@ -158,16 +189,35 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
         return Err(ParseError::BadVersion(bytes[2]));
     }
     let flags = bytes[3];
-    if flags & !FLAG_RELAY != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(ParseError::UnknownFlags(flags));
     }
     let kind = kind_from_wire(bytes[4])?;
+    let status = match (flags & FLAG_NOT_FOUND != 0, flags & FLAG_ERROR != 0) {
+        (false, false) => ResponseStatus::Ok,
+        (true, false) => ResponseStatus::NotFound,
+        (false, true) => ResponseStatus::Error,
+        (true, true) => {
+            return Err(ParseError::BadStatus {
+                flags,
+                kind: bytes[4],
+            })
+        }
+    };
+    // A status is a response property; a tagged request is corrupt.
+    if status != ResponseStatus::Ok && kind != PacketKind::RetrievalResponse {
+        return Err(ParseError::BadStatus {
+            flags,
+            kind: bytes[4],
+        });
+    }
     let id_len = u16::from_be_bytes([bytes[5], bytes[6]]) as usize;
     let x = f64::from_be_bytes(bytes[7..15].try_into().expect("8 bytes"));
     let y = f64::from_be_bytes(bytes[15..23].try_into().expect("8 bytes"));
     if !x.is_finite() || !y.is_finite() {
         return Err(ParseError::BadPosition);
     }
+    let hops = u16::from_be_bytes([bytes[23], bytes[24]]);
 
     let mut offset = FIXED;
     let relay = if flags & FLAG_RELAY != 0 {
@@ -214,6 +264,8 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
         id,
         position: Point2::new(x, y),
         relay,
+        status,
+        hops,
         payload,
     })
 }
@@ -255,8 +307,47 @@ mod tests {
             Packet::placement(DataId::new("a"), b"x".as_ref()),
             Packet::retrieval(DataId::new("b")),
             Packet::response(DataId::new("c"), b"yz".as_ref()),
+            Packet::not_found(DataId::new("d")),
+            Packet::error_response(DataId::new("e")),
         ] {
             assert_eq!(parse(&encode(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn round_trip_status_and_hops() {
+        let mut p = Packet::not_found(DataId::new("missing/key"));
+        p.hops = 7;
+        let parsed = parse(&encode(&p)).unwrap();
+        assert_eq!(parsed.status, ResponseStatus::NotFound);
+        assert_eq!(parsed.hops, 7);
+        assert_eq!(parsed, p);
+
+        let mut p = Packet::response(DataId::new("hit"), b"v".as_ref());
+        p.hops = u16::MAX;
+        let parsed = parse(&encode(&p)).unwrap();
+        assert_eq!(parsed.status, ResponseStatus::Ok);
+        assert_eq!(parsed.hops, u16::MAX);
+    }
+
+    #[test]
+    fn conflicting_status_bits_rejected() {
+        let mut b = encode(&Packet::response(DataId::new("k"), b"v".as_ref()));
+        b[3] = 0b0000_0110; // NotFound and Error both set
+        assert!(matches!(parse(&b), Err(ParseError::BadStatus { .. })));
+    }
+
+    #[test]
+    fn status_on_request_rejected() {
+        for mk in [Packet::placement(DataId::new("k"), b"v".as_ref()), {
+            Packet::retrieval(DataId::new("k"))
+        }] {
+            let mut b = encode(&mk);
+            b[3] |= 0b0000_0010; // NotFound on a request
+            assert!(
+                matches!(parse(&b), Err(ParseError::BadStatus { .. })),
+                "{mk:?}"
+            );
         }
     }
 
@@ -342,6 +433,9 @@ mod tests {
         assert!(ParseError::TrailingGarbage { extra: 3 }
             .to_string()
             .contains('3'));
+        assert!(ParseError::BadStatus { flags: 6, kind: 0 }
+            .to_string()
+            .contains("status"));
     }
 
     proptest! {
@@ -352,6 +446,8 @@ mod tests {
             payload in proptest::collection::vec(any::<u8>(), 0..256),
             kind in 0u8..3,
             relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
+            status in 0u8..3,
+            hops in any::<u16>(),
         ) {
             let id = DataId::from_bytes(id);
             let mut p = match kind {
@@ -362,6 +458,15 @@ mod tests {
             if let Some((s, r, d)) = relay {
                 p = p.with_relay(s, r, d);
             }
+            // A status is only encodable on responses.
+            if p.kind == PacketKind::RetrievalResponse {
+                p.status = match status {
+                    0 => ResponseStatus::Ok,
+                    1 => ResponseStatus::NotFound,
+                    _ => ResponseStatus::Error,
+                };
+            }
+            p.hops = hops;
             let parsed = parse(&encode(&p)).unwrap();
             prop_assert_eq!(parsed, p);
         }

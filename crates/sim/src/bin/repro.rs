@@ -4,6 +4,7 @@
 //! ```text
 //! repro <experiment> [--paper] [--csv <dir>] [--threads <n>]
 //! repro soak [--seed <n>] [--ops <n>] [--switches <n>]
+//! repro cluster [--seed <n>] [--ops <n>] [--switches <n>]
 //!
 //! experiments: fig7a fig7b fig8 fig9a fig9b fig9c fig9d
 //!              fig11a fig11b fig11c tables churn churn-owners
@@ -21,6 +22,13 @@
 //! every invariant after every operation. On failure it prints the
 //! failing step, the violations, a one-line reproduction command, and a
 //! greedily shrunk (drop-one minimal) schedule, then exits nonzero.
+//!
+//! `cluster` boots every switch of a seeded network as a real TCP node
+//! on loopback (gred-cluster), places `--ops` ids through rotating
+//! access nodes, retrieves them all back over the sockets, verifies each
+//! ack against the in-process model, and shuts the cluster down
+//! gracefully. Any lost request, wrong payload, or wrong owner exits
+//! nonzero.
 //! ```
 
 use gred_net::LatencyModel;
@@ -458,7 +466,7 @@ fn run(experiment: &str, scale: &Scale, out: &Output, threads: usize) {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero build-report all"
+                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero build-report soak cluster all"
             );
             std::process::exit(2);
         }
@@ -564,6 +572,105 @@ fn run_soak(seed: u64, ops: usize, switches: usize) {
     }
 }
 
+/// Boots a loopback TCP cluster (one node per switch) and drives a
+/// place/retrieve workload through it, cross-checking every reply
+/// against the in-process model. Exits 1 on any lost or wrong reply.
+fn run_cluster(seed: u64, ops: usize, switches: usize) {
+    use gred::{GredConfig, GredNetwork};
+    use gred_cluster::{Client, Cluster, ClusterConfig};
+    use gred_hash::DataId;
+    use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let config = GredConfig {
+        auto_extend: false,
+        ..GredConfig::with_iterations(8).seeded(seed)
+    };
+    let net = GredNetwork::build(topo, pool, config).expect("seeded network builds");
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    println!(
+        "cluster: {} switches as loopback TCP nodes, seed {seed}, {ops} ids",
+        cluster.len()
+    );
+
+    let members = net.members().to_vec();
+    let mut clients: HashMap<usize, Client> = HashMap::new();
+    let mut rotor = seed;
+    let mut next = |n: usize| {
+        rotor = rotor
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rotor >> 33) as usize % n
+    };
+    let mut lost = 0usize;
+    let started = Instant::now();
+
+    for i in 0..ops {
+        let id = DataId::new(format!("cluster/{seed}/{i}"));
+        let access = members[next(members.len())];
+        let client = clients
+            .entry(access)
+            .or_insert_with(|| cluster.client(access).expect("client connects"));
+        match client.place(&id, format!("payload/{i}").into_bytes()) {
+            Ok(reply) if reply.ack_server() == Some(net.responsible_server(&id)) => {}
+            Ok(reply) => {
+                println!(
+                    "place {i}: acked by {:?}, expected {}",
+                    reply.ack_server(),
+                    net.responsible_server(&id)
+                );
+                lost += 1;
+            }
+            Err(e) => {
+                println!("place {i} via node {access} failed: {e}");
+                lost += 1;
+            }
+        }
+    }
+    for i in 0..ops {
+        let id = DataId::new(format!("cluster/{seed}/{i}"));
+        let access = members[next(members.len())];
+        let client = clients
+            .entry(access)
+            .or_insert_with(|| cluster.client(access).expect("client connects"));
+        match client.retrieve(&id) {
+            Ok(reply)
+                if reply.is_hit()
+                    && reply.payload.as_ref() == format!("payload/{i}").as_bytes() => {}
+            Ok(_) => {
+                println!("retrieve {i}: wrong or missing payload");
+                lost += 1;
+            }
+            Err(e) => {
+                println!("retrieve {i} via node {access} failed: {e}");
+                lost += 1;
+            }
+        }
+    }
+
+    let elapsed = started.elapsed();
+    drop(clients);
+    let report = cluster.shutdown();
+    let total = 2 * ops;
+    println!("{report}");
+    println!(
+        "workload: {total} requests in {:.3}s ({:.0} req/s), {lost} lost",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if lost > 0 || report.total_errors() > 0 {
+        println!(
+            "cluster FAILED: {lost} lost, {} node errors",
+            report.total_errors()
+        );
+        std::process::exit(1);
+    }
+    println!("cluster passed: zero lost requests, graceful shutdown");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
@@ -602,7 +709,7 @@ fn main() {
         .next()
         .unwrap_or("all");
 
-    if experiment == "soak" {
+    if experiment == "soak" || experiment == "cluster" {
         let flag = |name: &str| {
             args.iter()
                 .position(|a| a == name)
@@ -610,9 +717,14 @@ fn main() {
                 .and_then(|v| v.parse::<u64>().ok())
         };
         let seed = flag("--seed").unwrap_or(SEED);
-        let ops = flag("--ops").unwrap_or(2000) as usize;
         let switches = (flag("--switches").unwrap_or(12) as usize).max(4);
-        run_soak(seed, ops, switches);
+        if experiment == "cluster" {
+            let ops = flag("--ops").unwrap_or(500) as usize;
+            run_cluster(seed, ops, switches);
+        } else {
+            let ops = flag("--ops").unwrap_or(2000) as usize;
+            run_soak(seed, ops, switches);
+        }
         return;
     }
 

@@ -5,6 +5,7 @@
 use crate::invariants::check_all;
 use crate::oracle::Oracle;
 use crate::schedule::{generate, Op};
+use crate::transport::TransportProbe;
 use gred::{GredConfig, GredError, GredNetwork};
 use gred_hash::DataId;
 use gred_net::{waxman_topology, ServerId, ServerPool, WaxmanConfig};
@@ -160,6 +161,31 @@ impl Harness {
     /// Replays an explicit schedule (used by shrinking, which must re-run
     /// truncated/shortened op sequences under the same seed).
     pub fn replay(&self, seed: u64, ops: &[Op], mutation: Option<Mutation>) -> RunOutcome {
+        self.replay_impl(seed, ops, mutation, None)
+    }
+
+    /// Replays a schedule while mirroring every data operation onto
+    /// `probe` (e.g. a socket-backed cluster): transport divergence
+    /// fails the run exactly like a model divergence. Fault injection is
+    /// not combined with probing — a mutation corrupts the network
+    /// behind the transport's back, which only measures how stale the
+    /// probe's copy is.
+    pub fn replay_probed(
+        &self,
+        seed: u64,
+        ops: &[Op],
+        probe: &mut dyn TransportProbe,
+    ) -> RunOutcome {
+        self.replay_impl(seed, ops, None, Some(probe))
+    }
+
+    fn replay_impl(
+        &self,
+        seed: u64,
+        ops: &[Op],
+        mutation: Option<Mutation>,
+        mut probe: Option<&mut dyn TransportProbe>,
+    ) -> RunOutcome {
         let cfg = &self.config;
         let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(cfg.switches, seed));
         let pool = ServerPool::uniform(cfg.switches, cfg.servers_per_switch, cfg.capacity);
@@ -174,7 +200,15 @@ impl Harness {
         let mut stats = RunStats::default();
         let mut mutation_applied = false;
         for (step, &op) in ops.iter().enumerate() {
-            let mut violations = self.exec_op(&mut net, &mut oracle, seed, step, op, &mut stats);
+            let mut violations = self.exec_op(
+                &mut net,
+                &mut oracle,
+                seed,
+                step,
+                op,
+                &mut stats,
+                &mut probe,
+            );
 
             if let Some(m) = mutation {
                 // Clamp so a mutation at/after the end still fires on the
@@ -221,6 +255,9 @@ impl Harness {
 
     /// Executes one op against network and oracle, returning semantic
     /// violations (wrong receipt, unexpected error, model divergence).
+    /// When a probe is attached, data operations are mirrored onto it
+    /// and state changes trigger a resync.
+    #[allow(clippy::too_many_arguments)]
     fn exec_op(
         &self,
         net: &mut GredNetwork,
@@ -229,6 +266,7 @@ impl Harness {
         step: usize,
         op: Op,
         stats: &mut RunStats,
+        probe: &mut Option<&mut dyn TransportProbe>,
     ) -> Vec<String> {
         let mut v = Vec::new();
         let members = net.members().to_vec();
@@ -245,6 +283,9 @@ impl Harness {
                                 "place {id:?}: landed on {} but oracle expects {expected}",
                                 receipt.server
                             ));
+                        }
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.place(net, access, &id, payload.as_bytes(), receipt.server));
                         }
                         oracle.place(id, payload);
                         stats.placed += 1;
@@ -267,13 +308,20 @@ impl Harness {
                                     res.server, expected.loc
                                 ));
                             }
+                            if let Some(p) = probe.as_deref_mut() {
+                                v.extend(p.retrieve(net, access, &id, &expected.payload));
+                            }
                         }
                         Err(e) => v.push(format!("retrieve {id:?} from {access} failed: {e}")),
                     }
                 } else {
                     let id = DataId::new(format!("missing/{pick}"));
                     match net.retrieve(&id, access) {
-                        Err(GredError::NotFound) => {}
+                        Err(GredError::NotFound) => {
+                            if let Some(p) = probe.as_deref_mut() {
+                                v.extend(p.retrieve_missing(net, access, &id));
+                            }
+                        }
                         Ok(res) => v.push(format!(
                             "retrieve of never-placed {id:?} returned data from {}",
                             res.server
@@ -296,6 +344,15 @@ impl Harness {
                                     receipt.server
                                 ));
                             }
+                            if let Some(p) = probe.as_deref_mut() {
+                                v.extend(p.place(
+                                    net,
+                                    access,
+                                    &rid,
+                                    payload.as_bytes(),
+                                    receipt.server,
+                                ));
+                            }
                             oracle.place(rid, payload.clone());
                             stats.placed += 1;
                         }
@@ -315,6 +372,9 @@ impl Harness {
                         }
                         oracle.extend(original, takeover);
                         stats.extended += 1;
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.resync(net));
+                        }
                     }
                     Err(GredError::AlreadyExtended { .. }) => {
                         if oracle.extension_of(original).is_none() {
@@ -336,6 +396,9 @@ impl Harness {
                         Ok(()) => {
                             oracle.retract(original);
                             stats.retracted += 1;
+                            if let Some(p) = probe.as_deref_mut() {
+                                v.extend(p.resync(net));
+                            }
                         }
                         Err(e) => v.push(format!("retract {original}: {e}")),
                     }
@@ -351,6 +414,9 @@ impl Harness {
                             }
                             oracle.retract(original);
                             stats.retracted += 1;
+                            if let Some(p) = probe.as_deref_mut() {
+                                v.extend(p.resync(net));
+                            }
                         }
                         Err(GredError::UnknownServer { .. }) => {
                             if oracle.extension_of(original).is_some() {
@@ -382,6 +448,9 @@ impl Harness {
                             .expect("joined switch has a position");
                         oracle.join(s, position, servers as usize);
                         stats.joined += 1;
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.resync(net));
+                        }
                     }
                     Err(e) => v.push(format!("join linked to {links:?}: {e}")),
                 }
@@ -396,6 +465,9 @@ impl Harness {
                     Ok(()) => {
                         oracle.leave(victim);
                         stats.left += 1;
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.resync(net));
+                        }
                     }
                     Err(GredError::Disconnected) => stats.skipped += 1,
                     Err(e) => v.push(format!("remove switch {victim}: {e}")),
@@ -412,6 +484,9 @@ impl Harness {
                         oracle.crash_drain(victim);
                         oracle.leave(victim);
                         stats.crashed += 1;
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.resync(net));
+                        }
                     }
                     Err(GredError::Disconnected) => {
                         // The real crash drains data *before* the failed
@@ -419,6 +494,9 @@ impl Harness {
                         // stays. Mirror exactly that.
                         oracle.crash_drain(victim);
                         stats.skipped += 1;
+                        if let Some(p) = probe.as_deref_mut() {
+                            v.extend(p.resync(net));
+                        }
                     }
                     Err(e) => v.push(format!("crash switch {victim}: {e}")),
                 }

@@ -29,7 +29,9 @@ pub mod harness;
 pub mod invariants;
 pub mod oracle;
 pub mod schedule;
+pub mod transport;
 
 pub use harness::{Failure, Harness, HarnessConfig, Mutation, RunOutcome, RunStats};
 pub use oracle::Oracle;
 pub use schedule::{generate, Op};
+pub use transport::TransportProbe;

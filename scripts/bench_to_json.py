@@ -2,15 +2,25 @@
 """Convert criterion-shim bench output into a committed JSON summary.
 
 The in-tree criterion shim appends one JSON line per benchmark to
-``target/criterion-shim/results.jsonl``. This script folds the
-``controller_build`` group into ``BENCH_controller_build.json``: one entry
-per thread count with the measured mean wall time and its speedup over the
-serial (threads=1) build, plus enough hardware context to interpret the
-numbers.
+``target/criterion-shim/results.jsonl``. This script folds one bench
+group into a ``BENCH_<group>.json`` summary at the repo root, keeping
+only the latest record per benchmark id and attaching enough hardware
+context to interpret the numbers.
+
+Supported groups:
+
+``controller_build`` (default)
+    Bench ids ``{switches}sw_{threads}t``; reports mean wall time per
+    rebuild and the speedup over the serial (threads=1) build.
+
+``cluster_throughput``
+    Bench ids ``{switches}sw_{clients}c``; reports end-to-end loopback
+    TCP request rate (``throughput_elements / mean_seconds``) per
+    client-thread count.
 
 Usage:
     cargo bench -p gred-bench --bench controller_build_scaling
-    python3 scripts/bench_to_json.py [results.jsonl] [out.json]
+    python3 scripts/bench_to_json.py [--group NAME] [results.jsonl] [out.json]
 """
 
 import json
@@ -54,16 +64,8 @@ def find_results(root):
     return max(found, key=os.path.getmtime)
 
 
-def main():
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    src = sys.argv[1] if len(sys.argv) > 1 else find_results(root)
-    if not os.path.exists(src):
-        sys.exit(f"{src}: not found; run the controller_build_scaling bench first")
-    dst = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
-        root, "BENCH_controller_build.json"
-    )
-
-    # Keep only the latest record per benchmark id (reruns append).
+def latest_records(src, group):
+    """Latest record per bench id within `group` (reruns append)."""
     latest = {}
     with open(src, encoding="utf-8") as f:
         for line in f:
@@ -71,12 +73,14 @@ def main():
             if not line:
                 continue
             rec = json.loads(line)
-            if rec.get("group") == "controller_build":
+            if rec.get("group") == group:
                 latest[rec["bench"]] = rec
-
     if not latest:
-        sys.exit(f"no controller_build records in {src}")
+        sys.exit(f"no {group} records in {src}")
+    return latest
 
+
+def fold_controller_build(latest):
     results = []
     for bench, rec in sorted(latest.items()):
         m = re.fullmatch(r"(\d+)sw_(\d+)t", bench)
@@ -96,21 +100,88 @@ def main():
         base = serial.get(r["switches"])
         r["speedup_vs_serial"] = round(base / r["mean_ms"], 2) if base else None
 
-    summary = {
+    return {
         "benchmark": "controller_build_scaling",
         "description": (
             "Full GRED control-plane rebuild (M-position embedding, "
             "C-regulation, Delaunay triangulation, forwarding-entry "
             "installation) on a Waxman topology, by worker-thread count."
         ),
-        "date": date.today().isoformat(),
-        "hardware": {"cpus_available": cpu_count(), "cpu_model": cpu_model()},
         "results": results,
     }
+
+
+def fold_cluster_throughput(latest):
+    results = []
+    for bench, rec in sorted(latest.items()):
+        m = re.fullmatch(r"(\d+)sw_(\d+)c", bench)
+        if not m:
+            sys.exit(f"unexpected bench id {bench!r}")
+        elements = rec.get("throughput_elements")
+        if not elements:
+            sys.exit(f"bench {bench!r} is missing throughput_elements")
+        mean_s = rec["mean_ns"] / 1e9
+        results.append(
+            {
+                "switches": int(m.group(1)),
+                "client_threads": int(m.group(2)),
+                "batch_requests": elements,
+                "mean_batch_ms": round(rec["mean_ns"] / 1e6, 3),
+                "requests_per_sec": round(elements / mean_s, 1),
+            }
+        )
+    results.sort(key=lambda r: (r["switches"], r["client_threads"]))
+
+    return {
+        "benchmark": "cluster_throughput",
+        "description": (
+            "End-to-end retrieval rate against a pre-booted loopback TCP "
+            "cluster (gred-cluster nodes speaking the framed wire "
+            "protocol), by concurrent client-thread count. Includes "
+            "framing, socket hops, and the full greedy multi-hop "
+            "forwarding path between nodes."
+        ),
+        "caveat": (
+            "Measured with node workers and client threads sharing the "
+            "runner's CPUs; on a single-CPU runner the client-thread "
+            "scaling mostly reflects pipelining across blocking socket "
+            "waits, not parallel speedup."
+        ),
+        "results": results,
+    }
+
+
+FOLDERS = {
+    "controller_build": fold_controller_build,
+    "cluster_throughput": fold_cluster_throughput,
+}
+
+
+def main():
+    argv = sys.argv[1:]
+    group = "controller_build"
+    if argv and argv[0] == "--group":
+        if len(argv) < 2:
+            sys.exit("--group needs a value")
+        group = argv[1]
+        argv = argv[2:]
+    if group not in FOLDERS:
+        sys.exit(f"unknown group {group!r}; expected one of {sorted(FOLDERS)}")
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = argv[0] if argv else find_results(root)
+    if not os.path.exists(src):
+        sys.exit(f"{src}: not found; run the bench first")
+    dst = argv[1] if len(argv) > 1 else os.path.join(root, f"BENCH_{group}.json")
+
+    summary = FOLDERS[group](latest_records(src, group))
+    summary["date"] = date.today().isoformat()
+    summary["hardware"] = {"cpus_available": cpu_count(), "cpu_model": cpu_model()}
+
     with open(dst, "w", encoding="utf-8") as f:
         json.dump(summary, f, indent=2)
         f.write("\n")
-    print(f"wrote {dst} ({len(results)} results)")
+    print(f"wrote {dst} ({len(summary['results'])} results)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,158 @@
+//! Loopback cluster integration test (the tentpole's acceptance bar).
+//!
+//! Boots a 16-switch GRED network as 16 real TCP nodes, places 200 ids
+//! through rotating access switches, retrieves all 200 from a client
+//! attached to one deterministically chosen node, and checks the remote
+//! observations against an identical in-process twin network:
+//!
+//! - every placement ack names exactly the server the twin's
+//!   `place()` stores on,
+//! - every reply's in-band hop count equals the twin route's
+//!   `physical_hops()`,
+//! - after the workload, every switch's `packets_processed` counter
+//!   matches the twin's — the TCP path exercised the data plane
+//!   *exactly* as the in-process walk does, packet for packet,
+//! - graceful shutdown joins every worker and loses nothing.
+
+use gred::{GredConfig, GredNetwork};
+use gred_cluster::{Cluster, ClusterConfig};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use std::collections::HashMap;
+
+const SEED: u64 = 2019;
+const SWITCHES: usize = 16;
+const OPS: usize = 200;
+
+fn build_network() -> GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(SWITCHES, SEED));
+    let pool = ServerPool::uniform(SWITCHES, 2, u64::MAX);
+    let cfg = GredConfig {
+        auto_extend: false,
+        ..GredConfig::with_iterations(8).seeded(SEED)
+    };
+    GredNetwork::build(topo, pool, cfg).expect("seeded network builds")
+}
+
+/// Deterministic access-switch sequence (no RNG state shared with the
+/// network build).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn loopback_cluster_matches_the_in_process_data_plane() {
+    // `net` boots the cluster; `twin` is an identical build that walks
+    // every request in-process for comparison. Both are deterministic
+    // functions of SEED.
+    let net = build_network();
+    let mut twin = build_network();
+    for plane in twin.dataplanes() {
+        plane.reset_counters();
+    }
+
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    assert_eq!(cluster.len(), SWITCHES);
+    let members = net.members().to_vec();
+    assert!(members.len() > 1, "seeded build keeps several DT members");
+
+    let mut lcg = Lcg(SEED);
+    let mut clients: HashMap<usize, gred_cluster::Client> = HashMap::new();
+
+    // Place OPS ids through rotating access members.
+    for i in 0..OPS {
+        let id = DataId::new(format!("loopback/{i}"));
+        let payload = format!("payload/{SEED}/{i}");
+        let access = members[lcg.next() as usize % members.len()];
+        let client = match clients.entry(access) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(cluster.client(access).expect("client connects"))
+            }
+        };
+
+        let reply = client
+            .place(&id, payload.clone().into_bytes())
+            .unwrap_or_else(|e| panic!("place {i} via {access} failed: {e}"));
+        let receipt = twin
+            .place(&id, payload.into_bytes(), access)
+            .expect("twin placement succeeds");
+
+        assert!(reply.is_hit(), "place {i} not acked");
+        assert_eq!(
+            reply.ack_server(),
+            Some(receipt.server),
+            "place {i}: TCP ack and in-process receipt disagree on the server"
+        );
+        assert_eq!(
+            u32::from(reply.hops),
+            receipt.route.physical_hops(),
+            "place {i}: TCP hop count diverges from the in-process route"
+        );
+    }
+
+    // Retrieve all OPS ids from a client attached to one (seeded-random)
+    // member node.
+    let retrieval_access = members[lcg.next() as usize % members.len()];
+    let mut reader = cluster
+        .client(retrieval_access)
+        .expect("retrieval client connects");
+    for i in 0..OPS {
+        let id = DataId::new(format!("loopback/{i}"));
+        let reply = reader
+            .retrieve(&id)
+            .unwrap_or_else(|e| panic!("retrieve {i} via {retrieval_access} failed: {e}"));
+        let expected = twin
+            .retrieve(&id, retrieval_access)
+            .expect("twin retrieval hits");
+
+        assert!(reply.is_hit(), "retrieve {i}: lost over TCP");
+        assert_eq!(
+            reply.payload.as_ref(),
+            expected.payload.as_ref(),
+            "retrieve {i}: payload corrupted in transit"
+        );
+        assert_eq!(
+            u32::from(reply.hops),
+            expected.route.physical_hops(),
+            "retrieve {i}: TCP hop count diverges from the in-process route"
+        );
+    }
+
+    // The TCP path drove every switch's pipeline exactly as the twin's
+    // in-process walk did: same decisions, same relays, per switch.
+    for switch in 0..SWITCHES {
+        assert_eq!(
+            cluster.node(switch).packets_processed(),
+            twin.dataplanes()[switch].packets_processed(),
+            "switch {switch}: packets_processed diverges from the twin"
+        );
+    }
+
+    // Graceful shutdown: every worker joins, nothing was lost.
+    drop(clients);
+    drop(reader);
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0, "zero lost requests required");
+    assert_eq!(
+        report.stored_items(),
+        OPS,
+        "every placed id is stored exactly once"
+    );
+    assert!(
+        report.workers_joined() > 0,
+        "shutdown must join the connection workers"
+    );
+    assert_eq!(
+        report.total_requests(),
+        report.nodes.iter().map(|n| n.requests).sum::<u64>()
+    );
+}
