@@ -25,11 +25,19 @@ const SEED: u64 = 2019;
 /// Ids pre-placed before timing starts.
 const IDS: usize = 120;
 /// Retrievals per timed iteration (divisible by every thread count).
-const REQS: usize = 120;
+/// Large enough that the per-iteration `thread::scope` spawn/join cost
+/// and the last-thread tail are noise next to the requests themselves.
+const REQS: usize = 480;
 
-fn boot() -> (GredNetwork, Cluster) {
-    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(SWITCHES, SEED));
-    let pool = ServerPool::uniform(SWITCHES, 2, u64::MAX);
+/// Contention variant: few switches, many clients, so every node serves
+/// several concurrent client connections while also answering nested
+/// peer RPCs over the same multiplexed links.
+const CONTENTION_SWITCHES: usize = 4;
+const CONTENTION_CLIENTS: usize = 8;
+
+fn boot(switches: usize) -> (GredNetwork, Cluster) {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
     let cfg = GredConfig {
         auto_extend: false,
         ..GredConfig::with_iterations(8).seeded(SEED)
@@ -39,60 +47,95 @@ fn boot() -> (GredNetwork, Cluster) {
     (net, cluster)
 }
 
-fn bench_cluster_throughput(c: &mut Criterion) {
-    let (net, cluster) = boot();
-    let members = net.members().to_vec();
-
-    // Seed the stores once; the timed section is retrieval-only.
-    let mut seeder = cluster.client(members[0]).expect("seeder connects");
+/// Pre-places the bench working set so the timed section is retrieval-only.
+fn seed_store(cluster: &Cluster, access: usize) {
+    let mut seeder = cluster.client(access).expect("seeder connects");
     for i in 0..IDS {
         let id = DataId::new(format!("bench/{i}"));
         seeder
             .place(&id, format!("payload/{i}").into_bytes())
             .expect("seed placement succeeds");
     }
-    drop(seeder);
+}
+
+/// Fires `REQS` retrievals split evenly over the connections, one thread
+/// per connection.
+fn fire_batch(conns: &mut [Client]) {
+    let clients = conns.len();
+    let per_thread = REQS / clients;
+    std::thread::scope(|scope| {
+        for (k, conn) in conns.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for j in 0..per_thread {
+                    let id = DataId::new(format!("bench/{}", (k * per_thread + j) % IDS));
+                    let reply = conn.retrieve(&id).expect("retrieval succeeds");
+                    assert!(reply.is_hit(), "bench id must be stored");
+                }
+            });
+        }
+    });
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let (net, cluster) = boot(SWITCHES);
+    let members = net.members().to_vec();
+    seed_store(&cluster, members[0]);
 
     let mut group = c.benchmark_group("cluster_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(REQS as u64));
     for clients in [1usize, 2, 4] {
-        // Persistent connections, one per thread, spread over the
-        // member switches so access points differ.
+        // Persistent connections, one per thread, all to the same access
+        // node: the thread count then varies only the concurrency, not
+        // the route mix, so the per-client-count numbers are comparable.
         let mut conns: Vec<Client> = (0..clients)
-            .map(|k| {
-                cluster
-                    .client(members[k % members.len()])
-                    .expect("bench client connects")
-            })
+            .map(|_| cluster.client(members[0]).expect("bench client connects"))
             .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{SWITCHES}sw_{clients}c")),
             &clients,
-            |b, &clients| {
-                b.iter(|| {
-                    let per_thread = REQS / clients;
-                    std::thread::scope(|scope| {
-                        for (k, conn) in conns.iter_mut().enumerate() {
-                            scope.spawn(move || {
-                                for j in 0..per_thread {
-                                    let id = DataId::new(format!(
-                                        "bench/{}",
-                                        (k * per_thread + j) % IDS
-                                    ));
-                                    let reply = conn.retrieve(&id).expect("retrieval succeeds");
-                                    assert!(reply.is_hit(), "bench id must be stored");
-                                }
-                            });
-                        }
-                    });
-                });
-            },
+            |b, _| b.iter(|| fire_batch(&mut conns)),
         );
     }
     group.finish();
-    cluster.shutdown();
+    let report = cluster.shutdown();
+    println!("cluster_throughput hot stats: {}", report.hot_stats());
 }
 
-criterion_group!(benches, bench_cluster_throughput);
+/// Contention-heavy variant: 8 client threads hammer a 4-node cluster,
+/// so every node multiplexes several clients plus nested peer RPCs over
+/// the same links. The old one-connection-per-peer design collapsed here
+/// (every busy link cost a fresh TCP handshake); the multiplexed links
+/// must keep `oneshot_fallbacks` at zero.
+fn bench_cluster_contention(c: &mut Criterion) {
+    let (net, cluster) = boot(CONTENTION_SWITCHES);
+    let members = net.members().to_vec();
+    seed_store(&cluster, members[0]);
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQS as u64));
+    let mut conns: Vec<Client> = (0..CONTENTION_CLIENTS)
+        .map(|k| {
+            cluster
+                .client(members[k % members.len()])
+                .expect("bench client connects")
+        })
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{CONTENTION_SWITCHES}sw_{CONTENTION_CLIENTS}c")),
+        &CONTENTION_CLIENTS,
+        |b, _| b.iter(|| fire_batch(&mut conns)),
+    );
+    group.finish();
+    let report = cluster.shutdown();
+    let hot = report.hot_stats();
+    println!("cluster_contention hot stats: {hot}");
+    assert_eq!(
+        hot.oneshot_fallbacks, 0,
+        "contention must be absorbed by the multiplexed links"
+    );
+}
+
+criterion_group!(benches, bench_cluster_throughput, bench_cluster_contention);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! backoff, reconnecting each time so a late response from a previous
 //! attempt can never be mistaken for the current one.
 
-use crate::frame::{encode_frame, FrameDecoder, FrameError};
+use crate::frame::{self, FrameDecoder, FrameError};
 use crate::proto;
 use bytes::Bytes;
 use gred_dataplane::{wire, Packet, PacketKind, ResponseStatus};
@@ -155,6 +155,9 @@ pub struct Client {
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Reusable encode buffer: after the first request on a connection,
+    /// building a frame allocates nothing.
+    scratch: Vec<u8>,
 }
 
 impl Client {
@@ -252,6 +255,7 @@ impl Client {
             self.conn = Some(Conn {
                 stream,
                 decoder: FrameDecoder::new(),
+                scratch: Vec::new(),
             });
         }
         Ok(self.conn.as_mut().expect("connection just ensured"))
@@ -261,8 +265,12 @@ impl Client {
     fn attempt(&mut self, packet: &Packet) -> Result<Reply, ClientError> {
         let request_timeout = self.cfg.request_timeout;
         let conn = self.ensure_conn()?;
+        conn.scratch.clear();
+        let at = frame::begin_frame(&mut conn.scratch);
+        wire::encode_into(packet, &mut conn.scratch);
+        frame::finish_frame(&mut conn.scratch, at);
         conn.stream
-            .write_all(&encode_frame(&wire::encode(packet)))
+            .write_all(&conn.scratch)
             .map_err(|e| ClientError::Io {
                 context: "sending the request",
                 kind: e.kind(),
@@ -271,7 +279,9 @@ impl Client {
         let mut buf = [0u8; 64 * 1024];
         loop {
             if let Some(body) = conn.decoder.next_frame().map_err(ClientError::Frame)? {
-                let response = wire::parse(&body).map_err(ClientError::Protocol)?;
+                // Zero-copy: the reply's payload is a view of the frame
+                // body, not another allocation.
+                let response = wire::parse_bytes(&body).map_err(ClientError::Protocol)?;
                 if response.kind != PacketKind::RetrievalResponse {
                     return Err(ClientError::UnexpectedKind(response.kind));
                 }

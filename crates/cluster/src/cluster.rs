@@ -54,18 +54,30 @@ impl ClusterReport {
     pub fn stored_items(&self) -> usize {
         self.nodes.iter().map(|n| n.stored_items).sum()
     }
+
+    /// Hot-path contention counters summed across all nodes. A healthy
+    /// run keeps `oneshot_fallbacks` and `link_reconnects` at zero.
+    pub fn hot_stats(&self) -> gred_dataplane::NodeHotStats {
+        self.nodes
+            .iter()
+            .map(|n| n.hot)
+            .fold(gred_dataplane::NodeHotStats::default(), |acc, h| {
+                acc.merged(h)
+            })
+    }
 }
 
 impl std::fmt::Display for ClusterReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} nodes, {} requests ({} errors), {} workers joined, {} items stored",
+            "{} nodes, {} requests ({} errors), {} workers joined, {} items stored; {}",
             self.nodes.len(),
             self.total_requests(),
             self.total_errors(),
             self.workers_joined(),
             self.stored_items(),
+            self.hot_stats(),
         )
     }
 }

@@ -15,6 +15,29 @@
 //! larger than [`MAX_FRAME_LEN`] is a protocol violation reported as a
 //! typed [`FrameError`] — never a panic, and never an attempt to buffer
 //! gigabytes because of four corrupt bytes.
+//!
+//! Bodies are yielded as [`Bytes`]: one copy out of the stream buffer per
+//! frame, after which the node's zero-copy hot path slices the packet
+//! payload out of that same allocation (`wire::parse_bytes`) instead of
+//! copying it again per hop.
+//!
+//! # Multiplexed frames
+//!
+//! A multiplexed peer link (see [`crate::mux`]) opens with the
+//! [`MUX_PREAMBLE`] and then carries ordinary frames whose bodies are
+//! prefixed with an 8-byte big-endian correlation id:
+//!
+//! ```text
+//!  +-----------------+------------------+---------------------------+
+//!  | length (u32 be) | corr id (u64 be) | body (wire::encode bytes) |
+//!  +-----------------+------------------+---------------------------+
+//! ```
+//!
+//! The preamble is unambiguous on a shared listener: a plain frame's
+//! first byte is the high byte of a length `<= MAX_FRAME_LEN` (so at most
+//! `0x01`), while the preamble starts with `b'G'` (`0x47`).
+
+use bytes::Bytes;
 
 /// Upper bound on a frame body. GRED identifiers and payloads are small;
 /// anything past this is a corrupt or hostile length prefix.
@@ -65,6 +88,52 @@ pub fn encode_frame(body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// First bytes a multiplexed peer link sends after connecting, so one
+/// listener can serve both plain request/response connections and
+/// multiplexed links. See the module docs for why this cannot collide
+/// with a frame length prefix.
+pub const MUX_PREAMBLE: [u8; 4] = *b"GMUX";
+
+/// Bytes of the correlation-id prefix inside a multiplexed frame body.
+pub const MUX_CORR_LEN: usize = 8;
+
+/// Starts a frame directly inside `out` (appending, not clearing): writes
+/// a length placeholder and returns the position [`finish_frame`] patches.
+/// The pair lets hot paths build `prefix + body` in one reusable buffer
+/// instead of encoding the body separately and copying it into a frame.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; PREFIX]);
+    at
+}
+
+/// Patches the length prefix written by [`begin_frame`] at `at` to cover
+/// every byte appended since.
+///
+/// # Panics
+///
+/// Panics if the body exceeds [`MAX_FRAME_LEN`] — same contract as
+/// [`encode_frame`].
+pub fn finish_frame(out: &mut [u8], at: usize) {
+    let body_len = out.len() - at - PREFIX;
+    assert!(
+        body_len <= MAX_FRAME_LEN,
+        "frame body of {body_len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+    );
+    out[at..at + PREFIX].copy_from_slice(&(body_len as u32).to_be_bytes());
+}
+
+/// Splits a multiplexed frame body into its correlation id and the wire
+/// packet bytes (a zero-copy view of `body`). `None` when the body is too
+/// short to carry the id — a protocol violation on a mux link.
+pub fn split_mux(body: &Bytes) -> Option<(u64, Bytes)> {
+    if body.len() < MUX_CORR_LEN {
+        return None;
+    }
+    let corr = u64::from_be_bytes(body[..MUX_CORR_LEN].try_into().expect("8 bytes"));
+    Some((corr, body.slice(MUX_CORR_LEN..)))
+}
+
 /// Incremental frame reassembler tolerating short reads and split frames.
 ///
 /// ```
@@ -112,7 +181,7 @@ impl FrameDecoder {
     /// [`FrameError::TooLarge`] when the pending length prefix is corrupt;
     /// the error repeats on every subsequent call (the stream cannot be
     /// resynchronized).
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
         if let Some(err) = self.poisoned {
             return Err(err);
         }
@@ -134,7 +203,10 @@ impl FrameDecoder {
             self.compact();
             return Ok(None);
         }
-        let body = pending[PREFIX..PREFIX + len].to_vec();
+        // The stream buffer is mutable and reused, so the body is copied
+        // out exactly once, into a shared allocation every downstream
+        // consumer (payload slice, store, response) can view for free.
+        let body = Bytes::copy_from_slice(&pending[PREFIX..PREFIX + len]);
         self.start += PREFIX + len;
         self.compact();
         Ok(Some(body))
@@ -188,7 +260,7 @@ mod tests {
     fn drain(dec: &mut FrameDecoder) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         while let Some(f) = dec.next_frame().expect("well-formed stream") {
-            out.push(f);
+            out.push(f.to_vec());
         }
         out
     }
@@ -264,6 +336,41 @@ mod tests {
         let _ = encode_frame(&vec![0u8; MAX_FRAME_LEN + 1]);
     }
 
+    #[test]
+    fn begin_finish_matches_encode_frame_and_appends() {
+        let mut out = b"unrelated-prefix".to_vec();
+        let at = begin_frame(&mut out);
+        out.extend_from_slice(b"the-body");
+        finish_frame(&mut out, at);
+        assert_eq!(&out[..16], b"unrelated-prefix");
+        assert_eq!(&out[16..], encode_frame(b"the-body").as_slice());
+    }
+
+    #[test]
+    fn split_mux_views_the_body_without_copying() {
+        let mut out = Vec::new();
+        let at = begin_frame(&mut out);
+        out.extend_from_slice(&42u64.to_be_bytes());
+        out.extend_from_slice(b"packet-bytes");
+        finish_frame(&mut out, at);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&out);
+        let body = dec.next_frame().unwrap().unwrap();
+        let (corr, payload) = split_mux(&body).unwrap();
+        assert_eq!(corr, 42);
+        assert_eq!(payload.as_ref(), b"packet-bytes");
+        // A 7-byte body cannot carry the 8-byte correlation id.
+        assert!(split_mux(&Bytes::copy_from_slice(&[0; 7])).is_none());
+    }
+
+    #[test]
+    fn mux_preamble_cannot_be_a_frame_prefix() {
+        // The dispatch trick in `serve_connection`: a plain frame's first
+        // byte is the high byte of a length <= MAX_FRAME_LEN.
+        let max_first_byte = (MAX_FRAME_LEN as u32).to_be_bytes()[0];
+        assert!(MUX_PREAMBLE[0] > max_first_byte);
+    }
+
     proptest! {
         /// Any chunking of any frame stream decodes to exactly the frames
         /// whole-buffer decoding finds — no loss, duplication, reordering.
@@ -293,13 +400,13 @@ mod tests {
             for &p in &points {
                 dec.feed(&stream[prev..p]);
                 while let Some(f) = dec.next_frame().unwrap() {
-                    got.push(f);
+                    got.push(f.to_vec());
                 }
                 prev = p;
             }
             dec.feed(&stream[prev..]);
             while let Some(f) = dec.next_frame().unwrap() {
-                got.push(f);
+                got.push(f.to_vec());
             }
             prop_assert_eq!(got, expected);
             prop_assert_eq!(dec.buffered(), 0);
@@ -327,6 +434,58 @@ mod tests {
             let body = dec.next_frame().unwrap().expect("one whole frame fed");
             let parsed = gred_dataplane::parse(&body).unwrap();
             prop_assert_eq!(parsed, packet);
+        }
+
+        /// Multiplexer correlation: N concurrent waiters on one link, the
+        /// peer's responses fed back in an arbitrary permuted order with
+        /// arbitrary chunking — every waiter receives exactly its own
+        /// response body, never a sibling's and never two.
+        #[test]
+        fn prop_demux_delivers_each_response_to_its_own_waiter(
+            bodies in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..64), 1..12),
+            order in any::<u64>(),
+            cut in any::<u16>(),
+        ) {
+            let demux = crate::mux::Demux::new();
+            let waiters: Vec<_> = (0..bodies.len())
+                .map(|corr| demux.register(corr as u64).expect("fresh demux"))
+                .collect();
+
+            // The peer's byte stream: one mux frame per response, written
+            // in a permutation derived from `order` (Fisher–Yates with a
+            // splitmix-style step).
+            let mut perm: Vec<usize> = (0..bodies.len()).collect();
+            let mut state = order;
+            for i in (1..perm.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                perm.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let mut stream = Vec::new();
+            for &i in &perm {
+                let at = begin_frame(&mut stream);
+                stream.extend_from_slice(&(i as u64).to_be_bytes());
+                stream.extend_from_slice(&bodies[i]);
+                finish_frame(&mut stream, at);
+            }
+
+            // Reassemble across an arbitrary split and route every frame.
+            let cut = cut as usize % (stream.len() + 1);
+            let mut dec = FrameDecoder::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                dec.feed(chunk);
+                while let Some(frame_body) = dec.next_frame().unwrap() {
+                    let (corr, payload) = split_mux(&frame_body).expect("mux frame");
+                    prop_assert!(demux.complete(corr, payload));
+                }
+            }
+
+            for (corr, rx) in waiters.into_iter().enumerate() {
+                let got = rx.try_recv().expect("every waiter was answered");
+                prop_assert_eq!(got.as_ref(), bodies[corr].as_slice());
+                prop_assert!(rx.try_recv().is_err(), "at most one response per waiter");
+            }
+            prop_assert_eq!(demux.pending(), 0);
         }
 
         /// The decoder never panics and never hangs on arbitrary input:

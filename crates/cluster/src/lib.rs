@@ -9,7 +9,7 @@
 //! small multi-threaded daemon that listens on a TCP address, parses
 //! length-prefixed GRED wire packets ([`frame`]), runs the *same* greedy
 //! pipeline the in-process plane runs, and forwards packets to peer nodes
-//! over persistent loopback connections. A [`client::Client`] places and
+//! over multiplexed persistent connections ([`mux`]). A [`client::Client`] places and
 //! retrieves data by talking to any node, and a [`cluster::Cluster`]
 //! boots one node per switch of a built
 //! [`GredNetwork`](gred::GredNetwork), wires the peer addresses, and
@@ -27,12 +27,14 @@
 pub mod client;
 pub mod cluster;
 pub mod frame;
+pub mod mux;
 pub mod node;
 pub mod proto;
 pub mod transport;
 
 pub use client::{Client, ClientConfig, ClientError, Reply};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport};
-pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN, MUX_PREAMBLE};
+pub use mux::{Demux, DispatchPool, MuxLink};
 pub use node::{Node, NodeConfig, NodeReport};
 pub use transport::SocketTransport;

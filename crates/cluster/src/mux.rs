@@ -1,0 +1,725 @@
+//! Multiplexed persistent peer links.
+//!
+//! The first cluster runtime guarded each peer connection with a mutex
+//! and fell back to a one-shot TCP connection whenever the link was busy
+//! — correct, but under concurrency the fallback dominated: every
+//! contended hop paid a full TCP handshake, and throughput *fell* as
+//! client threads were added. A [`MuxLink`] removes the contention
+//! instead of dodging it: one persistent connection per peer carries any
+//! number of interleaved request/response frames, correlated by an
+//! in-band request id (see [`crate::frame`] for the layout).
+//!
+//! # Anatomy of a link
+//!
+//! - **Writer**: [`MuxLink::call`] allocates a fresh correlation id from
+//!   an atomic counter, registers a waiter with the [`Demux`], then takes
+//!   the writer lock just long enough to append one frame to the link's
+//!   reusable scratch buffer and write it. The lock covers a buffered
+//!   `write_all`, never a wait for the peer.
+//! - **Demux reader** (one thread per link): reassembles response
+//!   frames, splits off the correlation id, and wakes exactly the waiter
+//!   that sent the matching request. Responses may arrive in any order.
+//! - **Timeouts leave the link alive**: correlation ids are unique for
+//!   the life of a link, so a late response simply finds its waiter gone
+//!   and is dropped — no desynchronization, no teardown (the old design
+//!   had to kill the socket because the *next* request would have read
+//!   the stale response).
+//!
+//! # Why the server side needs a dispatch pool
+//!
+//! Forwarding is synchronous RPC chaining, and a chain can cross the
+//! same directed link twice (a virtual link's relay path may pass
+//! through a switch the packet later leaves again). If the serving node
+//! handled mux requests inline on its reader thread, the second crossing
+//! would wait for a reader that is itself blocked inside the first —
+//! the self-deadlock the old `try_lock` + one-shot fallback existed to
+//! avoid. [`DispatchPool`] makes the deadlock impossible by
+//! construction: submitting a job either *reserves* a provably idle
+//! worker (an atomic token handed out only by workers that are parked
+//! waiting for work) or spawns a new worker with the job as its first
+//! task. A job is never queued behind a worker that might be blocked,
+//! so every request always has a thread making progress.
+
+use crate::frame::{self, FrameDecoder, MUX_PREAMBLE};
+use bytes::Bytes;
+use gred_dataplane::{wire, Packet};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Hot-path counters a link feeds; shared by every link of one node so
+/// reconnects don't lose counts.
+#[derive(Debug, Default)]
+pub struct MuxMetrics {
+    /// Frames the demux readers reassembled and routed.
+    pub frames_decoded: AtomicU64,
+    /// Encodes served from an already-warm scratch buffer.
+    pub encode_buf_reuses: AtomicU64,
+}
+
+/// Routes response bodies to the waiter that sent the matching request.
+#[derive(Debug, Default)]
+pub struct Demux {
+    state: Mutex<DemuxState>,
+}
+
+#[derive(Debug, Default)]
+struct DemuxState {
+    waiters: HashMap<u64, SyncSender<Bytes>>,
+    /// Set by [`Demux::fail_all`]; registrations after failure are
+    /// refused so a caller cannot wait on a link that will never read.
+    failed: bool,
+}
+
+impl Demux {
+    /// An empty demultiplexer.
+    pub fn new() -> Self {
+        Demux::default()
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, DemuxState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a waiter for correlation id `corr`. Returns `None` when
+    /// the link already failed. A duplicate id replaces the previous
+    /// waiter — callers allocate ids from an atomic counter, so a
+    /// duplicate cannot occur within one link's lifetime.
+    pub fn register(&self, corr: u64) -> Option<Receiver<Bytes>> {
+        let mut state = self.state();
+        if state.failed {
+            return None;
+        }
+        // Capacity 1: exactly one response per id, so completion never
+        // blocks the reader thread.
+        let (tx, rx) = sync_channel(1);
+        state.waiters.insert(corr, tx);
+        Some(rx)
+    }
+
+    /// Delivers `body` to the waiter registered for `corr`. Returns
+    /// whether a waiter took it; a late response (waiter timed out and
+    /// deregistered) is dropped here, harmlessly.
+    pub fn complete(&self, corr: u64, body: Bytes) -> bool {
+        let sender = self.state().waiters.remove(&corr);
+        match sender {
+            Some(tx) => tx.send(body).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Deregisters `corr` — the waiter gave up (timeout).
+    pub fn forget(&self, corr: u64) {
+        self.state().waiters.remove(&corr);
+    }
+
+    /// Fails every pending waiter (their receivers observe disconnect)
+    /// and refuses future registrations. Called when the link dies so
+    /// blocked RPC chains error out fast instead of running to their
+    /// timeouts.
+    pub fn fail_all(&self) {
+        let mut state = self.state();
+        state.failed = true;
+        state.waiters.clear();
+    }
+
+    /// Waiters currently registered.
+    pub fn pending(&self) -> usize {
+        self.state().waiters.len()
+    }
+}
+
+/// One multiplexed connection to a peer node.
+pub struct MuxLink {
+    writer: Mutex<LinkWriter>,
+    demux: Arc<Demux>,
+    next_corr: AtomicU64,
+    dead: Arc<AtomicBool>,
+    reader: Mutex<Option<thread::JoinHandle<()>>>,
+    metrics: Arc<MuxMetrics>,
+}
+
+struct LinkWriter {
+    stream: TcpStream,
+    /// Reusable encode buffer: one frame is built and written per hold
+    /// of the writer lock, so after warm-up a send allocates nothing.
+    scratch: Vec<u8>,
+}
+
+impl MuxLink {
+    /// Connects to `addr`, announces the [`MUX_PREAMBLE`], and starts the
+    /// demux reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Connection, clone, or preamble-write failures.
+    pub fn connect(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        metrics: Arc<MuxMetrics>,
+    ) -> io::Result<MuxLink> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let mut write_half = stream.try_clone()?;
+        write_half.write_all(&MUX_PREAMBLE)?;
+        let demux = Arc::new(Demux::new());
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = thread::Builder::new()
+            .name("gred-mux-demux".into())
+            .spawn({
+                let demux = Arc::clone(&demux);
+                let dead = Arc::clone(&dead);
+                let metrics = Arc::clone(&metrics);
+                // The reader owns the original stream; `close` unblocks it
+                // with a socket shutdown through the writer's clone.
+                move || demux_reader(stream, &demux, &dead, &metrics)
+            })?;
+        Ok(MuxLink {
+            writer: Mutex::new(LinkWriter {
+                stream: write_half,
+                scratch: Vec::new(),
+            }),
+            demux,
+            next_corr: AtomicU64::new(1),
+            dead,
+            reader: Mutex::new(Some(reader)),
+            metrics,
+        })
+    }
+
+    /// Whether the link has failed (peer closed, I/O error, or closed
+    /// locally). A dead link never recovers; callers reconnect.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Sends `packet` and waits up to `reply_timeout` for its correlated
+    /// response. Any number of calls may be in flight concurrently.
+    ///
+    /// # Errors
+    ///
+    /// - `TimedOut`: no response in time. The link **stays alive** — the
+    ///   late response is dropped by correlation id.
+    /// - `BrokenPipe`/other I/O: the link is dead; reconnect.
+    /// - `InvalidData`: the peer answered with a non-GRED body.
+    pub fn call(&self, packet: &Packet, reply_timeout: Duration) -> io::Result<Packet> {
+        if self.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "mux link is dead",
+            ));
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let rx = self
+            .demux
+            .register(corr)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "mux link failed"))?;
+        {
+            let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            if w.scratch.capacity() > 0 {
+                self.metrics
+                    .encode_buf_reuses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            w.scratch.clear();
+            let at = frame::begin_frame(&mut w.scratch);
+            w.scratch.extend_from_slice(&corr.to_be_bytes());
+            wire::encode_into(packet, &mut w.scratch);
+            frame::finish_frame(&mut w.scratch, at);
+            let LinkWriter { stream, scratch } = &mut *w;
+            if let Err(e) = stream.write_all(scratch) {
+                drop(w);
+                self.demux.forget(corr);
+                self.fail();
+                return Err(e);
+            }
+        }
+        match rx.recv_timeout(reply_timeout) {
+            Ok(body) => wire::parse_bytes(&body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Err(RecvTimeoutError::Timeout) => {
+                self.demux.forget(corr);
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "peer did not respond in time",
+                ))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "mux link failed while waiting",
+            )),
+        }
+    }
+
+    /// Marks the link dead, fails every pending waiter, and unblocks the
+    /// reader with a socket shutdown.
+    fn fail(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.stream.shutdown(Shutdown::Both);
+        drop(w);
+        self.demux.fail_all();
+    }
+
+    /// Shuts the link down and joins its reader thread. Idempotent.
+    pub fn close(&self) {
+        self.fail();
+        let handle = self
+            .reader
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MuxLink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for MuxLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxLink")
+            .field("dead", &self.is_dead())
+            .field("pending", &self.demux.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reader-thread body: reassemble frames, route by correlation id.
+fn demux_reader(mut stream: TcpStream, demux: &Demux, dead: &AtomicBool, metrics: &MuxMetrics) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'link: loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => decoder.feed(&buf[..n]),
+        }
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => {
+                    metrics.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                    match frame::split_mux(&body) {
+                        Some((corr, payload)) => {
+                            demux.complete(corr, payload);
+                        }
+                        // A frame too short for a correlation id means the
+                        // peer is not speaking the mux protocol.
+                        None => break 'link,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break 'link,
+            }
+        }
+    }
+    dead.store(true, Ordering::Relaxed);
+    demux.fail_all();
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A grow-on-demand worker pool whose jobs never queue behind a blocked
+/// worker (see the module docs for why that matters here).
+pub struct DispatchPool {
+    inner: Arc<PoolInner>,
+    name: String,
+}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    /// Tokens published by workers parked in the wait loop. `submit`
+    /// consumes a token before queueing; no token means no worker is
+    /// provably free, so a new one is spawned.
+    idle: AtomicUsize,
+    spawned: AtomicUsize,
+    shutdown: AtomicBool,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl DispatchPool {
+    /// An empty pool; `name` prefixes worker thread names.
+    pub fn new(name: impl Into<String>) -> DispatchPool {
+        DispatchPool {
+            inner: Arc::new(PoolInner {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                idle: AtomicUsize::new(0),
+                spawned: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                handles: Mutex::new(Vec::new()),
+            }),
+            name: name.into(),
+        }
+    }
+
+    /// Workers ever spawned (the pool grows, it never shrinks).
+    pub fn workers_spawned(&self) -> usize {
+        self.inner.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job` on a worker that is idle *now*, spawning one if none
+    /// is. After [`join`](DispatchPool::join) begins, jobs are dropped —
+    /// their requesters see the connection close instead.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut job: Job = Box::new(job);
+        let inner = &self.inner;
+        loop {
+            if inner.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let idle = inner.idle.load(Ordering::Acquire);
+            if idle == 0 {
+                job = match self.spawn_worker(job) {
+                    Ok(()) => return,
+                    // Thread spawn failed (resource exhaustion): fall
+                    // back to queueing and waking whoever frees up first.
+                    Err(job) => job,
+                };
+                let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                q.push_back(job);
+                inner.ready.notify_one();
+                return;
+            }
+            if inner
+                .idle
+                .compare_exchange(idle, idle - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                q.push_back(job);
+                inner.ready.notify_one();
+                return;
+            }
+        }
+    }
+
+    /// Spawns a worker whose first task is `job`; on spawn failure the
+    /// job is handed back.
+    fn spawn_worker(&self, job: Job) -> Result<(), Job> {
+        let inner = &self.inner;
+        let mut handles = inner.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        // Checked under the handles lock so `join` (which sets the flag
+        // and takes the vector under the same lock) can never miss a
+        // handle: a spawn lands either before the take or not at all.
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = inner.spawned.fetch_add(1, Ordering::Relaxed);
+        let worker_inner = Arc::clone(inner);
+        // The job rides in a cell so a failed spawn can hand it back
+        // (the closure is dropped without running on spawn failure).
+        let cell = Arc::new(Mutex::new(Some(job)));
+        let worker_cell = Arc::clone(&cell);
+        let spawned = thread::Builder::new()
+            .name(format!("{}-dispatch-{n}", self.name))
+            .spawn(move || {
+                let first = worker_cell
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                if let Some(first) = first {
+                    worker(&worker_inner, first);
+                }
+            });
+        match spawned {
+            Ok(handle) => {
+                handles.push(handle);
+                Ok(())
+            }
+            Err(_) => {
+                inner.spawned.fetch_sub(1, Ordering::Relaxed);
+                let job = cell
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("unspawned worker never took its job");
+                Err(job)
+            }
+        }
+    }
+
+    /// Stops accepting jobs and joins every worker, returning how many
+    /// were joined. Blocked jobs must be unblocked first (the node closes
+    /// its links before joining the pool, so blocked RPCs fail fast).
+    pub fn join(&self) -> usize {
+        let inner = &self.inner;
+        let handles: Vec<_> = {
+            let mut handles = inner.handles.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.shutdown.store(true, Ordering::Relaxed);
+            std::mem::take(&mut *handles)
+        };
+        inner.ready.notify_all();
+        let n = handles.len();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for DispatchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatchPool")
+            .field("name", &self.name)
+            .field("spawned", &self.workers_spawned())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker(inner: &PoolInner, first: Job) {
+    first();
+    loop {
+        inner.idle.fetch_add(1, Ordering::Release);
+        let job = {
+            let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                let (guard, _) = inner
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => {
+                // Retire this worker's published token so `submit` never
+                // reserves a worker that exited (guarded: a concurrent
+                // reservation may already have consumed it).
+                let _ = inner
+                    .idle
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_hash::DataId;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    #[test]
+    fn demux_routes_by_correlation_id() {
+        let demux = Demux::new();
+        let rx1 = demux.register(1).unwrap();
+        let rx2 = demux.register(2).unwrap();
+        assert_eq!(demux.pending(), 2);
+        assert!(demux.complete(2, Bytes::from_static(b"two")));
+        assert!(demux.complete(1, Bytes::from_static(b"one")));
+        assert_eq!(rx1.recv().unwrap(), Bytes::from_static(b"one"));
+        assert_eq!(rx2.recv().unwrap(), Bytes::from_static(b"two"));
+        // Late response after a forget is dropped, not misdelivered.
+        let _rx3 = demux.register(3).unwrap();
+        demux.forget(3);
+        assert!(!demux.complete(3, Bytes::from_static(b"late")));
+    }
+
+    #[test]
+    fn demux_fail_all_disconnects_waiters_and_refuses_new_ones() {
+        let demux = Demux::new();
+        let rx = demux.register(7).unwrap();
+        demux.fail_all();
+        assert!(rx.recv().is_err(), "waiter observes the failure");
+        assert!(demux.register(8).is_none(), "failed demux refuses waiters");
+    }
+
+    #[test]
+    fn pool_runs_a_job_even_while_another_job_is_blocked() {
+        // The deadlock-freedom property: a blocked worker never delays a
+        // new submission.
+        let pool = DispatchPool::new("test");
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<&'static str>();
+        let first_done = done_tx.clone();
+        pool.submit(move || {
+            release_rx.recv().unwrap(); // blocks until the second job ran
+            first_done.send("first").unwrap();
+        });
+        pool.submit(move || done_tx.send("second").unwrap());
+        // The second job completes while the first is still blocked...
+        assert_eq!(
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "second"
+        );
+        // ...and unblocks the first.
+        release_tx.send(()).unwrap();
+        assert_eq!(
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "first"
+        );
+        assert_eq!(pool.workers_spawned(), 2, "the pool grew under blockage");
+        assert_eq!(pool.join(), 2);
+    }
+
+    #[test]
+    fn pool_reuses_idle_workers() {
+        let pool = DispatchPool::new("test");
+        for _ in 0..20 {
+            let (tx, rx) = mpsc::channel::<()>();
+            pool.submit(move || tx.send(()).unwrap());
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        // Sequential jobs always find the previous worker idle again
+        // (each job fully completes before the next submit).
+        assert!(
+            pool.workers_spawned() <= 2,
+            "sequential jobs should reuse workers, spawned {}",
+            pool.workers_spawned()
+        );
+        pool.join();
+    }
+
+    #[test]
+    fn pool_join_is_idempotent_and_drops_late_jobs() {
+        let pool = DispatchPool::new("test");
+        pool.submit(|| {});
+        assert_eq!(pool.join(), 1);
+        assert_eq!(pool.join(), 0);
+        pool.submit(|| panic!("jobs after join must not run"));
+        assert_eq!(pool.join(), 0);
+    }
+
+    /// A scripted mux peer: reads the preamble, then answers every
+    /// request with its own correlation id and a recognizable payload —
+    /// deliberately batching and reordering each pair of requests.
+    fn scripted_reordering_peer(listener: TcpListener) {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut preamble = [0u8; 4];
+        stream.read_exact(&mut preamble).unwrap();
+        assert_eq!(preamble, MUX_PREAMBLE);
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let mut pending: Vec<(u64, Packet)> = Vec::new();
+        loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => n,
+            };
+            decoder.feed(&buf[..n]);
+            while let Some(body) = decoder.next_frame().unwrap() {
+                let (corr, payload) = frame::split_mux(&body).unwrap();
+                pending.push((corr, wire::parse_bytes(&payload).unwrap()));
+            }
+            // Answer in reverse arrival order, two at a time.
+            if pending.len() >= 2 {
+                pending.reverse();
+                for (corr, request) in pending.drain(..) {
+                    let response = Packet::response(request.id.clone(), format!("corr-{corr}"));
+                    let mut out = Vec::new();
+                    let at = frame::begin_frame(&mut out);
+                    out.extend_from_slice(&corr.to_be_bytes());
+                    wire::encode_into(&response, &mut out);
+                    frame::finish_frame(&mut out, at);
+                    stream.write_all(&out).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_calls_each_get_their_own_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || scripted_reordering_peer(listener));
+        let link = Arc::new(
+            MuxLink::connect(
+                addr,
+                Duration::from_secs(1),
+                Arc::new(MuxMetrics::default()),
+            )
+            .unwrap(),
+        );
+        // Two in-flight calls; the peer responds to them reversed. The
+        // response echoes the request's data id, so each caller proves it
+        // received the answer to *its* request, not its sibling's.
+        thread::scope(|scope| {
+            for i in 0..2 {
+                let link = Arc::clone(&link);
+                scope.spawn(move || {
+                    let id = DataId::new(format!("key-{i}"));
+                    let request = Packet::retrieval(id.clone());
+                    let reply = link.call(&request, Duration::from_secs(5)).unwrap();
+                    assert_eq!(reply.id, id, "caller {i} got a sibling's response");
+                    let text = String::from_utf8(reply.payload.to_vec()).unwrap();
+                    assert!(text.starts_with("corr-"), "unexpected payload {text}");
+                });
+            }
+        });
+        link.close();
+        assert!(link.is_dead());
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_leaves_the_link_usable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut preamble = [0u8; 4];
+            stream.read_exact(&mut preamble).unwrap();
+            let mut decoder = FrameDecoder::new();
+            let mut buf = [0u8; 4096];
+            let mut seen = 0u32;
+            loop {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                decoder.feed(&buf[..n]);
+                while let Some(body) = decoder.next_frame().unwrap() {
+                    let (corr, payload) = frame::split_mux(&body).unwrap();
+                    seen += 1;
+                    if seen == 1 {
+                        continue; // swallow the first request: let it time out
+                    }
+                    let request = wire::parse_bytes(&payload).unwrap();
+                    let response = Packet::response(request.id.clone(), b"answered".as_ref());
+                    let mut out = Vec::new();
+                    let at = frame::begin_frame(&mut out);
+                    out.extend_from_slice(&corr.to_be_bytes());
+                    wire::encode_into(&response, &mut out);
+                    frame::finish_frame(&mut out, at);
+                    stream.write_all(&out).unwrap();
+                }
+            }
+        });
+        let link = MuxLink::connect(
+            addr,
+            Duration::from_secs(1),
+            Arc::new(MuxMetrics::default()),
+        )
+        .unwrap();
+        let request = Packet::retrieval(DataId::new("k"));
+        let err = link
+            .call(&request, Duration::from_millis(50))
+            .expect_err("swallowed request times out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(!link.is_dead(), "a timeout must not kill the link");
+        let reply = link.call(&request, Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.payload.as_ref(), b"answered");
+        link.close();
+        peer.join().unwrap();
+    }
+}

@@ -5,35 +5,43 @@
 //! - an **accept loop** (one thread) takes connections on the node's TCP
 //!   listener; it polls a non-blocking listener so a shutdown flag can
 //!   stop it deterministically,
-//! - a **worker thread per connection** reassembles frames with
-//!   [`FrameDecoder`], parses each body as a GRED wire packet, hands it
-//!   to the dispatcher, and writes the response frame back on the same
-//!   connection,
+//! - a **worker thread per connection** sniffs the first byte to decide
+//!   the protocol — a plain client connection (frames served in order on
+//!   this thread) or a multiplexed peer link announced by
+//!   [`MUX_PREAMBLE`] (frames dispatched concurrently, see below) —
+//!   reassembling frames with [`FrameDecoder`] either way,
 //! - the **dispatcher** runs the identical greedy pipeline the in-process
 //!   plane runs ([`SwitchDataplane::decide`] /
 //!   [`SwitchDataplane::relay_next`]) and, when the decision is to
 //!   forward, relays the packet to the peer node over a persistent
-//!   inter-node connection and returns the peer's response.
+//!   multiplexed link and returns the peer's response.
 //!
-//! # Forwarding = synchronous RPC chaining
+//! # Forwarding = synchronous RPC chaining over multiplexed links
 //!
 //! A forwarded packet travels as a nested remote call: the worker at the
 //! access node sends the packet one hop and blocks for the response,
 //! which the next node produces by (possibly) forwarding another hop,
-//! and so on until the owner switch answers. Responses therefore travel
-//! back along the exact request path, with no correlation IDs or routing
-//! of response packets. Each per-peer link is a mutex-guarded
-//! `write one frame, read one frame` critical section.
+//! and so on until the owner switch answers. Each hop travels over the
+//! sender's one persistent [`MuxLink`] to that peer: the sender tags the
+//! request with a correlation id, any number of requests interleave on
+//! the link, and the link's demux reader wakes exactly the waiter whose
+//! id comes back (protocol details in [`crate::mux`]).
 //!
-//! Crucially, a node never *blocks* on a busy link: it `try_lock`s the
-//! persistent connection and, when another in-flight request holds it,
-//! falls back to a one-shot connection for this exchange. The busy
-//! holder can be an earlier hop of the *same* request — greedy overlay
-//! hops never repeat a switch, but the physical walk can cross the same
-//! directed link twice (a virtual link's relay path may pass through a
-//! switch the packet later leaves again), so waiting on the mutex would
-//! deadlock the chain against itself. With the fallback, the wait-for
-//! graph contains no lock edges at all and every chain terminates.
+//! Two properties make this safe and fast where the earlier design
+//! (mutex-per-link, one-shot TCP fallback when busy) was only safe:
+//!
+//! - **No self-deadlock by construction.** A chain can cross the same
+//!   directed link twice (a virtual link's relay path may pass through a
+//!   switch the packet later leaves again). Both crossings now share the
+//!   link concurrently — there is no per-link critical section to wait
+//!   on — and the serving side hands every mux request to a
+//!   [`DispatchPool`] worker that is provably idle (or freshly spawned),
+//!   never queueing a request behind a blocked thread.
+//! - **A busy link never costs a TCP handshake.** One-shot connections
+//!   remain only as an emergency path when a mux link fails *twice* in a
+//!   row (connect + reconnect); the `oneshot_fallbacks` counter stays
+//!   zero in a healthy cluster and is asserted zero in the contention
+//!   loopback test.
 //!
 //! # Hops
 //!
@@ -46,23 +54,26 @@
 //! # Shutdown
 //!
 //! [`Node::shutdown`] flips an atomic flag, joins the accept thread
-//! (closing the listener), drops the inter-node links, and joins every
-//! worker. Workers poll the flag between read timeouts, so in-flight
-//! requests drain — a worker finishes the frame it is serving before it
-//! exits — and no thread outlives the node.
+//! (closing the listener), closes every mux link (failing any waiter
+//! still blocked in a chain, so nested RPCs error out fast instead of
+//! running to their timeouts), then joins every connection worker and
+//! the dispatch pool. Workers poll the flag between read timeouts, so
+//! in-flight requests drain — a worker finishes the frame it is serving
+//! before it exits — and no thread outlives the node.
 
-use crate::frame::{encode_frame, FrameDecoder};
+use crate::frame::{self, encode_frame, FrameDecoder, MUX_PREAMBLE};
+use crate::mux::{DispatchPool, MuxLink, MuxMetrics};
 use crate::proto;
 use bytes::Bytes;
-use gred_dataplane::{wire, ForwardDecision, Packet, PacketKind, SwitchDataplane};
+use gred_dataplane::{wire, ForwardDecision, NodeHotStats, Packet, PacketKind, SwitchDataplane};
 use gred_hash::DataId;
 use gred_net::ServerId;
-use std::collections::HashMap;
+use gred_runtime::ShardedMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -118,10 +129,12 @@ pub struct NodeReport {
     pub delivered: u64,
     /// Requests that ended in an error response at this node.
     pub errors: u64,
-    /// Connection workers joined during shutdown.
+    /// Connection and dispatch-pool workers joined during shutdown.
     pub workers_joined: usize,
     /// Items in the local store at shutdown.
     pub stored_items: usize,
+    /// Hot-path contention counters (see [`NodeHotStats`]).
+    pub hot: NodeHotStats,
 }
 
 /// One stored item: which local server holds it, and its payload. The
@@ -134,8 +147,9 @@ struct StoredItem {
     payload: Bytes,
 }
 
-/// A persistent inter-node connection plus its response reassembler.
-struct PeerLink {
+/// A one-shot fallback connection plus its response reassembler. Only
+/// built when a mux link failed twice in a row.
+struct OneShotLink {
     stream: TcpStream,
     decoder: FrameDecoder,
 }
@@ -147,19 +161,26 @@ struct Counters {
     relayed: AtomicU64,
     delivered: AtomicU64,
     errors: AtomicU64,
+    oneshot_fallbacks: AtomicU64,
+    link_reconnects: AtomicU64,
 }
 
 struct Inner {
     id: usize,
     plane: SwitchDataplane,
     peer_addrs: Vec<SocketAddr>,
-    /// One slot per peer switch; the mutex serializes one in-flight
-    /// request per link.
-    links: Vec<Mutex<Option<PeerLink>>>,
-    store: Mutex<HashMap<DataId, StoredItem>>,
+    /// One slot per peer switch. The mutex guards only *creating or
+    /// replacing* the link — calls clone the `Arc` and run outside it,
+    /// so any number of requests share one link concurrently.
+    links: Vec<Mutex<Option<Arc<MuxLink>>>>,
+    store: ShardedMap<DataId, StoredItem>,
     shutdown: AtomicBool,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Serves requests arriving on multiplexed peer links; grow-on-demand
+    /// so a request never queues behind a blocked chain.
+    pool: DispatchPool,
     counters: Counters,
+    mux_metrics: Arc<MuxMetrics>,
     cfg: NodeConfig,
     log: Option<Mutex<std::fs::File>>,
     booted: Instant,
@@ -208,10 +229,12 @@ impl Node {
             plane,
             peer_addrs,
             links: (0..peers).map(|_| Mutex::new(None)).collect(),
-            store: Mutex::new(HashMap::new()),
+            store: ShardedMap::new(),
             shutdown: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            pool: DispatchPool::new(format!("gred-node-{id}")),
             counters: Counters::default(),
+            mux_metrics: Arc::new(MuxMetrics::default()),
             cfg,
             log,
             booted: Instant::now(),
@@ -252,18 +275,21 @@ impl Node {
 
     /// Items currently in the local store.
     pub fn stored_items(&self) -> usize {
-        self.inner.store.lock().expect("store lock").len()
+        self.inner.store.len()
+    }
+
+    /// Current hot-path contention counters — readable while the node is
+    /// serving, so tests can assert (for example) that a contended run
+    /// took zero one-shot fallbacks.
+    pub fn hot_stats(&self) -> NodeHotStats {
+        self.inner.hot_stats()
     }
 
     /// Seeds the local store with an item held by local server `index` —
     /// used when booting a cluster from a network that already placed
     /// data in-process.
     pub fn preload(&self, id: DataId, index: usize, payload: Bytes) {
-        self.inner
-            .store
-            .lock()
-            .expect("store lock")
-            .insert(id, StoredItem { index, payload });
+        self.inner.store.insert(id, StoredItem { index, payload });
     }
 
     /// Signals shutdown without waiting. [`Cluster`](crate::Cluster)
@@ -274,21 +300,26 @@ impl Node {
     }
 
     /// Stops the node: signals shutdown, joins the accept thread (which
-    /// closes the listener), drops inter-node links, and joins every
-    /// connection worker. In-flight requests drain first. Idempotent.
+    /// closes the listener), closes the mux links (failing any still-
+    /// blocked chain fast), and joins every connection worker and the
+    /// dispatch pool. In-flight requests drain first. Idempotent.
     pub fn shutdown(&mut self) -> NodeReport {
         self.request_shutdown();
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        for link in &self.inner.links {
-            *link.lock().expect("link lock") = None;
+        for slot in &self.inner.links {
+            let link = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            if let Some(link) = link {
+                link.close();
+            }
         }
         let workers: Vec<_> = std::mem::take(&mut *self.inner.workers.lock().expect("workers"));
-        let joined = workers.len();
+        let mut joined = workers.len();
         for handle in workers {
             let _ = handle.join();
         }
+        joined += self.inner.pool.join();
         self.inner.log(&format!("stopped; joined {joined} workers"));
         let c = &self.inner.counters;
         NodeReport {
@@ -300,6 +331,7 @@ impl Node {
             errors: c.errors.load(Ordering::Relaxed),
             workers_joined: joined,
             stored_items: self.stored_items(),
+            hot: self.inner.hot_stats(),
         }
     }
 }
@@ -352,18 +384,72 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
     drop(listener);
 }
 
-/// One connection's serve loop: reassemble frames, dispatch, respond.
+/// Reads exactly one byte, tolerating read timeouts until shutdown.
+/// `Ok(None)` when the peer closed or the node is shutting down.
+fn read_one(inner: &Inner, stream: &mut TcpStream) -> io::Result<Option<u8>> {
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(byte[0])),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One connection's serve loop. The first byte decides the protocol: a
+/// plain frame's first byte is a length high byte (`<= 0x01`), while a
+/// multiplexed peer link opens with [`MUX_PREAMBLE`] (`b'G'`).
 fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    match read_one(inner, &mut stream) {
+        Ok(Some(first)) if first == MUX_PREAMBLE[0] => {
+            // Consume and verify the rest of the preamble.
+            for expected in &MUX_PREAMBLE[1..] {
+                match read_one(inner, &mut stream) {
+                    Ok(Some(b)) if b == *expected => {}
+                    _ => {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+            }
+            serve_mux_connection(inner, stream, peer);
+        }
+        Ok(Some(first)) => serve_plain_connection(inner, stream, peer, first),
+        _ => {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Plain client connection: frames are served in order, one at a time,
+/// on this thread — a client has at most one request in flight.
+fn serve_plain_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr, first: u8) {
     let mut decoder = FrameDecoder::new();
+    decoder.feed(&[first]);
     let mut buf = vec![0u8; 64 * 1024];
+    // Reused across every response on this connection: after the first
+    // reply, encoding allocates nothing.
+    let mut scratch: Vec<u8> = Vec::new();
     'conn: loop {
         // Serve every complete frame already buffered.
         loop {
             match decoder.next_frame() {
                 Ok(Some(body)) => {
-                    let reply = match wire::parse(&body) {
+                    inner
+                        .mux_metrics
+                        .frames_decoded
+                        .fetch_add(1, Ordering::Relaxed);
+                    let reply = match wire::parse_bytes(&body) {
                         Ok(packet) => inner.handle(packet),
                         Err(e) => {
                             // The framing is intact but the body is not a
@@ -374,8 +460,17 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr)
                             break 'conn;
                         }
                     };
-                    let frame = encode_frame(&wire::encode(&reply));
-                    if stream.write_all(&frame).is_err() {
+                    if scratch.capacity() > 0 {
+                        inner
+                            .mux_metrics
+                            .encode_buf_reuses
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    scratch.clear();
+                    let at = frame::begin_frame(&mut scratch);
+                    wire::encode_into(&reply, &mut scratch);
+                    frame::finish_frame(&mut scratch, at);
+                    if stream.write_all(&scratch).is_err() {
                         break 'conn;
                     }
                 }
@@ -403,12 +498,177 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr)
     let _ = stream.shutdown(Shutdown::Both);
 }
 
+/// Shared write half of a multiplexed server connection: responses from
+/// concurrent dispatch workers interleave frame-atomically under this
+/// lock, each built in the shared reusable scratch buffer.
+struct MuxResponder {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+/// Whether `packet` is provably served entirely on this node — no
+/// branch of [`Inner::handle`] can reach a nested peer RPC — so the
+/// demux reader may answer it inline instead of paying a dispatch-pool
+/// handoff. Conservative: `false` whenever any handler branch could
+/// block. Uses the counter-free [`SwitchDataplane::is_local_minimum`]
+/// peek so the real pipeline still counts each packet exactly once.
+fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
+    if packet.kind == PacketKind::RetrievalResponse {
+        return true; // refused locally
+    }
+    if proto::server_addressed(packet).is_some() {
+        return true; // deliver_direct or refuse — never forwards
+    }
+    if packet.relay.is_some() {
+        return false; // relay chains forward by construction
+    }
+    if inner.plane.server_count() == 0 {
+        return true; // transit switch: refused locally
+    }
+    if !inner.plane.is_local_minimum(packet.position) {
+        return false; // greedy forward
+    }
+    // Local delivery — unless a range extension redirects to a server
+    // behind another switch (remote takeover / redirected placement).
+    let server = ServerId {
+        switch: inner.id,
+        index: gred_hash::select_server(&packet.id, inner.plane.server_count()),
+    };
+    inner
+        .plane
+        .extension_of(server)
+        .is_none_or(|takeover| takeover.switch == inner.id)
+}
+
+/// Multiplexed peer connection: every decoded request that could block
+/// is dispatched to the pool, so a request whose chain blocks (even on
+/// *this* link) never stalls the requests behind it — that is what makes
+/// nested RPC chains deadlock-free when they cross the same directed
+/// link twice. Requests that provably finish locally (the final hop of
+/// every chain) are answered inline on this reader thread, skipping the
+/// pool handoff entirely.
+fn serve_mux_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
+    let responder = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Mutex::new(MuxResponder {
+            stream: write_half,
+            scratch: Vec::new(),
+        })),
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    // Requests decoded but not yet answered; drained before this worker
+    // closes the stream on shutdown so in-flight responses are not cut.
+    let outstanding = Arc::new(AtomicUsize::new(0));
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'conn: loop {
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(body)) => {
+                    inner
+                        .mux_metrics
+                        .frames_decoded
+                        .fetch_add(1, Ordering::Relaxed);
+                    let Some((corr, payload)) = frame::split_mux(&body) else {
+                        inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        inner.log(&format!("short mux frame from {peer}"));
+                        break 'conn;
+                    };
+                    let packet = match wire::parse_bytes(&payload) {
+                        Ok(packet) => packet,
+                        Err(e) => {
+                            // The peer is not speaking GRED; kill the
+                            // connection rather than guess.
+                            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            inner.log(&format!("unparseable mux packet from {peer}: {e}"));
+                            break 'conn;
+                        }
+                    };
+                    if handles_without_blocking(inner, &packet) {
+                        let reply = inner.handle(packet);
+                        write_mux_response(inner, &responder, corr, &reply);
+                    } else {
+                        outstanding.fetch_add(1, Ordering::AcqRel);
+                        let job_inner = Arc::clone(inner);
+                        let job_responder = Arc::clone(&responder);
+                        let job_outstanding = Arc::clone(&outstanding);
+                        inner.pool.submit(move || {
+                            let reply = job_inner.handle(packet);
+                            write_mux_response(&job_inner, &job_responder, corr, &reply);
+                            job_outstanding.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    inner.log(&format!("framing violation from {peer}: {e}"));
+                    break 'conn;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Let dispatched requests finish writing their responses (bounded by
+    // the reply timeout — a chain blocked past that has already failed).
+    let deadline = Instant::now() + inner.cfg.peer_reply_timeout;
+    while outstanding.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Writes one correlated response frame through the connection's shared
+/// write half (called from the reader inline path and from pool workers
+/// alike; the lock keeps concurrent frames whole).
+fn write_mux_response(inner: &Inner, responder: &Mutex<MuxResponder>, corr: u64, reply: &Packet) {
+    let mut w = responder.lock().unwrap_or_else(PoisonError::into_inner);
+    if w.scratch.capacity() > 0 {
+        inner
+            .mux_metrics
+            .encode_buf_reuses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    w.scratch.clear();
+    let at = frame::begin_frame(&mut w.scratch);
+    w.scratch.extend_from_slice(&corr.to_be_bytes());
+    wire::encode_into(reply, &mut w.scratch);
+    frame::finish_frame(&mut w.scratch, at);
+    let MuxResponder { stream, scratch } = &mut *w;
+    if stream.write_all(scratch).is_err() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
 impl Inner {
     fn log(&self, msg: &str) {
         if let Some(file) = &self.log {
             let mut file = file.lock().expect("log lock");
             let t = self.booted.elapsed();
             let _ = writeln!(file, "[node {} +{:>9.3}s] {msg}", self.id, t.as_secs_f64());
+        }
+    }
+
+    fn hot_stats(&self) -> NodeHotStats {
+        NodeHotStats {
+            oneshot_fallbacks: self.counters.oneshot_fallbacks.load(Ordering::Relaxed),
+            link_reconnects: self.counters.link_reconnects.load(Ordering::Relaxed),
+            store_shard_contention: self.store.contended(),
+            frames_decoded: self.mux_metrics.frames_decoded.load(Ordering::Relaxed),
+            encode_buf_reuses: self.mux_metrics.encode_buf_reuses.load(Ordering::Relaxed),
         }
     }
 
@@ -489,7 +749,7 @@ impl Inner {
                     // behind another switch. The redirected copy
                     // supersedes any stale primary copy (mirrors
                     // `GredNetwork::place`).
-                    self.store.lock().expect("store lock").remove(&packet.id);
+                    self.store.remove(&packet.id);
                     let mut fwd = proto::address_to_server(packet, target);
                     fwd.hops = fwd.hops.saturating_add(1);
                     self.rpc(target.switch, fwd)
@@ -498,8 +758,8 @@ impl Inner {
             PacketKind::Retrieval => {
                 // Ask the primary, then the takeover. The paper duplicates
                 // the request to both "at the same time"; querying in
-                // order is observably equivalent and keeps one in-flight
-                // request per link.
+                // order is observably equivalent and keeps the response
+                // deterministic.
                 if let Some(found) = self.lookup_local(&packet, server) {
                     return found;
                 }
@@ -531,10 +791,12 @@ impl Inner {
     }
 
     /// Stores the placement payload under local server `target` and acks
-    /// with the storing server's identity.
+    /// with the storing server's identity. The payload `Bytes` still
+    /// shares the decoded frame's allocation — storing it is a
+    /// refcount bump, not a copy.
     fn store_local(&self, packet: &Packet, target: ServerId) -> Packet {
         debug_assert_eq!(target.switch, self.id);
-        self.store.lock().expect("store lock").insert(
+        self.store.insert(
             packet.id.clone(),
             StoredItem {
                 index: target.index,
@@ -548,14 +810,15 @@ impl Inner {
     }
 
     /// A hit response if local server `server` stores the packet's id.
+    /// Only the cheap `Bytes` clone happens under the shard lock.
     fn lookup_local(&self, packet: &Packet, server: ServerId) -> Option<Packet> {
         debug_assert_eq!(server.switch, self.id);
-        let store = self.store.lock().expect("store lock");
-        let item = store
-            .get(&packet.id)
-            .filter(|item| item.index == server.index)?;
+        let payload = self.store.read(&packet.id, |item| {
+            item.filter(|item| item.index == server.index)
+                .map(|item| item.payload.clone())
+        })?;
         self.counters.delivered.fetch_add(1, Ordering::Relaxed);
-        let mut resp = Packet::response(packet.id.clone(), item.payload.clone());
+        let mut resp = Packet::response(packet.id.clone(), payload);
         resp.hops = packet.hops;
         Some(resp)
     }
@@ -575,19 +838,28 @@ impl Inner {
         resp
     }
 
-    /// Sends `packet` to peer switch `to` and waits for the response,
-    /// reconnecting once if the pooled link is stale. A definitive
-    /// failure becomes an error response so the request chain always
-    /// terminates.
+    /// Sends `packet` to peer switch `to` over the multiplexed link and
+    /// waits for the correlated response, reconnecting once if the link
+    /// died and falling back to a one-shot connection as a last resort.
+    /// A definitive failure becomes an error response so the request
+    /// chain always terminates.
     fn rpc(&self, to: usize, packet: Packet) -> Packet {
-        match self.try_rpc(to, &packet) {
+        match self.mux_rpc(to, &packet) {
             Ok(resp) => resp,
-            Err(first) => {
-                self.log(&format!("rpc to node {to} failed ({first}); retrying once"));
-                match self.try_rpc(to, &packet) {
+            Err(e) => {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return self.refuse(&packet, "node is shutting down");
+                }
+                self.log(&format!(
+                    "mux rpc to node {to} failed ({e}); one-shot fallback"
+                ));
+                self.counters
+                    .oneshot_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                match self.oneshot_rpc(to, &packet) {
                     Ok(resp) => resp,
                     Err(e) => {
-                        self.log(&format!("rpc to node {to} failed twice: {e}"));
+                        self.log(&format!("one-shot rpc to node {to} failed: {e}"));
                         self.refuse(&packet, "peer unreachable")
                     }
                 }
@@ -595,55 +867,88 @@ impl Inner {
         }
     }
 
-    fn try_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
+    fn mux_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
+        let link = self.link(to)?;
+        match link.call(packet, self.cfg.peer_reply_timeout) {
+            Ok(resp) => Ok(resp),
+            // A timeout leaves the link healthy (the late response dies
+            // by correlation id); reconnecting would not help.
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => Err(e),
+            Err(_) => {
+                // The link died mid-call. Reconnect once and retry; the
+                // peer never saw the request or its answer was lost with
+                // the socket, and requests are idempotent either way.
+                self.counters
+                    .link_reconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                let link = self.reconnect(to, &link)?;
+                link.call(packet, self.cfg.peer_reply_timeout)
+            }
+        }
+    }
+
+    /// The live link to `to`, connecting if absent or dead. The slot
+    /// lock is held across at most one connect — never across a call.
+    fn link(&self, to: usize) -> io::Result<Arc<MuxLink>> {
         let slot = self
             .links
             .get(to)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer switch"))?;
-        let mut guard = match slot.try_lock() {
-            Ok(guard) => guard,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                // The pooled link carries another in-flight exchange —
-                // possibly an earlier hop of THIS very request: a greedy
-                // route's physical walk can cross the same directed link
-                // twice (e.g. relaying one virtual link through a switch
-                // the packet later leaves again), so blocking here would
-                // deadlock the chain against itself. A one-shot
-                // connection keeps the exchange lock-free.
-                let mut link = self.connect_peer(to)?;
-                return exchange(&mut link, packet, self.cfg.peer_reply_timeout);
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(link) = guard.as_ref() {
+            if !link.is_dead() {
+                return Ok(Arc::clone(link));
             }
-            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
-        };
-        if guard.is_none() {
-            *guard = Some(self.connect_peer(to)?);
         }
-        let link = guard.as_mut().expect("link just ensured");
-        let result = exchange(link, packet, self.cfg.peer_reply_timeout);
-        if result.is_err() {
-            // A broken or timed-out link is dropped whole: a late
-            // response must die with its socket, not desynchronize the
-            // next request on a reused stream.
-            *guard = None;
-        }
-        result
+        let link = Arc::new(MuxLink::connect(
+            self.peer_addrs[to],
+            self.cfg.peer_connect_timeout,
+            Arc::clone(&self.mux_metrics),
+        )?);
+        *guard = Some(Arc::clone(&link));
+        Ok(link)
     }
 
-    fn connect_peer(&self, to: usize) -> io::Result<PeerLink> {
+    /// Replaces `stale` with a fresh link — unless a concurrent caller
+    /// already did, in which case the newer link is shared.
+    fn reconnect(&self, to: usize, stale: &Arc<MuxLink>) -> io::Result<Arc<MuxLink>> {
+        let slot = &self.links[to];
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(current) = guard.as_ref() {
+            if !Arc::ptr_eq(current, stale) && !current.is_dead() {
+                return Ok(Arc::clone(current));
+            }
+        }
+        let link = Arc::new(MuxLink::connect(
+            self.peer_addrs[to],
+            self.cfg.peer_connect_timeout,
+            Arc::clone(&self.mux_metrics),
+        )?);
+        *guard = Some(Arc::clone(&link));
+        Ok(link)
+    }
+
+    /// Emergency path: a fresh connection carrying exactly one exchange.
+    fn oneshot_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
         let addr = self.peer_addrs[to];
         let stream = TcpStream::connect_timeout(&addr, self.cfg.peer_connect_timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.cfg.read_timeout))?;
-        Ok(PeerLink {
+        let mut link = OneShotLink {
             stream,
             decoder: FrameDecoder::new(),
-        })
+        };
+        exchange(&mut link, packet, self.cfg.peer_reply_timeout)
     }
 }
 
 /// Writes one request frame on `link` and reads exactly one response
-/// frame, with `deadline` bounding the wait.
-fn exchange(link: &mut PeerLink, packet: &Packet, reply_timeout: Duration) -> io::Result<Packet> {
+/// frame, with `reply_timeout` bounding the wait.
+fn exchange(
+    link: &mut OneShotLink,
+    packet: &Packet,
+    reply_timeout: Duration,
+) -> io::Result<Packet> {
     link.stream
         .write_all(&encode_frame(&wire::encode(packet)))?;
     let deadline = Instant::now() + reply_timeout;
@@ -654,7 +959,7 @@ fn exchange(link: &mut PeerLink, packet: &Packet, reply_timeout: Duration) -> io
             .next_frame()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
         {
-            return wire::parse(&body)
+            return wire::parse_bytes(&body)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
         }
         if Instant::now() >= deadline {
@@ -742,6 +1047,8 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert_eq!(report.stored_items, 1);
         assert_eq!(report.workers_joined, 3);
+        assert_eq!(report.hot.oneshot_fallbacks, 0);
+        assert_eq!(report.hot.frames_decoded, 3);
     }
 
     #[test]
@@ -801,5 +1108,48 @@ mod tests {
         assert_eq!(second.workers_joined, 0, "workers join exactly once");
         // The listener is closed: new connections are refused.
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn node_serves_the_mux_protocol_with_interleaved_requests() {
+        // Drive a node directly over a MuxLink — the same path peers use
+        // — with concurrent interleaved placements and retrievals.
+        let node = spawn_single(1);
+        let link = Arc::new(
+            MuxLink::connect(
+                node.addr(),
+                Duration::from_secs(1),
+                Arc::new(MuxMetrics::default()),
+            )
+            .unwrap(),
+        );
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let link = Arc::clone(&link);
+                scope.spawn(move || {
+                    let id = DataId::new(format!("mux-{t}"));
+                    let payload = format!("value-{t}");
+                    let ack = link
+                        .call(
+                            &Packet::placement(id.clone(), payload.as_bytes()),
+                            Duration::from_secs(5),
+                        )
+                        .unwrap();
+                    assert_eq!(ack.status, gred_dataplane::ResponseStatus::Ok);
+                    let got = link
+                        .call(&Packet::retrieval(id.clone()), Duration::from_secs(5))
+                        .unwrap();
+                    assert_eq!(got.id, id);
+                    assert_eq!(got.payload.as_ref(), payload.as_bytes());
+                });
+            }
+        });
+        link.close();
+        let mut node = node;
+        let report = node.shutdown();
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.stored_items, 4);
+        assert_eq!(report.hot.oneshot_fallbacks, 0);
     }
 }

@@ -34,7 +34,7 @@ pub mod wire;
 pub use entries::{DtTuple, ExtensionEntry, NeighborEntry};
 pub use packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 pub use pipeline::Pipeline;
-pub use stats::TableStats;
+pub use stats::{NodeHotStats, TableStats};
 pub use switch::{ForwardDecision, SwitchDataplane};
 pub use table::MatchActionTable;
-pub use wire::{encode, parse, ParseError};
+pub use wire::{encode, encode_into, parse, parse_bytes, ParseError};

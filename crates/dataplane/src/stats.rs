@@ -1,7 +1,67 @@
-//! Forwarding-table occupancy statistics (Fig. 9(d)).
+//! Forwarding-table occupancy statistics (Fig. 9(d)) and hot-path
+//! contention counters reported by node runtimes.
 
 use crate::switch::SwitchDataplane;
 use serde::{Deserialize, Serialize};
+
+/// Hot-path health counters a node runtime (e.g. `gred-cluster`'s
+/// per-switch daemon) accumulates while serving requests.
+///
+/// These exist so a concurrency regression shows up as a *metric*, not
+/// just as a benchmark slope: a healthy multiplexed deployment keeps
+/// `oneshot_fallbacks` and `link_reconnects` at zero, and
+/// `store_shard_contention` near zero relative to `frames_decoded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeHotStats {
+    /// Emergency one-shot TCP connections opened because a multiplexed
+    /// peer link could not be used. Zero in a healthy cluster; every
+    /// increment means a request paid a full TCP handshake.
+    pub oneshot_fallbacks: u64,
+    /// Multiplexed peer links torn down and re-established after an
+    /// I/O failure.
+    pub link_reconnects: u64,
+    /// Times a store shard's lock was observed contended (a `try_lock`
+    /// failed and the caller had to wait). A lock-wait *hint*, not a
+    /// duration: it counts contended acquisitions, cheap enough to keep
+    /// on in production.
+    pub store_shard_contention: u64,
+    /// Frames reassembled and parsed by this node (client connections,
+    /// multiplexed peer servers, and demux readers combined).
+    pub frames_decoded: u64,
+    /// Packet encodes served from an already-warm reusable buffer (the
+    /// per-connection/per-link scratch `Vec` had capacity from a prior
+    /// send, so the encode allocated nothing).
+    pub encode_buf_reuses: u64,
+}
+
+impl NodeHotStats {
+    /// Element-wise sum, for aggregating per-node stats into a cluster
+    /// total.
+    pub fn merged(self, other: NodeHotStats) -> NodeHotStats {
+        NodeHotStats {
+            oneshot_fallbacks: self.oneshot_fallbacks + other.oneshot_fallbacks,
+            link_reconnects: self.link_reconnects + other.link_reconnects,
+            store_shard_contention: self.store_shard_contention + other.store_shard_contention,
+            frames_decoded: self.frames_decoded + other.frames_decoded,
+            encode_buf_reuses: self.encode_buf_reuses + other.encode_buf_reuses,
+        }
+    }
+}
+
+impl std::fmt::Display for NodeHotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oneshot_fallbacks={} link_reconnects={} store_shard_contention={} \
+             frames_decoded={} encode_buf_reuses={}",
+            self.oneshot_fallbacks,
+            self.link_reconnects,
+            self.store_shard_contention,
+            self.frames_decoded,
+            self.encode_buf_reuses,
+        )
+    }
+}
 
 /// Aggregate table statistics over a set of switches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,6 +132,27 @@ impl TableStats {
 mod tests {
     use super::*;
     use gred_geometry::Point2;
+
+    #[test]
+    fn hot_stats_merge_and_display() {
+        let a = NodeHotStats {
+            oneshot_fallbacks: 1,
+            link_reconnects: 2,
+            store_shard_contention: 3,
+            frames_decoded: 4,
+            encode_buf_reuses: 5,
+        };
+        let b = NodeHotStats {
+            frames_decoded: 10,
+            ..NodeHotStats::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.frames_decoded, 14);
+        assert_eq!(m.oneshot_fallbacks, 1);
+        let text = m.to_string();
+        assert!(text.contains("oneshot_fallbacks=1"), "got {text}");
+        assert!(text.contains("frames_decoded=14"), "got {text}");
+    }
 
     #[test]
     fn empty_stats() {

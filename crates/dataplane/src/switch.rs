@@ -257,6 +257,18 @@ impl SwitchDataplane {
         )
     }
 
+    /// Counter-free peek at the greedy outcome: whether this switch is
+    /// the local minimum for `data_position` (no neighbor strictly
+    /// closer), i.e. whether [`decide`](Self::decide) would deliver
+    /// locally. Does not count as a processed packet — node runtimes use
+    /// it to classify a request before running the real pipeline.
+    pub fn is_local_minimum(&self, data_position: Point2) -> bool {
+        let own = self.position.distance_squared(data_position);
+        self.neighbors
+            .iter()
+            .all(|(_, e)| e.position.distance_squared(data_position) >= own)
+    }
+
     /// The greedy pipeline (Algorithm 2): compare every neighbor's
     /// distance to the data position against this switch's own; forward to
     /// the strictly closer minimum, or deliver locally when none is closer.
@@ -323,6 +335,29 @@ mod tests {
             position: Point2::new(x, y),
             via: neighbor,
             physical: true,
+        }
+    }
+
+    #[test]
+    fn local_minimum_peek_agrees_with_decide_and_does_not_count() {
+        let mut sw = SwitchDataplane::new(3, Point2::new(0.5, 0.5), 4);
+        sw.install_neighbor(entry(1, 0.0, 0.0));
+        sw.install_neighbor(entry(2, 1.0, 1.0));
+        let id = DataId::new("k");
+        for pos in [
+            Point2::new(0.5, 0.52),
+            Point2::new(0.1, 0.1),
+            Point2::new(0.9, 0.9),
+        ] {
+            let counted = sw.packets_processed();
+            let peek = sw.is_local_minimum(pos);
+            assert_eq!(
+                sw.packets_processed(),
+                counted,
+                "the peek must not count as a processed packet"
+            );
+            let local = matches!(sw.decide(pos, &id), ForwardDecision::DeliverLocal { .. });
+            assert_eq!(peek, local, "peek disagrees with decide at {pos:?}");
         }
     }
 

@@ -132,12 +132,27 @@ fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
 /// length field); GRED identifiers are short names.
 pub fn encode(packet: &Packet) -> Vec<u8> {
     let id_bytes = packet.id.as_bytes();
+    let relay_len = if packet.relay.is_some() { 12 } else { 0 };
+    let mut out = Vec::with_capacity(27 + relay_len + id_bytes.len() + packet.payload.len());
+    encode_into(packet, &mut out);
+    out
+}
+
+/// Serializes a packet by appending to `out`, so callers on the hot
+/// path can reuse one encode buffer across packets instead of
+/// allocating a fresh `Vec` per send. `out` is *not* cleared — the
+/// cluster layer appends a frame prefix first, then the packet.
+///
+/// # Panics
+///
+/// Panics if the data identifier exceeds 65535 bytes (the header's u16
+/// length field); GRED identifiers are short names.
+pub fn encode_into(packet: &Packet, out: &mut Vec<u8>) {
+    let id_bytes = packet.id.as_bytes();
     assert!(
         id_bytes.len() <= u16::MAX as usize,
         "identifier too long for wire format"
     );
-    let relay_len = if packet.relay.is_some() { 12 } else { 0 };
-    let mut out = Vec::with_capacity(27 + relay_len + id_bytes.len() + packet.payload.len());
 
     let mut flags = 0u8;
     if packet.relay.is_some() {
@@ -164,7 +179,6 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
     }
     out.extend_from_slice(id_bytes);
     out.extend_from_slice(&packet.payload);
-    out
 }
 
 /// Parses a wire packet — the software equivalent of the P4 programmable
@@ -175,6 +189,41 @@ pub fn encode(packet: &Packet) -> Vec<u8> {
 /// Returns a [`ParseError`] for truncated, malformed, or unsupported
 /// packets.
 pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+    let (mut packet, payload_at) = parse_header(bytes)?;
+    packet.payload = Bytes::copy_from_slice(&bytes[payload_at..]);
+    check_payload(&packet)?;
+    Ok(packet)
+}
+
+/// Parses a wire packet whose buffer is already reference-counted,
+/// slicing the payload out of `body` with **no copy** — every later
+/// holder of the payload (the node store, a forwarded packet, a
+/// response) shares the frame body's allocation.
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_bytes(body: &Bytes) -> Result<Packet, ParseError> {
+    let (mut packet, payload_at) = parse_header(body)?;
+    packet.payload = body.slice(payload_at..);
+    check_payload(&packet)?;
+    Ok(packet)
+}
+
+/// Retrieval requests carry no payload, so anything past the id is not
+/// part of the packet — reject it instead of silently absorbing it.
+fn check_payload(packet: &Packet) -> Result<(), ParseError> {
+    if packet.kind == PacketKind::Retrieval && !packet.payload.is_empty() {
+        return Err(ParseError::TrailingGarbage {
+            extra: packet.payload.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Parses everything up to the payload, returning the packet (with an
+/// empty payload) and the offset where the payload starts.
+fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
     const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8 + 2; // through hops
     if bytes.len() < FIXED {
         return Err(ParseError::Truncated {
@@ -249,25 +298,19 @@ pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
         });
     }
     let id = DataId::from_bytes(bytes[offset..offset + id_len].to_vec());
-    let payload = Bytes::copy_from_slice(&bytes[offset + id_len..]);
 
-    // Retrieval requests carry no payload, so anything past the id is not
-    // part of the packet — reject it instead of silently absorbing it.
-    if kind == PacketKind::Retrieval && !payload.is_empty() {
-        return Err(ParseError::TrailingGarbage {
-            extra: payload.len(),
-        });
-    }
-
-    Ok(Packet {
-        kind,
-        id,
-        position: Point2::new(x, y),
-        relay,
-        status,
-        hops,
-        payload,
-    })
+    Ok((
+        Packet {
+            kind,
+            id,
+            position: Point2::new(x, y),
+            relay,
+            status,
+            hops,
+            payload: Bytes::new(),
+        },
+        offset + id_len,
+    ))
 }
 
 #[cfg(test)]
@@ -284,6 +327,32 @@ mod tests {
         let p = sample();
         let parsed = parse(&encode(&p)).unwrap();
         assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_bytes() {
+        let p = sample();
+        let mut buf = vec![0xAA, 0xBB];
+        encode_into(&p, &mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(parse(&buf[2..]).unwrap(), p);
+        // Reuse: clearing and re-encoding produces identical bytes.
+        buf.clear();
+        encode_into(&p, &mut buf);
+        assert_eq!(buf, encode(&p));
+    }
+
+    #[test]
+    fn parse_bytes_payload_shares_the_body_allocation() {
+        let p = Packet::response(DataId::new("k"), b"shared-payload".as_ref());
+        let body = Bytes::from(encode(&p));
+        let parsed = parse_bytes(&body).unwrap();
+        assert_eq!(parsed, p);
+        // The payload is a view: slicing the body at the same offset
+        // yields an equal region, and no copy was made (the shim's
+        // slice shares the Arc; equality here is the observable part).
+        let offset = body.len() - p.payload.len();
+        assert_eq!(parsed.payload, body.slice(offset..));
     }
 
     #[test]
@@ -468,13 +537,19 @@ mod tests {
             }
             p.hops = hops;
             let parsed = parse(&encode(&p)).unwrap();
-            prop_assert_eq!(parsed, p);
+            prop_assert_eq!(&parsed, &p);
+            // The zero-copy parser agrees with the copying one exactly.
+            let zero_copy = parse_bytes(&Bytes::from(encode(&p))).unwrap();
+            prop_assert_eq!(zero_copy, parsed);
         }
 
-        /// The parser never panics on arbitrary bytes.
+        /// The parser never panics on arbitrary bytes, and the zero-copy
+        /// variant returns the identical outcome.
         #[test]
         fn prop_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
-            let _ = parse(&bytes);
+            let copying = parse(&bytes);
+            let zero_copy = parse_bytes(&Bytes::copy_from_slice(&bytes));
+            prop_assert_eq!(copying, zero_copy);
         }
 
         /// Garbage appended to a retrieval request is always rejected as

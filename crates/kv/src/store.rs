@@ -5,7 +5,7 @@ use bytes::Bytes;
 use gred::{GredConfig, GredError, GredNetwork};
 use gred_hash::DataId;
 use gred_net::{ServerPool, Topology};
-use std::collections::HashMap;
+use gred_runtime::ShardedMap;
 
 /// Errors returned by the KV layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,13 +62,16 @@ pub struct KvValue {
 ///
 /// Writes go through normal GRED placement; versions are tracked by the
 /// store (the controller side of a real deployment would persist them).
+/// The version and replication indexes are lock-sharded
+/// ([`ShardedMap`]), so concurrent readers of disjoint keys never
+/// contend on one global lock.
 #[derive(Debug, Clone)]
 pub struct EdgeKv {
     net: GredNetwork,
     /// Last written version per fully-qualified key.
-    versions: HashMap<DataId, u64>,
+    versions: ShardedMap<DataId, u64>,
     /// Replication factor per fully-qualified key (1 = unreplicated).
-    replication: HashMap<DataId, u32>,
+    replication: ShardedMap<DataId, u32>,
 }
 
 impl EdgeKv {
@@ -84,8 +87,8 @@ impl EdgeKv {
     ) -> Result<Self, KvError> {
         Ok(EdgeKv {
             net: GredNetwork::build(topology, pool, config).map_err(KvError::Gred)?,
-            versions: HashMap::new(),
-            replication: HashMap::new(),
+            versions: ShardedMap::new(),
+            replication: ShardedMap::new(),
         })
     }
 
@@ -106,9 +109,7 @@ impl EdgeKv {
     /// The last written version of a fully-qualified key (None = never
     /// written). Tombstone writes count as versions.
     pub fn version_of(&self, namespace: &str, key: &str) -> Option<u64> {
-        self.versions
-            .get(&EdgeKv::qualified(namespace, key))
-            .copied()
+        self.versions.get_cloned(&EdgeKv::qualified(namespace, key))
     }
 
     /// Keys ever written in `namespace` (including deleted ones), sorted.
@@ -116,16 +117,15 @@ impl EdgeKv {
     /// inspection and tests.
     pub fn keys_in(&self, namespace: &str) -> Vec<String> {
         let prefix = format!("kv/{namespace}/");
-        let mut keys: Vec<String> = self
-            .versions
-            .keys()
-            .filter_map(|id| {
-                std::str::from_utf8(id.as_bytes())
-                    .ok()
-                    .and_then(|s| s.strip_prefix(&prefix))
-                    .map(str::to_string)
-            })
-            .collect();
+        let mut keys: Vec<String> = Vec::new();
+        self.versions.for_each(|id, _| {
+            if let Some(key) = std::str::from_utf8(id.as_bytes())
+                .ok()
+                .and_then(|s| s.strip_prefix(&prefix))
+            {
+                keys.push(key.to_string());
+            }
+        });
         keys.sort();
         keys
     }
@@ -134,10 +134,15 @@ impl EdgeKv {
         DataId::new(format!("kv/{namespace}/{key}"))
     }
 
-    fn next_version(&mut self, id: &DataId) -> u64 {
-        let v = self.versions.entry(id.clone()).or_insert(0);
-        *v += 1;
-        *v
+    fn next_version(&self, id: &DataId) -> u64 {
+        self.versions.update(
+            id.clone(),
+            || 0,
+            |v| {
+                *v += 1;
+                *v
+            },
+        )
     }
 }
 
@@ -161,7 +166,7 @@ impl KvClient {
         let id = EdgeKv::qualified(&self.namespace, key);
         let version = kv.next_version(&id);
         let record = Record::live(version, value);
-        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        let copies = kv.replication.get_cloned(&id).unwrap_or(1);
         if copies > 1 {
             kv.net
                 .place_replicated(&id, record.encode(), copies, self.access_switch)?;
@@ -202,7 +207,7 @@ impl KvClient {
     /// [`KvError::CorruptRecord`] when the payload is not a KV record.
     pub fn get(&self, kv: &EdgeKv, key: &str) -> Result<KvValue, KvError> {
         let id = EdgeKv::qualified(&self.namespace, key);
-        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        let copies = kv.replication.get_cloned(&id).unwrap_or(1);
         let result = if copies > 1 {
             kv.net.retrieve_nearest(&id, copies, self.access_switch)?
         } else {
@@ -229,7 +234,7 @@ impl KvClient {
         let id = EdgeKv::qualified(&self.namespace, key);
         let version = kv.next_version(&id);
         let record = Record::tombstone(version);
-        let copies = kv.replication.get(&id).copied().unwrap_or(1);
+        let copies = kv.replication.get_cloned(&id).unwrap_or(1);
         if copies > 1 {
             kv.net
                 .place_replicated(&id, record.encode(), copies, self.access_switch)?;

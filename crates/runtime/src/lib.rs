@@ -1,8 +1,10 @@
 //! Shared threading runtime for GRED's control plane and experiment
 //! harness.
 //!
-//! Two pieces live here:
+//! Three pieces live here:
 //!
+//! - [`ShardedMap`]: a lock-sharded hash map for hot concurrent state
+//!   (node stores, KV metadata) with an observable contention hint.
 //! - [`parallel_map`]: an ordered, chunked fork/join map over scoped
 //!   threads. Work is handed out in contiguous chunks (amortizing queue
 //!   synchronization over many items) and every worker accumulates its
@@ -16,6 +18,10 @@
 //! applies `f` to each item exactly once, so any pipeline whose per-item
 //! work is a pure function produces bit-identical results for every
 //! thread count, including the inline `threads == 1` path.
+
+pub mod shard;
+
+pub use shard::ShardedMap;
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -656,6 +656,15 @@ fn run_cluster(seed: u64, ops: usize, switches: usize) {
     let report = cluster.shutdown();
     let total = 2 * ops;
     println!("{report}");
+    let hot = report.hot_stats();
+    println!("hot path: {hot}");
+    if hot.oneshot_fallbacks > 0 || hot.link_reconnects > 0 {
+        println!(
+            "warning: peer contention spilled past the multiplexed links \
+             ({} one-shot fallbacks, {} reconnects)",
+            hot.oneshot_fallbacks, hot.link_reconnects
+        );
+    }
     println!(
         "workload: {total} requests in {:.3}s ({:.0} req/s), {lost} lost",
         elapsed.as_secs_f64(),

@@ -1,103 +1,162 @@
 //! Offline shim for the `bytes` crate: an immutable, cheaply-cloneable
 //! byte buffer backed by `Arc<[u8]>`, covering the API surface this
-//! workspace uses (`new`, `from_static`, `copy_from_slice`, `From`
-//! conversions, deref to `[u8]`).
+//! workspace uses (`new`, `from_static`, `copy_from_slice`, `slice`,
+//! `From` conversions, deref to `[u8]`).
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted contiguous byte buffer.
 ///
 /// Clones share the underlying allocation, so payloads can be handed
-/// between stores and packets without copying.
-#[derive(Clone, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// between stores and packets without copying. [`Bytes::slice`] returns
+/// a *view* into the same allocation, which is what makes the cluster's
+/// zero-copy hot path possible: a decoded frame body is sliced into the
+/// packet payload without a second copy.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wraps a static byte slice (copied here; the real crate borrows,
     /// which callers cannot observe through the shared API).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view sharing this buffer's allocation — no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching the
+    /// real crate's behavior.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds for {len}-byte buffer"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
 impl<const N: usize> From<&[u8; N]> for Bytes {
     fn from(v: &[u8; N]) -> Self {
-        Bytes(Arc::from(&v[..]))
+        Bytes::from_arc(Arc::from(&v[..]))
     }
 }
 
 impl From<String> for Bytes {
     fn from(v: String) -> Self {
-        Bytes(Arc::from(v.into_bytes()))
+        Bytes::from_arc(Arc::from(v.into_bytes()))
     }
 }
 
 impl From<&str> for Bytes {
     fn from(v: &str) -> Self {
-        Bytes(Arc::from(v.as_bytes()))
+        Bytes::from_arc(Arc::from(v.as_bytes()))
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -105,19 +164,19 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.0 == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.0 == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        &*self.0 == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -129,20 +188,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0)
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             for c in std::ascii::escape_default(b) {
                 write!(f, "{}", c as char)?;
             }
@@ -153,7 +212,7 @@ impl std::fmt::Debug for Bytes {
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Bytes(iter.into_iter().collect::<Vec<u8>>().into())
+        Bytes::from_arc(iter.into_iter().collect::<Vec<u8>>().into())
     }
 }
 
@@ -190,5 +249,49 @@ mod tests {
     #[test]
     fn debug_escapes() {
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let whole: Bytes = b"header|payload".as_ref().into();
+        let payload = whole.slice(7..);
+        assert_eq!(payload.as_ref(), b"payload");
+        // The view shares the allocation (strong count observes both).
+        assert_eq!(Arc::strong_count(&whole.data), 2);
+        let of_view = payload.slice(0..3);
+        assert_eq!(of_view.as_ref(), b"pay");
+        assert_eq!(Arc::strong_count(&whole.data), 3);
+    }
+
+    #[test]
+    fn slice_bounds_forms() {
+        let b: Bytes = b"abcdef".as_ref().into();
+        assert_eq!(b.slice(..).as_ref(), b"abcdef");
+        assert_eq!(b.slice(2..4).as_ref(), b"cd");
+        assert_eq!(b.slice(..=2).as_ref(), b"abc");
+        assert_eq!(b.slice(6..).len(), 0);
+        assert!(b.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        let b: Bytes = b"ab".as_ref().into();
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn hash_and_ord_respect_views() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let direct: Bytes = b"cd".as_ref().into();
+        let view = Bytes::from(b"abcdef".as_ref()).slice(2..4);
+        assert_eq!(direct, view);
+        assert_eq!(direct.cmp(&view), std::cmp::Ordering::Equal);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        direct.hash(&mut h1);
+        view.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }

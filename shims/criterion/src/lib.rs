@@ -15,6 +15,16 @@
 //! Environment knobs:
 //! - `CRITERION_SHIM_SAMPLES`: batches per benchmark (default 10)
 //! - `CRITERION_SHIM_DIR`: output directory for `results.jsonl`
+//! - `CRITERION_SHIM_MAX_SECONDS`: per-benchmark timing budget; sampling
+//!   stops early once the timed batches have consumed it (smoke runs)
+//! - `CRITERION_SHIM_FILTER`: substring of `group/bench`; non-matching
+//!   benchmarks are skipped entirely (their closures never run), so one
+//!   variant can be profiled without the rest of the suite
+//!
+//! Each JSON record carries, besides the median per-iteration `mean_ns`,
+//! the aggregate `total_ns`/`total_iters` over every timed batch — the
+//! numbers a post-processor needs to compute an honest wall-clock rate
+//! (`total_iters / total_ns`), which the median of batch means is not.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -76,15 +86,33 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
     mean_ns: f64,
+    /// Wall-clock nanoseconds spent inside timed batches.
+    total_ns: u128,
+    /// Iterations executed inside timed batches.
+    total_iters: u64,
 }
 
 impl Bencher {
-    /// Times `routine`, storing the median-of-batch-means estimate.
+    fn empty() -> Bencher {
+        Bencher {
+            mean_ns: 0.0,
+            total_ns: 0,
+            total_iters: 0,
+        }
+    }
+
+    /// Times `routine`, storing the median-of-batch-means estimate plus
+    /// the aggregate wall-clock totals over all timed batches.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let samples: usize = std::env::var("CRITERION_SHIM_SAMPLES")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(10);
+        let budget: Option<Duration> = std::env::var("CRITERION_SHIM_MAX_SECONDS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map(Duration::from_secs_f64);
 
         // Warmup & calibration: one run to size the batches.
         let t0 = Instant::now();
@@ -96,6 +124,8 @@ impl Bencher {
             (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
 
         let mut batch_means = Vec::with_capacity(samples);
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
         for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..iters_per_batch {
@@ -103,9 +133,27 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             batch_means.push(elapsed.as_nanos() as f64 / iters_per_batch as f64);
+            total += elapsed;
+            total_iters += iters_per_batch as u64;
+            // At least one timed batch always lands, so a tiny budget
+            // degrades to quick-but-measured rather than empty output.
+            if budget.is_some_and(|b| total >= b) {
+                break;
+            }
         }
         batch_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         self.mean_ns = batch_means[batch_means.len() / 2];
+        self.total_ns = total.as_nanos();
+        self.total_iters = total_iters;
+    }
+}
+
+/// Whether `group/bench` survives the `CRITERION_SHIM_FILTER` knob
+/// (substring match; no filter means everything runs).
+fn selected(group: &str, bench: &str) -> bool {
+    match std::env::var("CRITERION_SHIM_FILTER") {
+        Ok(filter) if !filter.is_empty() => format!("{group}/{bench}").contains(&filter),
+        _ => true,
     }
 }
 
@@ -115,14 +163,16 @@ fn shim_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/criterion-shim"))
 }
 
-fn record(group: &str, bench: &str, mean_ns: f64, throughput: Option<Throughput>) {
+fn record(group: &str, bench: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean_ns = bencher.mean_ns;
     let human = format_ns(mean_ns);
     println!("bench: {group}/{bench}  {human}");
 
     let mut line = String::new();
     let _ = write!(
         line,
-        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1}"
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean_ns:.1},\"total_ns\":{},\"total_iters\":{}",
+        bencher.total_ns, bencher.total_iters
     );
     match throughput {
         Some(Throughput::Bytes(n)) => {
@@ -190,9 +240,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher { mean_ns: 0.0 };
+        if !selected(&self.name, &id.id) {
+            return self;
+        }
+        let mut bencher = Bencher::empty();
         f(&mut bencher);
-        record(&self.name, &id.id, bencher.mean_ns, self.throughput);
+        record(&self.name, &id.id, &bencher, self.throughput);
         self
     }
 
@@ -203,9 +256,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &T),
     {
         let id = id.into();
-        let mut bencher = Bencher { mean_ns: 0.0 };
+        if !selected(&self.name, &id.id) {
+            return self;
+        }
+        let mut bencher = Bencher::empty();
         f(&mut bencher, input);
-        record(&self.name, &id.id, bencher.mean_ns, self.throughput);
+        record(&self.name, &id.id, &bencher, self.throughput);
         self
     }
 
@@ -232,9 +288,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { mean_ns: 0.0 };
+        if !selected(name, name) {
+            return self;
+        }
+        let mut bencher = Bencher::empty();
         f(&mut bencher);
-        record(name, name, bencher.mean_ns, None);
+        record(name, name, &bencher, None);
         self
     }
 
@@ -270,9 +329,23 @@ mod tests {
     #[test]
     fn bencher_measures_positive_time() {
         std::env::set_var("CRITERION_SHIM_SAMPLES", "3");
-        let mut b = Bencher { mean_ns: 0.0 };
+        let mut b = Bencher::empty();
         b.iter(|| black_box((0..100u64).sum::<u64>()));
         assert!(b.mean_ns > 0.0);
+        assert!(b.total_ns > 0, "aggregate wall clock recorded");
+        assert!(b.total_iters > 0, "aggregate iteration count recorded");
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        std::env::remove_var("CRITERION_SHIM_FILTER");
+        assert!(selected("group", "bench"));
+        std::env::set_var("CRITERION_SHIM_FILTER", "group/ben");
+        assert!(selected("group", "bench"));
+        assert!(!selected("group", "other"));
+        std::env::set_var("CRITERION_SHIM_FILTER", "");
+        assert!(selected("group", "other"));
+        std::env::remove_var("CRITERION_SHIM_FILTER");
     }
 
     #[test]

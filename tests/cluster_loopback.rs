@@ -156,3 +156,83 @@ fn loopback_cluster_matches_the_in_process_data_plane() {
         report.nodes.iter().map(|n| n.requests).sum::<u64>()
     );
 }
+
+/// Contention variant: 8 client threads hammer a 4-switch cluster at
+/// once, so every node serves several concurrent client connections
+/// while answering nested peer RPCs over the same multiplexed links.
+///
+/// Under the old one-connection-per-peer design a busy link forced an
+/// emergency one-shot TCP connection per overlapping request; the
+/// multiplexed links must absorb the whole burst — the test asserts the
+/// `oneshot_fallbacks` counter stayed at zero — without corrupting a
+/// single payload.
+#[test]
+fn concurrent_clients_share_multiplexed_links_without_fallbacks() {
+    const CONTENTION_SWITCHES: usize = 4;
+    const CLIENT_THREADS: usize = 8;
+    const OPS_PER_THREAD: usize = 25;
+
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(CONTENTION_SWITCHES, SEED));
+    let pool = ServerPool::uniform(CONTENTION_SWITCHES, 2, u64::MAX);
+    let cfg = GredConfig {
+        auto_extend: false,
+        ..GredConfig::with_iterations(8).seeded(SEED)
+    };
+    let net = GredNetwork::build(topo, pool, cfg).expect("seeded network builds");
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    let members = net.members().to_vec();
+
+    // Every thread places its own ids through its own access node, then
+    // reads back every one of them and checks payload parity.
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let access = members[t % members.len()];
+            let cluster = &cluster;
+            scope.spawn(move || {
+                let mut client = cluster.client(access).expect("client connects");
+                for i in 0..OPS_PER_THREAD {
+                    let id = DataId::new(format!("contention/{t}/{i}"));
+                    let payload = format!("payload/{t}/{i}");
+                    let reply = client
+                        .place(&id, payload.clone().into_bytes())
+                        .unwrap_or_else(|e| panic!("thread {t} place {i} failed: {e}"));
+                    assert!(reply.is_hit(), "thread {t} place {i} not acked");
+                }
+                for i in 0..OPS_PER_THREAD {
+                    let id = DataId::new(format!("contention/{t}/{i}"));
+                    let reply = client
+                        .retrieve(&id)
+                        .unwrap_or_else(|e| panic!("thread {t} retrieve {i} failed: {e}"));
+                    assert!(reply.is_hit(), "thread {t} retrieve {i}: lost");
+                    assert_eq!(
+                        reply.payload.as_ref(),
+                        format!("payload/{t}/{i}").as_bytes(),
+                        "thread {t} retrieve {i}: payload corrupted under contention"
+                    );
+                }
+            });
+        }
+    });
+
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0, "zero lost requests required");
+    assert_eq!(
+        report.stored_items(),
+        CLIENT_THREADS * OPS_PER_THREAD,
+        "every placed id is stored exactly once"
+    );
+    let hot = report.hot_stats();
+    assert_eq!(
+        hot.oneshot_fallbacks, 0,
+        "the multiplexed links must absorb the burst without emergency \
+         one-shot connections; got {hot}"
+    );
+    assert_eq!(
+        hot.link_reconnects, 0,
+        "no link should have failed during a healthy run; got {hot}"
+    );
+    assert!(
+        hot.frames_decoded > 0,
+        "hot-path counters must be live; got {hot}"
+    );
+}
