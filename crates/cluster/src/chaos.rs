@@ -1,0 +1,1135 @@
+//! Socket-level chaos testing for the cluster runtime.
+//!
+//! Three layers, smallest first:
+//!
+//! - [`ChaosFabric`] — a loopback TCP proxy fleet. Every directed
+//!   node-to-node link is routed through its own tiny proxy, created
+//!   lazily by the [`AddrRewrite`] hook the fabric hands to
+//!   [`Cluster::boot_with`]. Each link can independently be severed
+//!   (connections reset, new dials refused), black-holed (bytes accepted
+//!   and silently dropped — the sender learns only by timeout), or
+//!   delayed. Clients are never proxied: faults hit the peer mesh, where
+//!   the failure-detection and detour machinery lives.
+//! - [`run_chaos`] — the acceptance scenario: boot a cluster behind the
+//!   fabric, run a seeded replicated workload while a
+//!   [`ChaosPlan`](gred_testkit::ChaosPlan) kills nodes and breaks
+//!   links, drive crash recovery the way an operator would
+//!   (`crash_switch` on the model twin, plane push, transit revival,
+//!   read-repair), and audit every acknowledged write at the end. The
+//!   verdict is binary: an acknowledged write that cannot be read back
+//!   is a lost write; an unacknowledged failure is an error statistic.
+//! - [`ChaosTransport`] — a [`TransportProbe`] that replays the
+//!   model-based harness's schedule over a fabric-wrapped cluster while
+//!   firing a chaos plan between operations. Node kills revive
+//!   immediately from the model store (durable-restart semantics), so
+//!   the harness's model comparison stays exact while every fault is
+//!   masked — or honestly reported — by retries, rotation, and detours.
+
+use crate::client::{Client, ClientError};
+use crate::cluster::{AddrRewrite, Cluster, ClusterConfig, ClusterReport};
+use crate::node::NodeConfig;
+use gred::GredNetwork;
+use gred_hash::DataId;
+use gred_net::{ServerId, ServerPool, Topology};
+use gred_testkit::{ChaosAction, ChaosPlan, TransportProbe};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Domain-mixing constant: the chaos *workload* stream must differ from
+/// the chaos *plan* stream generated from the same seed.
+const WORKLOAD_DOMAIN: u64 = 0x5EED_C4A0_5FAB_0003;
+
+/// How a directed link currently treats traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkMode {
+    /// Transparent forwarding.
+    Open,
+    /// Connections reset; new dials are accepted and immediately closed,
+    /// so the dialer sees a fast EOF instead of a hang.
+    Severed,
+    /// Bytes are accepted and dropped; nothing comes back. The sender
+    /// discovers the fault only through its reply timeout.
+    BlackHole,
+    /// Chunks are forwarded after sitting in the proxy this long.
+    Delay(Duration),
+}
+
+/// Per-link control block shared between the driver and the poller.
+#[derive(Debug, Clone, Copy)]
+struct LinkCtl {
+    /// The proxy's own listen address (what the `from` node dials).
+    addr: SocketAddr,
+    /// Where accepted connections are forwarded (the `to` node's real
+    /// listener) — re-pointed when the node restarts.
+    target: SocketAddr,
+    mode: LinkMode,
+}
+
+struct FabricShared {
+    stop: AtomicBool,
+    ctl: Mutex<FabricCtl>,
+}
+
+#[derive(Default)]
+struct FabricCtl {
+    links: HashMap<(usize, usize), LinkCtl>,
+    /// Listeners bound by `proxy_addr` on the driver thread, waiting for
+    /// the poller to adopt them.
+    incoming: Vec<((usize, usize), TcpListener)>,
+}
+
+/// One proxied connection: bytes flow client → `up` → server and
+/// server → `down` → client, each chunk stamped for delay injection.
+struct ProxyConn {
+    client: TcpStream,
+    server: Option<TcpStream>,
+    up: VecDeque<(Instant, Vec<u8>)>,
+    down: VecDeque<(Instant, Vec<u8>)>,
+    dead: bool,
+}
+
+struct ProxyLink {
+    key: (usize, usize),
+    listener: TcpListener,
+    conns: Vec<ProxyConn>,
+}
+
+/// A fleet of per-directed-link loopback proxies with runtime fault
+/// injection, driven by one background poller thread.
+pub struct ChaosFabric {
+    shared: Arc<FabricShared>,
+    poller: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let links = self.shared.ctl.lock().expect("fabric lock").links.len();
+        f.debug_struct("ChaosFabric")
+            .field("links", &links)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ChaosFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChaosFabric {
+    /// Starts the fabric's poller thread. Proxies appear lazily as the
+    /// rewrite hook is called.
+    pub fn new() -> ChaosFabric {
+        let shared = Arc::new(FabricShared {
+            stop: AtomicBool::new(false),
+            ctl: Mutex::new(FabricCtl::default()),
+        });
+        let poller_shared = Arc::clone(&shared);
+        let poller = thread::Builder::new()
+            .name("chaos-fabric".into())
+            .spawn(move || poll_loop(&poller_shared))
+            .expect("spawning the fabric poller");
+        ChaosFabric {
+            shared,
+            poller: Some(poller),
+        }
+    }
+
+    /// The [`AddrRewrite`] hook to pass to [`Cluster::boot_with`]: every
+    /// directed peer link gets (or re-targets) its own proxy.
+    pub fn rewrite(&self) -> AddrRewrite {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move |from, to, real| proxy_addr(&shared, from, to, real))
+    }
+
+    /// Sets the fault mode of the directed link `from → to`. Severing
+    /// kills its live connections on the next poller tick.
+    pub fn set_mode(&self, from: usize, to: usize, mode: LinkMode) {
+        let mut ctl = self.shared.ctl.lock().expect("fabric lock");
+        if let Some(link) = ctl.links.get_mut(&(from, to)) {
+            link.mode = mode;
+        }
+    }
+
+    /// The current mode of `from → to`, if that link exists.
+    pub fn mode(&self, from: usize, to: usize) -> Option<LinkMode> {
+        let ctl = self.shared.ctl.lock().expect("fabric lock");
+        ctl.links.get(&(from, to)).map(|l| l.mode)
+    }
+
+    /// Restores every link to transparent forwarding.
+    pub fn heal_all(&self) {
+        let mut ctl = self.shared.ctl.lock().expect("fabric lock");
+        for link in ctl.links.values_mut() {
+            link.mode = LinkMode::Open;
+        }
+    }
+
+    /// Stops the poller and drops every proxy.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.poller.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosFabric {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Create-or-retarget the proxy for `from → to`. Called on the driver
+/// thread via the rewrite hook, including again after `to` restarts —
+/// the existing proxy then simply points at the new real listener.
+fn proxy_addr(shared: &FabricShared, from: usize, to: usize, real: SocketAddr) -> SocketAddr {
+    let mut ctl = shared.ctl.lock().expect("fabric lock");
+    if let Some(link) = ctl.links.get_mut(&(from, to)) {
+        link.target = real;
+        return link.addr;
+    }
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("binding a chaos proxy");
+    listener
+        .set_nonblocking(true)
+        .expect("non-blocking chaos proxy listener");
+    let addr = listener.local_addr().expect("chaos proxy address");
+    ctl.links.insert(
+        (from, to),
+        LinkCtl {
+            addr,
+            target: real,
+            mode: LinkMode::Open,
+        },
+    );
+    ctl.incoming.push(((from, to), listener));
+    addr
+}
+
+fn poll_loop(shared: &FabricShared) {
+    let mut links: Vec<ProxyLink> = Vec::new();
+    let mut last_moved = Instant::now();
+    while !shared.stop.load(Ordering::Acquire) {
+        // Snapshot controls and adopt freshly bound listeners.
+        let modes: HashMap<(usize, usize), LinkCtl> = {
+            let mut ctl = shared.ctl.lock().expect("fabric lock");
+            for (key, listener) in ctl.incoming.drain(..) {
+                links.push(ProxyLink {
+                    key,
+                    listener,
+                    conns: Vec::new(),
+                });
+            }
+            ctl.links.clone()
+        };
+        let mut moved = false;
+        for link in &mut links {
+            let Some(ctl) = modes.get(&link.key) else {
+                continue;
+            };
+            moved |= service_link(link, ctl);
+        }
+        // Adaptive tick: keep spinning for a grace period after the last
+        // byte moved — a request's reply usually arrives within it, so
+        // per-hop proxy latency stays in the microseconds — then park.
+        if moved {
+            last_moved = Instant::now();
+        } else if last_moved.elapsed() < Duration::from_micros(300) {
+            thread::yield_now();
+        } else {
+            thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Services one link's listener and connections; returns whether any
+/// byte moved (drives the poller's adaptive tick).
+fn service_link(link: &mut ProxyLink, ctl: &LinkCtl) -> bool {
+    let mut moved = false;
+    // Accept new dials. Severed links accept-and-drop so the dialer sees
+    // a prompt EOF rather than a connect timeout.
+    loop {
+        match link.listener.accept() {
+            Ok((client, _)) => {
+                moved = true;
+                if ctl.mode == LinkMode::Severed {
+                    drop(client);
+                    continue;
+                }
+                if client.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Connect upstream now; loopback either succeeds or
+                // refuses fast. A dead target closes the conn, which the
+                // dialing node reads as link death — exactly right.
+                let server = TcpStream::connect_timeout(&ctl.target, Duration::from_millis(100))
+                    .ok()
+                    .and_then(|s| s.set_nonblocking(true).ok().map(|()| s));
+                if server.is_none() {
+                    continue; // drops `client`
+                }
+                link.conns.push(ProxyConn {
+                    client,
+                    server,
+                    up: VecDeque::new(),
+                    down: VecDeque::new(),
+                    dead: false,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    if ctl.mode == LinkMode::Severed {
+        link.conns.clear();
+        return moved;
+    }
+    let delay = match ctl.mode {
+        LinkMode::Delay(d) => d,
+        _ => Duration::ZERO,
+    };
+    let black_hole = ctl.mode == LinkMode::BlackHole;
+    for conn in &mut link.conns {
+        moved |= service_conn(conn, delay, black_hole);
+    }
+    link.conns.retain(|c| !c.dead);
+    moved
+}
+
+/// Shuttles one connection's bytes; returns whether any byte moved.
+fn service_conn(conn: &mut ProxyConn, delay: Duration, black_hole: bool) -> bool {
+    let now = Instant::now();
+    let mut buf = [0u8; 8192];
+    let mut moved = false;
+
+    // Ingest from both ends. A black-holed link keeps reading (writes on
+    // the node side must succeed) but never enqueues.
+    match conn.client.read(&mut buf) {
+        Ok(0) => conn.dead = true,
+        Ok(n) => {
+            moved = true;
+            if !black_hole {
+                conn.up.push_back((now, buf[..n].to_vec()));
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+        Err(_) => conn.dead = true,
+    }
+    if let Some(server) = &mut conn.server {
+        match server.read(&mut buf) {
+            Ok(0) => conn.dead = true,
+            Ok(n) => {
+                moved = true;
+                if !black_hole {
+                    conn.down.push_back((now, buf[..n].to_vec()));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(_) => conn.dead = true,
+        }
+    }
+    if conn.dead || black_hole {
+        return moved;
+    }
+
+    // Flush chunks that have served their delay, preserving order.
+    if let Some(server) = &mut conn.server {
+        if !flush(&mut conn.up, server, delay, now) {
+            conn.dead = true;
+            return moved;
+        }
+    }
+    if !flush(&mut conn.down, &mut conn.client, delay, now) {
+        conn.dead = true;
+    }
+    moved
+}
+
+/// Writes every due chunk of `queue` to `out`; returns `false` when the
+/// stream died. Partial writes keep the remainder queued at the front.
+fn flush(
+    queue: &mut VecDeque<(Instant, Vec<u8>)>,
+    out: &mut TcpStream,
+    delay: Duration,
+    now: Instant,
+) -> bool {
+    while let Some((stamp, chunk)) = queue.front() {
+        if now.duration_since(*stamp) < delay {
+            return true;
+        }
+        match out.write(chunk) {
+            Ok(n) if n == chunk.len() => {
+                queue.pop_front();
+            }
+            Ok(n) => {
+                let (stamp, mut chunk) = queue.pop_front().expect("front just peeked");
+                chunk.drain(..n);
+                queue.push_front((stamp, chunk));
+                return true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Parameters of one [`run_chaos`] acceptance run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seeds both the fault plan and the workload.
+    pub seed: u64,
+    /// Switches in the ring-with-chords topology.
+    pub switches: usize,
+    /// Workload operations.
+    pub ops: usize,
+    /// Node crashes injected mid-run.
+    pub kills: usize,
+    /// Transient link faults (sever / black-hole / delay) injected.
+    pub link_faults: usize,
+    /// Replicas per acknowledged write (the paper's `k`).
+    pub copies: u32,
+    /// Clean copies on distinct switches required before acking.
+    pub quorum: usize,
+}
+
+impl Default for ChaosConfig {
+    /// The ISSUE's acceptance scenario: 16 switches, `k = 2`, 2 crashes,
+    /// 500 operations.
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            switches: 16,
+            ops: 500,
+            kills: 2,
+            link_faults: 4,
+            copies: 2,
+            quorum: 2,
+        }
+    }
+}
+
+/// What a chaos run observed. The only hard failure is
+/// [`lost_acked`](ChaosOutcome::lost_acked) — every other counter is an
+/// honest report of faults the cluster weathered.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Seed the run (plan + workload) was generated from.
+    pub seed: u64,
+    /// Workload length.
+    pub ops: usize,
+    /// Writes acknowledged with a full quorum.
+    pub acked_writes: usize,
+    /// Writes that failed *before* acknowledgment — reported to the
+    /// caller as errors, so they are not loss.
+    pub write_errors: usize,
+    /// Mid-run reads that returned the acknowledged payload.
+    pub read_hits: usize,
+    /// Mid-run reads that failed with an error (allowed under faults).
+    pub read_errors: usize,
+    /// Acknowledged writes that could not be read back — the number the
+    /// whole exercise exists to keep at zero.
+    pub lost_acked: usize,
+    /// Acknowledged writes re-replicated after a crash ate one copy.
+    pub repairs: usize,
+    /// Repair attempts that failed (the write keeps its degraded
+    /// replica set and stays exposed to the next crash).
+    pub repair_failures: usize,
+    /// Switch ids crashed, in injection order.
+    pub killed: Vec<usize>,
+    /// Link fault events fired (including heals).
+    pub link_events: usize,
+    /// Final accounting from the surviving nodes.
+    pub report: ClusterReport,
+}
+
+impl ChaosOutcome {
+    /// Whether the run met the acceptance bar: no acknowledged write was
+    /// lost.
+    pub fn passed(&self) -> bool {
+        self.lost_acked == 0
+    }
+
+    /// The command reproducing this exact run (same plan, same
+    /// workload).
+    pub fn repro_line(&self) -> String {
+        format!(
+            "cargo run -p gred-sim --bin repro -- chaos --seed {} --ops {}",
+            self.seed, self.ops
+        )
+    }
+}
+
+impl std::fmt::Display for ChaosOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chaos seed={}: {} acked writes, {} lost, {} repairs ({} failed), \
+             {} read hits, {} read errors, {} write errors, killed {:?}, {} link events",
+            self.seed,
+            self.acked_writes,
+            self.lost_acked,
+            self.repairs,
+            self.repair_failures,
+            self.read_hits,
+            self.read_errors,
+            self.write_errors,
+            self.killed,
+            self.link_events,
+        )
+    }
+}
+
+/// Cluster timeouts tuned for fault injection: a black-holed RPC must
+/// burn milliseconds, not the default seconds, or every timeout-driven
+/// suspicion blows the run budget.
+pub fn chaos_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        node: NodeConfig {
+            poll_interval: Duration::from_millis(1),
+            read_timeout: Duration::from_millis(10),
+            peer_connect_timeout: Duration::from_millis(200),
+            peer_reply_timeout: Duration::from_millis(120),
+            suspect_ttl: Duration::from_millis(250),
+            ..NodeConfig::default()
+        },
+        client: crate::client::ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(600),
+            read_timeout: Duration::from_millis(10),
+            retries: 4,
+            backoff: Duration::from_millis(5),
+        },
+    }
+}
+
+/// One acknowledged write and where its clean copies live.
+struct AckedWrite {
+    id: DataId,
+    payload: Vec<u8>,
+    clean_switches: Vec<usize>,
+}
+
+/// Runs the chaos acceptance scenario described by `cfg`. Deterministic
+/// in its fault plan and workload; socket timing varies, but the
+/// zero-loss verdict must not.
+///
+/// # Errors
+///
+/// Infrastructure failures only (booting the cluster, model dynamics) —
+/// workload and fault outcomes are reported in the [`ChaosOutcome`],
+/// not as errors.
+pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
+    let plan = ChaosPlan::generate(cfg.seed, cfg.ops, cfg.kills, cfg.link_faults);
+    let mut net = chaos_network(cfg)?;
+    let fabric = ChaosFabric::new();
+    let mut cluster = Cluster::boot_with(&net, chaos_cluster_config(), fabric.rewrite())?;
+    let mut client = member_client(&cluster, &net).map_err(io::Error::other)?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ WORKLOAD_DOMAIN);
+    let mut acked: Vec<AckedWrite> = Vec::new();
+    let mut outcome = ChaosOutcome {
+        seed: cfg.seed,
+        ops: cfg.ops,
+        acked_writes: 0,
+        write_errors: 0,
+        read_hits: 0,
+        read_errors: 0,
+        lost_acked: 0,
+        repairs: 0,
+        repair_failures: 0,
+        killed: Vec::new(),
+        link_events: 0,
+        report: ClusterReport { nodes: Vec::new() },
+    };
+
+    // A killed node stays dead for this many workload operations before
+    // the operator-style recovery kicks in — the window where failure
+    // detection, suspicion, and replica failover carry the traffic.
+    const RECOVERY_LAG: usize = 8;
+    // The victim of a crash whose recovery is still pending, with the
+    // operation index at which recovery runs.
+    let mut pending: Option<(usize, usize)> = None;
+
+    let mut cursor = 0;
+    for op in 0..cfg.ops {
+        if let Some((victim, recover_at)) = pending {
+            if op >= recover_at {
+                recover(&mut cluster, &mut net, victim)?;
+                client = member_client(&cluster, &net).map_err(io::Error::other)?;
+                repair_after_crash(&mut client, &mut acked, victim, cfg, &mut outcome);
+                pending = None;
+            }
+        }
+        while cursor < plan.events.len() && plan.events[cursor].at_op <= op {
+            let action = plan.events[cursor].action;
+            cursor += 1;
+            match action {
+                ChaosAction::KillNode { pick } => {
+                    // One outstanding crash at a time: with `k` copies
+                    // the guarantee only covers crashes separated by
+                    // repair, so recover the previous victim first.
+                    if let Some((victim, _)) = pending.take() {
+                        recover(&mut cluster, &mut net, victim)?;
+                        client = member_client(&cluster, &net).map_err(io::Error::other)?;
+                        repair_after_crash(&mut client, &mut acked, victim, cfg, &mut outcome);
+                    }
+                    let members = net.members().to_vec();
+                    if members.len() <= 4 {
+                        continue; // keep the cluster routable
+                    }
+                    let victim = members[pick as usize % members.len()];
+                    cluster.crash_node(victim);
+                    outcome.killed.push(victim);
+                    pending = Some((victim, op + RECOVERY_LAG));
+                }
+                ChaosAction::SeverLink { from, to } => {
+                    apply_link(&fabric, &net, from, to, LinkMode::Severed);
+                    outcome.link_events += 1;
+                }
+                ChaosAction::BlackHoleLink { from, to } => {
+                    apply_link(&fabric, &net, from, to, LinkMode::BlackHole);
+                    outcome.link_events += 1;
+                }
+                ChaosAction::DelayLink { from, to, millis } => {
+                    apply_link(
+                        &fabric,
+                        &net,
+                        from,
+                        to,
+                        LinkMode::Delay(Duration::from_millis(u64::from(millis))),
+                    );
+                    outcome.link_events += 1;
+                }
+                ChaosAction::HealLink { from, to } => {
+                    apply_link(&fabric, &net, from, to, LinkMode::Open);
+                    outcome.link_events += 1;
+                }
+            }
+        }
+
+        let write = acked.is_empty() || rng.gen_range(0u32..100) < 55;
+        if write {
+            let serial = outcome.acked_writes + outcome.write_errors;
+            let id = DataId::new(format!("chaos-{}-{serial}", cfg.seed));
+            let payload = format!("payload-{}-{serial}", cfg.seed).into_bytes();
+            match client.place_replicated(&id, payload.clone(), cfg.copies, cfg.quorum) {
+                Ok(placement) => {
+                    outcome.acked_writes += 1;
+                    acked.push(AckedWrite {
+                        id,
+                        payload,
+                        clean_switches: placement.clean_switches,
+                    });
+                }
+                Err(_) => outcome.write_errors += 1,
+            }
+        } else {
+            let entry = &acked[rng.gen_range(0..acked.len())];
+            match client.retrieve_replicated(&entry.id, cfg.copies) {
+                Ok(reply) if reply.is_hit() && reply.payload.as_ref() == &entry.payload[..] => {
+                    outcome.read_hits += 1;
+                }
+                Ok(reply) if reply.is_hit() => outcome.lost_acked += 1, // wrong payload
+                Ok(_) => outcome.lost_acked += 1, // authoritative miss of an acked write
+                Err(_) => outcome.read_errors += 1,
+            }
+        }
+    }
+
+    // A crash still awaiting recovery at the end of the workload is
+    // recovered before the audit — the operator always finishes the
+    // runbook.
+    if let Some((victim, _)) = pending.take() {
+        recover(&mut cluster, &mut net, victim)?;
+        client = member_client(&cluster, &net).map_err(io::Error::other)?;
+        repair_after_crash(&mut client, &mut acked, victim, cfg, &mut outcome);
+    }
+
+    // Final audit under healed links: every acknowledged write must read
+    // back. This is the acceptance criterion. Stale suspicion expires
+    // first, so the audit walks clean greedy paths, not detours.
+    fabric.heal_all();
+    thread::sleep(chaos_cluster_config().node.suspect_ttl + Duration::from_millis(50));
+    let mut auditor = member_client(&cluster, &net).map_err(io::Error::other)?;
+    for entry in &acked {
+        match auditor.retrieve_replicated(&entry.id, cfg.copies) {
+            Ok(reply) if reply.is_hit() && reply.payload.as_ref() == &entry.payload[..] => {}
+            _ => outcome.lost_acked += 1,
+        }
+    }
+
+    outcome.report = cluster.shutdown();
+    fabric.shutdown();
+    Ok(outcome)
+}
+
+/// The operator runbook for a crashed node: mirror the crash on the
+/// model twin (victim becomes a transit plane, its data is gone), push
+/// the post-crash planes to every survivor, and revive the slot as a
+/// transit relay so multi-hop virtual links keep working.
+fn recover(cluster: &mut Cluster, net: &mut GredNetwork, victim: usize) -> io::Result<()> {
+    net.crash_switch(victim).map_err(io::Error::other)?;
+    cluster.apply_planes(net);
+    cluster.restart_node(victim, net)?;
+    Ok(())
+}
+
+/// Ring-with-chords topology: every switch links to its successor and to
+/// the switch four ahead, giving the DT enough alternative paths that a
+/// crash never partitions it.
+fn chaos_network(cfg: &ChaosConfig) -> io::Result<GredNetwork> {
+    let n = cfg.switches;
+    let mut links: Vec<(usize, usize)> = (0..n).map(|s| (s, (s + 1) % n)).collect();
+    if n > 8 {
+        links.extend((0..n).map(|s| (s, (s + 4) % n)));
+    }
+    let topo = Topology::from_links(n, &links).map_err(io::Error::other)?;
+    let pool = ServerPool::uniform(n, 2, 100_000);
+    let gred_cfg = gred::GredConfig::with_iterations(8).seeded(cfg.seed ^ 0x70B0);
+    GredNetwork::build(topo, pool, gred_cfg).map_err(io::Error::other)
+}
+
+/// A client rotating across four live member switches — killed slots
+/// (revived as transit relays) are not used as access nodes.
+fn member_client(cluster: &Cluster, net: &GredNetwork) -> Result<Client, ClientError> {
+    let members = net.members();
+    let stride = (members.len() / 4).max(1);
+    let access: Vec<usize> = members.iter().step_by(stride).take(4).copied().collect();
+    cluster.client_multi(&access)
+}
+
+/// Resolves abstract link picks against live membership and applies the
+/// mode. `from == to` rotates `to` one member ahead.
+fn apply_link(fabric: &ChaosFabric, net: &GredNetwork, from: u32, to: u32, mode: LinkMode) {
+    let members = net.members();
+    if members.len() < 2 {
+        return;
+    }
+    let from = members[from as usize % members.len()];
+    let mut to = members[to as usize % members.len()];
+    if to == from {
+        let next = members.iter().position(|&m| m == to).expect("member") + 1;
+        to = members[next % members.len()];
+    }
+    fabric.set_mode(from, to, mode);
+}
+
+/// Re-replicates every acknowledged write that had a clean copy on the
+/// crashed switch. A write whose surviving copies cannot be found is
+/// counted lost immediately — honest accounting beats a quiet audit
+/// surprise later.
+fn repair_after_crash(
+    client: &mut Client,
+    acked: &mut [AckedWrite],
+    victim: usize,
+    cfg: &ChaosConfig,
+    outcome: &mut ChaosOutcome,
+) {
+    for entry in acked
+        .iter_mut()
+        .filter(|e| e.clean_switches.contains(&victim))
+    {
+        let survivor = match client.retrieve_replicated(&entry.id, cfg.copies) {
+            Ok(reply) if reply.is_hit() && reply.payload.as_ref() == &entry.payload[..] => true,
+            Ok(reply) if reply.is_hit() => false,
+            Ok(_) => false,
+            Err(_) => {
+                // Unreachable right now is not lost: the audit settles it.
+                outcome.repair_failures += 1;
+                continue;
+            }
+        };
+        if !survivor {
+            outcome.lost_acked += 1;
+            continue;
+        }
+        match client.place_replicated(&entry.id, entry.payload.clone(), cfg.copies, cfg.quorum) {
+            Ok(placement) => {
+                entry.clean_switches = placement.clean_switches;
+                outcome.repairs += 1;
+            }
+            Err(_) => outcome.repair_failures += 1,
+        }
+    }
+}
+
+/// A [`TransportProbe`] that replays the harness schedule over a
+/// fabric-wrapped cluster while a [`ChaosPlan`] fires between
+/// operations. Node kills are followed by an immediate revival preloaded
+/// from the model store (a durable restart), so the model comparison
+/// stays exact; link faults are left for retries, client rotation, and
+/// suspect detours to absorb.
+pub struct ChaosTransport {
+    cfg: ClusterConfig,
+    plan: ChaosPlan,
+    cursor: usize,
+    op_count: usize,
+    fabric: ChaosFabric,
+    cluster: Option<Cluster>,
+    clients: HashMap<usize, Client>,
+    /// Chaos events fired so far.
+    faults_fired: usize,
+    /// Kill/revive cycles performed so far.
+    kills: usize,
+}
+
+impl std::fmt::Debug for ChaosTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosTransport")
+            .field("op_count", &self.op_count)
+            .field("faults_fired", &self.faults_fired)
+            .field("kills", &self.kills)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChaosTransport {
+    /// A transport firing `plan` over a cluster booted with the tuned
+    /// [`chaos_cluster_config`].
+    pub fn new(plan: ChaosPlan) -> ChaosTransport {
+        ChaosTransport {
+            cfg: chaos_cluster_config(),
+            plan,
+            cursor: 0,
+            op_count: 0,
+            fabric: ChaosFabric::new(),
+            cluster: None,
+            clients: HashMap::new(),
+            faults_fired: 0,
+            kills: 0,
+        }
+    }
+
+    /// Chaos events fired so far.
+    pub fn faults_fired(&self) -> usize {
+        self.faults_fired
+    }
+
+    /// Kill/revive cycles performed so far.
+    pub fn kills(&self) -> usize {
+        self.kills
+    }
+
+    fn ensure(&mut self, net: &GredNetwork) -> Result<(), String> {
+        if self.cluster.is_none() {
+            let cluster = Cluster::boot_with(net, self.cfg.clone(), self.fabric.rewrite())
+                .map_err(|e| format!("chaos transport: cluster boot failed: {e}"))?;
+            self.cluster = Some(cluster);
+        }
+        Ok(())
+    }
+
+    /// Fires every plan event due at this operation index.
+    fn advance(&mut self, net: &GredNetwork) -> Vec<String> {
+        self.op_count += 1;
+        let mut violations = Vec::new();
+        while self.cursor < self.plan.events.len()
+            && self.plan.events[self.cursor].at_op <= self.op_count
+        {
+            let action = self.plan.events[self.cursor].action;
+            self.cursor += 1;
+            self.faults_fired += 1;
+            match action {
+                ChaosAction::KillNode { pick } => {
+                    let Some(cluster) = self.cluster.as_mut() else {
+                        continue;
+                    };
+                    let members = net.members().to_vec();
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let victim = members[pick as usize % members.len()];
+                    cluster.crash_node(victim);
+                    // Durable restart: the store reloads from the model,
+                    // the listener moves, peers re-learn the address.
+                    if let Err(e) = cluster.restart_node(victim, net) {
+                        violations.push(format!(
+                            "chaos transport: reviving node {victim} failed: {e}"
+                        ));
+                    }
+                    self.clients.remove(&victim);
+                    self.kills += 1;
+                }
+                ChaosAction::SeverLink { from, to } => {
+                    apply_link(&self.fabric, net, from, to, LinkMode::Severed);
+                }
+                ChaosAction::BlackHoleLink { from, to } => {
+                    apply_link(&self.fabric, net, from, to, LinkMode::BlackHole);
+                }
+                ChaosAction::DelayLink { from, to, millis } => {
+                    apply_link(
+                        &self.fabric,
+                        net,
+                        from,
+                        to,
+                        LinkMode::Delay(Duration::from_millis(u64::from(millis))),
+                    );
+                }
+                ChaosAction::HealLink { from, to } => {
+                    apply_link(&self.fabric, net, from, to, LinkMode::Open);
+                }
+            }
+        }
+        violations
+    }
+
+    fn with_client<T>(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        op: impl FnOnce(&mut Client) -> Result<T, String>,
+    ) -> Result<T, String> {
+        self.ensure(net)?;
+        let cluster = self.cluster.as_ref().expect("cluster just ensured");
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.clients.entry(access) {
+            let client = cluster
+                .client(access)
+                .map_err(|e| format!("chaos transport: connecting to node {access} failed: {e}"))?;
+            slot.insert(client);
+        }
+        op(self.clients.get_mut(&access).expect("client just ensured"))
+    }
+}
+
+impl TransportProbe for ChaosTransport {
+    fn place(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        id: &DataId,
+        payload: &[u8],
+        expected: ServerId,
+    ) -> Vec<String> {
+        let mut violations = self.advance(net);
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .place(id, payload.to_vec())
+                .map_err(|e| format!("chaos transport: place {id:?} via node {access}: {e}"))
+        });
+        match outcome {
+            Ok(reply) => match reply.ack_server() {
+                Some(server) if server == expected => {}
+                Some(server) => violations.push(format!(
+                    "chaos transport: place {id:?} acked by {server} but the \
+                     in-process model stored on {expected}"
+                )),
+                None => violations.push(format!(
+                    "chaos transport: place {id:?} ack payload is not a server identity"
+                )),
+            },
+            Err(e) => violations.push(e),
+        }
+        violations
+    }
+
+    fn retrieve(
+        &mut self,
+        net: &GredNetwork,
+        access: usize,
+        id: &DataId,
+        expected_payload: &[u8],
+    ) -> Vec<String> {
+        let mut violations = self.advance(net);
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .retrieve(id)
+                .map_err(|e| format!("chaos transport: retrieve {id:?} via node {access}: {e}"))
+        });
+        match outcome {
+            Ok(reply) if !reply.is_hit() => violations.push(format!(
+                "chaos transport: retrieve {id:?} missed over TCP but hits in-process"
+            )),
+            Ok(reply) if reply.payload.as_ref() != expected_payload => violations.push(format!(
+                "chaos transport: retrieve {id:?} returned {} bytes that differ \
+                 from the in-process payload",
+                reply.payload.len()
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(e),
+        }
+        violations
+    }
+
+    fn retrieve_missing(&mut self, net: &GredNetwork, access: usize, id: &DataId) -> Vec<String> {
+        let mut violations = self.advance(net);
+        let outcome = self.with_client(net, access, |client| {
+            client
+                .retrieve(id)
+                .map_err(|e| format!("chaos transport: retrieve missing {id:?}: {e}"))
+        });
+        match outcome {
+            Ok(reply) if reply.is_hit() => violations.push(format!(
+                "chaos transport: never-placed {id:?} returned data over TCP"
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(e),
+        }
+        violations
+    }
+
+    fn resync(&mut self, net: &GredNetwork) -> Vec<String> {
+        self.clients.clear();
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown();
+        }
+        // Reboot behind the same fabric: every proxy re-targets to the
+        // fresh listeners, and any in-flight fault modes stay applied.
+        match self.ensure(net) {
+            Ok(()) => Vec::new(),
+            Err(e) => vec![e],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_forwards_and_severs() {
+        let fabric = ChaosFabric::new();
+        let echo = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let real = echo.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            for stream in echo.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let mut buf = [0u8; 64];
+                let Ok(n) = stream.read(&mut buf) else {
+                    continue;
+                };
+                if n == 0 {
+                    continue;
+                }
+                if &buf[..n] == b"quit" {
+                    break;
+                }
+                let _ = stream.write_all(&buf[..n]);
+            }
+        });
+
+        let proxy = {
+            let rewrite = fabric.rewrite();
+            rewrite(0, 1, real)
+        };
+        // Open: bytes round-trip through the proxy.
+        let mut conn = TcpStream::connect(proxy).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Severed: the live connection dies and new dials see EOF.
+        fabric.set_mode(0, 1, LinkMode::Severed);
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let died = matches!(conn.read(&mut buf), Ok(0) | Err(_));
+        assert!(died, "severing must kill the in-flight connection");
+        let mut fresh = TcpStream::connect(proxy).unwrap();
+        fresh
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let _ = fresh.write_all(b"pong");
+        assert!(
+            matches!(fresh.read(&mut buf), Ok(0) | Err(_)),
+            "a severed link must refuse new traffic"
+        );
+
+        // Healed: traffic flows again. The poller applies the mode change
+        // on its next tick, so a dial can still land on the stale severed
+        // clone of the link map — retry until the heal takes effect.
+        fabric.set_mode(0, 1, LinkMode::Open);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut healed = TcpStream::connect(proxy).unwrap();
+            healed
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            if healed.write_all(b"back").is_ok() && healed.read_exact(&mut buf).is_ok() {
+                assert_eq!(&buf, b"back");
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "healed link never resumed echoing"
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        let mut quit = TcpStream::connect(proxy).unwrap();
+        quit.write_all(b"quit").unwrap();
+        drop(quit);
+        server.join().unwrap();
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn fabric_black_hole_swallows_bytes() {
+        let fabric = ChaosFabric::new();
+        let echo = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let real = echo.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            if let Ok((mut stream, _)) = echo.accept() {
+                let mut buf = [0u8; 64];
+                while let Ok(n) = stream.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    let _ = stream.write_all(&buf[..n]);
+                }
+            }
+        });
+
+        let proxy = {
+            let rewrite = fabric.rewrite();
+            rewrite(2, 3, real)
+        };
+        let mut conn = TcpStream::connect(proxy).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(150)))
+            .unwrap();
+        fabric.set_mode(2, 3, LinkMode::BlackHole);
+        // Give the poller a tick to observe the mode change.
+        thread::sleep(Duration::from_millis(10));
+        conn.write_all(b"void").unwrap();
+        let mut buf = [0u8; 4];
+        let got = conn.read(&mut buf);
+        assert!(
+            matches!(got, Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut),
+            "black-holed bytes must never come back, got {got:?}"
+        );
+        drop(conn);
+        fabric.shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_run_small_smoke() {
+        let outcome = run_chaos(&ChaosConfig {
+            seed: 11,
+            switches: 8,
+            ops: 60,
+            kills: 1,
+            link_faults: 2,
+            copies: 2,
+            quorum: 2,
+        })
+        .unwrap();
+        assert!(outcome.acked_writes > 0, "workload must make progress");
+        assert_eq!(
+            outcome.lost_acked, 0,
+            "acknowledged writes must survive one crash: {outcome}"
+        );
+        assert_eq!(outcome.killed.len(), 1);
+        assert!(outcome.repro_line().contains("--seed 11"));
+    }
+}

@@ -1,12 +1,25 @@
 //! Client side of the cluster protocol.
 //!
-//! A [`Client`] talks to one node (any node — GRED routes from wherever
-//! the request enters) over a persistent framed TCP connection. Requests
-//! are synchronous: write one frame, read one frame. Failures are typed
-//! ([`ClientError`]) and transient ones (connect/read errors, timeouts,
-//! framing damage) are retried a bounded number of times with doubling
-//! backoff, reconnecting each time so a late response from a previous
-//! attempt can never be mistaken for the current one.
+//! A [`Client`] talks to one node at a time (any node — GRED routes from
+//! wherever the request enters) over a persistent framed TCP connection.
+//! Requests are synchronous: write one frame, read one frame. Failures
+//! are typed ([`ClientError`]) and transient ones (connect/read errors,
+//! timeouts, framing damage, redirects) are retried a bounded number of
+//! times with doubling backoff, reconnecting each time so a late
+//! response from a previous attempt can never be mistaken for the
+//! current one. A client configured with several access nodes
+//! ([`Client::connect_multi`]) **rotates** to the next one before each
+//! retry, so a crashed entry point costs one attempt, not the whole
+//! retry budget.
+//!
+//! # Replica failover
+//!
+//! [`Client::place_replicated`] writes `hash(id || serial)` copies until
+//! a quorum of *clean* acks (status `Ok`, not `Degraded`) lands on
+//! distinct switches, probing a few extra serials when owners collide;
+//! [`Client::retrieve_replicated`] walks the same serials until one
+//! copy answers, so a GET survives the primary's crash as long as any
+//! replica's owner is alive.
 
 use crate::frame::{self, FrameDecoder, FrameError};
 use crate::proto;
@@ -73,6 +86,24 @@ pub enum ClientError {
         /// The id the failed request concerned.
         id: DataId,
     },
+    /// The node answered with [`ResponseStatus::Redirect`]: routing
+    /// aborted on suspect peers or an exhausted detour budget. Nothing
+    /// was served — transient, and the retry rotates to the next access
+    /// node.
+    Redirected {
+        /// The id the redirected request concerned.
+        id: DataId,
+    },
+    /// [`Client::place_replicated`] could not land the required number
+    /// of clean copies on distinct switches.
+    QuorumFailed {
+        /// The id whose replication fell short.
+        id: DataId,
+        /// Distinct switches that acknowledged a clean copy.
+        achieved: usize,
+        /// The quorum that was required.
+        required: usize,
+    },
     /// Every attempt failed; `last` is the final attempt's error.
     RetriesExhausted {
         /// Attempts made (1 + retries).
@@ -97,6 +128,19 @@ impl std::fmt::Display for ClientError {
             ClientError::ServerError { id } => {
                 write!(f, "node could not serve the request for {id}")
             }
+            ClientError::Redirected { id } => {
+                write!(f, "node redirected the request for {id} (suspect peers)")
+            }
+            ClientError::QuorumFailed {
+                id,
+                achieved,
+                required,
+            } => {
+                write!(
+                    f,
+                    "replication quorum for {id} not reached: {achieved} of {required} clean copies"
+                )
+            }
             ClientError::RetriesExhausted { attempts, last } => {
                 write!(f, "request failed after {attempts} attempts: {last}")
             }
@@ -107,11 +151,15 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 impl ClientError {
-    /// Whether a fresh connection and another attempt could help.
+    /// Whether a fresh connection and another attempt (via the next
+    /// access node) could help.
     fn transient(&self) -> bool {
         matches!(
             self,
-            ClientError::Io { .. } | ClientError::Timeout { .. } | ClientError::Frame(_)
+            ClientError::Io { .. }
+                | ClientError::Timeout { .. }
+                | ClientError::Frame(_)
+                | ClientError::Redirected { .. }
         )
     }
 }
@@ -127,6 +175,9 @@ pub struct Reply {
     /// Physical hops the request traveled to the switch that answered —
     /// the routing cost GRED's evaluation measures, reported in-band.
     pub hops: u16,
+    /// Detours the request took around suspect neighbors; nonzero means
+    /// the answering switch may not be the true greedy owner.
+    pub detours: u16,
 }
 
 impl Reply {
@@ -135,18 +186,46 @@ impl Reply {
         proto::parse_ack(&self.payload)
     }
 
-    /// Whether the reply is a retrieval hit (or a placement ack).
+    /// Whether the reply served the request — a clean hit/ack (`Ok`) or
+    /// a detoured one (`Degraded`).
     pub fn is_hit(&self) -> bool {
+        self.status.served()
+    }
+
+    /// Whether the reply is a clean, detour-free hit/ack. Replication
+    /// quorums count only clean acks: a degraded copy may sit on the
+    /// wrong switch and be unreachable once routing heals.
+    pub fn is_clean(&self) -> bool {
         self.status == ResponseStatus::Ok
     }
 }
 
-/// A connection to one cluster node.
+/// Extra replica serials probed beyond the requested copy count when
+/// placing or retrieving replicated data — covers the (rare) case where
+/// several serials hash to the same owner switch, so a `copies = k`
+/// write can still land `k` clean copies on distinct switches.
+pub const REPLICA_PROBE_SLACK: u32 = 4;
+
+/// Outcome of a quorum placement ([`Client::place_replicated`]).
+#[derive(Debug, Clone)]
+pub struct ReplicatedPlacement {
+    /// Every successful per-serial ack, in serial order.
+    pub acks: Vec<(u32, Reply)>,
+    /// Distinct switches that acknowledged a clean copy.
+    pub clean_switches: Vec<usize>,
+    /// Serials attempted (may exceed `copies` when owners collided).
+    pub serials_tried: u32,
+}
+
+/// A connection to a cluster, entered through one access node at a time.
 ///
-/// Holds at most one in-flight request; reconnects lazily after errors.
+/// Holds at most one in-flight request; reconnects lazily after errors,
+/// rotating across the configured access nodes so a dead entry point
+/// costs one attempt instead of the whole retry budget.
 #[derive(Debug)]
 pub struct Client {
-    addr: SocketAddr,
+    addrs: Vec<SocketAddr>,
+    current: usize,
     cfg: ClientConfig,
     conn: Option<Conn>,
 }
@@ -167,18 +246,56 @@ impl Client {
     ///
     /// [`ClientError::Io`] when the node is unreachable.
     pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Result<Client, ClientError> {
+        Client::connect_multi(vec![addr], cfg)
+    }
+
+    /// Connects to the first reachable of `addrs`; later retries rotate
+    /// through the rest in order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when every access node is unreachable (the
+    /// last attempt's error), or when `addrs` is empty.
+    pub fn connect_multi(addrs: Vec<SocketAddr>, cfg: ClientConfig) -> Result<Client, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Io {
+                context: "connecting to the node",
+                kind: io::ErrorKind::InvalidInput,
+            });
+        }
         let mut client = Client {
-            addr,
+            addrs,
+            current: 0,
             cfg,
             conn: None,
         };
-        client.ensure_conn()?;
-        Ok(client)
+        let mut last = None;
+        for _ in 0..client.addrs.len() {
+            match client.ensure_conn() {
+                Ok(_) => return Ok(client),
+                Err(e) => {
+                    last = Some(e);
+                    client.rotate();
+                }
+            }
+        }
+        Err(last.expect("addrs is non-empty"))
     }
 
-    /// The node address this client talks to.
+    /// The access-node address the client currently talks to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.addrs[self.current]
+    }
+
+    /// Every configured access-node address, in rotation order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Drops the connection and advances to the next access node.
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.current = (self.current + 1) % self.addrs.len();
     }
 
     /// Places `payload` under `id`, entering the network at this
@@ -204,6 +321,97 @@ impl Client {
         self.request(&Packet::retrieval(id.clone()))
     }
 
+    /// Places `copies` replicas of `payload` under `id.replica(serial)`
+    /// (`hash(id || serial)`, the paper's Section VI scheme; serial 0 is
+    /// `id` itself), acking only once `quorum` *clean* copies landed on
+    /// distinct switches. When serial owners collide on a switch, up to
+    /// [`REPLICA_PROBE_SLACK`] extra serials are tried so the quorum
+    /// still measures real crash independence.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::QuorumFailed`] when too few clean copies landed;
+    /// per-serial transport errors are absorbed as long as the quorum is
+    /// reached.
+    pub fn place_replicated(
+        &mut self,
+        id: &DataId,
+        payload: impl Into<Bytes>,
+        copies: u32,
+        quorum: usize,
+    ) -> Result<ReplicatedPlacement, ClientError> {
+        let payload: Bytes = payload.into();
+        let copies = copies.max(1);
+        let mut acks = Vec::new();
+        let mut clean_switches: Vec<usize> = Vec::new();
+        let mut serial = 0u32;
+        while serial < copies + REPLICA_PROBE_SLACK
+            && (serial < copies || clean_switches.len() < quorum)
+        {
+            let rid = id.replica(serial);
+            if let Ok(reply) = self.place(&rid, payload.clone()) {
+                if reply.is_clean() {
+                    if let Some(server) = reply.ack_server() {
+                        if !clean_switches.contains(&server.switch) {
+                            clean_switches.push(server.switch);
+                        }
+                    }
+                }
+                acks.push((serial, reply));
+            }
+            serial += 1;
+        }
+        if clean_switches.len() < quorum {
+            return Err(ClientError::QuorumFailed {
+                id: id.clone(),
+                achieved: clean_switches.len(),
+                required: quorum,
+            });
+        }
+        Ok(ReplicatedPlacement {
+            acks,
+            clean_switches,
+            serials_tried: serial,
+        })
+    }
+
+    /// Retrieves `id` by walking its replica serials until one copy
+    /// answers — the failover read matching
+    /// [`place_replicated`](Client::place_replicated): a crashed primary
+    /// owner costs one extra probe, not the datum.
+    ///
+    /// # Errors
+    ///
+    /// The last probe's error when no serial could be queried at all; a
+    /// miss on every serial is a successful `NotFound` reply.
+    pub fn retrieve_replicated(&mut self, id: &DataId, copies: u32) -> Result<Reply, ClientError> {
+        let copies = copies.max(1);
+        let mut miss: Option<Reply> = None;
+        let mut soft_miss: Option<Reply> = None;
+        let mut last_err: Option<ClientError> = None;
+        for serial in 0..copies + REPLICA_PROBE_SLACK {
+            match self.retrieve(&id.replica(serial)) {
+                Ok(reply) if reply.is_hit() => return Ok(reply),
+                // A clean miss comes from the serial's true greedy
+                // owner; a detoured miss was answered by a stand-in
+                // while routing avoided a suspect, so it proves nothing
+                // about the copy.
+                Ok(reply) if reply.detours == 0 => miss = Some(reply),
+                Ok(reply) => soft_miss = Some(reply),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (miss, last_err, soft_miss) {
+            // At least one owner answered authoritatively: a miss.
+            (Some(reply), _, _) => Ok(reply),
+            (None, Some(e), _) => Err(e),
+            // Only detoured stand-ins answered: inconclusive, surface
+            // it as an error rather than a (false) authoritative miss.
+            (None, None, Some(_)) => Err(ClientError::Redirected { id: id.clone() }),
+            (None, None, None) => unreachable!("at least one serial is probed"),
+        }
+    }
+
     /// Sends an arbitrary request packet and returns the typed reply,
     /// applying the configured retry policy to transient failures.
     ///
@@ -220,8 +428,10 @@ impl Client {
                 Err(e) => e,
             };
             // A failed attempt poisons the connection: drop it so a late
-            // response cannot desynchronize the next attempt.
-            self.conn = None;
+            // response cannot desynchronize the next attempt — and
+            // rotate to the next access node, so a crashed (or
+            // redirecting) entry point doesn't burn the retry budget.
+            self.rotate();
             if !err.transient() || attempts > self.cfg.retries {
                 return Err(if attempts > 1 {
                     ClientError::RetriesExhausted {
@@ -238,8 +448,9 @@ impl Client {
 
     fn ensure_conn(&mut self) -> Result<&mut Conn, ClientError> {
         if self.conn.is_none() {
+            let addr = self.addrs[self.current];
             let stream =
-                TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout).map_err(|e| {
+                TcpStream::connect_timeout(&addr, self.cfg.connect_timeout).map_err(|e| {
                     ClientError::Io {
                         context: "connecting to the node",
                         kind: e.kind(),
@@ -288,10 +499,14 @@ impl Client {
                 if response.status == ResponseStatus::Error {
                     return Err(ClientError::ServerError { id: response.id });
                 }
+                if response.status == ResponseStatus::Redirect {
+                    return Err(ClientError::Redirected { id: response.id });
+                }
                 return Ok(Reply {
                     status: response.status,
                     payload: response.payload,
                     hops: response.hops,
+                    detours: response.detours,
                 });
             }
             if Instant::now() >= deadline {
@@ -352,11 +567,78 @@ mod tests {
             kind: io::ErrorKind::ConnectionReset
         }
         .transient());
+        assert!(
+            ClientError::Redirected {
+                id: DataId::new("k")
+            }
+            .transient(),
+            "a redirect should be retried via the next access node"
+        );
         assert!(!ClientError::ServerError {
             id: DataId::new("k")
         }
         .transient());
+        assert!(!ClientError::QuorumFailed {
+            id: DataId::new("k"),
+            achieved: 1,
+            required: 2
+        }
+        .transient());
         assert!(!ClientError::UnexpectedKind(PacketKind::Placement).transient());
+    }
+
+    #[test]
+    fn retry_rotates_across_access_nodes() {
+        use crate::frame;
+        use std::io::{Read, Write};
+        use std::net::TcpListener;
+
+        // Access node A accepts, then hangs up without answering; access
+        // node B answers properly. The retry must move from A to B
+        // instead of re-dialing A until the budget is gone.
+        let a = TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (addr_a, addr_b) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+        let dead = std::thread::spawn(move || {
+            // One connection reaches A — the eager connect, reused by
+            // the first request attempt (which dies on EOF).
+            let Ok((stream, _)) = a.accept() else { return };
+            drop(stream);
+        });
+        let live = std::thread::spawn(move || {
+            let (mut stream, _) = b.accept().unwrap();
+            let mut decoder = FrameDecoder::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                decoder.feed(&buf[..n]);
+                while let Some(body) = decoder.next_frame().unwrap() {
+                    let request = wire::parse_bytes(&body).unwrap();
+                    let response = Packet::response(request.id.clone(), b"from-b".as_ref());
+                    stream
+                        .write_all(&frame::encode_frame(&wire::encode(&response)))
+                        .unwrap();
+                }
+            }
+        });
+        let mut client = Client::connect_multi(
+            vec![addr_a, addr_b],
+            ClientConfig {
+                retries: 1, // one retry: only rotation can reach B
+                backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let reply = client.retrieve(&DataId::new("k")).unwrap();
+        assert_eq!(reply.payload.as_ref(), b"from-b");
+        assert_eq!(client.addr(), addr_b, "the client rotated to B");
+        dead.join().unwrap();
+        drop(client);
+        live.join().unwrap();
     }
 
     #[test]

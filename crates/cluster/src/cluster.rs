@@ -17,6 +17,14 @@ use crate::node::{Node, NodeConfig, NodeReport};
 use gred::GredNetwork;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::sync::Arc;
+
+/// Maps the address node `from` should use to reach node `to` (whose
+/// real listener is the third argument). The identity function wires
+/// nodes directly; a chaos fabric substitutes per-directed-link proxy
+/// addresses here. Called again when `to` restarts, so a fabric can
+/// re-target its proxy.
+pub type AddrRewrite = Arc<dyn Fn(usize, usize, SocketAddr) -> SocketAddr + Send + Sync>;
 
 /// Configuration for [`Cluster::boot`].
 #[derive(Debug, Clone, Default)]
@@ -82,11 +90,25 @@ impl std::fmt::Display for ClusterReport {
     }
 }
 
-/// A running loopback cluster: one TCP node per switch.
-#[derive(Debug)]
+/// A running loopback cluster: one TCP node per switch. Slots of
+/// crashed nodes stay `None` until [`Cluster::restart_node`] revives
+/// them.
 pub struct Cluster {
-    nodes: Vec<Node>,
+    nodes: Vec<Option<Node>>,
+    /// Real listener addresses, by switch — updated on restart.
+    addrs: Vec<SocketAddr>,
+    node_cfg: NodeConfig,
     client_cfg: ClientConfig,
+    rewrite: AddrRewrite,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes)
+            .field("addrs", &self.addrs)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Cluster {
@@ -97,6 +119,22 @@ impl Cluster {
     ///
     /// I/O errors binding listeners or spawning node threads.
     pub fn boot(net: &GredNetwork, cfg: ClusterConfig) -> io::Result<Cluster> {
+        Self::boot_with(net, cfg, Arc::new(|_, _, real| real))
+    }
+
+    /// Like [`Cluster::boot`], but routes every node-to-node link through
+    /// `rewrite` — the hook a chaos fabric uses to interpose proxies on
+    /// individual directed links. Clients still connect to the real
+    /// listener addresses.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding listeners or spawning node threads.
+    pub fn boot_with(
+        net: &GredNetwork,
+        cfg: ClusterConfig,
+        rewrite: AddrRewrite,
+    ) -> io::Result<Cluster> {
         let count = net.topology().switch_count();
         let mut listeners = Vec::with_capacity(count);
         let mut addrs = Vec::with_capacity(count);
@@ -109,49 +147,68 @@ impl Cluster {
         for (switch, listener) in listeners.into_iter().enumerate() {
             let plane = net.dataplanes()[switch].clone();
             plane.reset_counters();
-            nodes.push(Node::spawn(
+            nodes.push(Some(Node::spawn(
                 switch,
                 plane,
-                addrs.clone(),
+                peer_map(switch, &addrs, &rewrite),
                 listener,
                 cfg.node.clone(),
-            )?);
+            )?));
         }
         let cluster = Cluster {
             nodes,
+            addrs,
+            node_cfg: cfg.node,
             client_cfg: cfg.client,
+            rewrite,
         };
         for (server, id) in net.store().all_locations() {
             if let Some(payload) = net.store().get(server, &id) {
-                cluster.nodes[server.switch].preload(id, server.index, payload.clone());
+                cluster
+                    .node(server.switch)
+                    .preload(id, server.index, payload.clone());
             }
         }
         Ok(cluster)
     }
 
-    /// Number of nodes (= switches).
+    /// Number of node slots (= switches), including crashed ones.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Whether the cluster has no nodes.
+    /// Whether the cluster has no node slots.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
-    /// The address switch `switch`'s node listens on.
+    /// The address switch `switch`'s node listens (or listened) on.
     pub fn addr(&self, switch: usize) -> SocketAddr {
-        self.nodes[switch].addr()
+        self.addrs[switch]
     }
 
     /// The running node for `switch`.
+    ///
+    /// # Panics
+    ///
+    /// If the node was crashed and not restarted.
     pub fn node(&self, switch: usize) -> &Node {
-        &self.nodes[switch]
+        self.nodes[switch]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {switch} is crashed"))
     }
 
-    /// All running nodes, in switch order.
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// The node for `switch`, or `None` while it is crashed.
+    pub fn try_node(&self, switch: usize) -> Option<&Node> {
+        self.nodes.get(switch).and_then(Option::as_ref)
+    }
+
+    /// All live nodes with their switch ids, in switch order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = (usize, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(switch, slot)| slot.as_ref().map(|node| (switch, node)))
     }
 
     /// A client attached to switch `switch`'s node.
@@ -163,24 +220,185 @@ impl Cluster {
         Client::connect(self.addr(switch), self.client_cfg.clone())
     }
 
+    /// A client that rotates across several access nodes, so a crashed
+    /// entry point costs a retry instead of the whole request.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when none of the access nodes is reachable.
+    pub fn client_multi(&self, switches: &[usize]) -> Result<Client, ClientError> {
+        let addrs = switches.iter().map(|&s| self.addr(s)).collect();
+        Client::connect_multi(addrs, self.client_cfg.clone())
+    }
+
+    /// Abruptly stops node `switch`, discarding everything it stored —
+    /// the socket-level analogue of `GredNetwork::crash_switch`. Peers
+    /// discover the crash through dead links and mark the switch
+    /// suspect; data survives only where replicas were placed.
+    ///
+    /// Returns the final accounting, or `None` if the node was already
+    /// down.
+    pub fn crash_node(&mut self, switch: usize) -> Option<NodeReport> {
+        let mut node = self.nodes[switch].take()?;
+        node.request_shutdown();
+        Some(node.shutdown())
+    }
+
+    /// Boots a fresh node in slot `switch` from the model's *current*
+    /// dataplane and store contents, then re-introduces it to every live
+    /// peer (clearing their suspicion). After a `crash_switch` on the
+    /// model twin this revives the slot as a transit-only relay; after a
+    /// re-join it revives it as a full member.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the new listener or spawning the node.
+    ///
+    /// # Panics
+    ///
+    /// If the slot is still occupied — call [`Cluster::crash_node`]
+    /// first.
+    pub fn restart_node(&mut self, switch: usize, net: &GredNetwork) -> io::Result<SocketAddr> {
+        assert!(
+            self.nodes[switch].is_none(),
+            "node {switch} is still running"
+        );
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        self.addrs[switch] = addr;
+        let plane = net.dataplanes()[switch].clone();
+        plane.reset_counters();
+        let node = Node::spawn(
+            switch,
+            plane,
+            peer_map(switch, &self.addrs, &self.rewrite),
+            listener,
+            self.node_cfg.clone(),
+        )?;
+        for (server, id) in net.store().all_locations() {
+            if server.switch == switch {
+                if let Some(payload) = net.store().get(server, &id) {
+                    node.preload(id, server.index, payload.clone());
+                }
+            }
+        }
+        self.nodes[switch] = Some(node);
+        // Tell every live peer about the new listener; register_peer
+        // also clears the suspect flag, restoring the one-hop routes.
+        for (other, node) in self.live_nodes() {
+            if other != switch {
+                node.register_peer(switch, (self.rewrite)(other, switch, addr));
+            }
+        }
+        Ok(addr)
+    }
+
+    /// Installs the model twin's current dataplanes on every live node —
+    /// the push half of a topology change (`crash_switch`, `add_switch`,
+    /// `remove_switch` applied to `net` first).
+    pub fn apply_planes(&self, net: &GredNetwork) {
+        let planes = net.dataplanes();
+        for (switch, node) in self.live_nodes() {
+            let plane = planes[switch].clone();
+            plane.reset_counters();
+            node.install_plane(plane);
+        }
+    }
+
+    /// Moves every stored item whose owner changed under the current
+    /// model topology onto its new owning node, returning how many items
+    /// migrated. Items owned by a crashed node are dropped (they are
+    /// unreachable anyway) and counted in the second tuple slot.
+    pub fn migrate_misplaced(&self, net: &GredNetwork) -> (usize, usize) {
+        let mut moved = 0;
+        let mut dropped = 0;
+        let mut displaced = Vec::new();
+        for (switch, node) in self.live_nodes() {
+            let evicted = node.extract_items(|id| net.responsible_server(id).switch != switch);
+            displaced.extend(evicted);
+        }
+        for (id, payload) in displaced {
+            let owner = net.responsible_server(&id);
+            match self.try_node(owner.switch) {
+                Some(node) => {
+                    node.preload(id, owner.index, payload);
+                    moved += 1;
+                }
+                None => dropped += 1,
+            }
+        }
+        (moved, dropped)
+    }
+
+    /// Applies a join that was already performed on the model twin
+    /// (`net.add_switch(..)`): boots nodes for any new switch slots,
+    /// pushes the refreshed dataplanes everywhere, and migrates the keys
+    /// whose owner moved to the newcomer.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors booting the new nodes.
+    pub fn apply_join(&mut self, net: &GredNetwork) -> io::Result<usize> {
+        let count = net.topology().switch_count();
+        while self.nodes.len() < count {
+            let switch = self.nodes.len();
+            self.nodes.push(None);
+            // Placeholder until restart_node fills the real address in.
+            self.addrs.push(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)));
+            self.restart_node(switch, net)?;
+        }
+        self.apply_planes(net);
+        let (moved, _) = self.migrate_misplaced(net);
+        Ok(moved)
+    }
+
+    /// Applies a leave that was already performed on the model twin
+    /// (`net.remove_switch(..)`): pushes the demoted (transit) plane to
+    /// the leaver and refreshed planes to everyone else, then migrates
+    /// the leaver's keys to their new owners. The leaver keeps running
+    /// as a relay, mirroring the model's transit plane.
+    pub fn apply_leave(&mut self, net: &GredNetwork) -> usize {
+        self.apply_planes(net);
+        let (moved, _) = self.migrate_misplaced(net);
+        moved
+    }
+
     /// Gracefully stops every node and returns the final accounting.
+    /// Crashed slots are absent from the report.
     pub fn shutdown(mut self) -> ClusterReport {
         self.shutdown_in_place()
     }
 
     fn shutdown_in_place(&mut self) -> ClusterReport {
         // Phase 1: tell everyone, so no node waits on an unaware peer.
-        for node in &self.nodes {
+        for (_, node) in self.live_nodes() {
             node.request_shutdown();
         }
         // Phase 2: drain and join each node.
         let nodes = self
             .nodes
             .drain(..)
+            .flatten()
             .map(|mut node| node.shutdown())
             .collect();
         ClusterReport { nodes }
     }
+}
+
+/// The peer address map node `switch` should dial, with every non-self
+/// link passed through the rewrite hook.
+fn peer_map(switch: usize, addrs: &[SocketAddr], rewrite: &AddrRewrite) -> Vec<SocketAddr> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(to, &real)| {
+            if to == switch {
+                real
+            } else {
+                rewrite(switch, to, real)
+            }
+        })
+        .collect()
 }
 
 impl Drop for Cluster {
@@ -248,6 +466,82 @@ mod tests {
         let mut client = cluster.client(2).unwrap();
         let got = client.retrieve(&id).unwrap();
         assert_eq!(got.payload.as_ref(), b"before boot");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_failover_and_restart() {
+        let mut net = ring(5);
+        let id = DataId::new("failover-key");
+        let owner = net.responsible_server(&id);
+        let mut cluster = Cluster::boot(&net, ClusterConfig::default()).unwrap();
+        let access = (owner.switch + 1) % 5;
+        let mut client = cluster.client(access).unwrap();
+        client.place(&id, b"v".as_ref()).unwrap();
+
+        // Kill the owner, mirror the crash on the model twin, push the
+        // post-crash planes, and revive the slot as a transit relay.
+        assert!(cluster.crash_node(owner.switch).is_some());
+        assert!(cluster.crash_node(owner.switch).is_none(), "already down");
+        net.crash_switch(owner.switch).unwrap();
+        cluster.apply_planes(&net);
+        cluster.restart_node(owner.switch, &net).unwrap();
+
+        // The unreplicated key died with the node: the new owner answers
+        // authoritatively with a miss, not a hang or an error.
+        let got = client.retrieve(&id).unwrap();
+        assert!(!got.is_hit(), "data on the crashed node is gone");
+
+        // Fresh writes land where the post-crash model twin says.
+        let id2 = DataId::new("post-crash-write");
+        let ack = client.place(&id2, b"w".as_ref()).unwrap();
+        assert!(ack.is_hit());
+        assert_eq!(
+            ack.ack_server().expect("ack names a server"),
+            net.responsible_server(&id2)
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn leave_migrates_keys_to_new_owners() {
+        let mut net = ring(5);
+        let mut cluster = Cluster::boot(&net, ClusterConfig::default()).unwrap();
+        let mut client = cluster.client(0).unwrap();
+        let ids: Vec<DataId> = (0..20).map(|i| DataId::new(format!("k{i}"))).collect();
+        for id in &ids {
+            client.place(id, b"x".as_ref()).unwrap();
+        }
+
+        net.remove_switch(2).unwrap();
+        cluster.apply_leave(&net);
+
+        for id in &ids {
+            let got = client.retrieve(id).unwrap();
+            assert!(got.is_hit(), "key survives the graceful leave");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn join_boots_new_node_and_migrates() {
+        let mut net = ring(4);
+        let mut cluster = Cluster::boot(&net, ClusterConfig::default()).unwrap();
+        let mut client = cluster.client(0).unwrap();
+        let ids: Vec<DataId> = (0..16).map(|i| DataId::new(format!("j{i}"))).collect();
+        for id in &ids {
+            client.place(id, b"x".as_ref()).unwrap();
+        }
+
+        let newcomer = net.add_switch(&[0, 2], vec![10_000, 10_000]).unwrap();
+        cluster.apply_join(&net).unwrap();
+        assert_eq!(cluster.len(), 5);
+        assert!(cluster.try_node(newcomer).is_some());
+
+        for id in &ids {
+            let got = client.retrieve(id).unwrap();
+            assert!(got.is_hit(), "key survives the join");
+        }
         cluster.shutdown();
     }
 

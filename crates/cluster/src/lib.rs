@@ -24,6 +24,7 @@
 //!
 //! [`SwitchDataplane::decide`]: gred_dataplane::SwitchDataplane::decide
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod frame;
@@ -32,8 +33,12 @@ pub mod node;
 pub mod proto;
 pub mod transport;
 
+pub use chaos::{
+    chaos_cluster_config, run_chaos, ChaosConfig, ChaosFabric, ChaosOutcome, ChaosTransport,
+    LinkMode,
+};
 pub use client::{Client, ClientConfig, ClientError, Reply};
-pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use cluster::{AddrRewrite, Cluster, ClusterConfig, ClusterReport};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN, MUX_PREAMBLE};
 pub use mux::{Demux, DispatchPool, MuxLink};
 pub use node::{Node, NodeConfig, NodeReport};

@@ -342,6 +342,14 @@ struct PoolInner {
     /// consumes a token before queueing; no token means no worker is
     /// provably free, so a new one is spawned.
     idle: AtomicUsize,
+    /// Jobs queued *without* consuming an idle token (the spawn-failure
+    /// fallback in `submit`). The next worker to reach its publication
+    /// point settles one unit of debt by withholding its token instead of
+    /// publishing it, keeping `idle` an under- (never over-) estimate of
+    /// parked workers. Over-publication is the dangerous direction: a
+    /// phantom token lets `submit` queue a job behind a busy worker —
+    /// exactly the self-deadlock this pool exists to rule out.
+    debt: AtomicUsize,
     spawned: AtomicUsize,
     shutdown: AtomicBool,
     handles: Mutex<Vec<thread::JoinHandle<()>>>,
@@ -355,6 +363,7 @@ impl DispatchPool {
                 queue: Mutex::new(VecDeque::new()),
                 ready: Condvar::new(),
                 idle: AtomicUsize::new(0),
+                debt: AtomicUsize::new(0),
                 spawned: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 handles: Mutex::new(Vec::new()),
@@ -366,6 +375,14 @@ impl DispatchPool {
     /// Workers ever spawned (the pool grows, it never shrinks).
     pub fn workers_spawned(&self) -> usize {
         self.inner.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Idle-worker tokens currently published. While token debt from a
+    /// spawn-failure fallback is outstanding this under-estimates the
+    /// parked workers (by design — see `PoolInner::debt`); it must never
+    /// over-estimate them.
+    pub fn idle_tokens(&self) -> usize {
+        self.inner.idle.load(Ordering::Acquire)
     }
 
     /// Runs `job` on a worker that is idle *now*, spawning one if none
@@ -386,6 +403,13 @@ impl DispatchPool {
                     // back to queueing and waking whoever frees up first.
                     Err(job) => job,
                 };
+                // This job enters the queue without a consumed token, so
+                // record the debt: the worker that next publishes a token
+                // withholds it instead, keeping the idle count honest.
+                // (Without this, that worker's fresh loop-top publication
+                // plus the unpaired queued job over-publish `idle` by one,
+                // and a later submit can reserve a phantom worker.)
+                inner.debt.fetch_add(1, Ordering::AcqRel);
                 let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 q.push_back(job);
                 inner.ready.notify_one();
@@ -480,7 +504,19 @@ impl std::fmt::Debug for DispatchPool {
 fn worker(inner: &PoolInner, first: Job) {
     first();
     loop {
-        inner.idle.fetch_add(1, Ordering::Release);
+        // Settle token debt before publishing: if an unpaired job sits in
+        // the queue (spawn-failure fallback), this worker's token is
+        // considered spent on it. Withholding errs toward under-counting
+        // idle workers, which at worst spawns an extra thread — never
+        // toward the phantom reservation that could re-queue a job behind
+        // a blocked worker.
+        if inner
+            .debt
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_err()
+        {
+            inner.idle.fetch_add(1, Ordering::Release);
+        }
         let job = {
             let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
@@ -579,15 +615,122 @@ mod tests {
             let (tx, rx) = mpsc::channel::<()>();
             pool.submit(move || tx.send(()).unwrap());
             rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            // A finished job is not a republished token yet: wait for
+            // the worker to park again, so every submit finds it idle.
+            wait_until("worker republished its token", || pool.idle_tokens() == 1);
         }
-        // Sequential jobs always find the previous worker idle again
-        // (each job fully completes before the next submit).
-        assert!(
-            pool.workers_spawned() <= 2,
-            "sequential jobs should reuse workers, spawned {}",
-            pool.workers_spawned()
+        assert_eq!(
+            pool.workers_spawned(),
+            1,
+            "sequential jobs should reuse one worker"
         );
         pool.join();
+    }
+
+    /// Polls `cond` for up to two seconds; panics with `what` otherwise.
+    fn wait_until(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..200 {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting until {what}");
+    }
+
+    #[test]
+    fn spawn_fallback_queue_does_not_overpublish_idle_tokens() {
+        // Regression for the token leak: a job queued by the spawn-failure
+        // fallback enters the queue without consuming an idle token. The
+        // worker that pops it re-publishes a token at its loop top, so
+        // without debt settlement one parked worker ends up backed by TWO
+        // published tokens — and a later submit can reserve the phantom
+        // one, queueing a job behind a busy (possibly blocked) worker.
+        let pool = DispatchPool::new("test");
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        wait_until("the worker parks and publishes its token", || {
+            pool.idle_tokens() == 1
+        });
+        // Reproduce the fallback path exactly as `submit` does on
+        // thread-spawn failure: record debt, queue the unpaired job.
+        let (tx2, rx2) = mpsc::channel::<()>();
+        let inner = &pool.inner;
+        inner.debt.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            q.push_back(Box::new(move || tx2.send(()).unwrap()) as Job);
+            inner.ready.notify_one();
+        }
+        rx2.recv_timeout(Duration::from_secs(5)).unwrap();
+        wait_until("the debt is settled", || {
+            inner.debt.load(Ordering::Acquire) == 0
+        });
+        // One parked worker, one token: the worker settled the debt by
+        // withholding its re-publication instead of minting a second one.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            pool.idle_tokens(),
+            1,
+            "an unpaired queued job must not leak an extra idle token"
+        );
+        pool.join();
+    }
+
+    #[test]
+    fn link_death_returns_the_pooled_workers_token() {
+        // A worker blocked inside a mux call must be freed by link death
+        // (EOF -> fail_all) and return to the pool with exactly one
+        // published token, reusable by the next submit.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut preamble = [0u8; 4];
+            stream.read_exact(&mut preamble).unwrap();
+            // Read the request, answer nothing, drop the socket: the
+            // demux reader sees EOF and fails every pending waiter.
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf);
+        });
+        let link = Arc::new(
+            MuxLink::connect(
+                addr,
+                Duration::from_secs(1),
+                Arc::new(MuxMetrics::default()),
+            )
+            .unwrap(),
+        );
+        let pool = DispatchPool::new("test");
+        let (done_tx, done_rx) = mpsc::channel::<io::ErrorKind>();
+        let job_link = Arc::clone(&link);
+        pool.submit(move || {
+            let err = job_link
+                .call(
+                    &Packet::retrieval(DataId::new("k")),
+                    Duration::from_secs(30),
+                )
+                .expect_err("the peer hangs up without answering");
+            done_tx.send(err.kind()).unwrap();
+        });
+        // The blocked job errors out promptly — no 30s timeout wait.
+        let kind = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(kind, io::ErrorKind::BrokenPipe);
+        assert!(link.is_dead());
+        wait_until("the freed worker parks again", || pool.idle_tokens() == 1);
+        // The returned token is real: the next job reserves the freed
+        // worker instead of spawning a second one.
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            pool.workers_spawned(),
+            1,
+            "the freed worker should be reused, not replaced"
+        );
+        pool.join();
+        peer.join().unwrap();
     }
 
     #[test]

@@ -73,7 +73,7 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,18 @@ pub struct NodeConfig {
     /// How long a forwarding node waits for a peer's response before
     /// giving up on the request.
     pub peer_reply_timeout: Duration,
+    /// Detour budget: once a packet has been forced off the true greedy
+    /// path this many times (suspect neighbors), the node aborts the
+    /// request with a [`ResponseStatus::Redirect`] instead of wandering —
+    /// the guarantee-violation case stays observable and bounded.
+    ///
+    /// [`ResponseStatus::Redirect`]: gred_dataplane::ResponseStatus::Redirect
+    pub max_detours: u16,
+    /// How long a failed peer stays suspect before greedy forwarding
+    /// optimistically retries it. Without the expiry, suspicion would be
+    /// sticky: greedy avoids a suspect, so no RPC ever succeeds against
+    /// it and nothing would clear the flag after the peer heals.
+    pub suspect_ttl: Duration,
     /// Directory for this node's log file; `None` disables logging.
     pub log_dir: Option<PathBuf>,
 }
@@ -108,6 +120,8 @@ impl Default for NodeConfig {
             read_timeout: Duration::from_millis(20),
             peer_connect_timeout: Duration::from_secs(1),
             peer_reply_timeout: Duration::from_secs(5),
+            max_detours: 8,
+            suspect_ttl: Duration::from_secs(2),
             log_dir: std::env::var_os(LOG_DIR_ENV).map(PathBuf::from),
         }
     }
@@ -163,16 +177,55 @@ struct Counters {
     errors: AtomicU64,
     oneshot_fallbacks: AtomicU64,
     link_reconnects: AtomicU64,
+    peers_suspected: AtomicU64,
+    detour_forwards: AtomicU64,
+    redirects_issued: AtomicU64,
+}
+
+/// A peer's link slot: the mutex guards only *creating or replacing*
+/// the link — calls clone the `Arc` and run outside it, so any number
+/// of requests share one link concurrently.
+type LinkSlot = Arc<Mutex<Option<Arc<MuxLink>>>>;
+
+/// Per-peer connectivity state: address, shared mux link, and the
+/// suspicion flag the greedy pipeline consults. One table per node,
+/// guarded by a `RwLock` so live reconfiguration (join/leave/restart)
+/// can grow it or repoint an address while requests are in flight.
+struct PeerTable {
+    addrs: Vec<SocketAddr>,
+    links: Vec<LinkSlot>,
+    /// Suspicion expiry stamps, in milliseconds since the node booted
+    /// (`0` = not suspect). Set to `now + suspect_ttl` when every way of
+    /// reaching the peer failed (mux call + reconnect + one-shot),
+    /// cleared on the next success or an explicit revive. Greedy
+    /// forwarding treats an unexpired suspect DT neighbor as absent;
+    /// once the stamp expires the peer is optimistically retried, so a
+    /// healed peer that greedy stopped talking to still recovers.
+    suspect: Vec<Arc<AtomicU64>>,
+}
+
+impl PeerTable {
+    fn new(addrs: Vec<SocketAddr>) -> PeerTable {
+        let n = addrs.len();
+        PeerTable {
+            addrs,
+            links: (0..n).map(|_| Arc::default()).collect(),
+            suspect: (0..n).map(|_| Arc::default()).collect(),
+        }
+    }
 }
 
 struct Inner {
     id: usize,
-    plane: SwitchDataplane,
-    peer_addrs: Vec<SocketAddr>,
-    /// One slot per peer switch. The mutex guards only *creating or
-    /// replacing* the link — calls clone the `Arc` and run outside it,
-    /// so any number of requests share one link concurrently.
-    links: Vec<Mutex<Option<Arc<MuxLink>>>>,
+    /// The forwarding state, swappable at runtime: live reconfiguration
+    /// (join/leave/crash recovery) installs a fresh plane while requests
+    /// keep flowing; each request clones the `Arc` once and runs against
+    /// a consistent snapshot.
+    plane: RwLock<Arc<SwitchDataplane>>,
+    /// Packets processed by planes that have since been replaced, so
+    /// [`Node::packets_processed`] stays monotone across installs.
+    retired_processed: AtomicU64,
+    peers: RwLock<PeerTable>,
     store: ShardedMap<DataId, StoredItem>,
     shutdown: AtomicBool,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
@@ -223,12 +276,11 @@ impl Node {
             }
             None => None,
         };
-        let peers = peer_addrs.len();
         let inner = Arc::new(Inner {
             id,
-            plane,
-            peer_addrs,
-            links: (0..peers).map(|_| Mutex::new(None)).collect(),
+            plane: RwLock::new(Arc::new(plane)),
+            retired_processed: AtomicU64::new(0),
+            peers: RwLock::new(PeerTable::new(peer_addrs)),
             store: ShardedMap::new(),
             shutdown: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
@@ -263,9 +315,108 @@ impl Node {
 
     /// Packets the underlying data plane processed (greedy decisions plus
     /// virtual-link relays) — directly comparable to the same counter on
-    /// the in-process plane.
+    /// the in-process plane. Monotone across [`Node::install_plane`].
     pub fn packets_processed(&self) -> u64 {
-        self.inner.plane.packets_processed()
+        self.inner.retired_processed.load(Ordering::Relaxed)
+            + self.inner.plane().packets_processed()
+    }
+
+    /// Replaces the forwarding state with `plane` while the node keeps
+    /// serving — the push half of live reconfiguration: the control
+    /// plane recomputes tables after a join/leave/crash and installs
+    /// them here, mirroring what `gred::control::dynamics` does to the
+    /// in-process planes. Requests already holding the old plane finish
+    /// against it; new requests see the new tables.
+    pub fn install_plane(&self, plane: SwitchDataplane) {
+        let old = {
+            let mut guard = self
+                .inner
+                .plane
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::replace(&mut *guard, Arc::new(plane))
+        };
+        self.inner
+            .retired_processed
+            .fetch_add(old.packets_processed(), Ordering::Relaxed);
+        self.inner.log("installed a new forwarding plane");
+    }
+
+    /// Registers (or re-points) the address of peer switch `switch`,
+    /// growing the peer table when the switch is new. Any cached link to
+    /// that peer is dropped — the next request reconnects to the new
+    /// address — and its suspicion is cleared: a re-registered peer is
+    /// presumed alive until proven otherwise.
+    pub fn register_peer(&self, switch: usize, addr: SocketAddr) {
+        let mut peers = self
+            .inner
+            .peers
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        while peers.addrs.len() <= switch {
+            // Placeholder slots for any gap; they are re-pointed when
+            // their switch registers.
+            peers.addrs.push(addr);
+            peers.links.push(Arc::default());
+            peers.suspect.push(Arc::default());
+        }
+        peers.addrs[switch] = addr;
+        peers.suspect[switch].store(0, Ordering::Relaxed);
+        let slot = Arc::clone(&peers.links[switch]);
+        drop(peers);
+        let stale = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(link) = stale {
+            link.close();
+        }
+        self.inner
+            .log(&format!("peer {switch} registered at {addr}"));
+    }
+
+    /// Peer switches currently marked suspect (stamp not yet expired),
+    /// in ascending order.
+    pub fn suspect_peers(&self) -> Vec<usize> {
+        let now = self.inner.now_ms();
+        let peers = self
+            .inner
+            .peers
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        peers
+            .suspect
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.load(Ordering::Relaxed) > now)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks peer `switch` suspect, exactly as a failed RPC would.
+    pub fn mark_peer_suspect(&self, switch: usize) {
+        self.inner.mark_suspect(switch);
+    }
+
+    /// Clears peer `switch`'s suspicion (the peer recovered).
+    pub fn clear_peer_suspect(&self, switch: usize) {
+        self.inner.clear_suspect(switch);
+    }
+
+    /// Removes and returns every stored item whose id satisfies `pred` —
+    /// the migration half of live reconfiguration: after new tables are
+    /// installed, keys this switch no longer owns are extracted here and
+    /// re-placed on their new owners.
+    pub fn extract_items(&self, pred: impl Fn(&DataId) -> bool) -> Vec<(DataId, Bytes)> {
+        let mut ids = Vec::new();
+        self.inner.store.for_each(|id, _| {
+            if pred(id) {
+                ids.push(id.clone());
+            }
+        });
+        ids.into_iter()
+            .filter_map(|id| {
+                let item = self.inner.store.remove(&id)?;
+                Some((id, item.payload))
+            })
+            .collect()
     }
 
     /// Requests this node has dispatched so far.
@@ -308,7 +459,15 @@ impl Node {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        for slot in &self.inner.links {
+        let slots: Vec<_> = {
+            let peers = self
+                .inner
+                .peers
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            peers.links.iter().map(Arc::clone).collect()
+        };
+        for slot in slots {
             let link = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
             if let Some(link) = link {
                 link.close();
@@ -522,20 +681,23 @@ fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
     if packet.relay.is_some() {
         return false; // relay chains forward by construction
     }
-    if inner.plane.server_count() == 0 {
+    let plane = inner.plane();
+    if plane.server_count() == 0 {
         return true; // transit switch: refused locally
     }
-    if !inner.plane.is_local_minimum(packet.position) {
+    // An unfiltered local minimum stays a local minimum when suspect
+    // neighbors are excluded (excluding candidates can only help), so
+    // this peek is safe even while peers are marked suspect.
+    if !plane.is_local_minimum(packet.position) {
         return false; // greedy forward
     }
     // Local delivery — unless a range extension redirects to a server
     // behind another switch (remote takeover / redirected placement).
     let server = ServerId {
         switch: inner.id,
-        index: gred_hash::select_server(&packet.id, inner.plane.server_count()),
+        index: gred_hash::select_server(&packet.id, plane.server_count()),
     };
-    inner
-        .plane
+    plane
         .extension_of(server)
         .is_none_or(|takeover| takeover.switch == inner.id)
 }
@@ -662,6 +824,49 @@ impl Inner {
         }
     }
 
+    /// The current forwarding-plane snapshot.
+    fn plane(&self) -> Arc<SwitchDataplane> {
+        Arc::clone(&self.plane.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Milliseconds since this node booted — the clock suspicion stamps
+    /// are expressed in.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.booted.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Marks `peer` suspect until `now + suspect_ttl`; counts only the
+    /// not-suspect → suspect transition so `peers_suspected` reflects
+    /// detection events, not retries.
+    fn mark_suspect(&self, peer: usize) {
+        let now = self.now_ms();
+        let expiry =
+            now.saturating_add(u64::try_from(self.cfg.suspect_ttl.as_millis()).unwrap_or(u64::MAX));
+        let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(stamp) = peers.suspect.get(peer) {
+            let prev = stamp.swap(expiry.max(1), Ordering::Relaxed);
+            if prev <= now {
+                drop(peers);
+                self.counters
+                    .peers_suspected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.log(&format!("peer {peer} marked suspect"));
+            }
+        }
+    }
+
+    fn clear_suspect(&self, peer: usize) {
+        let now = self.now_ms();
+        let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(stamp) = peers.suspect.get(peer) {
+            let prev = stamp.swap(0, Ordering::Relaxed);
+            if prev > now {
+                drop(peers);
+                self.log(&format!("peer {peer} recovered"));
+            }
+        }
+    }
+
     fn hot_stats(&self) -> NodeHotStats {
         NodeHotStats {
             oneshot_fallbacks: self.counters.oneshot_fallbacks.load(Ordering::Relaxed),
@@ -669,6 +874,9 @@ impl Inner {
             store_shard_contention: self.store.contended(),
             frames_decoded: self.mux_metrics.frames_decoded.load(Ordering::Relaxed),
             encode_buf_reuses: self.mux_metrics.encode_buf_reuses.load(Ordering::Relaxed),
+            peers_suspected: self.counters.peers_suspected.load(Ordering::Relaxed),
+            detour_forwards: self.counters.detour_forwards.load(Ordering::Relaxed),
+            redirects_issued: self.counters.redirects_issued.load(Ordering::Relaxed),
         }
     }
 
@@ -694,7 +902,7 @@ impl Inner {
                 return self.greedy(packet.without_relay());
             }
             // Intermediate relay: rewrite d.relay to the tuple's succ.
-            return match self.plane.relay_next(header.dest, header.sour) {
+            return match self.plane().relay_next(header.dest, header.sour) {
                 Some(succ) => {
                     self.counters.relayed.fetch_add(1, Ordering::Relaxed);
                     let mut fwd = packet.clone().with_relay(header.sour, succ, header.dest);
@@ -708,14 +916,38 @@ impl Inner {
     }
 
     /// Greedy pipeline step at this switch (packet not in a virtual
-    /// link).
-    fn greedy(&self, packet: Packet) -> Packet {
-        if self.plane.server_count() == 0 {
+    /// link). Suspect DT neighbors are treated as absent: the walk
+    /// detours to the next-best live neighbor (or delivers locally) and
+    /// counts each detour in the packet, aborting with a redirect once
+    /// the budget is spent so a partitioned walk terminates observably.
+    fn greedy(&self, mut packet: Packet) -> Packet {
+        let plane = self.plane();
+        if plane.server_count() == 0 {
             // Transit switches only relay; they are never access points
             // and never DT members (mirrors `route`'s InvalidDynamics).
             return self.refuse(&packet, "transit switch cannot run the greedy pipeline");
         }
-        match self.plane.decide(packet.position, &packet.id) {
+        let (decision, detoured) = {
+            let now = self.now_ms();
+            let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+            let alive = |n: usize| {
+                peers
+                    .suspect
+                    .get(n)
+                    .is_none_or(|s| s.load(Ordering::Relaxed) <= now)
+            };
+            plane.decide_avoiding(packet.position, &packet.id, &alive)
+        };
+        if detoured {
+            self.counters
+                .detour_forwards
+                .fetch_add(1, Ordering::Relaxed);
+            packet.detours = packet.detours.saturating_add(1);
+            if packet.detours > self.cfg.max_detours {
+                return self.redirect(&packet, "detour budget exhausted");
+            }
+        }
+        match decision {
             ForwardDecision::DeliverLocal {
                 server,
                 extended_to,
@@ -806,6 +1038,13 @@ impl Inner {
         self.counters.delivered.fetch_add(1, Ordering::Relaxed);
         let mut ack = Packet::response(packet.id.clone(), proto::ack_payload(target));
         ack.hops = packet.hops;
+        ack.detours = packet.detours;
+        if packet.detours > 0 {
+            // Stored, but the greedy walk detoured: the storing switch
+            // may not be the true owner, so the ack does not count as a
+            // clean copy for replication quorums.
+            ack.status = gred_dataplane::ResponseStatus::Degraded;
+        }
         ack
     }
 
@@ -820,6 +1059,10 @@ impl Inner {
         self.counters.delivered.fetch_add(1, Ordering::Relaxed);
         let mut resp = Packet::response(packet.id.clone(), payload);
         resp.hops = packet.hops;
+        resp.detours = packet.detours;
+        if packet.detours > 0 {
+            resp.status = gred_dataplane::ResponseStatus::Degraded;
+        }
         Some(resp)
     }
 
@@ -827,6 +1070,7 @@ impl Inner {
         self.counters.delivered.fetch_add(1, Ordering::Relaxed);
         let mut resp = Packet::not_found(packet.id.clone());
         resp.hops = packet.hops;
+        resp.detours = packet.detours;
         resp
     }
 
@@ -835,17 +1079,41 @@ impl Inner {
         self.log(&format!("refused {} for {}: {why}", packet.kind, packet.id));
         let mut resp = Packet::error_response(packet.id.clone());
         resp.hops = packet.hops;
+        resp.detours = packet.detours;
+        resp
+    }
+
+    /// Aborts the request with a [`Redirect`] response: nothing was
+    /// served; the client should retry through another access node.
+    ///
+    /// [`Redirect`]: gred_dataplane::ResponseStatus::Redirect
+    fn redirect(&self, packet: &Packet, why: &str) -> Packet {
+        self.counters
+            .redirects_issued
+            .fetch_add(1, Ordering::Relaxed);
+        self.log(&format!(
+            "redirected {} for {}: {why}",
+            packet.kind, packet.id
+        ));
+        let mut resp = Packet::redirect_response(packet.id.clone());
+        resp.hops = packet.hops;
+        resp.detours = packet.detours;
         resp
     }
 
     /// Sends `packet` to peer switch `to` over the multiplexed link and
     /// waits for the correlated response, reconnecting once if the link
     /// died and falling back to a one-shot connection as a last resort.
-    /// A definitive failure becomes an error response so the request
-    /// chain always terminates.
+    /// When every path fails the peer is marked suspect (greedy routing
+    /// detours around it from now on) and the chain terminates with a
+    /// redirect so the client retries instead of losing the write
+    /// silently. Any success clears the suspicion.
     fn rpc(&self, to: usize, packet: Packet) -> Packet {
         match self.mux_rpc(to, &packet) {
-            Ok(resp) => resp,
+            Ok(resp) => {
+                self.clear_suspect(to);
+                resp
+            }
             Err(e) => {
                 if self.shutdown.load(Ordering::Relaxed) {
                     return self.refuse(&packet, "node is shutting down");
@@ -857,10 +1125,14 @@ impl Inner {
                     .oneshot_fallbacks
                     .fetch_add(1, Ordering::Relaxed);
                 match self.oneshot_rpc(to, &packet) {
-                    Ok(resp) => resp,
+                    Ok(resp) => {
+                        self.clear_suspect(to);
+                        resp
+                    }
                     Err(e) => {
                         self.log(&format!("one-shot rpc to node {to} failed: {e}"));
-                        self.refuse(&packet, "peer unreachable")
+                        self.mark_suspect(to);
+                        self.redirect(&packet, "peer unreachable")
                     }
                 }
             }
@@ -887,13 +1159,23 @@ impl Inner {
         }
     }
 
+    /// The address and link slot for peer `to`, cloned out of the table
+    /// so no table lock is held across connects or calls.
+    fn peer_slot(&self, to: usize) -> io::Result<(SocketAddr, LinkSlot)> {
+        let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+        match (peers.addrs.get(to), peers.links.get(to)) {
+            (Some(addr), Some(slot)) => Ok((*addr, Arc::clone(slot))),
+            _ => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "unknown peer switch",
+            )),
+        }
+    }
+
     /// The live link to `to`, connecting if absent or dead. The slot
     /// lock is held across at most one connect — never across a call.
     fn link(&self, to: usize) -> io::Result<Arc<MuxLink>> {
-        let slot = self
-            .links
-            .get(to)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer switch"))?;
+        let (addr, slot) = self.peer_slot(to)?;
         let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(link) = guard.as_ref() {
             if !link.is_dead() {
@@ -901,7 +1183,7 @@ impl Inner {
             }
         }
         let link = Arc::new(MuxLink::connect(
-            self.peer_addrs[to],
+            addr,
             self.cfg.peer_connect_timeout,
             Arc::clone(&self.mux_metrics),
         )?);
@@ -912,7 +1194,7 @@ impl Inner {
     /// Replaces `stale` with a fresh link — unless a concurrent caller
     /// already did, in which case the newer link is shared.
     fn reconnect(&self, to: usize, stale: &Arc<MuxLink>) -> io::Result<Arc<MuxLink>> {
-        let slot = &self.links[to];
+        let (addr, slot) = self.peer_slot(to)?;
         let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(current) = guard.as_ref() {
             if !Arc::ptr_eq(current, stale) && !current.is_dead() {
@@ -920,7 +1202,7 @@ impl Inner {
             }
         }
         let link = Arc::new(MuxLink::connect(
-            self.peer_addrs[to],
+            addr,
             self.cfg.peer_connect_timeout,
             Arc::clone(&self.mux_metrics),
         )?);
@@ -930,7 +1212,7 @@ impl Inner {
 
     /// Emergency path: a fresh connection carrying exactly one exchange.
     fn oneshot_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
-        let addr = self.peer_addrs[to];
+        let (addr, _) = self.peer_slot(to)?;
         let stream = TcpStream::connect_timeout(&addr, self.cfg.peer_connect_timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.cfg.read_timeout))?;

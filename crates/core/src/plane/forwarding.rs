@@ -120,6 +120,108 @@ pub fn route(
     })
 }
 
+/// [`route`] with a liveness filter: DT neighbors for which `alive`
+/// returns `false` are treated as absent at every greedy step, so the
+/// walk detours around suspect switches instead of forwarding into them
+/// (the cluster runtime's failure-detection behaviour, modelled
+/// in-process for property testing).
+///
+/// Returns the route and the number of *detoured* steps — greedy
+/// decisions where the unfiltered pipeline would have chosen a different
+/// (suspect) next hop. Zero detours means the route is identical to what
+/// [`route`] computes. Filtering only removes forwarding candidates, so
+/// every step still strictly decreases the squared distance to the data
+/// position: the walk terminates within `planes.len()` overlay hops for
+/// *any* filter, it just may deliver off the true greedy owner (the
+/// caller sees `detours > 0` and can degrade the response).
+///
+/// # Errors
+///
+/// Same conditions as [`route`]. Relay chains of virtual links are walked
+/// unfiltered — a dead relay is the transport's problem, not the greedy
+/// pipeline's.
+pub fn route_avoiding(
+    planes: &[SwitchDataplane],
+    from: usize,
+    position: Point2,
+    id: &DataId,
+    alive: &dyn Fn(usize) -> bool,
+) -> Result<(Route, u32), GredError> {
+    let mut switches = Vec::new();
+    let mut overlay = Vec::new();
+    if from >= planes.len() {
+        return Err(GredError::UnknownSwitch { switch: from });
+    }
+    if planes[from].server_count() == 0 {
+        return Err(GredError::InvalidDynamics {
+            reason: "access switch is transit-only (no DT position)",
+        });
+    }
+
+    switches.push(from);
+    overlay.push(from);
+    let mut cur = from;
+    let mut detours = 0u32;
+    // Same strict-decrease bound as `walk`: the filter can only shrink
+    // the candidate set, never add a non-improving hop.
+    for _ in 0..planes.len() {
+        let (decision, detoured) = planes[cur].decide_avoiding(position, id, alive);
+        if detoured {
+            detours += 1;
+        }
+        match decision {
+            ForwardDecision::DeliverLocal {
+                server,
+                extended_to,
+            } => {
+                return Ok((
+                    Route {
+                        switches,
+                        overlay,
+                        dest: cur,
+                        server,
+                        extended_to,
+                    },
+                    detours,
+                ));
+            }
+            ForwardDecision::Forward {
+                neighbor,
+                next_hop,
+                virtual_link,
+            } => {
+                if !virtual_link {
+                    switches.push(neighbor);
+                } else {
+                    let mut relay = next_hop;
+                    switches.push(relay);
+                    let mut guard = planes.len();
+                    while relay != neighbor {
+                        let succ = planes[relay].relay_next(neighbor, cur).ok_or(
+                            GredError::RelayEntryMissing {
+                                at: relay,
+                                dest: neighbor,
+                            },
+                        )?;
+                        switches.push(succ);
+                        relay = succ;
+                        guard -= 1;
+                        if guard == 0 {
+                            return Err(GredError::RelayEntryMissing {
+                                at: relay,
+                                dest: neighbor,
+                            });
+                        }
+                    }
+                }
+                overlay.push(neighbor);
+                cur = neighbor;
+            }
+        }
+    }
+    unreachable!("greedy forwarding exceeded the switch-count bound");
+}
+
 /// Allocation-free variant of [`route`] for hot loops: the hop lists are
 /// written into `scratch`'s reused buffers instead of fresh vectors, and
 /// the non-list part of the result comes back as a [`RouteEnd`].
@@ -427,6 +529,30 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, GredError::InvalidDynamics { .. }));
+    }
+
+    #[test]
+    fn route_avoiding_all_alive_matches_route() {
+        let planes = setup_line();
+        let id = DataId::new("k");
+        let pos = Point2::new(0.8, 0.5);
+        let plain = route(&planes, 0, pos, &id).unwrap();
+        let (avoided, detours) = route_avoiding(&planes, 0, pos, &id, &|_| true).unwrap();
+        assert_eq!(avoided, plain);
+        assert_eq!(detours, 0);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_a_dead_owner() {
+        let planes = setup_line();
+        let id = DataId::new("k");
+        let pos = Point2::new(0.8, 0.5);
+        // Switch 3 (the true owner) is suspect: the walk must terminate
+        // at the access switch instead, flagged as a detour.
+        let (r, detours) = route_avoiding(&planes, 0, pos, &id, &|s| s != 3).unwrap();
+        assert_eq!(r.dest, 0, "delivery falls back to the best live switch");
+        assert_eq!(detours, 1);
+        assert_eq!(r.overlay, vec![0]);
     }
 
     #[test]

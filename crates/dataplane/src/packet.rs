@@ -34,8 +34,12 @@ impl std::fmt::Display for PacketKind {
 
 /// Outcome carried by a response packet. Requests always carry
 /// [`ResponseStatus::Ok`]; a response distinguishes a hit from a miss
-/// (`NotFound`) and from a server-side failure (`Error`) so a *remote*
-/// client can tell them apart over the wire.
+/// (`NotFound`), from a server-side failure (`Error`), from a routing
+/// abort caused by suspect peers (`Redirect` — the request was *not*
+/// served and the client should retry elsewhere), and from a served-but-
+/// detoured delivery (`Degraded` — the answer is real but greedy
+/// forwarding had to route around suspect neighbors, so the one-hop
+/// placement guarantee may not hold for this copy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ResponseStatus {
     /// The request succeeded (or this is a request packet).
@@ -46,6 +50,21 @@ pub enum ResponseStatus {
     /// The request could not be served (misrouted, transit access, or a
     /// broken relay chain).
     Error,
+    /// Routing aborted before reaching an owner: every viable next hop
+    /// was suspect or the detour budget ran out. Nothing was stored or
+    /// read — the client must retry via another access node.
+    Redirect,
+    /// Served, but the greedy walk detoured around suspect neighbors —
+    /// the delivery switch may not be the true greedy owner.
+    Degraded,
+}
+
+impl ResponseStatus {
+    /// Whether a placement carrying this status actually stored the item
+    /// somewhere (cleanly or on a detour owner).
+    pub fn served(self) -> bool {
+        matches!(self, ResponseStatus::Ok | ResponseStatus::Degraded)
+    }
 }
 
 impl std::fmt::Display for ResponseStatus {
@@ -54,6 +73,8 @@ impl std::fmt::Display for ResponseStatus {
             ResponseStatus::Ok => "ok",
             ResponseStatus::NotFound => "not-found",
             ResponseStatus::Error => "error",
+            ResponseStatus::Redirect => "redirect",
+            ResponseStatus::Degraded => "degraded",
         };
         f.write_str(s)
     }
@@ -99,6 +120,11 @@ pub struct Packet {
     /// counter incremented by every switch that forwards the packet, so a
     /// response can report the request's routing cost to the client.
     pub hops: u16,
+    /// Detours this packet has taken: forwarding decisions where the true
+    /// greedy next hop was suspect and a farther neighbor (or local
+    /// delivery) was used instead. Nonzero detours on a delivered packet
+    /// mean the one-hop routing guarantee may not hold for it.
+    pub detours: u16,
     /// Payload (data contents for placements, empty for retrievals).
     pub payload: Bytes,
 }
@@ -114,6 +140,7 @@ impl Packet {
             relay: None,
             status: ResponseStatus::Ok,
             hops: 0,
+            detours: 0,
             payload: payload.into(),
         }
     }
@@ -128,6 +155,7 @@ impl Packet {
             relay: None,
             status: ResponseStatus::Ok,
             hops: 0,
+            detours: 0,
             payload: Bytes::new(),
         }
     }
@@ -142,6 +170,7 @@ impl Packet {
             relay: None,
             status: ResponseStatus::Ok,
             hops: 0,
+            detours: 0,
             payload: payload.into(),
         }
     }
@@ -157,6 +186,14 @@ impl Packet {
     pub fn error_response(id: DataId) -> Self {
         let mut p = Packet::response(id, Bytes::new());
         p.status = ResponseStatus::Error;
+        p
+    }
+
+    /// A redirect response: routing aborted on suspect peers / detour
+    /// budget, the client should retry via a different access node.
+    pub fn redirect_response(id: DataId) -> Self {
+        let mut p = Packet::response(id, Bytes::new());
+        p.status = ResponseStatus::Redirect;
         p
     }
 
@@ -236,9 +273,22 @@ mod tests {
         assert_eq!(miss.kind, PacketKind::RetrievalResponse);
         assert_eq!(miss.status, ResponseStatus::NotFound);
         assert!(miss.payload.is_empty());
-        let err = Packet::error_response(id);
+        let err = Packet::error_response(id.clone());
         assert_eq!(err.kind, PacketKind::RetrievalResponse);
         assert_eq!(err.status, ResponseStatus::Error);
+        let redir = Packet::redirect_response(id);
+        assert_eq!(redir.kind, PacketKind::RetrievalResponse);
+        assert_eq!(redir.status, ResponseStatus::Redirect);
+        assert!(redir.payload.is_empty());
+    }
+
+    #[test]
+    fn served_statuses() {
+        assert!(ResponseStatus::Ok.served());
+        assert!(ResponseStatus::Degraded.served());
+        assert!(!ResponseStatus::NotFound.served());
+        assert!(!ResponseStatus::Error.served());
+        assert!(!ResponseStatus::Redirect.served());
     }
 
     #[test]
@@ -252,6 +302,8 @@ mod tests {
         assert_eq!(ResponseStatus::Ok.to_string(), "ok");
         assert_eq!(ResponseStatus::NotFound.to_string(), "not-found");
         assert_eq!(ResponseStatus::Error.to_string(), "error");
+        assert_eq!(ResponseStatus::Redirect.to_string(), "redirect");
+        assert_eq!(ResponseStatus::Degraded.to_string(), "degraded");
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub struct NodeHotStats {
     /// per-connection/per-link scratch `Vec` had capacity from a prior
     /// send, so the encode allocated nothing).
     pub encode_buf_reuses: u64,
+    /// Times a peer was marked suspect after its multiplexed link died
+    /// and could not be re-established. Monotonic: a flapping peer
+    /// increments once per suspicion episode.
+    pub peers_suspected: u64,
+    /// Forwarding decisions that detoured around a suspect DT neighbor
+    /// (the true greedy next hop was skipped).
+    pub detour_forwards: u64,
+    /// Requests refused with `Redirect` because every viable next hop
+    /// was suspect or the detour budget ran out.
+    pub redirects_issued: u64,
 }
 
 impl NodeHotStats {
@@ -44,6 +54,9 @@ impl NodeHotStats {
             store_shard_contention: self.store_shard_contention + other.store_shard_contention,
             frames_decoded: self.frames_decoded + other.frames_decoded,
             encode_buf_reuses: self.encode_buf_reuses + other.encode_buf_reuses,
+            peers_suspected: self.peers_suspected + other.peers_suspected,
+            detour_forwards: self.detour_forwards + other.detour_forwards,
+            redirects_issued: self.redirects_issued + other.redirects_issued,
         }
     }
 }
@@ -53,12 +66,16 @@ impl std::fmt::Display for NodeHotStats {
         write!(
             f,
             "oneshot_fallbacks={} link_reconnects={} store_shard_contention={} \
-             frames_decoded={} encode_buf_reuses={}",
+             frames_decoded={} encode_buf_reuses={} peers_suspected={} \
+             detour_forwards={} redirects_issued={}",
             self.oneshot_fallbacks,
             self.link_reconnects,
             self.store_shard_contention,
             self.frames_decoded,
             self.encode_buf_reuses,
+            self.peers_suspected,
+            self.detour_forwards,
+            self.redirects_issued,
         )
     }
 }
@@ -141,6 +158,9 @@ mod tests {
             store_shard_contention: 3,
             frames_decoded: 4,
             encode_buf_reuses: 5,
+            peers_suspected: 6,
+            detour_forwards: 7,
+            redirects_issued: 8,
         };
         let b = NodeHotStats {
             frames_decoded: 10,
@@ -152,6 +172,9 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("oneshot_fallbacks=1"), "got {text}");
         assert!(text.contains("frames_decoded=14"), "got {text}");
+        assert_eq!(m.peers_suspected, 6);
+        assert!(text.contains("peers_suspected=6"), "got {text}");
+        assert!(text.contains("redirects_issued=8"), "got {text}");
     }
 
     #[test]

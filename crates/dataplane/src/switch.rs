@@ -281,6 +281,32 @@ impl SwitchDataplane {
     /// Panics if called on a transit switch (no servers): transit switches
     /// only relay; the controller never makes them DT members.
     pub fn decide(&self, data_position: Point2, id: &DataId) -> ForwardDecision {
+        self.decide_avoiding(data_position, id, &|_| true).0
+    }
+
+    /// The greedy pipeline with a liveness filter: neighbors for which
+    /// `alive` returns `false` are treated as absent, so the walk falls
+    /// back to the next-best neighbor (or local delivery) instead of
+    /// forwarding into a suspect peer.
+    ///
+    /// Returns the decision and whether it *detoured* — i.e. whether the
+    /// unfiltered pipeline would have chosen differently. Filtering can
+    /// only remove forwarding candidates, so every filtered step still
+    /// strictly decreases the `(distance², lex)` measure toward the data
+    /// position: the walk cannot cycle, whatever each node's local view
+    /// of liveness is. A detoured delivery may land off the true greedy
+    /// owner, which callers surface as a `Degraded` response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a transit switch (no servers), exactly like
+    /// [`decide`](Self::decide).
+    pub fn decide_avoiding(
+        &self,
+        data_position: Point2,
+        id: &DataId,
+        alive: &dyn Fn(usize) -> bool,
+    ) -> (ForwardDecision, bool) {
         assert!(
             self.server_count > 0,
             "transit switch {} cannot run the greedy placement pipeline",
@@ -288,23 +314,40 @@ impl SwitchDataplane {
         );
         self.processed.fetch_add(1, Ordering::Relaxed);
         let own = self.position.distance_squared(data_position);
+        // Track the best live candidate (the decision) and the best
+        // unfiltered candidate (to detect detours) in one pass.
         let mut best: Option<&NeighborEntry> = None;
         let mut best_d = own;
+        let mut best_all: Option<&NeighborEntry> = None;
+        let mut best_all_d = own;
         for (_, entry) in self.neighbors.iter() {
             let d = entry.position.distance_squared(data_position);
-            let better = match best {
-                _ if d < best_d => true,
-                Some(cur) if d == best_d => {
-                    entry.position.lex_cmp(cur.position) == std::cmp::Ordering::Less
+            let better = |cur: Option<&NeighborEntry>, cur_d: f64| match cur {
+                _ if d < cur_d => true,
+                Some(c) if d == cur_d => {
+                    entry.position.lex_cmp(c.position) == std::cmp::Ordering::Less
                 }
                 _ => false,
             };
-            if better {
+            if better(best_all, best_all_d) {
+                best_all = Some(entry);
+                best_all_d = d;
+            }
+            if alive(entry.neighbor) && better(best, best_d) {
                 best = Some(entry);
                 best_d = d;
             }
         }
-        match best {
+        let chosen = match best {
+            Some(entry) if best_d < own => Some(entry.neighbor),
+            _ => None,
+        };
+        let unfiltered = match best_all {
+            Some(entry) if best_all_d < own => Some(entry.neighbor),
+            _ => None,
+        };
+        let detoured = chosen != unfiltered;
+        let decision = match best {
             Some(entry) if best_d < own => ForwardDecision::Forward {
                 neighbor: entry.neighbor,
                 next_hop: entry.via,
@@ -321,7 +364,8 @@ impl SwitchDataplane {
                     extended_to: self.extension_of(server),
                 }
             }
-        }
+        };
+        (decision, detoured)
     }
 }
 
@@ -531,6 +575,50 @@ mod tests {
     fn transit_switch_cannot_decide() {
         let sw = SwitchDataplane::transit(7);
         let _ = sw.decide(Point2::ORIGIN, &DataId::new("k"));
+    }
+
+    #[test]
+    fn decide_avoiding_skips_suspect_neighbors() {
+        let mut sw = SwitchDataplane::new(0, Point2::new(0.0, 0.0), 1);
+        sw.install_neighbor(entry(1, 0.5, 0.5));
+        sw.install_neighbor(entry(2, 0.9, 0.9));
+        let id = DataId::new("k");
+        let target = Point2::new(1.0, 1.0);
+
+        // All alive: the closest neighbor (2) wins, no detour.
+        let (d, detoured) = sw.decide_avoiding(target, &id, &|_| true);
+        assert!(matches!(d, ForwardDecision::Forward { neighbor: 2, .. }));
+        assert!(!detoured);
+
+        // Best neighbor suspect: fall back to the next-best, flagged.
+        let (d, detoured) = sw.decide_avoiding(target, &id, &|n| n != 2);
+        assert!(matches!(d, ForwardDecision::Forward { neighbor: 1, .. }));
+        assert!(detoured, "skipping the true greedy hop is a detour");
+
+        // Every closer neighbor suspect: deliver locally, flagged.
+        let (d, detoured) = sw.decide_avoiding(target, &id, &|_| false);
+        assert!(matches!(d, ForwardDecision::DeliverLocal { .. }));
+        assert!(detoured);
+
+        // Suspecting a neighbor the pipeline would not pick anyway is
+        // not a detour.
+        let (d, detoured) = sw.decide_avoiding(target, &id, &|n| n != 1);
+        assert!(matches!(d, ForwardDecision::Forward { neighbor: 2, .. }));
+        assert!(!detoured);
+    }
+
+    #[test]
+    fn decide_avoiding_local_minimum_never_detours() {
+        let mut sw = SwitchDataplane::new(3, Point2::new(0.5, 0.5), 2);
+        sw.install_neighbor(entry(1, 0.0, 0.0));
+        let id = DataId::new("k");
+        // The switch itself is nearest: delivery, detour-free, under any
+        // filter (filtering cannot create a forwarding candidate).
+        for alive in [true, false] {
+            let (d, detoured) = sw.decide_avoiding(Point2::new(0.5, 0.51), &id, &|_| alive);
+            assert!(matches!(d, ForwardDecision::DeliverLocal { .. }));
+            assert!(!detoured);
+        }
     }
 
     #[test]

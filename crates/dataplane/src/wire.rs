@@ -12,12 +12,12 @@
 //!  | magic "GR"    | ver=1 | flags |     flags: bit0 = relay present
 //!  +-------+-------+-------+-------+            bit1 = status not-found
 //!  | kind  |      id_len (u16)     |            bit2 = status error
-//!  +-------+-------+-------+-------+     kind: 0 place, 1 retrieve,
-//!  |        pos_x  (f64 be)        |           2 response
-//!  |        pos_y  (f64 be)        |
-//!  +---------------+---------------+
-//!  | hops (u16 be) |                     in-band telemetry: physical
-//!  +---------------+                     hops traversed so far
+//!  +-------+-------+-------+-------+            bit3 = status redirect
+//!  |        pos_x  (f64 be)        |            bit4 = status degraded
+//!  |        pos_y  (f64 be)        |     kind: 0 place, 1 retrieve,
+//!  +---------------+---------------+           2 response
+//!  | hops (u16 be) | detours (u16) |     in-band telemetry: physical
+//!  +---------------+---------------+     hops and suspect-peer detours
 //!  | [relay: dest, sour, relay as u32 be each — iff flag bit0]
 //!  +-------------------------------+
 //!  | id bytes (id_len)             |
@@ -25,10 +25,12 @@
 //!  +-------------------------------+
 //! ```
 //!
-//! The status bits (1 and 2) are mutually exclusive and only valid on
+//! The status bits (1–4) are mutually exclusive and only valid on
 //! response packets — they let a remote client distinguish a hit from a
-//! miss (`NotFound`) and from a server-side failure (`Error`); requests
-//! always travel with both bits clear.
+//! miss (`NotFound`), from a server-side failure (`Error`), from a
+//! routing abort on suspect peers (`Redirect`), and from a served-but-
+//! detoured delivery (`Degraded`); requests always travel with all
+//! status bits clear.
 
 use crate::packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 use bytes::Bytes;
@@ -45,8 +47,14 @@ const FLAG_RELAY: u8 = 0b0000_0001;
 const FLAG_NOT_FOUND: u8 = 0b0000_0010;
 /// Flag bit: response status `Error`.
 const FLAG_ERROR: u8 = 0b0000_0100;
+/// Flag bit: response status `Redirect` (routing aborted on suspects).
+const FLAG_REDIRECT: u8 = 0b0000_1000;
+/// Flag bit: response status `Degraded` (served via a detour).
+const FLAG_DEGRADED: u8 = 0b0001_0000;
+/// Every status flag bit (mutually exclusive on the wire).
+const STATUS_FLAGS: u8 = FLAG_NOT_FOUND | FLAG_ERROR | FLAG_REDIRECT | FLAG_DEGRADED;
 /// Every flag bit this parser understands.
-const KNOWN_FLAGS: u8 = FLAG_RELAY | FLAG_NOT_FOUND | FLAG_ERROR;
+const KNOWN_FLAGS: u8 = FLAG_RELAY | STATUS_FLAGS;
 
 /// Error produced by [`parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,7 +141,7 @@ fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
 pub fn encode(packet: &Packet) -> Vec<u8> {
     let id_bytes = packet.id.as_bytes();
     let relay_len = if packet.relay.is_some() { 12 } else { 0 };
-    let mut out = Vec::with_capacity(27 + relay_len + id_bytes.len() + packet.payload.len());
+    let mut out = Vec::with_capacity(29 + relay_len + id_bytes.len() + packet.payload.len());
     encode_into(packet, &mut out);
     out
 }
@@ -162,6 +170,8 @@ pub fn encode_into(packet: &Packet, out: &mut Vec<u8>) {
         ResponseStatus::Ok => {}
         ResponseStatus::NotFound => flags |= FLAG_NOT_FOUND,
         ResponseStatus::Error => flags |= FLAG_ERROR,
+        ResponseStatus::Redirect => flags |= FLAG_REDIRECT,
+        ResponseStatus::Degraded => flags |= FLAG_DEGRADED,
     }
 
     out.extend_from_slice(&MAGIC);
@@ -172,6 +182,7 @@ pub fn encode_into(packet: &Packet, out: &mut Vec<u8>) {
     out.extend_from_slice(&packet.position.x.to_be_bytes());
     out.extend_from_slice(&packet.position.y.to_be_bytes());
     out.extend_from_slice(&packet.hops.to_be_bytes());
+    out.extend_from_slice(&packet.detours.to_be_bytes());
     if let Some(relay) = packet.relay {
         out.extend_from_slice(&(relay.dest as u32).to_be_bytes());
         out.extend_from_slice(&(relay.sour as u32).to_be_bytes());
@@ -224,7 +235,7 @@ fn check_payload(packet: &Packet) -> Result<(), ParseError> {
 /// Parses everything up to the payload, returning the packet (with an
 /// empty payload) and the offset where the payload starts.
 fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
-    const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8 + 2; // through hops
+    const FIXED: usize = 2 + 1 + 1 + 1 + 2 + 8 + 8 + 2 + 2; // through detours
     if bytes.len() < FIXED {
         return Err(ParseError::Truncated {
             needed: FIXED,
@@ -242,16 +253,19 @@ fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
         return Err(ParseError::UnknownFlags(flags));
     }
     let kind = kind_from_wire(bytes[4])?;
-    let status = match (flags & FLAG_NOT_FOUND != 0, flags & FLAG_ERROR != 0) {
-        (false, false) => ResponseStatus::Ok,
-        (true, false) => ResponseStatus::NotFound,
-        (false, true) => ResponseStatus::Error,
-        (true, true) => {
-            return Err(ParseError::BadStatus {
-                flags,
-                kind: bytes[4],
-            })
-        }
+    let status_bits = flags & STATUS_FLAGS;
+    if status_bits.count_ones() > 1 {
+        return Err(ParseError::BadStatus {
+            flags,
+            kind: bytes[4],
+        });
+    }
+    let status = match status_bits {
+        0 => ResponseStatus::Ok,
+        FLAG_NOT_FOUND => ResponseStatus::NotFound,
+        FLAG_ERROR => ResponseStatus::Error,
+        FLAG_REDIRECT => ResponseStatus::Redirect,
+        _ => ResponseStatus::Degraded,
     };
     // A status is a response property; a tagged request is corrupt.
     if status != ResponseStatus::Ok && kind != PacketKind::RetrievalResponse {
@@ -267,6 +281,7 @@ fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
         return Err(ParseError::BadPosition);
     }
     let hops = u16::from_be_bytes([bytes[23], bytes[24]]);
+    let detours = u16::from_be_bytes([bytes[25], bytes[26]]);
 
     let mut offset = FIXED;
     let relay = if flags & FLAG_RELAY != 0 {
@@ -307,6 +322,7 @@ fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
             relay,
             status,
             hops,
+            detours,
             payload: Bytes::new(),
         },
         offset + id_len,
@@ -378,6 +394,13 @@ mod tests {
             Packet::response(DataId::new("c"), b"yz".as_ref()),
             Packet::not_found(DataId::new("d")),
             Packet::error_response(DataId::new("e")),
+            Packet::redirect_response(DataId::new("f")),
+            {
+                let mut p = Packet::response(DataId::new("g"), b"w".as_ref());
+                p.status = ResponseStatus::Degraded;
+                p.detours = 3;
+                p
+            },
         ] {
             assert_eq!(parse(&encode(&p)).unwrap(), p);
         }
@@ -394,9 +417,11 @@ mod tests {
 
         let mut p = Packet::response(DataId::new("hit"), b"v".as_ref());
         p.hops = u16::MAX;
+        p.detours = 42;
         let parsed = parse(&encode(&p)).unwrap();
         assert_eq!(parsed.status, ResponseStatus::Ok);
         assert_eq!(parsed.hops, u16::MAX);
+        assert_eq!(parsed.detours, 42);
     }
 
     #[test]
@@ -515,8 +540,9 @@ mod tests {
             payload in proptest::collection::vec(any::<u8>(), 0..256),
             kind in 0u8..3,
             relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
-            status in 0u8..3,
+            status in 0u8..5,
             hops in any::<u16>(),
+            detours in any::<u16>(),
         ) {
             let id = DataId::from_bytes(id);
             let mut p = match kind {
@@ -532,10 +558,13 @@ mod tests {
                 p.status = match status {
                     0 => ResponseStatus::Ok,
                     1 => ResponseStatus::NotFound,
-                    _ => ResponseStatus::Error,
+                    2 => ResponseStatus::Error,
+                    3 => ResponseStatus::Redirect,
+                    _ => ResponseStatus::Degraded,
                 };
             }
             p.hops = hops;
+            p.detours = detours;
             let parsed = parse(&encode(&p)).unwrap();
             prop_assert_eq!(&parsed, &p);
             // The zero-copy parser agrees with the copying one exactly.

@@ -5,6 +5,7 @@
 //! repro <experiment> [--paper] [--csv <dir>] [--threads <n>]
 //! repro soak [--seed <n>] [--ops <n>] [--switches <n>]
 //! repro cluster [--seed <n>] [--ops <n>] [--switches <n>]
+//! repro chaos [--seed <n>] [--ops <n>] [--switches <n>] [--kills <n>]
 //!
 //! experiments: fig7a fig7b fig8 fig9a fig9b fig9c fig9d
 //!              fig11a fig11b fig11c tables churn churn-owners
@@ -29,6 +30,15 @@
 //! ack against the in-process model, and shuts the cluster down
 //! gracefully. Any lost request, wrong payload, or wrong owner exits
 //! nonzero.
+//!
+//! `chaos` runs the crash-tolerance acceptance scenario: a loopback
+//! cluster behind a per-link fault fabric, a seeded replicated workload
+//! (`k = 2`, quorum acks), seeded node kills and link faults mid-run,
+//! operator-style crash recovery, and a final audit of every
+//! acknowledged write. A lost acknowledged write exits 1. The fault
+//! plan and workload are pure functions of `--seed`/`--ops`, so the
+//! printed repro line replays the same faults. Set `GRED_CHAOS_DIR` to
+//! also write the fault schedule to a file (CI uploads it on failure).
 //! ```
 
 use gred_net::LatencyModel;
@@ -466,7 +476,7 @@ fn run(experiment: &str, scale: &Scale, out: &Output, threads: usize) {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero build-report soak cluster all"
+                "choose one of: fig7a fig7b fig8 fig9a fig9b fig9c fig9d fig11a fig11b fig11c tables churn churn-owners embedding qdelay availability hotspot contention fload cdf overhead hetero build-report soak cluster chaos all"
             );
             std::process::exit(2);
         }
@@ -680,6 +690,57 @@ fn run_cluster(seed: u64, ops: usize, switches: usize) {
     println!("cluster passed: zero lost requests, graceful shutdown");
 }
 
+/// The chaos acceptance run: crash-tolerant serving under seeded node
+/// kills and link faults. Exits 1 when an acknowledged write is lost.
+fn run_chaos_cmd(seed: u64, ops: usize, switches: usize, kills: usize) {
+    use gred_cluster::{run_chaos, ChaosConfig};
+    use gred_testkit::ChaosPlan;
+
+    let cfg = ChaosConfig {
+        seed,
+        ops,
+        switches,
+        kills,
+        ..ChaosConfig::default()
+    };
+    println!(
+        "chaos: seed {seed}, {ops} ops, {switches} switches, {kills} kills, \
+         k={} quorum={}",
+        cfg.copies, cfg.quorum
+    );
+    if let Some(dir) = std::env::var_os("GRED_CHAOS_DIR") {
+        let dir = PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let plan = ChaosPlan::generate(cfg.seed, cfg.ops, cfg.kills, cfg.link_faults);
+        let path = dir.join(format!("chaos-plan-{seed}.txt"));
+        let body = plan
+            .events
+            .iter()
+            .map(|e| format!("op {:>4}: {:?}\n", e.at_op, e.action))
+            .collect::<String>();
+        if std::fs::write(&path, body).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    let started = std::time::Instant::now();
+    let outcome = run_chaos(&cfg).expect("chaos infrastructure boots");
+    println!("{outcome}");
+    println!("cluster: {}", outcome.report);
+    println!(
+        "elapsed {:.3}s; reproduce with: {}",
+        started.elapsed().as_secs_f64(),
+        outcome.repro_line()
+    );
+    if !outcome.passed() {
+        println!(
+            "chaos FAILED: {} acknowledged writes lost",
+            outcome.lost_acked
+        );
+        std::process::exit(1);
+    }
+    println!("chaos passed: zero acknowledged writes lost");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
@@ -711,14 +772,15 @@ fn main() {
                     || args[i - 1] == "--threads"
                     || args[i - 1] == "--seed"
                     || args[i - 1] == "--ops"
-                    || args[i - 1] == "--switches");
+                    || args[i - 1] == "--switches"
+                    || args[i - 1] == "--kills");
             !is_flag && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
 
-    if experiment == "soak" || experiment == "cluster" {
+    if experiment == "soak" || experiment == "cluster" || experiment == "chaos" {
         let flag = |name: &str| {
             args.iter()
                 .position(|a| a == name)
@@ -726,13 +788,23 @@ fn main() {
                 .and_then(|v| v.parse::<u64>().ok())
         };
         let seed = flag("--seed").unwrap_or(SEED);
-        let switches = (flag("--switches").unwrap_or(12) as usize).max(4);
-        if experiment == "cluster" {
-            let ops = flag("--ops").unwrap_or(500) as usize;
-            run_cluster(seed, ops, switches);
-        } else {
-            let ops = flag("--ops").unwrap_or(2000) as usize;
-            run_soak(seed, ops, switches);
+        match experiment {
+            "cluster" => {
+                let switches = (flag("--switches").unwrap_or(12) as usize).max(4);
+                let ops = flag("--ops").unwrap_or(500) as usize;
+                run_cluster(seed, ops, switches);
+            }
+            "chaos" => {
+                let switches = (flag("--switches").unwrap_or(16) as usize).max(5);
+                let ops = flag("--ops").unwrap_or(500) as usize;
+                let kills = flag("--kills").unwrap_or(2) as usize;
+                run_chaos_cmd(seed, ops, switches, kills);
+            }
+            _ => {
+                let switches = (flag("--switches").unwrap_or(12) as usize).max(4);
+                let ops = flag("--ops").unwrap_or(2000) as usize;
+                run_soak(seed, ops, switches);
+            }
         }
         return;
     }

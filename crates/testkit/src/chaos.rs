@@ -1,0 +1,204 @@
+//! Deterministic chaos schedules.
+//!
+//! A chaos plan is a pure function of its generation parameters: the same
+//! `(seed, ops, kills, link_faults)` quadruple always yields the same
+//! event list, so a failing chaos run reproduces from the numbers in its
+//! failure report alone. Like [`crate::schedule`], events carry abstract
+//! `u32` picks rather than concrete node ids — the runner resolves each
+//! pick against live membership when the event fires, so one plan stays
+//! meaningful across topologies of different sizes.
+//!
+//! The plan only *describes* faults; executing them (severing sockets,
+//! killing node threads, rebooting slots) is the runner's job — see
+//! `gred-cluster`'s chaos fabric.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Domain-mixing constant so the chaos stream differs from the operation
+/// schedule generated from the same user-facing seed.
+const CHAOS_DOMAIN: u64 = 0x5EED_C4A0_5FAB_0002;
+
+/// One fault (or repair) to inject. Node and link endpoints are abstract
+/// picks, resolved modulo live membership by the runner at fire time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Abruptly kill a node: its listener closes, every peer link to it
+    /// dies mid-stream, and its unreplicated data is lost.
+    KillNode {
+        /// Abstract victim selector.
+        pick: u32,
+    },
+    /// Sever one directed link: new bytes are refused, in-flight
+    /// connections reset. The reverse direction stays up.
+    SeverLink {
+        /// Abstract source selector.
+        from: u32,
+        /// Abstract destination selector.
+        to: u32,
+    },
+    /// Black-hole one directed link: bytes are accepted and silently
+    /// dropped, so the sender discovers the fault only by timeout.
+    BlackHoleLink {
+        /// Abstract source selector.
+        from: u32,
+        /// Abstract destination selector.
+        to: u32,
+    },
+    /// Delay one directed link by `millis` per chunk without reordering.
+    DelayLink {
+        /// Abstract source selector.
+        from: u32,
+        /// Abstract destination selector.
+        to: u32,
+        /// Added one-way latency in milliseconds.
+        millis: u16,
+    },
+    /// Restore one directed link to transparent forwarding.
+    HealLink {
+        /// Abstract source selector.
+        from: u32,
+        /// Abstract destination selector.
+        to: u32,
+    },
+}
+
+/// A [`ChaosAction`] anchored to the workload step before which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Fire before the workload issues operation number `at_op`.
+    pub at_op: usize,
+    /// What to inject.
+    pub action: ChaosAction,
+}
+
+/// A complete, replayable fault schedule for one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed the plan was generated from (for failure reports).
+    pub seed: u64,
+    /// Events sorted by [`ChaosEvent::at_op`]; ties keep generation
+    /// order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generates the plan for a run of `ops` workload operations with
+    /// `kills` node crashes and `link_faults` transient link faults.
+    /// Deterministic: equal inputs give equal output on every platform.
+    ///
+    /// Kills are spread across the middle of the run — never before a
+    /// tenth of the workload has executed (so there is data to lose) and
+    /// never in the final tenth (so recovery and the final audit see the
+    /// crash). Each link fault picks sever / black-hole / delay and heals
+    /// itself after a bounded number of operations.
+    pub fn generate(seed: u64, ops: usize, kills: usize, link_faults: usize) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ CHAOS_DOMAIN);
+        let mut events = Vec::new();
+        let ops = ops.max(10);
+
+        // One kill per window of the usable middle span, jittered.
+        let span = (ops * 8) / 10;
+        let window = span / (kills.max(1));
+        for k in 0..kills {
+            let base = ops / 10 + k * window;
+            let jitter = rng.gen_range(0..window.max(1) / 2 + 1);
+            events.push(ChaosEvent {
+                at_op: base + jitter,
+                action: ChaosAction::KillNode {
+                    pick: rng.gen_range(0u32..1_000_000),
+                },
+            });
+        }
+
+        for _ in 0..link_faults {
+            let at_op = rng.gen_range(ops / 10..(ops * 9) / 10);
+            let from = rng.gen_range(0u32..1_000_000);
+            let to = rng.gen_range(0u32..1_000_000);
+            let action = match rng.gen_range(0u32..100) {
+                0..=39 => ChaosAction::SeverLink { from, to },
+                40..=69 => ChaosAction::BlackHoleLink { from, to },
+                _ => ChaosAction::DelayLink {
+                    from,
+                    to,
+                    millis: rng.gen_range(1u16..20),
+                },
+            };
+            events.push(ChaosEvent { at_op, action });
+            let heal_after = rng.gen_range(ops / 20..ops / 5 + 2);
+            events.push(ChaosEvent {
+                at_op: (at_op + heal_after).min(ops - 1),
+                action: ChaosAction::HealLink { from, to },
+            });
+        }
+
+        events.sort_by_key(|e| e.at_op);
+        ChaosPlan { seed, events }
+    }
+
+    /// Events firing before operation `op`, in order. The runner calls
+    /// this with a cursor it advances itself; the method exists so ad-hoc
+    /// inspection (artifact dumps, tests) needs no cursor bookkeeping.
+    pub fn due_before(&self, op: usize) -> impl Iterator<Item = &ChaosEvent> {
+        self.events.iter().filter(move |e| e.at_op <= op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ChaosPlan::generate(42, 500, 2, 6);
+        let b = ChaosPlan::generate(42, 500, 2, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosPlan::generate(1, 500, 2, 6);
+        let b = ChaosPlan::generate(2, 500, 2, 6);
+        assert_ne!(a, b, "plans should not collide across seeds");
+    }
+
+    #[test]
+    fn kills_land_in_the_middle_and_events_are_sorted() {
+        let plan = ChaosPlan::generate(7, 500, 3, 10);
+        let kills: Vec<usize> = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::KillNode { .. }))
+            .map(|e| e.at_op)
+            .collect();
+        assert_eq!(kills.len(), 3);
+        for at in kills {
+            assert!((50..450).contains(&at), "kill at {at} outside middle span");
+        }
+        assert!(plan.events.windows(2).all(|w| w[0].at_op <= w[1].at_op));
+        assert!(plan.events.iter().all(|e| e.at_op < 500));
+    }
+
+    #[test]
+    fn every_link_fault_heals() {
+        let plan = ChaosPlan::generate(99, 500, 0, 8);
+        let faults = plan
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    ChaosAction::SeverLink { .. }
+                        | ChaosAction::BlackHoleLink { .. }
+                        | ChaosAction::DelayLink { .. }
+                )
+            })
+            .count();
+        let heals = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, ChaosAction::HealLink { .. }))
+            .count();
+        assert_eq!(faults, 8);
+        assert_eq!(heals, 8, "each fault schedules its own repair");
+    }
+}

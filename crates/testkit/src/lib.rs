@@ -25,12 +25,14 @@
 //! A failure report names only `(seed, schedule length)`; re-running with
 //! the same pair replays the identical schedule, network, and checks.
 
+pub mod chaos;
 pub mod harness;
 pub mod invariants;
 pub mod oracle;
 pub mod schedule;
 pub mod transport;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 pub use harness::{Failure, Harness, HarnessConfig, Mutation, RunOutcome, RunStats};
 pub use oracle::Oracle;
 pub use schedule::{generate, Op};

@@ -1,0 +1,144 @@
+//! Property-based tests of suspect-aware greedy forwarding
+//! (`route_avoiding`): the failure-detection behaviour the cluster
+//! runtime relies on, checked in-process over randomized topologies.
+//!
+//! Three guarantees, mirroring the healthy-network properties in
+//! `tests/guarantees.rs`:
+//!
+//! 1. **Termination under arbitrary death.** With up to `f` DT members
+//!    marked dead, filtered greedy still terminates within the overlay
+//!    bound and every step strictly decreases squared distance to the
+//!    key — the filter removes candidates, it never adds a
+//!    non-improving hop.
+//! 2. **Dead switches carry no deliveries.** The walk starts at a live
+//!    access switch and only ever forwards into live neighbors, so the
+//!    delivering switch is always alive.
+//! 3. **Recovery restores the one-hop invariant.** Once every suspect
+//!    is unmarked, `route_avoiding` reports zero detours and lands on
+//!    exactly the `responsible_server` that `tests/guarantees.rs`
+//!    proves for the unfiltered pipeline — detection is not a one-way
+//!    door.
+
+use gred::plane::forwarding::{route, route_avoiding};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_network() -> impl Strategy<Value = (usize, u64, usize)> {
+    // (switches, topology seed, c-regulation iterations)
+    (
+        6usize..24,
+        0u64..1000,
+        prop_oneof![Just(0usize), Just(10), Just(30)],
+    )
+}
+
+fn build(switches: usize, seed: u64, iters: usize) -> gred::GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    gred::GredNetwork::build(
+        topo,
+        pool,
+        gred::GredConfig::with_iterations(iters).seeded(seed),
+    )
+    .expect("builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Filtered greedy terminates with strict progress for *any* set of
+    /// up to f = n/3 dead switches, from every live access switch.
+    #[test]
+    fn filtered_greedy_terminates_with_dead_members(
+        (switches, seed, iters) in arb_network(),
+        dead_picks in proptest::collection::vec(0usize..1000, 0..8),
+        key in "[a-z0-9/]{4,20}",
+    ) {
+        let net = build(switches, seed, iters);
+        let f = switches / 3;
+        let dead: HashSet<usize> = dead_picks
+            .iter()
+            .map(|p| p % switches)
+            .take(f)
+            .collect();
+        let alive = |s: usize| !dead.contains(&s);
+
+        let id = DataId::new(&key);
+        let pos = net.position_of_id(&id);
+        for access in (0..switches).filter(|a| alive(*a)) {
+            let (r, detours) =
+                route_avoiding(net.dataplanes(), access, pos, &id, &alive)
+                    .expect("filtered greedy must terminate, not error");
+            // Termination bound: at most one overlay hop per switch.
+            prop_assert!(r.overlay.len() <= switches);
+            // Strict decrease in squared distance at every overlay step —
+            // same exact invariant as the unfiltered walk in guarantees.rs.
+            for w in r.overlay.windows(2) {
+                let d0 = net.position_of_switch(w[0]).unwrap().distance_squared(pos);
+                let d1 = net.position_of_switch(w[1]).unwrap().distance_squared(pos);
+                prop_assert!(d1 < d0, "filtered greedy step must make progress");
+            }
+            // Delivery always happens at a live switch: the start is
+            // live and the filter bars forwarding into the dead.
+            prop_assert!(
+                alive(r.dest),
+                "delivered at dead switch {} (dead set {:?})", r.dest, dead
+            );
+            // A detour-free walk is byte-identical to the unfiltered one.
+            if detours == 0 {
+                let unfiltered = route(net.dataplanes(), access, pos, &id).expect("routes");
+                prop_assert_eq!(&r.overlay, &unfiltered.overlay);
+                prop_assert_eq!(r.server, unfiltered.server);
+            }
+        }
+    }
+
+    /// Unmarking every suspect restores exact one-hop delivery: zero
+    /// detours, and the true `responsible_server` from every access —
+    /// the access-independence theorem of `tests/guarantees.rs`,
+    /// recovered after a detection episode.
+    #[test]
+    fn recovery_restores_one_hop_delivery(
+        (switches, seed, iters) in arb_network(),
+        keys in proptest::collection::vec("[a-z0-9]{4,16}", 3..8),
+    ) {
+        let net = build(switches, seed, iters);
+        for key in &keys {
+            let id = DataId::new(key);
+            let expected = net.responsible_server(&id);
+            let pos = net.position_of_id(&id);
+            for access in 0..switches {
+                let (r, detours) =
+                    route_avoiding(net.dataplanes(), access, pos, &id, &|_| true)
+                        .expect("routes");
+                prop_assert_eq!(detours, 0, "no suspects, so no detours");
+                prop_assert_eq!(r.server, expected,
+                    "key {} from access {}: reached {:?}, expected {:?}",
+                    key, access, r.server, expected);
+            }
+        }
+    }
+}
+
+/// Deterministic spot check: killing the true owner forces a detoured
+/// delivery elsewhere; reviving it restores the original route.
+#[test]
+fn owner_death_detours_and_revival_recovers() {
+    let net = build(12, 7, 10);
+    let id = DataId::new("owner-death-spot-check");
+    let pos = net.position_of_id(&id);
+    let owner = net.responsible_server(&id).switch;
+    let access = (0..12).find(|&a| a != owner).unwrap();
+
+    let (detoured, detours) =
+        route_avoiding(net.dataplanes(), access, pos, &id, &|s| s != owner).unwrap();
+    assert!(detours > 0, "avoiding the owner must cost detours");
+    assert_ne!(detoured.dest, owner, "must not deliver at the dead owner");
+
+    let (recovered, detours) =
+        route_avoiding(net.dataplanes(), access, pos, &id, &|_| true).unwrap();
+    assert_eq!(detours, 0);
+    assert_eq!(recovered.server, net.responsible_server(&id));
+}
