@@ -7,12 +7,25 @@
 //! the end-to-end request rate including framing, socket hops, and the
 //! full greedy multi-hop forwarding path between nodes.
 //!
+//! Three variants, tagged in the benchmark id (and by
+//! `scripts/bench_to_json.py`):
+//!
+//! - **lockstep** (`16sw_{k}c`): one frame per request, write-one/
+//!   read-one — the syscall-bound baseline.
+//! - **pipelined** (`16sw_{k}c_pipelined`): each thread ships its whole
+//!   share as one `retrieve_many` burst — chunked batch frames, one
+//!   write syscall per burst, correlated demux on the way back, and
+//!   batched greedy forwarding between nodes.
+//! - **contention** (`4sw_8c_contention`): few switches, many clients,
+//!   stressing the shared multiplexed peer links.
+//!
 //! Convert the results into `BENCH_cluster_throughput.json` with
 //! `scripts/bench_to_json.py --group cluster_throughput` after a run.
 //! Interpret the client-thread scaling honestly: on a single-CPU runner
 //! the node workers and the client threads all share one core, so added
 //! client concurrency mostly measures pipelining across blocking socket
-//! waits, not parallel speedup.
+//! waits, not parallel speedup — the pipelined variant shows what the
+//! same core does once the per-request syscalls are amortized away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gred::{GredConfig, GredNetwork};
@@ -76,6 +89,28 @@ fn fire_batch(conns: &mut [Client]) {
     });
 }
 
+/// Fires `REQS` retrievals as one pipelined burst per thread: batch
+/// frames over the correlated channel instead of lockstep round trips.
+fn fire_batch_pipelined(conns: &mut [Client]) {
+    let clients = conns.len();
+    let per_thread = REQS / clients;
+    std::thread::scope(|scope| {
+        for (k, conn) in conns.iter_mut().enumerate() {
+            scope.spawn(move || {
+                let ids: Vec<DataId> = (0..per_thread)
+                    .map(|j| DataId::new(format!("bench/{}", (k * per_thread + j) % IDS)))
+                    .collect();
+                let replies = conn
+                    .retrieve_many(&ids)
+                    .expect("batched retrieval succeeds");
+                for reply in &replies {
+                    assert!(reply.is_hit(), "bench id must be stored");
+                }
+            });
+        }
+    });
+}
+
 fn bench_cluster_throughput(c: &mut Criterion) {
     let (net, cluster) = boot(SWITCHES);
     let members = net.members().to_vec();
@@ -95,6 +130,19 @@ fn bench_cluster_throughput(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{SWITCHES}sw_{clients}c")),
             &clients,
             |b, _| b.iter(|| fire_batch(&mut conns)),
+        );
+    }
+    // Pipelined variant: same cluster, same working set, same thread
+    // counts — only the transport changes, so the per-variant rows are
+    // directly comparable.
+    for clients in [1usize, 2, 4] {
+        let mut conns: Vec<Client> = (0..clients)
+            .map(|_| cluster.client(members[0]).expect("bench client connects"))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{SWITCHES}sw_{clients}c_pipelined")),
+            &clients,
+            |b, _| b.iter(|| fire_batch_pipelined(&mut conns)),
         );
     }
     group.finish();
@@ -123,7 +171,9 @@ fn bench_cluster_contention(c: &mut Criterion) {
         })
         .collect();
     group.bench_with_input(
-        BenchmarkId::from_parameter(format!("{CONTENTION_SWITCHES}sw_{CONTENTION_CLIENTS}c")),
+        BenchmarkId::from_parameter(format!(
+            "{CONTENTION_SWITCHES}sw_{CONTENTION_CLIENTS}c_contention"
+        )),
         &CONTENTION_CLIENTS,
         |b, _| b.iter(|| fire_batch(&mut conns)),
     );

@@ -2,15 +2,27 @@
 //!
 //! A [`Client`] talks to one node at a time (any node — GRED routes from
 //! wherever the request enters) over a persistent framed TCP connection.
-//! Requests are synchronous: write one frame, read one frame. Failures
-//! are typed ([`ClientError`]) and transient ones (connect/read errors,
-//! timeouts, framing damage, redirects) are retried a bounded number of
-//! times with doubling backoff, reconnecting each time so a late
+//! Single requests are synchronous: write one frame, read one frame.
+//! Failures are typed ([`ClientError`]) and transient ones
+//! (connect/read errors, timeouts, framing damage, redirects) are
+//! retried a bounded number of times with doubling backoff (clamped and
+//! capped — see [`retry_backoff`]), reconnecting each time so a late
 //! response from a previous attempt can never be mistaken for the
 //! current one. A client configured with several access nodes
 //! ([`Client::connect_multi`]) **rotates** to the next one before each
 //! retry, so a crashed entry point costs one attempt, not the whole
 //! retry budget.
+//!
+//! # Pipelined mode
+//!
+//! [`Client::retrieve_many`] and [`Client::place_many`] skip the
+//! write-one/read-one lockstep entirely: the whole burst is chunked
+//! into batch frames, shipped with one syscall over a correlated mux
+//! channel ([`crate::pipelined`]), and demultiplexed by correlation id
+//! on the way back. Per-packet outcomes (including `Error` and
+//! `Redirect`) are reported in each [`Reply::status`] rather than as a
+//! [`ClientError`], because sibling packets in the same burst may have
+//! succeeded.
 //!
 //! # Replica failover
 //!
@@ -22,6 +34,7 @@
 //! replica's owner is alive.
 
 use crate::frame::{self, FrameDecoder, FrameError};
+use crate::pipelined::PipeConn;
 use crate::proto;
 use bytes::Bytes;
 use gred_dataplane::{wire, Packet, PacketKind, ResponseStatus};
@@ -219,15 +232,19 @@ pub struct ReplicatedPlacement {
 
 /// A connection to a cluster, entered through one access node at a time.
 ///
-/// Holds at most one in-flight request; reconnects lazily after errors,
-/// rotating across the configured access nodes so a dead entry point
-/// costs one attempt instead of the whole retry budget.
+/// The lockstep path holds at most one in-flight request; the pipelined
+/// path ([`retrieve_many`](Client::retrieve_many)) keeps many. Both
+/// reconnect lazily after errors, rotating across the configured access
+/// nodes so a dead entry point costs one attempt instead of the whole
+/// retry budget.
 #[derive(Debug)]
 pub struct Client {
     addrs: Vec<SocketAddr>,
     current: usize,
     cfg: ClientConfig,
     conn: Option<Conn>,
+    /// Lazily opened pipelined (mux-framed) channel to the same node.
+    pipe: Option<PipeConn>,
 }
 
 #[derive(Debug)]
@@ -268,6 +285,7 @@ impl Client {
             current: 0,
             cfg,
             conn: None,
+            pipe: None,
         };
         let mut last = None;
         for _ in 0..client.addrs.len() {
@@ -292,9 +310,10 @@ impl Client {
         &self.addrs
     }
 
-    /// Drops the connection and advances to the next access node.
+    /// Drops both connections and advances to the next access node.
     fn rotate(&mut self) {
         self.conn = None;
+        self.pipe = None;
         self.current = (self.current + 1) % self.addrs.len();
     }
 
@@ -442,8 +461,109 @@ impl Client {
                     err
                 });
             }
-            std::thread::sleep(self.cfg.backoff * 2u32.saturating_pow(attempts - 1));
+            std::thread::sleep(retry_backoff(self.cfg.backoff, attempts));
         }
+    }
+
+    /// Retrieves every id in `ids` through the pipelined channel: one
+    /// syscall ships the burst, responses stream back out of order and
+    /// are matched by correlation id. Returns one [`Reply`] per id, in
+    /// input order. Per-packet failures (`Error`, `Redirect`) stay in
+    /// [`Reply::status`] — sibling requests may have succeeded — so
+    /// callers must check [`Reply::is_hit`] per entry.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s only; retries re-send the whole
+    /// (idempotent) burst.
+    pub fn retrieve_many(&mut self, ids: &[DataId]) -> Result<Vec<Reply>, ClientError> {
+        let packets: Vec<Packet> = ids.iter().map(|id| Packet::retrieval(id.clone())).collect();
+        self.request_many(&packets)
+    }
+
+    /// Places every `(id, payload)` pair through the pipelined channel.
+    /// Same semantics as [`retrieve_many`](Client::retrieve_many): one
+    /// ordered [`Reply`] per item, per-packet statuses preserved.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s only; placements are idempotent
+    /// (same id, same bytes), so retries re-send the whole burst.
+    pub fn place_many(&mut self, items: &[(DataId, Bytes)]) -> Result<Vec<Reply>, ClientError> {
+        let packets: Vec<Packet> = items
+            .iter()
+            .map(|(id, payload)| Packet::placement(id.clone(), payload.clone()))
+            .collect();
+        self.request_many(&packets)
+    }
+
+    /// Sends a burst of request packets through the pipelined channel,
+    /// applying the configured retry policy to transport failures.
+    ///
+    /// Unlike [`request`](Client::request), a timeout does **not**
+    /// rotate: correlation ids make the late response harmless (it is
+    /// dropped by id), so the pipeline and its access node are kept and
+    /// the burst is retried in place. I/O and framing damage still
+    /// poison the connection and rotate.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] wrapping the last transient
+    /// failure, or the first definitive error.
+    pub fn request_many(&mut self, packets: &[Packet]) -> Result<Vec<Reply>, ClientError> {
+        if packets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let err = match self.attempt_many(packets) {
+                Ok(replies) => return Ok(replies),
+                Err(e) => e,
+            };
+            if !matches!(err, ClientError::Timeout { .. }) {
+                self.rotate();
+            }
+            if !err.transient() || attempts > self.cfg.retries {
+                return Err(if attempts > 1 {
+                    ClientError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(err),
+                    }
+                } else {
+                    err
+                });
+            }
+            std::thread::sleep(retry_backoff(self.cfg.backoff, attempts));
+        }
+    }
+
+    fn ensure_pipe(&mut self) -> Result<&mut PipeConn, ClientError> {
+        if self.pipe.is_none() {
+            self.pipe = Some(PipeConn::connect(self.addrs[self.current], &self.cfg)?);
+        }
+        Ok(self.pipe.as_mut().expect("pipeline just ensured"))
+    }
+
+    /// One pipelined attempt: ship the burst, demultiplex the replies.
+    fn attempt_many(&mut self, packets: &[Packet]) -> Result<Vec<Reply>, ClientError> {
+        let request_timeout = self.cfg.request_timeout;
+        let pipe = self.ensure_pipe()?;
+        let responses = pipe.exchange(packets, request_timeout)?;
+        responses
+            .into_iter()
+            .map(|response| {
+                if response.kind != PacketKind::RetrievalResponse {
+                    return Err(ClientError::UnexpectedKind(response.kind));
+                }
+                Ok(Reply {
+                    status: response.status,
+                    payload: response.payload,
+                    hops: response.hops,
+                    detours: response.detours,
+                })
+            })
+            .collect()
     }
 
     fn ensure_conn(&mut self) -> Result<&mut Conn, ClientError> {
@@ -536,9 +656,43 @@ impl Client {
     }
 }
 
+/// Largest exponent the doubling backoff may reach; beyond it the sleep
+/// is pinned. Base 25ms shifted by 10 is already 25.6s — any larger
+/// retry budget used to overflow `Duration` in the multiply and panic
+/// mid-retry.
+const BACKOFF_MAX_EXPONENT: u32 = 10;
+
+/// Hard ceiling on a single retry sleep, whatever the exponent says.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Doubling backoff with a clamped exponent and a capped, overflow-proof
+/// sleep: `min(base << min(attempts-1, 10), 5s)`, saturating to the cap
+/// when the multiply would overflow `Duration`.
+fn retry_backoff(base: Duration, attempts: u32) -> Duration {
+    let factor = 1u32 << attempts.saturating_sub(1).min(BACKOFF_MAX_EXPONENT);
+    base.checked_mul(factor)
+        .map_or(BACKOFF_CAP, |sleep| sleep.min(BACKOFF_CAP))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_backoff_doubles_then_clamps_and_caps() {
+        let base = Duration::from_millis(25);
+        assert_eq!(retry_backoff(base, 1), base);
+        assert_eq!(retry_backoff(base, 2), base * 2);
+        assert_eq!(retry_backoff(base, 3), base * 4);
+        // A huge attempt count must clamp the shift (1u32 << 999 would
+        // panic) and pin the sleep to the cap, not overflow.
+        assert_eq!(retry_backoff(base, 999), BACKOFF_CAP);
+        // A pathological base overflows the multiply: saturate to the
+        // cap instead of panicking — the regression this fix is for.
+        assert_eq!(retry_backoff(Duration::MAX, 4), BACKOFF_CAP);
+        // The cap binds even when the multiply itself fits.
+        assert_eq!(retry_backoff(Duration::from_secs(4), 2), BACKOFF_CAP);
+    }
 
     #[test]
     fn connect_to_nothing_is_a_typed_io_error() {

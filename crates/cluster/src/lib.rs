@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod frame;
 pub mod mux;
 pub mod node;
+pub(crate) mod pipelined;
 pub mod proto;
 pub mod transport;
 

@@ -208,6 +208,55 @@ impl MuxLink {
     /// - `BrokenPipe`/other I/O: the link is dead; reconnect.
     /// - `InvalidData`: the peer answered with a non-GRED body.
     pub fn call(&self, packet: &Packet, reply_timeout: Duration) -> io::Result<Packet> {
+        let body = self.exchange_correlated(reply_timeout, |scratch| {
+            wire::encode_into(packet, scratch);
+        })?;
+        wire::parse_bytes(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends every packet in one batch frame (one syscall, one
+    /// correlation id) and waits for the correlated batch response —
+    /// the peer answers with one response per packet, in request order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`call`](MuxLink::call), plus `InvalidData`
+    /// when the peer's batch response does not carry exactly one
+    /// response per request.
+    pub fn call_batch(
+        &self,
+        packets: &[Packet],
+        reply_timeout: Duration,
+    ) -> io::Result<Vec<Packet>> {
+        let body = self.exchange_correlated(reply_timeout, |scratch| {
+            wire::encode_batch_into(packets, scratch);
+        })?;
+        let responses = wire::parse_batch_bytes(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if responses.len() != packets.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "batch response carries {} packets for {} requests",
+                    responses.len(),
+                    packets.len()
+                ),
+            ));
+        }
+        Ok(responses)
+    }
+
+    /// Shared request/response core: allocates a correlation id, builds
+    /// `[len][corr][body]` in the writer's scratch buffer under the lock
+    /// (`encode_body` appends the body — a single packet or a batch
+    /// container), writes the frame in one syscall, and waits for the
+    /// correlated response body.
+    fn exchange_correlated(
+        &self,
+        reply_timeout: Duration,
+        encode_body: impl FnOnce(&mut Vec<u8>),
+    ) -> io::Result<Bytes> {
         if self.is_dead() {
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
@@ -229,7 +278,7 @@ impl MuxLink {
             w.scratch.clear();
             let at = frame::begin_frame(&mut w.scratch);
             w.scratch.extend_from_slice(&corr.to_be_bytes());
-            wire::encode_into(packet, &mut w.scratch);
+            encode_body(&mut w.scratch);
             frame::finish_frame(&mut w.scratch, at);
             let LinkWriter { stream, scratch } = &mut *w;
             if let Err(e) = stream.write_all(scratch) {
@@ -240,8 +289,7 @@ impl MuxLink {
             }
         }
         match rx.recv_timeout(reply_timeout) {
-            Ok(body) => wire::parse_bytes(&body)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Ok(body) => Ok(body),
             Err(RecvTimeoutError::Timeout) => {
                 self.demux.forget(corr);
                 Err(io::Error::new(

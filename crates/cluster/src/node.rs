@@ -61,7 +61,7 @@
 //! in-flight requests drain — a worker finishes the frame it is serving
 //! before it exits — and no thread outlives the node.
 
-use crate::frame::{self, encode_frame, FrameDecoder, MUX_PREAMBLE};
+use crate::frame::{self, FrameDecoder, MUX_PREAMBLE};
 use crate::mux::{DispatchPool, MuxLink, MuxMetrics};
 use crate::proto;
 use bytes::Bytes;
@@ -69,6 +69,7 @@ use gred_dataplane::{wire, ForwardDecision, NodeHotStats, Packet, PacketKind, Sw
 use gred_hash::DataId;
 use gred_net::ServerId;
 use gred_runtime::ShardedMap;
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -166,6 +167,27 @@ struct StoredItem {
 struct OneShotLink {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Reusable encode buffer, same scratch discipline as every other
+    /// send path (frame built in place, no intermediate allocation).
+    scratch: Vec<u8>,
+}
+
+/// Outcome of one local routing decision ([`Inner::route_step`]): either
+/// the response is ready, or the packet (already mutated for the hop —
+/// hops counted, relay/server headers set) must travel to peer `to`.
+/// Splitting the decision from the peer RPC is what lets
+/// [`Inner::handle_batch`] group every packet bound for the same next
+/// hop into a single batched RPC.
+enum Step {
+    /// The request was answered (or refused) on this node.
+    Respond(Packet),
+    /// The packet's next stop is peer switch `to`.
+    Forward {
+        /// Destination switch id.
+        to: usize,
+        /// The packet as it must appear on the wire to `to`.
+        packet: Packet,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -608,8 +630,20 @@ fn serve_plain_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: Socke
                         .mux_metrics
                         .frames_decoded
                         .fetch_add(1, Ordering::Relaxed);
-                    let reply = match wire::parse_bytes(&body) {
-                        Ok(packet) => inner.handle(packet),
+                    // A frame body is either one packet ("GR") or a batch
+                    // container ("GB"); the response takes the same form
+                    // the request arrived in.
+                    enum Parsed {
+                        One(Packet),
+                        Many(Vec<Packet>),
+                    }
+                    let parsed = if wire::is_batch(&body) {
+                        wire::parse_batch_bytes(&body).map(Parsed::Many)
+                    } else {
+                        wire::parse_bytes(&body).map(Parsed::One)
+                    };
+                    let parsed = match parsed {
+                        Ok(parsed) => parsed,
                         Err(e) => {
                             // The framing is intact but the body is not a
                             // GRED packet: drop the peer rather than
@@ -627,7 +661,14 @@ fn serve_plain_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: Socke
                     }
                     scratch.clear();
                     let at = frame::begin_frame(&mut scratch);
-                    wire::encode_into(&reply, &mut scratch);
+                    match parsed {
+                        Parsed::One(packet) => {
+                            wire::encode_into(&inner.handle(packet), &mut scratch)
+                        }
+                        Parsed::Many(packets) => {
+                            wire::encode_batch_into(&inner.handle_batch(packets), &mut scratch);
+                        }
+                    }
                     frame::finish_frame(&mut scratch, at);
                     if stream.write_all(&scratch).is_err() {
                         break 'conn;
@@ -738,6 +779,39 @@ fn serve_mux_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketA
                         inner.log(&format!("short mux frame from {peer}"));
                         break 'conn;
                     };
+                    if wire::is_batch(&payload) {
+                        let packets = match wire::parse_batch_bytes(&payload) {
+                            Ok(packets) => packets,
+                            Err(e) => {
+                                inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                inner.log(&format!("unparseable mux batch from {peer}: {e}"));
+                                break 'conn;
+                            }
+                        };
+                        // Inline only when *every* packet provably stays
+                        // local; one blocking packet sends the whole
+                        // batch to the pool so the reader never stalls.
+                        if packets.iter().all(|p| handles_without_blocking(inner, p)) {
+                            let replies = inner.handle_batch(packets);
+                            write_mux_batch_response(inner, &responder, corr, &replies);
+                        } else {
+                            outstanding.fetch_add(1, Ordering::AcqRel);
+                            let job_inner = Arc::clone(inner);
+                            let job_responder = Arc::clone(&responder);
+                            let job_outstanding = Arc::clone(&outstanding);
+                            inner.pool.submit(move || {
+                                let replies = job_inner.handle_batch(packets);
+                                write_mux_batch_response(
+                                    &job_inner,
+                                    &job_responder,
+                                    corr,
+                                    &replies,
+                                );
+                                job_outstanding.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        }
+                        continue;
+                    }
                     let packet = match wire::parse_bytes(&payload) {
                         Ok(packet) => packet,
                         Err(e) => {
@@ -797,6 +871,30 @@ fn serve_mux_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketA
 /// write half (called from the reader inline path and from pool workers
 /// alike; the lock keeps concurrent frames whole).
 fn write_mux_response(inner: &Inner, responder: &Mutex<MuxResponder>, corr: u64, reply: &Packet) {
+    write_mux_frame(inner, responder, corr, |scratch| {
+        wire::encode_into(reply, scratch);
+    });
+}
+
+/// Batch twin of [`write_mux_response`]: one frame, one write syscall,
+/// carrying every response of the batch under its correlation id.
+fn write_mux_batch_response(
+    inner: &Inner,
+    responder: &Mutex<MuxResponder>,
+    corr: u64,
+    replies: &[Packet],
+) {
+    write_mux_frame(inner, responder, corr, |scratch| {
+        wire::encode_batch_into(replies, scratch);
+    });
+}
+
+fn write_mux_frame(
+    inner: &Inner,
+    responder: &Mutex<MuxResponder>,
+    corr: u64,
+    encode_body: impl FnOnce(&mut Vec<u8>),
+) {
     let mut w = responder.lock().unwrap_or_else(PoisonError::into_inner);
     if w.scratch.capacity() > 0 {
         inner
@@ -807,7 +905,7 @@ fn write_mux_response(inner: &Inner, responder: &Mutex<MuxResponder>, corr: u64,
     w.scratch.clear();
     let at = frame::begin_frame(&mut w.scratch);
     w.scratch.extend_from_slice(&corr.to_be_bytes());
-    wire::encode_into(reply, &mut w.scratch);
+    encode_body(&mut w.scratch);
     frame::finish_frame(&mut w.scratch, at);
     let MuxResponder { stream, scratch } = &mut *w;
     if stream.write_all(scratch).is_err() {
@@ -882,24 +980,73 @@ impl Inner {
 
     /// Dispatches one request packet and produces its response.
     fn handle(&self, packet: Packet) -> Packet {
+        match self.route_step(packet) {
+            Step::Respond(resp) => resp,
+            Step::Forward { to, packet } => self.rpc(to, packet),
+        }
+    }
+
+    /// Dispatches a whole batch: every packet takes its local routing
+    /// step, then all packets bound for the same next hop travel in
+    /// **one** batched peer RPC instead of one RPC each. Responses come
+    /// back in request order, each carrying its own per-packet status —
+    /// a batch is observably identical to its packets sent singly.
+    fn handle_batch(&self, packets: Vec<Packet>) -> Vec<Packet> {
+        let mut out: Vec<Option<Packet>> = Vec::new();
+        out.resize_with(packets.len(), || None);
+        // BTreeMap for a deterministic peer order within a batch.
+        let mut groups: BTreeMap<usize, Vec<(usize, Packet)>> = BTreeMap::new();
+        for (i, packet) in packets.into_iter().enumerate() {
+            match self.route_step(packet) {
+                Step::Respond(resp) => out[i] = Some(resp),
+                Step::Forward { to, packet } => groups.entry(to).or_default().push((i, packet)),
+            }
+        }
+        for (to, group) in groups {
+            if group.len() == 1 {
+                // A lone packet keeps the plain RPC path (identical
+                // failure semantics, no batch container overhead).
+                for (i, packet) in group {
+                    out[i] = Some(self.rpc(to, packet));
+                }
+            } else {
+                let (slots, fwd): (Vec<usize>, Vec<Packet>) = group.into_iter().unzip();
+                for (i, resp) in slots.into_iter().zip(self.rpc_batch(to, fwd)) {
+                    out[i] = Some(resp);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|resp| resp.expect("every batched packet is answered"))
+            .collect()
+    }
+
+    /// One local routing decision: runs the same pipeline [`handle`]
+    /// always ran, but stops at the point where the packet would leave
+    /// this node, returning the prepared hop instead of performing it.
+    ///
+    /// [`handle`]: Inner::handle
+    fn route_step(&self, packet: Packet) -> Step {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         if packet.kind == PacketKind::RetrievalResponse {
             // Responses travel back up the RPC chain, never as requests.
-            return self.refuse(&packet, "response packet arrived as a request");
+            return Step::Respond(self.refuse(&packet, "response packet arrived as a request"));
         }
         if let Some(server) = proto::server_addressed(&packet) {
             if server.switch != self.id {
-                return self.refuse(&packet, "server-addressed packet at the wrong switch");
+                return Step::Respond(
+                    self.refuse(&packet, "server-addressed packet at the wrong switch"),
+                );
             }
-            return self.deliver_direct(packet.without_relay(), server);
+            return Step::Respond(self.deliver_direct(packet.without_relay(), server));
         }
         if let Some(header) = packet.relay {
             if header.relay != self.id {
-                return self.refuse(&packet, "relayed packet at the wrong switch");
+                return Step::Respond(self.refuse(&packet, "relayed packet at the wrong switch"));
             }
             if header.dest == self.id {
                 // Virtual-link endpoint: pop the header, resume greedy.
-                return self.greedy(packet.without_relay());
+                return self.greedy_step(packet.without_relay());
             }
             // Intermediate relay: rewrite d.relay to the tuple's succ.
             return match self.plane().relay_next(header.dest, header.sour) {
@@ -907,12 +1054,15 @@ impl Inner {
                     self.counters.relayed.fetch_add(1, Ordering::Relaxed);
                     let mut fwd = packet.clone().with_relay(header.sour, succ, header.dest);
                     fwd.hops = fwd.hops.saturating_add(1);
-                    self.rpc(succ, fwd)
+                    Step::Forward {
+                        to: succ,
+                        packet: fwd,
+                    }
                 }
-                None => self.refuse(&packet, "no relay tuple for the virtual link"),
+                None => Step::Respond(self.refuse(&packet, "no relay tuple for the virtual link")),
             };
         }
-        self.greedy(packet)
+        self.greedy_step(packet)
     }
 
     /// Greedy pipeline step at this switch (packet not in a virtual
@@ -920,12 +1070,14 @@ impl Inner {
     /// detours to the next-best live neighbor (or delivers locally) and
     /// counts each detour in the packet, aborting with a redirect once
     /// the budget is spent so a partitioned walk terminates observably.
-    fn greedy(&self, mut packet: Packet) -> Packet {
+    fn greedy_step(&self, mut packet: Packet) -> Step {
         let plane = self.plane();
         if plane.server_count() == 0 {
             // Transit switches only relay; they are never access points
             // and never DT members (mirrors `route`'s InvalidDynamics).
-            return self.refuse(&packet, "transit switch cannot run the greedy pipeline");
+            return Step::Respond(
+                self.refuse(&packet, "transit switch cannot run the greedy pipeline"),
+            );
         }
         let (decision, detoured) = {
             let now = self.now_ms();
@@ -944,14 +1096,14 @@ impl Inner {
                 .fetch_add(1, Ordering::Relaxed);
             packet.detours = packet.detours.saturating_add(1);
             if packet.detours > self.cfg.max_detours {
-                return self.redirect(&packet, "detour budget exhausted");
+                return Step::Respond(self.redirect(&packet, "detour budget exhausted"));
             }
         }
         match decision {
             ForwardDecision::DeliverLocal {
                 server,
                 extended_to,
-            } => self.deliver(packet, server, extended_to),
+            } => self.deliver_step(packet, server, extended_to),
             ForwardDecision::Forward {
                 neighbor,
                 next_hop,
@@ -964,18 +1116,26 @@ impl Inner {
                     packet
                 };
                 fwd.hops = fwd.hops.saturating_add(1);
-                self.rpc(next_hop, fwd)
+                Step::Forward {
+                    to: next_hop,
+                    packet: fwd,
+                }
             }
         }
     }
 
     /// Owner-switch delivery: this switch is closest to `H(d)`.
-    fn deliver(&self, packet: Packet, server: ServerId, extended_to: Option<ServerId>) -> Packet {
+    fn deliver_step(
+        &self,
+        packet: Packet,
+        server: ServerId,
+        extended_to: Option<ServerId>,
+    ) -> Step {
         match packet.kind {
             PacketKind::Placement => {
                 let target = extended_to.unwrap_or(server);
                 if target.switch == self.id {
-                    self.store_local(&packet, target)
+                    Step::Respond(self.store_local(&packet, target))
                 } else {
                     // The extension redirected the write to a server
                     // behind another switch. The redirected copy
@@ -984,7 +1144,10 @@ impl Inner {
                     self.store.remove(&packet.id);
                     let mut fwd = proto::address_to_server(packet, target);
                     fwd.hops = fwd.hops.saturating_add(1);
-                    self.rpc(target.switch, fwd)
+                    Step::Forward {
+                        to: target.switch,
+                        packet: fwd,
+                    }
                 }
             }
             PacketKind::Retrieval => {
@@ -993,21 +1156,25 @@ impl Inner {
                 // order is observably equivalent and keeps the response
                 // deterministic.
                 if let Some(found) = self.lookup_local(&packet, server) {
-                    return found;
+                    return Step::Respond(found);
                 }
                 match extended_to {
-                    Some(takeover) if takeover.switch == self.id => self
-                        .lookup_local(&packet, takeover)
-                        .unwrap_or_else(|| self.respond_miss(&packet)),
+                    Some(takeover) if takeover.switch == self.id => Step::Respond(
+                        self.lookup_local(&packet, takeover)
+                            .unwrap_or_else(|| self.respond_miss(&packet)),
+                    ),
                     Some(takeover) => {
                         let mut fwd = proto::address_to_server(packet, takeover);
                         fwd.hops = fwd.hops.saturating_add(1);
-                        self.rpc(takeover.switch, fwd)
+                        Step::Forward {
+                            to: takeover.switch,
+                            packet: fwd,
+                        }
                     }
-                    None => self.respond_miss(&packet),
+                    None => Step::Respond(self.respond_miss(&packet)),
                 }
             }
-            PacketKind::RetrievalResponse => unreachable!("rejected in handle()"),
+            PacketKind::RetrievalResponse => unreachable!("rejected in route_step()"),
         }
     }
 
@@ -1159,6 +1326,46 @@ impl Inner {
         }
     }
 
+    /// Sends every packet to peer `to` in one batch frame and returns
+    /// the per-packet responses in request order. When the batched path
+    /// fails in any way, every packet falls back to the per-packet
+    /// [`rpc`](Inner::rpc) — requests are idempotent, and the fallback
+    /// preserves the exact singles failure semantics (one-shot rescue,
+    /// suspicion marking, redirect responses).
+    fn rpc_batch(&self, to: usize, packets: Vec<Packet>) -> Vec<Packet> {
+        match self.mux_rpc_batch(to, &packets) {
+            Ok(responses) => {
+                self.clear_suspect(to);
+                responses
+            }
+            Err(e) => {
+                self.log(&format!(
+                    "batched rpc of {} packets to node {to} failed ({e}); \
+                     falling back to per-packet rpc",
+                    packets.len()
+                ));
+                packets.into_iter().map(|p| self.rpc(to, p)).collect()
+            }
+        }
+    }
+
+    /// Batch twin of [`mux_rpc`](Inner::mux_rpc): same link lifecycle
+    /// (timeouts leave the link alive, a dead link reconnects once).
+    fn mux_rpc_batch(&self, to: usize, packets: &[Packet]) -> io::Result<Vec<Packet>> {
+        let link = self.link(to)?;
+        match link.call_batch(packets, self.cfg.peer_reply_timeout) {
+            Ok(responses) => Ok(responses),
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => Err(e),
+            Err(_) => {
+                self.counters
+                    .link_reconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                let link = self.reconnect(to, &link)?;
+                link.call_batch(packets, self.cfg.peer_reply_timeout)
+            }
+        }
+    }
+
     /// The address and link slot for peer `to`, cloned out of the table
     /// so no table lock is held across connects or calls.
     fn peer_slot(&self, to: usize) -> io::Result<(SocketAddr, LinkSlot)> {
@@ -1219,20 +1426,36 @@ impl Inner {
         let mut link = OneShotLink {
             stream,
             decoder: FrameDecoder::new(),
+            scratch: Vec::new(),
         };
-        exchange(&mut link, packet, self.cfg.peer_reply_timeout)
+        exchange(
+            &mut link,
+            packet,
+            self.cfg.peer_reply_timeout,
+            &self.mux_metrics,
+        )
     }
 }
 
 /// Writes one request frame on `link` and reads exactly one response
-/// frame, with `reply_timeout` bounding the wait.
+/// frame, with `reply_timeout` bounding the wait. The frame is built in
+/// the link's scratch buffer via `begin_frame`/`encode_into`/
+/// `finish_frame` — the packet is encoded straight into the framed
+/// buffer, never encoded to a temporary and copied again.
 fn exchange(
     link: &mut OneShotLink,
     packet: &Packet,
     reply_timeout: Duration,
+    metrics: &MuxMetrics,
 ) -> io::Result<Packet> {
-    link.stream
-        .write_all(&encode_frame(&wire::encode(packet)))?;
+    if link.scratch.capacity() > 0 {
+        metrics.encode_buf_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+    link.scratch.clear();
+    let at = frame::begin_frame(&mut link.scratch);
+    wire::encode_into(packet, &mut link.scratch);
+    frame::finish_frame(&mut link.scratch, at);
+    link.stream.write_all(&link.scratch)?;
     let deadline = Instant::now() + reply_timeout;
     let mut buf = [0u8; 64 * 1024];
     loop {
@@ -1269,6 +1492,7 @@ fn exchange(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::encode_frame;
     use gred_geometry::Point2;
 
     fn spawn_single(server_count: usize) -> Node {
@@ -1390,6 +1614,118 @@ mod tests {
         assert_eq!(second.workers_joined, 0, "workers join exactly once");
         // The listener is closed: new connections are refused.
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn oneshot_exchange_reuses_its_encode_buffer() {
+        // Regression: `exchange` used to double-encode via
+        // `encode_frame(&wire::encode(packet))` — two allocations and a
+        // copy per frame, and the scratch-reuse metric never ticked.
+        let mut node = spawn_single(1);
+        let stream = TcpStream::connect(node.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut link = OneShotLink {
+            stream,
+            decoder: FrameDecoder::new(),
+            scratch: Vec::new(),
+        };
+        let metrics = MuxMetrics::default();
+        let id = DataId::new("oneshot");
+        let ack = exchange(
+            &mut link,
+            &Packet::placement(id.clone(), b"v".as_ref()),
+            Duration::from_secs(5),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(ack.status, gred_dataplane::ResponseStatus::Ok);
+        assert_eq!(
+            metrics.encode_buf_reuses.load(Ordering::Relaxed),
+            0,
+            "the first exchange encodes into a cold buffer"
+        );
+        let got = exchange(
+            &mut link,
+            &Packet::retrieval(id),
+            Duration::from_secs(5),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(got.payload.as_ref(), b"v");
+        assert_eq!(
+            metrics.encode_buf_reuses.load(Ordering::Relaxed),
+            1,
+            "the second exchange must reuse the warm scratch buffer"
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn plain_batch_frame_answers_every_packet_in_order() {
+        let mut node = spawn_single(2);
+        let requests = vec![
+            Packet::placement(DataId::new("batch/a"), b"va".as_ref()),
+            Packet::placement(DataId::new("batch/b"), b"vb".as_ref()),
+            Packet::retrieval(DataId::new("batch/a")),
+            Packet::retrieval(DataId::new("absent")),
+        ];
+        let mut stream = TcpStream::connect(node.addr()).unwrap();
+        let mut body = Vec::new();
+        wire::encode_batch_into(&requests, &mut body);
+        stream.write_all(&encode_frame(&body)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let replies = loop {
+            if let Some(frame_body) = decoder.next_frame().unwrap() {
+                break wire::parse_batch_bytes(&frame_body).unwrap();
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert_ne!(n, 0, "node closed without responding");
+            decoder.feed(&buf[..n]);
+        };
+        assert_eq!(replies.len(), 4, "one response per request, in order");
+        assert_eq!(replies[0].status, gred_dataplane::ResponseStatus::Ok);
+        assert_eq!(replies[1].status, gred_dataplane::ResponseStatus::Ok);
+        assert_eq!(replies[2].payload.as_ref(), b"va");
+        assert_eq!(replies[3].status, gred_dataplane::ResponseStatus::NotFound);
+        let report = node.shutdown();
+        assert_eq!(report.requests, 4, "each batched packet counts once");
+        assert_eq!(report.stored_items, 2);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn mux_batch_call_round_trips_through_a_node() {
+        let node = spawn_single(1);
+        let link = MuxLink::connect(
+            node.addr(),
+            Duration::from_secs(1),
+            Arc::new(MuxMetrics::default()),
+        )
+        .unwrap();
+        let places: Vec<Packet> = (0..5)
+            .map(|i| Packet::placement(DataId::new(format!("mb/{i}")), format!("v{i}")))
+            .collect();
+        let acks = link.call_batch(&places, Duration::from_secs(5)).unwrap();
+        assert!(acks
+            .iter()
+            .all(|a| a.status == gred_dataplane::ResponseStatus::Ok));
+        let gets: Vec<Packet> = (0..5)
+            .map(|i| Packet::retrieval(DataId::new(format!("mb/{i}"))))
+            .collect();
+        let replies = link.call_batch(&gets, Duration::from_secs(5)).unwrap();
+        for (i, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.id, gets[i].id, "responses keep request order");
+            assert_eq!(reply.payload.as_ref(), format!("v{i}").as_bytes());
+        }
+        link.close();
+        let mut node = node;
+        let report = node.shutdown();
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.errors, 0);
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! changed under the controller's feet, so the transport tears the
 //! cluster down (gracefully — shutdown bugs get exercised for free) and
 //! boots a fresh one from the network's current tables and store.
+//!
+//! A [`batched`](SocketTransport::new_batched) transport replays the
+//! identical schedule over the pipelined batch-frame channel instead of
+//! the lockstep path — the batch ≡ singles oracle: a batch must behave
+//! exactly like its packets sent singly, so the same schedule must
+//! produce the same servers, payloads, and misses either way.
 
-use crate::client::Client;
+use crate::client::{Client, Reply};
 use crate::cluster::{Cluster, ClusterConfig};
+use bytes::Bytes;
 use gred::GredNetwork;
+use gred_dataplane::ResponseStatus;
 use gred_hash::DataId;
 use gred_net::ServerId;
 use gred_testkit::TransportProbe;
@@ -27,6 +35,9 @@ pub struct SocketTransport {
     cfg: ClusterConfig,
     cluster: Option<Cluster>,
     clients: HashMap<usize, Client>,
+    /// When set, data ops travel as batch frames over the pipelined
+    /// channel instead of lockstep request/response.
+    batched: bool,
     /// Clusters booted over the transport's lifetime (≥ 1 after any op;
     /// +1 per resync).
     boots: usize,
@@ -39,7 +50,35 @@ impl SocketTransport {
             cfg,
             cluster: None,
             clients: HashMap::new(),
+            batched: false,
             boots: 0,
+        }
+    }
+
+    /// A transport whose data ops travel as (single-packet) batch
+    /// frames over the pipelined mux channel — every harness op crosses
+    /// the batch container, correlation layer, and batched node
+    /// responder instead of the lockstep path.
+    pub fn new_batched(cfg: ClusterConfig) -> SocketTransport {
+        let mut transport = SocketTransport::new(cfg);
+        transport.batched = true;
+        transport
+    }
+
+    /// Collapses a one-packet batched reply into the lockstep shape:
+    /// per-packet `Error`/`Redirect` statuses (which the pipelined API
+    /// deliberately leaves in [`Reply::status`]) become the violation
+    /// strings the singles path would have produced.
+    fn unbatch(op: &str, id: &DataId, access: usize, replies: Vec<Reply>) -> Result<Reply, String> {
+        let reply = replies.into_iter().next().expect("one reply per packet");
+        match reply.status {
+            ResponseStatus::Error => Err(format!(
+                "transport: batched {op} {id:?} via node {access} answered Error"
+            )),
+            ResponseStatus::Redirect => Err(format!(
+                "transport: batched {op} {id:?} via node {access} was redirected"
+            )),
+            _ => Ok(reply),
         }
     }
 
@@ -99,10 +138,20 @@ impl TransportProbe for SocketTransport {
         payload: &[u8],
         expected: ServerId,
     ) -> Vec<String> {
+        let batched = self.batched;
         let outcome = self.with_client(net, access, |client| {
-            client
-                .place(id, payload.to_vec())
-                .map_err(|e| format!("transport: place {id:?} via node {access}: {e}"))
+            if batched {
+                let replies = client
+                    .place_many(&[(id.clone(), Bytes::copy_from_slice(payload))])
+                    .map_err(|e| {
+                        format!("transport: batched place {id:?} via node {access}: {e}")
+                    })?;
+                SocketTransport::unbatch("place", id, access, replies)
+            } else {
+                client
+                    .place(id, payload.to_vec())
+                    .map_err(|e| format!("transport: place {id:?} via node {access}: {e}"))
+            }
         });
         match outcome {
             Ok(reply) => match reply.ack_server() {
@@ -126,10 +175,20 @@ impl TransportProbe for SocketTransport {
         id: &DataId,
         expected_payload: &[u8],
     ) -> Vec<String> {
+        let batched = self.batched;
         let outcome = self.with_client(net, access, |client| {
-            client
-                .retrieve(id)
-                .map_err(|e| format!("transport: retrieve {id:?} via node {access}: {e}"))
+            if batched {
+                let replies = client
+                    .retrieve_many(std::slice::from_ref(id))
+                    .map_err(|e| {
+                        format!("transport: batched retrieve {id:?} via node {access}: {e}")
+                    })?;
+                SocketTransport::unbatch("retrieve", id, access, replies)
+            } else {
+                client
+                    .retrieve(id)
+                    .map_err(|e| format!("transport: retrieve {id:?} via node {access}: {e}"))
+            }
         });
         match outcome {
             Ok(reply) if !reply.is_hit() => vec![format!(
@@ -146,10 +205,18 @@ impl TransportProbe for SocketTransport {
     }
 
     fn retrieve_missing(&mut self, net: &GredNetwork, access: usize, id: &DataId) -> Vec<String> {
+        let batched = self.batched;
         let outcome = self.with_client(net, access, |client| {
-            client
-                .retrieve(id)
-                .map_err(|e| format!("transport: retrieve missing {id:?}: {e}"))
+            if batched {
+                let replies = client
+                    .retrieve_many(std::slice::from_ref(id))
+                    .map_err(|e| format!("transport: batched retrieve missing {id:?}: {e}"))?;
+                SocketTransport::unbatch("retrieve missing", id, access, replies)
+            } else {
+                client
+                    .retrieve(id)
+                    .map_err(|e| format!("transport: retrieve missing {id:?}: {e}"))
+            }
         });
         match outcome {
             Ok(reply) if reply.is_hit() => vec![format!(
@@ -192,6 +259,32 @@ mod tests {
         assert!(
             outcome.failure.is_none(),
             "probed run diverged: {:?}",
+            outcome.failure
+        );
+        assert!(
+            transport.boots() >= 1,
+            "at least one cluster must have booted"
+        );
+    }
+
+    /// The batch ≡ singles oracle: the *same* schedule, replayed with
+    /// every data op crossing the batch container + pipelined channel,
+    /// must produce zero divergence from the in-process model — exactly
+    /// like the lockstep replay above.
+    #[test]
+    fn probed_replay_matches_the_batched_socket_cluster() {
+        let harness = Harness::new(HarnessConfig {
+            switches: 8,
+            max_switches: 10,
+            ..HarnessConfig::default()
+        });
+        let seed = 47;
+        let ops = generate(seed, 24);
+        let mut transport = SocketTransport::new_batched(ClusterConfig::default());
+        let outcome = harness.replay_probed(seed, &ops, &mut transport);
+        assert!(
+            outcome.failure.is_none(),
+            "batched probed run diverged: {:?}",
             outcome.failure
         );
         assert!(

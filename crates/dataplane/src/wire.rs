@@ -39,6 +39,10 @@ use gred_hash::DataId;
 
 /// Wire magic: ASCII "GR".
 const MAGIC: [u8; 2] = *b"GR";
+/// Batch-container magic: ASCII "GB". Distinguishable from a single
+/// packet at byte 1 (`'B'` vs `'R'`), so a node can sniff which form a
+/// frame body carries without a separate negotiation.
+const BATCH_MAGIC: [u8; 2] = *b"GB";
 /// Current header version.
 const VERSION: u8 = 1;
 /// Flag bit: a relay header follows the fixed header.
@@ -329,6 +333,103 @@ fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
     ))
 }
 
+/// Whether `bytes` starts with the batch-container magic — the sniff a
+/// node uses to decide whether a frame body is one packet (`"GR"`) or a
+/// batch of them (`"GB"`).
+pub fn is_batch(bytes: &[u8]) -> bool {
+    bytes.len() >= 2 && bytes[0..2] == BATCH_MAGIC
+}
+
+/// Serializes `packets` as one batch container by appending to `out`
+/// (not cleared — the cluster layer writes a frame prefix first):
+///
+/// ```text
+///  +-------+-------+-------+---------------+
+///  | magic "GB"    | ver=1 | count (u16 be)|
+///  +-------+-------+-------+---------------+
+///  | per packet: length (u32 be) + wire packet bytes
+///  +---------------------------------------+
+/// ```
+///
+/// One batch frame costs one syscall on each side instead of one per
+/// packet — the wire-level half of killing request/response lockstep.
+///
+/// # Panics
+///
+/// Panics if `packets` exceeds 65535 entries (the u16 count); callers
+/// chunk far below that.
+pub fn encode_batch_into(packets: &[Packet], out: &mut Vec<u8>) {
+    assert!(
+        packets.len() <= u16::MAX as usize,
+        "batch of {} packets exceeds the u16 count field",
+        packets.len()
+    );
+    out.extend_from_slice(&BATCH_MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(packets.len() as u16).to_be_bytes());
+    for packet in packets {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        encode_into(packet, out);
+        let len = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&len.to_be_bytes());
+    }
+}
+
+/// Parses a batch container, slicing each packet's payload out of `body`
+/// with no copy (same zero-copy contract as [`parse_bytes`]).
+///
+/// # Errors
+///
+/// [`ParseError::BadMagic`]/[`ParseError::BadVersion`] for a corrupt
+/// container header, [`ParseError::Truncated`] when the advertised
+/// packet lengths overrun the body, [`ParseError::TrailingGarbage`] for
+/// bytes past the last packet, and any per-packet parse error as-is.
+pub fn parse_batch_bytes(body: &Bytes) -> Result<Vec<Packet>, ParseError> {
+    const HEADER: usize = 2 + 1 + 2;
+    if body.len() < HEADER {
+        return Err(ParseError::Truncated {
+            needed: HEADER,
+            have: body.len(),
+        });
+    }
+    if body[0..2] != BATCH_MAGIC {
+        return Err(ParseError::BadMagic);
+    }
+    if body[2] != VERSION {
+        return Err(ParseError::BadVersion(body[2]));
+    }
+    let count = u16::from_be_bytes([body[3], body[4]]) as usize;
+    let mut packets = Vec::with_capacity(count);
+    let mut offset = HEADER;
+    for _ in 0..count {
+        if body.len() < offset + 4 {
+            return Err(ParseError::Truncated {
+                needed: offset + 4,
+                have: body.len(),
+            });
+        }
+        let len =
+            u32::from_be_bytes(body[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        offset += 4;
+        if body.len() < offset + len {
+            return Err(ParseError::Truncated {
+                needed: offset + len,
+                have: body.len(),
+            });
+        }
+        let slice = body.slice(offset..offset + len);
+        packets.push(parse_bytes(&slice)?);
+        offset += len;
+    }
+    if offset != body.len() {
+        return Err(ParseError::TrailingGarbage {
+            extra: body.len() - offset,
+        });
+    }
+    Ok(packets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +620,90 @@ mod tests {
     }
 
     #[test]
+    fn batch_round_trip_preserves_order_and_contents() {
+        let packets = vec![
+            Packet::placement(DataId::new("a"), b"one".as_ref()),
+            Packet::retrieval(DataId::new("b")),
+            Packet::response(DataId::new("c"), b"three".as_ref()),
+            Packet::retrieval(DataId::new("d")).with_relay(1, 2, 3),
+        ];
+        let mut buf = Vec::new();
+        encode_batch_into(&packets, &mut buf);
+        assert!(is_batch(&buf));
+        let parsed = parse_batch_bytes(&Bytes::from(buf)).unwrap();
+        assert_eq!(parsed, packets);
+    }
+
+    #[test]
+    fn batch_sniff_rejects_single_packets_and_vice_versa() {
+        let single = encode(&sample());
+        assert!(!is_batch(&single));
+        // A batch body fails the single-packet parser on magic, so a
+        // mis-sniffed frame can never be half-parsed as the wrong form.
+        let mut batch = Vec::new();
+        encode_batch_into(std::slice::from_ref(&sample()), &mut batch);
+        assert_eq!(parse(&batch), Err(ParseError::BadMagic));
+        assert_eq!(
+            parse_batch_bytes(&Bytes::from(single)),
+            Err(ParseError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let mut buf = Vec::new();
+        encode_batch_into(&[], &mut buf);
+        assert_eq!(parse_batch_bytes(&Bytes::from(buf)).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn batch_appends_after_existing_bytes() {
+        // The cluster layer writes `[len][corr]` first; the container
+        // must append, not clear.
+        let mut buf = vec![0xAA, 0xBB];
+        encode_batch_into(std::slice::from_ref(&sample()), &mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        let parsed = parse_batch_bytes(&Bytes::copy_from_slice(&buf[2..])).unwrap();
+        assert_eq!(parsed, vec![sample()]);
+    }
+
+    #[test]
+    fn batch_truncation_and_trailing_garbage_rejected() {
+        let packets = vec![sample(), Packet::retrieval(DataId::new("k"))];
+        let mut buf = Vec::new();
+        encode_batch_into(&packets, &mut buf);
+        for len in 0..buf.len() {
+            assert!(
+                parse_batch_bytes(&Bytes::copy_from_slice(&buf[..len])).is_err(),
+                "prefix of {len} bytes must not parse"
+            );
+        }
+        let mut extra = buf.clone();
+        extra.push(0xFF);
+        assert_eq!(
+            parse_batch_bytes(&Bytes::from(extra)),
+            Err(ParseError::TrailingGarbage { extra: 1 })
+        );
+        let mut bad_version = buf.clone();
+        bad_version[2] = 9;
+        assert_eq!(
+            parse_batch_bytes(&Bytes::from(bad_version)),
+            Err(ParseError::BadVersion(9))
+        );
+    }
+
+    #[test]
+    fn batch_payloads_share_the_body_allocation() {
+        let packets = vec![Packet::response(DataId::new("k"), b"zero-copy".as_ref())];
+        let mut buf = Vec::new();
+        encode_batch_into(&packets, &mut buf);
+        let body = Bytes::from(buf);
+        let parsed = parse_batch_bytes(&body).unwrap();
+        let offset = body.len() - packets[0].payload.len();
+        assert_eq!(parsed[0].payload, body.slice(offset..));
+    }
+
+    #[test]
     fn error_display() {
         assert!(ParseError::BadMagic.to_string().contains("magic"));
         assert!(ParseError::Truncated { needed: 5, have: 2 }
@@ -599,6 +784,35 @@ mod tests {
                 parse(&b),
                 Err(ParseError::TrailingGarbage { extra: garbage.len() })
             );
+        }
+
+        /// Any mix of packets survives a batch round trip in order, and
+        /// the batch parser never panics on arbitrary bytes.
+        #[test]
+        fn prop_batch_round_trip(
+            specs in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..16),
+                 proptest::collection::vec(any::<u8>(), 0..64),
+                 0u8..3),
+                0..12,
+            ),
+            junk in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let packets: Vec<Packet> = specs
+                .into_iter()
+                .map(|(id, payload, kind)| {
+                    let id = DataId::from_bytes(id);
+                    match kind {
+                        0 => Packet::placement(id, payload),
+                        1 => Packet::retrieval(id),
+                        _ => Packet::response(id, payload),
+                    }
+                })
+                .collect();
+            let mut buf = Vec::new();
+            encode_batch_into(&packets, &mut buf);
+            prop_assert_eq!(parse_batch_bytes(&Bytes::from(buf)).unwrap(), packets);
+            let _ = parse_batch_bytes(&Bytes::from(junk)); // total, never panics
         }
     }
 }

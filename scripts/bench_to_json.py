@@ -14,12 +14,19 @@ Supported groups:
     rebuild and the speedup over the serial (threads=1) build.
 
 ``cluster_throughput``
-    Bench ids ``{switches}sw_{clients}c``; reports the end-to-end
-    loopback TCP request rate per client-thread count. The rate is the
-    *aggregate wall-clock* rate — total requests executed across every
-    timed batch divided by the total time those batches took
-    (``elements * total_iters / total_ns``) — not the median batch mean
-    dressed up as a rate, which understates variance-heavy runs.
+    Bench ids ``{switches}sw_{clients}c[_{variant}]``; reports the
+    end-to-end loopback TCP request rate per client-thread count. A
+    bare id is the write-one/read-one baseline and is tagged
+    ``"variant": "lockstep"``; the suffix names the others (currently
+    ``pipelined`` — batch frames over the correlated channel — and
+    ``contention`` — few switches, many clients). Tagging keeps
+    ``--before`` comparisons honest: a pipelined row is only ever
+    compared with a pipelined row. Pipelined rows also carry
+    ``speedup_vs_lockstep`` against the same-shape lockstep row. The
+    rate is the *aggregate wall-clock* rate — total requests executed
+    across every timed batch divided by the total time those batches
+    took (``elements * total_iters / total_ns``) — not the median batch
+    mean dressed up as a rate, which understates variance-heavy runs.
 
 ``--before PRIOR.json`` embeds a previously committed summary's results
 under ``"before"`` so a regenerated file carries its own baseline.
@@ -121,9 +128,13 @@ def fold_controller_build(latest):
 def fold_cluster_throughput(latest):
     results = []
     for bench, rec in sorted(latest.items()):
-        m = re.fullmatch(r"(\d+)sw_(\d+)c", bench)
+        # Variant-tagged ids: a bare `{n}sw_{k}c` is the lockstep
+        # baseline; a suffix (`_pipelined`, `_contention`, ...) names the
+        # variant so unlike rows are never folded together.
+        m = re.fullmatch(r"(\d+)sw_(\d+)c(?:_([a-z]+))?", bench)
         if not m:
             sys.exit(f"unexpected bench id {bench!r}")
+        variant = m.group(3) or "lockstep"
         elements = rec.get("throughput_elements")
         if not elements:
             sys.exit(f"bench {bench!r} is missing throughput_elements")
@@ -141,12 +152,25 @@ def fold_cluster_throughput(latest):
             {
                 "switches": int(m.group(1)),
                 "client_threads": int(m.group(2)),
+                "variant": variant,
                 "batch_requests": elements,
                 "mean_batch_ms": round(rec["mean_ns"] / 1e6, 3),
                 "requests_per_sec": round(rate, 1),
             }
         )
-    results.sort(key=lambda r: (r["switches"], r["client_threads"]))
+    results.sort(key=lambda r: (r["variant"], r["switches"], r["client_threads"]))
+
+    # Like-with-like speedup: each pipelined row against the lockstep
+    # row of the same cluster size and thread count.
+    lockstep = {
+        (r["switches"], r["client_threads"]): r["requests_per_sec"]
+        for r in results
+        if r["variant"] == "lockstep"
+    }
+    for r in results:
+        if r["variant"] == "pipelined":
+            base = lockstep.get((r["switches"], r["client_threads"]))
+            r["speedup_vs_lockstep"] = round(r["requests_per_sec"] / base, 2) if base else None
 
     return {
         "benchmark": "cluster_throughput",
@@ -164,7 +188,9 @@ def fold_cluster_throughput(latest):
             "so added client concurrency has no idle time to reclaim: "
             "flat scaling is the physical ceiling there, and the "
             "multi-client numbers measure how little the concurrency "
-            "costs, not a parallel speedup."
+            "costs, not a parallel speedup. The pipelined variant's gain "
+            "over lockstep is syscall amortization on that same core "
+            "(batch frames, one write per burst), not extra parallelism."
         ),
         "results": results,
     }

@@ -157,6 +157,118 @@ fn loopback_cluster_matches_the_in_process_data_plane() {
     );
 }
 
+/// Batched parity: the same 200-op workload shipped as pipelined batch
+/// frames (bursts of `place_many`/`retrieve_many`) must drive the data
+/// plane *identically* to sending every packet singly — same ack
+/// servers, same hop counts, same per-switch `packets_processed` as the
+/// in-process twin that walks each request one at a time. This is the
+/// batch ≡ singles acceptance bar for the batched transport.
+#[test]
+fn pipelined_batches_match_the_in_process_data_plane() {
+    const BURST: usize = 25;
+
+    let net = build_network();
+    let mut twin = build_network();
+    for plane in twin.dataplanes() {
+        plane.reset_counters();
+    }
+
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    let members = net.members().to_vec();
+    let mut lcg = Lcg(SEED);
+    let mut clients: HashMap<usize, gred_cluster::Client> = HashMap::new();
+
+    // Place OPS ids in bursts of BURST, each burst entering through one
+    // rotating access member; the twin places the same ids singly from
+    // the same access node.
+    for burst in 0..OPS / BURST {
+        let access = members[lcg.next() as usize % members.len()];
+        let items: Vec<(gred_hash::DataId, bytes::Bytes)> = (0..BURST)
+            .map(|j| {
+                let i = burst * BURST + j;
+                (
+                    DataId::new(format!("batched/{i}")),
+                    bytes::Bytes::from(format!("payload/{SEED}/{i}")),
+                )
+            })
+            .collect();
+        let client = clients
+            .entry(access)
+            .or_insert_with(|| cluster.client(access).expect("client connects"));
+        let replies = client
+            .place_many(&items)
+            .unwrap_or_else(|e| panic!("burst {burst} via {access} failed: {e}"));
+        assert_eq!(replies.len(), items.len());
+        for (j, ((id, payload), reply)) in items.iter().zip(&replies).enumerate() {
+            let receipt = twin
+                .place(id, payload.to_vec(), access)
+                .expect("twin placement succeeds");
+            assert!(reply.is_hit(), "burst {burst} item {j} not acked");
+            assert_eq!(
+                reply.ack_server(),
+                Some(receipt.server),
+                "burst {burst} item {j}: batched ack disagrees with the twin's server"
+            );
+            assert_eq!(
+                u32::from(reply.hops),
+                receipt.route.physical_hops(),
+                "burst {burst} item {j}: batched hop count diverges from the twin"
+            );
+        }
+    }
+
+    // Retrieve all OPS ids as one big pipelined burst (several chunks
+    // deep) from a single seeded-random access member.
+    let retrieval_access = members[lcg.next() as usize % members.len()];
+    let mut reader = cluster
+        .client(retrieval_access)
+        .expect("retrieval client connects");
+    let ids: Vec<gred_hash::DataId> = (0..OPS)
+        .map(|i| DataId::new(format!("batched/{i}")))
+        .collect();
+    let replies = reader
+        .retrieve_many(&ids)
+        .unwrap_or_else(|e| panic!("batched retrieval via {retrieval_access} failed: {e}"));
+    assert_eq!(replies.len(), OPS);
+    for (i, (id, reply)) in ids.iter().zip(&replies).enumerate() {
+        let expected = twin
+            .retrieve(id, retrieval_access)
+            .expect("twin retrieval hits");
+        assert!(reply.is_hit(), "batched retrieve {i}: lost over TCP");
+        assert_eq!(
+            reply.payload.as_ref(),
+            expected.payload.as_ref(),
+            "batched retrieve {i}: payload corrupted in transit"
+        );
+        assert_eq!(
+            u32::from(reply.hops),
+            expected.route.physical_hops(),
+            "batched retrieve {i}: hop count diverges from the twin"
+        );
+    }
+
+    // Batch ≡ singles down to the per-switch packet counters: grouping
+    // packets into frames and peer RPCs must not add, drop, or reroute
+    // a single pipeline decision.
+    for switch in 0..SWITCHES {
+        assert_eq!(
+            cluster.node(switch).packets_processed(),
+            twin.dataplanes()[switch].packets_processed(),
+            "switch {switch}: batched packets_processed diverges from the twin"
+        );
+    }
+
+    drop(clients);
+    drop(reader);
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0, "zero lost requests required");
+    assert_eq!(
+        report.stored_items(),
+        OPS,
+        "every placed id is stored exactly once"
+    );
+}
+
 /// Contention variant: 8 client threads hammer a 4-switch cluster at
 /// once, so every node serves several concurrent client connections
 /// while answering nested peer RPCs over the same multiplexed links.
