@@ -18,6 +18,11 @@
 //!   batched greedy forwarding between nodes.
 //! - **contention** (`4sw_8c_contention`): few switches, many clients,
 //!   stressing the shared multiplexed peer links.
+//! - **reactor** (`16sw_1c_reactor`): the pipelined burst again, but
+//!   with 1000 idle client connections parked on the access node — the
+//!   readiness reactor must keep per-connection cost at zero, so this
+//!   row should match the plain pipelined one (the thread-per-
+//!   connection runtime could not even hold the sockets).
 //!
 //! Convert the results into `BENCH_cluster_throughput.json` with
 //! `scripts/bench_to_json.py --group cluster_throughput` after a run.
@@ -187,5 +192,45 @@ fn bench_cluster_contention(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_cluster_throughput, bench_cluster_contention);
+/// Reactor variant: the single-client pipelined burst with 1000 idle
+/// client connections parked on the same access node. Idle sockets are
+/// pure epoll registrations — no threads, no wakeups — so this row must
+/// match the plain `16sw_1c_pipelined` one; a gap means per-connection
+/// cost crept back into the runtime.
+const PARKED_CONNS: usize = 1000;
+
+fn bench_cluster_reactor(c: &mut Criterion) {
+    let (net, cluster) = boot(SWITCHES);
+    let members = net.members().to_vec();
+    seed_store(&cluster, members[0]);
+
+    let _parked: Vec<Client> = (0..PARKED_CONNS)
+        .map(|i| {
+            cluster
+                .client(members[0])
+                .unwrap_or_else(|e| panic!("parked client {i} connects: {e:?}"))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQS as u64));
+    let mut conns: Vec<Client> = vec![cluster.client(members[0]).expect("bench client connects")];
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{SWITCHES}sw_1c_reactor")),
+        &1usize,
+        |b, _| b.iter(|| fire_batch_pipelined(&mut conns)),
+    );
+    group.finish();
+    drop(_parked);
+    let report = cluster.shutdown();
+    println!("cluster_reactor hot stats: {}", report.hot_stats());
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_throughput,
+    bench_cluster_contention,
+    bench_cluster_reactor
+);
 criterion_main!(benches);

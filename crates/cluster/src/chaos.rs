@@ -31,11 +31,13 @@ use crate::node::NodeConfig;
 use gred::GredNetwork;
 use gred_hash::DataId;
 use gred_net::{ServerId, ServerPool, Topology};
+use gred_runtime::reactor::{Events, Interest, Poller};
 use gred_testkit::{ChaosAction, ChaosPlan, TransportProbe};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -74,6 +76,10 @@ struct LinkCtl {
 struct FabricShared {
     stop: AtomicBool,
     ctl: Mutex<FabricCtl>,
+    /// The shared reactor poller: every proxy listener and connection is
+    /// registered read-interest, so an idle fabric blocks instead of
+    /// ticking. Control changes (`set_mode`, new proxies, stop) wake it.
+    poller: Poller,
 }
 
 #[derive(Default)]
@@ -129,6 +135,7 @@ impl ChaosFabric {
         let shared = Arc::new(FabricShared {
             stop: AtomicBool::new(false),
             ctl: Mutex::new(FabricCtl::default()),
+            poller: Poller::new().expect("creating the fabric poller"),
         });
         let poller_shared = Arc::clone(&shared);
         let poller = thread::Builder::new()
@@ -155,6 +162,8 @@ impl ChaosFabric {
         if let Some(link) = ctl.links.get_mut(&(from, to)) {
             link.mode = mode;
         }
+        drop(ctl);
+        self.shared.poller.wake();
     }
 
     /// The current mode of `from → to`, if that link exists.
@@ -169,6 +178,8 @@ impl ChaosFabric {
         for link in ctl.links.values_mut() {
             link.mode = LinkMode::Open;
         }
+        drop(ctl);
+        self.shared.poller.wake();
     }
 
     /// Stops the poller and drops every proxy.
@@ -178,6 +189,7 @@ impl ChaosFabric {
 
     fn stop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        self.shared.poller.wake();
         if let Some(handle) = self.poller.take() {
             let _ = handle.join();
         }
@@ -213,17 +225,28 @@ fn proxy_addr(shared: &FabricShared, from: usize, to: usize, real: SocketAddr) -
         },
     );
     ctl.incoming.push(((from, to), listener));
+    drop(ctl);
+    shared.poller.wake();
     addr
 }
 
+/// Registration token shared by every fabric fd. Tokens are not used
+/// for dispatch — any wakeup runs a full service pass over every link,
+/// and each pass reads every socket to `WouldBlock`, so level-triggered
+/// readiness never re-fires for data the pass already consumed.
+const FABRIC_TOKEN: u64 = 0;
+
 fn poll_loop(shared: &FabricShared) {
     let mut links: Vec<ProxyLink> = Vec::new();
-    let mut last_moved = Instant::now();
+    let mut events = Events::with_capacity(256);
     while !shared.stop.load(Ordering::Acquire) {
         // Snapshot controls and adopt freshly bound listeners.
         let modes: HashMap<(usize, usize), LinkCtl> = {
             let mut ctl = shared.ctl.lock().expect("fabric lock");
             for (key, listener) in ctl.incoming.drain(..) {
+                let _ = shared
+                    .poller
+                    .register(listener.as_raw_fd(), FABRIC_TOKEN, Interest::READ);
                 links.push(ProxyLink {
                     key,
                     listener,
@@ -232,36 +255,37 @@ fn poll_loop(shared: &FabricShared) {
             }
             ctl.links.clone()
         };
-        let mut moved = false;
         for link in &mut links {
             let Some(ctl) = modes.get(&link.key) else {
                 continue;
             };
-            moved |= service_link(link, ctl);
+            service_link(link, ctl, &shared.poller);
         }
-        // Adaptive tick: keep spinning for a grace period after the last
-        // byte moved — a request's reply usually arrives within it, so
-        // per-hop proxy latency stays in the microseconds — then park.
-        if moved {
-            last_moved = Instant::now();
-        } else if last_moved.elapsed() < Duration::from_micros(300) {
-            thread::yield_now();
-        } else {
-            thread::sleep(Duration::from_micros(500));
+        // Queued chunks (delay injection, or a downstream write that
+        // would block) need a timed retry; with nothing queued, block
+        // until a socket fires or a control change wakes us — an idle
+        // fabric burns no CPU.
+        let queued = links.iter().any(|l| {
+            l.conns
+                .iter()
+                .any(|c| !c.up.is_empty() || !c.down.is_empty())
+        });
+        let timeout = queued.then_some(Duration::from_millis(1));
+        if shared.poller.wait(&mut events, timeout).is_err() {
+            break;
         }
     }
 }
 
-/// Services one link's listener and connections; returns whether any
-/// byte moved (drives the poller's adaptive tick).
-fn service_link(link: &mut ProxyLink, ctl: &LinkCtl) -> bool {
-    let mut moved = false;
+/// Services one link's listener and connections. New connections are
+/// registered with the fabric poller; severed or dead ones are
+/// deregistered as they drop.
+fn service_link(link: &mut ProxyLink, ctl: &LinkCtl, poller: &Poller) {
     // Accept new dials. Severed links accept-and-drop so the dialer sees
     // a prompt EOF rather than a connect timeout.
     loop {
         match link.listener.accept() {
             Ok((client, _)) => {
-                moved = true;
                 if ctl.mode == LinkMode::Severed {
                     drop(client);
                     continue;
@@ -275,12 +299,25 @@ fn service_link(link: &mut ProxyLink, ctl: &LinkCtl) -> bool {
                 let server = TcpStream::connect_timeout(&ctl.target, Duration::from_millis(100))
                     .ok()
                     .and_then(|s| s.set_nonblocking(true).ok().map(|()| s));
-                if server.is_none() {
+                let Some(server) = server else {
                     continue; // drops `client`
+                };
+                if poller
+                    .register(client.as_raw_fd(), FABRIC_TOKEN, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                if poller
+                    .register(server.as_raw_fd(), FABRIC_TOKEN, Interest::READ)
+                    .is_err()
+                {
+                    let _ = poller.deregister(client.as_raw_fd());
+                    continue;
                 }
                 link.conns.push(ProxyConn {
                     client,
-                    server,
+                    server: Some(server),
                     up: VecDeque::new(),
                     down: VecDeque::new(),
                     dead: false,
@@ -291,8 +328,10 @@ fn service_link(link: &mut ProxyLink, ctl: &LinkCtl) -> bool {
         }
     }
     if ctl.mode == LinkMode::Severed {
-        link.conns.clear();
-        return moved;
+        for conn in link.conns.drain(..) {
+            conn.deregister(poller);
+        }
+        return;
     }
     let delay = match ctl.mode {
         LinkMode::Delay(d) => d,
@@ -300,24 +339,33 @@ fn service_link(link: &mut ProxyLink, ctl: &LinkCtl) -> bool {
     };
     let black_hole = ctl.mode == LinkMode::BlackHole;
     for conn in &mut link.conns {
-        moved |= service_conn(conn, delay, black_hole);
+        service_conn(conn, delay, black_hole);
+    }
+    for conn in link.conns.iter().filter(|c| c.dead) {
+        conn.deregister(poller);
     }
     link.conns.retain(|c| !c.dead);
-    moved
 }
 
-/// Shuttles one connection's bytes; returns whether any byte moved.
-fn service_conn(conn: &mut ProxyConn, delay: Duration, black_hole: bool) -> bool {
+impl ProxyConn {
+    fn deregister(&self, poller: &Poller) {
+        let _ = poller.deregister(self.client.as_raw_fd());
+        if let Some(server) = &self.server {
+            let _ = poller.deregister(server.as_raw_fd());
+        }
+    }
+}
+
+/// Shuttles one connection's bytes.
+fn service_conn(conn: &mut ProxyConn, delay: Duration, black_hole: bool) {
     let now = Instant::now();
     let mut buf = [0u8; 8192];
-    let mut moved = false;
 
     // Ingest from both ends. A black-holed link keeps reading (writes on
     // the node side must succeed) but never enqueues.
     match conn.client.read(&mut buf) {
         Ok(0) => conn.dead = true,
         Ok(n) => {
-            moved = true;
             if !black_hole {
                 conn.up.push_back((now, buf[..n].to_vec()));
             }
@@ -329,7 +377,6 @@ fn service_conn(conn: &mut ProxyConn, delay: Duration, black_hole: bool) -> bool
         match server.read(&mut buf) {
             Ok(0) => conn.dead = true,
             Ok(n) => {
-                moved = true;
                 if !black_hole {
                     conn.down.push_back((now, buf[..n].to_vec()));
                 }
@@ -339,20 +386,19 @@ fn service_conn(conn: &mut ProxyConn, delay: Duration, black_hole: bool) -> bool
         }
     }
     if conn.dead || black_hole {
-        return moved;
+        return;
     }
 
     // Flush chunks that have served their delay, preserving order.
     if let Some(server) = &mut conn.server {
         if !flush(&mut conn.up, server, delay, now) {
             conn.dead = true;
-            return moved;
+            return;
         }
     }
     if !flush(&mut conn.down, &mut conn.client, delay, now) {
         conn.dead = true;
     }
-    moved
 }
 
 /// Writes every due chunk of `queue` to `out`; returns `false` when the

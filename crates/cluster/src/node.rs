@@ -2,14 +2,24 @@
 //!
 //! A [`Node`] is one GRED switch promoted to a real network endpoint:
 //!
-//! - an **accept loop** (one thread) takes connections on the node's TCP
-//!   listener; it polls a non-blocking listener so a shutdown flag can
-//!   stop it deterministically,
-//! - a **worker thread per connection** sniffs the first byte to decide
-//!   the protocol — a plain client connection (frames served in order on
-//!   this thread) or a multiplexed peer link announced by
-//!   [`MUX_PREAMBLE`] (frames dispatched concurrently, see below) —
-//!   reassembling frames with [`FrameDecoder`] either way,
+//! - a **reactor** (one thread) owns all inbound I/O: the listener and
+//!   every accepted socket are nonblocking and registered with a
+//!   level-triggered epoll [`Poller`], so ten thousand mostly-idle
+//!   connections cost file descriptors, not threads. Each connection is
+//!   a small state machine — sniff the first bytes to decide the
+//!   protocol (a plain client connection, or a multiplexed peer link
+//!   announced by [`MUX_PREAMBLE`]), reassemble frames with the sticky
+//!   incremental [`FrameDecoder`], absorb partial writes in a
+//!   [`WriteQueue`] — and the reactor only ever runs work that cannot
+//!   block: requests it can prove stay local are answered inline, and
+//!   everything else is handed to the dispatch pool,
+//! - the **dispatch pool** ([`DispatchPool`], grow-on-demand with idle-
+//!   token reservation) executes requests whose greedy pipeline may
+//!   block on a nested peer RPC. A finished worker encodes its response
+//!   into the connection's shared outbox and wakes the poller; the
+//!   reactor moves the bytes onto the socket. Plain connections stay
+//!   strictly in-order (one dispatched frame at a time, later frames
+//!   queue); mux connections interleave freely under correlation ids,
 //! - the **dispatcher** runs the identical greedy pipeline the in-process
 //!   plane runs ([`SwitchDataplane::decide`] /
 //!   [`SwitchDataplane::relay_next`]) and, when the decision is to
@@ -53,13 +63,14 @@
 //!
 //! # Shutdown
 //!
-//! [`Node::shutdown`] flips an atomic flag, joins the accept thread
-//! (closing the listener), closes every mux link (failing any waiter
-//! still blocked in a chain, so nested RPCs error out fast instead of
-//! running to their timeouts), then joins every connection worker and
-//! the dispatch pool. Workers poll the flag between read timeouts, so
-//! in-flight requests drain — a worker finishes the frame it is serving
-//! before it exits — and no thread outlives the node.
+//! [`Node::shutdown`] flips an atomic flag and wakes the poller, closes
+//! every mux link (failing any waiter still blocked in a chain, so
+//! nested RPCs error out fast instead of running to their timeouts),
+//! then joins the reactor and the dispatch pool. The reactor drains in
+//! two phases: it first closes the listener and stops reading (no new
+//! work), then keeps flushing until every dispatched request has written
+//! its response — bounded by the peer reply timeout — before closing
+//! all connections. No thread outlives the node.
 
 use crate::frame::{self, FrameDecoder, MUX_PREAMBLE};
 use crate::mux::{DispatchPool, MuxLink, MuxMetrics};
@@ -68,10 +79,14 @@ use bytes::Bytes;
 use gred_dataplane::{wire, ForwardDecision, NodeHotStats, Packet, PacketKind, SwitchDataplane};
 use gred_hash::DataId;
 use gred_net::ServerId;
+use gred_runtime::reactor::{
+    set_listen_backlog, Event, Events, Interest, Poller, WriteQueue, WAKE_TOKEN,
+};
 use gred_runtime::ShardedMap;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -86,10 +101,11 @@ pub const LOG_DIR_ENV: &str = "GRED_CLUSTER_LOG_DIR";
 /// Tuning knobs for a [`Node`].
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
-    /// Accept-loop sleep between polls of the non-blocking listener.
+    /// Reactor tick while draining for shutdown (steady-state waits are
+    /// purely event-driven — an idle node burns no CPU).
     pub poll_interval: Duration,
-    /// Read timeout on every stream — the granularity at which blocked
-    /// readers notice the shutdown flag.
+    /// Read timeout on one-shot fallback links — the granularity at
+    /// which those blocked readers notice their deadline.
     pub read_timeout: Duration,
     /// Connect timeout for inter-node links.
     pub peer_connect_timeout: Duration,
@@ -108,6 +124,13 @@ pub struct NodeConfig {
     /// sticky: greedy avoids a suspect, so no RPC ever succeeds against
     /// it and nothing would clear the flag after the peer heals.
     pub suspect_ttl: Duration,
+    /// Accept backlog requested for the listener (clamped by the kernel
+    /// to `net.core.somaxconn`). `TcpListener::bind` hardcodes 128,
+    /// which a connect burst overflows whenever the reactor thread is
+    /// momentarily descheduled — the kernel then drops the overflowing
+    /// SYN and that dialer stalls a full ~1s retransmit timeout. A node
+    /// built to hold 10k+ connections needs queue headroom to match.
+    pub listen_backlog: u32,
     /// Directory for this node's log file; `None` disables logging.
     pub log_dir: Option<PathBuf>,
 }
@@ -123,6 +146,7 @@ impl Default for NodeConfig {
             peer_reply_timeout: Duration::from_secs(5),
             max_detours: 8,
             suspect_ttl: Duration::from_secs(2),
+            listen_backlog: 4096,
             log_dir: std::env::var_os(LOG_DIR_ENV).map(PathBuf::from),
         }
     }
@@ -144,7 +168,8 @@ pub struct NodeReport {
     pub delivered: u64,
     /// Requests that ended in an error response at this node.
     pub errors: u64,
-    /// Connection and dispatch-pool workers joined during shutdown.
+    /// Threads joined during shutdown: the reactor plus every
+    /// dispatch-pool worker.
     pub workers_joined: usize,
     /// Items in the local store at shutdown.
     pub stored_items: usize,
@@ -250,9 +275,11 @@ struct Inner {
     peers: RwLock<PeerTable>,
     store: ShardedMap<DataId, StoredItem>,
     shutdown: AtomicBool,
-    workers: Mutex<Vec<thread::JoinHandle<()>>>,
-    /// Serves requests arriving on multiplexed peer links; grow-on-demand
-    /// so a request never queues behind a blocked chain.
+    /// Channel back to the reactor thread: the poller (for wakeups) and
+    /// the list of connections whose outbox gained response bytes.
+    reactor: ReactorShared,
+    /// Serves requests that may block on a nested peer RPC; grow-on-
+    /// demand so a request never queues behind a blocked chain.
     pool: DispatchPool,
     counters: Counters,
     mux_metrics: Arc<MuxMetrics>,
@@ -266,7 +293,7 @@ struct Inner {
 pub struct Node {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    accept: Option<thread::JoinHandle<()>>,
+    reactor: Option<thread::JoinHandle<()>>,
 }
 
 impl Node {
@@ -287,6 +314,7 @@ impl Node {
     ) -> io::Result<Node> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        set_listen_backlog(listener.as_raw_fd(), cfg.listen_backlog)?;
         let log = match &cfg.log_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
@@ -305,7 +333,11 @@ impl Node {
             peers: RwLock::new(PeerTable::new(peer_addrs)),
             store: ShardedMap::new(),
             shutdown: AtomicBool::new(false),
-            workers: Mutex::new(Vec::new()),
+            reactor: ReactorShared {
+                poller: Poller::new()?,
+                ready: Mutex::new(Vec::new()),
+                conns_open: AtomicUsize::new(0),
+            },
             pool: DispatchPool::new(format!("gred-node-{id}")),
             counters: Counters::default(),
             mux_metrics: Arc::new(MuxMetrics::default()),
@@ -313,15 +345,27 @@ impl Node {
             log,
             booted: Instant::now(),
         });
+        inner
+            .reactor
+            .poller
+            .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
         inner.log(&format!("listening on {addr}"));
-        let accept_inner = Arc::clone(&inner);
-        let accept = thread::Builder::new()
-            .name(format!("gred-node-{id}-accept"))
-            .spawn(move || accept_loop(accept_inner, listener))?;
+        let reactor = Reactor {
+            inner: Arc::clone(&inner),
+            listener: Some(listener),
+            conns: Vec::new(),
+            free: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            draining: false,
+            deadline: None,
+        };
+        let handle = thread::Builder::new()
+            .name(format!("gred-node-{id}-reactor"))
+            .spawn(move || reactor.run())?;
         Ok(Node {
             inner,
             addr,
-            accept: Some(accept),
+            reactor: Some(handle),
         })
     }
 
@@ -465,22 +509,34 @@ impl Node {
         self.inner.store.insert(id, StoredItem { index, payload });
     }
 
+    /// Inbound connections the reactor currently holds open — the gauge
+    /// the connection-scale soak test asserts against.
+    pub fn open_connections(&self) -> usize {
+        self.inner.reactor.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// Dispatch-pool workers spawned over the node's lifetime. Together
+    /// with the single reactor thread this is the node's entire thread
+    /// budget — independent of how many connections are open.
+    pub fn dispatch_workers_spawned(&self) -> usize {
+        self.inner.pool.workers_spawned()
+    }
+
     /// Signals shutdown without waiting. [`Cluster`](crate::Cluster)
     /// flips every node's flag before joining any of them so peers stop
     /// accepting new work together.
     pub fn request_shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.reactor.poller.wake();
     }
 
-    /// Stops the node: signals shutdown, joins the accept thread (which
-    /// closes the listener), closes the mux links (failing any still-
-    /// blocked chain fast), and joins every connection worker and the
-    /// dispatch pool. In-flight requests drain first. Idempotent.
+    /// Stops the node: signals shutdown and wakes the poller, closes the
+    /// mux links (failing any still-blocked chain fast), then joins the
+    /// reactor — which drains in-flight requests, flushes their
+    /// responses, and closes the listener and every connection — and the
+    /// dispatch pool. Idempotent.
     pub fn shutdown(&mut self) -> NodeReport {
         self.request_shutdown();
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
         let slots: Vec<_> = {
             let peers = self
                 .inner
@@ -495,10 +551,10 @@ impl Node {
                 link.close();
             }
         }
-        let workers: Vec<_> = std::mem::take(&mut *self.inner.workers.lock().expect("workers"));
-        let mut joined = workers.len();
-        for handle in workers {
+        let mut joined = 0;
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
+            joined += 1;
         }
         joined += self.inner.pool.join();
         self.inner.log(&format!("stopped; joined {joined} workers"));
@@ -519,7 +575,7 @@ impl Node {
 
 impl Drop for Node {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.reactor.is_some() {
             let _ = self.shutdown();
         }
     }
@@ -534,176 +590,678 @@ impl std::fmt::Debug for Node {
     }
 }
 
-fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
-    loop {
-        if inner.shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                inner.log(&format!("accepted {peer}"));
-                let worker_inner = Arc::clone(&inner);
-                let spawned = thread::Builder::new()
-                    .name(format!("gred-node-{}-conn", inner.id))
-                    .spawn(move || serve_connection(&worker_inner, stream, peer));
-                match spawned {
-                    Ok(handle) => inner.workers.lock().expect("workers").push(handle),
-                    Err(e) => inner.log(&format!("failed to spawn worker: {e}")),
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(inner.cfg.poll_interval);
-            }
-            Err(e) => {
-                inner.log(&format!("accept error: {e}"));
-                thread::sleep(inner.cfg.poll_interval);
-            }
-        }
-    }
-    // Dropping the listener here closes it: new connections are refused
-    // while existing workers drain.
-    drop(listener);
+/// Registration token of the node's TCP listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Connection tokens start here: `token = FIRST_CONN_TOKEN + slot`.
+const FIRST_CONN_TOKEN: u64 = 1;
+
+/// State shared between the reactor thread, the dispatch pool, and the
+/// node's public API.
+struct ReactorShared {
+    /// The epoll instance; [`Poller::wake`] interrupts the reactor's
+    /// wait (shutdown requests, finished pool responses).
+    poller: Poller,
+    /// Connections whose outbox gained response bytes since the reactor
+    /// last looked. Workers push here, then wake the poller.
+    ready: Mutex<Vec<Arc<ConnShared>>>,
+    /// Open inbound connections (gauge for [`Node::open_connections`]).
+    conns_open: AtomicUsize,
 }
 
-/// Reads exactly one byte, tolerating read timeouts until shutdown.
-/// `Ok(None)` when the peer closed or the node is shutting down.
-fn read_one(inner: &Inner, stream: &mut TcpStream) -> io::Result<Option<u8>> {
-    let mut byte = [0u8; 1];
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => return Ok(None),
-            Ok(_) => return Ok(Some(byte[0])),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    return Ok(None);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
+/// The slice of one connection's state a dispatch worker may touch
+/// after the reactor has moved on: finished responses are encoded into
+/// `outbox`, and `inflight` counts dispatched-but-undelivered requests
+/// so shutdown and EOF know when the connection is quiescent. The
+/// reactor re-checks `Arc::ptr_eq` before trusting `token` — a slot may
+/// have been reused by a newer connection, in which case the stale
+/// delivery is dropped exactly as a write to a closed socket would be.
+struct ConnShared {
+    token: u64,
+    outbox: Mutex<Vec<u8>>,
+    inflight: AtomicUsize,
 }
 
-/// One connection's serve loop. The first byte decides the protocol: a
-/// plain frame's first byte is a length high byte (`<= 0x01`), while a
-/// multiplexed peer link opens with [`MUX_PREAMBLE`] (`b'G'`).
-fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
-    match read_one(inner, &mut stream) {
-        Ok(Some(first)) if first == MUX_PREAMBLE[0] => {
-            // Consume and verify the rest of the preamble.
-            for expected in &MUX_PREAMBLE[1..] {
-                match read_one(inner, &mut stream) {
-                    Ok(Some(b)) if b == *expected => {}
-                    _ => {
-                        let _ = stream.shutdown(Shutdown::Both);
-                        return;
-                    }
-                }
-            }
-            serve_mux_connection(inner, stream, peer);
-        }
-        Ok(Some(first)) => serve_plain_connection(inner, stream, peer, first),
-        _ => {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
+/// A decoded frame body: one packet ("GR") or a batch container ("GB").
+/// The response always takes the same form the request arrived in.
+enum Parsed {
+    One(Packet),
+    Many(Vec<Packet>),
+}
+
+fn parse_body(body: &Bytes) -> Result<Parsed, String> {
+    if wire::is_batch(body) {
+        wire::parse_batch_bytes(body)
+            .map(Parsed::Many)
+            .map_err(|e| e.to_string())
+    } else {
+        wire::parse_bytes(body)
+            .map(Parsed::One)
+            .map_err(|e| e.to_string())
     }
 }
 
-/// Plain client connection: frames are served in order, one at a time,
-/// on this thread — a client has at most one request in flight.
-fn serve_plain_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr, first: u8) {
-    let mut decoder = FrameDecoder::new();
-    decoder.feed(&[first]);
-    let mut buf = vec![0u8; 64 * 1024];
-    // Reused across every response on this connection: after the first
-    // reply, encoding allocates nothing.
-    let mut scratch: Vec<u8> = Vec::new();
-    'conn: loop {
-        // Serve every complete frame already buffered.
-        loop {
-            match decoder.next_frame() {
-                Ok(Some(body)) => {
-                    inner
-                        .mux_metrics
-                        .frames_decoded
-                        .fetch_add(1, Ordering::Relaxed);
-                    // A frame body is either one packet ("GR") or a batch
-                    // container ("GB"); the response takes the same form
-                    // the request arrived in.
-                    enum Parsed {
-                        One(Packet),
-                        Many(Vec<Packet>),
-                    }
-                    let parsed = if wire::is_batch(&body) {
-                        wire::parse_batch_bytes(&body).map(Parsed::Many)
-                    } else {
-                        wire::parse_bytes(&body).map(Parsed::One)
-                    };
-                    let parsed = match parsed {
-                        Ok(parsed) => parsed,
-                        Err(e) => {
-                            // The framing is intact but the body is not a
-                            // GRED packet: drop the peer rather than
-                            // guess at what it wanted.
-                            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                            inner.log(&format!("unparseable packet from {peer}: {e}"));
-                            break 'conn;
-                        }
-                    };
-                    if scratch.capacity() > 0 {
-                        inner
-                            .mux_metrics
-                            .encode_buf_reuses
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    scratch.clear();
-                    let at = frame::begin_frame(&mut scratch);
-                    match parsed {
-                        Parsed::One(packet) => {
-                            wire::encode_into(&inner.handle(packet), &mut scratch)
-                        }
-                        Parsed::Many(packets) => {
-                            wire::encode_batch_into(&inner.handle_batch(packets), &mut scratch);
-                        }
-                    }
-                    frame::finish_frame(&mut scratch, at);
-                    if stream.write_all(&scratch).is_err() {
-                        break 'conn;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    inner.log(&format!("framing violation from {peer}: {e}"));
-                    break 'conn;
-                }
-            }
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => break, // peer closed
-            Ok(n) => decoder.feed(&buf[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
+/// Runs the request(s) through the dispatcher, preserving arity.
+fn run_parsed(inner: &Inner, parsed: Parsed) -> Parsed {
+    match parsed {
+        Parsed::One(packet) => Parsed::One(inner.handle(packet)),
+        Parsed::Many(packets) => Parsed::Many(inner.handle_batch(packets)),
     }
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Shared write half of a multiplexed server connection: responses from
-/// concurrent dispatch workers interleave frame-atomically under this
-/// lock, each built in the shared reusable scratch buffer.
-struct MuxResponder {
+/// Whether every packet of `parsed` is provably served on this node.
+fn all_local(inner: &Inner, parsed: &Parsed) -> bool {
+    match parsed {
+        Parsed::One(packet) => handles_without_blocking(inner, packet),
+        Parsed::Many(packets) => packets.iter().all(|p| handles_without_blocking(inner, p)),
+    }
+}
+
+/// Pool-worker half of the response path: encodes the finished replies
+/// into the connection's outbox (under its correlation id for mux
+/// connections) and hands the connection back to the reactor.
+fn deliver(inner: &Inner, shared: &Arc<ConnShared>, corr: Option<u64>, replies: &Parsed) {
+    {
+        let mut outbox = shared.outbox.lock().unwrap_or_else(PoisonError::into_inner);
+        if outbox.capacity() > 0 {
+            inner
+                .mux_metrics
+                .encode_buf_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let at = frame::begin_frame(&mut outbox);
+        if let Some(corr) = corr {
+            outbox.extend_from_slice(&corr.to_be_bytes());
+        }
+        match replies {
+            Parsed::One(packet) => wire::encode_into(packet, &mut outbox),
+            Parsed::Many(packets) => wire::encode_batch_into(packets, &mut outbox),
+        }
+        frame::finish_frame(&mut outbox, at);
+    }
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    inner
+        .reactor
+        .ready
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::clone(shared));
+    inner.reactor.poller.wake();
+}
+
+/// Per-connection protocol state machine.
+enum Protocol {
+    /// Undecided: collecting up to four bytes. A plain frame's first
+    /// byte is a length high byte (`<= 0x01`); a multiplexed peer link
+    /// opens with [`MUX_PREAMBLE`] (`b'G'`).
+    Sniff { preamble: [u8; 4], got: usize },
+    /// Plain client connection: frames are answered in order, one at a
+    /// time — at most one frame is ever on the pool, later ones queue.
+    Plain {
+        queued: VecDeque<Bytes>,
+        /// The head-of-line frame is on the dispatch pool; the queue
+        /// holds until its response is delivered.
+        busy: bool,
+    },
+    /// Multiplexed peer link: requests interleave under correlation ids.
+    Mux,
+}
+
+/// One inbound connection owned by the reactor.
+struct Conn {
     stream: TcpStream,
+    peer: SocketAddr,
+    proto: Protocol,
+    decoder: FrameDecoder,
+    /// Unwritten response bytes; partial writes land here.
+    outq: WriteQueue,
+    /// Reusable encode buffer for inline responses.
     scratch: Vec<u8>,
+    shared: Arc<ConnShared>,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+    /// Peer closed its write half; frames already received still get
+    /// their responses, then the connection closes.
+    eof: bool,
+}
+
+/// The event loop owning the listener, the connection slab, and all
+/// inbound I/O. Runs on the single `gred-node-{id}-reactor` thread;
+/// everything it executes inline is provably nonblocking.
+struct Reactor {
+    inner: Arc<Inner>,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    read_buf: Vec<u8>,
+    draining: bool,
+    deadline: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            // Steady state blocks until a socket or a wakeup fires — an
+            // idle node spends no CPU. Draining ticks so the deadline
+            // and quiescence are re-checked even without events.
+            let timeout = self.draining.then_some(self.inner.cfg.poll_interval);
+            if let Err(e) = self.inner.reactor.poller.wait(&mut events, timeout) {
+                self.inner.log(&format!("poller wait failed: {e}"));
+                break;
+            }
+            if !self.draining && self.inner.shutdown.load(Ordering::Relaxed) {
+                self.begin_drain();
+            }
+            for ev in events.iter() {
+                match ev.token {
+                    WAKE_TOKEN => {}
+                    LISTENER_TOKEN => self.on_accept(),
+                    token => self.on_conn_event(token, ev),
+                }
+            }
+            self.drain_ready();
+            if self.draining
+                && (self.quiescent() || self.deadline.is_some_and(|d| Instant::now() >= d))
+            {
+                break;
+            }
+        }
+        // Close every connection; peers see EOF after their last
+        // response was flushed (or the drain deadline expired).
+        for slot in 0..self.conns.len() {
+            self.close_conn(slot);
+        }
+        self.inner.log("reactor stopped");
+    }
+
+    /// Stops taking new work: closes the listener, stops reading, and
+    /// gives in-flight requests one reply-timeout to finish writing.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.deadline = Some(Instant::now() + self.inner.cfg.peer_reply_timeout);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.inner.reactor.poller.deregister(listener.as_raw_fd());
+            // Dropping closes it: new connections are refused while the
+            // drain runs.
+        }
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                let want = Interest {
+                    read: false,
+                    write: !conn.outq.is_empty(),
+                };
+                if want != conn.interest
+                    && self
+                        .inner
+                        .reactor
+                        .poller
+                        .reregister(
+                            conn.stream.as_raw_fd(),
+                            FIRST_CONN_TOKEN + slot as u64,
+                            want,
+                        )
+                        .is_ok()
+                {
+                    conn.interest = want;
+                }
+            }
+        }
+        self.inner.log("draining");
+    }
+
+    /// Every dispatched request has delivered its response and every
+    /// response byte is on the wire.
+    fn quiescent(&self) -> bool {
+        self.conns.iter().flatten().all(|conn| {
+            conn.outq.is_empty()
+                && conn.shared.inflight.load(Ordering::Acquire) == 0
+                && conn
+                    .shared
+                    .outbox
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_empty()
+        })
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, peer)) => self.admit(stream, peer),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    // Back off one tick (fd exhaustion and friends)
+                    // instead of spinning on the level-triggered event.
+                    self.inner.log(&format!("accept error: {e}"));
+                    thread::sleep(self.inner.cfg.poll_interval);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream, peer: SocketAddr) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let token = FIRST_CONN_TOKEN + slot as u64;
+        if self
+            .inner
+            .reactor
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        self.inner.log(&format!("accepted {peer}"));
+        self.conns[slot] = Some(Conn {
+            stream,
+            peer,
+            proto: Protocol::Sniff {
+                preamble: [0; 4],
+                got: 0,
+            },
+            decoder: FrameDecoder::new(),
+            outq: WriteQueue::new(),
+            scratch: Vec::new(),
+            shared: Arc::new(ConnShared {
+                token,
+                outbox: Mutex::new(Vec::new()),
+                inflight: AtomicUsize::new(0),
+            }),
+            interest: Interest::READ,
+            eof: false,
+        });
+        self.inner
+            .reactor
+            .conns_open
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_conn_event(&mut self, token: u64, ev: Event) {
+        let slot = (token - FIRST_CONN_TOKEN) as usize;
+        if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+            return; // already closed earlier this tick
+        }
+        let outcome = self.drive(slot, ev);
+        self.settle(slot, outcome);
+    }
+
+    /// Services one readiness event: flush pending writes, then read
+    /// until the socket would block, decoding and serving as we go.
+    fn drive(&mut self, slot: usize, ev: Event) -> io::Result<()> {
+        if ev.writable {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            let Conn { stream, outq, .. } = conn;
+            outq.flush(stream)?;
+        }
+        let eof = self.conns[slot].as_ref().expect("live slot").eof;
+        if ev.readable && !eof && !self.draining {
+            self.fill(slot)?;
+        } else if ev.hangup {
+            self.conns[slot].as_mut().expect("live slot").eof = true;
+        }
+        Ok(())
+    }
+
+    /// Reads until `WouldBlock`, feeding the decoder and serving every
+    /// complete frame.
+    fn fill(&mut self, slot: usize) -> io::Result<()> {
+        let mut buf = std::mem::take(&mut self.read_buf);
+        let outcome = self.fill_with(slot, &mut buf);
+        self.read_buf = buf;
+        outcome
+    }
+
+    fn fill_with(&mut self, slot: usize, buf: &mut [u8]) -> io::Result<()> {
+        loop {
+            let n = {
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                match conn.stream.read(buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        return Ok(());
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            self.ingest(slot, &buf[..n])?;
+        }
+    }
+
+    /// Runs `bytes` through the sniff state machine, then the decoder.
+    fn ingest(&mut self, slot: usize, mut bytes: &[u8]) -> io::Result<()> {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            let Protocol::Sniff { preamble, got } = &mut conn.proto else {
+                break;
+            };
+            if bytes.is_empty() {
+                return Ok(());
+            }
+            if *got == 0 && bytes[0] != MUX_PREAMBLE[0] {
+                conn.proto = Protocol::Plain {
+                    queued: VecDeque::new(),
+                    busy: false,
+                };
+                break;
+            }
+            let take = (MUX_PREAMBLE.len() - *got).min(bytes.len());
+            preamble[*got..*got + take].copy_from_slice(&bytes[..take]);
+            *got += take;
+            bytes = &bytes[take..];
+            if *got < MUX_PREAMBLE.len() {
+                return Ok(());
+            }
+            if *preamble != MUX_PREAMBLE {
+                // Not a frame length, not a mux preamble: drop the peer
+                // rather than guess at what it speaks.
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+            conn.proto = Protocol::Mux;
+        }
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        conn.decoder.feed(bytes);
+        self.pump(slot)
+    }
+
+    /// Serves every complete frame the decoder holds.
+    fn pump(&mut self, slot: usize) -> io::Result<()> {
+        loop {
+            let body = {
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                match conn.decoder.next_frame() {
+                    Ok(Some(body)) => body,
+                    Ok(None) => break,
+                    Err(e) => {
+                        let peer = conn.peer;
+                        self.inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        self.inner
+                            .log(&format!("framing violation from {peer}: {e}"));
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                    }
+                }
+            };
+            self.inner
+                .mux_metrics
+                .frames_decoded
+                .fetch_add(1, Ordering::Relaxed);
+            let mux = matches!(
+                self.conns[slot].as_ref().expect("live slot").proto,
+                Protocol::Mux
+            );
+            if mux {
+                self.serve_mux_frame(slot, body)?;
+            } else {
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                match &mut conn.proto {
+                    Protocol::Plain { queued, .. } => queued.push_back(body),
+                    _ => unreachable!("frames decode only after the sniff"),
+                }
+            }
+        }
+        self.pump_plain(slot)
+    }
+
+    /// Serves queued plain frames strictly in order: inline while every
+    /// packet provably stays local, otherwise one dispatched frame at a
+    /// time (`busy` holds the queue until its response is delivered).
+    fn pump_plain(&mut self, slot: usize) -> io::Result<()> {
+        loop {
+            let body = {
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                let Protocol::Plain { queued, busy } = &mut conn.proto else {
+                    return Ok(());
+                };
+                if *busy {
+                    return Ok(());
+                }
+                match queued.pop_front() {
+                    Some(body) => body,
+                    None => return Ok(()),
+                }
+            };
+            let parsed = match parse_body(&body) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    // The framing is intact but the body is not a GRED
+                    // packet: drop the peer rather than guess.
+                    let peer = self.conns[slot].as_ref().expect("live slot").peer;
+                    self.inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .log(&format!("unparseable packet from {peer}: {e}"));
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+            };
+            if all_local(&self.inner, &parsed) {
+                let replies = run_parsed(&self.inner, parsed);
+                self.respond_inline(slot, None, &replies)?;
+            } else {
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                if let Protocol::Plain { busy, .. } = &mut conn.proto {
+                    *busy = true;
+                }
+                conn.shared.inflight.fetch_add(1, Ordering::AcqRel);
+                let job_inner = Arc::clone(&self.inner);
+                let job_shared = Arc::clone(&conn.shared);
+                self.inner.pool.submit(move || {
+                    let replies = run_parsed(&job_inner, parsed);
+                    deliver(&job_inner, &job_shared, None, &replies);
+                });
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves one multiplexed frame: splits the correlation id, then
+    /// answers inline (provably local) or dispatches to the pool.
+    fn serve_mux_frame(&mut self, slot: usize, body: Bytes) -> io::Result<()> {
+        let peer = self.conns[slot].as_ref().expect("live slot").peer;
+        let Some((corr, payload)) = frame::split_mux(&body) else {
+            self.inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+            self.inner.log(&format!("short mux frame from {peer}"));
+            return Err(io::ErrorKind::InvalidData.into());
+        };
+        let parsed = match parse_body(&payload) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                // The peer is not speaking GRED; kill the connection
+                // rather than guess.
+                self.inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .log(&format!("unparseable mux packet from {peer}: {e}"));
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        };
+        if all_local(&self.inner, &parsed) {
+            let replies = run_parsed(&self.inner, parsed);
+            self.respond_inline(slot, Some(corr), &replies)
+        } else {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            conn.shared.inflight.fetch_add(1, Ordering::AcqRel);
+            let job_inner = Arc::clone(&self.inner);
+            let job_shared = Arc::clone(&conn.shared);
+            self.inner.pool.submit(move || {
+                let replies = run_parsed(&job_inner, parsed);
+                deliver(&job_inner, &job_shared, Some(corr), &replies);
+            });
+            Ok(())
+        }
+    }
+
+    /// Encodes `replies` into the connection's scratch buffer and sends
+    /// straight from the reactor thread — the fast path for requests
+    /// that never leave this node.
+    fn respond_inline(
+        &mut self,
+        slot: usize,
+        corr: Option<u64>,
+        replies: &Parsed,
+    ) -> io::Result<()> {
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        if conn.scratch.capacity() > 0 {
+            self.inner
+                .mux_metrics
+                .encode_buf_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        conn.scratch.clear();
+        let at = frame::begin_frame(&mut conn.scratch);
+        if let Some(corr) = corr {
+            conn.scratch.extend_from_slice(&corr.to_be_bytes());
+        }
+        match replies {
+            Parsed::One(packet) => wire::encode_into(packet, &mut conn.scratch),
+            Parsed::Many(packets) => wire::encode_batch_into(packets, &mut conn.scratch),
+        }
+        frame::finish_frame(&mut conn.scratch, at);
+        let Conn {
+            stream,
+            outq,
+            scratch,
+            ..
+        } = conn;
+        outq.send(stream, scratch)?;
+        Ok(())
+    }
+
+    /// Moves finished pool responses from connection outboxes onto
+    /// their sockets, un-blocking plain queues as deliveries land.
+    fn drain_ready(&mut self) {
+        let ready = std::mem::take(
+            &mut *self
+                .inner
+                .reactor
+                .ready
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for shared in ready {
+            let slot = (shared.token - FIRST_CONN_TOKEN) as usize;
+            let outcome = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if !Arc::ptr_eq(&conn.shared, &shared) {
+                    continue; // the slot was reused by a newer connection
+                }
+                let delivered = {
+                    let mut outbox = shared.outbox.lock().unwrap_or_else(PoisonError::into_inner);
+                    if outbox.is_empty() {
+                        false
+                    } else {
+                        conn.outq.push(&outbox);
+                        outbox.clear();
+                        true
+                    }
+                };
+                if delivered {
+                    if let Protocol::Plain { busy, .. } = &mut conn.proto {
+                        *busy = false;
+                    }
+                }
+                let Conn { stream, outq, .. } = conn;
+                outq.flush(stream).map(|_| ())
+            };
+            let outcome = outcome.and_then(|()| self.pump_plain(slot));
+            self.settle(slot, outcome);
+        }
+    }
+
+    /// Applies the outcome of servicing a connection: close on error,
+    /// otherwise reconcile poller interest and check whether a
+    /// half-closed connection has finished.
+    fn settle(&mut self, slot: usize, outcome: io::Result<()>) {
+        if outcome.is_err() {
+            self.close_conn(slot);
+            return;
+        }
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let want = Interest {
+                read: !conn.eof && !self.draining,
+                write: !conn.outq.is_empty(),
+            };
+            if want != conn.interest
+                && self
+                    .inner
+                    .reactor
+                    .poller
+                    .reregister(
+                        conn.stream.as_raw_fd(),
+                        FIRST_CONN_TOKEN + slot as u64,
+                        want,
+                    )
+                    .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+        self.maybe_close(slot);
+    }
+
+    /// Closes a half-closed connection once everything it asked for has
+    /// been answered and written.
+    fn maybe_close(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+            return;
+        };
+        let settled = match &conn.proto {
+            Protocol::Plain { queued, busy } => queued.is_empty() && !*busy,
+            _ => true,
+        };
+        let idle = conn.eof
+            && settled
+            && conn.outq.is_empty()
+            && conn.shared.inflight.load(Ordering::Acquire) == 0
+            && conn
+                .shared
+                .outbox
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty();
+        if idle {
+            self.close_conn(slot);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self
+            .inner
+            .reactor
+            .poller
+            .deregister(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.free.push(slot);
+        self.inner
+            .reactor
+            .conns_open
+            .fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Whether `packet` is provably served entirely on this node — no
@@ -741,176 +1299,6 @@ fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
     plane
         .extension_of(server)
         .is_none_or(|takeover| takeover.switch == inner.id)
-}
-
-/// Multiplexed peer connection: every decoded request that could block
-/// is dispatched to the pool, so a request whose chain blocks (even on
-/// *this* link) never stalls the requests behind it — that is what makes
-/// nested RPC chains deadlock-free when they cross the same directed
-/// link twice. Requests that provably finish locally (the final hop of
-/// every chain) are answered inline on this reader thread, skipping the
-/// pool handoff entirely.
-fn serve_mux_connection(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
-    let responder = match stream.try_clone() {
-        Ok(write_half) => Arc::new(Mutex::new(MuxResponder {
-            stream: write_half,
-            scratch: Vec::new(),
-        })),
-        Err(_) => {
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
-    };
-    // Requests decoded but not yet answered; drained before this worker
-    // closes the stream on shutdown so in-flight responses are not cut.
-    let outstanding = Arc::new(AtomicUsize::new(0));
-    let mut decoder = FrameDecoder::new();
-    let mut buf = vec![0u8; 64 * 1024];
-    'conn: loop {
-        loop {
-            match decoder.next_frame() {
-                Ok(Some(body)) => {
-                    inner
-                        .mux_metrics
-                        .frames_decoded
-                        .fetch_add(1, Ordering::Relaxed);
-                    let Some((corr, payload)) = frame::split_mux(&body) else {
-                        inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        inner.log(&format!("short mux frame from {peer}"));
-                        break 'conn;
-                    };
-                    if wire::is_batch(&payload) {
-                        let packets = match wire::parse_batch_bytes(&payload) {
-                            Ok(packets) => packets,
-                            Err(e) => {
-                                inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                                inner.log(&format!("unparseable mux batch from {peer}: {e}"));
-                                break 'conn;
-                            }
-                        };
-                        // Inline only when *every* packet provably stays
-                        // local; one blocking packet sends the whole
-                        // batch to the pool so the reader never stalls.
-                        if packets.iter().all(|p| handles_without_blocking(inner, p)) {
-                            let replies = inner.handle_batch(packets);
-                            write_mux_batch_response(inner, &responder, corr, &replies);
-                        } else {
-                            outstanding.fetch_add(1, Ordering::AcqRel);
-                            let job_inner = Arc::clone(inner);
-                            let job_responder = Arc::clone(&responder);
-                            let job_outstanding = Arc::clone(&outstanding);
-                            inner.pool.submit(move || {
-                                let replies = job_inner.handle_batch(packets);
-                                write_mux_batch_response(
-                                    &job_inner,
-                                    &job_responder,
-                                    corr,
-                                    &replies,
-                                );
-                                job_outstanding.fetch_sub(1, Ordering::AcqRel);
-                            });
-                        }
-                        continue;
-                    }
-                    let packet = match wire::parse_bytes(&payload) {
-                        Ok(packet) => packet,
-                        Err(e) => {
-                            // The peer is not speaking GRED; kill the
-                            // connection rather than guess.
-                            inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                            inner.log(&format!("unparseable mux packet from {peer}: {e}"));
-                            break 'conn;
-                        }
-                    };
-                    if handles_without_blocking(inner, &packet) {
-                        let reply = inner.handle(packet);
-                        write_mux_response(inner, &responder, corr, &reply);
-                    } else {
-                        outstanding.fetch_add(1, Ordering::AcqRel);
-                        let job_inner = Arc::clone(inner);
-                        let job_responder = Arc::clone(&responder);
-                        let job_outstanding = Arc::clone(&outstanding);
-                        inner.pool.submit(move || {
-                            let reply = job_inner.handle(packet);
-                            write_mux_response(&job_inner, &job_responder, corr, &reply);
-                            job_outstanding.fetch_sub(1, Ordering::AcqRel);
-                        });
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    inner.log(&format!("framing violation from {peer}: {e}"));
-                    break 'conn;
-                }
-            }
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => break, // peer closed
-            Ok(n) => decoder.feed(&buf[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    // Let dispatched requests finish writing their responses (bounded by
-    // the reply timeout — a chain blocked past that has already failed).
-    let deadline = Instant::now() + inner.cfg.peer_reply_timeout;
-    while outstanding.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-        thread::sleep(Duration::from_millis(1));
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// Writes one correlated response frame through the connection's shared
-/// write half (called from the reader inline path and from pool workers
-/// alike; the lock keeps concurrent frames whole).
-fn write_mux_response(inner: &Inner, responder: &Mutex<MuxResponder>, corr: u64, reply: &Packet) {
-    write_mux_frame(inner, responder, corr, |scratch| {
-        wire::encode_into(reply, scratch);
-    });
-}
-
-/// Batch twin of [`write_mux_response`]: one frame, one write syscall,
-/// carrying every response of the batch under its correlation id.
-fn write_mux_batch_response(
-    inner: &Inner,
-    responder: &Mutex<MuxResponder>,
-    corr: u64,
-    replies: &[Packet],
-) {
-    write_mux_frame(inner, responder, corr, |scratch| {
-        wire::encode_batch_into(replies, scratch);
-    });
-}
-
-fn write_mux_frame(
-    inner: &Inner,
-    responder: &Mutex<MuxResponder>,
-    corr: u64,
-    encode_body: impl FnOnce(&mut Vec<u8>),
-) {
-    let mut w = responder.lock().unwrap_or_else(PoisonError::into_inner);
-    if w.scratch.capacity() > 0 {
-        inner
-            .mux_metrics
-            .encode_buf_reuses
-            .fetch_add(1, Ordering::Relaxed);
-    }
-    w.scratch.clear();
-    let at = frame::begin_frame(&mut w.scratch);
-    w.scratch.extend_from_slice(&corr.to_be_bytes());
-    encode_body(&mut w.scratch);
-    frame::finish_frame(&mut w.scratch, at);
-    let MuxResponder { stream, scratch } = &mut *w;
-    if stream.write_all(scratch).is_err() {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
 }
 
 impl Inner {
@@ -1552,7 +1940,10 @@ mod tests {
         assert_eq!(report.requests, 3);
         assert_eq!(report.errors, 0);
         assert_eq!(report.stored_items, 1);
-        assert_eq!(report.workers_joined, 3);
+        assert_eq!(
+            report.workers_joined, 1,
+            "reactor only: requests were all-local"
+        );
         assert_eq!(report.hot.oneshot_fallbacks, 0);
         assert_eq!(report.hot.frames_decoded, 3);
     }

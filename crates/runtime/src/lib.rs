@@ -1,10 +1,14 @@
 //! Shared threading runtime for GRED's control plane and experiment
 //! harness.
 //!
-//! Three pieces live here:
+//! Four pieces live here:
 //!
 //! - [`ShardedMap`]: a lock-sharded hash map for hot concurrent state
 //!   (node stores, KV metadata) with an observable contention hint.
+//! - [`reactor`]: level-triggered `epoll` readiness polling
+//!   ([`Poller`]) and partial-write absorption ([`WriteQueue`]) — the
+//!   nonblocking-I/O substrate the cluster node runtime and the chaos
+//!   fabric share.
 //! - [`parallel_map`]: an ordered, chunked fork/join map over scoped
 //!   threads. Work is handed out in contiguous chunks (amortizing queue
 //!   synchronization over many items) and every worker accumulates its
@@ -19,8 +23,10 @@
 //! work is a pure function produces bit-identical results for every
 //! thread count, including the inline `threads == 1` path.
 
+pub mod reactor;
 pub mod shard;
 
+pub use reactor::{Poller, WriteQueue};
 pub use shard::ShardedMap;
 
 use std::sync::Mutex;

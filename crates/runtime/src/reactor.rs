@@ -1,0 +1,613 @@
+//! Readiness-driven I/O reactor primitives shared by the cluster node
+//! runtime and the chaos fabric.
+//!
+//! The centerpiece is [`Poller`], a thin level-triggered `epoll` wrapper
+//! (raw syscalls, no external crates) that multiplexes thousands of
+//! nonblocking sockets onto one thread. Callers register file
+//! descriptors under opaque `u64` tokens, block in [`Poller::wait`], and
+//! get back the tokens that are readable or writable. An `eventfd`
+//! registered under [`WAKE_TOKEN`] lets other threads interrupt a
+//! blocked `wait` ([`Poller::wake`]) — the mechanism dispatch-pool
+//! workers use to hand finished responses back to the reactor thread.
+//!
+//! [`WriteQueue`] is the other half of nonblocking I/O: a byte queue
+//! that absorbs partial writes. Callers push whole frames; `flush`
+//! writes as much as the socket accepts and keeps the remainder, so a
+//! `WouldBlock` at any offset never tears a frame. It is a plain
+//! in-memory structure (no fd inside), which is what lets the framing
+//! proptests drive it through forced short writes without sockets.
+//!
+//! Everything here is Linux-specific by design: the repo targets Linux
+//! and the node runtime needs `epoll` semantics (level-triggered
+//! readiness, `eventfd` wakeups) rather than a portability layer.
+
+use std::io::{self, Write};
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::time::Duration;
+
+// Values from <sys/epoll.h> / <sys/eventfd.h> on Linux.
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (no padding between the 32-bit mask and the 64-bit payload); other
+/// architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Widens (or narrows) the accept backlog of an already-listening
+/// socket by calling `listen(2)` on it again — Linux re-reads the
+/// backlog argument on a live listener. The kernel clamps the value to
+/// `net.core.somaxconn`, silently, so passing a large number is safe.
+///
+/// The standard library hardcodes a backlog of 128 in
+/// `TcpListener::bind`; a reactor holding thousands of connections
+/// needs more headroom than that, because a momentary scheduling stall
+/// of the accepting thread under a connect burst overflows the queue,
+/// the kernel drops the overflowing SYN, and the dialer stalls a full
+/// retransmit timeout (~1s) — longer than most connect deadlines.
+///
+/// # Errors
+///
+/// The raw `listen` error; `ENOTSOCK`/`EOPNOTSUPP` if `fd` is not a
+/// listening TCP socket.
+pub fn set_listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    let backlog = c_int::try_from(backlog).unwrap_or(c_int::MAX);
+    cvt(unsafe { listen(fd, backlog) }).map(|_| ())
+}
+
+/// The token [`Poller::wait`] reports when another thread called
+/// [`Poller::wake`]. Reserved — never register an fd under it.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Which readiness events a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Readable and writable — while a write queue has pending bytes.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = 0;
+        if self.read {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.write {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under (or [`WAKE_TOKEN`]).
+    pub token: u64,
+    /// Data (or EOF) is available to read.
+    pub readable: bool,
+    /// The fd will accept more bytes.
+    pub writable: bool,
+    /// The fd is in an error state or the peer closed — the connection
+    /// is over regardless of buffered data.
+    pub hangup: bool,
+}
+
+/// Reusable buffer of readiness events, sized once by the caller.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that returns at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// The events delivered by the most recent [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            let events = raw.events;
+            Event {
+                token: raw.data,
+                readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: events & EPOLLOUT != 0,
+                hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+            }
+        })
+    }
+
+    /// Number of events delivered by the most recent wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the most recent wait delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A level-triggered `epoll` instance plus an `eventfd` wake channel.
+///
+/// All methods take `&self`: the kernel serializes `epoll_ctl` against
+/// `epoll_wait`, so registration from the reactor thread and wakeups
+/// from worker threads need no user-space lock.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    wakefd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance and its wake `eventfd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1`/`eventfd` failures (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscalls; no pointers involved.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let wakefd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                // SAFETY: epfd came from epoll_create1 above.
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller { epfd, wakefd };
+        poller.ctl(EPOLL_CTL_ADD, wakefd, EPOLLIN, WAKE_TOKEN)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the call.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (bad fd, duplicate registration).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest.mask(), token)
+    }
+
+    /// Changes the interest set (or token) of an already registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (fd was never registered).
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest.mask(), token)
+    }
+
+    /// Stops watching `fd`. Closing an fd deregisters it implicitly;
+    /// call this only when the fd stays open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (fd was never registered).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready, a wakeup
+    /// arrives, or `timeout` elapses (`None` = block indefinitely).
+    /// Returns the number of events captured into `events`; a pending
+    /// wakeup is drained and reported as a [`WAKE_TOKEN`] event.
+    ///
+    /// Signal interruptions are swallowed and reported as zero events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected `epoll_wait` failures.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let millis: c_int = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout still sleeps instead of spinning.
+            Some(t) => c_int::try_from(t.as_millis().max(if t.is_zero() { 0 } else { 1 }))
+                .unwrap_or(c_int::MAX),
+        };
+        let cap = c_int::try_from(events.buf.len()).unwrap_or(c_int::MAX);
+        // SAFETY: the buffer outlives the call and `cap` matches its length.
+        let n = unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), cap, millis) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        for raw in &events.buf[..events.len] {
+            if raw.data == WAKE_TOKEN {
+                self.drain_wake();
+            }
+        }
+        Ok(events.len)
+    }
+
+    /// Interrupts a concurrent (or the next) [`Poller::wait`]. Safe to
+    /// call from any thread, any number of times; wakeups coalesce.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writing 8 bytes from a live stack variable to an
+        // eventfd; EAGAIN (counter saturated) still leaves it readable.
+        unsafe { write(self.wakefd, (&raw const one).cast::<c_void>(), 8) };
+    }
+
+    fn drain_wake(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reading 8 bytes into a live stack variable; the fd is
+        // nonblocking so a lost race just returns EAGAIN.
+        unsafe { read(self.wakefd, (&raw mut counter).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this Poller and closed once.
+        unsafe {
+            close(self.wakefd);
+            close(self.epfd);
+        }
+    }
+}
+
+// SAFETY: the Poller only holds raw fds; every operation is a syscall
+// the kernel serializes internally.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+/// A byte queue that makes partial writes invisible to the caller.
+///
+/// Push whole encoded frames with [`WriteQueue::push`] (or try the
+/// direct fast path with [`WriteQueue::send`]), then [`flush`] whenever
+/// the socket reports writable. A short write or `WouldBlock` at any
+/// byte offset keeps the remainder queued, so frames are never torn.
+///
+/// [`flush`]: WriteQueue::flush
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// Bytes queued and not yet accepted by the sink.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether every pushed byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Queues `bytes` behind whatever is already pending.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Fast path: if nothing is pending, writes `bytes` straight to
+    /// `out` and queues only the unwritten tail; otherwise queues and
+    /// flushes. Returns `Ok(true)` when nothing remains pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal I/O errors; `WouldBlock` is absorbed into the
+    /// queue and reported as `Ok(false)`.
+    pub fn send(&mut self, out: &mut impl Write, bytes: &[u8]) -> io::Result<bool> {
+        if self.is_empty() {
+            let mut written = 0;
+            while written < bytes.len() {
+                match out.write(&bytes[written..]) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(n) => written += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.push(&bytes[written..]);
+                        return Ok(false);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(true)
+        } else {
+            self.push(bytes);
+            self.flush(out)
+        }
+    }
+
+    /// Writes as much pending data as `out` accepts. Returns `Ok(true)`
+    /// when the queue drained, `Ok(false)` when `WouldBlock` left bytes
+    /// pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal I/O errors (connection reset, `WriteZero`).
+    pub fn flush(&mut self, out: &mut impl Write) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match out.write(&self.buf[self.start..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        // A burst can balloon the buffer; give the memory back once the
+        // queue drains rather than pinning the high-water mark forever.
+        if self.buf.capacity() > 1 << 20 {
+            self.buf = Vec::new();
+        }
+        Ok(true)
+    }
+
+    /// Drops already-written bytes once they dominate the buffer, the
+    /// same policy the sticky frame decoder uses.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_fires_for_incoming_bytes() {
+        use std::os::fd::AsRawFd;
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no data yet, the wait times out empty");
+
+        a.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn widened_backlog_absorbs_a_connect_burst_without_accepts() {
+        use std::os::fd::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        set_listen_backlog(listener.as_raw_fd(), 512).unwrap();
+
+        // 200 dials with nobody accepting: past the stock backlog of
+        // 128, so each one completes only because the re-listen took.
+        // (With the stock queue the 129th SYN is dropped and its dialer
+        // would sit in retransmit far beyond this timeout.)
+        let _held: Vec<TcpStream> = (0..200)
+            .map(|i| {
+                TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+                    .unwrap_or_else(|e| panic!("burst dial {i} rejected: {e}"))
+            })
+            .collect();
+    }
+
+    #[test]
+    fn wake_interrupts_a_blocking_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(4), "woke early");
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().token, WAKE_TOKEN);
+        handle.join().unwrap();
+        // Coalesced wakes deliver at least once more, then go quiet.
+        poller.wake();
+        poller.wake();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0,
+            "drained wakes do not re-fire"
+        );
+    }
+
+    #[test]
+    fn interest_changes_gate_writable_events() {
+        use std::os::fd::AsRawFd;
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0,
+            "read-only interest stays quiet on an idle writable socket"
+        );
+        poller
+            .reregister(a.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+        poller.deregister(a.as_raw_fd()).unwrap();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable() {
+        use std::os::fd::AsRawFd;
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable, "EOF surfaces as readable (read returns 0)");
+        let mut nb = b;
+        let mut buf = [0u8; 8];
+        assert_eq!(nb.read(&mut buf).unwrap(), 0);
+    }
+
+    /// A writer that accepts one byte, then refuses one write, forever —
+    /// the worst-case short-write schedule.
+    struct Throttled {
+        out: Vec<u8>,
+        starve: bool,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.starve {
+                self.starve = false;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.starve = true;
+            self.out.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_survives_would_block_at_every_offset() {
+        let mut queue = WriteQueue::new();
+        let mut sink = Throttled {
+            out: Vec::new(),
+            starve: false,
+        };
+        let frames: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 3 + i as usize]).collect();
+        let mut expected = Vec::new();
+        for frame in &frames {
+            expected.extend_from_slice(frame);
+            let _ = queue.send(&mut sink, frame).unwrap();
+        }
+        while !queue.flush(&mut sink).unwrap() {}
+        assert!(queue.is_empty());
+        assert_eq!(sink.out, expected, "byte-exact despite constant starvation");
+    }
+}

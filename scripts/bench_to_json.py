@@ -18,11 +18,13 @@ Supported groups:
     end-to-end loopback TCP request rate per client-thread count. A
     bare id is the write-one/read-one baseline and is tagged
     ``"variant": "lockstep"``; the suffix names the others (currently
-    ``pipelined`` — batch frames over the correlated channel — and
-    ``contention`` — few switches, many clients). Tagging keeps
-    ``--before`` comparisons honest: a pipelined row is only ever
-    compared with a pipelined row. Pipelined rows also carry
-    ``speedup_vs_lockstep`` against the same-shape lockstep row. The
+    ``pipelined`` — batch frames over the correlated channel,
+    ``contention`` — few switches, many clients, and ``reactor`` — the
+    pipelined burst with 1000 idle connections parked on the access
+    node). Tagging keeps ``--before`` comparisons honest: a pipelined
+    row is only ever compared with a pipelined row. Pipelined and
+    reactor rows also carry ``speedup_vs_lockstep`` against the
+    same-shape lockstep row. The
     rate is the *aggregate wall-clock* rate — total requests executed
     across every timed batch divided by the total time those batches
     took (``elements * total_iters / total_ns``) — not the median batch
@@ -160,15 +162,16 @@ def fold_cluster_throughput(latest):
         )
     results.sort(key=lambda r: (r["variant"], r["switches"], r["client_threads"]))
 
-    # Like-with-like speedup: each pipelined row against the lockstep
-    # row of the same cluster size and thread count.
+    # Like-with-like speedup: each pipelined (or reactor — pipelined
+    # plus parked idle connections) row against the lockstep row of the
+    # same cluster size and thread count.
     lockstep = {
         (r["switches"], r["client_threads"]): r["requests_per_sec"]
         for r in results
         if r["variant"] == "lockstep"
     }
     for r in results:
-        if r["variant"] == "pipelined":
+        if r["variant"] in ("pipelined", "reactor"):
             base = lockstep.get((r["switches"], r["client_threads"]))
             r["speedup_vs_lockstep"] = round(r["requests_per_sec"] / base, 2) if base else None
 
@@ -182,15 +185,18 @@ def fold_cluster_throughput(latest):
             "forwarding path between nodes."
         ),
         "caveat": (
-            "Measured with node workers and client threads sharing the "
-            "runner's CPUs. On a single-CPU runner even the one-client "
-            "run saturates the core (~97% utilization, syscall-bound), "
-            "so added client concurrency has no idle time to reclaim: "
-            "flat scaling is the physical ceiling there, and the "
-            "multi-client numbers measure how little the concurrency "
-            "costs, not a parallel speedup. The pipelined variant's gain "
-            "over lockstep is syscall amortization on that same core "
-            "(batch frames, one write per burst), not extra parallelism."
+            "Measured with the node reactor threads, dispatch workers, "
+            "and client threads all sharing the runner's CPUs. On a "
+            "single-CPU runner even the one-client run saturates the "
+            "core (syscall-bound), so added client concurrency has no "
+            "idle time to reclaim: flat scaling is the physical ceiling "
+            "there, and the multi-client numbers measure how little the "
+            "concurrency costs, not a parallel speedup. The pipelined "
+            "variant's gain over lockstep is syscall amortization on "
+            "that same core (batch frames, one write per burst), not "
+            "extra parallelism; the reactor variant is the same burst "
+            "with 1000 idle connections parked on the access node, so "
+            "it should match the pipelined row."
         ),
         "results": results,
     }
