@@ -23,6 +23,12 @@
 //!   readiness reactor must keep per-connection cost at zero, so this
 //!   row should match the plain pipelined one (the thread-per-
 //!   connection runtime could not even hold the sockets).
+//! - **zipf_hotkey** (`16sw_1c_zipf_hotkey`): lockstep retrievals drawn
+//!   from a pre-sampled Zipf(s = 1.1) rank trace over the same working
+//!   set — web-like skew, so a handful of hot ids dominate. The access
+//!   node's read cache should absorb most remote-destined repeats; the
+//!   observed hit rate is recorded as a join-able metrics line next to
+//!   the timing record.
 //!
 //! Convert the results into `BENCH_cluster_throughput.json` with
 //! `scripts/bench_to_json.py --group cluster_throughput` after a run.
@@ -37,6 +43,7 @@ use gred::{GredConfig, GredNetwork};
 use gred_cluster::{Client, Cluster, ClusterConfig};
 use gred_hash::DataId;
 use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use gred_sim::workload::ZipfPicker;
 
 const SWITCHES: usize = 16;
 const SEED: u64 = 2019;
@@ -227,10 +234,65 @@ fn bench_cluster_reactor(c: &mut Criterion) {
     println!("cluster_reactor hot stats: {}", report.hot_stats());
 }
 
+/// Zipf exponent for the hot-key variant: web-like skew (s ≥ 0.9), so
+/// the top handful of ranks dominate the trace.
+const ZIPF_S: f64 = 1.1;
+
+/// Hot-key variant: lockstep retrievals following a pre-sampled
+/// Zipf-skewed rank trace, the access pattern GRED's Section VI
+/// replication targets. Repeats of a remote-destined hot id should be
+/// absorbed by the access node's read cache (zero forwarding, zero
+/// dispatch-pool handoff), so this row should beat the uniform lockstep
+/// one; the hit rate observed over the whole run is recorded as a
+/// join-able metrics line for `bench_to_json.py`.
+fn bench_cluster_zipf_hotkey(c: &mut Criterion) {
+    let (net, cluster) = boot(SWITCHES);
+    let members = net.members().to_vec();
+    seed_store(&cluster, members[0]);
+
+    // Pre-drawn trace: sampling happens outside the timed loop, so the
+    // iterations measure serving skewed traffic, not drawing it.
+    let mut picker = ZipfPicker::new(IDS, ZIPF_S, SEED);
+    let trace: Vec<DataId> = (0..REQS)
+        .map(|_| DataId::new(format!("bench/{}", picker.pick())))
+        .collect();
+
+    let bench_id = format!("{SWITCHES}sw_1c_zipf_hotkey");
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQS as u64));
+    let mut conn = cluster.client(members[0]).expect("bench client connects");
+    group.bench_with_input(BenchmarkId::from_parameter(&bench_id), &1usize, |b, _| {
+        b.iter(|| {
+            for id in &trace {
+                let reply = conn.retrieve(id).expect("retrieval succeeds");
+                assert!(reply.is_hit(), "bench id must be stored");
+            }
+        })
+    });
+    group.finish();
+    let report = cluster.shutdown();
+    let hot = report.hot_stats();
+    println!("cluster_zipf_hotkey hot stats: {hot}");
+    let probes = hot.cache_hits + hot.cache_misses;
+    if probes > 0 {
+        criterion::record_metrics(
+            "cluster_throughput",
+            &bench_id,
+            &[
+                ("cache_hit_rate", hot.cache_hits as f64 / probes as f64),
+                ("cache_hits", hot.cache_hits as f64),
+                ("cache_misses", hot.cache_misses as f64),
+            ],
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_cluster_throughput,
     bench_cluster_contention,
-    bench_cluster_reactor
+    bench_cluster_reactor,
+    bench_cluster_zipf_hotkey
 );
 criterion_main!(benches);

@@ -31,14 +31,19 @@
 //! distinct switches, probing a few extra serials when owners collide;
 //! [`Client::retrieve_replicated`] walks the same serials until one
 //! copy answers, so a GET survives the primary's crash as long as any
-//! replica's owner is alive.
+//! replica's owner is alive. When the client knows its access nodes'
+//! virtual positions ([`Client::connect_multi_positioned`]), the serial
+//! walk is **distance-steered**: serials are probed nearest-replica
+//! first in virtual space, so the common all-healthy read pays the
+//! shortest greedy walk instead of serial 0's arbitrary one.
 
 use crate::frame::{self, FrameDecoder, FrameError};
 use crate::pipelined::PipeConn;
 use crate::proto;
 use bytes::Bytes;
 use gred_dataplane::{wire, Packet, PacketKind, ResponseStatus};
-use gred_hash::DataId;
+use gred_geometry::Point2;
+use gred_hash::{position::virtual_position, DataId};
 use gred_net::ServerId;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -240,6 +245,10 @@ pub struct ReplicatedPlacement {
 #[derive(Debug)]
 pub struct Client {
     addrs: Vec<SocketAddr>,
+    /// Virtual-space positions of the access nodes, parallel to
+    /// `addrs`. Empty when unknown — replica steering then degrades to
+    /// serial order.
+    positions: Vec<Point2>,
     current: usize,
     cfg: ClientConfig,
     conn: Option<Conn>,
@@ -274,14 +283,39 @@ impl Client {
     /// [`ClientError::Io`] when every access node is unreachable (the
     /// last attempt's error), or when `addrs` is empty.
     pub fn connect_multi(addrs: Vec<SocketAddr>, cfg: ClientConfig) -> Result<Client, ClientError> {
+        Client::connect_multi_positioned(addrs, Vec::new(), cfg)
+    }
+
+    /// Like [`connect_multi`](Client::connect_multi), but also records
+    /// each access node's virtual-space position (parallel to `addrs`).
+    /// Knowing where the entry point sits lets
+    /// [`retrieve_replicated`](Client::retrieve_replicated) probe
+    /// replica serials nearest-first instead of in serial order. Pass an
+    /// empty `positions` (or mismatched length — it is ignored then) to
+    /// opt out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`connect_multi`](Client::connect_multi).
+    pub fn connect_multi_positioned(
+        addrs: Vec<SocketAddr>,
+        positions: Vec<Point2>,
+        cfg: ClientConfig,
+    ) -> Result<Client, ClientError> {
         if addrs.is_empty() {
             return Err(ClientError::Io {
                 context: "connecting to the node",
                 kind: io::ErrorKind::InvalidInput,
             });
         }
+        let positions = if positions.len() == addrs.len() {
+            positions
+        } else {
+            Vec::new()
+        };
         let mut client = Client {
             addrs,
+            positions,
             current: 0,
             cfg,
             conn: None,
@@ -394,10 +428,33 @@ impl Client {
         })
     }
 
+    /// The order in which replica serials `0..count` of `id` should be
+    /// probed from the current access node: nearest replica position
+    /// first, by virtual-space distance from the access node. The sort
+    /// is stable, so equidistant serials (and the no-position fallback)
+    /// keep serial order. Replica `i` sits at
+    /// `virtual_position(id.replica(i))`, so the nearest one is the
+    /// cheapest greedy walk from here.
+    pub fn replica_order(&self, id: &DataId, count: u32) -> Vec<u32> {
+        let mut serials: Vec<u32> = (0..count).collect();
+        let Some(&from) = self.positions.get(self.current) else {
+            return serials;
+        };
+        serials.sort_by(|&a, &b| {
+            let da = replica_distance_squared(from, id, a);
+            let db = replica_distance_squared(from, id, b);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        serials
+    }
+
     /// Retrieves `id` by walking its replica serials until one copy
     /// answers — the failover read matching
     /// [`place_replicated`](Client::place_replicated): a crashed primary
-    /// owner costs one extra probe, not the datum.
+    /// owner costs one extra probe, not the datum. With known access
+    /// positions the walk is steered nearest-replica first
+    /// ([`replica_order`](Client::replica_order)), so the healthy-path
+    /// read pays the shortest virtual-space walk.
     ///
     /// # Errors
     ///
@@ -408,7 +465,7 @@ impl Client {
         let mut miss: Option<Reply> = None;
         let mut soft_miss: Option<Reply> = None;
         let mut last_err: Option<ClientError> = None;
-        for serial in 0..copies + REPLICA_PROBE_SLACK {
+        for serial in self.replica_order(id, copies + REPLICA_PROBE_SLACK) {
             match self.retrieve(&id.replica(serial)) {
                 Ok(reply) if reply.is_hit() => return Ok(reply),
                 // A clean miss comes from the serial's true greedy
@@ -656,6 +713,14 @@ impl Client {
     }
 }
 
+/// Squared virtual-space distance from `from` to replica `serial` of
+/// `id` — the sort key for [`Client::replica_order`]. Squared distance
+/// preserves the ordering and skips the square root.
+fn replica_distance_squared(from: Point2, id: &DataId, serial: u32) -> f64 {
+    let (x, y) = virtual_position(&id.replica(serial));
+    from.distance_squared(Point2::new(x, y))
+}
+
 /// Largest exponent the doubling backoff may reach; beyond it the sleep
 /// is pinned. Base 25ms shifted by 10 is already 25.6s — any larger
 /// retry budget used to overflow `Duration` in the multiply and panic
@@ -793,6 +858,50 @@ mod tests {
         dead.join().unwrap();
         drop(client);
         live.join().unwrap();
+    }
+
+    /// A client that never connects — enough to exercise pure ordering
+    /// logic.
+    fn offline_client(positions: Vec<Point2>) -> Client {
+        Client {
+            addrs: vec!["127.0.0.1:1".parse().unwrap()],
+            positions,
+            current: 0,
+            cfg: ClientConfig::default(),
+            conn: None,
+            pipe: None,
+        }
+    }
+
+    #[test]
+    fn replica_order_without_positions_is_serial_order() {
+        let client = offline_client(Vec::new());
+        assert_eq!(client.replica_order(&DataId::new("k"), 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn replica_order_sorts_by_virtual_distance_from_the_access_node() {
+        let id = DataId::new("steered-key");
+        let count = 6u32;
+        // Park the access node exactly on replica 4's virtual position:
+        // serial 4 must be probed first, and the rest must follow in
+        // nondecreasing distance.
+        let (x, y) = virtual_position(&id.replica(4));
+        let client = offline_client(vec![Point2::new(x, y)]);
+        let order = client.replica_order(&id, count);
+        assert_eq!(order[0], 4, "nearest replica probed first: {order:?}");
+        let mut sorted: Vec<u32> = (0..count).collect();
+        sorted.sort_by(|&a, &b| {
+            replica_distance_squared(Point2::new(x, y), &id, a)
+                .partial_cmp(&replica_distance_squared(Point2::new(x, y), &id, b))
+                .unwrap()
+        });
+        assert_eq!(order, sorted);
+        // Every serial still appears exactly once — steering reorders,
+        // never drops.
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..count).collect::<Vec<_>>());
     }
 
     #[test]

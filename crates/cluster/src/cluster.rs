@@ -15,6 +15,7 @@
 use crate::client::{Client, ClientConfig, ClientError};
 use crate::node::{Node, NodeConfig, NodeReport};
 use gred::GredNetwork;
+use gred_geometry::Point2;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -97,6 +98,9 @@ pub struct Cluster {
     nodes: Vec<Option<Node>>,
     /// Real listener addresses, by switch — updated on restart.
     addrs: Vec<SocketAddr>,
+    /// Virtual-space positions, by switch — handed to clients so
+    /// replicated reads can probe the nearest replica first.
+    positions: Vec<Point2>,
     node_cfg: NodeConfig,
     client_cfg: ClientConfig,
     rewrite: AddrRewrite,
@@ -155,9 +159,11 @@ impl Cluster {
                 cfg.node.clone(),
             )?));
         }
+        let positions = net.dataplanes().iter().map(|p| p.position()).collect();
         let cluster = Cluster {
             nodes,
             addrs,
+            positions,
             node_cfg: cfg.node,
             client_cfg: cfg.client,
             rewrite,
@@ -211,24 +217,28 @@ impl Cluster {
             .filter_map(|(switch, slot)| slot.as_ref().map(|node| (switch, node)))
     }
 
-    /// A client attached to switch `switch`'s node.
+    /// A client attached to switch `switch`'s node. The client knows
+    /// the node's virtual position, so replicated reads probe the
+    /// nearest replica first.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] when the node is unreachable.
     pub fn client(&self, switch: usize) -> Result<Client, ClientError> {
-        Client::connect(self.addr(switch), self.client_cfg.clone())
+        self.client_multi(&[switch])
     }
 
     /// A client that rotates across several access nodes, so a crashed
-    /// entry point costs a retry instead of the whole request.
+    /// entry point costs a retry instead of the whole request. Each
+    /// access node's virtual position rides along for replica steering.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] when none of the access nodes is reachable.
     pub fn client_multi(&self, switches: &[usize]) -> Result<Client, ClientError> {
         let addrs = switches.iter().map(|&s| self.addr(s)).collect();
-        Client::connect_multi(addrs, self.client_cfg.clone())
+        let positions = switches.iter().map(|&s| self.positions[s]).collect();
+        Client::connect_multi_positioned(addrs, positions, self.client_cfg.clone())
     }
 
     /// Abruptly stops node `switch`, discarding everything it stored —
@@ -266,6 +276,7 @@ impl Cluster {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
         let addr = listener.local_addr()?;
         self.addrs[switch] = addr;
+        self.positions[switch] = net.dataplanes()[switch].position();
         let plane = net.dataplanes()[switch].clone();
         plane.reset_counters();
         let node = Node::spawn(
@@ -343,8 +354,9 @@ impl Cluster {
         while self.nodes.len() < count {
             let switch = self.nodes.len();
             self.nodes.push(None);
-            // Placeholder until restart_node fills the real address in.
+            // Placeholders until restart_node fills the real values in.
             self.addrs.push(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)));
+            self.positions.push(Point2::ORIGIN);
             self.restart_node(switch, net)?;
         }
         self.apply_planes(net);
@@ -543,6 +555,46 @@ mod tests {
             assert!(got.is_hit(), "key survives the join");
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn hot_reads_hit_the_access_node_cache_and_writes_invalidate() {
+        let net = ring(5);
+        let cluster = Cluster::boot(&net, ClusterConfig::default()).unwrap();
+        let id = DataId::new("hot-key");
+        let owner = net.responsible_server(&id).switch;
+        // Enter away from the owner so retrievals would forward — the
+        // cache probe sits on that forwarding path.
+        let access = (owner + 1) % 5;
+        let mut client = cluster.client(access).unwrap();
+
+        client.place(&id, b"v1".as_ref()).unwrap();
+        let first = client.retrieve(&id).unwrap();
+        assert_eq!(first.payload.as_ref(), b"v1");
+        // The second read of the hot key is served from the access
+        // node's cache: same bytes, no forwarding.
+        let second = client.retrieve(&id).unwrap();
+        assert_eq!(second.payload.as_ref(), b"v1");
+
+        // A write-through invalidation races nothing: the owner
+        // broadcasts Invalidate before acking, so the next read must
+        // see v2, never the cached v1.
+        client.place(&id, b"v2".as_ref()).unwrap();
+        let fresh = client.retrieve(&id).unwrap();
+        assert_eq!(
+            fresh.payload.as_ref(),
+            b"v2",
+            "a cached copy survived the write-through invalidation"
+        );
+
+        let report = cluster.shutdown();
+        let hot = report.hot_stats();
+        assert!(hot.cache_hits >= 1, "expected a cache hit: {hot}");
+        assert!(
+            hot.invalidations_rx >= 1,
+            "expected invalidation traffic: {hot}"
+        );
+        assert_eq!(report.total_errors(), 0);
     }
 
     #[test]

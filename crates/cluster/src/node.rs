@@ -76,7 +76,10 @@ use crate::frame::{self, FrameDecoder, MUX_PREAMBLE};
 use crate::mux::{DispatchPool, MuxLink, MuxMetrics};
 use crate::proto;
 use bytes::Bytes;
-use gred_dataplane::{wire, ForwardDecision, NodeHotStats, Packet, PacketKind, SwitchDataplane};
+use gred_cache::{ReadCache, Token};
+use gred_dataplane::{
+    wire, ForwardDecision, NodeHotStats, Packet, PacketKind, ResponseStatus, SwitchDataplane,
+};
 use gred_hash::DataId;
 use gred_net::ServerId;
 use gred_runtime::reactor::{
@@ -124,6 +127,12 @@ pub struct NodeConfig {
     /// sticky: greedy avoids a suspect, so no RPC ever succeeds against
     /// it and nothing would clear the flag after the peer heals.
     pub suspect_ttl: Duration,
+    /// Byte budget for the node's hot-key read cache ([`ReadCache`]):
+    /// remote-destined retrievals that hit it are answered inline with
+    /// zero peer RPCs, and every locally-stored write broadcasts an
+    /// invalidation to all peers before it acks. `0` disables caching
+    /// entirely (every probe is a silent no-op).
+    pub cache_bytes: usize,
     /// Accept backlog requested for the listener (clamped by the kernel
     /// to `net.core.somaxconn`). `TcpListener::bind` hardcodes 128,
     /// which a connect burst overflows whenever the reactor thread is
@@ -146,6 +155,7 @@ impl Default for NodeConfig {
             peer_reply_timeout: Duration::from_secs(5),
             max_detours: 8,
             suspect_ttl: Duration::from_secs(2),
+            cache_bytes: 8 * 1024 * 1024,
             listen_backlog: 4096,
             log_dir: std::env::var_os(LOG_DIR_ENV).map(PathBuf::from),
         }
@@ -205,14 +215,40 @@ struct OneShotLink {
 /// hop into a single batched RPC.
 enum Step {
     /// The request was answered (or refused) on this node.
-    Respond(Packet),
+    Respond {
+        resp: Packet,
+        /// The response acks a placement stored on *this* node: the
+        /// write-through invalidation broadcast must run (and may
+        /// downgrade the ack) before the response leaves the node.
+        stored: bool,
+    },
     /// The packet's next stop is peer switch `to`.
     Forward {
         /// Destination switch id.
         to: usize,
         /// The packet as it must appear on the wire to `to`.
         packet: Packet,
+        /// A clean greedy retrieval that missed the read cache: admit
+        /// the peer's response under this pre-RPC token (refused if an
+        /// invalidation raced past while the RPC was in flight).
+        fill: Option<CacheFill>,
     },
+}
+
+impl Step {
+    /// A plain local answer: no store, no cache admission.
+    fn respond(resp: Packet) -> Step {
+        Step::Respond {
+            resp,
+            stored: false,
+        }
+    }
+}
+
+/// Pending read-cache admission for one forwarded retrieval.
+struct CacheFill {
+    id: DataId,
+    token: Token,
 }
 
 #[derive(Debug, Default)]
@@ -227,6 +263,7 @@ struct Counters {
     peers_suspected: AtomicU64,
     detour_forwards: AtomicU64,
     redirects_issued: AtomicU64,
+    invalidations_rx: AtomicU64,
 }
 
 /// A peer's link slot: the mutex guards only *creating or replacing*
@@ -274,6 +311,10 @@ struct Inner {
     retired_processed: AtomicU64,
     peers: RwLock<PeerTable>,
     store: ShardedMap<DataId, StoredItem>,
+    /// Hot-key read cache consulted on the would-forward path; kept
+    /// coherent by the write-through invalidation broadcast and flushed
+    /// whenever a new forwarding plane is installed (crash/join/leave).
+    cache: ReadCache,
     shutdown: AtomicBool,
     /// Channel back to the reactor thread: the poller (for wakeups) and
     /// the list of connections whose outbox gained response bytes.
@@ -332,6 +373,7 @@ impl Node {
             retired_processed: AtomicU64::new(0),
             peers: RwLock::new(PeerTable::new(peer_addrs)),
             store: ShardedMap::new(),
+            cache: ReadCache::new(cfg.cache_bytes),
             shutdown: AtomicBool::new(false),
             reactor: ReactorShared {
                 poller: Poller::new()?,
@@ -405,6 +447,10 @@ impl Node {
         self.inner
             .retired_processed
             .fetch_add(old.packets_processed(), Ordering::Relaxed);
+        // A plane install accompanies a topology change (crash, join,
+        // leave): ownership moved, and ids tombstoned by a crash must
+        // not be resurrected from stale cached copies.
+        self.inner.cache.flush();
         self.inner.log("installed a new forwarding plane");
     }
 
@@ -506,6 +552,9 @@ impl Node {
     /// used when booting a cluster from a network that already placed
     /// data in-process.
     pub fn preload(&self, id: DataId, index: usize, payload: Bytes) {
+        // Preloading overwrites the store out of band, so any cached
+        // copy of the id on this node is stale by definition.
+        self.inner.cache.invalidate(&id);
         self.inner.store.insert(id, StoredItem { index, payload });
     }
 
@@ -641,10 +690,12 @@ fn parse_body(body: &Bytes) -> Result<Parsed, String> {
 }
 
 /// Runs the request(s) through the dispatcher, preserving arity.
-fn run_parsed(inner: &Inner, parsed: Parsed) -> Parsed {
+/// `inline` marks calls made on the reactor thread, which must never
+/// block on a peer RPC — see [`Inner::handle`].
+fn run_parsed(inner: &Inner, parsed: Parsed, inline: bool) -> Parsed {
     match parsed {
-        Parsed::One(packet) => Parsed::One(inner.handle(packet)),
-        Parsed::Many(packets) => Parsed::Many(inner.handle_batch(packets)),
+        Parsed::One(packet) => Parsed::One(inner.handle(packet, inline)),
+        Parsed::Many(packets) => Parsed::Many(inner.handle_batch(packets, inline)),
     }
 }
 
@@ -1053,7 +1104,7 @@ impl Reactor {
                 }
             };
             if all_local(&self.inner, &parsed) {
-                let replies = run_parsed(&self.inner, parsed);
+                let replies = run_parsed(&self.inner, parsed, true);
                 self.respond_inline(slot, None, &replies)?;
             } else {
                 let conn = self.conns[slot].as_mut().expect("live slot");
@@ -1064,7 +1115,7 @@ impl Reactor {
                 let job_inner = Arc::clone(&self.inner);
                 let job_shared = Arc::clone(&conn.shared);
                 self.inner.pool.submit(move || {
-                    let replies = run_parsed(&job_inner, parsed);
+                    let replies = run_parsed(&job_inner, parsed, false);
                     deliver(&job_inner, &job_shared, None, &replies);
                 });
                 return Ok(());
@@ -1093,7 +1144,7 @@ impl Reactor {
             }
         };
         if all_local(&self.inner, &parsed) {
-            let replies = run_parsed(&self.inner, parsed);
+            let replies = run_parsed(&self.inner, parsed, true);
             self.respond_inline(slot, Some(corr), &replies)
         } else {
             let conn = self.conns[slot].as_mut().expect("live slot");
@@ -1101,7 +1152,7 @@ impl Reactor {
             let job_inner = Arc::clone(&self.inner);
             let job_shared = Arc::clone(&conn.shared);
             self.inner.pool.submit(move || {
-                let replies = run_parsed(&job_inner, parsed);
+                let replies = run_parsed(&job_inner, parsed, false);
                 deliver(&job_inner, &job_shared, Some(corr), &replies);
             });
             Ok(())
@@ -1274,8 +1325,16 @@ fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
     if packet.kind == PacketKind::RetrievalResponse {
         return true; // refused locally
     }
-    if proto::server_addressed(packet).is_some() {
-        return true; // deliver_direct or refuse — never forwards
+    if packet.kind == PacketKind::Invalidate {
+        return true; // a pure cache operation, never routed
+    }
+    if let Some(server) = proto::server_addressed(packet) {
+        // deliver_direct or refuse — never forwards. A placement it
+        // stores, though, must run the invalidation broadcast, which
+        // blocks on every peer.
+        return !(packet.kind == PacketKind::Placement
+            && server.switch == inner.id
+            && inner.has_remote_peers());
     }
     if packet.relay.is_some() {
         return false; // relay chains forward by construction
@@ -1288,7 +1347,16 @@ fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
     // neighbors are excluded (excluding candidates can only help), so
     // this peek is safe even while peers are marked suspect.
     if !plane.is_local_minimum(packet.position) {
-        return false; // greedy forward
+        // Greedy forward — unless the read cache already holds the id,
+        // in which case `greedy_step` answers with zero peer RPCs. If
+        // the entry vanishes before the step runs, the inline path
+        // degrades to a redirect rather than ever blocking the reactor.
+        return packet.kind == PacketKind::Retrieval
+            && packet.detours == 0
+            && inner.cache.contains(&packet.id);
+    }
+    if packet.kind == PacketKind::Placement && inner.has_remote_peers() {
+        return false; // the write-through broadcast blocks on peers
     }
     // Local delivery — unless a range extension redirects to a server
     // behind another switch (remote takeover / redirected placement).
@@ -1354,6 +1422,7 @@ impl Inner {
     }
 
     fn hot_stats(&self) -> NodeHotStats {
+        let cache = self.cache.stats();
         NodeHotStats {
             oneshot_fallbacks: self.counters.oneshot_fallbacks.load(Ordering::Relaxed),
             link_reconnects: self.counters.link_reconnects.load(Ordering::Relaxed),
@@ -1363,14 +1432,41 @@ impl Inner {
             peers_suspected: self.counters.peers_suspected.load(Ordering::Relaxed),
             detour_forwards: self.counters.detour_forwards.load(Ordering::Relaxed),
             redirects_issued: self.counters.redirects_issued.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            invalidations_rx: self.counters.invalidations_rx.load(Ordering::Relaxed),
         }
     }
 
+    /// Whether this node has any peer besides itself — the write path
+    /// only pays for invalidation broadcasts when someone could be
+    /// caching.
+    fn has_remote_peers(&self) -> bool {
+        self.peers
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .addrs
+            .len()
+            > 1
+    }
+
     /// Dispatches one request packet and produces its response.
-    fn handle(&self, packet: Packet) -> Packet {
-        match self.route_step(packet) {
-            Step::Respond(resp) => resp,
-            Step::Forward { to, packet } => self.rpc(to, packet),
+    /// `inline` marks calls on the reactor thread: they must never
+    /// reach [`rpc`](Inner::rpc) (enforced in `greedy_step`).
+    fn handle(&self, packet: Packet, inline: bool) -> Packet {
+        match self.route_step(packet, inline) {
+            Step::Respond { mut resp, stored } => {
+                if stored && !self.broadcast_invalidations(std::slice::from_ref(&resp.id)) {
+                    degrade_ack(&mut resp);
+                }
+                resp
+            }
+            Step::Forward { to, packet, fill } => {
+                let resp = self.rpc(to, packet);
+                self.maybe_cache(fill, &resp);
+                resp
+            }
         }
     }
 
@@ -1379,28 +1475,56 @@ impl Inner {
     /// **one** batched peer RPC instead of one RPC each. Responses come
     /// back in request order, each carrying its own per-packet status —
     /// a batch is observably identical to its packets sent singly.
-    fn handle_batch(&self, packets: Vec<Packet>) -> Vec<Packet> {
+    fn handle_batch(&self, packets: Vec<Packet>, inline: bool) -> Vec<Packet> {
         let mut out: Vec<Option<Packet>> = Vec::new();
         out.resize_with(packets.len(), || None);
         // BTreeMap for a deterministic peer order within a batch.
-        let mut groups: BTreeMap<usize, Vec<(usize, Packet)>> = BTreeMap::new();
+        let mut groups: BTreeMap<usize, Vec<(usize, Packet, Option<CacheFill>)>> = BTreeMap::new();
+        let mut stored_slots: Vec<usize> = Vec::new();
         for (i, packet) in packets.into_iter().enumerate() {
-            match self.route_step(packet) {
-                Step::Respond(resp) => out[i] = Some(resp),
-                Step::Forward { to, packet } => groups.entry(to).or_default().push((i, packet)),
+            match self.route_step(packet, inline) {
+                Step::Respond { resp, stored } => {
+                    if stored {
+                        stored_slots.push(i);
+                    }
+                    out[i] = Some(resp);
+                }
+                Step::Forward { to, packet, fill } => {
+                    groups.entry(to).or_default().push((i, packet, fill));
+                }
             }
         }
         for (to, group) in groups {
             if group.len() == 1 {
                 // A lone packet keeps the plain RPC path (identical
                 // failure semantics, no batch container overhead).
-                for (i, packet) in group {
-                    out[i] = Some(self.rpc(to, packet));
+                for (i, packet, fill) in group {
+                    let resp = self.rpc(to, packet);
+                    self.maybe_cache(fill, &resp);
+                    out[i] = Some(resp);
                 }
             } else {
-                let (slots, fwd): (Vec<usize>, Vec<Packet>) = group.into_iter().unzip();
-                for (i, resp) in slots.into_iter().zip(self.rpc_batch(to, fwd)) {
+                let (meta, fwd): (Vec<(usize, Option<CacheFill>)>, Vec<Packet>) = group
+                    .into_iter()
+                    .map(|(i, packet, fill)| ((i, fill), packet))
+                    .unzip();
+                for ((i, fill), resp) in meta.into_iter().zip(self.rpc_batch(to, fwd)) {
+                    self.maybe_cache(fill, &resp);
                     out[i] = Some(resp);
+                }
+            }
+        }
+        // One invalidation broadcast covers every id the batch stored
+        // here — batched over the same "GB" container the data path
+        // uses, so coherence traffic amortizes exactly like writes do.
+        if !stored_slots.is_empty() {
+            let ids: Vec<DataId> = stored_slots
+                .iter()
+                .map(|&i| out[i].as_ref().expect("stored slot is answered").id.clone())
+                .collect();
+            if !self.broadcast_invalidations(&ids) {
+                for &i in &stored_slots {
+                    degrade_ack(out[i].as_mut().expect("stored slot is answered"));
                 }
             }
         }
@@ -1414,27 +1538,44 @@ impl Inner {
     /// this node, returning the prepared hop instead of performing it.
     ///
     /// [`handle`]: Inner::handle
-    fn route_step(&self, packet: Packet) -> Step {
+    fn route_step(&self, packet: Packet, inline: bool) -> Step {
+        if packet.kind == PacketKind::Invalidate {
+            // Coherence traffic: drop any cached copy and ack. Handled
+            // before the request counter — an invalidation is overhead
+            // of someone else's write, not a request of its own — and
+            // always inline (a pure cache operation never blocks).
+            self.cache.invalidate(&packet.id);
+            self.counters
+                .invalidations_rx
+                .fetch_add(1, Ordering::Relaxed);
+            let mut ack = Packet::response(packet.id.clone(), Bytes::new());
+            ack.hops = packet.hops;
+            return Step::respond(ack);
+        }
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         if packet.kind == PacketKind::RetrievalResponse {
             // Responses travel back up the RPC chain, never as requests.
-            return Step::Respond(self.refuse(&packet, "response packet arrived as a request"));
+            return Step::respond(self.refuse(&packet, "response packet arrived as a request"));
         }
         if let Some(server) = proto::server_addressed(&packet) {
             if server.switch != self.id {
-                return Step::Respond(
+                return Step::respond(
                     self.refuse(&packet, "server-addressed packet at the wrong switch"),
                 );
             }
-            return Step::Respond(self.deliver_direct(packet.without_relay(), server));
+            let stored = packet.kind == PacketKind::Placement;
+            return Step::Respond {
+                resp: self.deliver_direct(packet.without_relay(), server),
+                stored,
+            };
         }
         if let Some(header) = packet.relay {
             if header.relay != self.id {
-                return Step::Respond(self.refuse(&packet, "relayed packet at the wrong switch"));
+                return Step::respond(self.refuse(&packet, "relayed packet at the wrong switch"));
             }
             if header.dest == self.id {
                 // Virtual-link endpoint: pop the header, resume greedy.
-                return self.greedy_step(packet.without_relay());
+                return self.greedy_step(packet.without_relay(), inline);
             }
             // Intermediate relay: rewrite d.relay to the tuple's succ.
             return match self.plane().relay_next(header.dest, header.sour) {
@@ -1445,12 +1586,13 @@ impl Inner {
                     Step::Forward {
                         to: succ,
                         packet: fwd,
+                        fill: None,
                     }
                 }
-                None => Step::Respond(self.refuse(&packet, "no relay tuple for the virtual link")),
+                None => Step::respond(self.refuse(&packet, "no relay tuple for the virtual link")),
             };
         }
-        self.greedy_step(packet)
+        self.greedy_step(packet, inline)
     }
 
     /// Greedy pipeline step at this switch (packet not in a virtual
@@ -1458,12 +1600,12 @@ impl Inner {
     /// detours to the next-best live neighbor (or delivers locally) and
     /// counts each detour in the packet, aborting with a redirect once
     /// the budget is spent so a partitioned walk terminates observably.
-    fn greedy_step(&self, mut packet: Packet) -> Step {
+    fn greedy_step(&self, mut packet: Packet, inline: bool) -> Step {
         let plane = self.plane();
         if plane.server_count() == 0 {
             // Transit switches only relay; they are never access points
             // and never DT members (mirrors `route`'s InvalidDynamics).
-            return Step::Respond(
+            return Step::respond(
                 self.refuse(&packet, "transit switch cannot run the greedy pipeline"),
             );
         }
@@ -1484,7 +1626,7 @@ impl Inner {
                 .fetch_add(1, Ordering::Relaxed);
             packet.detours = packet.detours.saturating_add(1);
             if packet.detours > self.cfg.max_detours {
-                return Step::Respond(self.redirect(&packet, "detour budget exhausted"));
+                return Step::respond(self.redirect(&packet, "detour budget exhausted"));
             }
         }
         match decision {
@@ -1497,6 +1639,36 @@ impl Inner {
                 next_hop,
                 virtual_link,
             } => {
+                // Hot-key fast path: a clean remote-destined retrieval
+                // may be answered from the read cache with zero peer
+                // RPCs. Probed only here — local deliveries and relay
+                // legs never consult it — so the hit rate measures
+                // forwarding actually saved. Detoured walks skip the
+                // cache entirely (probe and admission): only the true
+                // greedy path's answers are trusted.
+                let fill = if packet.kind == PacketKind::Retrieval && packet.detours == 0 {
+                    let token = self.cache.begin_read(&packet.id);
+                    if let Some(payload) = self.cache.get(&packet.id) {
+                        let mut resp = Packet::response(packet.id.clone(), payload);
+                        resp.hops = packet.hops;
+                        resp.detours = packet.detours;
+                        return Step::respond(resp);
+                    }
+                    Some(CacheFill {
+                        id: packet.id.clone(),
+                        token,
+                    })
+                } else {
+                    None
+                };
+                if inline {
+                    // The reactor only routed this here because the
+                    // cache held the id a moment ago; it vanished in
+                    // between, and the reactor must never block on the
+                    // peer RPC the forward needs. Abort with a redirect
+                    // — the client's retry lands on the pool path.
+                    return Step::respond(self.redirect(&packet, "cached entry raced away"));
+                }
                 self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
                 let mut fwd = if virtual_link {
                     packet.with_relay(self.id, next_hop, neighbor)
@@ -1507,6 +1679,7 @@ impl Inner {
                 Step::Forward {
                     to: next_hop,
                     packet: fwd,
+                    fill,
                 }
             }
         }
@@ -1523,18 +1696,23 @@ impl Inner {
             PacketKind::Placement => {
                 let target = extended_to.unwrap_or(server);
                 if target.switch == self.id {
-                    Step::Respond(self.store_local(&packet, target))
+                    Step::Respond {
+                        resp: self.store_local(&packet, target),
+                        stored: true,
+                    }
                 } else {
                     // The extension redirected the write to a server
                     // behind another switch. The redirected copy
                     // supersedes any stale primary copy (mirrors
-                    // `GredNetwork::place`).
+                    // `GredNetwork::place`) — including a cached one.
                     self.store.remove(&packet.id);
+                    self.cache.invalidate(&packet.id);
                     let mut fwd = proto::address_to_server(packet, target);
                     fwd.hops = fwd.hops.saturating_add(1);
                     Step::Forward {
                         to: target.switch,
                         packet: fwd,
+                        fill: None,
                     }
                 }
             }
@@ -1544,10 +1722,10 @@ impl Inner {
                 // order is observably equivalent and keeps the response
                 // deterministic.
                 if let Some(found) = self.lookup_local(&packet, server) {
-                    return Step::Respond(found);
+                    return Step::respond(found);
                 }
                 match extended_to {
-                    Some(takeover) if takeover.switch == self.id => Step::Respond(
+                    Some(takeover) if takeover.switch == self.id => Step::respond(
                         self.lookup_local(&packet, takeover)
                             .unwrap_or_else(|| self.respond_miss(&packet)),
                     ),
@@ -1557,12 +1735,15 @@ impl Inner {
                         Step::Forward {
                             to: takeover.switch,
                             packet: fwd,
+                            fill: None,
                         }
                     }
-                    None => Step::Respond(self.respond_miss(&packet)),
+                    None => Step::respond(self.respond_miss(&packet)),
                 }
             }
-            PacketKind::RetrievalResponse => unreachable!("rejected in route_step()"),
+            PacketKind::RetrievalResponse | PacketKind::Invalidate => {
+                unreachable!("rejected in route_step()")
+            }
         }
     }
 
@@ -1573,7 +1754,9 @@ impl Inner {
             PacketKind::Retrieval => self
                 .lookup_local(&packet, server)
                 .unwrap_or_else(|| self.respond_miss(&packet)),
-            PacketKind::RetrievalResponse => unreachable!("rejected in handle()"),
+            PacketKind::RetrievalResponse | PacketKind::Invalidate => {
+                unreachable!("rejected in handle()")
+            }
         }
     }
 
@@ -1583,6 +1766,9 @@ impl Inner {
     /// refcount bump, not a copy.
     fn store_local(&self, packet: &Packet, target: ServerId) -> Packet {
         debug_assert_eq!(target.switch, self.id);
+        // The owner can also be an access node for the same id: its own
+        // cached copy is superseded the moment the write lands.
+        self.cache.invalidate(&packet.id);
         self.store.insert(
             packet.id.clone(),
             StoredItem {
@@ -1754,6 +1940,81 @@ impl Inner {
         }
     }
 
+    /// Admits a forwarded retrieval's response into the read cache.
+    /// Only a clean authoritative hit qualifies: an `Ok`, detour-free
+    /// `RetrievalResponse`. A detoured (`Degraded`) or aborted
+    /// (`Redirect`) answer may come from a stand-in switch rather than
+    /// the true owner and must never populate the cache; misses and
+    /// errors carry nothing worth caching. The pre-RPC token makes the
+    /// admission epoch-fenced: if an invalidation for the id landed
+    /// while the RPC was in flight, the insert is refused.
+    fn maybe_cache(&self, fill: Option<CacheFill>, resp: &Packet) {
+        let Some(fill) = fill else { return };
+        if resp.kind != PacketKind::RetrievalResponse
+            || resp.status != ResponseStatus::Ok
+            || resp.detours != 0
+        {
+            return;
+        }
+        debug_assert!(
+            !matches!(
+                resp.status,
+                ResponseStatus::Degraded | ResponseStatus::Redirect
+            ),
+            "a detoured or redirected read must never populate the cache"
+        );
+        self.cache
+            .insert_if_fresh(fill.token, fill.id, resp.payload.clone());
+    }
+
+    /// Write-through coherence: before a placement stored on this node
+    /// acks, every remote peer is told to drop any cached copy of
+    /// `ids`. Returns whether every peer confirmed.
+    ///
+    /// An unreachable peer is marked suspect and the caller downgrades
+    /// the ack to `Degraded` — never a hard failure. That keeps the
+    /// guarantee exact without sacrificing availability: after a
+    /// *clean* ack no cache anywhere can serve the old value, while a
+    /// write racing a dead peer still lands (degraded, so replication
+    /// quorums don't count it). Peers already under suspicion are not
+    /// re-probed on the write path — the first failure paid the
+    /// timeout; further writes inside the TTL just stay degraded.
+    fn broadcast_invalidations(&self, ids: &[DataId]) -> bool {
+        let suspects: Vec<Arc<AtomicU64>> = {
+            let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+            peers.suspect.iter().map(Arc::clone).collect()
+        };
+        if suspects.len() <= 1 {
+            return true; // nobody else could be caching
+        }
+        let packets: Vec<Packet> = ids
+            .iter()
+            .map(|id| Packet::invalidate(id.clone()))
+            .collect();
+        let now = self.now_ms();
+        let mut all_confirmed = true;
+        for (to, suspect) in suspects.iter().enumerate() {
+            if to == self.id {
+                continue;
+            }
+            if suspect.load(Ordering::Relaxed) > now {
+                all_confirmed = false;
+                continue;
+            }
+            let sent = match &packets[..] {
+                [single] => self.mux_rpc(to, single).is_ok(),
+                many => self.mux_rpc_batch(to, many).is_ok(),
+            };
+            if sent {
+                self.clear_suspect(to);
+            } else {
+                self.mark_suspect(to);
+                all_confirmed = false;
+            }
+        }
+        all_confirmed
+    }
+
     /// The address and link slot for peer `to`, cloned out of the table
     /// so no table lock is held across connects or calls.
     fn peer_slot(&self, to: usize) -> io::Result<(SocketAddr, LinkSlot)> {
@@ -1822,6 +2083,16 @@ impl Inner {
             self.cfg.peer_reply_timeout,
             &self.mux_metrics,
         )
+    }
+}
+
+/// Downgrades a clean placement ack whose invalidation broadcast could
+/// not reach every peer: the write landed, but some cache may still
+/// hold the old value, so the copy must not count toward a replication
+/// quorum. Already-degraded (detoured) acks are left alone.
+fn degrade_ack(resp: &mut Packet) {
+    if resp.status == ResponseStatus::Ok {
+        resp.status = ResponseStatus::Degraded;
     }
 }
 
@@ -1946,6 +2217,76 @@ mod tests {
         );
         assert_eq!(report.hot.oneshot_fallbacks, 0);
         assert_eq!(report.hot.frames_decoded, 3);
+    }
+
+    #[test]
+    fn invalidate_frames_drop_cached_entries_inline() {
+        let mut node = spawn_single(1);
+        let id = DataId::new("inv-key");
+        // Seed the read cache directly (a single node never forwards,
+        // so the population path cannot run here).
+        let token = node.inner.cache.begin_read(&id);
+        assert!(node
+            .inner
+            .cache
+            .insert_if_fresh(token, id.clone(), Bytes::from_static(b"v")));
+        let resp = roundtrip(node.addr(), &Packet::invalidate(id.clone()));
+        assert_eq!(resp.status, gred_dataplane::ResponseStatus::Ok);
+        assert!(resp.payload.is_empty());
+        assert!(node.inner.cache.get(&id).is_none(), "the entry is dropped");
+        let report = node.shutdown();
+        assert_eq!(report.hot.invalidations_rx, 1);
+        assert_eq!(report.requests, 0, "coherence traffic is not a request");
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.workers_joined, 1,
+            "invalidations are served inline on the reactor"
+        );
+    }
+
+    #[test]
+    fn detoured_or_redirected_responses_never_populate_the_cache() {
+        let mut node = spawn_single(1);
+        let id = DataId::new("detour-no-fill");
+        let fill = |token| {
+            Some(CacheFill {
+                id: id.clone(),
+                token,
+            })
+        };
+
+        let mut degraded = Packet::response(id.clone(), b"stale".as_ref());
+        degraded.status = gred_dataplane::ResponseStatus::Degraded;
+        degraded.detours = 1;
+        let token = node.inner.cache.begin_read(&id);
+        node.inner.maybe_cache(fill(token), &degraded);
+        assert!(
+            node.inner.cache.get(&id).is_none(),
+            "a degraded (detoured) read must never populate the cache"
+        );
+
+        let redirect = Packet::redirect_response(id.clone());
+        let token = node.inner.cache.begin_read(&id);
+        node.inner.maybe_cache(fill(token), &redirect);
+        assert!(
+            node.inner.cache.get(&id).is_none(),
+            "a redirected read must never populate the cache"
+        );
+
+        let miss = Packet::not_found(id.clone());
+        let token = node.inner.cache.begin_read(&id);
+        node.inner.maybe_cache(fill(token), &miss);
+        assert!(node.inner.cache.get(&id).is_none(), "misses are not cached");
+
+        // The clean authoritative answer is the only one admitted.
+        let ok = Packet::response(id.clone(), b"fresh".as_ref());
+        let token = node.inner.cache.begin_read(&id);
+        node.inner.maybe_cache(fill(token), &ok);
+        assert_eq!(
+            node.inner.cache.get(&id).expect("clean hit cached").as_ref(),
+            b"fresh"
+        );
+        node.shutdown();
     }
 
     #[test]

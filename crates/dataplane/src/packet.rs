@@ -19,6 +19,10 @@ pub enum PacketKind {
     Retrieval,
     /// A server's answer to a retrieval.
     RetrievalResponse,
+    /// Coherence traffic: drop any cached copy of the id. Sent
+    /// point-to-point between peers before a write acks; never routed
+    /// greedily and never relayed.
+    Invalidate,
 }
 
 impl std::fmt::Display for PacketKind {
@@ -27,6 +31,7 @@ impl std::fmt::Display for PacketKind {
             PacketKind::Placement => "placement",
             PacketKind::Retrieval => "retrieval",
             PacketKind::RetrievalResponse => "retrieval-response",
+            PacketKind::Invalidate => "invalidate",
         };
         f.write_str(s)
     }
@@ -175,6 +180,22 @@ impl Packet {
         }
     }
 
+    /// An invalidation notice for `id`: the receiver must drop any
+    /// cached copy before the sender's write acks. Payload-free.
+    pub fn invalidate(id: DataId) -> Self {
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::Invalidate,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
+            detours: 0,
+            payload: Bytes::new(),
+        }
+    }
+
     /// A miss response: the responsible server stores nothing under `id`.
     pub fn not_found(id: DataId) -> Self {
         let mut p = Packet::response(id, Bytes::new());
@@ -314,5 +335,18 @@ mod tests {
             PacketKind::RetrievalResponse.to_string(),
             "retrieval-response"
         );
+        assert_eq!(PacketKind::Invalidate.to_string(), "invalidate");
+    }
+
+    #[test]
+    fn invalidate_constructor_is_payload_free_and_unrouted() {
+        let id = DataId::new("k");
+        let p = Packet::invalidate(id.clone());
+        assert_eq!(p.kind, PacketKind::Invalidate);
+        assert_eq!(p.status, ResponseStatus::Ok);
+        assert!(p.payload.is_empty());
+        assert!(p.relay.is_none());
+        let (x, y) = gred_hash::virtual_position(&id);
+        assert_eq!(p.position, Point2::new(x, y));
     }
 }

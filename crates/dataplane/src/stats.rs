@@ -42,6 +42,18 @@ pub struct NodeHotStats {
     /// Requests refused with `Redirect` because every viable next hop
     /// was suspect or the detour budget ran out.
     pub redirects_issued: u64,
+    /// Remote-destined retrievals answered from the node's read cache
+    /// (zero peer RPCs, zero dispatch-pool handoffs).
+    pub cache_hits: u64,
+    /// Remote-destined retrievals that probed the read cache and had to
+    /// forward anyway. Hit rate = hits / (hits + misses).
+    pub cache_misses: u64,
+    /// Cached entries evicted by the CLOCK sweep to stay inside the
+    /// byte budget.
+    pub cache_evictions: u64,
+    /// Invalidation frames received from peers (write-through coherence
+    /// traffic; each one drops any cached copy of the written id).
+    pub invalidations_rx: u64,
 }
 
 impl NodeHotStats {
@@ -57,6 +69,10 @@ impl NodeHotStats {
             peers_suspected: self.peers_suspected + other.peers_suspected,
             detour_forwards: self.detour_forwards + other.detour_forwards,
             redirects_issued: self.redirects_issued + other.redirects_issued,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            invalidations_rx: self.invalidations_rx + other.invalidations_rx,
         }
     }
 }
@@ -67,7 +83,8 @@ impl std::fmt::Display for NodeHotStats {
             f,
             "oneshot_fallbacks={} link_reconnects={} store_shard_contention={} \
              frames_decoded={} encode_buf_reuses={} peers_suspected={} \
-             detour_forwards={} redirects_issued={}",
+             detour_forwards={} redirects_issued={} cache_hits={} \
+             cache_misses={} cache_evictions={} invalidations_rx={}",
             self.oneshot_fallbacks,
             self.link_reconnects,
             self.store_shard_contention,
@@ -76,6 +93,10 @@ impl std::fmt::Display for NodeHotStats {
             self.peers_suspected,
             self.detour_forwards,
             self.redirects_issued,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.invalidations_rx,
         )
     }
 }
@@ -161,9 +182,14 @@ mod tests {
             peers_suspected: 6,
             detour_forwards: 7,
             redirects_issued: 8,
+            cache_hits: 9,
+            cache_misses: 10,
+            cache_evictions: 11,
+            invalidations_rx: 12,
         };
         let b = NodeHotStats {
             frames_decoded: 10,
+            cache_hits: 1,
             ..NodeHotStats::default()
         };
         let m = a.merged(b);
@@ -175,6 +201,9 @@ mod tests {
         assert_eq!(m.peers_suspected, 6);
         assert!(text.contains("peers_suspected=6"), "got {text}");
         assert!(text.contains("redirects_issued=8"), "got {text}");
+        assert_eq!(m.cache_hits, 10);
+        assert!(text.contains("cache_hits=10"), "got {text}");
+        assert!(text.contains("invalidations_rx=12"), "got {text}");
     }
 
     #[test]

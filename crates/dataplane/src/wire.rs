@@ -124,6 +124,7 @@ fn kind_to_wire(kind: PacketKind) -> u8 {
         PacketKind::Placement => 0,
         PacketKind::Retrieval => 1,
         PacketKind::RetrievalResponse => 2,
+        PacketKind::Invalidate => 3,
     }
 }
 
@@ -132,6 +133,7 @@ fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
         0 => Ok(PacketKind::Placement),
         1 => Ok(PacketKind::Retrieval),
         2 => Ok(PacketKind::RetrievalResponse),
+        3 => Ok(PacketKind::Invalidate),
         other => Err(ParseError::BadKind(other)),
     }
 }
@@ -225,10 +227,13 @@ pub fn parse_bytes(body: &Bytes) -> Result<Packet, ParseError> {
     Ok(packet)
 }
 
-/// Retrieval requests carry no payload, so anything past the id is not
-/// part of the packet — reject it instead of silently absorbing it.
+/// Retrieval requests and invalidation notices carry no payload, so
+/// anything past the id is not part of the packet — reject it instead
+/// of silently absorbing it.
 fn check_payload(packet: &Packet) -> Result<(), ParseError> {
-    if packet.kind == PacketKind::Retrieval && !packet.payload.is_empty() {
+    let payload_free =
+        packet.kind == PacketKind::Retrieval || packet.kind == PacketKind::Invalidate;
+    if payload_free && !packet.payload.is_empty() {
         return Err(ParseError::TrailingGarbage {
             extra: packet.payload.len(),
         });
@@ -723,7 +728,7 @@ mod tests {
         fn prop_round_trip(
             id in proptest::collection::vec(any::<u8>(), 0..64),
             payload in proptest::collection::vec(any::<u8>(), 0..256),
-            kind in 0u8..3,
+            kind in 0u8..4,
             relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
             status in 0u8..5,
             hops in any::<u16>(),
@@ -733,7 +738,8 @@ mod tests {
             let mut p = match kind {
                 0 => Packet::placement(id, payload.clone()),
                 1 => Packet::retrieval(id),
-                _ => Packet::response(id, payload.clone()),
+                2 => Packet::response(id, payload.clone()),
+                _ => Packet::invalidate(id),
             };
             if let Some((s, r, d)) = relay {
                 p = p.with_relay(s, r, d);
@@ -786,6 +792,22 @@ mod tests {
             );
         }
 
+        /// Invalidation notices are payload-free on the wire exactly
+        /// like retrievals: appended garbage is always rejected.
+        #[test]
+        fn prop_invalidate_trailing_garbage_rejected(
+            id in proptest::collection::vec(any::<u8>(), 0..32),
+            garbage in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let p = Packet::invalidate(DataId::from_bytes(id));
+            let mut b = encode(&p);
+            b.extend_from_slice(&garbage);
+            prop_assert_eq!(
+                parse(&b),
+                Err(ParseError::TrailingGarbage { extra: garbage.len() })
+            );
+        }
+
         /// Any mix of packets survives a batch round trip in order, and
         /// the batch parser never panics on arbitrary bytes.
         #[test]
@@ -793,7 +815,7 @@ mod tests {
             specs in proptest::collection::vec(
                 (proptest::collection::vec(any::<u8>(), 0..16),
                  proptest::collection::vec(any::<u8>(), 0..64),
-                 0u8..3),
+                 0u8..4),
                 0..12,
             ),
             junk in proptest::collection::vec(any::<u8>(), 0..64),
@@ -805,7 +827,8 @@ mod tests {
                     match kind {
                         0 => Packet::placement(id, payload),
                         1 => Packet::retrieval(id),
-                        _ => Packet::response(id, payload),
+                        2 => Packet::response(id, payload),
+                        _ => Packet::invalidate(id),
                     }
                 })
                 .collect();

@@ -10,18 +10,21 @@
 //! blocked `wait` ([`Poller::wake`]) — the mechanism dispatch-pool
 //! workers use to hand finished responses back to the reactor thread.
 //!
-//! [`WriteQueue`] is the other half of nonblocking I/O: a byte queue
-//! that absorbs partial writes. Callers push whole frames; `flush`
-//! writes as much as the socket accepts and keeps the remainder, so a
-//! `WouldBlock` at any offset never tears a frame. It is a plain
-//! in-memory structure (no fd inside), which is what lets the framing
-//! proptests drive it through forced short writes without sockets.
+//! [`WriteQueue`] is the other half of nonblocking I/O: a segmented
+//! byte queue that absorbs partial writes. Callers push whole frames;
+//! `flush` hands the queued segments to the sink in one
+//! `write_vectored` (writev(2)) call and keeps whatever the socket did
+//! not accept, so a `WouldBlock` at any byte offset never tears a
+//! frame. It is a plain in-memory structure (no fd inside), which is
+//! what lets the framing proptests drive it through forced short
+//! writes without sockets.
 //!
 //! Everything here is Linux-specific by design: the repo targets Linux
 //! and the node runtime needs `epoll` semantics (level-triggered
 //! readiness, `eventfd` wakeups) rather than a portability layer.
 
-use std::io::{self, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
 use std::os::fd::RawFd;
 use std::os::raw::{c_int, c_uint, c_void};
 use std::time::Duration;
@@ -322,18 +325,51 @@ impl Drop for Poller {
 unsafe impl Send for Poller {}
 unsafe impl Sync for Poller {}
 
-/// A byte queue that makes partial writes invisible to the caller.
+/// Upper bound on the iovec array handed to one `write_vectored` call.
+/// Linux caps a writev at `UIO_MAXIOV` (1024) anyway; a small stack
+/// array keeps the flush path allocation-free while still batching a
+/// deep backlog in a handful of syscalls.
+const MAX_WRITE_SLICES: usize = 64;
+
+/// Small frames are appended to the newest segment while it stays under
+/// this size, so a burst of tiny responses does not degenerate into one
+/// iovec entry per frame.
+const COALESCE_SEGMENT_BYTES: usize = 4096;
+
+/// Drained segment buffers kept warm for reuse.
+const SPARE_SEGMENTS: usize = 8;
+
+/// Largest per-segment capacity worth recycling; bigger buffers came
+/// from a burst and are returned to the allocator rather than pinning
+/// the high-water mark forever.
+const RECYCLE_CAP_BYTES: usize = 64 * 1024;
+
+/// A segmented byte queue that makes partial writes invisible to the
+/// caller.
 ///
 /// Push whole encoded frames with [`WriteQueue::push`] (or try the
 /// direct fast path with [`WriteQueue::send`]), then [`flush`] whenever
-/// the socket reports writable. A short write or `WouldBlock` at any
-/// byte offset keeps the remainder queued, so frames are never torn.
+/// the socket reports writable. Queued segments are handed to the sink
+/// as one `write_vectored` (writev(2)) call — a backlog of frames
+/// drains in one syscall instead of one per frame — and a short write
+/// or `WouldBlock` at any byte offset keeps the remainder queued, so
+/// frames are never torn. Drained segments are recycled through a small
+/// spare pool, so steady-state pushes allocate nothing.
 ///
 /// [`flush`]: WriteQueue::flush
 #[derive(Debug, Default)]
 pub struct WriteQueue {
-    buf: Vec<u8>,
-    start: usize,
+    /// Queued frame bytes, oldest first. Invariant: the front segment
+    /// always has unwritten bytes past `head` — fully drained segments
+    /// are popped (and recycled) immediately.
+    segments: VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already accepted by the sink.
+    head: usize,
+    /// Total bytes across all segments, the already-written head
+    /// included (cached so `pending` is O(1)).
+    queued: usize,
+    /// Drained segment buffers kept warm for the next push.
+    spare: Vec<Vec<u8>>,
 }
 
 impl WriteQueue {
@@ -344,18 +380,29 @@ impl WriteQueue {
 
     /// Bytes queued and not yet accepted by the sink.
     pub fn pending(&self) -> usize {
-        self.buf.len() - self.start
+        self.queued - self.head
     }
 
     /// Whether every pushed byte has been written.
     pub fn is_empty(&self) -> bool {
-        self.start == self.buf.len()
+        self.segments.is_empty()
     }
 
     /// Queues `bytes` behind whatever is already pending.
     pub fn push(&mut self, bytes: &[u8]) {
-        self.compact();
-        self.buf.extend_from_slice(bytes);
+        if bytes.is_empty() {
+            return;
+        }
+        self.queued += bytes.len();
+        if let Some(back) = self.segments.back_mut() {
+            if back.len() + bytes.len() <= COALESCE_SEGMENT_BYTES {
+                back.extend_from_slice(bytes);
+                return;
+            }
+        }
+        let mut seg = self.spare.pop().unwrap_or_default();
+        seg.extend_from_slice(bytes);
+        self.segments.push_back(seg);
     }
 
     /// Fast path: if nothing is pending, writes `bytes` straight to
@@ -388,42 +435,64 @@ impl WriteQueue {
         }
     }
 
-    /// Writes as much pending data as `out` accepts. Returns `Ok(true)`
-    /// when the queue drained, `Ok(false)` when `WouldBlock` left bytes
-    /// pending.
+    /// Writes as much pending data as `out` accepts, gathering up to
+    /// [`MAX_WRITE_SLICES`] segments per `write_vectored` call. Returns
+    /// `Ok(true)` when the queue drained, `Ok(false)` when `WouldBlock`
+    /// left bytes pending.
     ///
     /// # Errors
     ///
     /// Propagates fatal I/O errors (connection reset, `WriteZero`).
     pub fn flush(&mut self, out: &mut impl Write) -> io::Result<bool> {
-        while self.start < self.buf.len() {
-            match out.write(&self.buf[self.start..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => self.start += n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    self.compact();
-                    return Ok(false);
+        while !self.segments.is_empty() {
+            let result = {
+                let mut slices = [IoSlice::new(&[]); MAX_WRITE_SLICES];
+                let mut count = 0;
+                for (i, seg) in self.segments.iter().enumerate() {
+                    if count == MAX_WRITE_SLICES {
+                        break;
+                    }
+                    slices[count] = IoSlice::new(if i == 0 { &seg[self.head..] } else { seg });
+                    count += 1;
                 }
+                out.write_vectored(&slices[..count])
+            };
+            match result {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.consume(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
-        self.buf.clear();
-        self.start = 0;
-        // A burst can balloon the buffer; give the memory back once the
-        // queue drains rather than pinning the high-water mark forever.
-        if self.buf.capacity() > 1 << 20 {
-            self.buf = Vec::new();
-        }
         Ok(true)
     }
 
-    /// Drops already-written bytes once they dominate the buffer, the
-    /// same policy the sticky frame decoder uses.
-    fn compact(&mut self) {
-        if self.start > 4096 && self.start * 2 >= self.buf.len() {
-            self.buf.drain(..self.start);
-            self.start = 0;
+    /// Advances past `n` accepted bytes, popping (and recycling) every
+    /// fully written segment.
+    fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            let front = self
+                .segments
+                .front()
+                .expect("sink accepted more bytes than were pending");
+            let front_left = front.len() - self.head;
+            if n < front_left {
+                self.head += n;
+                return;
+            }
+            n -= front_left;
+            let seg = self.segments.pop_front().expect("front just observed");
+            self.queued -= seg.len();
+            self.head = 0;
+            self.recycle(seg);
+        }
+    }
+
+    fn recycle(&mut self, mut seg: Vec<u8>) {
+        if self.spare.len() < SPARE_SEGMENTS && seg.capacity() <= RECYCLE_CAP_BYTES {
+            seg.clear();
+            self.spare.push(seg);
         }
     }
 }
@@ -609,5 +678,105 @@ mod tests {
         while !queue.flush(&mut sink).unwrap() {}
         assert!(queue.is_empty());
         assert_eq!(sink.out, expected, "byte-exact despite constant starvation");
+    }
+
+    /// A sink driven by a cycling script of per-call byte budgets
+    /// (0 = `WouldBlock`), with a real `write_vectored` that gathers
+    /// across slices — the vectored analogue of [`Throttled`].
+    struct Scripted {
+        out: Vec<u8>,
+        script: Vec<usize>,
+        at: usize,
+        max_slices_seen: usize,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<usize>) -> Scripted {
+            Scripted {
+                out: Vec::new(),
+                script,
+                at: 0,
+                max_slices_seen: 0,
+            }
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.max_slices_seen = self.max_slices_seen.max(bufs.len());
+            let budget = self.script[self.at % self.script.len()];
+            self.at += 1;
+            if budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let mut taken = 0;
+            for buf in bufs {
+                let n = buf.len().min(budget - taken);
+                self.out.extend_from_slice(&buf[..n]);
+                taken += n;
+                if taken == budget {
+                    break;
+                }
+            }
+            Ok(taken)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_gathers_queued_frames_into_one_vectored_write() {
+        let mut queue = WriteQueue::new();
+        // Each frame overflows the coalesce limit, so every push is its
+        // own segment — the flush must still drain all three in a
+        // single gathering call.
+        let frames: Vec<Vec<u8>> = (0u8..3).map(|i| vec![i; COALESCE_SEGMENT_BYTES]).collect();
+        for frame in &frames {
+            queue.push(frame);
+        }
+        let mut sink = Scripted::new(vec![usize::MAX]);
+        assert!(queue.flush(&mut sink).unwrap());
+        assert_eq!(sink.at, 1, "one writev drained the whole backlog");
+        assert_eq!(sink.max_slices_seen, 3, "one iovec entry per segment");
+        assert_eq!(sink.out.len(), 3 * COALESCE_SEGMENT_BYTES);
+        assert!(queue.is_empty());
+        assert_eq!(queue.pending(), 0);
+    }
+
+    proptest::proptest! {
+        /// Whatever mix of frame sizes and partial-write budgets the
+        /// sink imposes, the drained stream is byte-exact and in order:
+        /// vectored flushing never tears, drops, or reorders a frame.
+        #[test]
+        fn prop_partial_vectored_writes_are_byte_exact(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..48),
+                0..12,
+            ),
+            script in proptest::collection::vec(0usize..9, 1..24),
+        ) {
+            let mut queue = WriteQueue::new();
+            let mut sink = Scripted::new(script);
+            let mut expected = Vec::new();
+            for frame in &frames {
+                expected.extend_from_slice(frame);
+                queue.send(&mut sink, frame).unwrap();
+                proptest::prop_assert_eq!(
+                    queue.pending(),
+                    expected.len() - sink.out.len(),
+                    "pending always accounts for exactly the unwritten bytes"
+                );
+            }
+            // Lift the starvation and drain what remains.
+            sink.script = vec![usize::MAX];
+            proptest::prop_assert!(queue.flush(&mut sink).unwrap());
+            proptest::prop_assert!(queue.is_empty());
+            proptest::prop_assert_eq!(queue.pending(), 0);
+            proptest::prop_assert_eq!(sink.out, expected);
+        }
     }
 }

@@ -726,6 +726,7 @@ fn run_chaos_cmd(seed: u64, ops: usize, switches: usize, kills: usize) {
     let outcome = run_chaos(&cfg).expect("chaos infrastructure boots");
     println!("{outcome}");
     println!("cluster: {}", outcome.report);
+    println!("hot path: {}", outcome.report.hot_stats());
     println!(
         "elapsed {:.3}s; reproduce with: {}",
         started.elapsed().as_secs_f64(),

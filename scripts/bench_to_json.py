@@ -19,12 +19,16 @@ Supported groups:
     bare id is the write-one/read-one baseline and is tagged
     ``"variant": "lockstep"``; the suffix names the others (currently
     ``pipelined`` — batch frames over the correlated channel,
-    ``contention`` — few switches, many clients, and ``reactor`` — the
+    ``contention`` — few switches, many clients, ``reactor`` — the
     pipelined burst with 1000 idle connections parked on the access
-    node). Tagging keeps ``--before`` comparisons honest: a pipelined
-    row is only ever compared with a pipelined row. Pipelined and
-    reactor rows also carry ``speedup_vs_lockstep`` against the
-    same-shape lockstep row. The
+    node, and ``zipf_hotkey`` — lockstep retrievals over a Zipf-skewed
+    hot-key trace exercising the node read caches). Tagging keeps
+    ``--before`` comparisons honest: a pipelined row is only ever
+    compared with a pipelined row. Pipelined and reactor rows also
+    carry ``speedup_vs_lockstep`` against the same-shape lockstep row.
+    Companion ``metrics`` records the shim's ``record_metrics`` helper
+    appends (same group/bench id, e.g. the zipf variant's observed
+    ``cache_hit_rate``) are joined onto the matching row. The
     rate is the *aggregate wall-clock* rate — total requests executed
     across every timed batch divided by the total time those batches
     took (``elements * total_iters / total_ns``) — not the median batch
@@ -81,16 +85,29 @@ def find_results(root):
 
 
 def latest_records(src, group):
-    """Latest record per bench id within `group` (reruns append)."""
+    """Latest record per bench id within `group` (reruns append).
+
+    Companion metrics lines (``{"group":…,"bench":…,"metrics":{…}}``)
+    are joined onto the latest timing record of the same bench id
+    instead of replacing it.
+    """
     latest = {}
+    metrics = {}
     with open(src, encoding="utf-8") as f:
         for line in f:
             line = line.strip()
             if not line:
                 continue
             rec = json.loads(line)
-            if rec.get("group") == group:
+            if rec.get("group") != group:
+                continue
+            if "metrics" in rec and "mean_ns" not in rec:
+                metrics.setdefault(rec["bench"], {}).update(rec["metrics"])
+            else:
                 latest[rec["bench"]] = rec
+    for bench, joined in metrics.items():
+        if bench in latest:
+            latest[bench].setdefault("metrics", {}).update(joined)
     if not latest:
         sys.exit(f"no {group} records in {src}")
     return latest
@@ -133,7 +150,7 @@ def fold_cluster_throughput(latest):
         # Variant-tagged ids: a bare `{n}sw_{k}c` is the lockstep
         # baseline; a suffix (`_pipelined`, `_contention`, ...) names the
         # variant so unlike rows are never folded together.
-        m = re.fullmatch(r"(\d+)sw_(\d+)c(?:_([a-z]+))?", bench)
+        m = re.fullmatch(r"(\d+)sw_(\d+)c(?:_([a-z][a-z_]*))?", bench)
         if not m:
             sys.exit(f"unexpected bench id {bench!r}")
         variant = m.group(3) or "lockstep"
@@ -150,28 +167,33 @@ def fold_cluster_throughput(latest):
             # Old shim records lack the totals; fall back to the median
             # batch mean (biased low on variance, kept for compatibility).
             rate = elements / (rec["mean_ns"] / 1e9)
-        results.append(
-            {
-                "switches": int(m.group(1)),
-                "client_threads": int(m.group(2)),
-                "variant": variant,
-                "batch_requests": elements,
-                "mean_batch_ms": round(rec["mean_ns"] / 1e6, 3),
-                "requests_per_sec": round(rate, 1),
-            }
-        )
+        row = {
+            "switches": int(m.group(1)),
+            "client_threads": int(m.group(2)),
+            "variant": variant,
+            "batch_requests": elements,
+            "mean_batch_ms": round(rec["mean_ns"] / 1e6, 3),
+            "requests_per_sec": round(rate, 1),
+        }
+        # Joined shim metrics (e.g. the zipf_hotkey variant's observed
+        # cache hit rate) ride along on the row they were measured with.
+        for key, value in sorted(rec.get("metrics", {}).items()):
+            row[key] = round(value, 4)
+        results.append(row)
     results.sort(key=lambda r: (r["variant"], r["switches"], r["client_threads"]))
 
     # Like-with-like speedup: each pipelined (or reactor — pipelined
     # plus parked idle connections) row against the lockstep row of the
-    # same cluster size and thread count.
+    # same cluster size and thread count. The zipf_hotkey row is also
+    # lockstep-shaped (one request in flight), so its ratio reads as
+    # "cached skewed reads vs uncached uniform reads".
     lockstep = {
         (r["switches"], r["client_threads"]): r["requests_per_sec"]
         for r in results
         if r["variant"] == "lockstep"
     }
     for r in results:
-        if r["variant"] in ("pipelined", "reactor"):
+        if r["variant"] in ("pipelined", "reactor", "zipf_hotkey"):
             base = lockstep.get((r["switches"], r["client_threads"]))
             r["speedup_vs_lockstep"] = round(r["requests_per_sec"] / base, 2) if base else None
 

@@ -163,6 +163,19 @@ fn shim_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/criterion-shim"))
 }
 
+fn append_result_line(line: &str) {
+    let dir = shim_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("results.jsonl"))
+        {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
 fn record(group: &str, bench: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let mean_ns = bencher.mean_ns;
     let human = format_ns(mean_ns);
@@ -184,17 +197,33 @@ fn record(group: &str, bench: &str, bencher: &Bencher, throughput: Option<Throug
         None => {}
     }
     line.push('}');
+    append_result_line(&line);
+}
 
-    let dir = shim_dir();
-    if fs::create_dir_all(&dir).is_ok() {
-        if let Ok(mut f) = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join("results.jsonl"))
-        {
-            let _ = writeln!(f, "{line}");
+/// Appends a join-able companion record
+/// (`{"group":…,"bench":…,"metrics":{…}}`) to the same `results.jsonl`
+/// the timing records land in. Benchmarks use this for measurements a
+/// timing loop cannot express — a cache hit rate observed over the
+/// whole run, a counter read at shutdown — keyed by the same
+/// group/bench id so post-processors (`scripts/bench_to_json.py`) can
+/// join them onto the timing record. Non-finite values are skipped:
+/// they have no JSON spelling.
+pub fn record_metrics(group: &str, bench: &str, metrics: &[(&str, f64)]) {
+    let mut line = String::new();
+    let _ = write!(line, "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"metrics\":{{");
+    let mut first = true;
+    for (key, value) in metrics {
+        if !value.is_finite() {
+            continue;
         }
+        if !first {
+            line.push(',');
+        }
+        first = false;
+        let _ = write!(line, "\"{key}\":{value:.6}");
     }
+    line.push_str("}}");
+    append_result_line(&line);
 }
 
 fn format_ns(ns: f64) -> String {
@@ -346,6 +375,28 @@ mod tests {
         std::env::set_var("CRITERION_SHIM_FILTER", "");
         assert!(selected("group", "other"));
         std::env::remove_var("CRITERION_SHIM_FILTER");
+    }
+
+    #[test]
+    fn record_metrics_appends_joinable_json() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        std::env::set_var("CRITERION_SHIM_DIR", &dir);
+        record_metrics(
+            "g",
+            "16sw_1c_zipf_hotkey",
+            &[("cache_hit_rate", 0.75), ("bogus", f64::NAN)],
+        );
+        std::env::remove_var("CRITERION_SHIM_DIR");
+        let written = fs::read_to_string(dir.join("results.jsonl")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        assert!(
+            written.contains(
+                "{\"group\":\"g\",\"bench\":\"16sw_1c_zipf_hotkey\",\
+                 \"metrics\":{\"cache_hit_rate\":0.750000}}"
+            ),
+            "got {written}"
+        );
+        assert!(!written.contains("bogus"), "NaN metrics must be dropped");
     }
 
     #[test]

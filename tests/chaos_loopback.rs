@@ -17,7 +17,8 @@
 //!   matrix).
 
 use gred_cluster::{
-    chaos_cluster_config, run_chaos, ChaosConfig, ChaosFabric, ChaosTransport, Cluster, LinkMode,
+    chaos_cluster_config, run_chaos, ChaosConfig, ChaosFabric, ChaosTransport, Cluster,
+    ClusterConfig, LinkMode, NodeConfig,
 };
 use gred_hash::DataId;
 use gred_net::{ServerPool, Topology};
@@ -151,6 +152,156 @@ fn isolated_owner_never_acks_clean() {
     assert!(clean, "clean placement must resume after links heal");
     cluster.shutdown();
     fabric.shutdown();
+}
+
+/// The read-cache staleness invariant under churn: with hot-key
+/// traffic (repeated reads of a small key set, so the access nodes'
+/// caches are actually exercised) across two crash/restart cycles, no
+/// read ever returns a version older than the last *clean-acked* write
+/// of that key, and no read resurrects a value whose only copy died
+/// with a crashed owner. This is the socket-level twin of the oracle's
+/// `cache_never_serves_stale_across_seeded_churn`.
+#[test]
+fn hot_key_reads_never_go_stale_under_chaos() {
+    let mut net = ring(6);
+    let fabric = ChaosFabric::new();
+    let mut cluster =
+        Cluster::boot_with(&net, chaos_cluster_config(), fabric.rewrite()).expect("cluster boots");
+    let keys: Vec<DataId> = (0..4).map(|k| DataId::new(format!("hot/{k}"))).collect();
+    let mut client = cluster.client_multi(&[0, 1, 2]).expect("client connects");
+    // Per key: the newest version whose write acked clean, and whether
+    // the key's only copy died with a crash (so any later hit before a
+    // rewrite is a resurrection).
+    let mut acked: Vec<Option<u64>> = vec![None; keys.len()];
+    let mut tombstoned = vec![false; keys.len()];
+    let mut version = 0u64;
+    for round in 0..30usize {
+        let k = round % keys.len();
+        version += 1;
+        if let Ok(reply) = client.place(&keys[k], format!("{version}")) {
+            if reply.is_clean() {
+                acked[k] = Some(version);
+                tombstoned[k] = false;
+            }
+        }
+        // Read every key twice: the second read of an unchanged hot key
+        // is the cache's chance to serve — and to go stale.
+        for (i, key) in keys.iter().enumerate() {
+            for pass in 0..2 {
+                let Ok(reply) = client.retrieve(key) else {
+                    continue;
+                };
+                if !reply.is_hit() {
+                    continue;
+                }
+                let got: u64 = std::str::from_utf8(&reply.payload)
+                    .expect("versioned payload")
+                    .parse()
+                    .expect("versioned payload");
+                assert!(
+                    !tombstoned[i],
+                    "round {round} pass {pass}: read of {key} resurrected \
+                     a crash-tombstoned value (v{got})"
+                );
+                if let Some(promised) = acked[i] {
+                    assert!(
+                        got >= promised,
+                        "round {round} pass {pass}: read of {key} returned \
+                         v{got}, older than the clean-acked v{promised}"
+                    );
+                }
+            }
+        }
+        // Two mid-run crashes: kill the current owner of a hot key,
+        // mirror the crash on the model, push the post-crash planes
+        // (which flushes every cache), and revive the slot as transit.
+        if round == 9 || round == 19 {
+            let victim = net
+                .responsible_server(&keys[if round == 9 { 0 } else { 2 }])
+                .switch;
+            if net.members().contains(&victim) && cluster.try_node(victim).is_some() {
+                cluster.crash_node(victim);
+                for (i, key) in keys.iter().enumerate() {
+                    if net.responsible_server(key).switch == victim {
+                        tombstoned[i] = true;
+                        acked[i] = None;
+                    }
+                }
+                net.crash_switch(victim).expect("model mirrors the crash");
+                cluster.apply_planes(&net);
+                cluster.restart_node(victim, &net).expect("transit revival");
+            }
+        }
+    }
+    let report = cluster.shutdown();
+    fabric.shutdown();
+    let hot = report.hot_stats();
+    assert!(
+        hot.cache_hits >= 1,
+        "hot-key traffic must actually exercise the cache: {hot}"
+    );
+}
+
+/// Twin-network parity: the same seeded workload (places, overwrites,
+/// repeated reads, one crash/restart cycle) against a cache-enabled and
+/// a cache-disabled cluster must serve byte-identical payloads at every
+/// read. The cache may only change *where* a read is answered from,
+/// never *what* it answers.
+#[test]
+fn cache_on_and_off_twins_serve_identical_payloads() {
+    let run = |cache_bytes: usize| -> Vec<Option<Vec<u8>>> {
+        let mut net = ring(5);
+        let cfg = ClusterConfig {
+            node: NodeConfig {
+                cache_bytes,
+                ..NodeConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::boot(&net, cfg).expect("cluster boots");
+        let keys: Vec<DataId> = (0..8).map(|k| DataId::new(format!("twin/{k}"))).collect();
+        let mut client = cluster.client(0).expect("client connects");
+        let mut observed = Vec::new();
+        for round in 0..6usize {
+            for (i, key) in keys.iter().enumerate() {
+                if (round + i) % 2 == 0 {
+                    client
+                        .place(key, format!("twin/{i}/v{round}"))
+                        .expect("placement succeeds");
+                }
+                // Two reads back to back: in the cached twin the second
+                // one is typically a hit; the payload must not care.
+                for _ in 0..2 {
+                    let reply = client.retrieve(key).expect("retrieval answers");
+                    observed.push(reply.is_hit().then(|| reply.payload.to_vec()));
+                }
+            }
+            if round == 3 {
+                let victim = net.responsible_server(&keys[0]).switch;
+                cluster.crash_node(victim);
+                net.crash_switch(victim).expect("model mirrors the crash");
+                cluster.apply_planes(&net);
+                cluster.restart_node(victim, &net).expect("transit revival");
+            }
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.total_errors(), 0);
+        if cache_bytes == 0 {
+            let hot = report.hot_stats();
+            assert_eq!(
+                (hot.cache_hits, hot.cache_misses),
+                (0, 0),
+                "a disabled cache must not even count probes: {hot}"
+            );
+        }
+        observed
+    };
+    let cached = run(NodeConfig::default().cache_bytes);
+    let uncached = run(0);
+    assert_eq!(
+        cached, uncached,
+        "cache-on and cache-off twins diverged in served payloads"
+    );
 }
 
 /// The model-based harness replays its schedule over a fabric-wrapped
