@@ -1,35 +1,202 @@
-//! Control-plane build scaling: wall time of the full controller rebuild
-//! (embedding → regulation → triangulation → installation) on a 200-switch
-//! Waxman topology as a function of worker-thread count.
+//! Control-plane build scaling: wall time of the controller rebuild
+//! (embedding → regulation → triangulation → installation) across
+//! topology sizes and control-plane variants.
+//!
+//! Bench ids are `{switches}sw_{threads}t[_{variant}]`:
+//!
+//! - bare (`200sw_1t`) — the exact classical-MDS build, the quadratic
+//!   baseline every other variant is judged against;
+//! - `_landmark` — the sub-quadratic landmark/pivot embedding
+//!   (`GredConfig::landmarks`), BFS from k pivots plus trilateration;
+//! - `_delta` — `GredNetwork::apply_delta` of a 4-join churn batch
+//!   against a pre-built network, i.e. the cost of *not* rebuilding.
+//!
+//! The 200-switch rows sweep worker threads (1/2/4/8) to expose the
+//! chunked `parallel_map` scaling; the 2 000- and 10 000-switch rows run
+//! serially — at those sizes the interesting axis is the algorithm, not
+//! the thread count. Topology generation is hoisted out of every timed
+//! loop: the bench measures the controller, not the random-graph
+//! generator. The exact build is deliberately omitted at 10 000
+//! switches — a single run takes tens of minutes, which is the point of
+//! the landmark path; `scripts/bench_to_json.py` extrapolates its cost
+//! from the 200→2000 exact rows instead.
+//!
+//! Each timed row also records the process peak RSS (`VmHWM`, reset via
+//! `/proc/self/clear_refs` where the kernel allows it) as a companion
+//! metric, so the JSON summary can show memory alongside wall time.
 //!
 //! Convert the results into `BENCH_controller_build.json` with
 //! `scripts/bench_to_json.py` after a run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gred::{GredConfig, GredNetwork};
-use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+use criterion::{
+    criterion_group, criterion_main, record_metrics, BenchmarkId, Criterion, Throughput,
+};
+use gred::{GredConfig, GredNetwork, TopologyChange};
+use gred_net::{waxman_topology, ServerPool, Topology, WaxmanConfig};
 
-const SWITCHES: usize = 200;
 const SEED: u64 = 2019;
+const GROUP: &str = "controller_build";
+
+/// Pivot budget per size: generous enough for a stable embedding, far
+/// below the member count (the asymptotic win needs k ≪ n).
+fn landmark_count(switches: usize) -> usize {
+    match switches {
+        0..=500 => 32,
+        501..=5000 => 64,
+        _ => 100,
+    }
+}
+
+/// Mirrors the criterion shim's `CRITERION_SHIM_FILTER` so skipped
+/// benches do not pay topology generation or emit misleading metrics.
+fn selected(bench: &str) -> bool {
+    match std::env::var("CRITERION_SHIM_FILTER") {
+        Ok(f) if !f.is_empty() => format!("{GROUP}/{bench}").contains(&f),
+        _ => true,
+    }
+}
+
+/// Resets the kernel's peak-RSS high-water mark for this process, so a
+/// per-bench `VmHWM` read reflects this bench alone. Best effort: some
+/// sandboxes refuse the write, leaving `VmHWM` a monotone upper bound.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn peak_rss_mb() -> f64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return f64::NAN,
+    };
+    status
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("VmHWM:")?;
+            let kb: f64 = rest.split_whitespace().next()?.parse().ok()?;
+            Some(kb / 1024.0)
+        })
+        .unwrap_or(f64::NAN)
+}
+
+fn fresh_topology(switches: usize) -> (Topology, ServerPool) {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
+    let pool = ServerPool::uniform(switches, 4, u64::MAX);
+    (topo, pool)
+}
+
+/// A bulk-arrival churn batch: four new switches wired to spread-out
+/// anchors. Applied in place, so the network grows by four switches per
+/// iteration — negligible drift at bench scale, and it avoids a
+/// whole-network clone inside the timed loop.
+fn join_batch(switches: usize) -> Vec<TopologyChange> {
+    (0..4)
+        .map(|i| TopologyChange::Join {
+            links: vec![(i * 37 + 11) % switches, (i * 91 + 3) % switches],
+            capacities: vec![u64::MAX],
+        })
+        .collect()
+}
 
 fn bench_build_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("controller_build");
+    let mut group = c.benchmark_group(GROUP);
     group.sample_size(10);
-    group.throughput(Throughput::Elements(SWITCHES as u64));
+
+    // 200 switches: full vs landmark across the thread sweep. The full
+    // rows keep the original bench's exact configuration so committed
+    // baselines stay comparable.
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{SWITCHES}sw_{threads}t")),
-            &threads,
-            |b, &threads| {
+        for landmark in [false, true] {
+            let id = if landmark {
+                format!("200sw_{threads}t_landmark")
+            } else {
+                format!("200sw_{threads}t")
+            };
+            if !selected(&id) {
+                continue;
+            }
+            reset_peak_rss();
+            group.throughput(Throughput::Elements(200));
+            group.bench_with_input(BenchmarkId::from_parameter(&id), &threads, |b, &threads| {
+                let (topo, pool) = fresh_topology(200);
                 b.iter(|| {
-                    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(SWITCHES, SEED));
-                    let pool = ServerPool::uniform(SWITCHES, 4, u64::MAX);
-                    let config = GredConfig::default().threads(threads);
-                    GredNetwork::build(topo, pool, config).expect("build succeeds")
+                    let mut config = GredConfig::default().threads(threads);
+                    if landmark {
+                        config = config.landmarks(landmark_count(200));
+                    }
+                    GredNetwork::build(topo.clone(), pool.clone(), config).expect("build succeeds")
                 });
-            },
-        );
+            });
+            record_metrics(GROUP, &id, &[("peak_rss_mb", peak_rss_mb())]);
+        }
     }
+
+    // Large sizes, serial: the algorithmic comparison. The exact build
+    // is only feasible up to 2 000 switches; 10 000 runs landmark-only.
+    for (switches, variants) in [
+        (2_000usize, &["full", "landmark", "delta"][..]),
+        (10_000, &["landmark", "delta"][..]),
+    ] {
+        for &variant in variants {
+            let id = match variant {
+                "full" => format!("{switches}sw_1t"),
+                v => format!("{switches}sw_1t_{v}"),
+            };
+            if !selected(&id) {
+                continue;
+            }
+            reset_peak_rss();
+            group.throughput(Throughput::Elements(switches as u64));
+            match variant {
+                "delta" => {
+                    // Cost of absorbing a churn batch without a rebuild.
+                    // The base network is landmark-built (the variants
+                    // are install-equivalent; only setup speed differs).
+                    let (topo, pool) = fresh_topology(switches);
+                    let config = GredConfig::with_iterations(10)
+                        .seeded(SEED)
+                        .landmarks(landmark_count(switches));
+                    let mut net =
+                        GredNetwork::build(topo, pool, config).expect("base build succeeds");
+                    let batch = join_batch(switches);
+                    let mut last_affected = 0usize;
+                    let mut last_members = 0usize;
+                    group.bench_with_input(BenchmarkId::from_parameter(&id), &switches, |b, _| {
+                        b.iter(|| {
+                            let report = net.apply_delta(&batch).expect("delta applies");
+                            last_affected = report.affected.len();
+                            last_members = report.members_total;
+                            report
+                        });
+                    });
+                    record_metrics(
+                        GROUP,
+                        &id,
+                        &[
+                            ("peak_rss_mb", peak_rss_mb()),
+                            ("affected_members", last_affected as f64),
+                            ("members_total", last_members as f64),
+                        ],
+                    );
+                }
+                _ => {
+                    let (topo, pool) = fresh_topology(switches);
+                    group.bench_with_input(BenchmarkId::from_parameter(&id), &switches, |b, _| {
+                        b.iter(|| {
+                            let mut config =
+                                GredConfig::with_iterations(10).seeded(SEED).threads(1);
+                            if variant == "landmark" {
+                                config = config.landmarks(landmark_count(switches));
+                            }
+                            GredNetwork::build(topo.clone(), pool.clone(), config)
+                                .expect("build succeeds")
+                        });
+                    });
+                    record_metrics(GROUP, &id, &[("peak_rss_mb", peak_rss_mb())]);
+                }
+            }
+        }
+    }
+
     group.finish();
 }
 

@@ -876,7 +876,10 @@ mod tests {
     #[test]
     fn replica_order_without_positions_is_serial_order() {
         let client = offline_client(Vec::new());
-        assert_eq!(client.replica_order(&DataId::new("k"), 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            client.replica_order(&DataId::new("k"), 5),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -2283,7 +2283,11 @@ mod tests {
         let token = node.inner.cache.begin_read(&id);
         node.inner.maybe_cache(fill(token), &ok);
         assert_eq!(
-            node.inner.cache.get(&id).expect("clean hit cached").as_ref(),
+            node.inner
+                .cache
+                .get(&id)
+                .expect("clean hit cached")
+                .as_ref(),
             b"fresh"
         );
         node.shutdown();

@@ -24,6 +24,13 @@ pub struct GredConfig {
     /// built network is bit-identical for every value; `0` is treated as
     /// `1`. Use [`gred_runtime::default_threads`] to match the machine.
     pub threads: usize,
+    /// `Some(k)` embeds via landmark MDS: BFS from `k` seeded max-min
+    /// landmarks plus trilateration, instead of the full all-pairs BFS
+    /// and `O(n³)` eigendecomposition. `None` (the default) keeps the
+    /// exact classical path. Small networks (`k >= members`) always use
+    /// the exact path, whatever this is set to. Like `threads`, the
+    /// chosen path is bit-identical for any worker count.
+    pub landmarks: Option<usize>,
 }
 
 impl Default for GredConfig {
@@ -33,6 +40,7 @@ impl Default for GredConfig {
             seed: 0xC0FFEE,
             auto_extend: true,
             threads: 1,
+            landmarks: None,
         }
     }
 }
@@ -68,6 +76,13 @@ impl GredConfig {
         self
     }
 
+    /// Same configuration embedding with `k` landmarks instead of the
+    /// full classical MDS.
+    pub fn landmarks(mut self, k: usize) -> Self {
+        self.landmarks = Some(k);
+        self
+    }
+
     /// The effective worker count (`threads`, floored at 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
@@ -85,6 +100,7 @@ mod tests {
         assert_eq!(c.regulation.samples_per_iteration, 1000);
         assert!(c.auto_extend);
         assert_eq!(c.threads, 1);
+        assert_eq!(c.landmarks, None, "exact embedding by default");
     }
 
     #[test]
@@ -100,8 +116,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = GredConfig::with_iterations(10).seeded(7);
+        let c = GredConfig::with_iterations(10).seeded(7).landmarks(32);
         assert_eq!(c.regulation.iterations, 10);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.landmarks, Some(32));
     }
 }

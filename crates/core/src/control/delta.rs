@@ -1,0 +1,370 @@
+//! Incremental ("delta") control-plane rebuilds for batched churn.
+//!
+//! [`crate::GredNetwork::add_switch`] / `remove_switch` handle one event
+//! at a time and re-run the *entire* installation phase afterwards —
+//! every member's virtual-link paths are re-searched even though a single
+//! join or leave perturbs only a handful of DT cells. At thousands of
+//! switches that full reinstall dominates churn cost. This module is the
+//! control-plane half of [`crate::GredNetwork::apply_delta`]: it decides
+//! which members are *affected* by a batch of joins/leaves and strips
+//! their stale forwarding state, so only those cells are recomputed.
+//!
+//! A member is affected when any of the following holds:
+//!
+//! 1. its DT neighbor set changed (this covers new members and every
+//!    survivor adjacent to a joiner or leaver in either triangulation),
+//! 2. it gained a physical link to a joiner, or lost one to a leaver —
+//!    physical member neighbors are greedy candidates even when they are
+//!    not DT-adjacent, so the candidate set changes either way,
+//! 3. one of its virtual-link relay chains ran through a leaver (the
+//!    leaver's own relay table names exactly the broken sources), or
+//! 4. a joiner strictly shortens one of its virtual-link paths — the
+//!    from-scratch BFS would now route through the newcomer. Equal-length
+//!    alternatives keep the old path: a joining switch takes the largest
+//!    id, so it is appended at the end of its endpoints' neighbor sets
+//!    and cannot change BFS discovery order unless strictly closer.
+//!
+//! Everything outside the affected set keeps its installed entries
+//! verbatim. Leaves may still shift BFS tie-breaks elsewhere, so the
+//! invariant versus a full rebuild is *decision equivalence* — same
+//! members, positions, DT, owners, and path lengths — not bit-equality
+//! of relay tables (every kept chain remains a shortest path).
+
+use crate::control::dt::DtGraph;
+use gred_dataplane::SwitchDataplane;
+use gred_net::Topology;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// One churn event in a batch handed to
+/// [`crate::GredNetwork::apply_delta`]. Events apply in order, so a later
+/// event may reference a switch introduced by an earlier `Join`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// A new edge node joins: a fresh switch (taking the next free id)
+    /// linked to `links`, carrying servers with the given `capacities`.
+    Join {
+        /// Existing switches the newcomer is wired to.
+        links: Vec<usize>,
+        /// Capacities of the newcomer's servers (must be non-empty).
+        capacities: Vec<u64>,
+    },
+    /// Edge node `switch` leaves gracefully: its data is rehomed, its
+    /// servers and links removed.
+    Leave {
+        /// The departing member switch.
+        switch: usize,
+    },
+}
+
+/// What a delta rebuild did — the observability record backing the
+/// `repro build-report` output and the scaling benchmarks.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Switch ids created by `Join` events, in order.
+    pub joined: Vec<usize>,
+    /// Switch ids removed by `Leave` events, in order.
+    pub left: Vec<usize>,
+    /// Members whose forwarding state was recomputed (sorted). Everyone
+    /// else kept their installed entries untouched.
+    pub affected: Vec<usize>,
+    /// Total members after the batch.
+    pub members_total: usize,
+    /// Stale relay tuples removed while stripping affected chains.
+    pub relay_tuples_removed: usize,
+    /// Wall time of the whole delta application.
+    pub wall: Duration,
+}
+
+impl DeltaReport {
+    /// Fraction of members whose state was reused without recomputation.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.members_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.affected.len() as f64 / self.members_total as f64
+    }
+}
+
+/// The members of `new_dt` whose forwarding state must be recomputed for
+/// the batch that turned `old_dt` into `new_dt` (see the module docs for
+/// the four triggers). `planes` is the pre-batch installed state; a
+/// joiner that also left within the batch has no plane and is skipped.
+pub(crate) fn affected_members(
+    old_dt: &DtGraph,
+    new_dt: &DtGraph,
+    old_topo: &Topology,
+    new_topo: &Topology,
+    planes: &[SwitchDataplane],
+    joiners: &[usize],
+    leavers: &[usize],
+) -> BTreeSet<usize> {
+    let mut affected = BTreeSet::new();
+
+    // (1) DT adjacency changed, or the member is new.
+    for &m in new_dt.members() {
+        if !old_dt.is_member(m) {
+            affected.insert(m);
+            continue;
+        }
+        let mut old_n = old_dt.neighbors_of(m);
+        let mut new_n = new_dt.neighbors_of(m);
+        old_n.sort_unstable();
+        new_n.sort_unstable();
+        if old_n != new_n {
+            affected.insert(m);
+        }
+    }
+
+    // (2) Members wired directly to a joiner — and members who *were*
+    // wired to a leaver: a physical member neighbor is a greedy
+    // candidate entry even without a DT edge, so it must be dropped or
+    // added whenever the link set changes.
+    for &j in joiners {
+        if j >= new_topo.switch_count() {
+            continue;
+        }
+        for nb in new_topo.neighbors(j) {
+            if new_dt.is_member(nb) {
+                affected.insert(nb);
+            }
+        }
+    }
+    for &l in leavers {
+        if l >= old_topo.switch_count() {
+            continue;
+        }
+        for nb in old_topo.neighbors(l) {
+            if new_dt.is_member(nb) {
+                affected.insert(nb);
+            }
+        }
+    }
+
+    // (3) Chains through a leaver: every intermediate of a virtual-link
+    // path holds the path's tuple, so the leaver's relay table lists the
+    // sources whose chains it carried.
+    for &l in leavers {
+        let Some(plane) = planes.get(l) else { continue };
+        for t in plane.relay_entries() {
+            if new_dt.is_member(t.sour) {
+                affected.insert(t.sour);
+            }
+        }
+    }
+
+    // (4) Virtual links strictly shortened by a joiner. Both endpoints
+    // reinstall so the two directions stay consistent.
+    for &j in joiners {
+        if j >= new_topo.switch_count() {
+            continue;
+        }
+        let hops = new_topo.bfs_hops(j);
+        let mut shortened: Vec<(usize, usize)> = Vec::new();
+        for &u in new_dt.members() {
+            if affected.contains(&u) {
+                continue;
+            }
+            let Some(plane) = planes.get(u) else { continue };
+            for entry in plane.neighbor_entries().filter(|e| !e.physical) {
+                let v = entry.neighbor;
+                if hops[u] == u32::MAX || hops[v] == u32::MAX {
+                    continue;
+                }
+                let through = hops[u] as usize + hops[v] as usize;
+                if chain_len(planes, u, entry.via, v).is_some_and(|old| through < old) {
+                    shortened.push((u, v));
+                }
+            }
+        }
+        for (u, v) in shortened {
+            affected.insert(u);
+            affected.insert(v);
+        }
+    }
+    affected
+}
+
+/// Hop length of member `u`'s installed virtual-link chain to `v`
+/// starting at `via`, by walking the exact relay tuples. `None` if the
+/// chain is broken or loops (defensive; installed chains never do).
+fn chain_len(planes: &[SwitchDataplane], u: usize, via: usize, v: usize) -> Option<usize> {
+    let mut at = via;
+    let mut len = 1usize;
+    let mut guard = planes.len();
+    while at != v {
+        at = planes.get(at)?.relay_lookup(v, u)?.succ;
+        len += 1;
+        guard = guard.checked_sub(1)?;
+    }
+    Some(len)
+}
+
+/// Removes member `u`'s outgoing forwarding state: all neighbor entries,
+/// plus the relay tuples of each of its virtual-link chains (walked via
+/// the tuples themselves, removing as it goes). Returns the number of
+/// relay tuples removed. Planes of *other* members are untouched except
+/// for `u`'s tuples stored on them.
+pub(crate) fn strip_member_state(planes: &mut [SwitchDataplane], u: usize) -> usize {
+    let entries: Vec<(usize, usize, bool)> = planes[u]
+        .neighbor_entries()
+        .map(|e| (e.neighbor, e.via, e.physical))
+        .collect();
+    let mut removed = 0;
+    planes[u].clear_neighbors();
+    for (v, via, physical) in entries {
+        if physical {
+            continue;
+        }
+        let mut at = via;
+        let mut guard = planes.len();
+        while at != v && guard > 0 {
+            let Some(t) = planes[at].remove_relay(v, u) else {
+                break;
+            };
+            removed += 1;
+            at = t.succ;
+            guard -= 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gred_dataplane::{DtTuple, NeighborEntry};
+    use gred_geometry::Point2;
+
+    /// Line 0-1-2-3 with members {0, 3}: one virtual link each way,
+    /// relayed by 1 and 2.
+    fn line_planes() -> (Topology, DtGraph, Vec<SwitchDataplane>) {
+        let topo = Topology::from_links(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let dt = DtGraph::build(
+            vec![0, 3],
+            &[Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+        )
+        .unwrap();
+        let mut planes: Vec<SwitchDataplane> = vec![
+            SwitchDataplane::new(0, Point2::new(0.25, 0.5), 1),
+            SwitchDataplane::transit(1),
+            SwitchDataplane::transit(2),
+            SwitchDataplane::new(3, Point2::new(0.75, 0.5), 1),
+        ];
+        for (u, v) in [(0usize, 3usize), (3, 0)] {
+            let path: Vec<usize> = if u == 0 {
+                vec![0, 1, 2, 3]
+            } else {
+                vec![3, 2, 1, 0]
+            };
+            planes[u].install_neighbor(NeighborEntry {
+                neighbor: v,
+                position: dt.position_of(v).unwrap(),
+                via: path[1],
+                physical: false,
+            });
+            for k in 1..path.len() - 1 {
+                planes[path[k]].install_relay(DtTuple {
+                    sour: u,
+                    pred: path[k - 1],
+                    succ: path[k + 1],
+                    dest: v,
+                });
+            }
+        }
+        (topo, dt, planes)
+    }
+
+    #[test]
+    fn chain_len_walks_installed_tuples() {
+        let (_, _, planes) = line_planes();
+        assert_eq!(chain_len(&planes, 0, 1, 3), Some(3));
+        assert_eq!(chain_len(&planes, 3, 2, 0), Some(3));
+        // No chain for a pair that was never installed.
+        assert_eq!(chain_len(&planes, 1, 2, 3), None);
+    }
+
+    #[test]
+    fn strip_removes_both_entries_and_chain_tuples() {
+        let (_, _, mut planes) = line_planes();
+        let removed = strip_member_state(&mut planes, 0);
+        assert_eq!(removed, 2, "tuples at switches 1 and 2");
+        assert_eq!(planes[0].neighbor_entries().count(), 0);
+        assert_eq!(planes[1].relay_lookup(3, 0), None);
+        assert_eq!(planes[2].relay_lookup(3, 0), None);
+        // The reverse direction (sour = 3) is untouched.
+        assert!(planes[1].relay_lookup(0, 3).is_some());
+        assert_eq!(planes[3].neighbor_entries().count(), 1);
+    }
+
+    #[test]
+    fn leaver_relay_table_flags_transit_victims() {
+        let (topo, dt, planes) = line_planes();
+        // Switch 2 "leaves" (it is pure transit here, but the trigger
+        // logic only reads its relay table): both chain sources flagged.
+        let affected = affected_members(&dt, &dt, &topo, &topo, &planes, &[], &[2]);
+        assert_eq!(affected.into_iter().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn unchanged_dt_and_no_churn_affects_nobody() {
+        let (topo, dt, planes) = line_planes();
+        let affected = affected_members(&dt, &dt, &topo, &topo, &planes, &[], &[]);
+        assert!(affected.is_empty());
+    }
+
+    #[test]
+    fn shortcut_joiner_flags_both_endpoints() {
+        let (old_topo, dt, planes) = line_planes();
+        // Joiner 4 wired to 0 and 3 directly: the 3-hop virtual link
+        // 0↔3 is strictly shortened to 2 hops through it.
+        let topo = Topology::from_links(5, &[(0, 1), (1, 2), (2, 3), (4, 0), (4, 3)]).unwrap();
+        let affected = affected_members(&dt, &dt, &old_topo, &topo, &planes, &[4], &[]);
+        assert!(affected.contains(&0) && affected.contains(&3));
+    }
+
+    #[test]
+    fn equal_length_alternative_does_not_trigger_reinstall() {
+        let (old_topo, dt, planes) = line_planes();
+        // Joiner 4 wired to 1 and 2: the path through it is still 3
+        // hops — no strict improvement, nobody reinstalls.
+        let topo = Topology::from_links(5, &[(0, 1), (1, 2), (2, 3), (4, 1), (4, 2)]).unwrap();
+        let affected = affected_members(&dt, &dt, &old_topo, &topo, &planes, &[4], &[]);
+        assert!(affected.is_empty());
+    }
+
+    #[test]
+    fn physical_neighbor_of_leaver_is_affected_without_dt_change() {
+        // Triangle of members 0-1-2 all physically linked; if 2 leaves,
+        // 0 and 1 must drop their physical candidate entries for it even
+        // though we pass an unchanged DT here.
+        let topo = Topology::from_links(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let dt = DtGraph::build(
+            vec![0, 1],
+            &[Point2::new(0.25, 0.5), Point2::new(0.75, 0.5)],
+        )
+        .unwrap();
+        let planes = vec![
+            SwitchDataplane::new(0, Point2::new(0.25, 0.5), 1),
+            SwitchDataplane::new(1, Point2::new(0.75, 0.5), 1),
+            SwitchDataplane::transit(2),
+        ];
+        let mut isolated = topo.clone();
+        isolated.isolate(2);
+        let affected = affected_members(&dt, &dt, &topo, &isolated, &planes, &[], &[2]);
+        assert_eq!(affected.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reuse_ratio_reflects_affected_share() {
+        let report = DeltaReport {
+            joined: vec![10],
+            left: vec![],
+            affected: vec![3, 7, 10],
+            members_total: 12,
+            relay_tuples_removed: 5,
+            wall: Duration::from_millis(1),
+        };
+        assert!((report.reuse_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::error::GredError;
 use gred_geometry::Point2;
-use gred_linalg::{classical_mds, Matrix};
+use gred_linalg::{classical_mds, landmark_mds, Matrix};
 use gred_net::Topology;
 
 /// Margin kept between embedded points and the unit-square border, so CVT
@@ -114,11 +114,22 @@ pub fn m_position_with(
     }
 
     let coords = classical_mds(&l, 2)?;
+    let (positions, scale) = normalize_to_unit_square(&coords);
 
-    // Uniform normalization into the unit square (preserves ratios).
+    Ok(Embedding {
+        members: members.to_vec(),
+        positions,
+        scale,
+    })
+}
+
+/// Maps raw MDS coordinates into the unit square with one uniform scale
+/// factor (preserving distance ratios), separates coincident sites, and
+/// returns the positions plus the hop-to-virtual scale.
+fn normalize_to_unit_square(coords: &[Vec<f64>]) -> (Vec<Point2>, f64) {
     let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
-    for c in &coords {
+    for c in coords {
         min_x = min_x.min(c[0]);
         max_x = max_x.max(c[0]);
         min_y = min_y.min(c[1]);
@@ -139,6 +150,135 @@ pub fn m_position_with(
         })
         .collect();
     separate_duplicates(&mut positions);
+    (positions, scale)
+}
+
+/// Landmark BFS batches: each max-min sampling round picks a fixed-size
+/// batch of farthest members and traverses them together, so the batch
+/// composition (and therefore the whole embedding) is independent of the
+/// worker thread count.
+const LANDMARK_BATCH: usize = 8;
+
+/// [`m_position`] on the landmark path: BFS only from `landmarks` sampled
+/// members, classical MDS on the small landmark distance matrix, and
+/// least-squares trilateration for every other member — `O(k·(V+E) + k³ +
+/// n·k)` instead of `O(n·(V+E) + n³)`.
+///
+/// Landmarks are chosen by deterministic seeded max-min (farthest-point)
+/// sampling in fixed batches of [`LANDMARK_BATCH`]: the seed picks the
+/// first landmark, each round BFSes one batch in parallel and only then
+/// updates the min-distance frontier, so `threads = 1 ≡ threads = N`
+/// bit-identically. When `landmarks >= members.len()` (or the network is
+/// too small to subsample) this falls back to the exact full path.
+///
+/// When `report` is given, the three landmark phases are recorded as
+/// `landmark_bfs`, `landmark_embed`, and `trilateration` (the fallback
+/// records the usual `embedding` phase instead).
+///
+/// # Errors
+///
+/// Same as [`m_position`].
+pub fn m_position_landmark_with(
+    topo: &Topology,
+    members: &[usize],
+    landmarks: usize,
+    seed: u64,
+    threads: usize,
+    mut report: Option<&mut gred_runtime::BuildReport>,
+) -> Result<Embedding, GredError> {
+    if members.is_empty() {
+        return Err(GredError::NoStorageSwitches);
+    }
+    let n = members.len();
+    let k = landmarks.clamp(3, n.max(3));
+    if k >= n || n <= 3 {
+        // Too few members to subsample: the exact path is both cheaper
+        // and what the equivalence story expects.
+        return match report.as_deref_mut() {
+            Some(r) => r.phase("embedding", n, || m_position_with(topo, members, threads)),
+            None => m_position_with(topo, members, threads),
+        };
+    }
+
+    // Phase 1: seeded max-min landmark sampling with batched BFS rows.
+    let mut chosen = vec![false; n];
+    let mut landmark_members: Vec<usize> = Vec::with_capacity(k);
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(k);
+    let sample = |topo: &Topology,
+                  chosen: &mut Vec<bool>,
+                  landmark_members: &mut Vec<usize>,
+                  rows: &mut Vec<Vec<u32>>|
+     -> Result<(), GredError> {
+        let first = (seed % n as u64) as usize;
+        chosen[first] = true;
+        landmark_members.push(members[first]);
+        rows.push(topo.bfs_hops(members[first]));
+        // Every member must be reachable from the first landmark.
+        let mut min_hops: Vec<u32> = members.iter().map(|&m| rows[0][m]).collect();
+        if min_hops.contains(&u32::MAX) {
+            return Err(GredError::Disconnected);
+        }
+        while landmark_members.len() < k {
+            // Farthest-first batch: (min-hops desc, index asc), fixed
+            // size, selected before any of the batch's rows land.
+            let mut order: Vec<usize> = (0..n).filter(|&i| !chosen[i]).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(min_hops[i]), i));
+            let batch: Vec<usize> = order
+                .into_iter()
+                .take(LANDMARK_BATCH.min(k - landmark_members.len()))
+                .collect();
+            let batch_rows = gred_runtime::parallel_map(
+                batch.iter().map(|&i| members[i]).collect(),
+                threads,
+                |m| topo.bfs_hops(m),
+            );
+            for (&i, row) in batch.iter().zip(batch_rows) {
+                chosen[i] = true;
+                landmark_members.push(members[i]);
+                for (j, h) in min_hops.iter_mut().enumerate() {
+                    *h = (*h).min(row[members[j]]);
+                }
+                rows.push(row);
+            }
+        }
+        Ok(())
+    };
+    match report.as_deref_mut() {
+        Some(r) => r.phase("landmark_bfs", k, || {
+            sample(topo, &mut chosen, &mut landmark_members, &mut rows)
+        })?,
+        None => sample(topo, &mut chosen, &mut landmark_members, &mut rows)?,
+    }
+
+    // Phase 2: classical MDS on the k × k landmark distance matrix.
+    let l = Matrix::from_fn(k, k, |i, j| f64::from(rows[i][landmark_members[j]]));
+    let emb = match report.as_deref_mut() {
+        Some(r) => r.phase("landmark_embed", k, || landmark_mds(&l, 2)),
+        None => landmark_mds(&l, 2),
+    }?;
+
+    // Phase 3: trilaterate every member against the landmark frame.
+    // Landmarks keep their exact classical coordinates; everyone else is
+    // placed from its BFS column. Chunked: one trilateration is ~k flops.
+    let landmark_index: std::collections::BTreeMap<usize, usize> = landmark_members
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, i))
+        .collect();
+    let place = |member: usize| -> Vec<f64> {
+        if let Some(&i) = landmark_index.get(&member) {
+            return emb.landmark(i).to_vec();
+        }
+        let dists: Vec<f64> = rows.iter().map(|row| f64::from(row[member])).collect();
+        emb.place(&dists)
+    };
+    let coords = match report {
+        Some(r) => r.phase("trilateration", n - k, || {
+            gred_runtime::parallel_map_min_chunk(members.to_vec(), threads, 64, place)
+        }),
+        None => gred_runtime::parallel_map_min_chunk(members.to_vec(), threads, 64, place),
+    };
+    let (positions, scale) = normalize_to_unit_square(&coords);
 
     Ok(Embedding {
         members: members.to_vec(),
@@ -149,19 +289,61 @@ pub fn m_position_with(
 
 /// Spreads coincident (or near-coincident) points apart deterministically
 /// on tiny circles so the Delaunay construction sees distinct sites.
+///
+/// Semantically this is the all-pairs sweep: for each round, every ordered
+/// pair `(i, j)` with `i < j` is checked in ascending order and `j` is
+/// nudged when the pair sits closer than [`MIN_SEPARATION`]. The
+/// implementation buckets points into a `MIN_SEPARATION`-sized grid so each
+/// `i` only examines its 3×3 neighborhood — O(n) per round instead of
+/// O(n²) — which matters at 10k members where this runs on every join.
+/// The displacement of `j` depends only on `(j, round)` and each `j` is
+/// checked exactly once per `(i, round)`, so the grid walk reproduces the
+/// naive sweep bit for bit (asserted by `grid_sweep_matches_naive_sweep`).
 pub(crate) fn separate_duplicates(positions: &mut [Point2]) {
     const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+    let cell = |p: Point2| -> (i64, i64) {
+        (
+            (p.x / MIN_SEPARATION).floor() as i64,
+            (p.y / MIN_SEPARATION).floor() as i64,
+        )
+    };
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &p) in positions.iter().enumerate() {
+        grid.entry(cell(p)).or_default().push(i);
+    }
+    let mut candidates = Vec::new();
     for round in 0..16 {
         let mut any = false;
         for i in 0..positions.len() {
-            for j in (i + 1)..positions.len() {
+            let (cx, cy) = cell(positions[i]);
+            candidates.clear();
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(bucket) = grid.get(&(cx + dx, cy + dy)) {
+                        candidates.extend(bucket.iter().copied().filter(|&j| j > i));
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            for &j in &candidates {
                 if positions[i].distance(positions[j]) < MIN_SEPARATION {
                     let angle = GOLDEN_ANGLE * (j as f64 + 1.0) + round as f64;
                     let r = MIN_SEPARATION * (1.0 + round as f64);
+                    let from = cell(positions[j]);
                     positions[j] = Point2::new(
                         (positions[j].x + r * angle.cos()).clamp(0.001, 0.999),
                         (positions[j].y + r * angle.sin()).clamp(0.001, 0.999),
                     );
+                    let to = cell(positions[j]);
+                    if to != from {
+                        let bucket = grid.get_mut(&from).expect("point is in its cell");
+                        bucket.retain(|&x| x != j);
+                        if bucket.is_empty() {
+                            grid.remove(&from);
+                        }
+                        grid.entry(to).or_default().push(j);
+                    }
                     any = true;
                 }
             }
@@ -366,6 +548,144 @@ mod tests {
         let before = pts.clone();
         separate_duplicates(&mut pts);
         assert_eq!(pts, before);
+    }
+
+    /// The all-pairs sweep `separate_duplicates` is specified against.
+    fn separate_duplicates_naive(positions: &mut [Point2]) {
+        const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+        for round in 0..16 {
+            let mut any = false;
+            for i in 0..positions.len() {
+                for j in (i + 1)..positions.len() {
+                    if positions[i].distance(positions[j]) < MIN_SEPARATION {
+                        let angle = GOLDEN_ANGLE * (j as f64 + 1.0) + round as f64;
+                        let r = MIN_SEPARATION * (1.0 + round as f64);
+                        positions[j] = Point2::new(
+                            (positions[j].x + r * angle.cos()).clamp(0.001, 0.999),
+                            (positions[j].y + r * angle.sin()).clamp(0.001, 0.999),
+                        );
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn grid_sweep_matches_naive_sweep() {
+        // Clustered inputs with many sub-MIN_SEPARATION pairs, including
+        // exact duplicates, plus uniform background points.
+        let mut state = 0xdead_beef_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for n in [1usize, 2, 17, 64, 300] {
+            let mut pts = Vec::with_capacity(n);
+            for k in 0..n {
+                pts.push(match k % 5 {
+                    0 | 1 => Point2::new(0.25 + next() * 5e-5, 0.25 + next() * 5e-5),
+                    2 => Point2::new(0.25, 0.25),
+                    3 => Point2::new(0.75 + next() * 5e-5, 0.5),
+                    _ => Point2::new(next(), next()),
+                });
+            }
+            let mut grid = pts.clone();
+            let mut naive = pts;
+            separate_duplicates(&mut grid);
+            separate_duplicates_naive(&mut naive);
+            assert_eq!(grid, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn landmark_small_network_falls_back_to_exact_path() {
+        let t = line(3);
+        let members = vec![0, 1, 2];
+        let full = m_position(&t, &members).unwrap();
+        let lm = m_position_landmark_with(&t, &members, 8, 42, 1, None).unwrap();
+        assert_eq!(lm.positions, full.positions);
+        assert_eq!(lm.scale, full.scale);
+    }
+
+    #[test]
+    fn landmark_is_bit_identical_across_thread_counts() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(60, 11));
+        let members: Vec<usize> = (0..60).collect();
+        let serial = m_position_landmark_with(&t, &members, 12, 7, 1, None).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = m_position_landmark_with(&t, &members, 12, 7, threads, None).unwrap();
+            assert_eq!(serial.positions, parallel.positions, "threads={threads}");
+            assert_eq!(serial.scale, parallel.scale);
+        }
+    }
+
+    #[test]
+    fn landmark_embedding_correlates_with_hops() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(50, 5));
+        let members: Vec<usize> = (0..50).collect();
+        let e = m_position_landmark_with(&t, &members, 12, 2019, 1, None).unwrap();
+        let m = t.shortest_path_matrix();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (i, row) in m.iter().enumerate() {
+            for (j, &hops) in row.iter().enumerate().skip(i + 1) {
+                xs.push(f64::from(hops));
+                ys.push(e.positions[i].distance(e.positions[j]));
+            }
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r > 0.6, "landmark correlation too weak: {r}");
+    }
+
+    #[test]
+    fn landmark_records_phase_timings() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(40, 9));
+        let members: Vec<usize> = (0..40).collect();
+        let mut report = gred_runtime::BuildReport::new(1);
+        let _ = m_position_landmark_with(&t, &members, 10, 0, 1, Some(&mut report)).unwrap();
+        assert_eq!(report.phase_named("landmark_bfs").unwrap().items, 10);
+        assert_eq!(report.phase_named("landmark_embed").unwrap().items, 10);
+        assert_eq!(report.phase_named("trilateration").unwrap().items, 30);
+    }
+
+    #[test]
+    fn landmark_disconnected_errors() {
+        let mut t = line(10);
+        t.isolate(9);
+        let members: Vec<usize> = (0..10).collect();
+        assert_eq!(
+            m_position_landmark_with(&t, &members, 4, 0, 1, None).unwrap_err(),
+            GredError::Disconnected
+        );
+    }
+
+    #[test]
+    fn landmark_positions_stay_in_unit_square() {
+        let (t, _) = waxman_topology(&WaxmanConfig::with_switches(80, 3));
+        let members: Vec<usize> = (0..80).collect();
+        let e = m_position_landmark_with(&t, &members, 16, 1, 4, None).unwrap();
+        assert_eq!(e.positions.len(), 80);
+        for p in &e.positions {
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+        // Distinct sites for the DT.
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                assert!(e.positions[i].distance(e.positions[j]) >= 1e-5);
+            }
+        }
     }
 }
 

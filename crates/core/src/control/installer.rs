@@ -58,51 +58,93 @@ pub fn install_dataplanes_with(
         .collect();
 
     // Phase 1 (parallel): per member, the shortest physical path to each
-    // multi-hop DT neighbor — the dominant cost of installation.
-    let paths_per_member = gred_runtime::parallel_map(dt.members().to_vec(), threads, |u| {
-        dt.neighbors_of(u)
-            .into_iter()
-            .filter(|&v| !topo.has_link(u, v))
-            .map(|v| topo.shortest_path(u, v).map(|p| (v, p)))
-            .collect::<Option<Vec<(usize, Vec<usize>)>>>()
-    });
+    // multi-hop DT neighbor — the dominant cost of installation. Chunked
+    // so cheap members (few or no virtual links) amortize dispatch.
+    let paths_per_member =
+        gred_runtime::parallel_map_min_chunk(dt.members().to_vec(), threads, 8, |u| {
+            member_virtual_paths(topo, dt, u)
+        });
 
     // Phase 2 (serial, member order): apply entries to the data planes.
     for (&u, member_paths) in dt.members().iter().zip(paths_per_member) {
-        // Physical neighbors that are members: direct greedy candidates
-        // (Algorithm 2 considers physical neighbors alongside DT ones).
-        for v in topo.neighbors(u) {
-            if let Some(pos) = dt.position_of(v) {
-                planes[u].install_neighbor(NeighborEntry {
-                    neighbor: v,
-                    position: pos,
-                    via: v,
-                    physical: true,
-                });
-            }
-        }
-        // DT neighbors: direct links were installed above; multi-hop ones
-        // become virtual links along their precomputed shortest path.
-        for (v, path) in member_paths.ok_or(GredError::Disconnected)? {
-            let via = path[1];
-            planes[u].install_neighbor(NeighborEntry {
-                neighbor: v,
-                position: dt.position_of(v).expect("DT neighbor is a member"),
-                via,
-                physical: false,
-            });
-            // Relay tuples at every intermediate switch.
-            for k in 1..path.len() - 1 {
-                planes[path[k]].install_relay(DtTuple {
-                    sour: u,
-                    pred: path[k - 1],
-                    succ: path[k + 1],
-                    dest: v,
-                });
-            }
-        }
+        apply_member_entries(
+            &mut planes,
+            topo,
+            dt,
+            u,
+            member_paths.ok_or(GredError::Disconnected)?,
+        );
     }
     Ok(planes)
+}
+
+/// The shortest physical path from member `u` to each of its multi-hop DT
+/// neighbors, computed in a single early-terminating multi-target BFS
+/// (identical paths to per-neighbor [`Topology::shortest_path`], one
+/// graph traversal instead of one per neighbor). `None` when any DT
+/// neighbor is unreachable.
+pub(crate) fn member_virtual_paths(
+    topo: &Topology,
+    dt: &DtGraph,
+    u: usize,
+) -> Option<Vec<(usize, Vec<usize>)>> {
+    let targets: Vec<usize> = dt
+        .neighbors_of(u)
+        .into_iter()
+        .filter(|&v| !topo.has_link(u, v))
+        .collect();
+    if targets.is_empty() {
+        return Some(Vec::new());
+    }
+    topo.shortest_paths_to(u, &targets)
+        .into_iter()
+        .zip(&targets)
+        .map(|(path, &v)| path.map(|p| (v, p)))
+        .collect()
+}
+
+/// Applies member `u`'s forwarding entries to the data planes: physical
+/// member-neighbor entries, multi-hop DT neighbor entries, and relay
+/// tuples at every intermediate switch of each virtual-link path.
+pub(crate) fn apply_member_entries(
+    planes: &mut [SwitchDataplane],
+    topo: &Topology,
+    dt: &DtGraph,
+    u: usize,
+    member_paths: Vec<(usize, Vec<usize>)>,
+) {
+    // Physical neighbors that are members: direct greedy candidates
+    // (Algorithm 2 considers physical neighbors alongside DT ones).
+    for v in topo.neighbors(u) {
+        if let Some(pos) = dt.position_of(v) {
+            planes[u].install_neighbor(NeighborEntry {
+                neighbor: v,
+                position: pos,
+                via: v,
+                physical: true,
+            });
+        }
+    }
+    // DT neighbors: direct links were installed above; multi-hop ones
+    // become virtual links along their precomputed shortest path.
+    for (v, path) in member_paths {
+        let via = path[1];
+        planes[u].install_neighbor(NeighborEntry {
+            neighbor: v,
+            position: dt.position_of(v).expect("DT neighbor is a member"),
+            via,
+            physical: false,
+        });
+        // Relay tuples at every intermediate switch.
+        for k in 1..path.len() - 1 {
+            planes[path[k]].install_relay(DtTuple {
+                sour: u,
+                pred: path[k - 1],
+                succ: path[k + 1],
+                dest: v,
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,13 +7,15 @@
 //! are then forwarded entirely by pre-installed rules — the controller is
 //! not on the data path.
 
+pub mod delta;
 pub mod dt;
 pub mod dynamics;
 pub mod embedding;
 pub mod installer;
 pub mod regulation;
 
+pub use delta::{DeltaReport, TopologyChange};
 pub use dt::DtGraph;
-pub use embedding::{m_position, m_position_with, Embedding};
+pub use embedding::{m_position, m_position_landmark_with, m_position_with, Embedding};
 pub use installer::{install_dataplanes, install_dataplanes_with};
 pub use regulation::{refine_positions, refine_positions_with};

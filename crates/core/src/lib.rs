@@ -54,6 +54,7 @@ pub mod plane;
 pub mod store;
 
 pub use config::GredConfig;
+pub use control::{DeltaReport, TopologyChange};
 pub use error::GredError;
 pub use gred_runtime::{BuildReport, PhaseReport};
 pub use network::GredNetwork;

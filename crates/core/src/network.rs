@@ -2,9 +2,12 @@
 //! per-switch data planes, and the edge servers' stores.
 
 use crate::config::GredConfig;
+use crate::control::delta::{affected_members, strip_member_state, DeltaReport, TopologyChange};
 use crate::control::dynamics::leave_membership;
-use crate::control::embedding::{embed_new_switch, m_position_with};
-use crate::control::installer::install_dataplanes_with;
+use crate::control::embedding::{embed_new_switch, m_position_landmark_with, m_position_with};
+use crate::control::installer::{
+    apply_member_entries, install_dataplanes_with, member_virtual_paths,
+};
 use crate::control::regulation::refine_positions_with;
 use crate::control::DtGraph;
 use crate::error::GredError;
@@ -85,9 +88,22 @@ impl GredNetwork {
             .filter(|&s| pool.servers_at(s) > 0)
             .collect();
         let member_count = members.len();
-        let embedding = report.phase("embedding", member_count, || {
-            m_position_with(&topology, &members, threads)
-        })?;
+        let embedding = match config.landmarks {
+            // Landmark path records its own finer-grained phases
+            // (landmark_bfs / landmark_embed / trilateration), or plain
+            // "embedding" when it falls back to the exact path.
+            Some(k) => m_position_landmark_with(
+                &topology,
+                &members,
+                k,
+                config.seed,
+                threads,
+                Some(&mut report),
+            )?,
+            None => report.phase("embedding", member_count, || {
+                m_position_with(&topology, &members, threads)
+            })?,
+        };
         let samples = config.regulation.iterations * config.regulation.samples_per_iteration;
         let refined = report.phase("regulation", samples, || {
             refine_positions_with(
@@ -439,6 +455,182 @@ impl GredNetwork {
         Ok(())
     }
 
+    /// Applies a batch of joins/leaves with an *incremental* control-plane
+    /// rebuild: positions stay fixed (joiners embedded locally), the DT is
+    /// updated through the incremental machinery, and only the *affected*
+    /// members' forwarding entries are recomputed — everyone else keeps
+    /// their installed state verbatim (see [`crate::control::delta`] for
+    /// the affected-set triggers). The per-event
+    /// [`Self::add_switch`]/[`Self::remove_switch`] path, which re-runs the
+    /// full installation each time, remains the fallback and the
+    /// equivalence oracle this path is tested against.
+    ///
+    /// Events apply in order; a later event may reference a switch created
+    /// by an earlier `Join` in the same batch. On error nothing observable
+    /// changes (changes are validated against clones before commit).
+    ///
+    /// # Errors
+    ///
+    /// Same per-event errors as [`Self::add_switch`] and
+    /// [`Self::remove_switch`].
+    pub fn apply_delta(&mut self, changes: &[TopologyChange]) -> Result<DeltaReport, GredError> {
+        let start = std::time::Instant::now();
+
+        // Phase 1: evolve topology/membership/positions on clones, event
+        // by event, exactly as the one-at-a-time path would (each join is
+        // embedded against the state its predecessors left behind).
+        let mut topo = self.topology.clone();
+        let mut pool = self.pool.clone();
+        let mut dt = self.dt.clone();
+        let mut joined = Vec::new();
+        let mut left = Vec::new();
+        for change in changes {
+            match change {
+                TopologyChange::Join { links, capacities } => {
+                    if capacities.is_empty() {
+                        return Err(GredError::InvalidDynamics {
+                            reason: "a joining edge node needs at least one server",
+                        });
+                    }
+                    if links.is_empty() {
+                        return Err(GredError::InvalidDynamics {
+                            reason: "a joining switch needs at least one link",
+                        });
+                    }
+                    let new_switch = topo.add_switch();
+                    for &l in links {
+                        topo.add_link(new_switch, l)?;
+                    }
+                    let embedding_view = crate::control::Embedding {
+                        members: dt.members().to_vec(),
+                        positions: dt
+                            .members()
+                            .iter()
+                            .map(|&m| dt.position_of(m).expect("member has position"))
+                            .collect(),
+                        scale: self.scale,
+                    };
+                    let mut position = embed_new_switch(&topo, &embedding_view, new_switch)?;
+                    let mut all = embedding_view.positions.clone();
+                    all.push(position);
+                    crate::control::embedding::separate_duplicates(&mut all);
+                    position = *all.last().expect("nonempty");
+                    dt = dt.with_joined(new_switch, position)?;
+                    pool.push_switch(capacities.clone());
+                    joined.push(new_switch);
+                }
+                TopologyChange::Leave { switch } => {
+                    let change = leave_membership(&dt, *switch)?;
+                    topo.isolate(*switch);
+                    let probe = change.members[0];
+                    let hops = topo.bfs_hops(probe);
+                    if change.members.iter().any(|&m| hops[m] == u32::MAX) {
+                        return Err(GredError::Disconnected);
+                    }
+                    dt = DtGraph::build(change.members, &change.positions)?;
+                    pool.clear_switch(*switch);
+                    left.push(*switch);
+                }
+            }
+        }
+
+        // Phase 2: retract range extensions touching a leaver while the
+        // old tables still route (data comes home under the old state,
+        // exactly like `remove_switch`).
+        for &l in &left {
+            let touching: Vec<ServerId> = self
+                .extensions
+                .iter()
+                .filter(|(o, t)| o.switch == l || t.switch == l)
+                .map(|(&o, _)| o)
+                .collect();
+            for original in touching {
+                let _ = self.retract_range(original);
+            }
+        }
+
+        // Phase 3: the affected set, against the pre-batch planes.
+        let affected = affected_members(
+            &self.dt,
+            &dt,
+            &self.topology,
+            &topo,
+            &self.dataplanes,
+            &joined,
+            &left,
+        );
+
+        // Phase 4: strip stale state — affected members' outgoing chains,
+        // every leaver's chains, then the leaver planes themselves.
+        let mut planes = self.dataplanes.clone();
+        let mut tuples_removed = 0;
+        for &u in affected.iter().chain(&left) {
+            if u < planes.len() {
+                tuples_removed += strip_member_state(&mut planes, u);
+            }
+        }
+        for &l in &left {
+            if l < planes.len() {
+                planes[l] = SwitchDataplane::transit(l);
+            }
+        }
+
+        // Phase 5: fresh planes for joiners (a join-then-leave within the
+        // batch ends up transit).
+        for s in planes.len()..topo.switch_count() {
+            planes.push(match dt.position_of(s) {
+                Some(pos) if pool.servers_at(s) > 0 => {
+                    SwitchDataplane::new(s, pos, pool.servers_at(s))
+                }
+                _ => SwitchDataplane::transit(s),
+            });
+        }
+
+        // Phase 6: reinstall only the affected cells — path search in
+        // parallel, entries applied serially in member order, same
+        // discipline as the full installer.
+        let threads = self.config.effective_threads();
+        let affected: Vec<usize> = affected.into_iter().collect();
+        let paths_per_member =
+            gred_runtime::parallel_map_min_chunk(affected.clone(), threads, 8, |u| {
+                member_virtual_paths(&topo, &dt, u)
+            });
+        for (&u, member_paths) in affected.iter().zip(paths_per_member) {
+            apply_member_entries(
+                &mut planes,
+                &topo,
+                &dt,
+                u,
+                member_paths.ok_or(GredError::Disconnected)?,
+            );
+        }
+
+        // Phase 7: commit, rehome the leavers' data, migrate.
+        let orphans: Vec<_> = left
+            .iter()
+            .flat_map(|&l| self.store.drain_switch(l))
+            .collect();
+        let members_total = dt.len();
+        self.topology = topo;
+        self.pool = pool;
+        self.dt = dt;
+        self.dataplanes = planes;
+        for (id, payload) in orphans {
+            let owner = self.responsible_server(&id);
+            let target = self.extension_of(owner).unwrap_or(owner);
+            self.store.insert(target, id, payload);
+        }
+        self.migrate_all();
+        Ok(DeltaReport {
+            joined,
+            left,
+            affected,
+            members_total,
+            relay_tuples_removed: tuples_removed,
+            wall: start.elapsed(),
+        })
+    }
+
     /// An edge node *crashes*: unlike the graceful [`Self::remove_switch`],
     /// every item stored on the switch's servers is lost before the
     /// controller reacts. Used by fault-tolerance experiments to show what
@@ -653,6 +845,52 @@ mod tests {
         assert!(!net.members().is_empty());
     }
 
+    #[test]
+    fn landmark_build_reports_split_phases_and_is_healthy() {
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(48, 11));
+        let pool = ServerPool::uniform(48, 2, 100_000);
+        let (net, report) = GredNetwork::build_reported(
+            topo,
+            pool,
+            GredConfig::with_iterations(5).seeded(11).landmarks(12),
+        )
+        .unwrap();
+        for phase in ["landmark_bfs", "landmark_embed", "trilateration"] {
+            assert!(
+                report.phase_named(phase).is_some(),
+                "landmark build missing phase {phase}"
+            );
+        }
+        assert!(report.phase_named("embedding").is_none());
+        assert!(net.verify_invariants().is_empty());
+        // End-to-end routing still delivers on the approximate embedding.
+        for i in 0..30 {
+            let id = DataId::new(format!("lm{i}"));
+            let receipt = net.clone().place(&id, Bytes::new(), i % 48).unwrap();
+            assert_eq!(receipt.primary, net.responsible_server(&id));
+        }
+    }
+
+    #[test]
+    fn landmark_small_network_matches_exact_build() {
+        // k >= members: the landmark knob must change nothing at all.
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(14, 3));
+        let pool = ServerPool::uniform(14, 2, 100_000);
+        let exact = GredNetwork::build(
+            topo.clone(),
+            pool.clone(),
+            GredConfig::with_iterations(8).seeded(3),
+        )
+        .unwrap();
+        let landmark = GredNetwork::build(
+            topo,
+            pool,
+            GredConfig::with_iterations(8).seeded(3).landmarks(64),
+        )
+        .unwrap();
+        assert_eq!(network_fingerprint(&exact), network_fingerprint(&landmark));
+    }
+
     type Fingerprint = (
         Vec<(usize, Point2)>,
         Vec<(usize, usize)>,
@@ -818,6 +1056,107 @@ mod tests {
             net.add_switch(&[99], vec![10]),
             Err(GredError::Topology(_))
         ));
+    }
+
+    #[test]
+    fn apply_delta_join_batch_is_bit_identical_to_sequential() {
+        // Joins only: the delta path must reproduce the one-at-a-time
+        // path bit for bit (joins cannot shift BFS tie-breaks — the new
+        // switch takes the largest id).
+        let mut seq = build_net(16, 31);
+        for i in 0..50 {
+            seq.place(&DataId::new(format!("jb{i}")), Bytes::new(), i % 16)
+                .unwrap();
+        }
+        let mut delta = seq.clone();
+        let batch = vec![
+            TopologyChange::Join {
+                links: vec![0, 5],
+                capacities: vec![100_000],
+            },
+            TopologyChange::Join {
+                links: vec![2, 16],
+                capacities: vec![100_000, 100_000],
+            },
+        ];
+        let report = delta.apply_delta(&batch).unwrap();
+        assert_eq!(report.joined, vec![16, 17]);
+        assert!(report.left.is_empty());
+        assert!(report.affected.len() < delta.members().len(), "localized");
+
+        seq.add_switch(&[0, 5], vec![100_000]).unwrap();
+        seq.add_switch(&[2, 16], vec![100_000, 100_000]).unwrap();
+        assert_eq!(network_fingerprint(&seq), network_fingerprint(&delta));
+        assert!(delta.verify_invariants().is_empty());
+        for i in 0..50 {
+            let id = DataId::new(format!("jb{i}"));
+            assert_eq!(
+                seq.retrieve(&id, 3).unwrap().server,
+                delta.retrieve(&id, 3).unwrap().server
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_mixed_batch_is_decision_equivalent() {
+        // Leaves may re-break BFS ties, so the oracle is decision
+        // equivalence: same members, positions, DT, owners, and stored
+        // state — not bit-equal relay tables.
+        let mut seq = build_net(18, 33);
+        for i in 0..60 {
+            seq.place(&DataId::new(format!("mx{i}")), Bytes::new(), i % 18)
+                .unwrap();
+        }
+        let mut delta = seq.clone();
+        let victim = seq.members()[4];
+        let batch = vec![
+            TopologyChange::Join {
+                links: vec![1, 7],
+                capacities: vec![100_000],
+            },
+            TopologyChange::Leave { switch: victim },
+        ];
+        let report = delta.apply_delta(&batch).unwrap();
+        assert_eq!(report.left, vec![victim]);
+        assert!(report.relay_tuples_removed > 0 || report.affected.is_empty());
+
+        seq.add_switch(&[1, 7], vec![100_000]).unwrap();
+        seq.remove_switch(victim).unwrap();
+
+        assert_eq!(seq.members(), delta.members());
+        for &m in seq.members() {
+            assert_eq!(seq.position_of_switch(m), delta.position_of_switch(m));
+        }
+        assert_eq!(seq.dt().edges(), delta.dt().edges());
+        assert!(delta.verify_invariants().is_empty());
+        for i in 0..60 {
+            let id = DataId::new(format!("mx{i}"));
+            assert_eq!(seq.responsible_server(&id), delta.responsible_server(&id));
+            assert_eq!(
+                seq.retrieve(&id, 0).unwrap().server,
+                delta.retrieve(&id, 0).unwrap().server
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_error_leaves_network_untouched() {
+        let mut net = build_net(10, 35);
+        let before = network_fingerprint(&net);
+        let err = net.apply_delta(&[
+            TopologyChange::Join {
+                links: vec![0],
+                capacities: vec![100_000],
+            },
+            TopologyChange::Leave { switch: 999 },
+        ]);
+        assert!(matches!(err, Err(GredError::InvalidDynamics { .. })));
+        assert_eq!(
+            network_fingerprint(&net),
+            before,
+            "failed batch mutated state"
+        );
+        assert_eq!(net.topology().switch_count(), 10);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   data id and virtual position, virtual-link relay header, payload),
 //! - [`table`]: a generic exact-match match-action table with entry
 //!   accounting (forwarding-table size is one of the paper's metrics),
+//! - [`relay`]: the prefix-compressed relay table — per-destination
+//!   wildcard defaults plus exception entries, keeping installed counts
+//!   sub-linear in the number of relayed paths,
 //! - [`entries`]: the concrete entry types GRED installs,
 //! - [`switch`]: the per-switch data plane — tables plus the greedy
 //!   next-hop selection pipeline (Algorithm 2's data-plane half),
@@ -26,6 +29,7 @@
 pub mod entries;
 pub mod packet;
 pub mod pipeline;
+pub mod relay;
 pub mod stats;
 pub mod switch;
 pub mod table;
@@ -34,6 +38,7 @@ pub mod wire;
 pub use entries::{DtTuple, ExtensionEntry, NeighborEntry};
 pub use packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 pub use pipeline::Pipeline;
+pub use relay::RelayTable;
 pub use stats::{NodeHotStats, TableStats};
 pub use switch::{ForwardDecision, SwitchDataplane};
 pub use table::MatchActionTable;

@@ -1,0 +1,478 @@
+//! A prefix-compressed relay table.
+//!
+//! The relay table logically holds one `<sour, pred, succ, dest>` tuple
+//! per virtual-link path through this switch, matched by `(dest, sour)`.
+//! In practice most paths toward the same destination leave through the
+//! same successor port — the network funnels them — so installing one
+//! exact-match entry per path wastes hardware table space. This table
+//! keeps the logical tuples but *installs* them in longest-prefix-match
+//! style, per destination:
+//!
+//! - one wildcard rule `(dest, *) → default succ`, where the default is
+//!   the tuple with the smallest source (exactly the entry the paper's
+//!   dest-only fallback would have matched), and
+//! - one exact-match rule `(dest, sour) → succ` per **exception**, a
+//!   tuple whose successor differs from the default.
+//!
+//! Tuples that agree with the default ("covered") cost no installed
+//! entry: the wildcard already forwards them correctly. The installed
+//! footprint per destination is `1 + exceptions`, which is what a
+//! hardware table would hold and what [`RelayTable::installed_len`]
+//! reports — the paper's Fig. 9(d) metric. Lookup semantics are
+//! bit-identical to the uncompressed table: an exact `(dest, sour)`
+//! match wins, anything else with a matching `dest` falls back to the
+//! smallest-source tuple's successor.
+//!
+//! The representation is **canonical**: it is a pure function of the
+//! logical tuple set, independent of install order, so two controllers
+//! that install the same paths in different orders (full rebuild vs
+//! delta rebuild, any thread count) produce bit-identical tables.
+
+use crate::entries::DtTuple;
+use std::collections::BTreeMap;
+
+/// All relay state for one destination: the wildcard default plus the
+/// covered/exception split of the remaining tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DestRelays {
+    /// The smallest-source tuple — the installed wildcard `(dest, *)`.
+    default: DtTuple,
+    /// Tuples whose successor equals the default's: represented by the
+    /// wildcard, no installed entry of their own. Keyed by source.
+    covered: BTreeMap<usize, DtTuple>,
+    /// Tuples whose successor differs: one installed exact-match entry
+    /// each. Keyed by source.
+    exceptions: BTreeMap<usize, DtTuple>,
+}
+
+impl DestRelays {
+    /// Installed (hardware) entries for this destination: the wildcard
+    /// plus one per exception.
+    fn installed(&self) -> usize {
+        1 + self.exceptions.len()
+    }
+
+    /// Rebuilds the canonical split from an iterator of tuples (all with
+    /// the same dest, distinct sours). Returns `None` when empty.
+    fn canonicalize(tuples: impl IntoIterator<Item = DtTuple>) -> Option<DestRelays> {
+        let mut by_sour: BTreeMap<usize, DtTuple> = BTreeMap::new();
+        for t in tuples {
+            by_sour.insert(t.sour, t);
+        }
+        let (_, default) = by_sour.pop_first()?;
+        let mut covered = BTreeMap::new();
+        let mut exceptions = BTreeMap::new();
+        for (sour, t) in by_sour {
+            if t.succ == default.succ {
+                covered.insert(sour, t);
+            } else {
+                exceptions.insert(sour, t);
+            }
+        }
+        Some(DestRelays {
+            default,
+            covered,
+            exceptions,
+        })
+    }
+
+    /// All tuples for this destination in ascending source order.
+    fn tuples(&self) -> impl Iterator<Item = &DtTuple> {
+        // The three parts hold disjoint sources and each BTreeMap
+        // iterates in ascending order; a three-way merge preserves the
+        // global ascending-source order without collecting.
+        MergeBySour {
+            default: Some(&self.default),
+            covered: self.covered.values().peekable(),
+            exceptions: self.exceptions.values().peekable(),
+        }
+    }
+
+    fn get(&self, sour: usize) -> Option<&DtTuple> {
+        if self.default.sour == sour {
+            return Some(&self.default);
+        }
+        self.covered
+            .get(&sour)
+            .or_else(|| self.exceptions.get(&sour))
+    }
+}
+
+/// Ascending-source merge over a destination's default/covered/exception
+/// tuples.
+struct MergeBySour<'a, C, E>
+where
+    C: Iterator<Item = &'a DtTuple>,
+    E: Iterator<Item = &'a DtTuple>,
+{
+    default: Option<&'a DtTuple>,
+    covered: std::iter::Peekable<C>,
+    exceptions: std::iter::Peekable<E>,
+}
+
+impl<'a, C, E> Iterator for MergeBySour<'a, C, E>
+where
+    C: Iterator<Item = &'a DtTuple>,
+    E: Iterator<Item = &'a DtTuple>,
+{
+    type Item = &'a DtTuple;
+
+    fn next(&mut self) -> Option<&'a DtTuple> {
+        let mut best: Option<(usize, u8)> = None;
+        if let Some(t) = self.default {
+            best = Some((t.sour, 0));
+        }
+        if let Some(t) = self.covered.peek() {
+            if best.is_none_or(|(s, _)| t.sour < s) {
+                best = Some((t.sour, 1));
+            }
+        }
+        if let Some(t) = self.exceptions.peek() {
+            if best.is_none_or(|(s, _)| t.sour < s) {
+                best = Some((t.sour, 2));
+            }
+        }
+        match best? {
+            (_, 0) => self.default.take(),
+            (_, 1) => self.covered.next(),
+            _ => self.exceptions.next(),
+        }
+    }
+}
+
+/// The compressed relay table: per-destination wildcard defaults plus
+/// exception entries, canonical in the logical tuple set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayTable {
+    dests: BTreeMap<usize, DestRelays>,
+    logical: usize,
+    high_water: usize,
+}
+
+impl Default for RelayTable {
+    fn default() -> Self {
+        RelayTable::new()
+    }
+}
+
+impl RelayTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RelayTable {
+            dests: BTreeMap::new(),
+            logical: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Installs (or replaces) the tuple for `(tuple.dest, tuple.sour)`,
+    /// returning the previous tuple at that key.
+    pub fn insert(&mut self, tuple: DtTuple) -> Option<DtTuple> {
+        let bucket = self.dests.remove(&tuple.dest);
+        let mut previous = None;
+        let rebuilt = match bucket {
+            None => DestRelays::canonicalize([tuple]),
+            Some(b) => {
+                let mut all: Vec<DtTuple> = b.tuples().copied().collect();
+                if let Some(slot) = all.iter_mut().find(|t| t.sour == tuple.sour) {
+                    previous = Some(*slot);
+                    *slot = tuple;
+                } else {
+                    all.push(tuple);
+                }
+                DestRelays::canonicalize(all)
+            }
+        };
+        let bucket = rebuilt.expect("insert always leaves at least one tuple");
+        self.dests.insert(tuple.dest, bucket);
+        if previous.is_none() {
+            self.logical += 1;
+        }
+        self.high_water = self.high_water.max(self.installed_len());
+        previous
+    }
+
+    /// Removes the tuple for `(dest, sour)`, if present. When the removed
+    /// tuple was the wildcard default, the next-smallest source is
+    /// promoted and the covered/exception split is recomputed, keeping
+    /// the representation canonical.
+    pub fn remove(&mut self, dest: usize, sour: usize) -> Option<DtTuple> {
+        let bucket = self.dests.remove(&dest)?;
+        if bucket.get(sour).is_none() {
+            self.dests.insert(dest, bucket);
+            return None;
+        }
+        let mut removed = None;
+        let remaining: Vec<DtTuple> = bucket
+            .tuples()
+            .copied()
+            .filter(|t| {
+                if t.sour == sour {
+                    removed = Some(*t);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if let Some(rebuilt) = DestRelays::canonicalize(remaining) {
+            self.dests.insert(dest, rebuilt);
+        }
+        self.logical -= 1;
+        removed
+    }
+
+    /// The tuple installed for exactly `(dest, sour)`, if any.
+    pub fn lookup(&self, dest: usize, sour: usize) -> Option<&DtTuple> {
+        self.dests.get(&dest)?.get(sour)
+    }
+
+    /// The successor for a relayed packet addressed to `(dest, sour)`:
+    /// the exact tuple's successor when installed, otherwise the
+    /// destination's wildcard default (the smallest-source tuple, exactly
+    /// the paper's dest-only fallback). `None` when no tuple matches the
+    /// destination at all.
+    pub fn next_hop(&self, dest: usize, sour: usize) -> Option<usize> {
+        let bucket = self.dests.get(&dest)?;
+        Some(match bucket.exceptions.get(&sour) {
+            Some(t) => t.succ,
+            None => bucket.default.succ,
+        })
+    }
+
+    /// Iterates over the logical tuples in `(dest, sour)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &DtTuple> {
+        self.dests.values().flat_map(DestRelays::tuples)
+    }
+
+    /// Number of logical tuples (virtual-link paths through this switch).
+    pub fn len(&self) -> usize {
+        self.logical
+    }
+
+    /// Whether the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.logical == 0
+    }
+
+    /// Installed (hardware) entries: one wildcard per destination plus
+    /// one exact-match entry per exception. This is the per-switch
+    /// footprint a real match-action table would hold and the statistic
+    /// exported for the paper's entry-count metric.
+    pub fn installed_len(&self) -> usize {
+        self.dests.values().map(DestRelays::installed).sum()
+    }
+
+    /// Highest installed-entry count ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Removes every tuple.
+    pub fn clear(&mut self) {
+        self.dests.clear();
+        self.logical = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(sour: usize, pred: usize, succ: usize, dest: usize) -> DtTuple {
+        DtTuple {
+            sour,
+            pred,
+            succ,
+            dest,
+        }
+    }
+
+    /// The uncompressed reference: a BTreeMap keyed by `(dest, sour)`
+    /// with the original linear-scan fallback.
+    #[derive(Default)]
+    struct Reference(BTreeMap<(usize, usize), DtTuple>);
+
+    impl Reference {
+        fn next_hop(&self, dest: usize, sour: usize) -> Option<usize> {
+            if let Some(t) = self.0.get(&(dest, sour)) {
+                return Some(t.succ);
+            }
+            self.0
+                .iter()
+                .find(|((d, _), _)| *d == dest)
+                .map(|(_, t)| t.succ)
+        }
+    }
+
+    #[test]
+    fn lookup_and_fallback_match_reference() {
+        let tuples = [t(1, 0, 7, 9), t(4, 2, 7, 9), t(6, 3, 8, 9), t(2, 1, 5, 3)];
+        let mut table = RelayTable::new();
+        let mut reference = Reference::default();
+        for tu in tuples {
+            table.insert(tu);
+            reference.0.insert((tu.dest, tu.sour), tu);
+        }
+        for dest in 0..12 {
+            for sour in 0..12 {
+                assert_eq!(
+                    table.next_hop(dest, sour),
+                    reference.next_hop(dest, sour),
+                    "dest={dest} sour={sour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_across_insert_orders() {
+        let tuples = [t(3, 0, 7, 9), t(1, 0, 7, 9), t(6, 3, 8, 9), t(5, 2, 8, 9)];
+        let mut forward = RelayTable::new();
+        for tu in tuples {
+            forward.insert(tu);
+        }
+        let mut backward = RelayTable::new();
+        for tu in tuples.iter().rev() {
+            backward.insert(*tu);
+        }
+        assert_eq!(forward, backward);
+        // 1 wildcard (sour 1 → 7), sour 3 covered, sours 5/6 exceptions.
+        assert_eq!(forward.installed_len(), 3);
+        assert_eq!(forward.len(), 4);
+    }
+
+    #[test]
+    fn iteration_is_dest_then_sour_ordered() {
+        let tuples = [t(5, 0, 1, 9), t(2, 0, 1, 9), t(9, 0, 2, 9), t(1, 0, 1, 4)];
+        let mut table = RelayTable::new();
+        for tu in tuples {
+            table.insert(tu);
+        }
+        let keys: Vec<(usize, usize)> = table.iter().map(|t| (t.dest, t.sour)).collect();
+        assert_eq!(keys, vec![(4, 1), (9, 2), (9, 5), (9, 9)]);
+    }
+
+    #[test]
+    fn removing_default_promotes_next_source() {
+        let mut table = RelayTable::new();
+        table.insert(t(1, 0, 7, 9));
+        table.insert(t(4, 2, 8, 9)); // exception while 1 is default
+        table.insert(t(6, 3, 8, 9)); // exception while 1 is default
+        assert_eq!(table.installed_len(), 3);
+
+        // Remove the default: sour 4 is promoted, and sour 6 (same succ)
+        // becomes covered — the installed footprint shrinks to 1.
+        assert_eq!(table.remove(9, 1).map(|t| t.succ), Some(7));
+        assert_eq!(table.installed_len(), 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.next_hop(9, 4), Some(8));
+        assert_eq!(table.next_hop(9, 6), Some(8));
+        // Unknown source falls back to the new default.
+        assert_eq!(table.next_hop(9, 1), Some(8));
+
+        assert_eq!(table.remove(9, 4).map(|t| t.sour), Some(4));
+        assert_eq!(table.remove(9, 6).map(|t| t.sour), Some(6));
+        assert_eq!(table.next_hop(9, 6), None);
+        assert!(table.is_empty());
+        assert_eq!(table.remove(9, 6), None);
+    }
+
+    #[test]
+    fn replacing_a_tuple_updates_split() {
+        let mut table = RelayTable::new();
+        table.insert(t(1, 0, 7, 9));
+        table.insert(t(4, 2, 7, 9)); // covered
+        assert_eq!(table.installed_len(), 1);
+        // Re-route sour 4 through a different successor: becomes an
+        // exception, replacing (not duplicating) the logical tuple.
+        let prev = table.insert(t(4, 2, 8, 9));
+        assert_eq!(prev.map(|t| t.succ), Some(7));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.installed_len(), 2);
+        assert_eq!(table.next_hop(9, 4), Some(8));
+        // Re-route the default itself: every split is recomputed.
+        table.insert(t(1, 0, 8, 9));
+        assert_eq!(table.installed_len(), 1, "sour 4 is covered again");
+    }
+
+    #[test]
+    fn clear_and_high_water() {
+        let mut table = RelayTable::new();
+        table.insert(t(1, 0, 7, 9));
+        table.insert(t(2, 0, 8, 9));
+        assert_eq!(table.high_water(), 2);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.installed_len(), 0);
+        assert_eq!(table.high_water(), 2, "high water survives clear");
+        assert_eq!(table.next_hop(9, 1), None);
+    }
+
+    #[test]
+    fn funneled_paths_compress_to_one_entry() {
+        // 50 paths to the same destination all leaving through port 3:
+        // the hardware footprint is a single wildcard entry.
+        let mut table = RelayTable::new();
+        for sour in 0..50 {
+            table.insert(t(sour, sour, 3, 99));
+        }
+        assert_eq!(table.len(), 50);
+        assert_eq!(table.installed_len(), 1);
+        for sour in 0..60 {
+            assert_eq!(table.next_hop(99, sour), Some(3));
+        }
+    }
+
+    #[test]
+    fn exhaustive_semantics_against_reference() {
+        // Drive both tables through a deterministic install/remove
+        // schedule and compare every lookup after every step.
+        let mut table = RelayTable::new();
+        let mut reference = Reference::default();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for step in 0..400 {
+            let dest = next() % 6;
+            let sour = next() % 6;
+            if next() % 4 == 0 {
+                assert_eq!(
+                    table.remove(dest, sour),
+                    reference.0.remove(&(dest, sour)),
+                    "step {step}: remove({dest},{sour})"
+                );
+            } else {
+                let tu = t(sour, next() % 6, next() % 6, dest);
+                assert_eq!(
+                    table.insert(tu),
+                    reference.0.insert((dest, sour), tu),
+                    "step {step}: insert {tu:?}"
+                );
+            }
+            assert_eq!(table.len(), reference.0.len());
+            for d in 0..6 {
+                for s in 0..6 {
+                    assert_eq!(
+                        table.next_hop(d, s),
+                        reference.next_hop(d, s),
+                        "step {step}: next_hop({d},{s})"
+                    );
+                    assert_eq!(
+                        table.lookup(d, s),
+                        reference.0.get(&(d, s)),
+                        "step {step}: lookup({d},{s})"
+                    );
+                }
+            }
+            let logical: Vec<DtTuple> = table.iter().copied().collect();
+            let expect: Vec<DtTuple> = reference.0.values().copied().collect();
+            assert_eq!(logical, expect, "step {step}: iteration order");
+            assert!(table.installed_len() <= table.len().max(1));
+        }
+    }
+}

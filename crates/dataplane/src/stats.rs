@@ -110,6 +110,10 @@ pub struct TableStats {
     pub mean: f64,
     /// Minimum entries on any switch.
     pub min: usize,
+    /// Median (lower-median nearest rank) entries per switch — with
+    /// `min`/`max` this gives the per-switch distribution the scaling
+    /// experiments report.
+    pub p50: usize,
     /// Maximum entries on any switch.
     pub max: usize,
     /// Half-width of the 90% confidence interval of the mean (the paper's
@@ -136,10 +140,13 @@ impl TableStats {
                 switches: 0,
                 mean: 0.0,
                 min: 0,
+                p50: 0,
                 max: 0,
                 ci90_half_width: 0.0,
             };
         }
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
         let n = counts.len() as f64;
         let mean = counts.iter().sum::<usize>() as f64 / n;
         let var = counts
@@ -159,8 +166,9 @@ impl TableStats {
         TableStats {
             switches: counts.len(),
             mean,
-            min: *counts.iter().min().expect("nonempty"),
-            max: *counts.iter().max().expect("nonempty"),
+            min: sorted[0],
+            p50: sorted[(sorted.len() - 1) / 2],
+            max: *sorted.last().expect("nonempty"),
             ci90_half_width,
         }
     }
@@ -226,8 +234,16 @@ mod tests {
         let s = TableStats::from_counts(&[2, 4, 6]);
         assert!((s.mean - 4.0).abs() < 1e-12);
         assert_eq!(s.min, 2);
+        assert_eq!(s.p50, 4);
         assert_eq!(s.max, 6);
         assert!(s.ci90_half_width > 0.0);
+    }
+
+    #[test]
+    fn p50_is_order_independent_lower_median() {
+        assert_eq!(TableStats::from_counts(&[9, 1, 5]).p50, 5);
+        assert_eq!(TableStats::from_counts(&[8, 2, 4, 6]).p50, 4);
+        assert_eq!(TableStats::from_counts(&[7]).p50, 7);
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //!    same computation.
 //! 2. **Relay table** — virtual-link tuples `<sour, pred, succ, dest>`,
 //!    matched by `(dest, sour)` when the switch is an intermediate relay.
+//!    Stored compressed ([`RelayTable`]): one wildcard rule per
+//!    destination plus exact-match exceptions, so the installed
+//!    footprint stays sub-linear in the number of paths funneled through
+//!    the switch while lookups behave exactly like the uncompressed
+//!    table.
 //! 3. **Extension table** — range-extension rewrites (paper Tables I/II)
 //!    consulted when the switch delivers locally.
 
 use crate::entries::{DtTuple, ExtensionEntry, NeighborEntry};
+use crate::relay::RelayTable;
 use crate::table::MatchActionTable;
 use gred_geometry::Point2;
 use gred_hash::DataId;
@@ -72,7 +78,7 @@ pub struct SwitchDataplane {
     position: Point2,
     server_count: usize,
     neighbors: MatchActionTable<usize, NeighborEntry>,
-    relays: MatchActionTable<(usize, usize), DtTuple>,
+    relays: RelayTable,
     extensions: MatchActionTable<ServerId, ExtensionEntry>,
     /// P4-style counter: packets this switch processed (greedy decisions
     /// plus virtual-link relays).
@@ -113,7 +119,7 @@ impl SwitchDataplane {
             position,
             server_count,
             neighbors: MatchActionTable::new("gred_neighbors"),
-            relays: MatchActionTable::new("gred_relays"),
+            relays: RelayTable::new(),
             extensions: MatchActionTable::new("gred_extensions"),
             processed: AtomicU64::new(0),
         }
@@ -129,7 +135,7 @@ impl SwitchDataplane {
             position: Point2::ORIGIN,
             server_count: 0,
             neighbors: MatchActionTable::new("gred_neighbors"),
-            relays: MatchActionTable::new("gred_relays"),
+            relays: RelayTable::new(),
             extensions: MatchActionTable::new("gred_extensions"),
             processed: AtomicU64::new(0),
         }
@@ -165,6 +171,12 @@ impl SwitchDataplane {
         self.neighbors.remove(&neighbor)
     }
 
+    /// Removes every neighbor entry (controller-side maintenance before a
+    /// member's entries are reinstalled).
+    pub fn clear_neighbors(&mut self) {
+        self.neighbors.clear();
+    }
+
     /// Iterates over installed neighbor entries.
     pub fn neighbor_entries(&self) -> impl Iterator<Item = &NeighborEntry> {
         self.neighbors.iter().map(|(_, e)| e)
@@ -172,12 +184,12 @@ impl SwitchDataplane {
 
     /// Installs a virtual-link relay tuple (keyed by `(dest, sour)`).
     pub fn install_relay(&mut self, tuple: DtTuple) {
-        self.relays.insert((tuple.dest, tuple.sour), tuple);
+        self.relays.insert(tuple);
     }
 
     /// Removes the relay tuple for the `(dest, sour)` path.
     pub fn remove_relay(&mut self, dest: usize, sour: usize) -> Option<DtTuple> {
-        self.relays.remove(&(dest, sour))
+        self.relays.remove(dest, sour)
     }
 
     /// Clears every relay tuple (used when the controller reinstalls paths
@@ -186,9 +198,11 @@ impl SwitchDataplane {
         self.relays.clear();
     }
 
-    /// Iterates over installed relay tuples in `(dest, sour)` key order.
+    /// Iterates over the logical relay tuples in `(dest, sour)` key
+    /// order — one per virtual-link path through this switch, regardless
+    /// of how the compressed table represents them.
     pub fn relay_entries(&self) -> impl Iterator<Item = &DtTuple> {
-        self.relays.iter().map(|(_, t)| t)
+        self.relays.iter()
     }
 
     /// The successor to forward to when relaying a virtual-link packet
@@ -198,13 +212,15 @@ impl SwitchDataplane {
     /// missing.
     pub fn relay_next(&self, dest: usize, sour: usize) -> Option<usize> {
         self.processed.fetch_add(1, Ordering::Relaxed);
-        if let Some(t) = self.relays.lookup(&(dest, sour)) {
-            return Some(t.succ);
-        }
-        self.relays
-            .iter()
-            .find(|((d, _), _)| *d == dest)
-            .map(|(_, t)| t.succ)
+        self.relays.next_hop(dest, sour)
+    }
+
+    /// Counter-free *exact* relay lookup: the logical tuple installed for
+    /// `(dest, sour)`, with no dest-only fallback and no packet counted.
+    /// Controller-side maintenance (chain walking during delta rebuilds)
+    /// uses this; the data path uses [`SwitchDataplane::relay_next`].
+    pub fn relay_lookup(&self, dest: usize, sour: usize) -> Option<&DtTuple> {
+        self.relays.lookup(dest, sour)
     }
 
     /// Installs a range-extension rewrite for `entry.original` (which must
@@ -242,19 +258,28 @@ impl SwitchDataplane {
         self.processed.store(0, Ordering::Relaxed);
     }
 
-    /// Total installed forwarding entries across all tables — the metric
-    /// of Fig. 9(d).
+    /// Total *installed* forwarding entries across all tables — the
+    /// metric of Fig. 9(d). Relay entries are counted in their
+    /// compressed, hardware form (one wildcard per destination plus
+    /// exceptions), not one per logical path; see
+    /// [`SwitchDataplane::relay_path_count`] for the logical count.
     pub fn entry_count(&self) -> usize {
-        self.neighbors.len() + self.relays.len() + self.extensions.len()
+        self.neighbors.len() + self.relays.installed_len() + self.extensions.len()
     }
 
-    /// Per-table entry counts `(neighbors, relays, extensions)`.
+    /// Per-table installed entry counts `(neighbors, relays, extensions)`.
     pub fn entry_breakdown(&self) -> (usize, usize, usize) {
         (
             self.neighbors.len(),
-            self.relays.len(),
+            self.relays.installed_len(),
             self.extensions.len(),
         )
+    }
+
+    /// Number of logical virtual-link paths relayed through this switch
+    /// (what the uncompressed table's entry count used to be).
+    pub fn relay_path_count(&self) -> usize {
+        self.relays.len()
     }
 
     /// Counter-free peek at the greedy outcome: whether this switch is

@@ -236,6 +236,32 @@ impl Builder {
         None
     }
 
+    /// Boundary edges (those with a single adjacent triangle) strictly
+    /// visible from exterior point `p`, directed so the triangulation's
+    /// interior lies on the left. Sorted for deterministic fan insertion.
+    fn visible_hull_edges(&self, p: IPoint) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (&key, ids) in &self.edge_tris {
+            if ids.len() != 1 {
+                continue;
+            }
+            let t = self.tris[ids[0]].expect("edge index refers to live triangle");
+            // Recover the directed orientation of `key` within the CCW
+            // triangle: one of the two directions appears in its cycle.
+            let directed = [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])];
+            let (u, v) = if directed.contains(&key) {
+                key
+            } else {
+                (key.1, key.0)
+            };
+            if iorient(self.pts[u], self.pts[v], p) < 0 {
+                out.push((u, v));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Splits triangle `id` by strictly-interior point `p_idx`.
     fn split_triangle(&mut self, id: usize, p_idx: usize) -> Vec<(usize, usize)> {
         let [a, b, c] = self.tris[id].expect("splitting a live triangle");
@@ -637,7 +663,7 @@ impl Triangulation {
                 second: self.points.len(),
             });
         }
-        // Collinear history or exterior point: rebuild from scratch.
+        // Collinear history or degenerate placement: rebuild from scratch.
         let rebuild = || {
             let mut pts = self.points.clone();
             pts.push(p);
@@ -659,18 +685,37 @@ impl Triangulation {
         }
         b.pts.push(ip);
         let new_idx = b.pts.len() - 1;
-        let Some(loc) = b.locate(ip) else {
-            return rebuild(); // outside the hull
-        };
-        let mut seeds = match loc {
-            Location::Inside(id) => b.split_triangle(id, new_idx),
-            Location::OnEdge(x, y) => {
-                // Hull-boundary points also change the hull; a split only
-                // covers interior edges (two adjacent triangles).
-                if b.edge_tris.get(&edge_key(x, y)).map_or(0, Vec::len) < 2 {
+        let mut seeds = match b.locate(ip) {
+            Some(Location::Inside(id)) => b.split_triangle(id, new_idx),
+            Some(Location::OnEdge(x, y)) => {
+                // Interior edges split both adjacent triangles; a
+                // hull-boundary edge splits its single triangle and the
+                // new point becomes a collinear boundary vertex (the
+                // duplicate check above guarantees it is strictly between
+                // the endpoints, so both halves are non-degenerate).
+                b.split_edge(x, y, new_idx)
+            }
+            None => {
+                // Outside the hull: fan the new point to every strictly
+                // visible boundary edge (the standard incremental hull
+                // extension), then legalize outward from the covered
+                // edges. Join positions land out here routinely — e.g.
+                // when the local embedding clamps them to the unit-square
+                // border — and the from-scratch rebuild this used to do
+                // is O(n²) at 10k members.
+                let visible = b.visible_hull_edges(ip);
+                if visible.is_empty() {
+                    // p is collinear with the entire silhouette; punt to
+                    // the full construction.
                     return rebuild();
                 }
-                b.split_edge(x, y, new_idx)
+                visible
+                    .iter()
+                    .map(|&(u, v)| {
+                        b.add_tri([u, v, new_idx]);
+                        edge_key(u, v)
+                    })
+                    .collect()
             }
         };
         seeds.extend(
@@ -1246,13 +1291,66 @@ mod incremental_tests {
     }
 
     #[test]
-    fn exterior_point_falls_back_to_rebuild() {
-        let pts = random_points(20, 9);
+    fn exterior_insert_stays_delaunay_and_matches_rebuild() {
+        for seed in [9u64, 21, 33] {
+            let pts = random_points(20, seed);
+            let dt = Triangulation::new(&pts).unwrap();
+            for outside in [
+                Point2::new(0.999, 0.999),
+                Point2::new(-0.25, 0.4),
+                Point2::new(0.5, 1.7),
+                Point2::new(-1.0, -1.0),
+            ] {
+                let inc = dt.with_inserted(outside).unwrap();
+                assert_eq!(inc.points().len(), 21);
+                assert_eq!(inc.delaunay_violation(), None);
+                let mut all = pts.clone();
+                all.push(outside);
+                let full = Triangulation::new(&all).unwrap();
+                for i in 0..all.len() {
+                    let a: Vec<usize> = inc.neighbors(i).collect();
+                    let b: Vec<usize> = full.neighbors(i).collect();
+                    assert_eq!(a, b, "seed {seed}, point {outside:?}, vertex {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_on_hull_boundary_edge_splits_in_place() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
         let dt = Triangulation::new(&pts).unwrap();
-        let outside = Point2::new(0.999, 0.999);
-        let inc = dt.with_inserted(outside).unwrap();
-        assert_eq!(inc.points().len(), 21);
-        assert_eq!(inc.delaunay_violation(), None);
+        let grown = dt.with_inserted(Point2::new(0.5, 0.0)).unwrap();
+        assert_eq!(grown.triangles().len(), 2);
+        assert_eq!(grown.delaunay_violation(), None);
+        let nb: Vec<usize> = grown.neighbors(3).collect();
+        assert_eq!(nb, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chained_exterior_inserts_stay_delaunay() {
+        // Repeated hull extensions, including points collinear with a
+        // previously extended hull edge.
+        let pts = random_points(15, 4);
+        let mut dt = Triangulation::new(&pts).unwrap();
+        for (i, q) in [
+            Point2::new(1.2, 0.5),
+            Point2::new(1.4, 0.5),
+            Point2::new(1.3, 1.3),
+            Point2::new(0.5, -0.7),
+            Point2::new(-0.4, 0.1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            dt = dt.with_inserted(q).unwrap();
+            assert_eq!(dt.points().len(), 16 + i);
+            assert_eq!(dt.delaunay_violation(), None, "after insert {i}");
+        }
     }
 
     #[test]

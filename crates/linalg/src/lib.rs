@@ -13,17 +13,21 @@
 //!
 //! This crate provides exactly the pieces that pipeline needs and nothing
 //! more: a small dense [`Matrix`] type ([`matrix`]), a cyclic Jacobi
-//! eigensolver for symmetric matrices ([`eigen`]), and classical MDS built on
-//! both ([`mds`]). Everything is implemented from scratch — the matrices
-//! involved are `n × n` for `n` ≤ a few hundred switches, well within
-//! Jacobi's comfort zone.
+//! eigensolver for symmetric matrices ([`eigen`]), classical MDS built on
+//! both ([`mds`]), and landmark MDS ([`mds_landmark`]) for large networks.
+//! Everything is implemented from scratch — full classical MDS runs Jacobi
+//! on the `n × n` matrix (comfortable up to a few hundred switches), while
+//! the landmark path only ever eigendecomposes a `k × k` landmark matrix
+//! and trilaterates the remaining points in `O(n·k)`.
 
 pub mod eigen;
 pub mod matrix;
 pub mod mds;
+pub mod mds_landmark;
 pub mod power;
 
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use matrix::Matrix;
 pub use mds::{classical_mds, double_center, MdsError};
+pub use mds_landmark::{landmark_mds, LandmarkEmbedding};
 pub use power::power_eigen;

@@ -215,6 +215,84 @@ impl Topology {
         None
     }
 
+    /// Shortest paths from `a` to each of `targets` in a single BFS that
+    /// terminates as soon as every target is discovered.
+    ///
+    /// Each returned path is identical to [`Topology::shortest_path`]`(a,
+    /// target)` — the BFS visits neighbors in the same ascending order, so
+    /// the predecessor tree (and therefore every tie-break) matches the
+    /// single-target search exactly. Entry `i` is `None` when `targets[i]`
+    /// is unreachable.
+    ///
+    /// The controller's installer asks for paths from one member to all of
+    /// its DT neighbors; doing that in one bounded BFS instead of one full
+    /// BFS per neighbor is what keeps installation sub-quadratic at 10k
+    /// switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or any target is out of range.
+    pub fn shortest_paths_to(&self, a: usize, targets: &[usize]) -> Vec<Option<Vec<usize>>> {
+        assert!(a < self.adj.len(), "endpoint out of range");
+        for &t in targets {
+            assert!(t < self.adj.len(), "endpoint out of range");
+        }
+        let mut remaining = 0usize;
+        let mut wanted = vec![false; self.adj.len()];
+        for &t in targets {
+            if t != a && !wanted[t] {
+                wanted[t] = true;
+                remaining += 1;
+            }
+        }
+        let mut prev = vec![usize::MAX; self.adj.len()];
+        let mut seen = vec![false; self.adj.len()];
+        seen[a] = true;
+        let mut q = VecDeque::from([a]);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = u;
+                    if wanted[v] {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            break 'bfs;
+                        }
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        targets
+            .iter()
+            .map(|&t| {
+                if t == a {
+                    return Some(vec![a]);
+                }
+                if !seen[t] {
+                    return None;
+                }
+                let mut path = vec![t];
+                let mut cur = t;
+                while cur != a {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                Some(path)
+            })
+            .collect()
+    }
+
+    /// Appends a new isolated switch and returns its index. Used by the
+    /// delta rebuild path, which grows the network one join at a time
+    /// without reconstructing the whole adjacency structure.
+    pub fn add_switch(&mut self) -> usize {
+        self.adj.push(BTreeSet::new());
+        self.adj.len() - 1
+    }
+
     /// Whether every switch can reach every other.
     pub fn is_connected(&self) -> bool {
         if self.adj.is_empty() {
@@ -335,7 +413,62 @@ mod tests {
         assert!(Topology::new(1).is_connected());
     }
 
+    #[test]
+    fn multi_target_paths_match_single_target() {
+        let mut t = ring(9);
+        t.add_link(0, 4).unwrap();
+        t.add_link(2, 7).unwrap();
+        let targets = [3, 0, 6, 3, 8];
+        let got = t.shortest_paths_to(0, &targets);
+        for (i, &target) in targets.iter().enumerate() {
+            assert_eq!(got[i], t.shortest_path(0, target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn multi_target_unreachable_and_empty() {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1).unwrap();
+        let got = t.shortest_paths_to(0, &[1, 3]);
+        assert_eq!(got[0], Some(vec![0, 1]));
+        assert_eq!(got[1], None);
+        assert!(t.shortest_paths_to(2, &[]).is_empty());
+    }
+
+    #[test]
+    fn add_switch_appends_isolated() {
+        let mut t = ring(3);
+        let s = t.add_switch();
+        assert_eq!(s, 3);
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(t.degree(s), 0);
+        t.add_link(s, 0).unwrap();
+        assert!(t.has_link(3, 0));
+    }
+
     proptest! {
+        /// Multi-target BFS reproduces the single-target search exactly,
+        /// including tie-breaks, on arbitrary augmented rings.
+        #[test]
+        fn prop_multi_target_matches_single(
+            n in 3usize..14,
+            extra in proptest::collection::vec((0usize..14, 0usize..14), 0..20),
+        ) {
+            let mut t = ring(n);
+            for (a, b) in extra {
+                if a < n && b < n && a != b {
+                    t.add_link(a, b).unwrap();
+                }
+            }
+            for a in 0..n {
+                let targets: Vec<usize> = (0..n).collect();
+                let got = t.shortest_paths_to(a, &targets);
+                for (b, path) in got.iter().enumerate() {
+                    prop_assert_eq!(path, &t.shortest_path(a, b));
+                }
+            }
+        }
+
         /// Path length reported by shortest_path always matches the BFS
         /// distance matrix.
         #[test]

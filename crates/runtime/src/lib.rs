@@ -14,6 +14,9 @@
 //!   synchronization over many items) and every worker accumulates its
 //!   outputs locally, so the only shared state is the chunk queue; the
 //!   result vector is assembled once at join time.
+//!   [`parallel_map_min_chunk`] additionally floors the chunk size and
+//!   caps the worker count so cheap per-item work (BFS rows,
+//!   trilaterations) is not swamped by thread-spawn overhead.
 //! - [`BuildReport`]: per-phase wall-clock timing and work counters for
 //!   the control-plane build pipeline, so rebuild cost can be attributed
 //!   to embedding, regulation, triangulation, or installation.
@@ -53,15 +56,46 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_min_chunk(items, threads, 1, f)
+}
+
+/// [`parallel_map`] with a floor on the per-chunk item count.
+///
+/// Workers are scoped threads spawned per call, so when per-item work is
+/// cheap (a BFS row on a small graph, one trilateration) the dispatch
+/// overhead of `threads` spawns can exceed the work itself. `min_chunk`
+/// caps the worker count at `ceil(n / min_chunk)` and guarantees each
+/// dispatched batch carries at least `min_chunk` items, so per-worker
+/// batches amortize the spawn and queue cost. Output is identical to
+/// [`parallel_map`] for every `threads`/`min_chunk` combination — only
+/// the work partitioning changes.
+///
+/// ```
+/// let squares = gred_runtime::parallel_map_min_chunk(vec![1, 2, 3, 4], 8, 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map_min_chunk<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    min_chunk: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
-    let workers = threads.min(n);
+    let min_chunk = min_chunk.max(1);
+    let workers = threads.min(n.div_ceil(min_chunk));
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
 
     // Contiguous chunks, ~4 per worker so faster workers can steal
-    // extras from the queue while slower ones finish.
-    let chunk_len = n.div_ceil(workers * 4).max(1);
+    // extras from the queue while slower ones finish, but never smaller
+    // than the caller's amortization floor.
+    let chunk_len = n.div_ceil(workers * 4).max(min_chunk);
     let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(n.div_ceil(chunk_len));
     let mut iter = items.into_iter();
     let mut start = 0;
@@ -306,6 +340,32 @@ mod tests {
             let parallel = parallel_map((0..257).collect::<Vec<i64>>(), threads, |x| x * x - 3);
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn min_chunk_output_identical() {
+        let serial = parallel_map((0..143).collect::<Vec<i64>>(), 1, |x| x * 3 + 1);
+        for threads in [2usize, 4, 8] {
+            for min_chunk in [0usize, 1, 4, 16, 64, 1000] {
+                let out =
+                    parallel_map_min_chunk((0..143).collect(), threads, min_chunk, |x| x * 3 + 1);
+                assert_eq!(out, serial, "threads={threads} min_chunk={min_chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_caps_worker_count() {
+        // 10 items with min_chunk 8 must use at most ceil(10/8) = 2
+        // workers; count distinct thread ids to prove it.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _ = parallel_map_min_chunk((0..10).collect::<Vec<i32>>(), 8, 8, |x| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert!(ids.lock().unwrap().len() <= 2);
     }
 
     #[test]

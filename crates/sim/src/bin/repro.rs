@@ -468,8 +468,8 @@ fn run(experiment: &str, scale: &Scale, out: &Output, threads: usize) {
             let rows = build_report_rows(scale.build_switches, threads);
             out.emit(
                 "build-report",
-                "Instrumentation: control-plane build phases, serial vs threaded",
-                &["threads", "phase", "items", "wall (ms)"],
+                "Instrumentation: control-plane build phases by variant and thread count",
+                &["variant", "threads", "phase", "items", "wall (ms)"],
                 rows,
             );
         }
@@ -507,11 +507,13 @@ fn print_extension_tables() {
     );
 }
 
-/// Builds a Waxman network once serially and once with `threads` workers,
-/// printing each [`gred::BuildReport`] (human summary + JSON line) and
-/// returning per-phase table rows.
+/// Builds a Waxman network with the exact and landmark control planes
+/// (serially and with `threads` workers), applies a churn batch through
+/// the incremental delta path, and prints each [`gred::BuildReport`]
+/// (human summary + JSON line) plus the per-switch installed-entry
+/// distribution, returning per-phase table rows.
 fn build_report_rows(switches: usize, threads: usize) -> Vec<Vec<String>> {
-    use gred::{GredConfig, GredNetwork};
+    use gred::{GredConfig, GredNetwork, TopologyChange};
     use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
 
     let mut rows = Vec::new();
@@ -519,29 +521,73 @@ fn build_report_rows(switches: usize, threads: usize) -> Vec<Vec<String>> {
     if threads > 1 {
         thread_counts.push(threads);
     }
+    // Enough pivots for a stable embedding, well under the member count.
+    let landmarks = (switches / 5).clamp(8, 100);
     for t in thread_counts {
-        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
-        let pool = ServerPool::uniform(switches, 4, 10_000);
-        let config = GredConfig::default().threads(t);
-        let (_, report) = GredNetwork::build_reported(topo, pool, config)
-            .expect("Waxman build succeeds at report scale");
-        println!("{}", report.summary());
-        println!("{}", report.to_json());
-        for phase in &report.phases {
+        for variant in ["full", "landmark"] {
+            let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
+            let pool = ServerPool::uniform(switches, 4, 10_000);
+            let mut config = GredConfig::default().threads(t);
+            if variant == "landmark" {
+                config = config.landmarks(landmarks);
+            }
+            let (net, report) = GredNetwork::build_reported(topo, pool, config)
+                .expect("Waxman build succeeds at report scale");
+            println!("{}", report.summary());
+            println!("{}", report.to_json());
+            let stats = net.table_stats();
+            println!(
+                "{variant} build, {t} threads: per-switch installed entries \
+                 min {} / p50 {} / max {} (mean {:.1} over {} switches)",
+                stats.min, stats.p50, stats.max, stats.mean, stats.switches
+            );
+            for phase in &report.phases {
+                rows.push(vec![
+                    variant.to_string(),
+                    t.to_string(),
+                    phase.name.to_string(),
+                    phase.items.to_string(),
+                    f3(phase.wall.as_secs_f64() * 1e3),
+                ]);
+            }
             rows.push(vec![
+                variant.to_string(),
                 t.to_string(),
-                phase.name.to_string(),
-                phase.items.to_string(),
-                f3(phase.wall.as_secs_f64() * 1e3),
+                "total".to_string(),
+                switches.to_string(),
+                f3(report.total_wall().as_secs_f64() * 1e3),
             ]);
         }
-        rows.push(vec![
-            t.to_string(),
-            "total".to_string(),
-            switches.to_string(),
-            f3(report.total_wall().as_secs_f64() * 1e3),
-        ]);
     }
+
+    // The incremental path: absorb a small join batch without a rebuild
+    // and report the apply cost next to the build phases it avoids.
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, SEED));
+    let pool = ServerPool::uniform(switches, 4, 10_000);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::default().landmarks(landmarks))
+        .expect("Waxman build succeeds at report scale");
+    let batch: Vec<TopologyChange> = (0..4)
+        .map(|i| TopologyChange::Join {
+            links: vec![(i * 37 + 11) % switches, (i * 91 + 3) % switches],
+            capacities: vec![10_000],
+        })
+        .collect();
+    let report = net.apply_delta(&batch).expect("churn batch applies");
+    println!(
+        "delta apply: {} joins, {} affected of {} members ({:.0}% reused), {:.3} ms",
+        report.joined.len(),
+        report.affected.len(),
+        report.members_total,
+        report.reuse_ratio() * 100.0,
+        report.wall.as_secs_f64() * 1e3
+    );
+    rows.push(vec![
+        "delta".to_string(),
+        "1".to_string(),
+        "delta_apply".to_string(),
+        report.affected.len().to_string(),
+        f3(report.wall.as_secs_f64() * 1e3),
+    ]);
     rows
 }
 

@@ -489,15 +489,17 @@ mod tests {
                 }
                 for key in &keys {
                     if let Some(served) = oracle.cache_serve(key) {
-                        let stored = oracle
-                            .items()
-                            .find(|(id, _)| *id == key)
-                            .unwrap_or_else(|| {
-                                panic!("seed {seed} round {round}: cache serves a dropped {key}")
-                            });
+                        let stored =
+                            oracle
+                                .items()
+                                .find(|(id, _)| *id == key)
+                                .unwrap_or_else(|| {
+                                    panic!(
+                                        "seed {seed} round {round}: cache serves a dropped {key}"
+                                    )
+                                });
                         assert_eq!(
-                            served,
-                            &stored.1.payload,
+                            served, &stored.1.payload,
                             "seed {seed} round {round}: cache serves a superseded payload"
                         );
                         assert!(

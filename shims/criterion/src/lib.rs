@@ -210,7 +210,10 @@ fn record(group: &str, bench: &str, bencher: &Bencher, throughput: Option<Throug
 /// they have no JSON spelling.
 pub fn record_metrics(group: &str, bench: &str, metrics: &[(&str, f64)]) {
     let mut line = String::new();
-    let _ = write!(line, "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"metrics\":{{");
+    let _ = write!(
+        line,
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"metrics\":{{"
+    );
     let mut first = true;
     for (key, value) in metrics {
         if !value.is_finite() {

@@ -48,6 +48,22 @@ fn build(switches: usize, seed: u64, iters: usize, threads: usize) -> GredNetwor
     GredNetwork::build(topo, pool, config).expect("Waxman topologies are connected")
 }
 
+fn build_landmark(
+    switches: usize,
+    seed: u64,
+    iters: usize,
+    threads: usize,
+    landmarks: usize,
+) -> GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let config = GredConfig::with_iterations(iters)
+        .seeded(seed)
+        .threads(threads)
+        .landmarks(landmarks);
+    GredNetwork::build(topo, pool, config).expect("Waxman topologies are connected")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -63,5 +79,33 @@ proptest! {
         let serial = fingerprint(&build(switches, seed, iters, 1));
         let threaded = fingerprint(&build(switches, seed, iters, threads));
         prop_assert_eq!(serial, threaded);
+    }
+
+    /// The landmark embedding path must be equally thread-count
+    /// independent: batched farthest-point sampling, trilateration, and
+    /// installation are all fixed-merge-order parallel maps.
+    #[test]
+    fn threaded_landmark_build_matches_serial_build(
+        switches in 30usize..48,
+        seed in 0u64..1000,
+        landmarks in 8usize..20,
+        threads in 2usize..9,
+    ) {
+        let serial = fingerprint(&build_landmark(switches, seed, 5, 1, landmarks));
+        let threaded = fingerprint(&build_landmark(switches, seed, 5, threads, landmarks));
+        prop_assert_eq!(serial, threaded);
+    }
+
+    /// When `k >= members`, the landmark knob must be a no-op: the build
+    /// falls back to the exact classical embedding bit for bit.
+    #[test]
+    fn oversized_landmark_count_falls_back_to_exact(
+        switches in 5usize..20,
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let exact = fingerprint(&build(switches, seed, 5, threads));
+        let fallback = fingerprint(&build_landmark(switches, seed, 5, threads, 100));
+        prop_assert_eq!(exact, fallback);
     }
 }

@@ -1,0 +1,225 @@
+//! Decision equivalence of the incremental delta rebuild against the
+//! sequential one-event-at-a-time dynamics path, under seeded churn.
+//!
+//! `GredNetwork::apply_delta` must produce a network that *behaves*
+//! exactly like applying the same events through
+//! `add_switch`/`remove_switch`: identical members, positions, DT
+//! adjacency, data ownership, overlay routes, and physical path lengths.
+//! Relay tables need not be bit-equal after leaves (removing a switch can
+//! re-break BFS ties among equal-length paths), which is why the oracle
+//! compares decisions, not tables; join-only batches *are* additionally
+//! checked bit-for-bit in the core crate's unit tests.
+
+use gred::{GredConfig, GredNetwork, TopologyChange};
+use gred_hash::DataId;
+use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+/// Deterministic LCG, so churn schedules are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+fn base_network(switches: usize, seed: u64) -> GredNetwork {
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let mut net = GredNetwork::build(topo, pool, GredConfig::with_iterations(10).seeded(seed))
+        .expect("base build");
+    for i in 0..80 {
+        net.place(
+            &DataId::new(format!("churn-{seed}-{i}")),
+            bytes::Bytes::new(),
+            i % switches,
+        )
+        .expect("seed placement");
+    }
+    net
+}
+
+/// Draws a churn batch and keeps only events the sequential path accepts
+/// (probing each event on a clone), so both paths see an all-valid batch.
+fn valid_batch(net: &GredNetwork, rng: &mut Lcg, events: usize) -> Vec<TopologyChange> {
+    let mut probe = net.clone();
+    let mut batch = Vec::new();
+    for _ in 0..events {
+        let n = probe.topology().switch_count();
+        let change = if rng.next().is_multiple_of(3) && probe.members().len() > 4 {
+            let victim = probe.members()[rng.pick(probe.members().len())];
+            TopologyChange::Leave { switch: victim }
+        } else {
+            let mut links = vec![rng.pick(n), rng.pick(n)];
+            links.dedup();
+            TopologyChange::Join {
+                links,
+                capacities: vec![u64::MAX; 1 + rng.pick(2)],
+            }
+        };
+        let accepted = match &change {
+            TopologyChange::Join { links, capacities } => {
+                probe.add_switch(links, capacities.clone()).is_ok()
+            }
+            TopologyChange::Leave { switch } => probe.remove_switch(*switch).is_ok(),
+        };
+        if accepted {
+            batch.push(change);
+        }
+    }
+    batch
+}
+
+fn assert_decision_equivalent(seq: &GredNetwork, delta: &GredNetwork, tag: &str) {
+    assert_eq!(seq.members(), delta.members(), "{tag}: members");
+    for &m in seq.members() {
+        assert_eq!(
+            seq.position_of_switch(m),
+            delta.position_of_switch(m),
+            "{tag}: position of {m}"
+        );
+    }
+    assert_eq!(seq.dt().edges(), delta.dt().edges(), "{tag}: DT edges");
+    assert!(
+        delta.verify_invariants().is_empty(),
+        "{tag}: delta invariants: {:?}",
+        delta.verify_invariants()
+    );
+
+    // Ownership and routing decisions agree for a spread of keys, from a
+    // spread of access switches — overlay routes bit-equal, physical
+    // path lengths equal (exact relay chains may legitimately differ).
+    let seq_probe = seq.clone();
+    let delta_probe = delta.clone();
+    let accesses: Vec<usize> = seq.members().iter().copied().take(5).collect();
+    for i in 0..60 {
+        let id = DataId::new(format!("probe-{tag}-{i}"));
+        assert_eq!(
+            seq.responsible_server(&id),
+            delta.responsible_server(&id),
+            "{tag}: owner of key {i}"
+        );
+        let access = accesses[i % accesses.len()];
+        let s = seq_probe.retrieve(&id, access);
+        let d = delta_probe.retrieve(&id, access);
+        match (s, d) {
+            (Ok(s), Ok(d)) => {
+                assert_eq!(s.server, d.server, "{tag}: key {i} server");
+                assert_eq!(s.route.overlay, d.route.overlay, "{tag}: key {i} overlay");
+                assert_eq!(
+                    s.route.physical_hops(),
+                    d.route.physical_hops(),
+                    "{tag}: key {i} physical hops"
+                );
+            }
+            (Err(_), Err(_)) => {} // both miss the same way (item absent)
+            (s, d) => panic!("{tag}: key {i} diverged: seq={s:?} delta={d:?}"),
+        }
+    }
+
+    // Stored state ended up in the same place.
+    let mut seq_loads = seq.server_loads();
+    let mut delta_loads = delta.server_loads();
+    seq_loads.sort();
+    delta_loads.sort();
+    assert_eq!(seq_loads, delta_loads, "{tag}: server loads");
+}
+
+#[test]
+fn seeded_churn_bursts_match_sequential_dynamics() {
+    for seed in [11u64, 23, 47, 91] {
+        let net = base_network(24, seed);
+        let mut rng = Lcg(seed ^ 0x5DEECE66D);
+        let batch = valid_batch(&net, &mut rng, 6);
+        assert!(!batch.is_empty(), "seed {seed}: empty batch drawn");
+
+        let mut delta = net.clone();
+        let report = delta.apply_delta(&batch).expect("delta applies");
+        assert_eq!(
+            report.joined.len() + report.left.len(),
+            batch.len(),
+            "seed {seed}: every event accounted for"
+        );
+
+        let mut seq = net;
+        for change in &batch {
+            match change {
+                TopologyChange::Join { links, capacities } => {
+                    seq.add_switch(links, capacities.clone())
+                        .expect("probed ok");
+                }
+                TopologyChange::Leave { switch } => {
+                    seq.remove_switch(*switch).expect("probed ok");
+                }
+            }
+        }
+        assert_decision_equivalent(&seq, &delta, &format!("seed{seed}"));
+    }
+}
+
+#[test]
+fn repeated_delta_batches_stay_healthy() {
+    // Several delta batches back to back — stale state from batch k must
+    // not poison batch k+1.
+    let mut net = base_network(20, 77);
+    let mut rng = Lcg(0xFEED);
+    for round in 0..4 {
+        let batch = valid_batch(&net, &mut rng, 4);
+        if batch.is_empty() {
+            continue;
+        }
+        let report = net.apply_delta(&batch).expect("delta applies");
+        assert!(
+            report.affected.len() <= report.members_total,
+            "round {round}: affected exceeds membership"
+        );
+        assert!(
+            net.verify_invariants().is_empty(),
+            "round {round}: {:?}",
+            net.verify_invariants()
+        );
+    }
+    // Everything placed at the start is still retrievable.
+    let access = net.members()[0];
+    for i in 0..80 {
+        let id = DataId::new(format!("churn-77-{i}"));
+        net.retrieve(&id, access)
+            .unwrap_or_else(|e| panic!("key {i} lost after churn: {e:?}"));
+    }
+}
+
+#[test]
+fn delta_localizes_work_on_large_networks() {
+    // The point of the delta path: one join in a 150-member network must
+    // not touch most members' forwarding state.
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(150, 13));
+    let pool = ServerPool::uniform(150, 2, u64::MAX);
+    let mut net = GredNetwork::build(
+        topo,
+        pool,
+        GredConfig::with_iterations(5).seeded(13).landmarks(24),
+    )
+    .expect("landmark build");
+    let report = net
+        .apply_delta(&[TopologyChange::Join {
+            links: vec![3, 70],
+            capacities: vec![u64::MAX],
+        }])
+        .expect("delta applies");
+    assert!(
+        report.affected.len() < 30,
+        "one join re-installed {} of {} members",
+        report.affected.len(),
+        report.members_total
+    );
+    assert!(report.reuse_ratio() > 0.8);
+    assert!(net.verify_invariants().is_empty());
+}
