@@ -1,0 +1,252 @@
+//! The cluster admin endpoint: lifecycle verbs over the wire.
+//!
+//! Individual nodes answer `Stats` scrapes and `Ping`, but refuse every
+//! lifecycle verb — crashing a node, reviving a slot, or re-homing keys
+//! needs the orchestrator's [`Cluster`] handle *and* the model-twin
+//! [`GredNetwork`], which no node owns. The [`AdminServer`] is that
+//! orchestrator made reachable: a tiny framed-packet endpoint that maps
+//! [`AdminOp`] verbs onto the existing live-reconfiguration API
+//! (`crash_node` + `crash_switch` + plane push, `restart_node`,
+//! `migrate_misplaced`, `add_switch` + `apply_join`, `remove_switch` +
+//! `apply_leave`), so chaos scenarios and operator runbooks can be
+//! driven entirely over TCP.
+//!
+//! The endpoint is deliberately serial: one poll-loop thread accepts
+//! and serves one connection at a time under a read timeout. Admin
+//! traffic is rare and every verb mutates shared cluster state anyway,
+//! so serialization is the semantics, not a bottleneck.
+
+use crate::client::{AdminReply, Client, ClientError};
+use crate::cluster::{Cluster, ClusterReport};
+use crate::frame::{encode_frame, FrameDecoder};
+use gred::GredNetwork;
+use gred_dataplane::{wire, AdminOp, Packet, PacketKind};
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long the serving loop blocks in `accept`/`read` before
+/// re-checking the stop flag. Small enough that shutdown feels
+/// immediate, large enough to stay off the scheduler.
+const POLL: Duration = Duration::from_millis(5);
+
+/// The cluster plus its model twin, guarded together so every admin
+/// verb sees the two in sync.
+struct AdminState {
+    cluster: Cluster,
+    net: GredNetwork,
+}
+
+/// A wire-reachable admin endpoint for one [`Cluster`].
+///
+/// Owns the cluster and its model twin for its lifetime; tests and the
+/// `repro` harness reach them through [`AdminServer::with`], and
+/// [`AdminServer::shutdown`] hands the final accounting back.
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<Mutex<AdminState>>,
+    serve: Option<thread::JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Takes ownership of `cluster` and `net` and starts serving admin
+    /// verbs on a fresh loopback listener.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn spawn(cluster: Cluster, net: GredNetwork) -> io::Result<AdminServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(AdminState { cluster, net }));
+        let serve = {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("gred-admin".into())
+                .spawn(move || serve_loop(&listener, &stop, &state))?
+        };
+        Ok(AdminServer {
+            addr,
+            stop,
+            state,
+            serve: Some(serve),
+        })
+    }
+
+    /// The endpoint's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs `f` with the cluster and model twin locked — the in-process
+    /// escape hatch for tests that mix wire verbs with direct calls.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Cluster, &mut GredNetwork) -> R) -> R {
+        let mut state = self.state.lock().expect("admin state poisoned");
+        let AdminState { cluster, net } = &mut *state;
+        f(cluster, net)
+    }
+
+    /// Stops serving and gracefully shuts the cluster down, returning
+    /// its final accounting.
+    pub fn shutdown(mut self) -> ClusterReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(serve) = self.serve.take() {
+            let _ = serve.join();
+        }
+        let state = Arc::clone(&self.state);
+        drop(self);
+        let state = Arc::try_unwrap(state)
+            .map(|m| m.into_inner().expect("admin state poisoned"))
+            .unwrap_or_else(|_| panic!("admin state still shared after join"));
+        state.cluster.shutdown()
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(serve) = self.serve.take() {
+            let _ = serve.join();
+        }
+    }
+}
+
+/// Sends one admin verb to the endpoint at `addr` and returns its
+/// reply. Convenience wrapper over [`Client::admin`] for callers (like
+/// `gredctl`) that only hold the admin address.
+///
+/// # Errors
+///
+/// [`ClientError`] if the endpoint is unreachable or replies with a
+/// non-admin packet.
+pub fn admin_call(addr: SocketAddr, op: &AdminOp) -> Result<AdminReply, ClientError> {
+    let mut client = Client::connect(addr, crate::client::ClientConfig::default())?;
+    client.admin(op)
+}
+
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool, state: &Mutex<AdminState>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_conn(stream, stop, state),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, or shutdown: framed `Admin`
+/// packets in, framed `AdminResponse` packets out.
+fn serve_conn(mut stream: TcpStream, stop: &AtomicBool, state: &Mutex<AdminState>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        loop {
+            let body = match decoder.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                // A framing error means the stream is corrupt; there is
+                // no resynchronizing a length-prefixed protocol.
+                Err(_) => return,
+            };
+            let reply = match wire::parse_bytes(&body) {
+                Ok(packet) if packet.kind == PacketKind::Admin => {
+                    match AdminOp::decode(&packet.payload) {
+                        Ok(op) => apply_verb(state, &op),
+                        Err(e) => Packet::admin_error(format!("bad admin payload: {e}").into_bytes()),
+                    }
+                }
+                Ok(packet) => Packet::admin_error(
+                    format!("admin endpoint speaks Admin packets, got {}", packet.kind)
+                        .into_bytes(),
+                ),
+                Err(e) => Packet::admin_error(format!("unparseable packet: {e}").into_bytes()),
+            };
+            let frame = encode_frame(&wire::encode(&reply));
+            if stream.write_all(&frame).is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Maps one verb onto the live-reconfiguration API. Every failure is an
+/// in-band error reply — the endpoint never panics on operator input.
+fn apply_verb(state: &Mutex<AdminState>, op: &AdminOp) -> Packet {
+    let mut guard = state.lock().expect("admin state poisoned");
+    let AdminState { cluster, net } = &mut *guard;
+    let outcome: Result<String, String> = match op {
+        AdminOp::Ping => Ok(format!("pong: {} live nodes", cluster.live_nodes().count())),
+        AdminOp::Crash { switch } => {
+            let victim = *switch as usize;
+            if cluster.crash_node(victim).is_none() {
+                Err(format!("switch {victim} is already down"))
+            } else {
+                match net.crash_switch(victim) {
+                    Ok(()) => {
+                        cluster.apply_planes(net);
+                        Ok(format!("crashed switch {victim}, planes pushed"))
+                    }
+                    Err(e) => Err(format!("node killed but model refused crash: {e}")),
+                }
+            }
+        }
+        AdminOp::Restart { switch } => {
+            let slot = *switch as usize;
+            if cluster.try_node(slot).is_some() {
+                Err(format!("switch {slot} is still running"))
+            } else {
+                match cluster.restart_node(slot, net) {
+                    Ok(addr) => Ok(format!("switch {slot} restarted at {addr}")),
+                    Err(e) => Err(format!("restart failed: {e}")),
+                }
+            }
+        }
+        AdminOp::Drain => {
+            let (moved, dropped) = cluster.migrate_misplaced(net);
+            Ok(format!("drained: {moved} items re-homed, {dropped} dropped"))
+        }
+        AdminOp::Join {
+            neighbors,
+            capacities,
+        } => {
+            let links: Vec<usize> = neighbors.iter().map(|&n| n as usize).collect();
+            match net.add_switch(&links, capacities.clone()) {
+                Ok(newcomer) => match cluster.apply_join(net) {
+                    Ok(moved) => Ok(format!("switch {newcomer} joined, {moved} items re-homed")),
+                    Err(e) => Err(format!("model joined but cluster boot failed: {e}")),
+                },
+                Err(e) => Err(format!("join refused: {e}")),
+            }
+        }
+        AdminOp::Leave { switch } => {
+            let leaver = *switch as usize;
+            match net.remove_switch(leaver) {
+                Ok(()) => {
+                    let moved = cluster.apply_leave(net);
+                    Ok(format!("switch {leaver} left, {moved} items re-homed"))
+                }
+                Err(e) => Err(format!("leave refused: {e}")),
+            }
+        }
+    };
+    match outcome {
+        Ok(msg) => Packet::admin_response(msg.into_bytes()),
+        Err(msg) => Packet::admin_error(msg.into_bytes()),
+    }
+}

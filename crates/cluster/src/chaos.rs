@@ -28,7 +28,9 @@
 use crate::client::{Client, ClientError};
 use crate::cluster::{AddrRewrite, Cluster, ClusterConfig, ClusterReport};
 use crate::node::NodeConfig;
+use crate::observe::ClusterHealth;
 use gred::GredNetwork;
+use gred_dataplane::StatsSnapshot;
 use gred_hash::DataId;
 use gred_net::{ServerId, ServerPool, Topology};
 use gred_runtime::reactor::{Events, Interest, Poller};
@@ -497,6 +499,39 @@ pub struct ChaosOutcome {
     pub link_events: usize,
     /// Final accounting from the surviving nodes.
     pub report: ClusterReport,
+    /// Post-heal wire probe: scraped counter deltas proving the cluster
+    /// settled, taken between the final audit and shutdown. `None` only
+    /// when the scrape itself failed (infrastructure, not a verdict).
+    pub probe: Option<HealProbe>,
+}
+
+/// Wire-scraped evidence that the cluster settled after `heal_all`: two
+/// full-cluster scrapes bracketing a burst of fresh unreplicated writes.
+/// The counter-asserted chaos invariants read these numbers instead of
+/// grepping logs: a healed cluster stops detouring, drains its suspect
+/// set, and delivers every write's invalidation broadcast to all peers.
+#[derive(Debug, Clone)]
+pub struct HealProbe {
+    /// Cluster-total `detour_forwards` at the first post-heal scrape.
+    pub detours_before: u64,
+    /// Cluster-total `detour_forwards` after the probe writes. Equal to
+    /// [`detours_before`](HealProbe::detours_before) in a settled
+    /// cluster — healed routing takes clean greedy paths.
+    pub detours_after: u64,
+    /// Suspicion edges still live at the second scrape (reporter, peer).
+    pub suspect_links: usize,
+    /// Probe writes acknowledged clean (status `Ok`).
+    pub clean_writes: usize,
+    /// Probe writes acknowledged degraded (broadcast not confirmed).
+    pub degraded_writes: usize,
+    /// Live nodes scraped.
+    pub nodes: usize,
+    /// Δ cluster-total `invalidations_rx` across the probe writes. Each
+    /// clean write broadcasts to every peer but the storing node, so a
+    /// settled cluster shows exactly `clean_writes * (nodes - 1)`.
+    pub invalidations_delta: u64,
+    /// The second scrape's per-node snapshots (the CI artifact payload).
+    pub snapshots: Vec<StatsSnapshot>,
 }
 
 impl ChaosOutcome {
@@ -597,6 +632,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
         killed: Vec::new(),
         link_events: 0,
         report: ClusterReport { nodes: Vec::new() },
+        probe: None,
     };
 
     // A killed node stays dead for this many workload operations before
@@ -715,9 +751,48 @@ pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
         }
     }
 
+    // Counter-asserted settling probe: scrape over the wire, write a
+    // burst of fresh keys, scrape again. The deltas are the invariants
+    // the chaos tests assert — no log grepping.
+    outcome.probe = heal_probe(&cluster, &net, cfg);
+
     outcome.report = cluster.shutdown();
     fabric.shutdown();
     Ok(outcome)
+}
+
+/// Keys written by the post-heal probe, enough to make a broadcast
+/// miscount unambiguous without stretching the run budget.
+const PROBE_WRITES: usize = 6;
+
+/// Runs the post-heal settle probe. `None` means the probe machinery
+/// itself failed (a node unreachable mid-scrape), never a failed
+/// invariant — the invariants live in the numbers.
+fn heal_probe(cluster: &Cluster, net: &GredNetwork, cfg: &ChaosConfig) -> Option<HealProbe> {
+    let before = ClusterHealth::aggregate(&cluster.scrape().ok()?);
+    let mut client = member_client(cluster, net).ok()?;
+    let mut clean_writes = 0;
+    let mut degraded_writes = 0;
+    for i in 0..PROBE_WRITES {
+        let id = DataId::new(format!("heal-probe-{}-{i}", cfg.seed));
+        match client.place(&id, format!("probe-{i}").into_bytes()) {
+            Ok(reply) if reply.is_clean() => clean_writes += 1,
+            Ok(_) => degraded_writes += 1,
+            Err(_) => {}
+        }
+    }
+    let snapshots = cluster.scrape().ok()?;
+    let after = ClusterHealth::aggregate(&snapshots);
+    Some(HealProbe {
+        detours_before: before.detour_forwards,
+        detours_after: after.detour_forwards,
+        suspect_links: after.suspects.len(),
+        clean_writes,
+        degraded_writes,
+        nodes: after.nodes,
+        invalidations_delta: after.invalidations_rx - before.invalidations_rx,
+        snapshots,
+    })
 }
 
 /// The operator runbook for a crashed node: mirror the crash on the

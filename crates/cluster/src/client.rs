@@ -41,7 +41,8 @@ use crate::frame::{self, FrameDecoder, FrameError};
 use crate::pipelined::PipeConn;
 use crate::proto;
 use bytes::Bytes;
-use gred_dataplane::{wire, Packet, PacketKind, ResponseStatus};
+use gred_dataplane::obs::CodecError;
+use gred_dataplane::{wire, AdminOp, Packet, PacketKind, ResponseStatus, StatsSnapshot};
 use gred_geometry::Point2;
 use gred_hash::{position::virtual_position, DataId};
 use gred_net::ServerId;
@@ -129,6 +130,9 @@ pub enum ClientError {
         /// The error of the last attempt.
         last: Box<ClientError>,
     },
+    /// A stats scrape answered with a payload that is not a decodable
+    /// snapshot — a protocol bug or version skew, never transient.
+    BadSnapshot(CodecError),
 }
 
 impl std::fmt::Display for ClientError {
@@ -162,6 +166,7 @@ impl std::fmt::Display for ClientError {
             ClientError::RetriesExhausted { attempts, last } => {
                 write!(f, "request failed after {attempts} attempts: {last}")
             }
+            ClientError::BadSnapshot(e) => write!(f, "malformed stats snapshot: {e}"),
         }
     }
 }
@@ -216,6 +221,15 @@ impl Reply {
     pub fn is_clean(&self) -> bool {
         self.status == ResponseStatus::Ok
     }
+}
+
+/// What an admin endpoint answered to a verb ([`Client::admin`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminReply {
+    /// Whether the verb was accepted and applied (`Ok` status).
+    pub ok: bool,
+    /// Human-readable result or refusal text.
+    pub message: String,
 }
 
 /// Extra replica serials probed beyond the requested copy count when
@@ -522,6 +536,67 @@ impl Client {
         }
     }
 
+    /// Scrapes the connected node's live stats snapshot over the wire.
+    /// Idempotent and read-only, so transient failures retry under the
+    /// configured policy exactly like a data request. Note the rotation
+    /// caveat: on a multi-node client a retry may scrape a *different*
+    /// access node — scrape clients are normally built one per node.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s, or
+    /// [`ClientError::BadSnapshot`] when the payload does not decode.
+    pub fn scrape(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let request = Packet::stats_request();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let err = match self.attempt_expecting(&request, PacketKind::StatsResponse) {
+                Ok(reply) => {
+                    return StatsSnapshot::decode(&reply.payload).map_err(ClientError::BadSnapshot)
+                }
+                Err(e) => e,
+            };
+            self.rotate();
+            if !err.transient() || attempts > self.cfg.retries {
+                return Err(if attempts > 1 {
+                    ClientError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(err),
+                    }
+                } else {
+                    err
+                });
+            }
+            std::thread::sleep(retry_backoff(self.cfg.backoff, attempts));
+        }
+    }
+
+    /// Sends one admin verb and returns the endpoint's in-band answer.
+    /// **Single attempt, no retries**: lifecycle verbs (join, restart,
+    /// crash) are not idempotent, so a lost response must surface as an
+    /// error instead of silently re-running the verb.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s; a *refused* verb is not an
+    /// error but an [`AdminReply`] with `ok == false`.
+    pub fn admin(&mut self, op: &AdminOp) -> Result<AdminReply, ClientError> {
+        let request = Packet::admin_request(op.encode());
+        match self.attempt_expecting(&request, PacketKind::AdminResponse) {
+            Ok(reply) => Ok(AdminReply {
+                ok: reply.status == ResponseStatus::Ok,
+                message: String::from_utf8_lossy(&reply.payload).into_owned(),
+            }),
+            Err(e) => {
+                // Drop the (possibly desynchronized) connection, but do
+                // not re-send.
+                self.rotate();
+                Err(e)
+            }
+        }
+    }
+
     /// Retrieves every id in `ids` through the pipelined channel: one
     /// syscall ships the burst, responses stream back out of order and
     /// are matched by correlation id. Returns one [`Reply`] per id, in
@@ -651,6 +726,19 @@ impl Client {
 
     /// One request attempt: write the frame, read one response frame.
     fn attempt(&mut self, packet: &Packet) -> Result<Reply, ClientError> {
+        self.attempt_expecting(packet, PacketKind::RetrievalResponse)
+    }
+
+    /// One request attempt expecting a response of kind `expect`. Only
+    /// the data path (`RetrievalResponse`) maps `Error`/`Redirect`
+    /// statuses to typed errors — observability responses keep their
+    /// status in the [`Reply`] so the caller can read the in-band
+    /// refusal text.
+    fn attempt_expecting(
+        &mut self,
+        packet: &Packet,
+        expect: PacketKind,
+    ) -> Result<Reply, ClientError> {
         let request_timeout = self.cfg.request_timeout;
         let conn = self.ensure_conn()?;
         conn.scratch.clear();
@@ -670,14 +758,16 @@ impl Client {
                 // Zero-copy: the reply's payload is a view of the frame
                 // body, not another allocation.
                 let response = wire::parse_bytes(&body).map_err(ClientError::Protocol)?;
-                if response.kind != PacketKind::RetrievalResponse {
+                if response.kind != expect {
                     return Err(ClientError::UnexpectedKind(response.kind));
                 }
-                if response.status == ResponseStatus::Error {
-                    return Err(ClientError::ServerError { id: response.id });
-                }
-                if response.status == ResponseStatus::Redirect {
-                    return Err(ClientError::Redirected { id: response.id });
+                if expect == PacketKind::RetrievalResponse {
+                    if response.status == ResponseStatus::Error {
+                        return Err(ClientError::ServerError { id: response.id });
+                    }
+                    if response.status == ResponseStatus::Redirect {
+                        return Err(ClientError::Redirected { id: response.id });
+                    }
                 }
                 return Ok(Reply {
                     status: response.status,

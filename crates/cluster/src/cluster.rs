@@ -241,6 +241,25 @@ impl Cluster {
         Client::connect_multi_positioned(addrs, positions, self.client_cfg.clone())
     }
 
+    /// Scrapes every live node's stats snapshot purely over the wire,
+    /// one fresh single-node client per node so each scrape lands on
+    /// the node it names. Returns snapshots in switch order; feed them
+    /// to [`ClusterHealth::aggregate`](crate::ClusterHealth::aggregate)
+    /// for the cluster view.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] if any live node cannot be reached or returns a
+    /// malformed snapshot.
+    pub fn scrape(&self) -> Result<Vec<gred_dataplane::StatsSnapshot>, ClientError> {
+        let mut snapshots = Vec::new();
+        for (switch, _) in self.live_nodes() {
+            let mut client = self.client(switch)?;
+            snapshots.push(client.scrape()?);
+        }
+        Ok(snapshots)
+    }
+
     /// Abruptly stops node `switch`, discarding everything it stored —
     /// the socket-level analogue of `GredNetwork::crash_switch`. Peers
     /// discover the crash through dead links and mark the switch

@@ -24,22 +24,26 @@
 //!
 //! [`SwitchDataplane::decide`]: gred_dataplane::SwitchDataplane::decide
 
+pub mod admin;
 pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod frame;
 pub mod mux;
 pub mod node;
+pub mod observe;
 pub(crate) mod pipelined;
 pub mod proto;
 pub mod transport;
 
+pub use admin::{admin_call, AdminServer};
 pub use chaos::{
     chaos_cluster_config, run_chaos, ChaosConfig, ChaosFabric, ChaosOutcome, ChaosTransport,
-    LinkMode,
+    HealProbe, LinkMode,
 };
-pub use client::{Client, ClientConfig, ClientError, Reply};
+pub use client::{AdminReply, Client, ClientConfig, ClientError, Reply};
 pub use cluster::{AddrRewrite, Cluster, ClusterConfig, ClusterReport};
+pub use observe::ClusterHealth;
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN, MUX_PREAMBLE};
 pub use mux::{Demux, DispatchPool, MuxLink};
 pub use node::{Node, NodeConfig, NodeReport};

@@ -78,7 +78,8 @@ use crate::proto;
 use bytes::Bytes;
 use gred_cache::{ReadCache, Token};
 use gred_dataplane::{
-    wire, ForwardDecision, NodeHotStats, Packet, PacketKind, ResponseStatus, SwitchDataplane,
+    wire, AdminOp, ForwardDecision, LinkStats, NodeHotStats, Packet, PacketKind, ResponseStatus,
+    StatsSnapshot, SwitchDataplane,
 };
 use gred_hash::DataId;
 use gred_net::ServerId;
@@ -286,6 +287,11 @@ struct PeerTable {
     /// once the stamp expires the peer is optimistically retried, so a
     /// healed peer that greedy stopped talking to still recovers.
     suspect: Vec<Arc<AtomicU64>>,
+    /// Per-peer reconnect counters: how many times this node rebuilt its
+    /// mux link to the peer after an RPC error. The sum over peers
+    /// equals the node-wide `link_reconnects` hot counter; a stats
+    /// scrape exports both so an operator can tell *which* link flaps.
+    reconnects: Vec<Arc<AtomicU64>>,
 }
 
 impl PeerTable {
@@ -295,6 +301,7 @@ impl PeerTable {
             addrs,
             links: (0..n).map(|_| Arc::default()).collect(),
             suspect: (0..n).map(|_| Arc::default()).collect(),
+            reconnects: (0..n).map(|_| Arc::default()).collect(),
         }
     }
 }
@@ -379,6 +386,7 @@ impl Node {
                 poller: Poller::new()?,
                 ready: Mutex::new(Vec::new()),
                 conns_open: AtomicUsize::new(0),
+                queued_bytes: AtomicU64::new(0),
             },
             pool: DispatchPool::new(format!("gred-node-{id}")),
             counters: Counters::default(),
@@ -471,6 +479,7 @@ impl Node {
             peers.addrs.push(addr);
             peers.links.push(Arc::default());
             peers.suspect.push(Arc::default());
+            peers.reconnects.push(Arc::default());
         }
         peers.addrs[switch] = addr;
         peers.suspect[switch].store(0, Ordering::Relaxed);
@@ -546,6 +555,12 @@ impl Node {
     /// took zero one-shot fallbacks.
     pub fn hot_stats(&self) -> NodeHotStats {
         self.inner.hot_stats()
+    }
+
+    /// The same snapshot a wire `Stats` scrape would answer with,
+    /// assembled in-process — the parity twin tests compare against.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner.wire_snapshot()
     }
 
     /// Seeds the local store with an item held by local server `index` —
@@ -655,6 +670,12 @@ struct ReactorShared {
     ready: Mutex<Vec<Arc<ConnShared>>>,
     /// Open inbound connections (gauge for [`Node::open_connections`]).
     conns_open: AtomicUsize,
+    /// Bytes sitting in per-connection write queues, accepted from
+    /// handlers but not yet handed to a socket. Maintained by the
+    /// reactor thread via per-connection deltas in `settle`/`close_conn`
+    /// (which bracket every queue mutation), so a stats scrape can read
+    /// the node's write backlog without touching reactor-owned state.
+    queued_bytes: AtomicU64,
 }
 
 /// The slice of one connection's state a dispatch worker may touch
@@ -773,6 +794,9 @@ struct Conn {
     /// Peer closed its write half; frames already received still get
     /// their responses, then the connection closes.
     eof: bool,
+    /// Pending `outq` bytes last folded into the node-wide
+    /// `queued_bytes` gauge; `settle`/`close_conn` apply the delta.
+    queued_reported: u64,
 }
 
 /// The event loop owning the listener, the connection slab, and all
@@ -938,6 +962,7 @@ impl Reactor {
             }),
             interest: Interest::READ,
             eof: false,
+            queued_reported: 0,
         });
         self.inner
             .reactor
@@ -1250,6 +1275,13 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
                 return;
             };
+            // Fold this connection's pending-write delta into the
+            // node-wide backlog gauge. Every path that mutates `outq`
+            // (drive/flush, inline responses, drained outboxes) ends in
+            // `settle` or `close_conn`, so the gauge tracks the true sum
+            // without the scraper touching reactor-owned state.
+            let pending = conn.outq.pending() as u64;
+            sync_queued_gauge(&self.inner, &mut conn.queued_reported, pending);
             let want = Interest {
                 read: !conn.eof && !self.draining,
                 write: !conn.outq.is_empty(),
@@ -1298,9 +1330,12 @@ impl Reactor {
     }
 
     fn close_conn(&mut self, slot: usize) {
-        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
             return;
         };
+        // Bytes queued on a dying connection will never be written;
+        // return them to the gauge.
+        sync_queued_gauge(&self.inner, &mut conn.queued_reported, 0);
         let _ = self
             .inner
             .reactor
@@ -1315,6 +1350,29 @@ impl Reactor {
     }
 }
 
+/// Reconciles one connection's contribution to the node-wide
+/// write-backlog gauge: `reported` is what the gauge currently carries
+/// for this connection, `pending` is the truth. Only the reactor thread
+/// calls this, but the gauge itself is read lock-free by scrapes.
+fn sync_queued_gauge(inner: &Inner, reported: &mut u64, pending: u64) {
+    match pending.cmp(reported) {
+        std::cmp::Ordering::Greater => {
+            inner
+                .reactor
+                .queued_bytes
+                .fetch_add(pending - *reported, Ordering::Relaxed);
+        }
+        std::cmp::Ordering::Less => {
+            inner
+                .reactor
+                .queued_bytes
+                .fetch_sub(*reported - pending, Ordering::Relaxed);
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    *reported = pending;
+}
+
 /// Whether `packet` is provably served entirely on this node — no
 /// branch of [`Inner::handle`] can reach a nested peer RPC — so the
 /// demux reader may answer it inline instead of paying a dispatch-pool
@@ -1327,6 +1385,16 @@ fn handles_without_blocking(inner: &Inner, packet: &Packet) -> bool {
     }
     if packet.kind == PacketKind::Invalidate {
         return true; // a pure cache operation, never routed
+    }
+    if matches!(packet.kind, PacketKind::Stats | PacketKind::Admin)
+        || packet.kind.is_response()
+    {
+        // The inline-serve guarantee: a scrape reads atomics, gauges,
+        // and try-locks only, and a data node answers admin verbs
+        // without acting on them (it serves `Ping` and refuses the
+        // rest) — so observability traffic can never occupy a dispatch
+        // worker or queue behind blocked data requests.
+        return true;
     }
     if let Some(server) = proto::server_addressed(packet) {
         // deliver_direct or refuse — never forwards. A placement it
@@ -1436,6 +1504,55 @@ impl Inner {
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             invalidations_rx: self.counters.invalidations_rx.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Assembles the stats snapshot a `Stats` scrape answers with.
+    /// Runs on the reactor thread, so it must never block: everything
+    /// it reads is an atomic, a gauge, or a `try_lock` — a link slot
+    /// momentarily locked by a connecting thread is reported as
+    /// connected rather than waited on.
+    fn wire_snapshot(&self) -> StatsSnapshot {
+        let now = self.now_ms();
+        let links = {
+            let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+            peers
+                .links
+                .iter()
+                .enumerate()
+                .filter(|&(peer, _)| peer != self.id)
+                .map(|(peer, slot)| {
+                    let connected = match slot.try_lock() {
+                        Ok(guard) => guard.as_ref().is_some_and(|link| !link.is_dead()),
+                        // Contended = someone is connecting right now.
+                        Err(_) => true,
+                    };
+                    LinkStats {
+                        peer: peer as u32,
+                        connected,
+                        suspect_ms_left: peers.suspect[peer]
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(now),
+                        reconnects: peers.reconnects[peer].load(Ordering::Relaxed),
+                    }
+                })
+                .collect()
+        };
+        StatsSnapshot {
+            switch: self.id as u32,
+            uptime_ms: now,
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            forwarded: self.counters.forwarded.load(Ordering::Relaxed),
+            relayed: self.counters.relayed.load(Ordering::Relaxed),
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            stored_items: self.store.len() as u64,
+            open_connections: self.reactor.conns_open.load(Ordering::Relaxed) as u32,
+            queued_bytes: self.reactor.queued_bytes.load(Ordering::Relaxed),
+            dispatch_workers: self.pool.workers_spawned() as u32,
+            table_rows: self.plane().entry_count() as u64,
+            hot: self.hot_stats(),
+            links,
         }
     }
 
@@ -1551,6 +1668,30 @@ impl Inner {
             let mut ack = Packet::response(packet.id.clone(), Bytes::new());
             ack.hops = packet.hops;
             return Step::respond(ack);
+        }
+        if packet.kind == PacketKind::Stats {
+            // Observability: answer with a snapshot of this node's
+            // counters. Handled before the request counter — a scrape
+            // must not perturb the request accounting it reports — and
+            // always inline (atomics, gauges, and try-locks only).
+            return Step::respond(Packet::stats_response(self.wire_snapshot().encode()));
+        }
+        if packet.kind == PacketKind::Admin {
+            // Data nodes answer liveness probes and refuse lifecycle
+            // verbs: only the admin endpoint owns the network model and
+            // node handles those verbs act on. Refusal is in-band (an
+            // error-status AdminResponse), never a dropped frame.
+            let reply = match AdminOp::decode(&packet.payload) {
+                Ok(AdminOp::Ping) => {
+                    Packet::admin_response(format!("pong from switch {}", self.id).into_bytes())
+                }
+                Ok(op) => Packet::admin_error(
+                    format!("node {} refuses {op}: lifecycle verbs need the admin endpoint", self.id)
+                        .into_bytes(),
+                ),
+                Err(e) => Packet::admin_error(format!("bad admin payload: {e}").into_bytes()),
+            };
+            return Step::respond(reply);
         }
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         if packet.kind == PacketKind::RetrievalResponse {
@@ -1741,7 +1882,12 @@ impl Inner {
                     None => Step::respond(self.respond_miss(&packet)),
                 }
             }
-            PacketKind::RetrievalResponse | PacketKind::Invalidate => {
+            PacketKind::RetrievalResponse
+            | PacketKind::Invalidate
+            | PacketKind::Stats
+            | PacketKind::StatsResponse
+            | PacketKind::Admin
+            | PacketKind::AdminResponse => {
                 unreachable!("rejected in route_step()")
             }
         }
@@ -1754,7 +1900,12 @@ impl Inner {
             PacketKind::Retrieval => self
                 .lookup_local(&packet, server)
                 .unwrap_or_else(|| self.respond_miss(&packet)),
-            PacketKind::RetrievalResponse | PacketKind::Invalidate => {
+            PacketKind::RetrievalResponse
+            | PacketKind::Invalidate
+            | PacketKind::Stats
+            | PacketKind::StatsResponse
+            | PacketKind::Admin
+            | PacketKind::AdminResponse => {
                 unreachable!("rejected in handle()")
             }
         }
@@ -1880,6 +2031,18 @@ impl Inner {
         }
     }
 
+    /// Records a mux-link rebuild towards peer `to` on both the
+    /// node-wide hot counter and the per-peer slot a scrape exports.
+    fn note_reconnect(&self, to: usize) {
+        self.counters
+            .link_reconnects
+            .fetch_add(1, Ordering::Relaxed);
+        let peers = self.peers.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = peers.reconnects.get(to) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn mux_rpc(&self, to: usize, packet: &Packet) -> io::Result<Packet> {
         let link = self.link(to)?;
         match link.call(packet, self.cfg.peer_reply_timeout) {
@@ -1891,9 +2054,7 @@ impl Inner {
                 // The link died mid-call. Reconnect once and retry; the
                 // peer never saw the request or its answer was lost with
                 // the socket, and requests are idempotent either way.
-                self.counters
-                    .link_reconnects
-                    .fetch_add(1, Ordering::Relaxed);
+                self.note_reconnect(to);
                 let link = self.reconnect(to, &link)?;
                 link.call(packet, self.cfg.peer_reply_timeout)
             }
@@ -1931,9 +2092,7 @@ impl Inner {
             Ok(responses) => Ok(responses),
             Err(e) if e.kind() == io::ErrorKind::TimedOut => Err(e),
             Err(_) => {
-                self.counters
-                    .link_reconnects
-                    .fetch_add(1, Ordering::Relaxed);
+                self.note_reconnect(to);
                 let link = self.reconnect(to, &link)?;
                 link.call_batch(packets, self.cfg.peer_reply_timeout)
             }

@@ -20,13 +20,16 @@
 //! - [`switch`]: the per-switch data plane — tables plus the greedy
 //!   next-hop selection pipeline (Algorithm 2's data-plane half),
 //! - [`stats`]: per-switch and network-wide table-occupancy statistics
-//!   (Fig. 9(d)).
+//!   (Fig. 9(d)),
+//! - [`obs`]: observability payloads — the stats snapshot a node serves
+//!   over the wire and the admin verbs the control endpoint accepts.
 //!
 //! All figure-level behaviour (who wins, table growth, load placement)
 //! depends on this forwarding logic, not on ASIC timing, so a faithful
 //! software pipeline reproduces the paper's data-plane results.
 
 pub mod entries;
+pub mod obs;
 pub mod packet;
 pub mod pipeline;
 pub mod relay;
@@ -36,6 +39,7 @@ pub mod table;
 pub mod wire;
 
 pub use entries::{DtTuple, ExtensionEntry, NeighborEntry};
+pub use obs::{AdminOp, LinkStats, StatsSnapshot};
 pub use packet::{Packet, PacketKind, RelayHeader, ResponseStatus};
 pub use pipeline::Pipeline;
 pub use relay::RelayTable;

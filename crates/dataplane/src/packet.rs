@@ -10,6 +10,12 @@ use bytes::Bytes;
 use gred_geometry::Point2;
 use gred_hash::DataId;
 
+/// Well-known id carried by stats scrape packets (observability traffic
+/// concerns no data item, but the wire header still needs an id).
+pub const OBS_STATS_ID: &str = "!gred/stats";
+/// Well-known id carried by admin verb packets.
+pub const OBS_ADMIN_ID: &str = "!gred/admin";
+
 /// What a GRED packet asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
@@ -23,6 +29,33 @@ pub enum PacketKind {
     /// point-to-point between peers before a write acks; never routed
     /// greedily and never relayed.
     Invalidate,
+    /// Observability scrape: ask the receiving node for its live stats
+    /// snapshot. Payload-free, never routed greedily, never relayed, and
+    /// served inline by the reactor — a scrape must not touch the
+    /// dispatch pool.
+    Stats,
+    /// Answer to a [`Stats`](PacketKind::Stats) scrape. The payload is an
+    /// encoded `StatsSnapshot` (see the `obs` module).
+    StatsResponse,
+    /// Admin verb (ping / drain / crash / restart / join / leave),
+    /// encoded as an `AdminOp` payload. Data nodes only answer `Ping`;
+    /// lifecycle verbs are the admin endpoint's business.
+    Admin,
+    /// Answer to an [`Admin`](PacketKind::Admin) verb: UTF-8 result text,
+    /// with [`ResponseStatus::Error`] when the verb was refused or
+    /// failed.
+    AdminResponse,
+}
+
+impl PacketKind {
+    /// Whether this kind is a response (and may therefore legally carry a
+    /// non-[`Ok`](ResponseStatus::Ok) status on the wire).
+    pub fn is_response(self) -> bool {
+        matches!(
+            self,
+            PacketKind::RetrievalResponse | PacketKind::StatsResponse | PacketKind::AdminResponse
+        )
+    }
 }
 
 impl std::fmt::Display for PacketKind {
@@ -32,6 +65,10 @@ impl std::fmt::Display for PacketKind {
             PacketKind::Retrieval => "retrieval",
             PacketKind::RetrievalResponse => "retrieval-response",
             PacketKind::Invalidate => "invalidate",
+            PacketKind::Stats => "stats",
+            PacketKind::StatsResponse => "stats-response",
+            PacketKind::Admin => "admin",
+            PacketKind::AdminResponse => "admin-response",
         };
         f.write_str(s)
     }
@@ -196,6 +233,64 @@ impl Packet {
         }
     }
 
+    /// A stats scrape request. Observability packets concern no data
+    /// item, so they carry a fixed well-known id (and its hashed
+    /// position, which routing never looks at — stats are answered by
+    /// whichever node receives them).
+    pub fn stats_request() -> Self {
+        let id = DataId::new(OBS_STATS_ID);
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::Stats,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
+            detours: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A stats scrape answer carrying an encoded snapshot.
+    pub fn stats_response(payload: impl Into<Bytes>) -> Self {
+        let mut p = Packet::stats_request();
+        p.kind = PacketKind::StatsResponse;
+        p.payload = payload.into();
+        p
+    }
+
+    /// An admin verb carrying an encoded `AdminOp` payload.
+    pub fn admin_request(payload: impl Into<Bytes>) -> Self {
+        let id = DataId::new(OBS_ADMIN_ID);
+        let position = gred_hash::virtual_position(&id);
+        Packet {
+            kind: PacketKind::Admin,
+            position: Point2::new(position.0, position.1),
+            id,
+            relay: None,
+            status: ResponseStatus::Ok,
+            hops: 0,
+            detours: 0,
+            payload: payload.into(),
+        }
+    }
+
+    /// A successful admin answer carrying UTF-8 result text.
+    pub fn admin_response(text: impl Into<Bytes>) -> Self {
+        let mut p = Packet::admin_request(text);
+        p.kind = PacketKind::AdminResponse;
+        p
+    }
+
+    /// A refused/failed admin answer: UTF-8 error text with
+    /// [`ResponseStatus::Error`].
+    pub fn admin_error(text: impl Into<Bytes>) -> Self {
+        let mut p = Packet::admin_response(text);
+        p.status = ResponseStatus::Error;
+        p
+    }
+
     /// A miss response: the responsible server stores nothing under `id`.
     pub fn not_found(id: DataId) -> Self {
         let mut p = Packet::response(id, Bytes::new());
@@ -336,6 +431,51 @@ mod tests {
             "retrieval-response"
         );
         assert_eq!(PacketKind::Invalidate.to_string(), "invalidate");
+        assert_eq!(PacketKind::Stats.to_string(), "stats");
+        assert_eq!(PacketKind::StatsResponse.to_string(), "stats-response");
+        assert_eq!(PacketKind::Admin.to_string(), "admin");
+        assert_eq!(PacketKind::AdminResponse.to_string(), "admin-response");
+    }
+
+    #[test]
+    fn response_kinds() {
+        assert!(PacketKind::RetrievalResponse.is_response());
+        assert!(PacketKind::StatsResponse.is_response());
+        assert!(PacketKind::AdminResponse.is_response());
+        assert!(!PacketKind::Placement.is_response());
+        assert!(!PacketKind::Retrieval.is_response());
+        assert!(!PacketKind::Invalidate.is_response());
+        assert!(!PacketKind::Stats.is_response());
+        assert!(!PacketKind::Admin.is_response());
+    }
+
+    #[test]
+    fn observability_constructors() {
+        let scrape = Packet::stats_request();
+        assert_eq!(scrape.kind, PacketKind::Stats);
+        assert!(scrape.payload.is_empty());
+        assert!(scrape.relay.is_none());
+        assert_eq!(scrape.id, DataId::new(OBS_STATS_ID));
+
+        let snap = Packet::stats_response(b"snapshot".as_ref());
+        assert_eq!(snap.kind, PacketKind::StatsResponse);
+        assert_eq!(snap.status, ResponseStatus::Ok);
+        assert_eq!(&snap.payload[..], b"snapshot");
+        assert_eq!(snap.id, scrape.id);
+
+        let verb = Packet::admin_request(b"op".as_ref());
+        assert_eq!(verb.kind, PacketKind::Admin);
+        assert_eq!(verb.id, DataId::new(OBS_ADMIN_ID));
+
+        let ok = Packet::admin_response(b"done".as_ref());
+        assert_eq!(ok.kind, PacketKind::AdminResponse);
+        assert_eq!(ok.status, ResponseStatus::Ok);
+        assert_eq!(&ok.payload[..], b"done");
+
+        let err = Packet::admin_error(b"refused".as_ref());
+        assert_eq!(err.kind, PacketKind::AdminResponse);
+        assert_eq!(err.status, ResponseStatus::Error);
+        assert_eq!(&err.payload[..], b"refused");
     }
 
     #[test]

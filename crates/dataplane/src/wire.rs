@@ -15,9 +15,9 @@
 //!  +-------+-------+-------+-------+            bit3 = status redirect
 //!  |        pos_x  (f64 be)        |            bit4 = status degraded
 //!  |        pos_y  (f64 be)        |     kind: 0 place, 1 retrieve,
-//!  +---------------+---------------+           2 response
-//!  | hops (u16 be) | detours (u16) |     in-band telemetry: physical
-//!  +---------------+---------------+     hops and suspect-peer detours
+//!  +---------------+---------------+           2 response, 3 invalidate,
+//!  | hops (u16 be) | detours (u16) |           4 stats, 5 stats-resp,
+//!  +---------------+---------------+           6 admin, 7 admin-resp
 //!  | [relay: dest, sour, relay as u32 be each — iff flag bit0]
 //!  +-------------------------------+
 //!  | id bytes (id_len)             |
@@ -125,6 +125,10 @@ fn kind_to_wire(kind: PacketKind) -> u8 {
         PacketKind::Retrieval => 1,
         PacketKind::RetrievalResponse => 2,
         PacketKind::Invalidate => 3,
+        PacketKind::Stats => 4,
+        PacketKind::StatsResponse => 5,
+        PacketKind::Admin => 6,
+        PacketKind::AdminResponse => 7,
     }
 }
 
@@ -134,6 +138,10 @@ fn kind_from_wire(b: u8) -> Result<PacketKind, ParseError> {
         1 => Ok(PacketKind::Retrieval),
         2 => Ok(PacketKind::RetrievalResponse),
         3 => Ok(PacketKind::Invalidate),
+        4 => Ok(PacketKind::Stats),
+        5 => Ok(PacketKind::StatsResponse),
+        6 => Ok(PacketKind::Admin),
+        7 => Ok(PacketKind::AdminResponse),
         other => Err(ParseError::BadKind(other)),
     }
 }
@@ -227,12 +235,14 @@ pub fn parse_bytes(body: &Bytes) -> Result<Packet, ParseError> {
     Ok(packet)
 }
 
-/// Retrieval requests and invalidation notices carry no payload, so
-/// anything past the id is not part of the packet — reject it instead
-/// of silently absorbing it.
+/// Retrieval requests, invalidation notices, and stats scrapes carry no
+/// payload, so anything past the id is not part of the packet — reject
+/// it instead of silently absorbing it.
 fn check_payload(packet: &Packet) -> Result<(), ParseError> {
-    let payload_free =
-        packet.kind == PacketKind::Retrieval || packet.kind == PacketKind::Invalidate;
+    let payload_free = matches!(
+        packet.kind,
+        PacketKind::Retrieval | PacketKind::Invalidate | PacketKind::Stats
+    );
     if payload_free && !packet.payload.is_empty() {
         return Err(ParseError::TrailingGarbage {
             extra: packet.payload.len(),
@@ -277,7 +287,7 @@ fn parse_header(bytes: &[u8]) -> Result<(Packet, usize), ParseError> {
         _ => ResponseStatus::Degraded,
     };
     // A status is a response property; a tagged request is corrupt.
-    if status != ResponseStatus::Ok && kind != PacketKind::RetrievalResponse {
+    if status != ResponseStatus::Ok && !kind.is_response() {
         return Err(ParseError::BadStatus {
             flags,
             kind: bytes[4],
@@ -507,6 +517,12 @@ mod tests {
                 p.detours = 3;
                 p
             },
+            Packet::invalidate(DataId::new("h")),
+            Packet::stats_request(),
+            Packet::stats_response(b"snapshot-bytes".as_ref()),
+            Packet::admin_request(b"op-bytes".as_ref()),
+            Packet::admin_response(b"done".as_ref()),
+            Packet::admin_error(b"refused".as_ref()),
         ] {
             assert_eq!(parse(&encode(&p)).unwrap(), p);
         }
@@ -539,9 +555,13 @@ mod tests {
 
     #[test]
     fn status_on_request_rejected() {
-        for mk in [Packet::placement(DataId::new("k"), b"v".as_ref()), {
-            Packet::retrieval(DataId::new("k"))
-        }] {
+        for mk in [
+            Packet::placement(DataId::new("k"), b"v".as_ref()),
+            Packet::retrieval(DataId::new("k")),
+            Packet::invalidate(DataId::new("k")),
+            Packet::stats_request(),
+            Packet::admin_request(b"op".as_ref()),
+        ] {
             let mut b = encode(&mk);
             b[3] |= 0b0000_0010; // NotFound on a request
             assert!(
@@ -549,6 +569,17 @@ mod tests {
                 "{mk:?}"
             );
         }
+    }
+
+    #[test]
+    fn status_on_new_response_kinds_accepted() {
+        // Error-tagged stats/admin responses are legal wire packets: the
+        // endpoint reports refusals in-band exactly like a retrieval miss.
+        let mut stats = Packet::stats_response(Bytes::new());
+        stats.status = ResponseStatus::Error;
+        assert_eq!(parse(&encode(&stats)).unwrap(), stats);
+        let admin = Packet::admin_error(b"nope".as_ref());
+        assert_eq!(parse(&encode(&admin)).unwrap(), admin);
     }
 
     #[test]
@@ -583,8 +614,8 @@ mod tests {
         assert_eq!(parse(&b), Err(ParseError::BadVersion(9)));
 
         let mut b = encode(&sample());
-        b[4] = 7;
-        assert_eq!(parse(&b), Err(ParseError::BadKind(7)));
+        b[4] = 8;
+        assert_eq!(parse(&b), Err(ParseError::BadKind(8)));
 
         let mut b = encode(&sample());
         b[3] = 0b1000_0000;
@@ -603,6 +634,10 @@ mod tests {
         let mut b = encode(&Packet::retrieval(DataId::new("key")));
         b.extend_from_slice(b"junk");
         assert_eq!(parse(&b), Err(ParseError::TrailingGarbage { extra: 4 }));
+        // Stats scrapes are payload-free on the wire the same way.
+        let mut b = encode(&Packet::stats_request());
+        b.extend_from_slice(b"xx");
+        assert_eq!(parse(&b), Err(ParseError::TrailingGarbage { extra: 2 }));
         // The relayed form hits the same check past the relay header.
         let mut b = encode(&Packet::retrieval(DataId::new("key")).with_relay(1, 2, 3));
         b.push(0xFF);
@@ -728,7 +763,7 @@ mod tests {
         fn prop_round_trip(
             id in proptest::collection::vec(any::<u8>(), 0..64),
             payload in proptest::collection::vec(any::<u8>(), 0..256),
-            kind in 0u8..4,
+            kind in 0u8..8,
             relay in proptest::option::of((0usize..1000, 0usize..1000, 0usize..1000)),
             status in 0u8..5,
             hops in any::<u16>(),
@@ -739,13 +774,35 @@ mod tests {
                 0 => Packet::placement(id, payload.clone()),
                 1 => Packet::retrieval(id),
                 2 => Packet::response(id, payload.clone()),
-                _ => Packet::invalidate(id),
+                3 => Packet::invalidate(id),
+                // Observability kinds with arbitrary ids: start from a
+                // kind with the right payload shape and retag.
+                4 => {
+                    let mut p = Packet::retrieval(id); // payload-free
+                    p.kind = PacketKind::Stats;
+                    p
+                }
+                5 => {
+                    let mut p = Packet::response(id, payload.clone());
+                    p.kind = PacketKind::StatsResponse;
+                    p
+                }
+                6 => {
+                    let mut p = Packet::placement(id, payload.clone());
+                    p.kind = PacketKind::Admin;
+                    p
+                }
+                _ => {
+                    let mut p = Packet::response(id, payload.clone());
+                    p.kind = PacketKind::AdminResponse;
+                    p
+                }
             };
             if let Some((s, r, d)) = relay {
                 p = p.with_relay(s, r, d);
             }
             // A status is only encodable on responses.
-            if p.kind == PacketKind::RetrievalResponse {
+            if p.kind.is_response() {
                 p.status = match status {
                     0 => ResponseStatus::Ok,
                     1 => ResponseStatus::NotFound,
@@ -815,7 +872,7 @@ mod tests {
             specs in proptest::collection::vec(
                 (proptest::collection::vec(any::<u8>(), 0..16),
                  proptest::collection::vec(any::<u8>(), 0..64),
-                 0u8..4),
+                 0u8..8),
                 0..12,
             ),
             junk in proptest::collection::vec(any::<u8>(), 0..64),
@@ -828,7 +885,27 @@ mod tests {
                         0 => Packet::placement(id, payload),
                         1 => Packet::retrieval(id),
                         2 => Packet::response(id, payload),
-                        _ => Packet::invalidate(id),
+                        3 => Packet::invalidate(id),
+                        4 => {
+                            let mut p = Packet::retrieval(id);
+                            p.kind = PacketKind::Stats;
+                            p
+                        }
+                        5 => {
+                            let mut p = Packet::response(id, payload);
+                            p.kind = PacketKind::StatsResponse;
+                            p
+                        }
+                        6 => {
+                            let mut p = Packet::placement(id, payload);
+                            p.kind = PacketKind::Admin;
+                            p
+                        }
+                        _ => {
+                            let mut p = Packet::response(id, payload);
+                            p.kind = PacketKind::AdminResponse;
+                            p
+                        }
                     }
                 })
                 .collect();

@@ -13,11 +13,26 @@
 //!
 //! Reads commands from stdin (one per line, `#` comments ignored), so it
 //! also works in pipelines: `echo -e "build 10 2\nstats" | gredctl`.
+//!
+//! With `--live`, `gredctl` instead talks to a *running* cluster over
+//! TCP — no in-process state at all:
+//!
+//! ```text
+//! gredctl --live 127.0.0.1:4000,127.0.0.1:4001 stats     # per-node scrape
+//! gredctl --live 127.0.0.1:4000,127.0.0.1:4001 health    # aggregated view
+//! gredctl --live 127.0.0.1:4000 ping                     # node liveness
+//! gredctl --live 127.0.0.1:4999 admin drain              # admin endpoint verb
+//! gredctl --live 127.0.0.1:4999 admin crash 3
+//! gredctl --live 127.0.0.1:4999 admin join 0,2 10000,10000
+//! ```
 
 use gred::{GredConfig, GredNetwork};
+use gred_cluster::{admin_call, Client, ClientConfig, ClusterHealth};
+use gred_dataplane::{AdminOp, StatsSnapshot};
 use gred_hash::DataId;
 use gred_net::{waxman_topology, ServerId, ServerPool, WaxmanConfig};
 use std::io::{BufRead, Write};
+use std::net::SocketAddr;
 
 /// The console's mutable state.
 #[derive(Default)]
@@ -189,6 +204,180 @@ fn parse<T: std::str::FromStr>(arg: Option<&&str>, what: &str) -> Result<T, Stri
         .map_err(|_| format!("bad {what}"))
 }
 
+/// Executes one `--live` command against running endpoints and returns
+/// the text to print. `addrs` is the comma-separated address list that
+/// followed `--live`; `args` is the verb and its operands.
+fn live_execute(addrs: &str, args: &[&str]) -> Result<String, String> {
+    let addrs = parse_addrs(addrs)?;
+    let verb = *args.first().ok_or(LIVE_USAGE)?;
+    match verb {
+        "stats" => {
+            let mut out = String::new();
+            for (i, snap) in scrape_all(&addrs)?.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&format_snapshot(snap));
+            }
+            Ok(out)
+        }
+        "health" => {
+            let snaps = scrape_all(&addrs)?;
+            let health = ClusterHealth::aggregate(&snaps);
+            let mut out = health.to_string();
+            for (reporter, peer) in &health.suspects {
+                out.push_str(&format!("\n  suspect: {reporter} -> {peer}"));
+            }
+            if let Some(path) = args.iter().position(|a| *a == "--json").map(|i| args.get(i + 1)) {
+                let path = path.ok_or("--json needs a path")?;
+                std::fs::write(path, health.to_json(&snaps)).map_err(|e| e.to_string())?;
+                out.push_str(&format!("\nwrote {path}"));
+            }
+            Ok(out)
+        }
+        "ping" => {
+            let mut out = String::new();
+            let mut any_alive = false;
+            for (i, addr) in addrs.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                match admin_call(*addr, &AdminOp::Ping) {
+                    Ok(reply) => {
+                        any_alive = true;
+                        out.push_str(&format!("{addr}: {}", reply.message));
+                    }
+                    Err(e) => out.push_str(&format!("{addr}: unreachable ({e})")),
+                }
+            }
+            // Dead nodes are per-line findings; a ping that reached
+            // *nobody* is a failed probe and must exit nonzero.
+            if any_alive {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
+        "admin" => {
+            let op = parse_admin_verb(&args[1..])?;
+            let reply = admin_call(addrs[0], &op).map_err(|e| e.to_string())?;
+            if reply.ok {
+                Ok(reply.message)
+            } else {
+                Err(reply.message)
+            }
+        }
+        other => Err(format!("unknown live verb {other:?}\n{LIVE_USAGE}")),
+    }
+}
+
+/// Parses an admin verb and its operands into an [`AdminOp`].
+fn parse_admin_verb(args: &[&str]) -> Result<AdminOp, String> {
+    let verb = *args.first().ok_or("usage: admin <ping|crash|restart|drain|join|leave> [args]")?;
+    match verb {
+        "ping" => Ok(AdminOp::Ping),
+        "crash" => Ok(AdminOp::Crash {
+            switch: parse(args.get(1), "switch")?,
+        }),
+        "restart" => Ok(AdminOp::Restart {
+            switch: parse(args.get(1), "switch")?,
+        }),
+        "drain" => Ok(AdminOp::Drain),
+        "join" => {
+            let neighbors = parse_list(args.get(1), "neighbors")?;
+            let capacities = parse_list(args.get(2), "capacities")?;
+            Ok(AdminOp::Join {
+                neighbors,
+                capacities,
+            })
+        }
+        "leave" => Ok(AdminOp::Leave {
+            switch: parse(args.get(1), "switch")?,
+        }),
+        other => Err(format!("unknown admin verb {other:?}")),
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(arg: Option<&&str>, what: &str) -> Result<Vec<T>, String> {
+    arg.ok_or_else(|| format!("missing {what} (comma-separated)"))?
+        .split(',')
+        .map(|p| p.parse().map_err(|_| format!("bad {what} entry {p:?}")))
+        .collect()
+}
+
+fn parse_addrs(addrs: &str) -> Result<Vec<SocketAddr>, String> {
+    let parsed: Result<Vec<SocketAddr>, _> = addrs.split(',').map(|a| a.trim().parse()).collect();
+    let parsed = parsed.map_err(|_| format!("bad address list {addrs:?}"))?;
+    if parsed.is_empty() {
+        return Err("empty address list".into());
+    }
+    Ok(parsed)
+}
+
+/// Scrapes every address with a fresh single-node client, purely over
+/// the wire.
+fn scrape_all(addrs: &[SocketAddr]) -> Result<Vec<StatsSnapshot>, String> {
+    addrs
+        .iter()
+        .map(|&addr| {
+            let mut client =
+                Client::connect(addr, ClientConfig::default()).map_err(|e| e.to_string())?;
+            client.scrape().map_err(|e| format!("{addr}: {e}"))
+        })
+        .collect()
+}
+
+/// Renders one node's snapshot as an operator-readable block.
+fn format_snapshot(snap: &StatsSnapshot) -> String {
+    let mut out = format!(
+        "node {}: up {}ms | {} requests ({} delivered, {} errors) | \
+         {} stored | {} forwarded, {} relayed, {} detours | \
+         cache {}h/{}m ({} evictions, {} invalidations rx) | \
+         {} conns, {} queued bytes, {} workers | {} table rows",
+        snap.switch,
+        snap.uptime_ms,
+        snap.requests,
+        snap.delivered,
+        snap.errors,
+        snap.stored_items,
+        snap.forwarded,
+        snap.relayed,
+        snap.hot.detour_forwards,
+        snap.hot.cache_hits,
+        snap.hot.cache_misses,
+        snap.hot.cache_evictions,
+        snap.hot.invalidations_rx,
+        snap.open_connections,
+        snap.queued_bytes,
+        snap.dispatch_workers,
+        snap.table_rows,
+    );
+    for link in &snap.links {
+        out.push_str(&format!(
+            "\n  link -> {}: {}, {} reconnects{}",
+            link.peer,
+            if link.connected { "connected" } else { "down" },
+            link.reconnects,
+            if link.suspect_ms_left > 0 {
+                format!(", suspect for {}ms", link.suspect_ms_left)
+            } else {
+                String::new()
+            },
+        ));
+    }
+    out
+}
+
+const LIVE_USAGE: &str = "\
+usage: gredctl --live <addr>[,addr...] <verb>
+verbs:
+  stats                         scrape and print each node's snapshot
+  health [--json PATH]          aggregate a cluster health view
+  ping                          admin-ping each address
+  admin <verb> [args]           send a lifecycle verb to the first address
+    admin crash <switch> | restart <switch> | drain
+    admin join <n1,n2,...> <cap1,cap2,...> | leave <switch>";
+
 const HELP: &str = "\
 commands:
   build <switches> <servers-per-switch> [seed]   create a Waxman edge network
@@ -198,9 +387,26 @@ commands:
   extend <switch> <server-index>                 range-extend a server
   join <neighbor> [neighbor...]                  add an edge node
   leave <switch>                                 remove an edge node
-  stats | loads | help | quit";
+  stats | loads | help | quit
+live-cluster mode: gredctl --live <addr>[,addr...] <stats|health|ping|admin ...>";
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "--live") {
+        let Some(addrs) = argv.get(1) else {
+            eprintln!("{LIVE_USAGE}");
+            std::process::exit(2);
+        };
+        let args: Vec<&str> = argv[2..].iter().map(String::as_str).collect();
+        match live_execute(addrs, &args) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     let mut console = Console::default();
@@ -313,5 +519,81 @@ mod tests {
         for cmd in ["build", "place", "get", "route", "extend", "join", "leave"] {
             assert!(help.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn admin_verbs_parse() {
+        assert_eq!(parse_admin_verb(&["ping"]), Ok(AdminOp::Ping));
+        assert_eq!(parse_admin_verb(&["drain"]), Ok(AdminOp::Drain));
+        assert_eq!(
+            parse_admin_verb(&["crash", "3"]),
+            Ok(AdminOp::Crash { switch: 3 })
+        );
+        assert_eq!(
+            parse_admin_verb(&["join", "0,2", "100,200"]),
+            Ok(AdminOp::Join {
+                neighbors: vec![0, 2],
+                capacities: vec![100, 200],
+            })
+        );
+        assert!(parse_admin_verb(&["bogus"]).is_err());
+        assert!(parse_admin_verb(&["crash"]).is_err());
+    }
+
+    #[test]
+    fn bad_live_input_is_reported() {
+        assert!(parse_addrs("not-an-addr").is_err());
+        assert!(parse_addrs("").is_err());
+        let err = live_execute("127.0.0.1:1", &["bogus"]).unwrap_err();
+        assert!(err.contains("unknown live verb"), "{err}");
+    }
+
+    /// The acceptance scenario: `gredctl --live` against a running
+    /// loopback cluster prints per-node, per-link, and cluster-health
+    /// snapshots scraped purely over the wire, and admin verbs land on
+    /// the admin endpoint.
+    #[test]
+    fn live_mode_drives_a_running_cluster() {
+        use gred_cluster::{AdminServer, Cluster, ClusterConfig};
+
+        let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(6, 11));
+        let pool = ServerPool::uniform(6, 2, u64::MAX);
+        let mut net =
+            GredNetwork::build(topo, pool, GredConfig::default().seeded(11)).unwrap();
+        for i in 0..8 {
+            net.place(
+                &DataId::new(format!("live/{i}")),
+                format!("v{i}").into_bytes(),
+                i % 6,
+            )
+            .unwrap();
+        }
+        let cluster = Cluster::boot(&net, ClusterConfig::default()).unwrap();
+        let addrs: Vec<String> = (0..6).map(|s| cluster.addr(s).to_string()).collect();
+        let addrs = addrs.join(",");
+
+        let stats = live_execute(&addrs, &["stats"]).unwrap();
+        for s in 0..6 {
+            assert!(stats.contains(&format!("node {s}:")), "{stats}");
+        }
+        assert!(stats.contains("link ->"), "per-link counters: {stats}");
+
+        let health = live_execute(&addrs, &["health"]).unwrap();
+        assert!(health.contains("6 nodes:"), "{health}");
+        assert!(health.contains("suspect links"), "{health}");
+
+        let pong = live_execute(&addrs, &["ping"]).unwrap();
+        assert_eq!(pong.lines().count(), 6, "{pong}");
+        assert!(pong.contains("pong"), "{pong}");
+
+        let admin = AdminServer::spawn(cluster, net).unwrap();
+        let admin_addr = admin.addr().to_string();
+        let out = live_execute(&admin_addr, &["admin", "ping"]).unwrap();
+        assert!(out.contains("6 live nodes"), "{out}");
+        let out = live_execute(&admin_addr, &["admin", "drain"]).unwrap();
+        assert!(out.contains("drained"), "{out}");
+        let err = live_execute(&admin_addr, &["admin", "restart", "2"]).unwrap_err();
+        assert!(err.contains("still running"), "{err}");
+        admin.shutdown();
     }
 }

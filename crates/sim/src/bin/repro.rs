@@ -385,6 +385,27 @@ fn run(experiment: &str, scale: &Scale, out: &Output, threads: usize) {
                     })
                     .collect(),
             );
+            let flash = hotspot::flash_crowd_request_load(
+                500,
+                scale.load_items.min(10_000),
+                3,
+                SEED,
+            );
+            out.emit(
+                "flash_crowd",
+                "Extension: regional flash crowd on a cold key, before/after replication",
+                &["phase", "request max/avg", "peak share"],
+                flash
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.phase.to_string(),
+                            f3(r.request_max_avg),
+                            f3(r.peak_share),
+                        ]
+                    })
+                    .collect(),
+            );
         }
         "churn-owners" => {
             let rows = churn::owner_churn_comparison(&scale.churn_sizes, 5_000, SEED);
@@ -736,6 +757,85 @@ fn run_cluster(seed: u64, ops: usize, switches: usize) {
     println!("cluster passed: zero lost requests, graceful shutdown");
 }
 
+/// The observability acceptance run: boot a loopback cluster, run a
+/// small seeded workload, then scrape every node purely over the wire
+/// and print per-node, per-link, and cluster-health snapshots. With
+/// `--json PATH` the scraped snapshot bundle is also written as JSON
+/// (the artifact the `stats-smoke` CI job uploads).
+fn run_stats(seed: u64, ops: usize, switches: usize, json: Option<PathBuf>) {
+    use gred::{GredConfig, GredNetwork};
+    use gred_cluster::{Cluster, ClusterConfig, ClusterHealth};
+    use gred_hash::DataId;
+    use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
+
+    let (topo, _) = waxman_topology(&WaxmanConfig::with_switches(switches, seed));
+    let pool = ServerPool::uniform(switches, 2, u64::MAX);
+    let config = GredConfig {
+        auto_extend: false,
+        ..GredConfig::with_iterations(8).seeded(seed)
+    };
+    let net = GredNetwork::build(topo, pool, config).expect("seeded network builds");
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    println!(
+        "stats: {} switches as loopback TCP nodes, seed {seed}, {ops} ops",
+        cluster.len()
+    );
+
+    let members = net.members().to_vec();
+    let mut client = cluster
+        .client_multi(&members)
+        .expect("workload client connects");
+    for i in 0..ops {
+        let id = DataId::new(format!("stats/{seed}/{i}"));
+        client
+            .place(&id, format!("payload/{i}").into_bytes())
+            .expect("seeded placement succeeds");
+        client.retrieve(&id).expect("seeded retrieval succeeds");
+    }
+
+    let snapshots = cluster.scrape().expect("every node answers the scrape");
+    for snap in &snapshots {
+        println!(
+            "node {}: up {}ms | {} requests ({} delivered, {} errors) | {} stored | \
+             {} detours | cache {}h/{}m | {} conns, {} queued bytes, {} workers | {} table rows",
+            snap.switch,
+            snap.uptime_ms,
+            snap.requests,
+            snap.delivered,
+            snap.errors,
+            snap.stored_items,
+            snap.hot.detour_forwards,
+            snap.hot.cache_hits,
+            snap.hot.cache_misses,
+            snap.open_connections,
+            snap.queued_bytes,
+            snap.dispatch_workers,
+            snap.table_rows,
+        );
+        for link in &snap.links {
+            println!(
+                "  link -> {}: {}, {} reconnects, suspect {}ms",
+                link.peer,
+                if link.connected { "connected" } else { "down" },
+                link.reconnects,
+                link.suspect_ms_left,
+            );
+        }
+    }
+    let health = ClusterHealth::aggregate(&snapshots);
+    println!("health: {health}");
+    if let Some(path) = json {
+        std::fs::write(&path, health.to_json(&snapshots)).expect("snapshot JSON writes");
+        println!("wrote {}", path.display());
+    }
+    let report = cluster.shutdown();
+    if report.total_errors() > 0 {
+        println!("stats FAILED: {} node errors", report.total_errors());
+        std::process::exit(1);
+    }
+    println!("stats passed: all nodes scraped over the wire");
+}
+
 /// The chaos acceptance run: crash-tolerant serving under seeded node
 /// kills and link faults. Exits 1 when an acknowledged write is lost.
 fn run_chaos_cmd(seed: u64, ops: usize, switches: usize, kills: usize) {
@@ -773,6 +873,20 @@ fn run_chaos_cmd(seed: u64, ops: usize, switches: usize, kills: usize) {
     println!("{outcome}");
     println!("cluster: {}", outcome.report);
     println!("hot path: {}", outcome.report.hot_stats());
+    match &outcome.probe {
+        Some(probe) => println!(
+            "post-heal probe: detours {} -> {}, {} suspect links, \
+             {} clean writes ({} degraded), Δinvalidations {} across {} nodes",
+            probe.detours_before,
+            probe.detours_after,
+            probe.suspect_links,
+            probe.clean_writes,
+            probe.degraded_writes,
+            probe.invalidations_delta,
+            probe.nodes,
+        ),
+        None => println!("post-heal probe: scrape unavailable"),
+    }
     println!(
         "elapsed {:.3}s; reproduce with: {}",
         started.elapsed().as_secs_f64(),
@@ -820,14 +934,15 @@ fn main() {
                     || args[i - 1] == "--seed"
                     || args[i - 1] == "--ops"
                     || args[i - 1] == "--switches"
-                    || args[i - 1] == "--kills");
+                    || args[i - 1] == "--kills"
+                    || args[i - 1] == "--json");
             !is_flag && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
 
-    if experiment == "soak" || experiment == "cluster" || experiment == "chaos" {
+    if matches!(experiment, "soak" | "cluster" | "chaos" | "stats") {
         let flag = |name: &str| {
             args.iter()
                 .position(|a| a == name)
@@ -846,6 +961,16 @@ fn main() {
                 let ops = flag("--ops").unwrap_or(500) as usize;
                 let kills = flag("--kills").unwrap_or(2) as usize;
                 run_chaos_cmd(seed, ops, switches, kills);
+            }
+            "stats" => {
+                let switches = (flag("--switches").unwrap_or(8) as usize).max(4);
+                let ops = flag("--ops").unwrap_or(100) as usize;
+                let json = args
+                    .iter()
+                    .position(|a| a == "--json")
+                    .and_then(|i| args.get(i + 1))
+                    .map(PathBuf::from);
+                run_stats(seed, ops, switches, json);
             }
             _ => {
                 let switches = (flag("--switches").unwrap_or(12) as usize).max(4);

@@ -18,6 +18,10 @@
 //!   oracle after every step: Theorem 1 delivery from every member,
 //!   empty-circumcircle validity of the live DT, retrievability of every
 //!   oracle-stored datum, and forwarding-table hygiene;
+//! - [`counters`] turns wire-scraped [`gred_dataplane::StatsSnapshot`]s
+//!   into delta assertions, so chaos properties once established by
+//!   grepping logs ("detours stopped", "the cache absorbed the crowd")
+//!   become exact counter arithmetic;
 //! - [`harness`] ties it together, injects faults ([`Mutation`]) for
 //!   checker smoke-tests, prints a one-line reproduction command on
 //!   failure, and greedily shrinks failing schedules.
@@ -26,6 +30,7 @@
 //! the same pair replays the identical schedule, network, and checks.
 
 pub mod chaos;
+pub mod counters;
 pub mod harness;
 pub mod invariants;
 pub mod oracle;
@@ -33,6 +38,7 @@ pub mod schedule;
 pub mod transport;
 
 pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
+pub use counters::CounterWindow;
 pub use harness::{Failure, Harness, HarnessConfig, Mutation, RunOutcome, RunStats};
 pub use oracle::Oracle;
 pub use schedule::{generate, Op};

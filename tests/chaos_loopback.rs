@@ -107,6 +107,61 @@ fn seed_matrix_socket_runs_keep_acked_writes() {
     }
 }
 
+/// Counter-asserted settling invariants, scraped purely over the wire:
+/// after a seeded chaos plan heals, (1) the detour counter stops
+/// increasing — fresh writes ride clean greedy paths; (2) the suspect
+/// set drains empty — no node still distrusts a live peer; (3) received
+/// invalidations match the writes broadcast exactly — each clean write
+/// notifies every peer but the storing node once. These three
+/// properties used to be observable only by grepping node logs; now
+/// they are numbers in the [`gred_cluster::HealProbe`] the chaos run
+/// scrapes from its own cluster.
+#[test]
+fn healed_cluster_counters_settle() {
+    for seed in [3u64, 29] {
+        let outcome = run_chaos(&ChaosConfig {
+            seed,
+            switches: 8,
+            ops: 80,
+            kills: 1,
+            link_faults: 2,
+            ..ChaosConfig::default()
+        })
+        .expect("chaos infrastructure boots");
+        let probe = outcome
+            .probe
+            .as_ref()
+            .expect("a healed cluster answers the post-heal scrape");
+
+        assert_eq!(
+            probe.detours_after, probe.detours_before,
+            "seed {seed}: detours kept increasing after heal_all: {probe:?}"
+        );
+        assert_eq!(
+            probe.suspect_links, 0,
+            "seed {seed}: suspect set did not drain after the TTL: {probe:?}"
+        );
+        assert_eq!(
+            probe.degraded_writes, 0,
+            "seed {seed}: a healed cluster must ack probe writes clean: {probe:?}"
+        );
+        assert!(
+            probe.clean_writes > 0,
+            "seed {seed}: the probe must make progress: {probe:?}"
+        );
+        assert_eq!(
+            probe.invalidations_delta,
+            probe.clean_writes as u64 * (probe.nodes as u64 - 1),
+            "seed {seed}: invalidation broadcasts lost or duplicated: {probe:?}"
+        );
+        assert_eq!(
+            probe.nodes,
+            8,
+            "seed {seed}: every slot (including revived victims) must answer: {probe:?}"
+        );
+    }
+}
+
 /// Unacknowledged failures are loud, never silent: with every link into
 /// the owner severed, a placement must either error or be explicitly
 /// labeled `Degraded` — a clean `Ok` ack would be a lie. After the

@@ -15,7 +15,7 @@
 //! - graceful shutdown joins every worker and loses nothing.
 
 use gred::{GredConfig, GredNetwork};
-use gred_cluster::{Cluster, ClusterConfig};
+use gred_cluster::{Cluster, ClusterConfig, ClusterHealth};
 use gred_hash::DataId;
 use gred_net::{waxman_topology, ServerPool, WaxmanConfig};
 use std::collections::HashMap;
@@ -347,4 +347,328 @@ fn concurrent_clients_share_multiplexed_links_without_fallbacks() {
         hot.frames_decoded > 0,
         "hot-path counters must be live; got {hot}"
     );
+}
+
+/// Stats-scrape parity: after the standard 200-op workload, each node's
+/// wire-scraped `StatsSnapshot` must be *identical* to the in-process
+/// twin read from the same node object — field for field, including the
+/// full `NodeHotStats` block and the per-link counters. The scrape
+/// itself must not perturb what it measures: `Stats` frames are served
+/// inline on the reactor, before the request counter, on a fresh
+/// connection whose first response reuses no encode scratch.
+#[test]
+fn wire_scraped_stats_match_the_in_process_twin() {
+    let net = build_network();
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    let members = net.members().to_vec();
+
+    let mut lcg = Lcg(SEED);
+    let mut clients: HashMap<usize, gred_cluster::Client> = HashMap::new();
+    for i in 0..OPS {
+        let id = DataId::new(format!("parity/{i}"));
+        let access = members[lcg.next() as usize % members.len()];
+        let client = match clients.entry(access) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(cluster.client(access).expect("client connects"))
+            }
+        };
+        client
+            .place(&id, format!("payload/{i}").into_bytes())
+            .unwrap_or_else(|e| panic!("place {i} failed: {e}"));
+        client
+            .retrieve(&id)
+            .unwrap_or_else(|e| panic!("retrieve {i} failed: {e}"));
+    }
+
+    // Workload clients stay connected so the connection gauge cannot
+    // move between the wire scrape and the in-process read.
+    for switch in 0..cluster.len() {
+        let mut scraper = cluster.client(switch).expect("scrape client connects");
+        let wire = scraper.scrape().expect("node answers the scrape");
+        let twin = cluster.node(switch).stats_snapshot();
+
+        assert_eq!(wire.switch, switch as u32);
+        assert_eq!(
+            wire.hot, twin.hot,
+            "node {switch}: wire hot-path counters diverge from the twin"
+        );
+        assert_eq!(
+            (wire.requests, wire.forwarded, wire.relayed, wire.delivered, wire.errors),
+            (twin.requests, twin.forwarded, twin.relayed, twin.delivered, twin.errors),
+            "node {switch}: routing counters diverge"
+        );
+        assert_eq!(
+            (wire.stored_items, wire.table_rows),
+            (twin.stored_items, twin.table_rows),
+            "node {switch}: store/table accounting diverges"
+        );
+        assert_eq!(
+            (wire.open_connections, wire.queued_bytes, wire.dispatch_workers),
+            (twin.open_connections, twin.queued_bytes, twin.dispatch_workers),
+            "node {switch}: reactor gauges diverge"
+        );
+        assert_eq!(
+            wire.links, twin.links,
+            "node {switch}: per-link counters diverge"
+        );
+        assert_eq!(wire.queued_bytes, 0, "node {switch}: idle node has a write backlog");
+    }
+
+    drop(clients);
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0);
+}
+
+/// Flash crowd: a cold key suddenly goes viral in one *region* — every
+/// request enters through a few neighboring access nodes, none of them
+/// the owner. The sim-layer twin (`flash_crowd_request_load` in
+/// `gred-sim`) shows the raw request pile-up; here the read cache must
+/// absorb it, and the proof is counters scraped **over the wire**:
+///
+/// - once each regional node has seen the key, the crowd converges to a
+///   100% cache hit rate — zero further misses cluster-wide,
+/// - a version bump of the viral key invalidates every peer's cache
+///   (`invalidations_rx` rises by exactly n−1 for the one clean write)
+///   and **no read ever returns the stale bytes**,
+/// - the crowd re-converges on the new version just as fast.
+#[test]
+fn flash_crowd_cache_converges_without_stale_serves() {
+    const ROUNDS: usize = 25;
+    const REGION: usize = 3;
+
+    let net = build_network();
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    let members = net.members().to_vec();
+
+    let viral = DataId::new("flash/viral");
+    let v1 = b"breaking-v1".to_vec();
+    let v2 = b"breaking-v2".to_vec();
+
+    let mut writer = cluster.client(members[0]).expect("writer connects");
+    let ack = writer.place(&viral, v1.clone()).expect("viral key places");
+    assert!(ack.is_hit() && ack.is_clean(), "healthy write must be clean");
+    let owner = ack.ack_server().expect("ack names the owner").switch as usize;
+
+    // Pick the region: access members (never the owner) whose read path
+    // actually forwards the viral key and so probes + fills the read
+    // cache. One warm read per candidate both qualifies the node and
+    // leaves its cache hot — the crowd then starts from steady state.
+    let mut region: Vec<(usize, gred_cluster::Client)> = Vec::new();
+    for &m in members.iter().filter(|&&m| m != owner) {
+        if region.len() == REGION {
+            break;
+        }
+        let misses_before = cluster.node(m).stats_snapshot().hot.cache_misses;
+        let mut client = cluster.client(m).expect("regional client connects");
+        let reply = client.retrieve(&viral).expect("warm read answers");
+        assert!(reply.is_hit());
+        assert_eq!(reply.payload.as_ref(), &v1[..]);
+        if cluster.node(m).stats_snapshot().hot.cache_misses > misses_before {
+            region.push((m, client));
+        }
+    }
+    assert_eq!(
+        region.len(),
+        REGION,
+        "seeded topology must yield {REGION} caching access members"
+    );
+
+    let scrape = |cluster: &Cluster| cluster.scrape().expect("every node answers the scrape");
+
+    // Phase 1 — the crowd hits warm caches: every read is a hit, zero
+    // misses anywhere, and the wire-scraped counters prove it.
+    let window = gred_testkit::CounterWindow::open(scrape(&cluster));
+    for _ in 0..ROUNDS {
+        for (m, client) in &mut region {
+            let reply = client.retrieve(&viral).expect("flash read answers");
+            assert!(reply.is_hit(), "flash read via {m} lost");
+            assert_eq!(
+                reply.payload.as_ref(),
+                &v1[..],
+                "flash read via {m} corrupted"
+            );
+        }
+    }
+    let crowd = scrape(&cluster);
+    let reads = (ROUNDS * REGION) as u64;
+    assert_eq!(
+        window.delta(&crowd, |s| s.hot.cache_hits),
+        reads,
+        "a warm regional crowd must be absorbed entirely by the caches"
+    );
+    window.assert_flat(&crowd, |s| s.hot.cache_misses, "flash reads on warm caches");
+    let after = ClusterHealth::aggregate(&crowd);
+
+    // Phase 2 — the story develops: v2 overwrites the viral key. The
+    // one clean write must invalidate every peer's cache, and not a
+    // single subsequent read may serve the stale v1 bytes.
+    let ack = writer.place(&viral, v2.clone()).expect("v2 write lands");
+    assert!(ack.is_hit() && ack.is_clean(), "v2 write must be clean");
+    let healed = scrape(&cluster);
+    assert_eq!(
+        ClusterHealth::aggregate(&healed).invalidations_rx - after.invalidations_rx,
+        (cluster.len() - 1) as u64,
+        "one clean write must invalidate exactly the n-1 peers"
+    );
+
+    // One refill round: every regional node (and any cache-probing
+    // relay on its path to the owner) misses once and re-fills — but
+    // serves v2, never the stale bytes.
+    let window = gred_testkit::CounterWindow::open(healed);
+    for (m, client) in &mut region {
+        let reply = client.retrieve(&viral).expect("refill read answers");
+        assert!(reply.is_hit(), "refill read via {m} lost");
+        assert_eq!(
+            reply.payload.as_ref(),
+            &v2[..],
+            "STALE SERVE: refill via {m} returned pre-invalidation bytes"
+        );
+    }
+    let refilled = scrape(&cluster);
+    assert!(
+        window.delta(&refilled, |s| s.hot.cache_misses) >= REGION as u64,
+        "the invalidation must have emptied every regional cache"
+    );
+
+    // Re-converged: the crowd keeps coming and is once again absorbed
+    // entirely by the caches — zero further misses, all v2.
+    let window = gred_testkit::CounterWindow::open(refilled);
+    for round in 0..ROUNDS {
+        for (m, client) in &mut region {
+            let reply = client.retrieve(&viral).expect("post-write read answers");
+            assert!(reply.is_hit(), "post-write read via {m} lost");
+            assert_eq!(
+                reply.payload.as_ref(),
+                &v2[..],
+                "STALE SERVE: round {round} via {m} returned pre-invalidation bytes"
+            );
+        }
+    }
+    let after2 = scrape(&cluster);
+    window.assert_flat(
+        &after2,
+        |s| s.hot.cache_misses,
+        "one refill round must fully re-converge the caches",
+    );
+    assert_eq!(
+        window.delta(&after2, |s| s.hot.cache_hits),
+        reads,
+        "the re-converged crowd is cache-absorbed again"
+    );
+
+    drop(writer);
+    drop(region);
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0);
+}
+
+/// A scrape storm is free: eight clients hammering `Stats` against
+/// every node, concurrently with a read burst, must (a) never spawn a
+/// dispatch worker beyond what the warm-up already spawned — stats are
+/// served inline on the reactor — (b) leave the request counter to the
+/// workload alone, and (c) not perturb a single reply of the
+/// simultaneous burst (same payloads, same hop counts as the calm run).
+#[test]
+fn scrape_storm_spawns_no_workers_and_preserves_ordering() {
+    const STORM_CLIENTS: usize = 8;
+    const SCRAPES_EACH: usize = 30;
+    const KEYS: usize = 40;
+
+    let net = build_network();
+    let cluster = Cluster::boot(&net, ClusterConfig::default()).expect("cluster boots");
+    let members = net.members().to_vec();
+    let access = members[0];
+
+    let ids: Vec<DataId> = (0..KEYS).map(|i| DataId::new(format!("storm/{i}"))).collect();
+    let mut writer = cluster.client(access).expect("client connects");
+    for (i, id) in ids.iter().enumerate() {
+        writer
+            .place(id, format!("payload/{i}").into_bytes())
+            .expect("placement succeeds");
+    }
+
+    // Warm-up pass: first reads fill the access node's cache, so every
+    // later pass (calm and stormed alike) runs against the same warm
+    // cache state and must behave identically.
+    for id in &ids {
+        assert!(writer.retrieve(id).expect("warm-up read answers").is_hit());
+    }
+
+    let total_requests = |cluster: &Cluster| -> u64 {
+        (0..cluster.len())
+            .map(|s| cluster.node(s).stats_snapshot().requests)
+            .sum()
+    };
+
+    // Calm pass: the expected answer for every read, and the request
+    // accounting one burst costs with nobody scraping.
+    let calm_base = total_requests(&cluster);
+    let calm: Vec<(Vec<u8>, u16)> = ids
+        .iter()
+        .map(|id| {
+            let reply = writer.retrieve(id).expect("calm retrieval answers");
+            assert!(reply.is_hit());
+            (reply.payload.to_vec(), reply.hops)
+        })
+        .collect();
+    let calm_cost = total_requests(&cluster) - calm_base;
+
+    let workers_before: Vec<u32> = (0..cluster.len())
+        .map(|s| {
+            let mut c = cluster.client(s).expect("scrape client connects");
+            c.scrape().expect("scrape answers").dispatch_workers
+        })
+        .collect();
+    let requests_before = total_requests(&cluster);
+
+    // Storm: 8 clients × every node × SCRAPES_EACH, racing a burst of
+    // the same reads on the workload connection.
+    std::thread::scope(|scope| {
+        for _ in 0..STORM_CLIENTS {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for s in 0..cluster.len() {
+                    let mut c = cluster.client(s).expect("storm client connects");
+                    for _ in 0..SCRAPES_EACH / cluster.len() {
+                        let snap = c.scrape().expect("storm scrape answers");
+                        assert_eq!(snap.switch, s as u32);
+                    }
+                }
+            });
+        }
+        for (id, (payload, hops)) in ids.iter().zip(&calm) {
+            let reply = writer.retrieve(id).expect("stormed retrieval answers");
+            assert!(reply.is_hit(), "read of {id} lost under the scrape storm");
+            assert_eq!(
+                reply.payload.as_ref(),
+                &payload[..],
+                "read of {id} perturbed by the scrape storm"
+            );
+            assert_eq!(
+                reply.hops, *hops,
+                "read of {id} rerouted under the scrape storm"
+            );
+        }
+    });
+
+    let workers_after: Vec<u32> = (0..cluster.len())
+        .map(|s| {
+            let mut c = cluster.client(s).expect("scrape client connects");
+            c.scrape().expect("scrape answers").dispatch_workers
+        })
+        .collect();
+    assert_eq!(
+        workers_before, workers_after,
+        "a scrape storm must never spawn dispatch workers"
+    );
+    assert_eq!(
+        total_requests(&cluster) - requests_before,
+        calm_cost,
+        "an identical burst must cost identical request accounting — \
+         {STORM_CLIENTS} storm clients' scrapes leaked into the counter"
+    );
+
+    let report = cluster.shutdown();
+    assert_eq!(report.total_errors(), 0);
 }
